@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Section 4.5 reliability table: replication vs deep archival
+ * erasure coding.
+ *
+ * Reproduces the paper's numbers exactly: "with a million machines,
+ * ten percent of which are currently down, simple replication without
+ * erasure codes provides only two nines (0.99) of reliability.  A
+ * 1/2-rate erasure coding of a document into 16 fragments gives the
+ * document over five nines of reliability (0.999994), yet consumes
+ * the same amount of storage.  With 32 fragments, the reliability
+ * increases by another factor of 4000."
+ *
+ * Each closed-form row is validated against Monte-Carlo simulation of
+ * random machine failures.
+ */
+
+#include <cstdio>
+
+#include "erasure/availability.h"
+
+using namespace oceanstore;
+
+int
+main()
+{
+    std::printf("=== Section 4.5: deep archival reliability ===\n\n");
+
+    const std::uint64_t machines = 1'000'000;
+    const std::uint64_t down = 100'000; // 10%
+
+    struct Row
+    {
+        const char *scheme;
+        std::uint64_t f;  //!< fragments (or replicas)
+        std::uint64_t rf; //!< tolerable unavailable fragments
+        double storage;   //!< relative to one plain copy
+    };
+    // Rate-1/2 coding into f fragments: any f/2 reconstruct; total
+    // storage = 2x the object, the same as two full replicas.
+    const Row rows[] = {
+        {"1 replica (baseline)", 1, 0, 1.0},
+        {"2 replicas", 2, 1, 2.0},
+        {"4 replicas", 4, 3, 4.0},
+        {"rate-1/2 RS, 8 frags", 8, 4, 2.0},
+        {"rate-1/2 RS, 16 frags", 16, 8, 2.0},
+        {"rate-1/2 RS, 32 frags", 32, 16, 2.0},
+        {"rate-1/2 RS, 64 frags", 64, 32, 2.0},
+        {"rate-1/4 RS, 32 frags", 32, 24, 4.0},
+    };
+
+    std::printf("1,000,000 machines, 10%% down:\n\n");
+    std::printf("  %-24s %8s %14s %8s %12s\n", "scheme", "storage",
+                "P(available)", "nines", "monte-carlo");
+
+    Rng rng(0xa11ab1e);
+    double p16 = 0, p32 = 0;
+    for (const Row &r : rows) {
+        double p = documentAvailability(machines, down, r.f, r.rf);
+        double sim = simulateAvailability(machines, down, r.f, r.rf,
+                                          200000, rng);
+        std::printf("  %-24s %7.1fx %14.8f %8.2f %12.6f\n", r.scheme,
+                    r.storage, p, nines(p), sim);
+        if (r.f == 16 && r.rf == 8)
+            p16 = p;
+        if (r.f == 32 && r.rf == 16)
+            p32 = p;
+    }
+
+    std::printf("\npaper anchor checks:\n");
+    double p2 = replicationAvailability(machines, down, 2);
+    std::printf("  2 replicas:    %.4f (paper: two nines, 0.99)\n", p2);
+    std::printf("  16 fragments:  %.6f (paper: 0.999994)\n", p16);
+    std::printf("  32 vs 16 improvement: %.0fx (paper: ~4000x)\n",
+                (1.0 - p16) / (1.0 - p32));
+
+    // --- sweep: fraction of machines down --------------------------------
+    std::printf("\navailability vs fraction of machines down "
+                "(16-fragment rate-1/2 vs 2 replicas):\n\n");
+    std::printf("  %8s %16s %16s\n", "down", "2 replicas",
+                "16 fragments");
+    for (double frac : {0.05, 0.10, 0.15, 0.20, 0.30, 0.40}) {
+        auto m = static_cast<std::uint64_t>(frac * machines);
+        std::printf("  %7.0f%% %16.8f %16.8f\n", frac * 100,
+                    replicationAvailability(machines, m, 2),
+                    documentAvailability(machines, m, 16, 8));
+    }
+    std::printf("\n  (fragmentation wins until failure rates approach "
+                "the code rate -- the law of\n   large numbers "
+                "argument of Section 4.5)\n");
+    return 0;
+}

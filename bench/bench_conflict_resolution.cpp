@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Ablation: conflict resolution vs pure detection (Sections 4.4.1
+ * and 6).
+ *
+ * "Conflict resolution reduces the number of aborts normally seen in
+ * detection-based schemes such as optimistic concurrency control",
+ * and from the related-work comparison: "our merge predicates should
+ * decrease the number of transactions aborted due to out-of-date
+ * caches."
+ *
+ * Workload: W writers per round read the shared object, then all
+ * submit an update based on the same observed version — the classic
+ * write-hot-spot.  Two update styles:
+ *
+ *   detection:  one clause guarded by compare-version; any writer who
+ *               lost the race aborts and retries next round.
+ *   resolution: the same guarded clause, plus a fallback merge clause
+ *               (unconditional append) that fires when the fast path
+ *               fails — the Bayou-style conflict resolver.
+ *
+ * Report aborts per 100 intents and rounds needed to land every
+ * intent, across contention levels.
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "core/universe.h"
+
+using namespace oceanstore;
+
+namespace {
+
+struct RunStats
+{
+    unsigned intents = 0;
+    unsigned aborts = 0;
+    unsigned rounds = 0;
+};
+
+RunStats
+runWorkload(unsigned writers, bool with_merge_clause, int total_intents)
+{
+    UniverseConfig cfg;
+    cfg.numServers = 16;
+    cfg.archiveOnCommit = false;
+    Universe uni(cfg);
+    KeyPair owner = uni.makeUser();
+    ObjectHandle obj = uni.createObject(owner, "hot-spot");
+
+    RunStats stats;
+    std::uint64_t ts = 0;
+    int landed = 0;
+    int next_payload = 0;
+
+    while (landed < total_intents && stats.rounds < 500) {
+        stats.rounds++;
+        // Everyone observes the same version (the out-of-date-cache
+        // scenario), then all submit.
+        ReadResult rr = uni.readSync(0, obj.guid());
+        VersionNum seen = rr.found ? rr.version : 0;
+
+        unsigned batch = std::min<unsigned>(
+            writers, static_cast<unsigned>(total_intents - landed));
+        for (unsigned w = 0; w < batch; w++) {
+            Bytes payload =
+                toBytes("intent-" + std::to_string(next_payload + w));
+            Bytes cipher = obj.encryptBlock(
+                (seen + 1) * (1ull << 20) + w, payload);
+
+            UpdateClause fast;
+            fast.predicates.push_back(CompareVersion{seen});
+            fast.actions.push_back(AppendBlock{cipher});
+
+            std::vector<UpdateClause> clauses{fast};
+            if (with_merge_clause) {
+                // The resolver: when the fast path loses the race,
+                // merge by appending anyway (appends commute for this
+                // application, as in the paper's mail example).
+                UpdateClause merge;
+                merge.actions.push_back(AppendBlock{cipher});
+                clauses.push_back(merge);
+            }
+            Update u = obj.makeUpdate(std::move(clauses), {++ts, w});
+            stats.intents++;
+            WriteResult wr = uni.writeSync(u);
+            if (wr.completed && wr.committed) {
+                landed++;
+            } else {
+                stats.aborts++;
+            }
+        }
+        next_payload += batch;
+        // Let dissemination settle so the next round's read observes
+        // the latest committed version (isolates ordering conflicts
+        // from staleness).
+        uni.advance(5.0);
+    }
+    return stats;
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("=== ablation: merge clauses vs detection-only "
+                "aborts ===\n\n");
+    std::printf("W writers per round share one hot object; every "
+                "writer conditions on the same\nobserved version "
+                "(out-of-date caches); 48 intents total per cell\n\n");
+
+    std::printf("%8s | %21s | %21s\n", "writers",
+                "detection-only", "with merge clause");
+    std::printf("%8s | %10s %10s | %10s %10s\n", "",
+                "aborts/100", "rounds", "aborts/100", "rounds");
+
+    for (unsigned writers : {2u, 4u, 8u, 16u}) {
+        RunStats det = runWorkload(writers, false, 48);
+        RunStats mrg = runWorkload(writers, true, 48);
+        std::printf("%8u | %10.1f %10u | %10.1f %10u\n", writers,
+                    100.0 * det.aborts / det.intents, det.rounds,
+                    100.0 * mrg.aborts / mrg.intents, mrg.rounds);
+    }
+
+    std::printf("\n  expected shape: detection-only aborts grow with "
+                "contention (all but one\n  writer per round loses); "
+                "the merge clause commits every intent on first\n  "
+                "submission -- zero aborts, W-fold fewer rounds.  "
+                "This is why OceanStore\n  adopts Bayou-style "
+                "conflict resolution over plain optimistic "
+                "concurrency.\n");
+    return 0;
+}

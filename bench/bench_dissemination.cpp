@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Ablation A1 (Section 4.4.3): dissemination tree vs pure epidemic
+ * for committed-update propagation.
+ *
+ * The paper organizes secondary replicas into application-level
+ * multicast trees that push committed updates downward, with the
+ * epidemic protocol as the gap-filler.  This ablation measures, for
+ * growing secondary tiers, the time and bytes until *every* replica
+ * holds a committed update when it is (a) pushed down the tree versus
+ * (b) left to anti-entropy alone, plus (c) the invalidation-at-leaves
+ * bandwidth saving for large updates.
+ */
+
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "consistency/secondary.h"
+
+using namespace oceanstore;
+
+namespace {
+
+struct Result
+{
+    double seconds = -1.0;
+    double kilobytes = 0.0;
+};
+
+Result
+propagate(std::size_t replicas, bool tree_push, bool invalidate,
+          std::size_t update_bytes, bool anti_entropy = true)
+{
+    Simulator sim;
+    NetworkConfig ncfg;
+    ncfg.jitter = 0.05;
+    Network net(sim, ncfg);
+
+    Rng rng(0xd15e + replicas);
+    std::vector<std::pair<double, double>> pos;
+    for (std::size_t i = 0; i < replicas; i++)
+        pos.emplace_back(rng.uniform(), rng.uniform());
+
+    SecondaryConfig cfg;
+    cfg.treePush = tree_push;
+    cfg.invalidateAtLeaves = invalidate;
+    cfg.antiEntropyPeriod = 0.5;
+    SecondaryTier tier(net, pos, cfg);
+    if (anti_entropy)
+        tier.startAntiEntropy();
+
+    Guid obj = Guid::hashOf("bench-object");
+    Update u;
+    u.objectGuid = obj;
+    UpdateClause clause;
+    clause.actions.push_back(AppendBlock{Bytes(update_bytes, 0x77)});
+    u.clauses.push_back(clause);
+    u.timestamp = {1, 1};
+
+    net.resetCounters();
+    double start = sim.now();
+    tier.injectCommitted(u, 1);
+
+    Result out;
+    const double deadline = anti_entropy ? 300.0 : 30.0;
+    while (sim.now() < deadline) {
+        sim.runUntil(sim.now() + 0.25);
+        if (tier.allCommitted(obj, 1)) {
+            out.seconds = sim.now() - start;
+            break;
+        }
+    }
+    if (!anti_entropy && out.seconds < 0)
+        sim.runUntil(30.0); // fixed window for byte accounting
+    tier.stopAntiEntropy();
+    out.kilobytes = static_cast<double>(net.totalBytes()) / 1024.0;
+    return out;
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("=== A1: dissemination tree vs pure epidemic ===\n\n");
+    std::printf("time and bytes until ALL secondary replicas hold a "
+                "4 kB committed update\n(anti-entropy period 0.5 s "
+                "runs in both modes):\n\n");
+    std::printf("%10s |  %22s |  %22s\n", "replicas",
+                "tree push (Fig 5c)", "epidemic only");
+    std::printf("%10s |  %10s %10s |  %10s %10s\n", "", "seconds",
+                "kB", "seconds", "kB");
+
+    for (std::size_t n : {16u, 32u, 64u, 128u, 256u}) {
+        Result tree = propagate(n, true, false, 4096);
+        Result epi = propagate(n, false, false, 4096);
+        std::printf("%10zu |  %10.2f %10.0f |  %10.2f %10.0f\n", n,
+                    tree.seconds, tree.kilobytes, epi.seconds,
+                    epi.kilobytes);
+    }
+    std::printf("\n  expected shape: the tree delivers in "
+                "O(depth) x link latency with one copy\n  per edge; "
+                "anti-entropy alone takes many rounds and re-ships "
+                "digests, growing\n  markedly worse with tier size -- "
+                "why the paper builds dissemination trees.\n");
+
+    // --- invalidation at the leaves ------------------------------------
+    std::printf("\ninvalidation-at-leaves bandwidth (64 replicas):\n\n");
+    std::printf("%12s | %14s | %18s\n", "update size", "full push kB",
+                "invalidate-leaf kB");
+    for (std::size_t bytes : {1u << 10, 16u << 10, 64u << 10,
+                              256u << 10}) {
+        Result full = propagate(64, true, false, bytes, false);
+        Result inval = propagate(64, true, true, bytes, false);
+        std::printf("%11zuk | %14.0f | %18.0f\n", bytes >> 10,
+                    full.kilobytes, inval.kilobytes);
+    }
+    std::printf("\n  (Section 4.4.3: \"dissemination trees transform "
+                "updates into invalidations\n   ... exploited at the "
+                "leaves of the network where bandwidth is "
+                "limited\")\n");
+    return 0;
+}

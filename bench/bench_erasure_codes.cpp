@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Ablation A2 (Section 4.5, footnote 12): Reed-Solomon vs Tornado
+ * codes.
+ *
+ * "The archival mechanism of OceanStore employs erasure codes, such
+ * as interleaved Reed-Solomon codes and Tornado codes ... Tornado
+ * codes, which are faster to encode and decode, require slightly more
+ * than n fragments to reconstruct the information."
+ *
+ * google-benchmark timings for encode and worst-case decode at the
+ * paper's geometries, plus a reconstruction-overhead table showing
+ * how many fragments each family actually needs.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "erasure/reed_solomon.h"
+#include "erasure/tornado.h"
+#include "util/random.h"
+
+using namespace oceanstore;
+
+namespace {
+
+Bytes
+randomData(std::size_t n)
+{
+    Rng rng(0xbe9c);
+    Bytes b(n);
+    for (auto &x : b)
+        x = static_cast<std::uint8_t>(rng.next());
+    return b;
+}
+
+void
+BM_ReedSolomonEncode(benchmark::State &state)
+{
+    ReedSolomonCode code(16, 32);
+    Bytes data = randomData(static_cast<std::size_t>(state.range(0)));
+    for (auto _ : state) {
+        auto frags = code.encode(data);
+        benchmark::DoNotOptimize(frags);
+    }
+    state.SetBytesProcessed(
+        static_cast<std::int64_t>(state.iterations()) * state.range(0));
+}
+
+void
+BM_TornadoEncode(benchmark::State &state)
+{
+    TornadoCode code(16, 32);
+    Bytes data = randomData(static_cast<std::size_t>(state.range(0)));
+    for (auto _ : state) {
+        auto frags = code.encode(data);
+        benchmark::DoNotOptimize(frags);
+    }
+    state.SetBytesProcessed(
+        static_cast<std::int64_t>(state.iterations()) * state.range(0));
+}
+
+void
+BM_ReedSolomonDecodeWorstCase(benchmark::State &state)
+{
+    // Worst case: all data fragments lost, decode from parity alone
+    // (full matrix inversion).
+    ReedSolomonCode code(16, 32);
+    Bytes data = randomData(static_cast<std::size_t>(state.range(0)));
+    auto frags = code.encode(data);
+    std::vector<std::optional<Bytes>> slots(32);
+    for (unsigned i = 16; i < 32; i++)
+        slots[i] = frags[i];
+    for (auto _ : state) {
+        auto out = code.decode(slots, data.size());
+        benchmark::DoNotOptimize(out);
+    }
+    state.SetBytesProcessed(
+        static_cast<std::int64_t>(state.iterations()) * state.range(0));
+}
+
+void
+BM_TornadoDecode(benchmark::State &state)
+{
+    // Tornado decode from a 75% random subset (XOR peeling only).
+    TornadoCode code(16, 32);
+    Bytes data = randomData(static_cast<std::size_t>(state.range(0)));
+    auto frags = code.encode(data);
+    Rng rng(4);
+    auto keep = rng.sampleIndices(32, 24);
+    std::vector<std::optional<Bytes>> slots(32);
+    for (auto i : keep)
+        slots[i] = frags[i];
+    for (auto _ : state) {
+        auto out = code.decode(slots, data.size());
+        benchmark::DoNotOptimize(out);
+    }
+    state.SetBytesProcessed(
+        static_cast<std::int64_t>(state.iterations()) * state.range(0));
+}
+
+BENCHMARK(BM_ReedSolomonEncode)->Arg(4 << 10)->Arg(64 << 10)->Arg(1 << 20);
+BENCHMARK(BM_TornadoEncode)->Arg(4 << 10)->Arg(64 << 10)->Arg(1 << 20);
+BENCHMARK(BM_ReedSolomonDecodeWorstCase)
+    ->Arg(4 << 10)
+    ->Arg(64 << 10)
+    ->Arg(1 << 20);
+BENCHMARK(BM_TornadoDecode)->Arg(4 << 10)->Arg(64 << 10)->Arg(1 << 20);
+
+/** Fragments needed for 99% reconstruction success. */
+void
+printOverheadTable()
+{
+    std::printf("\n=== reconstruction overhead (fragments needed) "
+                "===\n\n");
+    std::printf("  %-22s %10s %18s\n", "code", "k (data)",
+                "frags for ~99% ok");
+
+    Rng rng(0x0e0e);
+    Bytes data = randomData(64 << 10);
+
+    // Reed-Solomon: any k suffice, by construction.
+    std::printf("  %-22s %10u %18s\n", "reed-solomon(16/32)", 16,
+                "16 (exactly k)");
+
+    // Tornado: find the smallest subset size with >= 99% success.
+    TornadoCode tc(16, 32);
+    auto frags = tc.encode(data);
+    for (unsigned keep = 16; keep <= 32; keep++) {
+        int ok = 0;
+        const int trials = 300;
+        for (int t = 0; t < trials; t++) {
+            auto pick = rng.sampleIndices(32, keep);
+            std::vector<std::optional<Bytes>> slots(32);
+            for (auto i : pick)
+                slots[i] = frags[i];
+            if (tc.decode(slots, data.size()).has_value())
+                ok++;
+        }
+        if (ok >= trials * 99 / 100) {
+            std::printf("  %-22s %10u %11u (%.2fx k)\n",
+                        "tornado(16/32)", 16, keep, keep / 16.0);
+            break;
+        }
+        if (keep == 32) {
+            std::printf("  %-22s %10u %18s\n", "tornado(16/32)", 16,
+                        "all 32");
+        }
+    }
+    std::printf("\n  (paper footnote 12: Tornado codes are faster but "
+                "\"require slightly more\n   than n fragments to "
+                "reconstruct the information\")\n");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    printOverheadTable();
+    return 0;
+}

@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Section 5 reproduction: extra fragment requests under drops.
+ *
+ * "Although only one half of the fragments were required to
+ * reconstruct the object, we found that issuing requests for extra
+ * fragments proved beneficial due to dropped requests."
+ *
+ * Sweep the request over-factor (requests issued = overfactor * k)
+ * against request drop rates; report mean reconstruction latency and
+ * success without escalation.  The expected shape: with no drops, the
+ * over-factor only wastes bandwidth; with drops, over-factors > 1
+ * dodge the retry timeout and cut latency sharply, with diminishing
+ * returns past ~2x.
+ */
+
+#include <cstdio>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "archive/archival.h"
+#include "erasure/reed_solomon.h"
+#include "util/stats.h"
+
+using namespace oceanstore;
+
+namespace {
+
+struct Run
+{
+    double meanLatency = 0.0;
+    double p95Latency = 0.0;
+    double successRate = 0.0;
+    double meanRequests = 0.0;
+    double meanBytes = 0.0;
+};
+
+Run
+measure(double overfactor, double drop_rate, int trials)
+{
+    Run out;
+    Accumulator lat, reqs, bytes;
+    int ok = 0;
+
+    for (int t = 0; t < trials; t++) {
+        Simulator sim;
+        NetworkConfig ncfg;
+        ncfg.jitter = 0.05;
+        ncfg.dropRate = 0.0; // dispersal must succeed
+        ncfg.seed = 0xf00d + t;
+        Network net(sim, ncfg);
+
+        Rng rng(0x5eed + t);
+        std::vector<std::pair<double, double>> pos;
+        std::vector<unsigned> domains;
+        for (int i = 0; i < 48; i++) {
+            pos.emplace_back(rng.uniform(), rng.uniform());
+            domains.push_back(i % 4);
+        }
+        ArchiveConfig acfg;
+        acfg.requestOverfactor = overfactor;
+        acfg.retryTimeout = 4.0;
+        acfg.failTimeout = 30.0;
+        ArchivalSystem sys(net, pos, domains, acfg);
+        auto client = sys.makeClient(0.5, 0.5);
+
+        ReedSolomonCode codec(16, 32);
+        Bytes data(32 << 10);
+        for (auto &x : data)
+            x = static_cast<std::uint8_t>(rng.next());
+        Guid archive = sys.disperse(codec, data, 0);
+        sim.runUntil(10.0);
+
+        // Drops apply only to the reconstruction traffic.
+        net.setDropRate(drop_rate);
+        net.resetCounters();
+        std::optional<ReconstructResult> res;
+        sys.reconstruct(*client, archive,
+                        [&](const ReconstructResult &r) { res = r; });
+        sim.runUntil(sim.now() + 60.0);
+
+        if (res && res->success) {
+            ok++;
+            lat.add(res->latency);
+            reqs.add(res->fragmentsRequested);
+            bytes.add(static_cast<double>(net.totalBytes()));
+        }
+    }
+    out.successRate = 100.0 * ok / trials;
+    out.meanLatency = lat.count() ? lat.mean() : -1;
+    out.p95Latency = lat.count() ? lat.percentile(95) : -1;
+    out.meanRequests = reqs.count() ? reqs.mean() : 0;
+    out.meanBytes = bytes.count() ? bytes.mean() : 0;
+    return out;
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("=== Section 5: requesting extra fragments under "
+                "drops ===\n\n");
+    std::printf("reed-solomon(16/32), 32 kB objects, 48 servers; "
+                "retry timeout 4 s\n\n");
+
+    const std::vector<double> overfactors = {1.0, 1.25, 1.5, 2.0};
+    const std::vector<double> drops = {0.0, 0.1, 0.2, 0.3, 0.4};
+    const int trials = 15;
+
+    std::printf("%6s |", "drop");
+    for (double of : overfactors)
+        std::printf("      over=%.2f       |", of);
+    std::printf("\n%6s |", "");
+    for (std::size_t i = 0; i < overfactors.size(); i++)
+        std::printf("  mean ms  p95 ms  ok%% |");
+    std::printf("\n");
+
+    for (double drop : drops) {
+        std::printf("%5.0f%% |", drop * 100);
+        for (double of : overfactors) {
+            Run r = measure(of, drop, trials);
+            if (r.meanLatency < 0) {
+                std::printf(" %7s %7s %4.0f |", "-", "-",
+                            r.successRate);
+            } else {
+                std::printf(" %7.0f %7.0f %4.0f |",
+                            r.meanLatency * 1e3, r.p95Latency * 1e3,
+                            r.successRate);
+            }
+        }
+        std::printf("\n");
+    }
+
+    std::printf("\nbandwidth cost of over-requesting (no drops):\n");
+    for (double of : overfactors) {
+        Run r = measure(of, 0.0, 5);
+        std::printf("  over=%.2f: %5.1f requests, %6.1f kB per "
+                    "reconstruction\n",
+                    of, r.meanRequests, r.meanBytes / 1024.0);
+    }
+
+    std::printf("\n  (paper: extra requests \"proved beneficial due "
+                "to dropped requests\" --\n   the over=1.0 column "
+                "pays the retry timeout as soon as any request "
+                "drops)\n");
+    return 0;
+}

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Section 5 reproduction: introspective prefetching under noise.
+ *
+ * "We have implemented the introspective prefetching mechanism for a
+ * local file system.  Testing showed that the method correctly
+ * captured high-order correlations, even in the presence of noise."
+ *
+ * Workload: a synthetic trace alternating between correlated file
+ * runs (fixed sequences a1..a4, b1..b4 whose successor depends on
+ * *two* previous accesses — a high-order correlation a first-order
+ * model cannot disambiguate) and uniform random noise accesses.
+ * Sweep the noise fraction, compare prediction hit rates for
+ * order-1 vs order-2 prefetchers against the no-model baseline.
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "introspect/prefetch.h"
+#include "util/random.h"
+#include "util/stats.h"
+
+using namespace oceanstore;
+
+namespace {
+
+/** The two working-set runs share the middle file "shared". */
+struct Workload
+{
+    explicit Workload(std::uint64_t seed) : rng(seed)
+    {
+        Guid shared = Guid::hashOf("shared");
+        runA = {Guid::hashOf("a1"), shared, Guid::hashOf("a3"),
+                Guid::hashOf("a4")};
+        runB = {Guid::hashOf("b1"), shared, Guid::hashOf("b3"),
+                Guid::hashOf("b4")};
+        for (int i = 0; i < 64; i++)
+            noisePool.push_back(Guid::random(rng));
+    }
+
+    /** Next access; out-param says whether it is pattern traffic. */
+    Guid
+    next(double noise_fraction, bool *is_pattern)
+    {
+        if (rng.chance(noise_fraction)) {
+            *is_pattern = false;
+            return rng.pick(noisePool);
+        }
+        *is_pattern = true;
+        const auto &run = inB ? runB : runA;
+        Guid g = run[pos];
+        if (++pos == run.size()) {
+            pos = 0;
+            inB = rng.chance(0.5);
+        }
+        return g;
+    }
+
+    Rng rng;
+    std::vector<Guid> runA, runB, noisePool;
+    std::size_t pos = 0;
+    bool inB = false;
+};
+
+/** Hit rate: fraction of pattern accesses that were predicted. */
+double
+hitRate(unsigned order, double noise, std::uint64_t seed)
+{
+    Prefetcher prefetcher(order, 2);
+    Workload workload(seed);
+
+    // Train.
+    for (int i = 0; i < 4000; i++) {
+        bool is_pattern;
+        prefetcher.onAccess(workload.next(noise, &is_pattern));
+    }
+    // Evaluate.
+    unsigned hits = 0, total = 0;
+    for (int i = 0; i < 2000; i++) {
+        bool is_pattern;
+        Guid g = workload.next(noise, &is_pattern);
+        if (is_pattern) {
+            total++;
+            if (prefetcher.wouldHaveHit(g))
+                hits++;
+        }
+        prefetcher.onAccess(g);
+    }
+    return total ? 100.0 * hits / total : 0.0;
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("=== Section 5: prefetching captures high-order "
+                "correlations under noise ===\n\n");
+    std::printf("two interleaved 4-file runs sharing a middle file "
+                "(successor depends on 2-deep\ncontext), plus uniform "
+                "noise accesses; prediction breadth 2\n\n");
+
+    std::printf("%8s %12s %12s %12s\n", "noise", "order-1 hit",
+                "order-2 hit", "baseline");
+    for (double noise : {0.0, 0.1, 0.2, 0.4, 0.6, 0.8}) {
+        Accumulator o1, o2;
+        for (std::uint64_t seed = 1; seed <= 5; seed++) {
+            o1.add(hitRate(1, noise, seed));
+            o2.add(hitRate(2, noise, seed));
+        }
+        // Baseline: guessing 2 of the 7 working-set+noise objects.
+        double baseline = 100.0 * 2.0 / (7.0 + 64.0 * noise);
+        std::printf("%7.0f%% %11.1f%% %11.1f%% %11.1f%%\n",
+                    noise * 100, o1.mean(), o2.mean(), baseline);
+    }
+
+    std::printf("\n  expected shape: at low noise order-2 beats "
+                "order-1 (the shared-file successor\n  is only "
+                "predictable from two-deep context); under heavy "
+                "noise long contexts get\n  polluted and the model "
+                "leans on its shorter-context fallback.  Both stay "
+                "far\n  above baseline across the sweep -- the "
+                "Section 5 claim of capturing high-order\n  "
+                "correlations \"even in the presence of noise\".\n");
+    return 0;
+}

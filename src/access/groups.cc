@@ -1,0 +1,52 @@
+#include "access/groups.h"
+
+namespace oceanstore {
+
+WorkingGroup::WorkingGroup(std::string name, const KeyPair &admin)
+    : name_(std::move(name)), admin_(admin)
+{
+}
+
+bool
+WorkingGroup::admit(const KeyPair &by, const Bytes &member_pub)
+{
+    if (by.publicKey != admin_.publicKey ||
+        by.privateKey != admin_.privateKey) {
+        return false; // only the admin mutates the roster
+    }
+    if (!members_.insert(member_pub).second)
+        return false; // already a member
+    epoch_++;
+    return true;
+}
+
+bool
+WorkingGroup::expel(const KeyPair &by, const Bytes &member_pub)
+{
+    if (by.publicKey != admin_.publicKey ||
+        by.privateKey != admin_.privateKey) {
+        return false;
+    }
+    if (members_.erase(member_pub) == 0)
+        return false;
+    epoch_++;
+    return true;
+}
+
+bool
+WorkingGroup::isMember(const Bytes &member_pub) const
+{
+    return members_.count(member_pub) > 0;
+}
+
+Acl
+WorkingGroup::materializeAcl(const Acl &base,
+                             std::uint8_t privileges) const
+{
+    Acl acl = base;
+    for (const Bytes &member : members_)
+        acl.grant(member, privileges);
+    return acl;
+}
+
+} // namespace oceanstore

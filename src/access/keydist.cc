@@ -1,0 +1,95 @@
+#include "access/keydist.h"
+
+#include "util/logging.h"
+
+namespace oceanstore {
+
+KeyDistributor::KeyDistributor(std::uint64_t seed)
+    : rng_(seed)
+{
+}
+
+Bytes
+KeyDistributor::freshKey()
+{
+    Bytes key(20);
+    for (std::size_t i = 0; i < key.size(); i += 8) {
+        std::uint64_t v = rng_.next();
+        for (std::size_t j = 0; j < 8 && i + j < key.size(); j++)
+            key[i + j] = static_cast<std::uint8_t>(v >> (8 * j));
+    }
+    return key;
+}
+
+void
+KeyDistributor::createKey(const Guid &object)
+{
+    ObjectKeys &ok = keys_[object];
+    ok.key = freshKey();
+    ok.epoch = 1;
+}
+
+void
+KeyDistributor::authorize(const Guid &object, const Guid &reader)
+{
+    auto it = keys_.find(object);
+    if (it == keys_.end())
+        fatal("KeyDistributor::authorize: no key for object");
+    it->second.readers.insert(reader);
+}
+
+void
+KeyDistributor::revoke(const Guid &object, const Guid &reader)
+{
+    auto it = keys_.find(object);
+    if (it == keys_.end())
+        return;
+    it->second.readers.erase(reader);
+    // Rotate: remaining readers get the new key on next fetch; old
+    // replicas must be re-encrypted.
+    it->second.key = freshKey();
+    it->second.epoch++;
+}
+
+std::optional<Bytes>
+KeyDistributor::fetchKey(const Guid &object, const Guid &reader) const
+{
+    auto it = keys_.find(object);
+    if (it == keys_.end() || !it->second.readers.count(reader))
+        return std::nullopt;
+    return it->second.key;
+}
+
+std::uint64_t
+KeyDistributor::epoch(const Guid &object) const
+{
+    auto it = keys_.find(object);
+    return it == keys_.end() ? 0 : it->second.epoch;
+}
+
+const Bytes &
+KeyDistributor::currentKey(const Guid &object) const
+{
+    auto it = keys_.find(object);
+    if (it == keys_.end())
+        fatal("KeyDistributor::currentKey: no key for object");
+    return it->second.key;
+}
+
+std::vector<Bytes>
+KeyDistributor::reencryptBlocks(const std::vector<Bytes> &old_ciphertext,
+                                const Bytes &old_key,
+                                const Guid &object) const
+{
+    BlockCipher oldc(old_key);
+    BlockCipher newc(currentKey(object));
+    std::vector<Bytes> out;
+    out.reserve(old_ciphertext.size());
+    for (std::size_t i = 0; i < old_ciphertext.size(); i++) {
+        Bytes plain = oldc.decrypt(i, old_ciphertext[i]);
+        out.push_back(newc.encrypt(i, plain));
+    }
+    return out;
+}
+
+} // namespace oceanstore

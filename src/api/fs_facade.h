@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Unix file-system facade (Section 4.6).
+ *
+ * "OceanStore provides a number of legacy facades that implement
+ * common APIs, including a Unix file system ... They permit users to
+ * access legacy documents while enjoying the ubiquitous and secure
+ * access, durability, and performance advantages of OceanStore."
+ *
+ * Directories are ordinary OceanStore objects holding serialized
+ * Directory payloads (Section 4.1); files are objects of encrypted
+ * blocks.  Unlink removes the name binding only — object versions are
+ * permanent in OceanStore, so the data remains addressable by GUID.
+ */
+
+#ifndef OCEANSTORE_API_FS_FACADE_H
+#define OCEANSTORE_API_FS_FACADE_H
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "api/session.h"
+#include "naming/directory.h"
+
+namespace oceanstore {
+
+/** POSIX-flavoured view of a user's OceanStore namespace. */
+class FileSystemFacade
+{
+  public:
+    /**
+     * Mount a namespace: creates (or re-derives) the root directory
+     * object for @p user under @p root_name.
+     *
+     * @param universe    the system
+     * @param user        owner key pair; all objects are minted and
+     *                    signed with it
+     * @param root_name   the root directory's self-certifying name
+     * @param home_server server index reads start from
+     */
+    FileSystemFacade(Universe &universe, const KeyPair &user,
+                     const std::string &root_name,
+                     std::size_t home_server = 0);
+
+    /** Create a directory ("a/b" requires "a" to exist). */
+    bool mkdir(const std::string &path);
+
+    /** Create or overwrite a file with @p data. */
+    bool writeFile(const std::string &path, const Bytes &data);
+
+    /** Read and decrypt a file. */
+    std::optional<Bytes> readFile(const std::string &path);
+
+    /** Names bound in a directory ("" = root). */
+    std::optional<std::vector<std::string>> list(const std::string &path);
+
+    /** Remove a name binding (file or empty directory). */
+    bool unlink(const std::string &path);
+
+    /** True when @p path resolves. */
+    bool exists(const std::string &path);
+
+    /** GUID a path resolves to (for direct OceanStore access). */
+    std::optional<Guid> guidOf(const std::string &path);
+
+    /** The session carrying this facade's guarantees. */
+    Session &session() { return session_; }
+
+  private:
+    struct Resolved
+    {
+        Guid guid;
+        EntryKind kind = EntryKind::Object;
+    };
+
+    /** Handle for an object minted under this namespace. */
+    ObjectHandle handleFor(const std::string &full_name) const;
+
+    /** Read + parse a directory object. */
+    std::optional<Directory> loadDirectory(const Guid &dir_guid);
+
+    /** Full-content read-modify-write of one object. */
+    bool storeWholeObject(const ObjectHandle &handle, const Bytes &data);
+
+    /** Walk the path; returns the final component's binding. */
+    std::optional<Resolved> resolve(const std::string &path,
+                                    bool want_parent,
+                                    std::string *leaf_name);
+
+    /** Object name (for GUID minting) of a path. */
+    std::string fullName(const std::string &path) const;
+
+    Universe &universe_;
+    KeyPair user_;
+    std::string rootName_;
+    Session session_;
+    Guid rootGuid_;
+    /** GUID -> handle, for decrypting located objects. */
+    std::map<Guid, ObjectHandle> handles_;
+};
+
+} // namespace oceanstore
+
+#endif // OCEANSTORE_API_FS_FACADE_H

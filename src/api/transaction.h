@@ -1,0 +1,81 @@
+/**
+ * @file
+ * The transactional facade (Sections 4.4.1 and 4.6).
+ *
+ * "The model can be used to provide ACID semantics: the first
+ * predicate is made to check the read set of a transaction, the
+ * corresponding action applies the write set, and there are no other
+ * predicate-action pairs."  The facade "simplif[ies] the application
+ * writer's job by ensuring proper session guarantees, reusing
+ * standard update templates, and automatically computing read sets
+ * and write sets for each update."
+ */
+
+#ifndef OCEANSTORE_API_TRANSACTION_H
+#define OCEANSTORE_API_TRANSACTION_H
+
+#include <map>
+#include <optional>
+
+#include "api/session.h"
+
+namespace oceanstore {
+
+/** Outcome of a transaction commit. */
+struct TxResult
+{
+    bool committed = false; //!< Read set held; write set applied.
+    VersionNum version = 0;
+    double latency = 0.0;
+};
+
+/**
+ * An optimistic single-object transaction: reads record the version
+ * observed (the read set); writes buffer a full-content replacement
+ * (the write set); commit issues one update whose predicate checks
+ * the read set and whose actions apply the write set atomically.
+ * A concurrent committed update aborts the transaction (detected by
+ * the version predicate), as in optimistic concurrency control —
+ * with conflict-resolution clauses available for smarter merges.
+ */
+class Transaction
+{
+  public:
+    /**
+     * @param session the session providing guarantees and timestamps
+     * @param handle  capability bundle for the object
+     */
+    Transaction(Session &session, const ObjectHandle &handle);
+
+    /**
+     * Transactional read: fetches, decrypts and records the version
+     * in the read set.  Returns nullopt when the object cannot be
+     * located.
+     */
+    std::optional<Bytes> read();
+
+    /** Buffer a full-content replacement (the write set). */
+    void write(const Bytes &new_content);
+
+    /**
+     * Commit: one update, predicate = read-set version check, actions
+     * = write set.  Aborts (committed=false) if another writer got
+     * there first.
+     */
+    TxResult commit();
+
+    /** Version recorded by read() (0 if not yet read). */
+    VersionNum readVersion() const { return readVersion_; }
+
+  private:
+    Session &session_;
+    const ObjectHandle &handle_;
+    VersionNum readVersion_ = 0;
+    std::size_t blocksAtRead_ = 0;
+    bool didRead_ = false;
+    std::optional<Bytes> pendingWrite_;
+};
+
+} // namespace oceanstore
+
+#endif // OCEANSTORE_API_TRANSACTION_H

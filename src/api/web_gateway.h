@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Read-only World Wide Web gateway (Sections 4.6 and 5).
+ *
+ * "OceanStore provides a number of legacy facades that implement
+ * common APIs, including ... a gateway to the World Wide Web", and
+ * the initial prototype exposes "a read-only proxy for the World Wide
+ * Web".  Site owners publish pages into OceanStore; the gateway maps
+ * URLs to object GUIDs and serves GETs out of a validating cache:
+ * a cached body is served only after a cheap version check against
+ * the located replica, so clients always observe committed content.
+ *
+ * Web content is "completely public" in the paper's taxonomy, so
+ * publishers hand the gateway the read capability (the ObjectHandle)
+ * at publish time; the gateway never gains write access — it is a
+ * read-only proxy by construction.
+ */
+
+#ifndef OCEANSTORE_API_WEB_GATEWAY_H
+#define OCEANSTORE_API_WEB_GATEWAY_H
+
+#include <map>
+#include <optional>
+#include <string>
+
+#include "core/universe.h"
+
+namespace oceanstore {
+
+/** An HTTP-ish response from the gateway. */
+struct WebResponse
+{
+    int status = 404;       //!< 200, 404, or 503 (located but stale).
+    Bytes body;             //!< Decrypted page content.
+    VersionNum version = 0; //!< Object version served.
+    bool fromCache = false; //!< Body served from the gateway cache.
+    double latency = 0.0;   //!< Modeled location + fetch latency.
+};
+
+/** The legacy web facade. */
+class WebGateway
+{
+  public:
+    /**
+     * @param universe    the system
+     * @param home_server server index the gateway's reads start from
+     */
+    WebGateway(Universe &universe, std::size_t home_server);
+
+    /**
+     * Publish (or update) a page.  The owner signs the update; the
+     * gateway receives the read capability so it can serve the page.
+     * @return false when the committed write failed.
+     */
+    bool publish(const KeyPair &owner, const std::string &url,
+                 const Bytes &body);
+
+    /** Serve a GET.  Read-only: there is no PUT. */
+    WebResponse get(const std::string &url);
+
+    /** Number of URLs registered. */
+    std::size_t siteCount() const { return sites_.size(); }
+
+    /** Cache statistics: (hits, misses). */
+    std::pair<std::uint64_t, std::uint64_t> cacheStats() const
+    {
+        return {cacheHits_, cacheMisses_};
+    }
+
+    /** Drop the gateway cache (e.g. on memory pressure). */
+    void clearCache() { cache_.clear(); }
+
+  private:
+    struct Site
+    {
+        ObjectHandle handle;
+        VersionNum publishedVersion = 0;
+    };
+
+    struct CacheEntry
+    {
+        VersionNum version = 0;
+        Bytes body;
+    };
+
+    Universe &universe_;
+    std::size_t homeServer_;
+    std::uint64_t tsCounter_ = 0;
+    std::map<std::string, Site> sites_;
+    std::map<std::string, CacheEntry> cache_;
+    std::uint64_t cacheHits_ = 0;
+    std::uint64_t cacheMisses_ = 0;
+};
+
+} // namespace oceanstore
+
+#endif // OCEANSTORE_API_WEB_GATEWAY_H

@@ -1,0 +1,439 @@
+#include "archive/archival.h"
+
+#include <algorithm>
+#include <functional>
+#include <memory>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace oceanstore {
+
+namespace {
+
+struct StoreBody
+{
+    Fragment fragment;
+};
+
+struct RequestBody
+{
+    Guid archive;
+    std::uint32_t index = 0;
+    std::uint64_t ticket = 0;
+};
+
+struct FragmentBody
+{
+    Fragment fragment;
+    std::uint64_t ticket = 0;
+};
+
+} // namespace
+
+// ---------------------------------------------------------------------
+// ArchivalServer
+// ---------------------------------------------------------------------
+
+ArchivalServer::ArchivalServer(ArchivalSystem &sys, std::size_t index)
+    : sys_(sys), index_(index)
+{
+}
+
+bool
+ArchivalServer::holds(const Guid &archive, std::uint32_t index) const
+{
+    return store_.count({archive, index}) > 0;
+}
+
+void
+ArchivalServer::handleMessage(const Message &msg)
+{
+    if (msg.type == "arch.store") {
+        const auto &body = messageBody<StoreBody>(msg);
+        // Fragments are self-verifying; never store garbage.
+        if (!body.fragment.verify())
+            return;
+        store_[{body.fragment.archiveGuid, body.fragment.index}] =
+            body.fragment;
+    } else if (msg.type == "arch.request") {
+        const auto &body = messageBody<RequestBody>(msg);
+        auto it = store_.find({body.archive, body.index});
+        if (it == store_.end())
+            return;
+        FragmentBody reply{it->second, body.ticket};
+        sys_.net().send(nodeId_, msg.src,
+                        makeMessage("arch.fragment", reply,
+                                    it->second.wireSize() + 8));
+    }
+}
+
+// ---------------------------------------------------------------------
+// ArchivalClient
+// ---------------------------------------------------------------------
+
+ArchivalClient::ArchivalClient(ArchivalSystem &sys)
+    : sys_(sys)
+{
+}
+
+void
+ArchivalClient::handleMessage(const Message &msg)
+{
+    if (msg.type != "arch.fragment")
+        return;
+    const auto &body = messageBody<FragmentBody>(msg);
+    auto it = pending_.find(body.ticket);
+    if (it == pending_.end() || it->second.done)
+        return;
+    PendingReconstruction &pr = it->second;
+
+    const Fragment &f = body.fragment;
+    if (f.archiveGuid != pr.archive || !f.verify())
+        return; // wrong or corrupted fragment: discard
+    if (f.index >= pr.haveIndex.size() || pr.haveIndex[f.index])
+        return;
+    pr.haveIndex[f.index] = true;
+    pr.received.push_back(f);
+    maybeFinish(body.ticket);
+}
+
+void
+ArchivalClient::maybeFinish(std::uint64_t ticket)
+{
+    PendingReconstruction &pr = pending_[ticket];
+    if (pr.done || pr.received.size() < pr.codec->dataFragments())
+        return;
+
+    auto data = reassembleObject(*pr.codec, pr.archive, pr.originalSize,
+                                 pr.received);
+    // With k verified fragments decode can only fail for Tornado-
+    // style codecs (footnote 12): keep collecting in that case.
+    if (!data.has_value())
+        return;
+
+    pr.done = true;
+    ReconstructResult res;
+    res.success = true;
+    res.data = std::move(*data);
+    res.latency = sys_.net().sim().now() - pr.startTime;
+    res.fragmentsRequested = pr.requested;
+    res.fragmentsReceived = static_cast<unsigned>(pr.received.size());
+    if (pr.callback)
+        pr.callback(res);
+}
+
+// ---------------------------------------------------------------------
+// ArchivalSystem
+// ---------------------------------------------------------------------
+
+ArchivalSystem::ArchivalSystem(
+    Network &net,
+    const std::vector<std::pair<double, double>> &positions,
+    const std::vector<unsigned> &domains, ArchiveConfig cfg)
+    : net_(net), cfg_(cfg)
+{
+    if (positions.size() != domains.size())
+        fatal("ArchivalSystem: positions/domains size mismatch");
+    servers_.reserve(positions.size());
+    for (std::size_t i = 0; i < positions.size(); i++) {
+        auto srv = std::make_unique<ArchivalServer>(*this, i);
+        srv->nodeId_ = net_.addNode(srv.get(), positions[i].first,
+                                    positions[i].second);
+        srv->domain_ = domains[i];
+        servers_.push_back(std::move(srv));
+    }
+}
+
+void
+ArchivalSystem::setDomainReliability(unsigned domain, double reliability)
+{
+    domainReliability_[domain] = reliability;
+    for (auto &srv : servers_) {
+        if (srv->domain_ == domain)
+            srv->reliability_ = reliability;
+    }
+}
+
+std::unique_ptr<ArchivalClient>
+ArchivalSystem::makeClient(double x, double y)
+{
+    auto client = std::make_unique<ArchivalClient>(*this);
+    client->nodeId_ = net_.addNode(client.get(), x, y);
+    return client;
+}
+
+std::vector<std::size_t>
+ArchivalSystem::chooseTargets(unsigned count, std::size_t exclude) const
+{
+    // Group up servers by domain, domains ordered by reliability
+    // descending; round-robin across domains so that the loss of any
+    // one domain takes out at most ceil(count / #domains) fragments.
+    std::map<unsigned, std::vector<std::size_t>> by_domain;
+    for (std::size_t i = 0; i < servers_.size(); i++) {
+        if (i == exclude || !net_.isUp(servers_[i]->nodeId()))
+            continue;
+        by_domain[servers_[i]->domain_].push_back(i);
+    }
+
+    std::vector<unsigned> domain_order;
+    for (const auto &[d, members] : by_domain)
+        domain_order.push_back(d);
+    std::stable_sort(domain_order.begin(), domain_order.end(),
+                     [&](unsigned a, unsigned b) {
+                         auto ra = domainReliability_.count(a)
+                                       ? domainReliability_.at(a)
+                                       : 1.0;
+                         auto rb = domainReliability_.count(b)
+                                       ? domainReliability_.at(b)
+                                       : 1.0;
+                         return ra > rb;
+                     });
+
+    std::vector<std::size_t> targets;
+    std::map<unsigned, std::size_t> cursor;
+    while (targets.size() < count) {
+        bool placed = false;
+        for (unsigned d : domain_order) {
+            if (targets.size() >= count)
+                break;
+            auto &members = by_domain[d];
+            auto &cur = cursor[d];
+            if (cur < members.size()) {
+                targets.push_back(members[cur++]);
+                placed = true;
+            }
+        }
+        if (!placed)
+            fatal("ArchivalSystem: not enough up servers for dispersal");
+    }
+    return targets;
+}
+
+Guid
+ArchivalSystem::disperse(const ErasureCodec &codec, const Bytes &data,
+                         std::size_t source)
+{
+    FragmentSet set = fragmentObject(codec, data);
+    auto targets = chooseTargets(codec.totalFragments(), source);
+
+    Placement placement;
+    placement.codec = &codec;
+    placement.originalSize = set.originalSize;
+    placement.holders.resize(set.fragments.size());
+
+    NodeId src_node = servers_[source]->nodeId();
+    for (std::size_t i = 0; i < set.fragments.size(); i++) {
+        placement.holders[i] = targets[i];
+        StoreBody body{set.fragments[i]};
+        net_.send(src_node, servers_[targets[i]]->nodeId(),
+                  makeMessage("arch.store", body,
+                              set.fragments[i].wireSize()));
+    }
+    placements_[set.archiveGuid] = std::move(placement);
+    return set.archiveGuid;
+}
+
+void
+ArchivalSystem::reconstruct(
+    ArchivalClient &client, const Guid &archive,
+    std::function<void(const ReconstructResult &)> done)
+{
+    auto pit = placements_.find(archive);
+    if (pit == placements_.end()) {
+        ReconstructResult res;
+        if (done)
+            done(res);
+        return;
+    }
+    const Placement &placement = pit->second;
+    unsigned k = placement.codec->dataFragments();
+    unsigned first_wave = static_cast<unsigned>(
+        std::ceil(cfg_.requestOverfactor * static_cast<double>(k)));
+    first_wave = std::min<unsigned>(
+        first_wave, static_cast<unsigned>(placement.holders.size()));
+
+    std::uint64_t ticket = client.nextTicket_++;
+    auto &pr = client.pending_[ticket];
+    pr.archive = archive;
+    pr.codec = placement.codec;
+    pr.originalSize = placement.originalSize;
+    pr.startTime = net_.sim().now();
+    pr.haveIndex.assign(placement.codec->totalFragments(), false);
+    pr.callback = std::move(done);
+
+    // Order fragment holders by proximity ("closer fragments tend to
+    // be discovered first" — the location tree's search order).
+    std::vector<std::uint32_t> order(placement.holders.size());
+    for (std::uint32_t i = 0; i < order.size(); i++)
+        order[i] = i;
+    std::sort(order.begin(), order.end(),
+              [&](std::uint32_t a, std::uint32_t b) {
+                  double la = net_.latency(
+                      client.nodeId(),
+                      servers_[placement.holders[a]]->nodeId());
+                  double lb = net_.latency(
+                      client.nodeId(),
+                      servers_[placement.holders[b]]->nodeId());
+                  if (la != lb)
+                      return la < lb;
+                  return a < b;
+              });
+
+    auto request_one = [this, &client, archive,
+                        ticket](std::uint32_t frag_index,
+                                std::size_t holder) {
+        RequestBody body{archive, frag_index, ticket};
+        net_.send(client.nodeId(), servers_[holder]->nodeId(),
+                  makeMessage("arch.request", body,
+                              Guid::numBytes + 12));
+    };
+
+    for (unsigned i = 0; i < first_wave; i++) {
+        request_one(order[i], placement.holders[order[i]]);
+        pr.requested++;
+    }
+    for (unsigned i = first_wave; i < order.size(); i++)
+        pr.remainingHolders.push_back(
+            static_cast<NodeId>(order[i])); // fragment indices, reused
+
+    // Escalation: every retry period, re-request every fragment not
+    // yet received (requests or replies may have been dropped), until
+    // the reconstruction finishes or the hard timeout fires.
+    double give_up_at = net_.sim().now() + cfg_.failTimeout;
+    auto escalate = std::make_shared<std::function<void()>>();
+    *escalate = [this, &client, archive, ticket, request_one,
+                 give_up_at, escalate]() {
+        auto it = client.pending_.find(ticket);
+        if (it == client.pending_.end() || it->second.done)
+            return;
+        auto pit2 = placements_.find(archive);
+        if (pit2 == placements_.end())
+            return;
+        it->second.remainingHolders.clear();
+        for (std::uint32_t idx = 0;
+             idx < pit2->second.holders.size(); idx++) {
+            if (it->second.haveIndex[idx])
+                continue;
+            request_one(idx, pit2->second.holders[idx]);
+            it->second.requested++;
+        }
+        if (net_.sim().now() + cfg_.retryTimeout < give_up_at)
+            net_.sim().schedule(cfg_.retryTimeout, *escalate);
+    };
+    net_.sim().schedule(cfg_.retryTimeout, *escalate);
+
+    // Failure: give up after the hard timeout.
+    net_.sim().schedule(cfg_.failTimeout, [this, &client, ticket]() {
+        auto it = client.pending_.find(ticket);
+        if (it == client.pending_.end() || it->second.done)
+            return;
+        it->second.done = true;
+        ReconstructResult res;
+        res.latency = net_.sim().now() - it->second.startTime;
+        res.fragmentsRequested = it->second.requested;
+        res.fragmentsReceived =
+            static_cast<unsigned>(it->second.received.size());
+        if (it->second.callback)
+            it->second.callback(res);
+    });
+}
+
+unsigned
+ArchivalSystem::survivingFragments(const Guid &archive) const
+{
+    auto it = placements_.find(archive);
+    if (it == placements_.end())
+        return 0;
+    unsigned alive = 0;
+    const Placement &p = it->second;
+    for (std::size_t i = 0; i < p.holders.size(); i++) {
+        const auto &srv = servers_[p.holders[i]];
+        if (net_.isUp(srv->nodeId()) &&
+            srv->holds(archive, static_cast<std::uint32_t>(i))) {
+            alive++;
+        }
+    }
+    return alive;
+}
+
+unsigned
+ArchivalSystem::repairSweep()
+{
+    unsigned repaired = 0;
+    for (auto &[archive, placement] : placements_) {
+        unsigned k = placement.codec->dataFragments();
+        unsigned threshold = cfg_.repairThreshold
+                                 ? cfg_.repairThreshold
+                                 : k + k / 2;
+        unsigned alive = survivingFragments(archive);
+        if (alive >= threshold || alive < k)
+            continue; // healthy, or beyond repair
+
+        // Gather surviving fragments (a maintenance process with
+        // direct access to server state, per Section 4.5's background
+        // sweep) and decode.
+        std::vector<Fragment> have;
+        for (std::size_t i = 0; i < placement.holders.size(); i++) {
+            const auto &srv = servers_[placement.holders[i]];
+            if (!net_.isUp(srv->nodeId()))
+                continue;
+            auto fit = srv->store_.find(
+                {archive, static_cast<std::uint32_t>(i)});
+            if (fit != srv->store_.end())
+                have.push_back(fit->second);
+        }
+        auto data = reassembleObject(*placement.codec, archive,
+                                     placement.originalSize, have);
+        if (!data.has_value())
+            continue;
+
+        // Re-encode and re-disperse the missing fragment indices to
+        // fresh up servers.
+        FragmentSet set = fragmentObject(*placement.codec, *data);
+        for (std::size_t i = 0; i < placement.holders.size(); i++) {
+            const auto &srv = servers_[placement.holders[i]];
+            bool lost = !net_.isUp(srv->nodeId()) ||
+                        !srv->holds(archive,
+                                    static_cast<std::uint32_t>(i));
+            if (!lost)
+                continue;
+            auto targets = chooseTargets(1, placement.holders[i]);
+            placement.holders[i] = targets[0];
+            servers_[targets[0]]->store_[{archive,
+                                          static_cast<std::uint32_t>(i)}] =
+                set.fragments[i];
+        }
+        repaired++;
+    }
+    return repaired;
+}
+
+bool
+ArchivalSystem::forget(const Guid &archive)
+{
+    auto it = placements_.find(archive);
+    if (it == placements_.end())
+        return false;
+    // Maintenance-plane deletion: the sweep process has authority
+    // over placement state, so fragments are dropped directly rather
+    // than via simulated messages (consistent with repairSweep).
+    for (std::size_t i = 0; i < it->second.holders.size(); i++) {
+        servers_[it->second.holders[i]]->store_.erase(
+            {archive, static_cast<std::uint32_t>(i)});
+    }
+    placements_.erase(it);
+    return true;
+}
+
+std::vector<Guid>
+ArchivalSystem::archives() const
+{
+    std::vector<Guid> out;
+    out.reserve(placements_.size());
+    for (const auto &[g, p] : placements_)
+        out.push_back(g);
+    return out;
+}
+
+} // namespace oceanstore

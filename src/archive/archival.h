@@ -1,0 +1,229 @@
+/**
+ * @file
+ * Deep archival storage (Section 4.5).
+ *
+ * Archival versions of objects are erasure-coded and the fragments
+ * spread over many servers; any sufficiently large subset
+ * reconstructs the data.  This module implements the full pipeline:
+ *
+ *  - dispersal: fragments placed across *administrative domains*,
+ *    ranked by reliability, avoiding locations with high correlated
+ *    failure probability;
+ *  - reconstruction: "we can make use of excess capacity to insulate
+ *    ourselves from slow servers by requesting more fragments than we
+ *    absolutely need" — the request over-factor of the Section 5
+ *    finding that extra requests pay off under drops;
+ *  - repair: background sweeps that count surviving fragments and
+ *    restore redundancy when servers are permanently lost.
+ */
+
+#ifndef OCEANSTORE_ARCHIVE_ARCHIVAL_H
+#define OCEANSTORE_ARCHIVE_ARCHIVAL_H
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "erasure/fragment.h"
+#include "sim/network.h"
+
+namespace oceanstore {
+
+/** Tunables for the archival subsystem. */
+struct ArchiveConfig
+{
+    /**
+     * Fragments requested = ceil(overfactor * k); values > 1 trade
+     * bandwidth for latency under request drops (Section 5).
+     */
+    double requestOverfactor = 1.5;
+    /** Seconds before a reconstruction escalates to all holders. */
+    double retryTimeout = 2.0;
+    /** Seconds before a reconstruction gives up entirely. */
+    double failTimeout = 10.0;
+    /** Surviving-fragment floor that triggers repair. */
+    unsigned repairThreshold = 0; //!< 0 = 1.5 * k (default).
+};
+
+/** One storage server's archival state. */
+class ArchivalServer : public SimNode
+{
+  public:
+    ArchivalServer(class ArchivalSystem &sys, std::size_t index);
+
+    void handleMessage(const Message &msg) override;
+
+    /** Network id. */
+    NodeId nodeId() const { return nodeId_; }
+
+    /** Administrative domain this server belongs to. */
+    unsigned domain() const { return domain_; }
+
+    /** Number of fragments held. */
+    std::size_t fragmentCount() const { return store_.size(); }
+
+    /** True when a fragment of @p archive at @p index is held here. */
+    bool holds(const Guid &archive, std::uint32_t index) const;
+
+  private:
+    friend class ArchivalSystem;
+
+    class ArchivalSystem &sys_;
+    std::size_t index_;
+    NodeId nodeId_ = invalidNode;
+    unsigned domain_ = 0;
+    double reliability_ = 1.0;
+    /** (archive GUID, fragment index) -> fragment. */
+    std::map<std::pair<Guid, std::uint32_t>, Fragment> store_;
+};
+
+/** Outcome of a reconstruction attempt. */
+struct ReconstructResult
+{
+    bool success = false;
+    Bytes data;
+    double latency = 0.0;          //!< Request to decode time.
+    unsigned fragmentsRequested = 0;
+    unsigned fragmentsReceived = 0;
+};
+
+/** A client endpoint that can drive reconstructions. */
+class ArchivalClient : public SimNode
+{
+  public:
+    explicit ArchivalClient(class ArchivalSystem &sys);
+
+    void handleMessage(const Message &msg) override;
+
+    /** Network id. */
+    NodeId nodeId() const { return nodeId_; }
+
+  private:
+    friend class ArchivalSystem;
+
+    struct PendingReconstruction
+    {
+        Guid archive;
+        const ErasureCodec *codec = nullptr;
+        std::size_t originalSize = 0;
+        double startTime = 0.0;
+        std::vector<Fragment> received;
+        std::vector<bool> haveIndex;
+        std::vector<NodeId> remainingHolders;
+        unsigned requested = 0;
+        bool done = false;
+        std::function<void(const ReconstructResult &)> callback;
+    };
+
+    void maybeFinish(std::uint64_t ticket);
+
+    class ArchivalSystem &sys_;
+    NodeId nodeId_ = invalidNode;
+    std::uint64_t nextTicket_ = 1;
+    std::unordered_map<std::uint64_t, PendingReconstruction> pending_;
+};
+
+/**
+ * The archival subsystem: servers, placement metadata, dispersal,
+ * reconstruction and repair sweeps.
+ */
+class ArchivalSystem
+{
+  public:
+    /**
+     * @param net       network to register servers on
+     * @param positions one (x, y) per server
+     * @param domains   administrative domain of each server
+     * @param cfg       tunables
+     */
+    ArchivalSystem(Network &net,
+                   const std::vector<std::pair<double, double>> &positions,
+                   const std::vector<unsigned> &domains,
+                   ArchiveConfig cfg = {});
+
+    /** Number of archival servers. */
+    std::size_t size() const { return servers_.size(); }
+
+    /** Server accessor. */
+    ArchivalServer &server(std::size_t i) { return *servers_[i]; }
+
+    /** Set a domain's reliability rank in [0, 1] (default 1). */
+    void setDomainReliability(unsigned domain, double reliability);
+
+    /** Create and register a reconstruction client at (x, y). */
+    std::unique_ptr<ArchivalClient> makeClient(double x, double y);
+
+    /**
+     * Fragment @p data with @p codec and disperse the fragments:
+     * round-robin across domains in decreasing reliability order so
+     * no domain holds a correlated-failure-critical share.
+     * @param source server index originating the store messages
+     * @return the archival object's GUID
+     */
+    Guid disperse(const ErasureCodec &codec, const Bytes &data,
+                  std::size_t source);
+
+    /**
+     * Reconstruct an archival object via @p client: requests
+     * ceil(overfactor * k) fragments from the nearest holders,
+     * escalating to every holder after retryTimeout.
+     */
+    void reconstruct(ArchivalClient &client, const Guid &archive,
+                     std::function<void(const ReconstructResult &)> done);
+
+    /** Count fragments of @p archive on currently-up servers. */
+    unsigned survivingFragments(const Guid &archive) const;
+
+    /**
+     * Repair sweep (one pass): for every archive whose surviving
+     * fragment count dropped below the threshold, reconstruct it
+     * locally and re-disperse the missing fragments to fresh up
+     * servers.  @return number of archives repaired.
+     */
+    unsigned repairSweep();
+
+    /** Archive GUIDs known to the placement directory. */
+    std::vector<Guid> archives() const;
+
+    /**
+     * Retire an archival version: drop its placement record and
+     * instruct every holder to delete its fragment (run by the
+     * responsible party when a retention policy retires a version).
+     * @return true if the archive was known.
+     */
+    bool forget(const Guid &archive);
+
+    /** The network. */
+    Network &net() { return net_; }
+
+    /** Configuration. */
+    const ArchiveConfig &config() const { return cfg_; }
+
+  private:
+    friend class ArchivalServer;
+    friend class ArchivalClient;
+
+    struct Placement
+    {
+        const ErasureCodec *codec = nullptr;
+        std::size_t originalSize = 0;
+        /** fragment index -> server index. */
+        std::vector<std::size_t> holders;
+    };
+
+    /** Pick dispersal targets for @p count fragments. */
+    std::vector<std::size_t> chooseTargets(unsigned count,
+                                           std::size_t exclude) const;
+
+    Network &net_;
+    ArchiveConfig cfg_;
+    std::vector<std::unique_ptr<ArchivalServer>> servers_;
+    std::map<unsigned, double> domainReliability_;
+    std::map<Guid, Placement> placements_;
+};
+
+} // namespace oceanstore
+
+#endif // OCEANSTORE_ARCHIVE_ARCHIVAL_H

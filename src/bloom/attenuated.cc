@@ -1,0 +1,40 @@
+#include "bloom/attenuated.h"
+
+namespace oceanstore {
+
+AttenuatedBloomFilter::AttenuatedBloomFilter(unsigned depth,
+                                             std::size_t bits,
+                                             unsigned num_hashes)
+{
+    levels_.reserve(depth);
+    for (unsigned i = 0; i < depth; i++)
+        levels_.emplace_back(bits, num_hashes);
+}
+
+unsigned
+AttenuatedBloomFilter::minDistance(const Guid &g) const
+{
+    for (unsigned i = 0; i < levels_.size(); i++) {
+        if (levels_[i].mayContain(g))
+            return i + 1;
+    }
+    return 0;
+}
+
+void
+AttenuatedBloomFilter::clear()
+{
+    for (auto &l : levels_)
+        l.clear();
+}
+
+std::size_t
+AttenuatedBloomFilter::wireSize() const
+{
+    std::size_t n = 0;
+    for (const auto &l : levels_)
+        n += l.wireSize();
+    return n;
+}
+
+} // namespace oceanstore

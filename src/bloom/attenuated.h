@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Attenuated Bloom filters (Section 4.3.2, Figure 2).
+ *
+ * "An attenuated Bloom filter of depth D can be viewed as an array of
+ * D normal Bloom filters.  The first Bloom filter is a record of the
+ * objects contained locally on the current node.  The ith Bloom filter
+ * is the union of all of the Bloom filters for all of the nodes a
+ * distance i through any path from the current node.  An attenuated
+ * Bloom filter is stored for each directed edge in the network.  A
+ * query is routed along the edge whose filter indicates the presence
+ * of the object at the smallest distance."
+ */
+
+#ifndef OCEANSTORE_BLOOM_ATTENUATED_H
+#define OCEANSTORE_BLOOM_ATTENUATED_H
+
+#include <vector>
+
+#include "bloom/bloom_filter.h"
+
+namespace oceanstore {
+
+/**
+ * A depth-D array of Bloom filters attached to one directed overlay
+ * edge n->b: level i (1-based distance) summarizes objects stored on
+ * nodes reachable in exactly i hops along paths beginning with that
+ * edge.
+ */
+class AttenuatedBloomFilter
+{
+  public:
+    /**
+     * @param depth      number of levels D (distances 1..D)
+     * @param bits       width of each level filter
+     * @param num_hashes probes per element
+     */
+    AttenuatedBloomFilter(unsigned depth, std::size_t bits,
+                          unsigned num_hashes);
+
+    /** Number of levels. */
+    unsigned depth() const { return static_cast<unsigned>(levels_.size()); }
+
+    /** Mutable level accessor; level 0 = distance 1. */
+    BloomFilter &level(unsigned i) { return levels_.at(i); }
+
+    /** Const level accessor. */
+    const BloomFilter &level(unsigned i) const { return levels_.at(i); }
+
+    /**
+     * Smallest distance (1-based) at which @p g may be present, or 0
+     * when no level matches.  This is the "potential function" the
+     * hill-climbing query minimizes.
+     */
+    unsigned minDistance(const Guid &g) const;
+
+    /** Clear every level. */
+    void clear();
+
+    /** Wire size in bytes (all levels), for gossip cost accounting. */
+    std::size_t wireSize() const;
+
+  private:
+    std::vector<BloomFilter> levels_;
+};
+
+} // namespace oceanstore
+
+#endif // OCEANSTORE_BLOOM_ATTENUATED_H

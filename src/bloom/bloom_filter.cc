@@ -1,0 +1,89 @@
+#include "bloom/bloom_filter.h"
+
+#include <bit>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace oceanstore {
+
+BloomFilter::BloomFilter(std::size_t bits, unsigned num_hashes)
+    : bits_((bits + 63) / 64 * 64), numHashes_(num_hashes),
+      words_(bits_ / 64, 0)
+{
+    if (bits == 0 || num_hashes == 0)
+        fatal("BloomFilter: zero width or hash count");
+}
+
+std::size_t
+BloomFilter::probe(const Guid &g, unsigned i) const
+{
+    // Double hashing: the GUID is already uniform, so its two 64-bit
+    // halves serve as independent hash values.
+    const auto &b = g.bytes();
+    std::uint64_t h1 = 0, h2 = 0;
+    for (int k = 0; k < 8; k++) {
+        h1 = (h1 << 8) | b[k];
+        h2 = (h2 << 8) | b[8 + k];
+    }
+    h2 |= 1; // ensure odd stride
+    return static_cast<std::size_t>((h1 + i * h2) % bits_);
+}
+
+void
+BloomFilter::insert(const Guid &g)
+{
+    for (unsigned i = 0; i < numHashes_; i++) {
+        std::size_t p = probe(g, i);
+        words_[p / 64] |= 1ull << (p % 64);
+    }
+}
+
+bool
+BloomFilter::mayContain(const Guid &g) const
+{
+    for (unsigned i = 0; i < numHashes_; i++) {
+        std::size_t p = probe(g, i);
+        if (!(words_[p / 64] & (1ull << (p % 64))))
+            return false;
+    }
+    return true;
+}
+
+void
+BloomFilter::merge(const BloomFilter &other)
+{
+    if (other.bits_ != bits_ || other.numHashes_ != numHashes_)
+        fatal("BloomFilter::merge: geometry mismatch");
+    for (std::size_t i = 0; i < words_.size(); i++)
+        words_[i] |= other.words_[i];
+}
+
+void
+BloomFilter::clear()
+{
+    std::fill(words_.begin(), words_.end(), 0);
+}
+
+std::size_t
+BloomFilter::popCount() const
+{
+    std::size_t n = 0;
+    for (auto w : words_)
+        n += static_cast<std::size_t>(std::popcount(w));
+    return n;
+}
+
+double
+BloomFilter::fillRatio() const
+{
+    return static_cast<double>(popCount()) / static_cast<double>(bits_);
+}
+
+double
+BloomFilter::falsePositiveRate() const
+{
+    return std::pow(fillRatio(), static_cast<double>(numHashes_));
+}
+
+} // namespace oceanstore

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Bloom filters (Section 4.3.2, citing Bloom [7]).
+ *
+ * Compact probabilistic set membership.  GUIDs are hashed to k bit
+ * positions via double hashing over the two independent 64-bit halves
+ * of the (already uniform) GUID, so no extra hashing passes are
+ * needed.
+ */
+
+#ifndef OCEANSTORE_BLOOM_BLOOM_FILTER_H
+#define OCEANSTORE_BLOOM_BLOOM_FILTER_H
+
+#include <cstdint>
+#include <vector>
+
+#include "crypto/guid.h"
+
+namespace oceanstore {
+
+/**
+ * A fixed-width Bloom filter over GUIDs.
+ *
+ * Filters taking part in a union (merge) must share width and hash
+ * count; this is asserted.
+ */
+class BloomFilter
+{
+  public:
+    /**
+     * @param bits       filter width in bits (rounded up to 64)
+     * @param num_hashes number of probe positions per element
+     */
+    explicit BloomFilter(std::size_t bits = 1024, unsigned num_hashes = 4);
+
+    /** Insert a GUID. */
+    void insert(const Guid &g);
+
+    /** Membership test; false positives possible, negatives exact. */
+    bool mayContain(const Guid &g) const;
+
+    /** Bitwise OR with another filter of identical geometry. */
+    void merge(const BloomFilter &other);
+
+    /** Clear all bits. */
+    void clear();
+
+    /** Number of set bits. */
+    std::size_t popCount() const;
+
+    /** Filter width in bits. */
+    std::size_t bits() const { return bits_; }
+
+    /** Number of hash probes. */
+    unsigned numHashes() const { return numHashes_; }
+
+    /** Fraction of bits set (load factor). */
+    double fillRatio() const;
+
+    /** Predicted false-positive rate at the current load. */
+    double falsePositiveRate() const;
+
+    /** Wire size in bytes when shipped between neighbors. */
+    std::size_t wireSize() const { return bits_ / 8; }
+
+    /** Exact equality of geometry and bits. */
+    bool operator==(const BloomFilter &other) const = default;
+
+  private:
+    std::size_t probe(const Guid &g, unsigned i) const;
+
+    std::size_t bits_;
+    unsigned numHashes_;
+    std::vector<std::uint64_t> words_;
+};
+
+} // namespace oceanstore
+
+#endif // OCEANSTORE_BLOOM_BLOOM_FILTER_H

@@ -1,0 +1,222 @@
+#include "bloom/location_service.h"
+
+#include <algorithm>
+#include <set>
+
+#include "util/logging.h"
+
+namespace oceanstore {
+
+BloomLocationService::BloomLocationService(const Topology &topo,
+                                           BloomLocationConfig cfg)
+    : topo_(topo), cfg_(cfg)
+{
+    std::size_t n = topo.size();
+    localSets_.resize(n);
+    localFilters_.assign(n, BloomFilter(cfg.bits, cfg.numHashes));
+    edgeFilters_.resize(n);
+    penalties_.resize(n);
+    for (NodeId i = 0; i < n; i++) {
+        edgeFilters_[i].assign(
+            topo.adjacency[i].size(),
+            AttenuatedBloomFilter(cfg.depth, cfg.bits, cfg.numHashes));
+        penalties_[i].assign(topo.adjacency[i].size(), 0);
+    }
+}
+
+unsigned
+BloomLocationService::edgeIndex(NodeId from, NodeId to) const
+{
+    const auto &adj = topo_.adjacency[from];
+    auto it = std::lower_bound(adj.begin(), adj.end(), to);
+    if (it == adj.end() || *it != to)
+        fatal("BloomLocationService: no such edge");
+    return static_cast<unsigned>(it - adj.begin());
+}
+
+void
+BloomLocationService::addObject(NodeId n, const Guid &g)
+{
+    localSets_[n].insert(g);
+    localFilters_[n].insert(g);
+    if (dirty_) {
+        return; // a full rebuild is pending anyway
+    }
+    propagateInsert(n, g);
+}
+
+void
+BloomLocationService::propagateInsert(NodeId n, const Guid &g)
+{
+    // Mirror the rebuild recursion for a single GUID:
+    //   A_an[level 0] gains g for every a adjacent to n;
+    //   if A_bc[l-1] gained g, A_ab[l] gains g for a in adj(b), a != c.
+    // Each (edge, level) state is visited once; every touched edge
+    // ships a small delta to the edge's tail (gossip accounting).
+    const std::size_t delta_bytes = cfg_.numHashes * 4 + 16;
+
+    // visited[level] -> set of (tail, edge index) already handled.
+    std::vector<std::set<std::pair<NodeId, unsigned>>> visited(
+        cfg_.depth);
+    // Frontier holds (tail a, head b) pairs whose filter at `level`
+    // just gained g.
+    std::vector<std::pair<NodeId, NodeId>> frontier;
+
+    for (NodeId a : topo_.adjacency[n]) {
+        unsigned j = edgeIndex(a, n);
+        edgeFilters_[a][j].level(0).insert(g);
+        gossipBytes_ += delta_bytes;
+        visited[0].insert({a, j});
+        frontier.emplace_back(a, n);
+    }
+
+    for (unsigned lvl = 1; lvl < cfg_.depth; lvl++) {
+        std::vector<std::pair<NodeId, NodeId>> next;
+        for (const auto &[b, c] : frontier) {
+            // A_bc[lvl-1] gained g; feed every edge a->b with a != c.
+            for (NodeId a : topo_.adjacency[b]) {
+                if (a == c)
+                    continue; // immediate reverse edge excluded
+                unsigned j = edgeIndex(a, b);
+                if (!visited[lvl].insert({a, j}).second)
+                    continue;
+                edgeFilters_[a][j].level(lvl).insert(g);
+                gossipBytes_ += delta_bytes;
+                next.emplace_back(a, b);
+            }
+        }
+        frontier = std::move(next);
+    }
+}
+
+void
+BloomLocationService::removeObject(NodeId n, const Guid &g)
+{
+    localSets_[n].erase(g);
+    // Bloom filters cannot delete bits; rebuild the local filter from
+    // the authoritative set.
+    localFilters_[n].clear();
+    for (const auto &o : localSets_[n])
+        localFilters_[n].insert(o);
+    dirty_ = true;
+}
+
+bool
+BloomLocationService::hasObject(NodeId n, const Guid &g) const
+{
+    return localSets_[n].count(g) > 0;
+}
+
+void
+BloomLocationService::rebuildFilters()
+{
+    // Level-by-level propagation of the recursive definition:
+    //   A_nb[1] = local(b)
+    //   A_nb[i] = U_{c in adj(b), c != n} A_bc[i-1]
+    // Each level costs one gossip round: every node ships the newly
+    // computed level of each edge filter to the edge's tail.
+    for (NodeId n = 0; n < topo_.size(); n++) {
+        const auto &adj = topo_.adjacency[n];
+        for (std::size_t j = 0; j < adj.size(); j++) {
+            edgeFilters_[n][j].clear();
+            edgeFilters_[n][j].level(0).merge(localFilters_[adj[j]]);
+        }
+    }
+    for (unsigned lvl = 1; lvl < cfg_.depth; lvl++) {
+        for (NodeId n = 0; n < topo_.size(); n++) {
+            const auto &adj = topo_.adjacency[n];
+            for (std::size_t j = 0; j < adj.size(); j++) {
+                NodeId b = adj[j];
+                const auto &badj = topo_.adjacency[b];
+                for (std::size_t k = 0; k < badj.size(); k++) {
+                    if (badj[k] == n)
+                        continue; // skip the immediate reverse edge
+                    edgeFilters_[n][j].level(lvl).merge(
+                        edgeFilters_[b][k].level(lvl - 1));
+                }
+            }
+        }
+    }
+    // Gossip accounting: each directed edge carries its full
+    // attenuated filter once per rebuild.
+    for (NodeId n = 0; n < topo_.size(); n++) {
+        for (const auto &f : edgeFilters_[n])
+            gossipBytes_ += f.wireSize();
+    }
+    dirty_ = false;
+}
+
+BloomQueryResult
+BloomLocationService::query(NodeId from, const Guid &g)
+{
+    if (dirty_)
+        rebuildFilters();
+
+    BloomQueryResult res;
+    res.path.push_back(from);
+
+    NodeId cur = from;
+    std::unordered_set<NodeId> visited{from};
+
+    for (;;) {
+        if (hasObject(cur, g)) {
+            res.found = true;
+            res.location = cur;
+            return res;
+        }
+        if (res.hops >= cfg_.ttl)
+            break;
+
+        // Pick the outgoing edge advertising g at the smallest
+        // (penalty-adjusted) distance; deterministic tie-break on the
+        // neighbor id.  Never revisit a node.
+        const auto &adj = topo_.adjacency[cur];
+        unsigned best_dist = ~0u;
+        NodeId best = invalidNode;
+        for (std::size_t j = 0; j < adj.size(); j++) {
+            if (visited.count(adj[j]))
+                continue;
+            unsigned d = edgeFilters_[cur][j].minDistance(g);
+            if (d == 0)
+                continue;
+            d += penalties_[cur][j];
+            if (d < best_dist || (d == best_dist && adj[j] < best)) {
+                best_dist = d;
+                best = adj[j];
+            }
+        }
+        if (best == invalidNode)
+            break;
+
+        cur = best;
+        visited.insert(cur);
+        res.hops++;
+        res.path.push_back(cur);
+    }
+
+    res.fellBack = true;
+    return res;
+}
+
+void
+BloomLocationService::penalize(NodeId from, NodeId to, unsigned amount)
+{
+    penalties_[from][edgeIndex(from, to)] += amount;
+}
+
+std::size_t
+BloomLocationService::storagePerNode(NodeId n) const
+{
+    std::size_t bytes = localFilters_[n].wireSize();
+    for (const auto &f : edgeFilters_[n])
+        bytes += f.wireSize();
+    return bytes;
+}
+
+const AttenuatedBloomFilter &
+BloomLocationService::edgeFilter(NodeId from, NodeId to) const
+{
+    return edgeFilters_[from][edgeIndex(from, to)];
+}
+
+} // namespace oceanstore

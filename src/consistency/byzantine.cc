@@ -1,0 +1,632 @@
+#include "consistency/byzantine.h"
+
+#include "util/logging.h"
+
+namespace oceanstore {
+
+namespace {
+
+/** Internal message bodies. */
+struct ReqBody
+{
+    Bytes payload;
+    Guid requestId;
+    NodeId client;
+    bool retry = false;
+};
+
+struct PrePrepareBody
+{
+    unsigned view;
+    std::uint64_t seq;
+    Guid digest;
+    Bytes payload;
+    Guid requestId;
+    NodeId client;
+};
+
+struct VoteBody
+{
+    unsigned view;
+    std::uint64_t seq;
+    Guid digest;
+    unsigned rank;
+};
+
+struct ReplyBody
+{
+    std::uint64_t seq;
+    Guid requestId;
+    Bytes result;
+    unsigned rank;
+    Signature sig;
+};
+
+struct ViewChangeBody
+{
+    unsigned newView;
+    unsigned rank;
+};
+
+struct NewViewBody
+{
+    unsigned newView;
+};
+
+} // namespace
+
+// ---------------------------------------------------------------------
+// CommitCertificate
+// ---------------------------------------------------------------------
+
+Bytes
+CommitCertificate::signedPayload() const
+{
+    // Must match what PbftReplica::executeReady signs.
+    ByteWriter w;
+    w.putU64(sequence);
+    w.putBlob(result);
+    return w.take();
+}
+
+bool
+CommitCertificate::verify(const KeyRegistry &registry,
+                          const std::vector<Bytes> &tier_public_keys,
+                          unsigned need) const
+{
+    Bytes payload = signedPayload();
+    std::set<unsigned> valid_ranks;
+    for (const auto &[rank, sig] : signatures) {
+        if (rank >= tier_public_keys.size())
+            continue;
+        if (registry.verify(tier_public_keys[rank], payload, sig))
+            valid_ranks.insert(rank);
+    }
+    return valid_ranks.size() >= need;
+}
+
+// ---------------------------------------------------------------------
+// PbftClient
+// ---------------------------------------------------------------------
+
+PbftClient::PbftClient(PbftCluster &cluster, std::uint64_t client_id)
+    : cluster_(cluster), clientId_(client_id)
+{
+}
+
+void
+PbftClient::submit(const Bytes &payload,
+                   std::function<void(const PbftOutcome &)> done)
+{
+    // Request ids must be unique even for identical payloads, so the
+    // hash covers the client id and a per-client counter.
+    ByteWriter w;
+    w.putU64(clientId_);
+    w.putU64(pending_.size() + 1);
+    w.putU64(cluster_.net().sim().eventsExecuted());
+    w.putBlob(payload);
+    Guid req_id = Guid::hashOf(w.buffer());
+
+    PendingRequest pr;
+    pr.payload = payload;
+    pr.submitTime = cluster_.net().sim().now();
+    pr.done = std::move(done);
+    pending_[req_id] = std::move(pr);
+
+    ReqBody body{payload, req_id, nodeId_, false};
+    Message m = makeMessage("pbft.request", body,
+                            payload.size() + Guid::numBytes + 8);
+    // Under ideal circumstances updates flow directly from the client
+    // to the primary tier (Section 4.4.4): the full body goes to the
+    // current leader (rank 0 from the client's point of view).
+    cluster_.net().send(nodeId_, cluster_.replica(0).nodeId(), m);
+
+    // Retry: while no quorum arrives, periodically broadcast to all
+    // replicas — this triggers forwarding (and eventually view
+    // changes) and lets stalled requests land once a partition heals.
+    auto retry = std::make_shared<std::function<void()>>();
+    *retry = [this, req_id, retry]() {
+        auto it = pending_.find(req_id);
+        if (it == pending_.end() || it->second.completed)
+            return;
+        it->second.retried = true;
+        ReqBody rb{it->second.payload, req_id, nodeId_, true};
+        Message rm = makeMessage(
+            "pbft.request", rb,
+            it->second.payload.size() + Guid::numBytes + 8);
+        for (unsigned r = 0; r < cluster_.size(); r++) {
+            cluster_.net().send(nodeId_, cluster_.replica(r).nodeId(),
+                                rm);
+        }
+        cluster_.net().sim().schedule(
+            cluster_.config().clientRetryTimeout, *retry);
+    };
+    cluster_.net().sim().schedule(cluster_.config().clientRetryTimeout,
+                                  *retry);
+}
+
+void
+PbftClient::maybeComplete(const Guid &request_id, PendingRequest &pr,
+                          std::uint64_t seq, const Bytes &result)
+{
+    if (pr.completed)
+        return;
+    // Count matching (seq, result) votes from distinct ranks; they
+    // double as the signature shares of the commit certificate.
+    Guid rhash = Guid::hashOf(result);
+    unsigned matches = 0;
+    for (const auto &[rank, vote] : pr.votes) {
+        if (vote.seq == seq && vote.resultHash == rhash)
+            matches++;
+    }
+    if (matches < cluster_.faultTolerance() + 1)
+        return;
+
+    pr.completed = true;
+    PbftOutcome out;
+    out.requestId = request_id;
+    out.sequence = seq;
+    out.result = result;
+    out.latency = cluster_.net().sim().now() - pr.submitTime;
+    out.certificate.sequence = seq;
+    out.certificate.result = result;
+    for (const auto &[rank, vote] : pr.votes) {
+        if (vote.seq == seq && vote.resultHash == rhash)
+            out.certificate.signatures.emplace_back(rank,
+                                                    vote.signature);
+    }
+    if (pr.done)
+        pr.done(out);
+}
+
+void
+PbftClient::handleMessage(const Message &msg)
+{
+    if (msg.type != "pbft.reply")
+        return;
+    const auto &body = messageBody<ReplyBody>(msg);
+    auto it = pending_.find(body.requestId);
+    if (it == pending_.end() || it->second.completed)
+        return;
+
+    // Verify the replica's signature over (seq, result).
+    ByteWriter w;
+    w.putU64(body.seq);
+    w.putBlob(body.result);
+    if (!cluster_.registry().verify(
+            cluster_.keyOf(body.rank).publicKey, w.buffer(), body.sig)) {
+        return; // forged or corrupted reply
+    }
+
+    Vote vote;
+    vote.seq = body.seq;
+    vote.resultHash = Guid::hashOf(body.result);
+    vote.result = body.result;
+    vote.signature = body.sig;
+    it->second.votes[body.rank] = std::move(vote);
+    maybeComplete(body.requestId, it->second, body.seq, body.result);
+}
+
+// ---------------------------------------------------------------------
+// PbftReplica
+// ---------------------------------------------------------------------
+
+PbftReplica::PbftReplica(PbftCluster &cluster, unsigned rank)
+    : cluster_(cluster), rank_(rank)
+{
+}
+
+bool
+PbftReplica::isLeader() const
+{
+    return rank_ == view_ % cluster_.size();
+}
+
+Guid
+PbftReplica::maybeCorrupt(const Guid &digest) const
+{
+    if (fault_ != ReplicaFault::Byzantine)
+        return digest;
+    // A byzantine replica votes for a digest nobody proposed.
+    return digest.withSalt(0xbad);
+}
+
+void
+PbftReplica::handleMessage(const Message &msg)
+{
+    if (fault_ == ReplicaFault::Crash)
+        return;
+
+    if (msg.type == "pbft.request")
+        onRequest(msg);
+    else if (msg.type == "pbft.preprepare")
+        onPrePrepare(msg);
+    else if (msg.type == "pbft.prepare")
+        onPrepare(msg);
+    else if (msg.type == "pbft.commit")
+        onCommit(msg);
+    else if (msg.type == "pbft.viewchange")
+        onViewChange(msg);
+    else if (msg.type == "pbft.newview")
+        onNewView(msg);
+}
+
+void
+PbftReplica::assignAndPrePrepare(const Bytes &payload, const Guid &req_id,
+                                 NodeId client)
+{
+    std::uint64_t seq = nextSeq_++;
+    assigned_[req_id] = seq;
+
+    Slot &slot = slots_[seq];
+    slot.digest = Guid::hashOf(payload);
+    slot.payload = payload;
+    slot.requestId = req_id;
+    slot.client = client;
+    slot.hasPrePrepare = true;
+
+    PrePrepareBody body{view_, seq, slot.digest, payload, req_id, client};
+    Message m = makeMessage("pbft.preprepare", body,
+                            payload.size() + pbftControlBytes);
+    for (unsigned r = 0; r < cluster_.size(); r++) {
+        if (r != rank_)
+            cluster_.net().send(nodeId_, cluster_.replica(r).nodeId(), m);
+    }
+    // The leader's own prepare is implicit in the pre-prepare.
+    slot.prepares.insert(rank_);
+    tryCommit(seq);
+}
+
+void
+PbftReplica::onRequest(const Message &msg)
+{
+    const auto &body = messageBody<ReqBody>(msg);
+
+    // Already executed: re-reply directly.
+    auto dit = done_.find(body.requestId);
+    if (dit != done_.end()) {
+        ByteWriter w;
+        w.putU64(dit->second.first);
+        w.putBlob(dit->second.second);
+        ReplyBody rb{dit->second.first, body.requestId,
+                     dit->second.second, rank_,
+                     KeyRegistry::sign(cluster_.keyOf(rank_),
+                                       w.buffer())};
+        Message rm = makeMessage("pbft.reply", rb,
+                                 rb.result.size() + signatureWireSize +
+                                     pbftReplyExtraBytes);
+        cluster_.net().send(nodeId_, body.client, rm);
+        return;
+    }
+
+    known_[body.requestId] = {body.payload, body.client};
+
+    if (isLeader()) {
+        if (!assigned_.count(body.requestId))
+            assignAndPrePrepare(body.payload, body.requestId,
+                                body.client);
+        return;
+    }
+
+    if (body.retry) {
+        // Forward to the leader we believe in and arm a view-change
+        // timer in case that leader is dead.
+        Message fwd = msg;
+        cluster_.net().send(
+            nodeId_,
+            cluster_.replica(view_ % cluster_.size()).nodeId(), fwd);
+        startViewChangeTimer(body.requestId);
+    }
+}
+
+void
+PbftReplica::startViewChangeTimer(const Guid &req_id)
+{
+    if (timers_.count(req_id))
+        return;
+    unsigned armed_view = view_;
+    timers_[req_id] = cluster_.net().sim().schedule(
+        cluster_.config().viewChangeTimeout, [this, req_id, armed_view]() {
+            timers_.erase(req_id);
+            if (fault_ == ReplicaFault::Crash)
+                return;
+            if (done_.count(req_id) || view_ != armed_view)
+                return;
+            // The leader failed us: vote to move to the next view.
+            ViewChangeBody vc{view_ + 1, rank_};
+            Message m = makeMessage("pbft.viewchange", vc,
+                                    pbftControlBytes);
+            for (unsigned r = 0; r < cluster_.size(); r++) {
+                if (r == rank_) {
+                    onViewChange(makeMessage("pbft.viewchange", vc,
+                                             pbftControlBytes));
+                } else {
+                    cluster_.net().send(
+                        nodeId_, cluster_.replica(r).nodeId(), m);
+                }
+            }
+        });
+}
+
+void
+PbftReplica::onPrePrepare(const Message &msg)
+{
+    const auto &body = messageBody<PrePrepareBody>(msg);
+    if (body.view != view_)
+        return;
+
+    Slot &slot = slots_[body.seq];
+    if (slot.hasPrePrepare && slot.digest != body.digest)
+        return; // conflicting pre-prepare; ignore
+    slot.digest = body.digest;
+    slot.payload = body.payload;
+    slot.requestId = body.requestId;
+    slot.client = body.client;
+    slot.hasPrePrepare = true;
+    known_[body.requestId] = {body.payload, body.client};
+    if (body.seq >= nextSeq_)
+        nextSeq_ = body.seq + 1;
+
+    // Cancel any view-change timer for this request.
+    auto tit = timers_.find(body.requestId);
+    if (tit != timers_.end()) {
+        cluster_.net().sim().cancel(tit->second);
+        timers_.erase(tit);
+    }
+
+    // Replay buffered votes now that the digest is known.
+    for (const auto &[rank, digest] : slot.earlyPrepares) {
+        if (digest == slot.digest)
+            slot.prepares.insert(rank);
+    }
+    slot.earlyPrepares.clear();
+    for (const auto &[rank, digest] : slot.earlyCommits) {
+        if (digest == slot.digest)
+            slot.commits.insert(rank);
+    }
+    slot.earlyCommits.clear();
+
+    VoteBody vote{view_, body.seq, maybeCorrupt(body.digest), rank_};
+    Message m = makeMessage("pbft.prepare", vote, pbftControlBytes);
+    for (unsigned r = 0; r < cluster_.size(); r++) {
+        if (r != rank_)
+            cluster_.net().send(nodeId_, cluster_.replica(r).nodeId(), m);
+    }
+    slot.prepares.insert(rank_);
+    // The leader's prepare is implicit in its pre-prepare (PBFT):
+    // count it so quorums survive m crashed backups.
+    slot.prepares.insert(view_ % cluster_.size());
+    tryCommit(body.seq);
+}
+
+void
+PbftReplica::onPrepare(const Message &msg)
+{
+    const auto &body = messageBody<VoteBody>(msg);
+    if (body.view != view_)
+        return;
+    Slot &slot = slots_[body.seq];
+    if (!slot.hasPrePrepare) {
+        // Buffer until the pre-prepare supplies the digest to check.
+        slot.earlyPrepares[body.rank] = body.digest;
+        return;
+    }
+    if (body.digest != slot.digest)
+        return; // mismatched digest (byzantine voter)
+    slot.prepares.insert(body.rank);
+    tryCommit(body.seq);
+}
+
+void
+PbftReplica::tryCommit(std::uint64_t seq)
+{
+    Slot &slot = slots_[seq];
+    // prepared == pre-prepare + 2m matching prepares (including own).
+    if (!slot.hasPrePrepare || slot.sentCommit)
+        return;
+    if (slot.prepares.size() < 2 * cluster_.faultTolerance() + 1)
+        return;
+
+    slot.sentCommit = true;
+    VoteBody vote{view_, seq, maybeCorrupt(slot.digest), rank_};
+    Message m = makeMessage("pbft.commit", vote, pbftControlBytes);
+    for (unsigned r = 0; r < cluster_.size(); r++) {
+        if (r != rank_)
+            cluster_.net().send(nodeId_, cluster_.replica(r).nodeId(), m);
+    }
+    slot.commits.insert(rank_);
+    executeReady();
+}
+
+void
+PbftReplica::onCommit(const Message &msg)
+{
+    const auto &body = messageBody<VoteBody>(msg);
+    if (body.view != view_)
+        return;
+    Slot &slot = slots_[body.seq];
+    if (!slot.hasPrePrepare) {
+        slot.earlyCommits[body.rank] = body.digest;
+        return;
+    }
+    if (body.digest != slot.digest)
+        return;
+    slot.commits.insert(body.rank);
+    executeReady();
+}
+
+void
+PbftReplica::executeReady()
+{
+    // Execute committed slots strictly in sequence order.
+    for (;;) {
+        auto it = slots_.find(lastExecuted_ + 1);
+        if (it == slots_.end())
+            return;
+        Slot &slot = it->second;
+        if (slot.executed) {
+            lastExecuted_++;
+            continue;
+        }
+        bool committed_local =
+            slot.hasPrePrepare &&
+            slot.commits.size() >= 2 * cluster_.faultTolerance() + 1;
+        if (!committed_local)
+            return;
+
+        slot.executed = true;
+        lastExecuted_++;
+        executedCount_++;
+
+        Bytes result;
+        if (done_.count(slot.requestId)) {
+            // Re-proposed duplicate after a view change; reuse the
+            // original result, do not re-execute.
+            result = done_[slot.requestId].second;
+        } else {
+            if (cluster_.executor)
+                result = cluster_.executor(rank_, slot.payload,
+                                           lastExecuted_);
+            done_[slot.requestId] = {lastExecuted_, result};
+            if (rank_ == 0 && cluster_.onCommit)
+                cluster_.onCommit(slot.payload, lastExecuted_);
+        }
+
+        if (slot.client != invalidNode) {
+            Bytes reply_result = result;
+            if (fault_ == ReplicaFault::Byzantine) {
+                // A byzantine replica lies to the client; the client's
+                // signature check and m+1 matching-vote quorum must
+                // filter this out.
+                reply_result = toBytes("forged-result");
+            }
+            ByteWriter w;
+            w.putU64(lastExecuted_);
+            w.putBlob(reply_result);
+            ReplyBody rb{lastExecuted_, slot.requestId, reply_result,
+                         rank_,
+                         KeyRegistry::sign(cluster_.keyOf(rank_),
+                                           w.buffer())};
+            Message rm = makeMessage(
+                "pbft.reply", rb,
+                result.size() + signatureWireSize +
+                    pbftReplyExtraBytes);
+            cluster_.net().send(nodeId_, slot.client, rm);
+        }
+    }
+}
+
+void
+PbftReplica::onViewChange(const Message &msg)
+{
+    const auto &body = messageBody<ViewChangeBody>(msg);
+    if (body.newView <= view_)
+        return;
+    auto &votes = viewVotes_[body.newView];
+    votes.insert(body.rank);
+    if (votes.size() < 2 * cluster_.faultTolerance() + 1)
+        return;
+
+    // Adopt the new view.  Simplified relative to full PBFT: slots
+    // that were in flight are abandoned and their requests
+    // re-proposed with fresh sequence numbers by the new leader;
+    // request-id dedupe prevents double execution.
+    view_ = body.newView;
+    viewVotes_.erase(viewVotes_.begin(), viewVotes_.upper_bound(view_));
+    for (auto it = slots_.begin(); it != slots_.end();) {
+        if (!it->second.executed && it->first > lastExecuted_) {
+            it = slots_.erase(it);
+        } else {
+            ++it;
+        }
+    }
+    nextSeq_ = lastExecuted_ + 1;
+
+    if (isLeader()) {
+        NewViewBody nv{view_};
+        Message m = makeMessage("pbft.newview", nv, pbftControlBytes);
+        for (unsigned r = 0; r < cluster_.size(); r++) {
+            if (r != rank_)
+                cluster_.net().send(nodeId_,
+                                    cluster_.replica(r).nodeId(), m);
+        }
+        // Re-propose everything we know about that never finished.
+        for (const auto &[req_id, pc] : known_) {
+            if (done_.count(req_id))
+                continue;
+            assignAndPrePrepare(pc.first, req_id, pc.second);
+        }
+    }
+}
+
+void
+PbftReplica::onNewView(const Message &msg)
+{
+    const auto &body = messageBody<NewViewBody>(msg);
+    if (body.newView <= view_)
+        return;
+    view_ = body.newView;
+    for (auto it = slots_.begin(); it != slots_.end();) {
+        if (!it->second.executed && it->first > lastExecuted_) {
+            it = slots_.erase(it);
+        } else {
+            ++it;
+        }
+    }
+    nextSeq_ = lastExecuted_ + 1;
+}
+
+// ---------------------------------------------------------------------
+// PbftCluster
+// ---------------------------------------------------------------------
+
+PbftCluster::PbftCluster(
+    Network &net,
+    const std::vector<std::pair<double, double>> &positions,
+    KeyRegistry &registry, PbftConfig cfg)
+    : net_(net), cfg_(cfg), registry_(registry)
+{
+    unsigned n = 3 * cfg.m + 1;
+    if (positions.size() != n)
+        fatal("PbftCluster: need exactly 3m+1 replica positions");
+
+    replicas_.reserve(n);
+    keys_.reserve(n);
+    for (unsigned r = 0; r < n; r++) {
+        auto rep = std::make_unique<PbftReplica>(*this, r);
+        rep->nodeId_ =
+            net_.addNode(rep.get(), positions[r].first,
+                         positions[r].second);
+        replicas_.push_back(std::move(rep));
+        keys_.push_back(registry_.generate());
+    }
+}
+
+std::unique_ptr<PbftClient>
+PbftCluster::makeClient(double x, double y, std::uint64_t client_id)
+{
+    auto client = std::make_unique<PbftClient>(*this, client_id);
+    client->nodeId_ = net_.addNode(client.get(), x, y);
+    return client;
+}
+
+std::vector<Bytes>
+PbftCluster::publicKeys() const
+{
+    std::vector<Bytes> keys;
+    keys.reserve(keys_.size());
+    for (const auto &kp : keys_)
+        keys.push_back(kp.publicKey);
+    return keys;
+}
+
+void
+PbftCluster::broadcast(NodeId from, const Message &msg)
+{
+    for (auto &rep : replicas_) {
+        if (rep->nodeId() != from)
+            net_.send(from, rep->nodeId(), msg);
+    }
+}
+
+} // namespace oceanstore

@@ -1,0 +1,310 @@
+/**
+ * @file
+ * Primary-tier Byzantine agreement (Sections 4.4.3-4.4.5).
+ *
+ * "We replace this master replica with a primary tier of replicas.
+ * These replicas cooperate with one another in a Byzantine agreement
+ * protocol to choose the final commit order for updates."  The
+ * protocol follows Castro-Liskov PBFT [10]: request, pre-prepare,
+ * prepare (all-to-all), commit (all-to-all), reply — tolerating m
+ * faulty replicas out of n = 3m + 1.
+ *
+ * Byte accounting is the point: the simulated message flow realizes
+ * the paper's cost model  b = c1*n^2 + (u + c2)*n + c3  (Figure 6),
+ * with c1 ~ 100-byte agreement messages, the update body u carried
+ * once to the leader and once per backup in pre-prepare, and signed
+ * replies.  The benchmark measures b from the Network's counters.
+ */
+
+#ifndef OCEANSTORE_CONSISTENCY_BYZANTINE_H
+#define OCEANSTORE_CONSISTENCY_BYZANTINE_H
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+#include "crypto/keys.h"
+#include "sim/network.h"
+
+namespace oceanstore {
+
+/** Configuration for a primary tier. */
+struct PbftConfig
+{
+    /** Faults tolerated; the tier has n = 3m + 1 replicas. */
+    unsigned m = 1;
+    /** Seconds a backup waits for a pre-prepare before view change. */
+    double viewChangeTimeout = 3.0;
+    /** Seconds a client waits before re-broadcasting its request. */
+    double clientRetryTimeout = 2.0;
+};
+
+/** Fault behavior injected into a replica. */
+enum class ReplicaFault
+{
+    None,      //!< Correct replica.
+    Crash,     //!< Silent: ignores and sends nothing.
+    Byzantine, //!< Sends corrupted digests in agreement messages.
+};
+
+/**
+ * A serialization certificate assembled from replica replies.
+ *
+ * Section 4.4.4: "To allow for later, offline verification by a party
+ * who did not participate in the protocol, we are exploring the use
+ * of proactive signature techniques to certify the result of the
+ * serialization process."  Our stand-in is a threshold certificate:
+ * m+1 replica signatures over (sequence, result); any party holding
+ * the tier's public keys can verify it offline — no protocol
+ * participation, no trusted single signer.
+ */
+struct CommitCertificate
+{
+    std::uint64_t sequence = 0;
+    Bytes result;
+    /** (replica rank, signature over the canonical payload). */
+    std::vector<std::pair<unsigned, Signature>> signatures;
+
+    /** The byte string each signature covers. */
+    Bytes signedPayload() const;
+
+    /**
+     * Offline verification: at least @p need distinct-ranked valid
+     * signatures under the tier's published keys.
+     */
+    bool verify(const KeyRegistry &registry,
+                const std::vector<Bytes> &tier_public_keys,
+                unsigned need) const;
+};
+
+/** Outcome delivered to the client when its update serializes. */
+struct PbftOutcome
+{
+    Guid requestId;
+    std::uint64_t sequence = 0; //!< Final commit order position.
+    Bytes result;               //!< State-machine execution result.
+    double latency = 0.0;       //!< Submit-to-quorum-of-replies time.
+    CommitCertificate certificate; //!< Offline-verifiable evidence.
+};
+
+class PbftCluster;
+
+/**
+ * A client endpoint: submits requests and collects m+1 matching
+ * replies.  Register on the same Network as the cluster.
+ */
+class PbftClient : public SimNode
+{
+  public:
+    PbftClient(PbftCluster &cluster, std::uint64_t client_id);
+
+    /**
+     * Submit an opaque command.  @p done fires when m+1 matching
+     * replies arrive.  Requests are processed concurrently.
+     */
+    void submit(const Bytes &payload,
+                std::function<void(const PbftOutcome &)> done);
+
+    void handleMessage(const Message &msg) override;
+
+    /** Network id (set when the cluster registers the client). */
+    NodeId nodeId() const { return nodeId_; }
+
+  private:
+    friend class PbftCluster;
+
+    struct Vote
+    {
+        std::uint64_t seq = 0;
+        Guid resultHash;
+        Bytes result;
+        Signature signature;
+    };
+
+    struct PendingRequest
+    {
+        Bytes payload;
+        double submitTime = 0.0;
+        std::function<void(const PbftOutcome &)> done;
+        /** rank -> verified reply vote. */
+        std::map<unsigned, Vote> votes;
+        bool completed = false;
+        bool retried = false;
+    };
+
+    void maybeComplete(const Guid &request_id, PendingRequest &pr,
+                       std::uint64_t seq, const Bytes &result);
+
+    PbftCluster &cluster_;
+    std::uint64_t clientId_;
+    NodeId nodeId_ = invalidNode;
+    std::unordered_map<Guid, PendingRequest> pending_;
+};
+
+/**
+ * One replica of the primary tier.  Created and owned by PbftCluster.
+ */
+class PbftReplica : public SimNode
+{
+  public:
+    PbftReplica(PbftCluster &cluster, unsigned rank);
+
+    void handleMessage(const Message &msg) override;
+
+    /** Inject a fault mode (for the fault-tolerance tests). */
+    void setFault(ReplicaFault f) { fault_ = f; }
+
+    /** This replica's position in the tier. */
+    unsigned rank() const { return rank_; }
+
+    /** Network id. */
+    NodeId nodeId() const { return nodeId_; }
+
+    /** Number of requests executed. */
+    std::uint64_t executedCount() const { return executedCount_; }
+
+    /** Current view number. */
+    unsigned view() const { return view_; }
+
+  private:
+    friend class PbftCluster;
+
+    struct Slot
+    {
+        Guid digest;
+        Bytes payload;
+        Guid requestId;
+        NodeId client = invalidNode;
+        bool hasPrePrepare = false;
+        std::set<unsigned> prepares;
+        std::set<unsigned> commits;
+        /** Votes that arrived before the pre-prepare: rank -> digest. */
+        std::map<unsigned, Guid> earlyPrepares;
+        std::map<unsigned, Guid> earlyCommits;
+        bool sentCommit = false;
+        bool executed = false;
+    };
+
+    bool isLeader() const;
+    void onRequest(const Message &msg);
+    void onPrePrepare(const Message &msg);
+    void onPrepare(const Message &msg);
+    void onCommit(const Message &msg);
+    void onViewChange(const Message &msg);
+    void onNewView(const Message &msg);
+    void assignAndPrePrepare(const Bytes &payload, const Guid &req_id,
+                             NodeId client);
+    void tryCommit(std::uint64_t seq);
+    void executeReady();
+    void startViewChangeTimer(const Guid &req_id);
+    Guid maybeCorrupt(const Guid &digest) const;
+
+    PbftCluster &cluster_;
+    unsigned rank_;
+    NodeId nodeId_ = invalidNode;
+    ReplicaFault fault_ = ReplicaFault::None;
+
+    unsigned view_ = 0;
+    std::uint64_t nextSeq_ = 1;      //!< Leader's next sequence number.
+    std::uint64_t lastExecuted_ = 0;
+    std::uint64_t executedCount_ = 0;
+    std::map<std::uint64_t, Slot> slots_;
+    /** requestId -> assigned sequence (dedupe at the leader). */
+    std::unordered_map<Guid, std::uint64_t> assigned_;
+    /** requestId -> (seq, result) for executed requests (re-reply). */
+    std::unordered_map<Guid, std::pair<std::uint64_t, Bytes>> done_;
+    /** Pending view-change votes: newView -> voter ranks. */
+    std::map<unsigned, std::set<unsigned>> viewVotes_;
+    /** Requests awaiting pre-prepare (view-change timers armed). */
+    std::unordered_map<Guid, EventId> timers_;
+    /** Requests known but not yet pre-prepared (for new leader). */
+    std::unordered_map<Guid, std::pair<Bytes, NodeId>> known_;
+};
+
+/**
+ * The primary tier: creates, registers and wires n = 3m + 1 replicas.
+ *
+ * The application provides an executor invoked on every replica in
+ * final commit order — in OceanStore this applies the update to the
+ * replica's DataObject and kicks off archival fragment generation
+ * (Section 4.4.4).
+ */
+class PbftCluster
+{
+  public:
+    /**
+     * @param net        network to register replicas on
+     * @param positions  one (x, y) per replica; size must be 3m+1
+     * @param registry   signature oracle shared with clients
+     * @param cfg        protocol tunables
+     */
+    PbftCluster(Network &net,
+                const std::vector<std::pair<double, double>> &positions,
+                KeyRegistry &registry, PbftConfig cfg = {});
+
+    /** Number of replicas n = 3m + 1. */
+    unsigned size() const { return static_cast<unsigned>(replicas_.size()); }
+
+    /** Faults tolerated. */
+    unsigned faultTolerance() const { return cfg_.m; }
+
+    /** Replica by rank. */
+    PbftReplica &replica(unsigned rank) { return *replicas_[rank]; }
+
+    /** Create and register a client endpoint at (x, y). */
+    std::unique_ptr<PbftClient> makeClient(double x, double y,
+                                           std::uint64_t client_id);
+
+    /**
+     * Executor invoked on each replica in commit order.
+     * Arguments: replica rank, command payload, sequence number.
+     * Returns the execution result included in the reply.
+     */
+    std::function<Bytes(unsigned, const Bytes &, std::uint64_t)> executor;
+
+    /**
+     * Hook invoked once per commit (by the rank-0 replica's
+     * execution) — OceanStore uses it to push the committed update
+     * down the dissemination tree and to archival storage.
+     */
+    std::function<void(const Bytes &, std::uint64_t)> onCommit;
+
+    /** The network (for latency-free helpers and counters). */
+    Network &net() { return net_; }
+
+    /** Protocol configuration. */
+    const PbftConfig &config() const { return cfg_; }
+
+    /** Signing keys of replica @p rank (results are signed). */
+    const KeyPair &keyOf(unsigned rank) const { return keys_[rank]; }
+
+    /** The tier's published public keys (for offline verification). */
+    std::vector<Bytes> publicKeys() const;
+
+    /** The shared signature oracle. */
+    KeyRegistry &registry() { return registry_; }
+
+  private:
+    friend class PbftReplica;
+    friend class PbftClient;
+
+    /** Broadcast @p msg from @p from to every replica (incl. self). */
+    void broadcast(NodeId from, const Message &msg);
+
+    Network &net_;
+    PbftConfig cfg_;
+    KeyRegistry &registry_;
+    std::vector<std::unique_ptr<PbftReplica>> replicas_;
+    std::vector<KeyPair> keys_;
+};
+
+/** Wire sizes of the small agreement messages (the paper's c1/c2). */
+constexpr std::size_t pbftControlBytes = 60;   // + 40B header ~= c1
+constexpr std::size_t pbftReplyExtraBytes = 24;
+
+} // namespace oceanstore
+
+#endif // OCEANSTORE_CONSISTENCY_BYZANTINE_H

@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Replica-side object state (Sections 4.4.1-4.4.2, Figure 4).
+ *
+ * A DataObject is what a floating replica actually holds: an array of
+ * *physical* blocks, each either an opaque ciphertext data block or an
+ * index (pointer) block, plus the object's encrypted search index and
+ * the signed update log.  The *logical* block sequence is obtained by
+ * traversing index blocks, which is how insert-block and delete-block
+ * work directly on ciphertext: the server rearranges pointers without
+ * learning anything about block contents (Figure 4).
+ *
+ * Every committed update produces a new version; the log retains every
+ * update (commit or abort), providing the versioning substrate of
+ * Section 2 ("in principle, every update creates a new version").
+ */
+
+#ifndef OCEANSTORE_CONSISTENCY_DATA_OBJECT_H
+#define OCEANSTORE_CONSISTENCY_DATA_OBJECT_H
+
+#include <cstdint>
+#include <variant>
+#include <vector>
+
+#include "consistency/update.h"
+
+namespace oceanstore {
+
+/** A physical slot: ciphertext data or an index (pointer) block. */
+struct DataBlock
+{
+    Bytes ciphertext;
+};
+
+/** Pointer block; an empty child list is a deletion tombstone. */
+struct IndexBlock
+{
+    std::vector<std::uint32_t> children; //!< Physical indices, in order.
+};
+
+/** One physical slot. */
+using StoredBlock = std::variant<DataBlock, IndexBlock>;
+
+/** Result of applying one update. */
+struct ApplyResult
+{
+    bool committed = false;
+    VersionNum version = 0;      //!< Version after application.
+    std::size_t clauseFired = 0; //!< Which clause committed (if any).
+};
+
+/** One entry of the update log (kept for commits *and* aborts). */
+struct LogEntry
+{
+    Update update;
+    bool committed = false;
+    VersionNum versionAfter = 0;
+};
+
+/**
+ * The ciphertext object replica.
+ *
+ * All mutation is through apply(); the server never needs (or gets)
+ * key material.
+ */
+class DataObject
+{
+  public:
+    /** Create an empty object (version 0). */
+    explicit DataObject(const Guid &guid) : guid_(guid) {}
+
+    /** The object's GUID. */
+    const Guid &guid() const { return guid_; }
+
+    /** Current committed version. */
+    VersionNum version() const { return version_; }
+
+    /** Number of logical (visible) blocks. */
+    std::size_t numLogicalBlocks() const;
+
+    /** Ciphertext of the logical block at @p pos. */
+    const Bytes &logicalBlock(std::size_t pos) const;
+
+    /** All logical blocks in order (ciphertext). */
+    std::vector<Bytes> logicalContent() const;
+
+    /** SHA-1 of the logical block at @p pos (what CompareBlock sees). */
+    Sha1Digest blockHash(std::size_t pos) const;
+
+    /** The encrypted word index used by search predicates. */
+    const SearchIndex &searchIndex() const { return searchIndex_; }
+
+    /** Number of physical slots (data + index blocks). */
+    std::size_t numPhysicalBlocks() const { return blocks_.size(); }
+
+    /**
+     * Evaluate and apply an update (Section 4.4.1 semantics): the
+     * actions of the earliest clause whose predicates all hold are
+     * applied atomically; otherwise the update aborts.  Either way it
+     * is appended to the log.
+     */
+    ApplyResult apply(const Update &u);
+
+    /** Evaluate a single predicate against current state. */
+    bool evaluate(const Predicate &p) const;
+
+    /** The full update log. */
+    const std::vector<LogEntry> &log() const { return log_; }
+
+    /**
+     * Reconstruct the object as of @p v by replaying the committed
+     * prefix of the log ("permanent pointers to information").
+     */
+    DataObject materializeVersion(VersionNum v) const;
+
+    /**
+     * Serialize the full physical state (blocks, root sequence,
+     * search index, version) — the archival form handed to the
+     * erasure coder.
+     */
+    Bytes serializeState() const;
+
+  private:
+    /** Apply one action; caller has validated it. */
+    void applyAction(const Action &a);
+
+    /** Can this action be applied to current state? */
+    bool validateAction(const Action &a) const;
+
+    /** Physical index of logical block @p pos. */
+    std::uint32_t physicalOf(std::size_t pos) const;
+
+    /** Recompute the logical traversal cache if stale. */
+    void refreshLogical() const;
+
+    Guid guid_;
+    VersionNum version_ = 0;
+    std::vector<StoredBlock> blocks_;       //!< Physical slots.
+    std::vector<std::uint32_t> rootSequence_; //!< Top-level order.
+    SearchIndex searchIndex_;
+    std::vector<LogEntry> log_;
+
+    mutable bool logicalDirty_ = true;
+    mutable std::vector<std::uint32_t> logicalCache_;
+};
+
+} // namespace oceanstore
+
+#endif // OCEANSTORE_CONSISTENCY_DATA_OBJECT_H

@@ -1,0 +1,518 @@
+#include "consistency/secondary.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace oceanstore {
+
+namespace {
+
+struct TentativeBody
+{
+    Update update;
+};
+
+struct DigestBody
+{
+    std::vector<Guid> tentativeIds;
+    std::map<Guid, VersionNum> committed;
+    NodeId from = invalidNode;
+    bool wantReply = false;
+};
+
+struct PullBody
+{
+    std::vector<Guid> wantTentative;
+    std::map<Guid, VersionNum> fromVersions;
+};
+
+struct CommittedRecord
+{
+    Guid object;
+    VersionNum version = 0;
+    Update update;
+};
+
+struct UpdatesBody
+{
+    std::vector<Update> tentative;
+    std::vector<CommittedRecord> committed;
+};
+
+struct PushBody
+{
+    Update update;
+    VersionNum version = 0;
+};
+
+struct InvalBody
+{
+    Guid object;
+    VersionNum version = 0;
+    Guid updateId;
+};
+
+struct FetchBody
+{
+    Guid object;
+    VersionNum fromVersion = 0;
+};
+
+std::size_t
+digestWireSize(const DigestBody &d)
+{
+    return d.tentativeIds.size() * Guid::numBytes +
+           d.committed.size() * (Guid::numBytes + 8) + 8;
+}
+
+std::size_t
+updatesWireSize(const UpdatesBody &u)
+{
+    std::size_t n = 0;
+    for (const auto &t : u.tentative)
+        n += t.wireSize();
+    for (const auto &c : u.committed)
+        n += c.update.wireSize() + Guid::numBytes + 8;
+    return n;
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------
+// SecondaryReplica
+// ---------------------------------------------------------------------
+
+SecondaryReplica::SecondaryReplica(SecondaryTier &tier, std::size_t index)
+    : tier_(tier), index_(index),
+      rng_(tier.config().seed ^ (0x9e3779b9ull * (index + 1)))
+{
+}
+
+VersionNum
+SecondaryReplica::committedVersion(const Guid &obj) const
+{
+    auto it = objects_.find(obj);
+    return it == objects_.end() ? 0 : it->second.version();
+}
+
+const DataObject &
+SecondaryReplica::committedObject(const Guid &obj)
+{
+    auto it = objects_.find(obj);
+    if (it == objects_.end())
+        it = objects_.emplace(obj, DataObject(obj)).first;
+    return it->second;
+}
+
+DataObject
+SecondaryReplica::tentativeObject(const Guid &obj)
+{
+    DataObject copy = committedObject(obj);
+    // Gather tentative updates for this object, optimistically
+    // ordered by client timestamp (Section 4.4.3).
+    std::vector<const Update *> tentative;
+    for (const auto &[id, u] : tentative_) {
+        if (u.objectGuid == obj)
+            tentative.push_back(&u);
+    }
+    std::sort(tentative.begin(), tentative.end(),
+              [](const Update *a, const Update *b) {
+                  if (a->timestamp != b->timestamp)
+                      return a->timestamp < b->timestamp;
+                  return a->id() < b->id();
+              });
+    for (const Update *u : tentative)
+        copy.apply(*u);
+    return copy;
+}
+
+void
+SecondaryReplica::handleMessage(const Message &msg)
+{
+    if (msg.type == "sec.tentative")
+        onTentative(msg);
+    else if (msg.type == "sec.digest")
+        onDigest(msg);
+    else if (msg.type == "sec.pull")
+        onPull(msg);
+    else if (msg.type == "sec.updates")
+        onUpdates(msg);
+    else if (msg.type == "sec.push")
+        onPush(msg);
+    else if (msg.type == "sec.inval")
+        onInvalidate(msg);
+    else if (msg.type == "sec.fetch")
+        onFetch(msg);
+}
+
+void
+SecondaryReplica::storeTentative(const Update &u, bool gossip)
+{
+    Guid id = u.id();
+    if (tentative_.count(id))
+        return; // already infected; stop the rumor here
+    // Drop tentative updates already subsumed by a committed version.
+    auto oit = objects_.find(u.objectGuid);
+    if (oit != objects_.end()) {
+        for (const auto &e : oit->second.log()) {
+            if (e.committed && e.update.id() == id)
+                return;
+        }
+    }
+    tentative_[id] = u;
+
+    if (!gossip)
+        return;
+    // Rumor mongering: forward a fresh rumor to a few random peers.
+    TentativeBody body{u};
+    for (unsigned i = 0; i < tier_.config().rumorFanout; i++) {
+        std::size_t peer = rng_.below(tier_.size());
+        if (peer == index_)
+            continue;
+        tier_.net().send(nodeId_, tier_.replica(peer).nodeId(),
+                         makeMessage("sec.tentative", body,
+                                     u.wireSize()));
+    }
+}
+
+void
+SecondaryReplica::onTentative(const Message &msg)
+{
+    storeTentative(messageBody<TentativeBody>(msg).update, true);
+}
+
+void
+SecondaryReplica::applyCommitted(const Update &u, VersionNum version)
+{
+    auto it = objects_.find(u.objectGuid);
+    if (it == objects_.end())
+        it = objects_.emplace(u.objectGuid, DataObject(u.objectGuid))
+                 .first;
+    DataObject &obj = it->second;
+
+    if (version <= obj.version())
+        return; // duplicate
+    if (version > obj.version() + 1) {
+        buffered_[u.objectGuid][version] = u;
+        return;
+    }
+
+    obj.apply(u);
+    tentative_.erase(u.id());
+
+    auto sit = stale_.find(u.objectGuid);
+    if (sit != stale_.end() && obj.version() >= sit->second)
+        stale_.erase(sit);
+
+    drainBuffered(u.objectGuid);
+}
+
+void
+SecondaryReplica::drainBuffered(const Guid &obj)
+{
+    auto bit = buffered_.find(obj);
+    if (bit == buffered_.end())
+        return;
+    auto oit = objects_.find(obj);
+    auto &pending = bit->second;
+    while (!pending.empty() &&
+           pending.begin()->first == oit->second.version() + 1) {
+        Update u = pending.begin()->second;
+        pending.erase(pending.begin());
+        oit->second.apply(u);
+        tentative_.erase(u.id());
+    }
+    if (pending.empty())
+        buffered_.erase(bit);
+}
+
+void
+SecondaryReplica::onPush(const Message &msg)
+{
+    const auto &body = messageBody<PushBody>(msg);
+    applyCommitted(body.update, body.version);
+
+    // Forward down the dissemination tree; bandwidth-limited leaves
+    // get an invalidation instead of the body.
+    for (NodeId child : tier_.tree().childrenOf(nodeId_)) {
+        if (tier_.config().invalidateAtLeaves &&
+            tier_.tree().isLeaf(child)) {
+            InvalBody inv{body.update.objectGuid, body.version,
+                          body.update.id()};
+            tier_.net().send(nodeId_, child,
+                             makeMessage("sec.inval", inv,
+                                         2 * Guid::numBytes + 8));
+        } else {
+            tier_.net().send(nodeId_, child,
+                             makeMessage("sec.push", body,
+                                         body.update.wireSize() + 8));
+        }
+    }
+}
+
+void
+SecondaryReplica::onInvalidate(const Message &msg)
+{
+    const auto &body = messageBody<InvalBody>(msg);
+    if (committedVersion(body.object) >= body.version)
+        return;
+    auto &needed = stale_[body.object];
+    needed = std::max(needed, body.version);
+    // The invalidated tentative entry no longer reflects reality.
+    tentative_.erase(body.updateId);
+}
+
+void
+SecondaryReplica::fetchFromParent(const Guid &obj)
+{
+    NodeId parent = tier_.tree().parentOf(nodeId_);
+    if (parent == invalidNode)
+        return;
+    FetchBody body{obj, committedVersion(obj)};
+    tier_.net().send(nodeId_, parent,
+                     makeMessage("sec.fetch", body,
+                                 Guid::numBytes + 8));
+}
+
+void
+SecondaryReplica::onFetch(const Message &msg)
+{
+    const auto &body = messageBody<FetchBody>(msg);
+    auto it = objects_.find(body.object);
+    if (it == objects_.end())
+        return;
+    UpdatesBody reply;
+    for (const auto &e : it->second.log()) {
+        if (e.committed && e.versionAfter > body.fromVersion) {
+            reply.committed.push_back(
+                {body.object, e.versionAfter, e.update});
+        }
+    }
+    if (reply.committed.empty())
+        return;
+    tier_.net().send(nodeId_, msg.src,
+                     makeMessage("sec.updates", reply,
+                                 updatesWireSize(reply)));
+}
+
+void
+SecondaryReplica::scheduleAntiEntropy()
+{
+    double period = tier_.config().antiEntropyPeriod *
+                    rng_.uniform(0.8, 1.2);
+    tier_.net().sim().schedule(period, [this]() {
+        if (!tier_.antiEntropyOn_)
+            return;
+        runAntiEntropy();
+        scheduleAntiEntropy();
+    });
+}
+
+void
+SecondaryReplica::runAntiEntropy()
+{
+    if (tier_.size() < 2)
+        return;
+    std::size_t peer;
+    do {
+        peer = rng_.below(tier_.size());
+    } while (peer == index_);
+
+    DigestBody d;
+    d.from = nodeId_;
+    d.wantReply = true;
+    for (const auto &[id, u] : tentative_)
+        d.tentativeIds.push_back(id);
+    for (const auto &[g, obj] : objects_)
+        d.committed[g] = obj.version();
+
+    tier_.net().send(nodeId_, tier_.replica(peer).nodeId(),
+                     makeMessage("sec.digest", d, digestWireSize(d)));
+}
+
+void
+SecondaryReplica::onDigest(const Message &msg)
+{
+    const auto &d = messageBody<DigestBody>(msg);
+
+    // 1. Pull what the sender has and we lack.
+    PullBody pull;
+    for (const Guid &id : d.tentativeIds) {
+        if (!tentative_.count(id))
+            pull.wantTentative.push_back(id);
+    }
+    for (const auto &[g, v] : d.committed) {
+        if (committedVersion(g) < v)
+            pull.fromVersions[g] = committedVersion(g);
+    }
+    if (!pull.wantTentative.empty() || !pull.fromVersions.empty()) {
+        tier_.net().send(
+            nodeId_, d.from,
+            makeMessage("sec.pull", pull,
+                        pull.wantTentative.size() * Guid::numBytes +
+                            pull.fromVersions.size() *
+                                (Guid::numBytes + 8)));
+    }
+
+    // 2. Push what we have and the sender lacks (their digest told
+    //    us), completing the bidirectional exchange.
+    if (d.wantReply) {
+        UpdatesBody out;
+        std::unordered_set<Guid> their_ids(d.tentativeIds.begin(),
+                                           d.tentativeIds.end());
+        for (const auto &[id, u] : tentative_) {
+            if (!their_ids.count(id))
+                out.tentative.push_back(u);
+        }
+        for (const auto &[g, obj] : objects_) {
+            auto it = d.committed.find(g);
+            VersionNum theirs = it == d.committed.end() ? 0 : it->second;
+            for (const auto &e : obj.log()) {
+                if (e.committed && e.versionAfter > theirs)
+                    out.committed.push_back({g, e.versionAfter, e.update});
+            }
+        }
+        if (!out.tentative.empty() || !out.committed.empty()) {
+            tier_.net().send(nodeId_, d.from,
+                             makeMessage("sec.updates", out,
+                                         updatesWireSize(out)));
+        }
+    }
+}
+
+void
+SecondaryReplica::onPull(const Message &msg)
+{
+    const auto &pull = messageBody<PullBody>(msg);
+    UpdatesBody out;
+    for (const Guid &id : pull.wantTentative) {
+        auto it = tentative_.find(id);
+        if (it != tentative_.end())
+            out.tentative.push_back(it->second);
+    }
+    for (const auto &[g, from] : pull.fromVersions) {
+        auto it = objects_.find(g);
+        if (it == objects_.end())
+            continue;
+        for (const auto &e : it->second.log()) {
+            if (e.committed && e.versionAfter > from)
+                out.committed.push_back({g, e.versionAfter, e.update});
+        }
+    }
+    if (!out.tentative.empty() || !out.committed.empty()) {
+        tier_.net().send(nodeId_, msg.src,
+                         makeMessage("sec.updates", out,
+                                     updatesWireSize(out)));
+    }
+}
+
+void
+SecondaryReplica::onUpdates(const Message &msg)
+{
+    const auto &body = messageBody<UpdatesBody>(msg);
+    for (const auto &u : body.tentative)
+        storeTentative(u, false);
+    // Apply committed records in version order per object.
+    auto sorted = body.committed;
+    std::sort(sorted.begin(), sorted.end(),
+              [](const CommittedRecord &a, const CommittedRecord &b) {
+                  if (a.object != b.object)
+                      return a.object < b.object;
+                  return a.version < b.version;
+              });
+    for (const auto &rec : sorted)
+        applyCommitted(rec.update, rec.version);
+}
+
+// ---------------------------------------------------------------------
+// SecondaryTier
+// ---------------------------------------------------------------------
+
+SecondaryTier::SecondaryTier(
+    Network &net,
+    const std::vector<std::pair<double, double>> &positions,
+    SecondaryConfig cfg)
+    : net_(net), cfg_(cfg), rng_(cfg.seed)
+{
+    if (positions.empty())
+        fatal("SecondaryTier: need at least one replica");
+    replicas_.reserve(positions.size());
+    for (std::size_t i = 0; i < positions.size(); i++) {
+        auto rep = std::make_unique<SecondaryReplica>(*this, i);
+        rep->nodeId_ = net_.addNode(rep.get(), positions[i].first,
+                                    positions[i].second);
+        byNode_[rep->nodeId_] = i;
+        replicas_.push_back(std::move(rep));
+    }
+
+    std::vector<NodeId> members;
+    for (std::size_t i = 1; i < replicas_.size(); i++)
+        members.push_back(replicas_[i]->nodeId());
+    tree_ = std::make_unique<DisseminationTree>(
+        net_, replicas_[0]->nodeId(), members, cfg_.treeFanout);
+}
+
+void
+SecondaryTier::rebuildTree()
+{
+    std::vector<NodeId> members;
+    for (std::size_t i = 1; i < replicas_.size(); i++) {
+        if (net_.isUp(replicas_[i]->nodeId()))
+            members.push_back(replicas_[i]->nodeId());
+    }
+    tree_ = std::make_unique<DisseminationTree>(
+        net_, replicas_[0]->nodeId(), members, cfg_.treeFanout);
+}
+
+void
+SecondaryTier::startAntiEntropy()
+{
+    antiEntropyOn_ = true;
+    for (auto &rep : replicas_)
+        rep->scheduleAntiEntropy();
+}
+
+void
+SecondaryTier::submitTentative(std::size_t i, const Update &u)
+{
+    replicas_[i]->storeTentative(u, true);
+}
+
+void
+SecondaryTier::injectCommitted(const Update &u, VersionNum version)
+{
+    SecondaryReplica &root = *replicas_[0];
+    if (cfg_.treePush) {
+        // Deliver to the root as a push so it forwards down the tree.
+        PushBody body{u, version};
+        root.onPush(makeMessage("sec.push", body, u.wireSize() + 8));
+    } else {
+        // Epidemic-only ablation: the root learns the commit; anti-
+        // entropy must carry it to everyone else.
+        root.applyCommitted(u, version);
+    }
+}
+
+bool
+SecondaryTier::allCommitted(const Guid &obj, VersionNum v) const
+{
+    for (const auto &rep : replicas_) {
+        if (rep->committedVersion(obj) < v)
+            return false;
+    }
+    return true;
+}
+
+std::size_t
+SecondaryTier::tentativeSpread(const Guid &id) const
+{
+    std::size_t n = 0;
+    for (const auto &rep : replicas_) {
+        if (rep->tentative_.count(id))
+            n++;
+    }
+    return n;
+}
+
+} // namespace oceanstore

@@ -1,0 +1,194 @@
+/**
+ * @file
+ * The secondary tier of floating replicas (Section 4.4.3, Figure 5).
+ *
+ * Secondary replicas do not participate in serialization.  They hold
+ * both tentative and committed data: tentative updates spread among
+ * them with an epidemic (rumor + anti-entropy) protocol and are
+ * ordered optimistically by client timestamp; committed updates
+ * arrive from the primary tier down the dissemination tree (or, in
+ * the epidemic-only ablation, via anti-entropy alone).  Parents can
+ * transform updates into *invalidations* for bandwidth-limited
+ * leaves, which then pull data on demand.
+ */
+
+#ifndef OCEANSTORE_CONSISTENCY_SECONDARY_H
+#define OCEANSTORE_CONSISTENCY_SECONDARY_H
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "consistency/data_object.h"
+#include "consistency/dissemination.h"
+#include "sim/network.h"
+#include "util/random.h"
+
+namespace oceanstore {
+
+/** Tunables for the secondary tier. */
+struct SecondaryConfig
+{
+    /** Seconds between anti-entropy exchanges per replica. */
+    double antiEntropyPeriod = 0.5;
+    /** Peers a fresh rumor (tentative update) is forwarded to. */
+    unsigned rumorFanout = 2;
+    /** Dissemination-tree fanout. */
+    unsigned treeFanout = 4;
+    /** Push committed updates down the tree (ablation: false). */
+    bool treePush = true;
+    /** Send invalidations (not bodies) to tree leaves. */
+    bool invalidateAtLeaves = false;
+    /** Randomness seed. */
+    std::uint64_t seed = 0x5ec0d417u;
+};
+
+class SecondaryTier;
+
+/** One secondary floating replica. */
+class SecondaryReplica : public SimNode
+{
+  public:
+    SecondaryReplica(SecondaryTier &tier, std::size_t index);
+
+    void handleMessage(const Message &msg) override;
+
+    /** Network id. */
+    NodeId nodeId() const { return nodeId_; }
+
+    /** Committed version of @p obj held here (0 if unknown). */
+    VersionNum committedVersion(const Guid &obj) const;
+
+    /** Committed object state (creates an empty object if unknown). */
+    const DataObject &committedObject(const Guid &obj);
+
+    /**
+     * Tentative view: committed state with locally known tentative
+     * updates applied in optimistic timestamp order (Section 4.4.3).
+     */
+    DataObject tentativeObject(const Guid &obj);
+
+    /** Tentative updates currently held (unordered). */
+    std::size_t tentativeCount() const { return tentative_.size(); }
+
+    /** True when an invalidation marked @p obj stale here. */
+    bool isStale(const Guid &obj) const { return stale_.count(obj) > 0; }
+
+    /** Pull missing committed updates for @p obj from the parent. */
+    void fetchFromParent(const Guid &obj);
+
+  private:
+    friend class SecondaryTier;
+
+    void onTentative(const Message &msg);
+    void onDigest(const Message &msg);
+    void onPull(const Message &msg);
+    void onUpdates(const Message &msg);
+    void onPush(const Message &msg);
+    void onInvalidate(const Message &msg);
+    void onFetch(const Message &msg);
+
+    void storeTentative(const Update &u, bool gossip);
+    void applyCommitted(const Update &u, VersionNum version);
+    void drainBuffered(const Guid &obj);
+    void scheduleAntiEntropy();
+    void runAntiEntropy();
+
+    SecondaryTier &tier_;
+    std::size_t index_;
+    NodeId nodeId_ = invalidNode;
+    Rng rng_;
+
+    std::map<Guid, DataObject> objects_;            //!< Committed.
+    std::unordered_map<Guid, Update> tentative_;    //!< By update id.
+    /** Committed updates that arrived out of order. */
+    std::map<Guid, std::map<VersionNum, Update>> buffered_;
+    /** Objects invalidated but not yet re-fetched: obj -> needed version. */
+    std::unordered_map<Guid, VersionNum> stale_;
+};
+
+/**
+ * Manager of a flock of secondary replicas for one object community:
+ * creates them, wires the epidemic process, and (optionally) builds
+ * the dissemination tree rooted at a primary-tier contact.
+ */
+class SecondaryTier
+{
+  public:
+    /**
+     * @param net       network to register replicas on
+     * @param positions one (x, y) per replica; replica 0 is the tree
+     *                  root (the primary tier's contact point)
+     */
+    SecondaryTier(Network &net,
+                  const std::vector<std::pair<double, double>> &positions,
+                  SecondaryConfig cfg = {});
+
+    /** Number of replicas. */
+    std::size_t size() const { return replicas_.size(); }
+
+    /** Replica accessor. */
+    SecondaryReplica &replica(std::size_t i) { return *replicas_[i]; }
+
+    /** Begin the periodic anti-entropy process on every replica. */
+    void startAntiEntropy();
+
+    /** Stop scheduling further anti-entropy rounds. */
+    void stopAntiEntropy() { antiEntropyOn_ = false; }
+
+    /**
+     * Submit a tentative update at replica @p i; it spreads
+     * epidemically and is ordered optimistically by timestamp.
+     */
+    void submitTentative(std::size_t i, const Update &u);
+
+    /**
+     * Inject a committed update (serialized by the primary tier) at
+     * the tree root; it multicasts down the dissemination tree, or —
+     * with treePush disabled — waits for anti-entropy to carry it.
+     */
+    void injectCommitted(const Update &u, VersionNum version);
+
+    /** True when every replica has committed @p obj up to @p v. */
+    bool allCommitted(const Guid &obj, VersionNum v) const;
+
+    /** Number of replicas holding the tentative update @p id. */
+    std::size_t tentativeSpread(const Guid &id) const;
+
+    /** The dissemination tree (valid when treePush). */
+    const DisseminationTree &tree() const { return *tree_; }
+
+    /**
+     * Adjust the dissemination tree after membership changes
+     * (Section 4.7.2: "notification of a replica's termination ...
+     * propagates to parent nodes, which can adjust that object's
+     * dissemination tree"): rebuild over the currently-up replicas.
+     * Downed replicas drop out; recovered ones rejoin and catch up
+     * via anti-entropy or an explicit fetchFromParent().
+     */
+    void rebuildTree();
+
+    /** The network. */
+    Network &net() { return net_; }
+
+    /** Configuration. */
+    const SecondaryConfig &config() const { return cfg_; }
+
+  private:
+    friend class SecondaryReplica;
+
+    Network &net_;
+    SecondaryConfig cfg_;
+    Rng rng_;
+    bool antiEntropyOn_ = false;
+    std::vector<std::unique_ptr<SecondaryReplica>> replicas_;
+    std::unordered_map<NodeId, std::size_t> byNode_;
+    std::unique_ptr<DisseminationTree> tree_;
+};
+
+} // namespace oceanstore
+
+#endif // OCEANSTORE_CONSISTENCY_SECONDARY_H

@@ -1,0 +1,197 @@
+#include "consistency/update.h"
+
+namespace oceanstore {
+
+void
+serializePredicate(ByteWriter &w, const Predicate &p)
+{
+    std::visit(
+        [&](const auto &v) {
+            using T = std::decay_t<decltype(v)>;
+            if constexpr (std::is_same_v<T, CompareVersion>) {
+                w.putU8(0);
+                w.putU64(v.expected);
+            } else if constexpr (std::is_same_v<T, CompareSize>) {
+                w.putU8(1);
+                w.putU64(v.expectedBlocks);
+            } else if constexpr (std::is_same_v<T, CompareBlock>) {
+                w.putU8(2);
+                w.putU64(v.position);
+                w.putRaw(v.expected.data(), v.expected.size());
+            } else if constexpr (std::is_same_v<T, SearchPredicate>) {
+                w.putU8(3);
+                w.putRaw(v.trapdoor.wordToken.data(),
+                         v.trapdoor.wordToken.size());
+                w.putU8(v.expectPresent ? 1 : 0);
+            }
+        },
+        p);
+}
+
+void
+serializeAction(ByteWriter &w, const Action &a)
+{
+    std::visit(
+        [&](const auto &v) {
+            using T = std::decay_t<decltype(v)>;
+            if constexpr (std::is_same_v<T, ReplaceBlock>) {
+                w.putU8(0);
+                w.putU64(v.position);
+                w.putBlob(v.ciphertext);
+            } else if constexpr (std::is_same_v<T, InsertBlock>) {
+                w.putU8(1);
+                w.putU64(v.position);
+                w.putBlob(v.ciphertext);
+            } else if constexpr (std::is_same_v<T, DeleteBlock>) {
+                w.putU8(2);
+                w.putU64(v.position);
+            } else if constexpr (std::is_same_v<T, AppendBlock>) {
+                w.putU8(3);
+                w.putBlob(v.ciphertext);
+            } else if constexpr (std::is_same_v<T, SetSearchIndex>) {
+                w.putU8(4);
+                w.putU32(static_cast<std::uint32_t>(
+                    v.index.maskedTokens.size()));
+                for (const auto &t : v.index.maskedTokens)
+                    w.putRaw(t.data(), t.size());
+            }
+        },
+        a);
+}
+
+Bytes
+Update::serializeForSigning() const
+{
+    ByteWriter w;
+    w.putRaw(objectGuid.toBytes());
+    w.putU64(timestamp.time);
+    w.putU64(timestamp.clientId);
+    w.putU32(static_cast<std::uint32_t>(clauses.size()));
+    for (const auto &clause : clauses) {
+        w.putU32(static_cast<std::uint32_t>(clause.predicates.size()));
+        for (const auto &p : clause.predicates)
+            serializePredicate(w, p);
+        w.putU32(static_cast<std::uint32_t>(clause.actions.size()));
+        for (const auto &a : clause.actions)
+            serializeAction(w, a);
+    }
+    w.putBlob(writerPublicKey);
+    return w.take();
+}
+
+Guid
+Update::id() const
+{
+    return Guid::hashOf(serializeForSigning());
+}
+
+Bytes
+Update::serializeFull() const
+{
+    ByteWriter w;
+    w.putBlob(serializeForSigning());
+    w.putBlob(signature.bytes);
+    return w.take();
+}
+
+namespace {
+
+Predicate
+parsePredicate(ByteReader &r)
+{
+    switch (r.getU8()) {
+      case 0:
+        return CompareVersion{r.getU64()};
+      case 1:
+        return CompareSize{r.getU64()};
+      case 2: {
+        CompareBlock cb;
+        cb.position = r.getU64();
+        Bytes d = r.getRaw(20);
+        std::copy(d.begin(), d.end(), cb.expected.begin());
+        return cb;
+      }
+      case 3: {
+        SearchPredicate sp;
+        Bytes d = r.getRaw(20);
+        std::copy(d.begin(), d.end(), sp.trapdoor.wordToken.begin());
+        sp.expectPresent = r.getU8() != 0;
+        return sp;
+      }
+      default:
+        throw std::invalid_argument("Update: unknown predicate tag");
+    }
+}
+
+Action
+parseAction(ByteReader &r)
+{
+    switch (r.getU8()) {
+      case 0: {
+        ReplaceBlock a;
+        a.position = r.getU64();
+        a.ciphertext = r.getBlob();
+        return a;
+      }
+      case 1: {
+        InsertBlock a;
+        a.position = r.getU64();
+        a.ciphertext = r.getBlob();
+        return a;
+      }
+      case 2:
+        return DeleteBlock{r.getU64()};
+      case 3:
+        return AppendBlock{r.getBlob()};
+      case 4: {
+        SetSearchIndex a;
+        std::uint32_t n = r.getU32();
+        a.index.maskedTokens.resize(n);
+        for (std::uint32_t i = 0; i < n; i++) {
+            Bytes d = r.getRaw(20);
+            std::copy(d.begin(), d.end(),
+                      a.index.maskedTokens[i].begin());
+        }
+        return a;
+      }
+      default:
+        throw std::invalid_argument("Update: unknown action tag");
+    }
+}
+
+} // namespace
+
+Update
+Update::deserializeFull(const Bytes &wire)
+{
+    ByteReader outer(wire);
+    Bytes body = outer.getBlob();
+    Bytes sig = outer.getBlob();
+
+    Update u;
+    ByteReader r(body);
+    u.objectGuid = Guid::fromBytes(r.getRaw(Guid::numBytes));
+    u.timestamp.time = r.getU64();
+    u.timestamp.clientId = r.getU64();
+    std::uint32_t num_clauses = r.getU32();
+    u.clauses.resize(num_clauses);
+    for (auto &clause : u.clauses) {
+        std::uint32_t np = r.getU32();
+        for (std::uint32_t i = 0; i < np; i++)
+            clause.predicates.push_back(parsePredicate(r));
+        std::uint32_t na = r.getU32();
+        for (std::uint32_t i = 0; i < na; i++)
+            clause.actions.push_back(parseAction(r));
+    }
+    u.writerPublicKey = r.getBlob();
+    u.signature.bytes = std::move(sig);
+    return u;
+}
+
+std::size_t
+Update::wireSize() const
+{
+    return serializeForSigning().size() + signature.bytes.size();
+}
+
+} // namespace oceanstore

@@ -1,0 +1,167 @@
+/**
+ * @file
+ * The OceanStore update model (Section 4.4.1-4.4.2, Figure 4).
+ *
+ * Changes to data objects are made by client-generated updates: lists
+ * of predicates associated with actions.  A replica evaluates each
+ * clause's predicate in order; the actions of the earliest true
+ * predicate are applied atomically and the update commits, otherwise
+ * it aborts.  The update is logged either way.
+ *
+ * Because replicas hold only ciphertext, predicates are restricted to
+ * compare-version, compare-size, compare-block and search, and actions
+ * to replace-block, insert-block, delete-block and append — all of
+ * which operate directly on encrypted blocks given a position-
+ * dependent block cipher.
+ */
+
+#ifndef OCEANSTORE_CONSISTENCY_UPDATE_H
+#define OCEANSTORE_CONSISTENCY_UPDATE_H
+
+#include <cstdint>
+#include <variant>
+#include <vector>
+
+#include "crypto/guid.h"
+#include "crypto/keys.h"
+#include "crypto/searchable.h"
+#include "crypto/sha1.h"
+#include "util/bytes.h"
+
+namespace oceanstore {
+
+/** Monotonic object version number; every committed update makes one. */
+using VersionNum = std::uint64_t;
+
+/** Client-assigned optimistic timestamp (Section 4.4.3). */
+struct Timestamp
+{
+    std::uint64_t time = 0;     //!< Client clock reading.
+    std::uint64_t clientId = 0; //!< Tie-breaker.
+
+    auto operator<=>(const Timestamp &) const = default;
+};
+
+/** Predicate: object version equals an expected value. */
+struct CompareVersion
+{
+    VersionNum expected = 0;
+};
+
+/** Predicate: object size (in logical blocks) equals expected. */
+struct CompareSize
+{
+    std::uint64_t expectedBlocks = 0;
+};
+
+/**
+ * Predicate: hash of the ciphertext block at a logical position
+ * equals an expected digest.  Clients with a position-dependent block
+ * cipher can compute this hash without fetching the block.
+ */
+struct CompareBlock
+{
+    std::uint64_t position = 0;
+    Sha1Digest expected{};
+};
+
+/**
+ * Predicate: search over ciphertext (Song-Wagner-Perrig style).  The
+ * replica evaluates the trapdoor against the object's encrypted word
+ * index and compares the boolean outcome.
+ */
+struct SearchPredicate
+{
+    SearchTrapdoor trapdoor;
+    bool expectPresent = true;
+};
+
+/** One predicate. */
+using Predicate = std::variant<CompareVersion, CompareSize, CompareBlock,
+                               SearchPredicate>;
+
+/** Action: overwrite the ciphertext block at a logical position. */
+struct ReplaceBlock
+{
+    std::uint64_t position = 0;
+    Bytes ciphertext;
+};
+
+/**
+ * Action: insert a ciphertext block *before* logical position
+ * @p position using the Figure 4 pointer-block scheme — the old block
+ * and the new block are appended physically and the old physical slot
+ * becomes an index block pointing at both.
+ */
+struct InsertBlock
+{
+    std::uint64_t position = 0;
+    Bytes ciphertext;
+};
+
+/** Action: delete the logical block at @p position (empty pointer). */
+struct DeleteBlock
+{
+    std::uint64_t position = 0;
+};
+
+/** Action: append a ciphertext block at the end of the object. */
+struct AppendBlock
+{
+    Bytes ciphertext;
+};
+
+/** Action: replace the object's encrypted search index. */
+struct SetSearchIndex
+{
+    SearchIndex index;
+};
+
+/** One action. */
+using Action = std::variant<ReplaceBlock, InsertBlock, DeleteBlock,
+                            AppendBlock, SetSearchIndex>;
+
+/**
+ * A guarded clause: all predicates must hold (conjunction) for the
+ * clause's actions to fire.  An empty predicate list is always true.
+ */
+struct UpdateClause
+{
+    std::vector<Predicate> predicates;
+    std::vector<Action> actions;
+};
+
+/** A client-generated update against one object. */
+struct Update
+{
+    Guid objectGuid;              //!< Target object.
+    std::vector<UpdateClause> clauses;
+    Timestamp timestamp;          //!< Optimistic client timestamp.
+    Bytes writerPublicKey;        //!< Key the signature verifies under.
+    Signature signature;          //!< Over serializeForSigning().
+
+    /** Unique id of this update (hash of its signed serialization). */
+    Guid id() const;
+
+    /** Serialized form covered by the signature. */
+    Bytes serializeForSigning() const;
+
+    /** Full wire form: signed serialization plus the signature. */
+    Bytes serializeFull() const;
+
+    /** Parse a serializeFull() buffer. @throws on malformed input. */
+    static Update deserializeFull(const Bytes &wire);
+
+    /** Bytes this update occupies on the wire. */
+    std::size_t wireSize() const;
+};
+
+/** Serialize a predicate for signing / byte accounting. */
+void serializePredicate(ByteWriter &w, const Predicate &p);
+
+/** Serialize an action for signing / byte accounting. */
+void serializeAction(ByteWriter &w, const Action &a);
+
+} // namespace oceanstore
+
+#endif // OCEANSTORE_CONSISTENCY_UPDATE_H

@@ -1,0 +1,581 @@
+#include "core/universe.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/topology.h"
+#include "util/logging.h"
+
+namespace oceanstore {
+
+Universe::Universe(UniverseConfig cfg)
+    : cfg_(cfg), rng_(cfg.seed), net_(sim_, cfg.network),
+      registry_(cfg.seed ^ 0x5a5a5a5au),
+      semantic_(4), prefetcher_(2, 2), replicaMgr_(cfg.replicaPolicy)
+{
+    // 1. Overlay topology for the secondary tier and Bloom locator.
+    topo_ = makeGeometricTopology(cfg_.numServers, cfg_.overlayDegree,
+                                  rng_);
+
+    // 2. Secondary tier replicas at the topology's positions (replica
+    //    i <-> overlay node i <-> NodeId i).
+    tier_ = std::make_unique<SecondaryTier>(net_, topo_.positions,
+                                            cfg_.secondary);
+
+    // 3. Global location mesh over the secondary servers.
+    std::vector<NodeId> members;
+    for (std::size_t i = 0; i < cfg_.numServers; i++)
+        members.push_back(tier_->replica(i).nodeId());
+    mesh_ = std::make_unique<PlaxtonMesh>(net_, members, rng_,
+                                          cfg_.plaxton);
+
+    // 4. Probabilistic locator over the same overlay.
+    bloom_ = std::make_unique<BloomLocationService>(topo_, cfg_.bloom);
+
+    // 5. Primary tier in a well-connected central region.
+    cfg_.pbft.m = cfg_.pbftFaults;
+    unsigned n = 3 * cfg_.pbftFaults + 1;
+    std::vector<std::pair<double, double>> tier_pos;
+    for (unsigned r = 0; r < n; r++) {
+        double angle = 2.0 * 3.14159265358979 * r / n;
+        tier_pos.emplace_back(0.5 + 0.04 * std::cos(angle),
+                              0.5 + 0.04 * std::sin(angle));
+    }
+    pbft_ = std::make_unique<PbftCluster>(net_, tier_pos, registry_,
+                                          cfg_.pbft);
+    primaryObjects_.resize(n);
+    client_ = pbft_->makeClient(0.5, 0.5, 1);
+
+    // 6. Archival servers co-located with the secondary servers,
+    //    assigned to administrative domains by region.
+    std::vector<unsigned> domains;
+    unsigned side = static_cast<unsigned>(
+        std::ceil(std::sqrt(static_cast<double>(cfg_.archiveDomains))));
+    for (const auto &[x, y] : topo_.positions) {
+        unsigned dx = std::min<unsigned>(
+            side - 1, static_cast<unsigned>(x * side));
+        unsigned dy = std::min<unsigned>(
+            side - 1, static_cast<unsigned>(y * side));
+        domains.push_back((dx * side + dy) % cfg_.archiveDomains);
+    }
+    archive_ = std::make_unique<ArchivalSystem>(net_, topo_.positions,
+                                                domains, cfg_.archive);
+    archiveClient_ = archive_->makeClient(0.5, 0.5);
+    archiveCodec_ = std::make_unique<ReedSolomonCode>(
+        cfg_.archiveDataFragments, cfg_.archiveTotalFragments);
+
+    wireCommitPath();
+}
+
+Universe::~Universe() = default;
+
+void
+Universe::wireCommitPath()
+{
+    pbft_->executor = [this](unsigned rank, const Bytes &payload,
+                             std::uint64_t seq) {
+        return executeUpdate(rank, payload, seq);
+    };
+
+    pbft_->onCommit = [this](const Bytes &payload, std::uint64_t) {
+        // Runs on the rank-0 replica after it applies the update:
+        // push the committed result down the dissemination tree and
+        // generate archival fragments (Section 4.4.4).
+        Update u = Update::deserializeFull(payload);
+        auto it = primaryObjects_[0].find(u.objectGuid);
+        if (it == primaryObjects_[0].end())
+            return;
+        VersionNum v = it->second.version();
+        // The latest log entry tells us whether this update committed.
+        if (it->second.log().empty() ||
+            !it->second.log().back().committed) {
+            return; // aborted updates do not propagate
+        }
+        tier_->injectCommitted(u, v);
+        if (cfg_.archiveOnCommit)
+            archiveObject(u.objectGuid);
+    };
+}
+
+Bytes
+Universe::executeUpdate(unsigned rank, const Bytes &payload,
+                        std::uint64_t)
+{
+    Update u = Update::deserializeFull(payload);
+
+    Bytes result;
+    auto reply = [&](bool committed, VersionNum v) {
+        ByteWriter w;
+        w.putU8(committed ? 1 : 0);
+        w.putU64(v);
+        return w.take();
+    };
+
+    // Writer restriction (Section 4.2): well-behaved servers verify
+    // the signature against the object's certified ACL and ignore
+    // unauthorized updates.
+    if (!guard_.admits(u.objectGuid, u.writerPublicKey,
+                       u.serializeForSigning(), u.signature,
+                       registry_)) {
+        auto it = primaryObjects_[rank].find(u.objectGuid);
+        VersionNum v = it == primaryObjects_[rank].end()
+                           ? 0
+                           : it->second.version();
+        return reply(false, v);
+    }
+
+    auto it = primaryObjects_[rank].find(u.objectGuid);
+    if (it == primaryObjects_[rank].end()) {
+        it = primaryObjects_[rank]
+                 .emplace(u.objectGuid, DataObject(u.objectGuid))
+                 .first;
+    }
+    ApplyResult res = it->second.apply(u);
+    return reply(res.committed, res.version);
+}
+
+KeyPair
+Universe::makeUser()
+{
+    return registry_.generate();
+}
+
+ObjectHandle
+Universe::createObject(const KeyPair &owner, const std::string &name)
+{
+    ObjectHandle handle(owner, name);
+
+    // Owner-signed ACL: the owner may write (Section 4.2).
+    Acl acl;
+    acl.grant(owner.publicKey,
+              static_cast<std::uint8_t>(Privilege::Owner) |
+                  static_cast<std::uint8_t>(Privilege::Write) |
+                  static_cast<std::uint8_t>(Privilege::Read));
+    AclCertificate cert = AclCertificate::issue(handle.guid(), acl,
+                                                owner);
+    guard_.install(cert, acl, registry_);
+
+    // Place the initial floating replicas and publish them.
+    std::size_t want = std::min<std::size_t>(cfg_.initialHosts,
+                                             cfg_.numServers);
+    auto picks = rng_.sampleIndices(cfg_.numServers, want);
+    for (std::size_t idx : picks)
+        addHost(handle.guid(), idx);
+
+    return handle;
+}
+
+void
+Universe::grantWrite(const ObjectHandle &handle, const KeyPair &owner,
+                     const Bytes &writer_key)
+{
+    const Acl *current = guard_.aclFor(handle.guid());
+    Acl acl = current ? *current : Acl();
+    acl.grant(writer_key, static_cast<std::uint8_t>(Privilege::Write));
+    AclCertificate cert = AclCertificate::issue(handle.guid(), acl,
+                                                owner);
+    guard_.install(cert, acl, registry_);
+}
+
+void
+Universe::syncGroupAcl(const ObjectHandle &handle, const KeyPair &owner,
+                       const WorkingGroup &group)
+{
+    // Materialize from a clean base (owner only) so expelled members
+    // do not linger from earlier materializations.
+    Acl base;
+    base.grant(owner.publicKey,
+               static_cast<std::uint8_t>(Privilege::Owner) |
+                   static_cast<std::uint8_t>(Privilege::Write) |
+                   static_cast<std::uint8_t>(Privilege::Read));
+    Acl acl = group.materializeAcl(base);
+    AclCertificate cert = AclCertificate::issue(handle.guid(), acl,
+                                                owner);
+    guard_.install(cert, acl, registry_);
+}
+
+unsigned
+Universe::collocateClusters(double min_weight)
+{
+    unsigned created = 0;
+    for (const auto &cluster : semantic_.clusters(min_weight)) {
+        // Pick the server already hosting the most cluster members.
+        std::map<std::size_t, unsigned> host_counts;
+        for (const Guid &obj : cluster) {
+            auto hit = hosts_.find(obj);
+            if (hit == hosts_.end())
+                continue;
+            for (std::size_t idx : hit->second)
+                host_counts[idx]++;
+        }
+        if (host_counts.empty())
+            continue;
+        std::size_t best = host_counts.begin()->first;
+        unsigned best_count = 0;
+        for (const auto &[idx, count] : host_counts) {
+            if (count > best_count) {
+                best = idx;
+                best_count = count;
+            }
+        }
+        for (const Guid &obj : cluster) {
+            if (!hosts_.count(obj))
+                continue; // not an object we host (noise GUID)
+            if (!hosts_[obj].count(best)) {
+                addHost(obj, best);
+                created++;
+            }
+        }
+    }
+    return created;
+}
+
+std::vector<std::size_t>
+Universe::hosts(const Guid &obj) const
+{
+    auto it = hosts_.find(obj);
+    if (it == hosts_.end())
+        return {};
+    return std::vector<std::size_t>(it->second.begin(),
+                                    it->second.end());
+}
+
+void
+Universe::addHost(const Guid &obj, std::size_t idx)
+{
+    if (!hosts_[obj].insert(idx).second)
+        return;
+    bloom_->addObject(static_cast<NodeId>(idx), obj);
+    mesh_->publish(obj, tier_->replica(idx).nodeId());
+}
+
+void
+Universe::removeHost(const Guid &obj, std::size_t idx)
+{
+    auto hit = hosts_.find(obj);
+    if (hit == hosts_.end() || !hit->second.erase(idx))
+        return;
+    bloom_->removeObject(static_cast<NodeId>(idx), obj);
+    mesh_->unpublish(obj, tier_->replica(idx).nodeId());
+}
+
+void
+Universe::write(const Update &u, std::function<void(WriteResult)> done)
+{
+    client_->submit(u.serializeFull(), [done = std::move(done)](
+                                           const PbftOutcome &out) {
+        WriteResult wr;
+        wr.completed = true;
+        wr.latency = out.latency;
+        if (out.result.size() >= 9) {
+            ByteReader r(out.result);
+            wr.committed = r.getU8() != 0;
+            wr.version = r.getU64();
+        }
+        if (done)
+            done(wr);
+    });
+}
+
+WriteResult
+Universe::writeSync(const Update &u)
+{
+    WriteResult result;
+    bool fired = false;
+    write(u, [&](WriteResult wr) {
+        result = wr;
+        fired = true;
+    });
+    runUntil([&]() { return fired; }, sim_.now() + 600.0);
+    return result;
+}
+
+void
+Universe::read(std::size_t from_server, const Guid &obj,
+               std::function<void(ReadResult)> done)
+{
+    ReadResult res;
+
+    // Introspection taps every access (Section 4.7.2).
+    semantic_.onAccess(obj);
+    prefetcher_.onAccess(obj);
+    readerLoad_[obj][from_server]++;
+
+    // Tier 1: probabilistic location (Section 4.3.2).
+    auto bq = bloom_->query(static_cast<NodeId>(from_server), obj);
+    std::size_t holder = invalidNode;
+    double latency = 0.0;
+    if (bq.found) {
+        res.viaBloom = true;
+        holder = bq.location;
+        for (std::size_t i = 1; i < bq.path.size(); i++) {
+            latency += net_.latency(
+                tier_->replica(bq.path[i - 1]).nodeId(),
+                tier_->replica(bq.path[i]).nodeId());
+        }
+        // Response routes directly back to the requester.
+        latency += net_.latency(tier_->replica(holder).nodeId(),
+                                tier_->replica(from_server).nodeId());
+    } else {
+        // Tier 2: the global mesh (Section 4.3.3).
+        auto lr = mesh_->locate(tier_->replica(from_server).nodeId(),
+                                obj);
+        if (lr.found) {
+            // Map the holder NodeId back to its server index.
+            for (std::size_t i = 0; i < cfg_.numServers; i++) {
+                if (tier_->replica(i).nodeId() == lr.location) {
+                    holder = i;
+                    break;
+                }
+            }
+            latency = lr.latency +
+                      net_.latency(lr.location,
+                                   tier_->replica(from_server).nodeId());
+        }
+    }
+
+    if (holder != static_cast<std::size_t>(invalidNode)) {
+        const DataObject &state =
+            tier_->replica(holder).committedObject(obj);
+        res.found = true;
+        res.blocks = state.logicalContent();
+        res.version = state.version();
+        res.servedBy = holder;
+        accessLoad_[{obj, holder}]++;
+    }
+    res.latency = latency;
+
+    sim_.schedule(latency, [res = std::move(res),
+                            done = std::move(done)]() {
+        if (done)
+            done(res);
+    });
+}
+
+ReadResult
+Universe::readSync(std::size_t from_server, const Guid &obj)
+{
+    ReadResult result;
+    bool fired = false;
+    read(from_server, obj, [&](ReadResult rr) {
+        result = std::move(rr);
+        fired = true;
+    });
+    runUntil([&]() { return fired; }, sim_.now() + 600.0);
+    return result;
+}
+
+Guid
+Universe::archiveObject(const Guid &obj)
+{
+    auto it = primaryObjects_[0].find(obj);
+    if (it == primaryObjects_[0].end())
+        return Guid();
+    Bytes state = it->second.serializeState();
+    // The fragments are generated by the inner tier during commit;
+    // dispersal originates from the archival server nearest the
+    // primary tier (the center).
+    std::size_t source = 0;
+    double best = 1e9;
+    for (std::size_t i = 0; i < archive_->size(); i++) {
+        double d = std::hypot(net_.xOf(archive_->server(i).nodeId()) -
+                                  0.5,
+                              net_.yOf(archive_->server(i).nodeId()) -
+                                  0.5);
+        if (d < best) {
+            best = d;
+            source = i;
+        }
+    }
+    Guid archive_guid = archive_->disperse(*archiveCodec_, state,
+                                           source);
+    archives_[obj][it->second.version()] = archive_guid;
+    return archive_guid;
+}
+
+Guid
+Universe::latestArchive(const Guid &obj) const
+{
+    auto it = archives_.find(obj);
+    if (it == archives_.end() || it->second.empty())
+        return Guid();
+    return it->second.rbegin()->second;
+}
+
+std::vector<std::pair<VersionNum, Guid>>
+Universe::archivedVersions(const Guid &obj) const
+{
+    std::vector<std::pair<VersionNum, Guid>> out;
+    auto it = archives_.find(obj);
+    if (it == archives_.end())
+        return out;
+    out.assign(it->second.begin(), it->second.end());
+    return out;
+}
+
+Guid
+Universe::resolveVersionedName(const VersionedName &name) const
+{
+    if (!name.version.has_value())
+        return latestArchive(name.guid);
+    auto it = archives_.find(name.guid);
+    if (it == archives_.end())
+        return Guid();
+    auto vit = it->second.find(*name.version);
+    return vit == it->second.end() ? Guid() : vit->second;
+}
+
+std::optional<DataObject>
+Universe::readVersion(const Guid &obj, VersionNum v) const
+{
+    auto it = primaryObjects_[0].find(obj);
+    if (it == primaryObjects_[0].end() || v > it->second.version())
+        return std::nullopt;
+    return it->second.materializeVersion(v);
+}
+
+std::vector<VersionRecord>
+Universe::historyOf(const Guid &obj) const
+{
+    auto it = primaryObjects_[0].find(obj);
+    if (it == primaryObjects_[0].end())
+        return {};
+    return modificationHistory(it->second);
+}
+
+unsigned
+Universe::applyRetention(const Guid &obj, const RetentionPolicy &policy)
+{
+    auto it = archives_.find(obj);
+    if (it == archives_.end())
+        return 0;
+    std::vector<VersionNum> versions;
+    for (const auto &[v, g] : it->second)
+        versions.push_back(v);
+    auto keep = selectRetainedVersions(versions, policy);
+
+    unsigned retired = 0;
+    for (auto vit = it->second.begin(); vit != it->second.end();) {
+        if (keep.count(vit->first)) {
+            ++vit;
+            continue;
+        }
+        archive_->forget(vit->second);
+        vit = it->second.erase(vit);
+        retired++;
+    }
+    return retired;
+}
+
+ReconstructResult
+Universe::restoreSync(const Guid &archive_guid)
+{
+    ReconstructResult result;
+    bool fired = false;
+    archive_->reconstruct(*archiveClient_, archive_guid,
+                          [&](const ReconstructResult &r) {
+                              result = r;
+                              fired = true;
+                          });
+    runUntil([&]() { return fired; }, sim_.now() + 600.0);
+    return result;
+}
+
+std::vector<ReplicaAction>
+Universe::runReplicaManagementEpoch()
+{
+    std::vector<ReplicaLoad> loads;
+    for (const auto &[obj, host_set] : hosts_) {
+        for (std::size_t idx : host_set) {
+            ReplicaLoad l;
+            l.object = obj;
+            l.host = tier_->replica(idx).nodeId();
+            auto ait = accessLoad_.find({obj, idx});
+            l.requests = ait == accessLoad_.end() ? 0 : ait->second;
+            loads.push_back(l);
+        }
+    }
+
+    // Candidate hosts: new replicas should float toward the readers
+    // ("a user's email [migrates] closer to his client", Sec 4.7.2),
+    // so rank candidates by proximity to the object's heaviest
+    // reader; fall back to the overloaded host's own neighborhood
+    // when no reads were observed.
+    std::map<NodeId, std::vector<NodeId>> candidates;
+    for (const auto &l : loads) {
+        NodeId anchor = l.host;
+        auto rit = readerLoad_.find(l.object);
+        if (rit != readerLoad_.end() && !rit->second.empty()) {
+            std::size_t heaviest = rit->second.begin()->first;
+            std::uint64_t best = 0;
+            for (const auto &[reader, count] : rit->second) {
+                if (count > best) {
+                    best = count;
+                    heaviest = reader;
+                }
+            }
+            anchor = tier_->replica(heaviest).nodeId();
+        }
+        std::vector<std::size_t> order;
+        for (std::size_t i = 0; i < cfg_.numServers; i++)
+            order.push_back(i);
+        std::sort(order.begin(), order.end(),
+                  [&](std::size_t a, std::size_t b) {
+                      return net_.latency(anchor,
+                                          tier_->replica(a).nodeId()) <
+                             net_.latency(anchor,
+                                          tier_->replica(b).nodeId());
+                  });
+        std::vector<NodeId> cands;
+        for (std::size_t i = 0; i < order.size() && cands.size() < 5;
+             i++) {
+            cands.push_back(tier_->replica(order[i]).nodeId());
+        }
+        candidates[l.host] = std::move(cands);
+    }
+
+    auto actions = replicaMgr_.decide(loads, candidates);
+
+    // Confidence estimation (Section 4.7.2): when past replica
+    // creations have been hurting, suppress new ones (with periodic
+    // probation) to damp harmful feedback cycles.
+    if (!confidence_.shouldApply("replica.create")) {
+        std::erase_if(actions, [](const ReplicaAction &a) {
+            return a.kind == ReplicaAction::Kind::Create;
+        });
+    }
+
+    for (const auto &a : actions) {
+        // Map NodeIds back to server indices.
+        std::size_t idx = invalidNode;
+        for (std::size_t i = 0; i < cfg_.numServers; i++) {
+            if (tier_->replica(i).nodeId() == a.target) {
+                idx = i;
+                break;
+            }
+        }
+        if (idx == static_cast<std::size_t>(invalidNode))
+            continue;
+        if (a.kind == ReplicaAction::Kind::Create)
+            addHost(a.object, idx);
+        else
+            removeHost(a.object, idx);
+    }
+    accessLoad_.clear();
+    readerLoad_.clear();
+    return actions;
+}
+
+bool
+Universe::runUntil(const std::function<bool()> &pred, double max_time)
+{
+    while (!pred()) {
+        if (sim_.now() > max_time)
+            return pred();
+        if (!sim_.step())
+            return pred();
+    }
+    return true;
+}
+
+} // namespace oceanstore

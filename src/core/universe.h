@@ -1,0 +1,310 @@
+/**
+ * @file
+ * The OceanStore universe: full-system integration harness.
+ *
+ * Composes every substrate into the system of Figures 1 and 5:
+ *
+ *  - a simulated WAN (src/sim) with geometric latencies;
+ *  - a primary tier running Byzantine agreement near the center of
+ *    the network ("high-bandwidth, high-connectivity regions");
+ *  - a secondary tier of floating replicas with epidemic propagation
+ *    and a dissemination tree;
+ *  - two-tier data location: attenuated Bloom filters first, the
+ *    Plaxton mesh as the deterministic fallback (Section 4.3);
+ *  - access control enforced server-side on signed updates;
+ *  - deep archival storage coupled to the commit path (Section 4.4.4);
+ *  - introspection: access monitoring, cluster recognition,
+ *    prefetching and replica management (Section 4.7).
+ *
+ * Writes follow the paper's update path: client -> primary tier
+ * (agreement) -> dissemination tree -> secondary replicas, with
+ * archival fragments generated as a side effect of commitment.
+ * Reads hit the probabilistic locator and fall back to the global
+ * mesh.
+ */
+
+#ifndef OCEANSTORE_CORE_UNIVERSE_H
+#define OCEANSTORE_CORE_UNIVERSE_H
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "access/acl.h"
+#include "access/groups.h"
+#include "archive/archival.h"
+#include "bloom/location_service.h"
+#include "consistency/byzantine.h"
+#include "consistency/secondary.h"
+#include "core/object_handle.h"
+#include "core/versioning.h"
+#include "erasure/reed_solomon.h"
+#include "introspect/clustering.h"
+#include "introspect/confidence.h"
+#include "introspect/prefetch.h"
+#include "introspect/replica_mgmt.h"
+#include "plaxton/mesh.h"
+
+namespace oceanstore {
+
+/** Universe-wide configuration. */
+struct UniverseConfig
+{
+    std::size_t numServers = 48;   //!< Secondary-tier servers.
+    unsigned pbftFaults = 1;       //!< m; the tier has 3m+1 replicas.
+    unsigned overlayDegree = 4;    //!< Bloom overlay neighbors.
+    unsigned initialHosts = 3;     //!< Floating replicas per new object.
+    unsigned archiveDataFragments = 16;
+    unsigned archiveTotalFragments = 32;
+    unsigned archiveDomains = 4;   //!< Administrative domains.
+    bool archiveOnCommit = true;   //!< Couple archival to commits.
+    std::uint64_t seed = 0x0cea5042u;
+
+    NetworkConfig network;
+    BloomLocationConfig bloom;
+    PlaxtonConfig plaxton;
+    SecondaryConfig secondary;
+    PbftConfig pbft;
+    ArchiveConfig archive;
+    ReplicaPolicyConfig replicaPolicy;
+};
+
+/** Result of a write (after the primary tier serialized it). */
+struct WriteResult
+{
+    bool completed = false; //!< Quorum of replies arrived.
+    bool committed = false; //!< Predicates held; actions applied.
+    VersionNum version = 0; //!< Object version after the update.
+    double latency = 0.0;   //!< Client-observed commit latency.
+};
+
+/** Result of a read. */
+struct ReadResult
+{
+    bool found = false;
+    std::vector<Bytes> blocks; //!< Logical ciphertext blocks.
+    VersionNum version = 0;
+    double latency = 0.0;      //!< Modeled location + fetch latency.
+    bool viaBloom = false;     //!< Satisfied by the probabilistic tier.
+    std::size_t servedBy = 0;  //!< Server index that served the read.
+};
+
+/** The assembled system. */
+class Universe
+{
+  public:
+    explicit Universe(UniverseConfig cfg = {});
+    ~Universe();
+
+    Universe(const Universe &) = delete;
+    Universe &operator=(const Universe &) = delete;
+
+    // --- infrastructure access ----------------------------------------
+
+    Simulator &sim() { return sim_; }
+    Network &net() { return net_; }
+    KeyRegistry &registry() { return registry_; }
+    PbftCluster &primaryTier() { return *pbft_; }
+    SecondaryTier &secondaryTier() { return *tier_; }
+    PlaxtonMesh &mesh() { return *mesh_; }
+    BloomLocationService &bloomLocator() { return *bloom_; }
+    ArchivalSystem &archival() { return *archive_; }
+
+    /** Number of secondary servers. */
+    std::size_t numServers() const { return cfg_.numServers; }
+
+    // --- users and objects ---------------------------------------------
+
+    /** Mint a user key pair. */
+    KeyPair makeUser();
+
+    /**
+     * Create an object owned by @p owner: mints the handle, installs
+     * the owner-signed ACL on all servers, places initialHosts
+     * floating replicas on random servers and publishes them in both
+     * location tiers.
+     */
+    ObjectHandle createObject(const KeyPair &owner,
+                              const std::string &name);
+
+    /** Grant @p writer_key write permission on @p handle's object. */
+    void grantWrite(const ObjectHandle &handle, const KeyPair &owner,
+                    const Bytes &writer_key);
+
+    /**
+     * Materialize a working group's roster into the object's ACL
+     * (Section 4.2): every current member may write; expelled members
+     * lose access on the next sync.  Call again after roster changes.
+     */
+    void syncGroupAcl(const ObjectHandle &handle, const KeyPair &owner,
+                      const WorkingGroup &group);
+
+    /** Server indices currently hosting @p obj. */
+    std::vector<std::size_t> hosts(const Guid &obj) const;
+
+    /** Add a floating replica of @p obj on server @p idx. */
+    void addHost(const Guid &obj, std::size_t idx);
+
+    /** Remove the floating replica of @p obj from server @p idx. */
+    void removeHost(const Guid &obj, std::size_t idx);
+
+    // --- the update path -------------------------------------------------
+
+    /** Submit an update; @p done fires when the tier answers. */
+    void write(const Update &u, std::function<void(WriteResult)> done);
+
+    /** Submit and run the simulation until the result arrives. */
+    WriteResult writeSync(const Update &u);
+
+    // --- the read path ---------------------------------------------------
+
+    /**
+     * Read @p obj starting at server @p from_server: probabilistic
+     * location first, global mesh on miss; @p done is scheduled after
+     * the modeled location + fetch latency.
+     */
+    void read(std::size_t from_server, const Guid &obj,
+              std::function<void(ReadResult)> done);
+
+    /** Read and run the simulation until the result arrives. */
+    ReadResult readSync(std::size_t from_server, const Guid &obj);
+
+    // --- archival ---------------------------------------------------------
+
+    /**
+     * Snapshot the object's current committed state into the archive
+     * (fragment + disperse).  Returns the archival version's GUID.
+     */
+    Guid archiveObject(const Guid &obj);
+
+    /** Latest archival GUID for an object (invalid if never archived). */
+    Guid latestArchive(const Guid &obj) const;
+
+    /** Reconstruct an archival version; runs the sim until done. */
+    ReconstructResult restoreSync(const Guid &archive_guid);
+
+    // --- versioning (Sections 2 and 4.5) -------------------------------
+
+    /** All archived (version, archive GUID) pairs for an object. */
+    std::vector<std::pair<VersionNum, Guid>>
+    archivedVersions(const Guid &obj) const;
+
+    /**
+     * Resolve a permanent version-qualified name to its archival
+     * GUID (invalid Guid when that version was never archived or was
+     * retired).  A name without a version resolves to the latest.
+     */
+    Guid resolveVersionedName(const VersionedName &name) const;
+
+    /**
+     * Read a historical version of an object by replaying the
+     * committed update log on the primary tier ("permanent pointers
+     * to information").
+     */
+    std::optional<DataObject> readVersion(const Guid &obj,
+                                          VersionNum v) const;
+
+    /** Modification history of an object (from the primary replica). */
+    std::vector<VersionRecord> historyOf(const Guid &obj) const;
+
+    /**
+     * Apply a retention policy (Elephant-style, Section 2): retire
+     * archival versions the policy does not retain.
+     * @return number of versions retired.
+     */
+    unsigned applyRetention(const Guid &obj,
+                            const RetentionPolicy &policy);
+
+    // --- introspection -----------------------------------------------------
+
+    /** The cluster-recognition graph fed by every read. */
+    SemanticGraph &semanticGraph() { return semantic_; }
+
+    /** The access-stream prefetcher fed by every read. */
+    Prefetcher &prefetcher() { return prefetcher_; }
+
+    /**
+     * Confidence estimation over the system's own optimizations
+     * (Section 4.7.2): replica creation is gated on the confidence of
+     * kind "replica.create"; callers feed outcomes back with observed
+     * before/after latencies.
+     */
+    ConfidenceEstimator &confidence() { return confidence_; }
+
+    /**
+     * Run one replica-management epoch over the access counters:
+     * create replicas near overloaded hosts, retire disused ones,
+     * then reset the counters.  @return enacted actions.
+     */
+    std::vector<ReplicaAction> runReplicaManagementEpoch();
+
+    /**
+     * Collocate semantically clustered objects (Section 4.7.2: the
+     * published cluster descriptors "help remote optimization modules
+     * collocate and prefetch related files"): for every detected
+     * cluster, every member object gains a floating replica on the
+     * server already hosting the most cluster members.
+     * @return number of replicas created.
+     */
+    unsigned collocateClusters(double min_weight);
+
+    // --- simulation driving -------------------------------------------------
+
+    /**
+     * Step the simulator until @p pred holds or @p max_time elapses.
+     * @return the final value of pred().
+     */
+    bool runUntil(const std::function<bool()> &pred, double max_time);
+
+    /** Advance simulated time by @p seconds, processing events. */
+    void advance(double seconds) { sim_.runUntil(sim_.now() + seconds); }
+
+  private:
+    /** Wire the executor / onCommit hooks into the PBFT cluster. */
+    void wireCommitPath();
+
+    /** Executor: validate against the ACL and apply to the replica. */
+    Bytes executeUpdate(unsigned rank, const Bytes &payload,
+                        std::uint64_t seq);
+
+    UniverseConfig cfg_;
+    Rng rng_;
+    Simulator sim_;
+    Network net_;
+    KeyRegistry registry_;
+
+    Topology topo_;
+    std::unique_ptr<SecondaryTier> tier_;
+    std::unique_ptr<PlaxtonMesh> mesh_;
+    std::unique_ptr<BloomLocationService> bloom_;
+    std::unique_ptr<PbftCluster> pbft_;
+    std::unique_ptr<PbftClient> client_;
+    std::unique_ptr<ArchivalSystem> archive_;
+    std::unique_ptr<ArchivalClient> archiveClient_;
+    std::unique_ptr<ReedSolomonCode> archiveCodec_;
+
+    /** Primary-tier replica state: one object map per rank. */
+    std::vector<std::map<Guid, DataObject>> primaryObjects_;
+    WriteGuard guard_;
+
+    /** Floating-replica placement: object -> hosting server indices. */
+    std::map<Guid, std::set<std::size_t>> hosts_;
+
+    /** Archival snapshots per object, per version. */
+    std::map<Guid, std::map<VersionNum, Guid>> archives_;
+
+    /** Introspection state. */
+    SemanticGraph semantic_;
+    Prefetcher prefetcher_;
+    ConfidenceEstimator confidence_;
+    ReplicaManager replicaMgr_;
+    std::map<std::pair<Guid, std::size_t>, std::uint64_t> accessLoad_;
+    /** Where reads originate: object -> reader server -> count. */
+    std::map<Guid, std::map<std::size_t, std::uint64_t>> readerLoad_;
+};
+
+} // namespace oceanstore
+
+#endif // OCEANSTORE_CORE_UNIVERSE_H

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Versioning interfaces (Section 2 footnote 2, Section 4.5).
+ *
+ * "In principle, every update to an OceanStore object creates a new
+ * version ... we plan to provide interfaces for retiring old
+ * versions, as in the Elephant File System."  And from Section 4.5:
+ * "we provide a naming syntax which explicitly incorporates version
+ * numbers.  Such names can be included in other documents as a form
+ * of permanent hyper-link.  In addition, interfaces will exist to
+ * examine modification history and to set versioning policies."
+ *
+ * This module provides all three: version-qualified names
+ * ("<guid-hex>@<version>"), modification-history examination over a
+ * replica's update log, and Elephant-style retention policies that
+ * decide which archival versions to keep.
+ */
+
+#ifndef OCEANSTORE_CORE_VERSIONING_H
+#define OCEANSTORE_CORE_VERSIONING_H
+
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "consistency/data_object.h"
+
+namespace oceanstore {
+
+/**
+ * A version-qualified object name: a permanent hyper-link.  Without a
+ * version it denotes the active (latest) form; with one, an immutable
+ * archival version.
+ */
+struct VersionedName
+{
+    Guid guid;
+    std::optional<VersionNum> version;
+
+    /** Render as "<40-hex>@<version>" or bare "<40-hex>". */
+    std::string toString() const;
+
+    /** Parse; @return nullopt on malformed input. */
+    static std::optional<VersionedName> parse(const std::string &name);
+
+    bool operator==(const VersionedName &) const = default;
+};
+
+/** One entry of an object's modification history. */
+struct VersionRecord
+{
+    VersionNum version = 0;     //!< Version this update produced.
+    Timestamp timestamp;        //!< Client-assigned (who/when).
+    Bytes writerPublicKey;      //!< Key that signed the update.
+    bool committed = false;     //!< Aborted updates are logged too.
+    std::size_t actions = 0;    //!< How many actions it carried.
+};
+
+/**
+ * Examine modification history from a replica's update log:
+ * committed entries carry the version they created; aborted ones the
+ * version they failed against.
+ */
+std::vector<VersionRecord> modificationHistory(const DataObject &obj);
+
+/** Elephant-style retention policies (Section 2, citing [44]). */
+enum class RetentionKind
+{
+    KeepAll,       //!< Every version is archival (the default vision).
+    KeepLast,      //!< Only the most recent K versions.
+    KeepLandmarks, //!< Recent versions densely, older ones sparsely.
+};
+
+/** A configured retention policy. */
+struct RetentionPolicy
+{
+    RetentionKind kind = RetentionKind::KeepAll;
+    /** KeepLast: how many recent versions survive. */
+    unsigned keepLast = 8;
+    /** KeepLandmarks: keep every version newer than this ... */
+    unsigned landmarkWindow = 4;
+    /** ... and every stride-th older version as a landmark. */
+    unsigned landmarkStride = 4;
+};
+
+/**
+ * Apply a policy to the set of existing archived versions.
+ * @return the versions to *retain*; the caller retires the rest.
+ * The latest version is always retained.
+ */
+std::set<VersionNum>
+selectRetainedVersions(const std::vector<VersionNum> &versions,
+                       const RetentionPolicy &policy);
+
+} // namespace oceanstore
+
+#endif // OCEANSTORE_CORE_VERSIONING_H

@@ -1,0 +1,53 @@
+#include "crypto/block_cipher.h"
+
+#include <stdexcept>
+
+namespace oceanstore {
+
+BlockCipher::BlockCipher(Bytes key)
+    : key_(std::move(key))
+{
+    if (key_.empty())
+        throw std::invalid_argument("BlockCipher: empty key");
+}
+
+Bytes
+BlockCipher::xorStream(std::uint64_t block_index, const Bytes &in) const
+{
+    Bytes out(in.size());
+    Sha1Digest pad{};
+    for (std::size_t j = 0; j < in.size(); j++) {
+        if (j % 20 == 0) {
+            Sha1 h;
+            h.update(key_);
+            std::uint8_t ctr[16];
+            std::uint64_t chunk = j / 20;
+            for (int k = 0; k < 8; k++) {
+                ctr[k] = static_cast<std::uint8_t>(
+                    block_index >> (56 - 8 * k));
+                ctr[8 + k] = static_cast<std::uint8_t>(
+                    chunk >> (56 - 8 * k));
+            }
+            h.update(ctr, sizeof(ctr));
+            pad = h.finish();
+        }
+        out[j] = in[j] ^ pad[j % 20];
+    }
+    return out;
+}
+
+Bytes
+BlockCipher::encrypt(std::uint64_t block_index, const Bytes &plaintext)
+    const
+{
+    return xorStream(block_index, plaintext);
+}
+
+Bytes
+BlockCipher::decrypt(std::uint64_t block_index, const Bytes &ciphertext)
+    const
+{
+    return xorStream(block_index, ciphertext);
+}
+
+} // namespace oceanstore

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Position-dependent block cipher (Section 4.4.2).
+ *
+ * The ciphertext update operations — compare-block, replace-block,
+ * append, and the pointer-block insert/delete scheme of Figure 4 —
+ * assume "the encryption technology is a position-dependent block
+ * cipher": encrypting the same plaintext at the same (object, block
+ * index) yields the same ciphertext, so a client can compute the hash
+ * of an encrypted block without a server round-trip.
+ *
+ * Substitution (documented in DESIGN.md): we implement this as a
+ * keyed, position-tweaked pseudo-random stream derived from SHA-1 in
+ * counter mode, XOR-ed with the plaintext.  This gives exactly the
+ * determinism-per-position contract the paper's ops rely on.  It is
+ * *not* a modern AEAD — deterministic encryption leaks equality of
+ * blocks, which the paper itself acknowledges ("this scheme leaks a
+ * small amount of information").
+ */
+
+#ifndef OCEANSTORE_CRYPTO_BLOCK_CIPHER_H
+#define OCEANSTORE_CRYPTO_BLOCK_CIPHER_H
+
+#include <cstdint>
+
+#include "crypto/sha1.h"
+#include "util/bytes.h"
+
+namespace oceanstore {
+
+/**
+ * Position-dependent symmetric cipher.
+ *
+ * Keystream for byte j of logical block i is byte (j mod 20) of
+ * SHA1(key || i || j/20); encryption and decryption are both XOR with
+ * that stream.
+ */
+class BlockCipher
+{
+  public:
+    /** Construct with a symmetric read key (any length > 0). */
+    explicit BlockCipher(Bytes key);
+
+    /**
+     * Encrypt @p plaintext as logical block @p block_index.
+     * Deterministic: same key, index and plaintext give the same
+     * ciphertext (required for compare-block, Section 4.4.3).
+     */
+    Bytes encrypt(std::uint64_t block_index, const Bytes &plaintext) const;
+
+    /** Decrypt ciphertext produced by encrypt() at the same index. */
+    Bytes decrypt(std::uint64_t block_index,
+                  const Bytes &ciphertext) const;
+
+    /** The read key this cipher was constructed with. */
+    const Bytes &key() const { return key_; }
+
+  private:
+    Bytes xorStream(std::uint64_t block_index, const Bytes &in) const;
+
+    Bytes key_;
+};
+
+} // namespace oceanstore
+
+#endif // OCEANSTORE_CRYPTO_BLOCK_CIPHER_H

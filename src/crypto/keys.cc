@@ -1,0 +1,56 @@
+#include "crypto/keys.h"
+
+namespace oceanstore {
+
+KeyRegistry::KeyRegistry(std::uint64_t seed)
+    : rng_(seed)
+{
+}
+
+KeyPair
+KeyRegistry::generate()
+{
+    KeyPair kp;
+    kp.privateKey.resize(20);
+    for (std::size_t i = 0; i < kp.privateKey.size(); i += 8) {
+        std::uint64_t v = rng_.next();
+        for (std::size_t j = 0; j < 8 && i + j < kp.privateKey.size(); j++)
+            kp.privateKey[i + j] = static_cast<std::uint8_t>(v >> (8 * j));
+    }
+    kp.publicKey = digestToBytes(Sha1::hash(kp.privateKey));
+    privByPubHash_[Guid::hashOf(kp.publicKey)] = kp.privateKey;
+    return kp;
+}
+
+Signature
+KeyRegistry::sign(const KeyPair &kp, const Bytes &msg)
+{
+    Sha1 h;
+    h.update(kp.privateKey);
+    h.update(msg);
+    Sha1Digest mac = h.finish();
+
+    Signature sig;
+    sig.bytes.assign(signatureWireSize, 0);
+    std::copy(mac.begin(), mac.end(), sig.bytes.begin());
+    return sig;
+}
+
+bool
+KeyRegistry::verify(const Bytes &public_key, const Bytes &msg,
+                    const Signature &sig) const
+{
+    auto it = privByPubHash_.find(Guid::hashOf(public_key));
+    if (it == privByPubHash_.end())
+        return false;
+    if (sig.bytes.size() != signatureWireSize)
+        return false;
+
+    Sha1 h;
+    h.update(it->second);
+    h.update(msg);
+    Sha1Digest mac = h.finish();
+    return std::equal(mac.begin(), mac.end(), sig.bytes.begin());
+}
+
+} // namespace oceanstore

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Simulated public-key signatures (Sections 4.1, 4.2, 4.4.4).
+ *
+ * The paper requires that all writes be signed so servers can check
+ * them against ACLs, and that the primary tier sign serialization
+ * results.  The protocols only use the *semantics* of signatures —
+ * verify(pub, msg, sign(priv, msg)) == true, unforgeability without
+ * priv — plus their wire size; they never depend on a particular
+ * number-theoretic construction.
+ *
+ * Substitution (documented in DESIGN.md): instead of RSA-era
+ * public-key math, we model a key pair as (priv = random secret,
+ * pub = SHA1(priv)) and a signature as SHA1(priv || msg).  Because a
+ * verifier holds only pub, verification is performed through a
+ * KeyRegistry, which plays the role of the signature-verification
+ * *algorithm* in the simulation.  Within the simulation's threat
+ * model, a node that never learns priv cannot forge signatures, which
+ * is the property the protocols exercise.  Signature wire size is
+ * padded to 128 bytes to model 1024-bit RSA signatures so that byte
+ * accounting (Figure 6) stays realistic.
+ */
+
+#ifndef OCEANSTORE_CRYPTO_KEYS_H
+#define OCEANSTORE_CRYPTO_KEYS_H
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "crypto/guid.h"
+#include "util/bytes.h"
+#include "util/random.h"
+
+namespace oceanstore {
+
+/** Wire size of a simulated signature, modelling 1024-bit RSA. */
+constexpr std::size_t signatureWireSize = 128;
+
+/** A simulated signing key pair. */
+struct KeyPair
+{
+    Bytes publicKey;  //!< SHA1(privateKey); safe to publish.
+    Bytes privateKey; //!< 20 random bytes; never enters messages.
+};
+
+/** A detached signature over a message. */
+struct Signature
+{
+    Bytes bytes; //!< signatureWireSize octets; first 20 carry the MAC.
+
+    bool operator==(const Signature &) const = default;
+};
+
+/**
+ * Key generation and signature verification oracle.
+ *
+ * One registry exists per simulated universe.  generate() mints key
+ * pairs; verify() checks a signature knowing only the public key (the
+ * registry privately remembers the private half, standing in for the
+ * public-key verification equation).
+ */
+class KeyRegistry
+{
+  public:
+    explicit KeyRegistry(std::uint64_t seed = 0x4b455953u);
+
+    /** Mint a fresh key pair and register it for verification. */
+    KeyPair generate();
+
+    /** Sign @p msg with a private key. */
+    static Signature sign(const KeyPair &kp, const Bytes &msg);
+
+    /**
+     * Verify @p sig over @p msg against @p public_key.
+     * Unknown public keys always fail.
+     */
+    bool verify(const Bytes &public_key, const Bytes &msg,
+                const Signature &sig) const;
+
+  private:
+    Rng rng_;
+    std::unordered_map<Guid, Bytes> privByPubHash_;
+};
+
+} // namespace oceanstore
+
+#endif // OCEANSTORE_CRYPTO_KEYS_H

@@ -1,0 +1,153 @@
+#include "crypto/sha1.h"
+
+#include <cstring>
+
+namespace oceanstore {
+
+namespace {
+
+std::uint32_t
+rotl32(std::uint32_t x, int k)
+{
+    return (x << k) | (x >> (32 - k));
+}
+
+} // namespace
+
+Sha1::Sha1()
+    : bufferLen_(0), totalLen_(0)
+{
+    h_[0] = 0x67452301u;
+    h_[1] = 0xefcdab89u;
+    h_[2] = 0x98badcfeu;
+    h_[3] = 0x10325476u;
+    h_[4] = 0xc3d2e1f0u;
+}
+
+void
+Sha1::processBlock(const std::uint8_t *block)
+{
+    std::uint32_t w[80];
+    for (int i = 0; i < 16; i++) {
+        w[i] = (static_cast<std::uint32_t>(block[i * 4]) << 24) |
+               (static_cast<std::uint32_t>(block[i * 4 + 1]) << 16) |
+               (static_cast<std::uint32_t>(block[i * 4 + 2]) << 8) |
+               static_cast<std::uint32_t>(block[i * 4 + 3]);
+    }
+    for (int i = 16; i < 80; i++)
+        w[i] = rotl32(w[i - 3] ^ w[i - 8] ^ w[i - 14] ^ w[i - 16], 1);
+
+    std::uint32_t a = h_[0], b = h_[1], c = h_[2], d = h_[3], e = h_[4];
+
+    for (int i = 0; i < 80; i++) {
+        std::uint32_t f, k;
+        if (i < 20) {
+            f = (b & c) | (~b & d);
+            k = 0x5a827999u;
+        } else if (i < 40) {
+            f = b ^ c ^ d;
+            k = 0x6ed9eba1u;
+        } else if (i < 60) {
+            f = (b & c) | (b & d) | (c & d);
+            k = 0x8f1bbcdcu;
+        } else {
+            f = b ^ c ^ d;
+            k = 0xca62c1d6u;
+        }
+        std::uint32_t temp = rotl32(a, 5) + f + e + k + w[i];
+        e = d;
+        d = c;
+        c = rotl32(b, 30);
+        b = a;
+        a = temp;
+    }
+
+    h_[0] += a;
+    h_[1] += b;
+    h_[2] += c;
+    h_[3] += d;
+    h_[4] += e;
+}
+
+void
+Sha1::update(const std::uint8_t *data, std::size_t n)
+{
+    totalLen_ += n;
+    while (n > 0) {
+        std::size_t take = std::min(n, sizeof(buffer_) - bufferLen_);
+        std::memcpy(buffer_ + bufferLen_, data, take);
+        bufferLen_ += take;
+        data += take;
+        n -= take;
+        if (bufferLen_ == sizeof(buffer_)) {
+            processBlock(buffer_);
+            bufferLen_ = 0;
+        }
+    }
+}
+
+void
+Sha1::update(std::string_view s)
+{
+    update(reinterpret_cast<const std::uint8_t *>(s.data()), s.size());
+}
+
+Sha1Digest
+Sha1::finish()
+{
+    std::uint64_t bit_len = totalLen_ * 8;
+
+    // Append the 0x80 terminator, then zero-pad so 8 bytes remain for
+    // the length field in the final block.
+    std::uint8_t pad = 0x80;
+    update(&pad, 1);
+    std::uint8_t zero = 0x00;
+    while (bufferLen_ != 56)
+        update(&zero, 1);
+
+    std::uint8_t len_bytes[8];
+    for (int i = 0; i < 8; i++)
+        len_bytes[i] = static_cast<std::uint8_t>(bit_len >> (56 - 8 * i));
+    // Bypass update() so totalLen_ bookkeeping is irrelevant now.
+    std::memcpy(buffer_ + bufferLen_, len_bytes, 8);
+    processBlock(buffer_);
+
+    Sha1Digest out;
+    for (int i = 0; i < 5; i++) {
+        out[i * 4] = static_cast<std::uint8_t>(h_[i] >> 24);
+        out[i * 4 + 1] = static_cast<std::uint8_t>(h_[i] >> 16);
+        out[i * 4 + 2] = static_cast<std::uint8_t>(h_[i] >> 8);
+        out[i * 4 + 3] = static_cast<std::uint8_t>(h_[i]);
+    }
+    return out;
+}
+
+Sha1Digest
+Sha1::hash(const Bytes &b)
+{
+    Sha1 s;
+    s.update(b);
+    return s.finish();
+}
+
+Sha1Digest
+Sha1::hash(std::string_view str)
+{
+    Sha1 s;
+    s.update(str);
+    return s.finish();
+}
+
+Bytes
+digestToBytes(const Sha1Digest &d)
+{
+    return Bytes(d.begin(), d.end());
+}
+
+std::string
+digestToHex(const Sha1Digest &d)
+{
+    return hexEncode(digestToBytes(d));
+}
+
+} // namespace oceanstore

@@ -1,0 +1,96 @@
+#include "erasure/availability.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace oceanstore {
+
+double
+logBinomial(std::uint64_t n, std::uint64_t k)
+{
+    if (k > n)
+        return -INFINITY;
+    if (k == 0 || k == n)
+        return 0.0;
+    return std::lgamma(static_cast<double>(n) + 1.0) -
+           std::lgamma(static_cast<double>(k) + 1.0) -
+           std::lgamma(static_cast<double>(n - k) + 1.0);
+}
+
+double
+documentAvailability(std::uint64_t n, std::uint64_t m, std::uint64_t f,
+                     std::uint64_t rf)
+{
+    if (f > n)
+        fatal("documentAvailability: more fragments than machines");
+    if (m > n)
+        fatal("documentAvailability: more down machines than machines");
+
+    // At most min(f, m) fragments can be unavailable; if that many
+    // are tolerable the document is always retrievable (return the
+    // exact 1.0 rather than a rounded hypergeometric sum).
+    if (rf >= std::min(f, m))
+        return 1.0;
+
+    // P = sum_{i=0}^{rf} C(f,i) C(n-f, m-i) / C(n,m), hypergeometric
+    // over which of the m down machines hold fragments.
+    double denom = logBinomial(n, m);
+    double p = 0.0;
+    std::uint64_t imax = std::min(rf, std::min(f, m));
+    for (std::uint64_t i = 0; i <= imax; i++) {
+        if (m - i > n - f)
+            continue; // cannot place m-i down machines off-fragment
+        double lg = logBinomial(f, i) + logBinomial(n - f, m - i) - denom;
+        p += std::exp(lg);
+    }
+    return std::min(p, 1.0);
+}
+
+double
+replicationAvailability(std::uint64_t n, std::uint64_t m, std::uint64_t r)
+{
+    // Lost only if all r replica machines are down.
+    return documentAvailability(n, m, r, r - 1);
+}
+
+double
+simulateAvailability(std::uint64_t n, std::uint64_t m, std::uint64_t f,
+                     std::uint64_t rf, std::uint64_t trials, Rng &rng)
+{
+    // The f fragment machines are a fixed set; by exchangeability we
+    // can draw each fragment's fate sequentially: fragment i is on a
+    // down machine with probability (down remaining)/(machines
+    // remaining).  O(f) per trial rather than O(m), which matters at
+    // the paper's n = 10^6 scale.
+    std::uint64_t ok = 0;
+    for (std::uint64_t t = 0; t < trials; t++) {
+        std::uint64_t remaining_down = m;
+        std::uint64_t remaining_total = n;
+        std::uint64_t dead_frags = 0;
+        for (std::uint64_t i = 0; i < f && dead_frags <= rf; i++) {
+            double p_down = static_cast<double>(remaining_down) /
+                            static_cast<double>(remaining_total);
+            if (rng.chance(p_down)) {
+                dead_frags++;
+                remaining_down--;
+            }
+            remaining_total--;
+        }
+        if (dead_frags <= rf)
+            ok++;
+    }
+    return static_cast<double>(ok) / static_cast<double>(trials);
+}
+
+double
+nines(double availability)
+{
+    double q = 1.0 - availability;
+    if (q <= 0.0)
+        return INFINITY;
+    return -std::log10(q);
+}
+
+} // namespace oceanstore

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Deep-archival availability mathematics (Section 4.5).
+ *
+ * The paper's reliability formula: with n machines of which m are
+ * currently unavailable, a document coded into f fragments of which
+ * at most rf may be unavailable is retrievable with probability
+ *
+ *     P = sum_{i=0}^{rf} [ C(f,i) C(n-f, m-i) / C(n,m) ]
+ *
+ * i.e. a hypergeometric tail: fragments land on distinct machines,
+ * and we need enough of those machines up.  This module evaluates the
+ * formula in log space (n = 10^6 overflows naive binomials) and also
+ * provides the Monte-Carlo estimator the benchmark uses to validate
+ * it.
+ */
+
+#ifndef OCEANSTORE_ERASURE_AVAILABILITY_H
+#define OCEANSTORE_ERASURE_AVAILABILITY_H
+
+#include <cstdint>
+
+#include "util/random.h"
+
+namespace oceanstore {
+
+/** log of the binomial coefficient C(n, k). */
+double logBinomial(std::uint64_t n, std::uint64_t k);
+
+/**
+ * The paper's formula: probability a document is available.
+ *
+ * @param n  number of machines
+ * @param m  machines currently unavailable
+ * @param f  fragments per document (each on a distinct machine)
+ * @param rf maximum unavailable fragments that still allow retrieval
+ */
+double documentAvailability(std::uint64_t n, std::uint64_t m,
+                            std::uint64_t f, std::uint64_t rf);
+
+/**
+ * Availability of plain replication: r full replicas on distinct
+ * machines; the document survives if at least one replica's machine
+ * is up.  Equivalent to documentAvailability(n, m, r, r-1).
+ */
+double replicationAvailability(std::uint64_t n, std::uint64_t m,
+                               std::uint64_t r);
+
+/**
+ * Monte-Carlo estimate of documentAvailability: draw @p trials random
+ * down-sets of size m and count retrievable outcomes.  Used by the
+ * benchmark to validate the closed form against simulation.
+ */
+double simulateAvailability(std::uint64_t n, std::uint64_t m,
+                            std::uint64_t f, std::uint64_t rf,
+                            std::uint64_t trials, Rng &rng);
+
+/** Convert an availability into "number of nines" (-log10(1-P)). */
+double nines(double availability);
+
+} // namespace oceanstore
+
+#endif // OCEANSTORE_ERASURE_AVAILABILITY_H

@@ -1,0 +1,57 @@
+#include "erasure/fragment.h"
+
+namespace oceanstore {
+
+bool
+Fragment::verify() const
+{
+    return MerkleTree::verify(data, proof, archiveGuid.bytes());
+}
+
+std::size_t
+Fragment::wireSize() const
+{
+    return data.size() + proof.size() * (20 + 1) + Guid::numBytes + 4;
+}
+
+FragmentSet
+fragmentObject(const ErasureCodec &codec, const Bytes &data)
+{
+    FragmentSet set;
+    set.originalSize = data.size();
+
+    std::vector<Bytes> coded = codec.encode(data);
+    MerkleTree tree(coded);
+    set.archiveGuid = tree.rootGuid();
+
+    set.fragments.reserve(coded.size());
+    for (std::size_t i = 0; i < coded.size(); i++) {
+        Fragment f;
+        f.archiveGuid = set.archiveGuid;
+        f.index = static_cast<std::uint32_t>(i);
+        f.data = std::move(coded[i]);
+        f.proof = tree.path(i);
+        set.fragments.push_back(std::move(f));
+    }
+    return set;
+}
+
+std::optional<Bytes>
+reassembleObject(const ErasureCodec &codec, const Guid &archive_guid,
+                 std::size_t original_size,
+                 const std::vector<Fragment> &available)
+{
+    std::vector<std::optional<Bytes>> slots(codec.totalFragments());
+    for (const Fragment &f : available) {
+        if (f.archiveGuid != archive_guid)
+            continue; // fragment of some other version
+        if (f.index >= slots.size() || slots[f.index].has_value())
+            continue;
+        if (!f.verify())
+            continue; // corrupt: treat as erasure
+        slots[f.index] = f.data;
+    }
+    return codec.decode(slots, original_size);
+}
+
+} // namespace oceanstore

@@ -1,0 +1,96 @@
+#include "erasure/gf256.h"
+
+#include <array>
+
+#include "util/logging.h"
+
+namespace oceanstore {
+namespace gf256 {
+
+namespace {
+
+struct Tables
+{
+    std::array<std::uint8_t, 256> logTable;
+    std::array<std::uint8_t, 512> expTable; // doubled to skip a mod
+
+    Tables()
+    {
+        // Generator 2 over primitive polynomial 0x11d.
+        unsigned x = 1;
+        for (unsigned i = 0; i < 255; i++) {
+            expTable[i] = static_cast<std::uint8_t>(x);
+            logTable[x] = static_cast<std::uint8_t>(i);
+            x <<= 1;
+            if (x & 0x100)
+                x ^= 0x11d;
+        }
+        for (unsigned i = 255; i < 512; i++)
+            expTable[i] = expTable[i - 255];
+        logTable[0] = 0; // undefined; guarded by callers
+    }
+};
+
+const Tables tables;
+
+} // namespace
+
+std::uint8_t
+mul(std::uint8_t a, std::uint8_t b)
+{
+    if (a == 0 || b == 0)
+        return 0;
+    return tables.expTable[tables.logTable[a] + tables.logTable[b]];
+}
+
+std::uint8_t
+inv(std::uint8_t a)
+{
+    if (a == 0)
+        panic("gf256::inv(0)");
+    return tables.expTable[255 - tables.logTable[a]];
+}
+
+std::uint8_t
+div(std::uint8_t a, std::uint8_t b)
+{
+    if (b == 0)
+        panic("gf256::div by zero");
+    if (a == 0)
+        return 0;
+    return tables.expTable[tables.logTable[a] + 255 -
+                           tables.logTable[b]];
+}
+
+std::uint8_t
+pow(std::uint8_t a, unsigned n)
+{
+    if (n == 0)
+        return 1;
+    if (a == 0)
+        return 0;
+    unsigned l = (tables.logTable[a] * n) % 255;
+    return tables.expTable[l];
+}
+
+void
+mulAdd(std::uint8_t *dst, const std::uint8_t *src, std::uint8_t c,
+       std::size_t n)
+{
+    if (c == 0)
+        return;
+    if (c == 1) {
+        for (std::size_t i = 0; i < n; i++)
+            dst[i] ^= src[i];
+        return;
+    }
+    unsigned lc = tables.logTable[c];
+    for (std::size_t i = 0; i < n; i++) {
+        std::uint8_t s = src[i];
+        if (s)
+            dst[i] ^= tables.expTable[lc + tables.logTable[s]];
+    }
+}
+
+} // namespace gf256
+} // namespace oceanstore

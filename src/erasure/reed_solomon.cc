@@ -1,0 +1,164 @@
+#include "erasure/reed_solomon.h"
+
+#include <sstream>
+
+#include "erasure/gf256.h"
+#include "util/logging.h"
+
+namespace oceanstore {
+
+ReedSolomonCode::ReedSolomonCode(unsigned k, unsigned t)
+    : k_(k), t_(t)
+{
+    if (k == 0 || t <= k || t > 256)
+        fatal("ReedSolomonCode: need 1 <= k < t <= 256");
+}
+
+std::vector<std::uint8_t>
+ReedSolomonCode::generatorRow(unsigned row) const
+{
+    std::vector<std::uint8_t> r(k_, 0);
+    if (row < k_) {
+        r[row] = 1; // systematic identity row
+    } else {
+        // Cauchy row: 1 / (x ^ y_j) with x = row, y_j = j.  The index
+        // sets {k..t-1} and {0..k-1} are disjoint bytes, so x ^ y_j
+        // is never zero and every square submatrix is invertible.
+        auto x = static_cast<std::uint8_t>(row);
+        for (unsigned j = 0; j < k_; j++)
+            r[j] = gf256::inv(x ^ static_cast<std::uint8_t>(j));
+    }
+    return r;
+}
+
+std::vector<Bytes>
+ReedSolomonCode::encode(const Bytes &data) const
+{
+    std::size_t frag_size = (data.size() + k_ - 1) / k_;
+    if (frag_size == 0)
+        frag_size = 1;
+
+    std::vector<Bytes> frags(t_, Bytes(frag_size, 0));
+    // Data stripes.
+    for (unsigned j = 0; j < k_; j++) {
+        std::size_t off = static_cast<std::size_t>(j) * frag_size;
+        for (std::size_t i = 0; i < frag_size && off + i < data.size();
+             i++) {
+            frags[j][i] = data[off + i];
+        }
+    }
+    // Parity stripes.
+    for (unsigned row = k_; row < t_; row++) {
+        auto coeffs = generatorRow(row);
+        for (unsigned j = 0; j < k_; j++) {
+            gf256::mulAdd(frags[row].data(), frags[j].data(), coeffs[j],
+                          frag_size);
+        }
+    }
+    return frags;
+}
+
+std::optional<Bytes>
+ReedSolomonCode::decode(
+    const std::vector<std::optional<Bytes>> &fragments,
+    std::size_t original_size) const
+{
+    if (fragments.size() != t_)
+        fatal("ReedSolomonCode::decode: fragment vector size mismatch");
+
+    // Gather the first k available fragments (data rows first keeps
+    // the matrix closer to identity, but any k work).
+    std::vector<unsigned> rows;
+    for (unsigned i = 0; i < t_ && rows.size() < k_; i++) {
+        if (fragments[i].has_value())
+            rows.push_back(i);
+    }
+    if (rows.size() < k_)
+        return std::nullopt;
+
+    std::size_t frag_size = fragments[rows[0]]->size();
+    for (unsigned r : rows) {
+        if (fragments[r]->size() != frag_size)
+            fatal("ReedSolomonCode::decode: ragged fragments");
+    }
+
+    // Fast path: all data stripes survive.
+    bool all_data = true;
+    for (unsigned j = 0; j < k_; j++) {
+        if (!fragments[j].has_value()) {
+            all_data = false;
+            break;
+        }
+    }
+
+    std::vector<Bytes> stripes(k_);
+    if (all_data) {
+        for (unsigned j = 0; j < k_; j++)
+            stripes[j] = *fragments[j];
+    } else {
+        // Build the k x k decode matrix and invert it (Gauss-Jordan
+        // over GF(256)).
+        std::vector<std::vector<std::uint8_t>> a(rows.size());
+        std::vector<std::vector<std::uint8_t>> ainv(
+            k_, std::vector<std::uint8_t>(k_, 0));
+        for (unsigned r = 0; r < k_; r++) {
+            a[r] = generatorRow(rows[r]);
+            ainv[r][r] = 1;
+        }
+        for (unsigned col = 0; col < k_; col++) {
+            // Find pivot.
+            unsigned piv = col;
+            while (piv < k_ && a[piv][col] == 0)
+                piv++;
+            if (piv == k_)
+                panic("ReedSolomonCode: singular decode matrix");
+            std::swap(a[piv], a[col]);
+            std::swap(ainv[piv], ainv[col]);
+            std::uint8_t d = gf256::inv(a[col][col]);
+            for (unsigned j = 0; j < k_; j++) {
+                a[col][j] = gf256::mul(a[col][j], d);
+                ainv[col][j] = gf256::mul(ainv[col][j], d);
+            }
+            for (unsigned r = 0; r < k_; r++) {
+                if (r == col || a[r][col] == 0)
+                    continue;
+                std::uint8_t f = a[r][col];
+                for (unsigned j = 0; j < k_; j++) {
+                    a[r][j] ^= gf256::mul(f, a[col][j]);
+                    ainv[r][j] ^= gf256::mul(f, ainv[col][j]);
+                }
+            }
+        }
+        // stripe[j] = sum_r ainv[j][r] * fragment(rows[r]).
+        for (unsigned j = 0; j < k_; j++) {
+            stripes[j].assign(frag_size, 0);
+            for (unsigned r = 0; r < k_; r++) {
+                gf256::mulAdd(stripes[j].data(),
+                              fragments[rows[r]]->data(), ainv[j][r],
+                              frag_size);
+            }
+        }
+    }
+
+    Bytes out;
+    out.reserve(original_size);
+    for (unsigned j = 0; j < k_ && out.size() < original_size; j++) {
+        for (std::size_t i = 0;
+             i < frag_size && out.size() < original_size; i++) {
+            out.push_back(stripes[j][i]);
+        }
+    }
+    if (out.size() != original_size)
+        return std::nullopt; // original_size inconsistent with frags
+    return out;
+}
+
+std::string
+ReedSolomonCode::name() const
+{
+    std::ostringstream os;
+    os << "reed-solomon(" << k_ << "/" << t_ << ")";
+    return os.str();
+}
+
+} // namespace oceanstore

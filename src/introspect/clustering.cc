@@ -1,0 +1,88 @@
+#include "introspect/clustering.h"
+
+#include <algorithm>
+#include <queue>
+#include <set>
+
+namespace oceanstore {
+
+void
+SemanticGraph::onAccess(const Guid &obj)
+{
+    // Strengthen edges to the last `window_` distinct objects, nearer
+    // neighbors in the reference stream weighted more.
+    double w = 1.0;
+    for (auto it = recent_.rbegin(); it != recent_.rend(); ++it) {
+        if (*it != obj) {
+            adjacency_[obj][*it] += w;
+            adjacency_[*it][obj] += w;
+        }
+        w *= 0.5;
+    }
+    // Maintain the recency window (distinct entries).
+    auto dup = std::find(recent_.begin(), recent_.end(), obj);
+    if (dup != recent_.end())
+        recent_.erase(dup);
+    recent_.push_back(obj);
+    if (recent_.size() > window_)
+        recent_.pop_front();
+    adjacency_[obj]; // ensure the node exists even if isolated
+}
+
+double
+SemanticGraph::weight(const Guid &a, const Guid &b) const
+{
+    auto it = adjacency_.find(a);
+    if (it == adjacency_.end())
+        return 0.0;
+    auto jt = it->second.find(b);
+    return jt == it->second.end() ? 0.0 : jt->second;
+}
+
+std::vector<std::vector<Guid>>
+SemanticGraph::clusters(double min_weight) const
+{
+    std::set<Guid> unvisited;
+    for (const auto &[g, edges] : adjacency_)
+        unvisited.insert(g);
+
+    std::vector<std::vector<Guid>> out;
+    while (!unvisited.empty()) {
+        Guid seed = *unvisited.begin();
+        unvisited.erase(unvisited.begin());
+
+        std::vector<Guid> component{seed};
+        std::queue<Guid> frontier;
+        frontier.push(seed);
+        while (!frontier.empty()) {
+            Guid cur = frontier.front();
+            frontier.pop();
+            auto it = adjacency_.find(cur);
+            if (it == adjacency_.end())
+                continue;
+            for (const auto &[nb, w] : it->second) {
+                if (w < min_weight || !unvisited.count(nb))
+                    continue;
+                unvisited.erase(nb);
+                component.push_back(nb);
+                frontier.push(nb);
+            }
+        }
+        if (component.size() > 1) {
+            std::sort(component.begin(), component.end());
+            out.push_back(std::move(component));
+        }
+    }
+    return out;
+}
+
+void
+SemanticGraph::decay(double factor)
+{
+    for (auto &[g, edges] : adjacency_) {
+        for (auto &[nb, w] : edges)
+            w *= factor;
+    }
+}
+
+} // namespace oceanstore

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Cluster recognition via semantic distance (Section 4.7.2).
+ *
+ * "Each client machine contains an event handler triggered by each
+ * data object access.  This handler incrementally constructs a graph
+ * representing the semantic distance among data objects, which
+ * requires only a few operations per access.  Periodically, we run a
+ * clustering algorithm that consumes this graph and detects clusters
+ * of strongly-related objects."  (Semantic distance follows the Seer
+ * project [28]: objects accessed close together in the reference
+ * stream are semantically near.)
+ */
+
+#ifndef OCEANSTORE_INTROSPECT_CLUSTERING_H
+#define OCEANSTORE_INTROSPECT_CLUSTERING_H
+
+#include <deque>
+#include <map>
+#include <vector>
+
+#include "crypto/guid.h"
+
+namespace oceanstore {
+
+/**
+ * Incremental semantic-distance graph over object GUIDs.
+ *
+ * Each access strengthens edges between the accessed object and the
+ * last `window` distinct objects, weighted by recency — O(window)
+ * work per access.
+ */
+class SemanticGraph
+{
+  public:
+    /** @param window how many recent objects an access relates to. */
+    explicit SemanticGraph(std::size_t window = 4) : window_(window) {}
+
+    /** Record an access to @p obj. */
+    void onAccess(const Guid &obj);
+
+    /** Edge weight between two objects (0 when unrelated). */
+    double weight(const Guid &a, const Guid &b) const;
+
+    /** Number of distinct objects seen. */
+    std::size_t numObjects() const { return adjacency_.size(); }
+
+    /**
+     * Detect clusters: connected components of the graph restricted
+     * to edges with weight >= @p min_weight, each sorted by GUID.
+     * Singleton components are omitted.
+     */
+    std::vector<std::vector<Guid>> clusters(double min_weight) const;
+
+    /** Exponentially age all edges (periodic decay). */
+    void decay(double factor);
+
+  private:
+    std::size_t window_;
+    std::deque<Guid> recent_;
+    /** adjacency_[a][b] = accumulated co-access weight. */
+    std::map<Guid, std::map<Guid, double>> adjacency_;
+};
+
+} // namespace oceanstore
+
+#endif // OCEANSTORE_INTROSPECT_CLUSTERING_H

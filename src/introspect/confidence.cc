@@ -1,0 +1,73 @@
+#include "introspect/confidence.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace oceanstore {
+
+ConfidenceEstimator::ConfidenceEstimator(ConfidenceConfig cfg)
+    : cfg_(cfg)
+{
+}
+
+void
+ConfidenceEstimator::recordOutcome(const std::string &kind,
+                                   double metric_before,
+                                   double metric_after)
+{
+    State &st = kinds_[kind];
+    st.outcomes++;
+    st.suppressedCalls = 0; // fresh evidence resets probation
+
+    // Relative improvement mapped into [0, 1]: no change -> 0.5, a
+    // halving of the cost metric -> ~1, a doubling -> ~0.
+    double improvement = 0.0;
+    if (metric_before > 1e-12)
+        improvement = (metric_before - metric_after) / metric_before;
+    double sample = std::clamp(0.5 + improvement, 0.0, 1.0);
+    st.confidence =
+        (1.0 - cfg_.alpha) * st.confidence + cfg_.alpha * sample;
+}
+
+double
+ConfidenceEstimator::confidence(const std::string &kind) const
+{
+    auto it = kinds_.find(kind);
+    return it == kinds_.end() ? 0.5 : it->second.confidence;
+}
+
+bool
+ConfidenceEstimator::shouldApply(const std::string &kind)
+{
+    State &st = kinds_[kind];
+    if (st.confidence >= cfg_.minConfidence)
+        return true;
+    // Suppressed: count the skipped decision; occasionally grant a
+    // probation trial so the kind can prove itself again.
+    st.suppressedCalls++;
+    if (st.suppressedCalls >= cfg_.probationAfter) {
+        st.suppressedCalls = 0;
+        return true;
+    }
+    return false;
+}
+
+std::uint64_t
+ConfidenceEstimator::outcomes(const std::string &kind) const
+{
+    auto it = kinds_.find(kind);
+    return it == kinds_.end() ? 0 : it->second.outcomes;
+}
+
+std::vector<std::string>
+ConfidenceEstimator::suppressedKinds() const
+{
+    std::vector<std::string> out;
+    for (const auto &[kind, st] : kinds_) {
+        if (st.confidence < cfg_.minConfidence)
+            out.push_back(kind);
+    }
+    return out;
+}
+
+} // namespace oceanstore

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Confidence estimation over introspective optimizations
+ * (Section 4.7.2).
+ *
+ * "[OceanStore] performs continuous confidence estimation on its own
+ * optimizations in order to reduce harmful changes and feedback
+ * cycles."  Each kind of optimization (replica creation, prefetching,
+ * tree adjustment, ...) accumulates evidence from observed
+ * before/after metrics; kinds whose confidence decays below a
+ * threshold are suppressed until fresh evidence rehabilitates them —
+ * damping oscillation when an optimizer and the workload fight each
+ * other.
+ */
+
+#ifndef OCEANSTORE_INTROSPECT_CONFIDENCE_H
+#define OCEANSTORE_INTROSPECT_CONFIDENCE_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace oceanstore {
+
+/** Tunables for confidence tracking. */
+struct ConfidenceConfig
+{
+    /** EWMA weight of each new observation. */
+    double alpha = 0.3;
+    /** Kinds below this confidence are suppressed. */
+    double minConfidence = 0.35;
+    /**
+     * A suppressed kind is re-enabled (on probation) after this many
+     * suppressed decision points, so it can gather fresh evidence.
+     */
+    unsigned probationAfter = 3;
+};
+
+/** Tracks how well each optimization kind has been working. */
+class ConfidenceEstimator
+{
+  public:
+    explicit ConfidenceEstimator(ConfidenceConfig cfg = {});
+
+    /**
+     * Record an optimization outcome: @p metric_before and
+     * @p metric_after are a cost metric (lower is better, e.g. mean
+     * read latency).  Improvement raises confidence, regression
+     * lowers it.
+     */
+    void recordOutcome(const std::string &kind, double metric_before,
+                       double metric_after);
+
+    /** Current confidence in [0, 1] (unseen kinds start at 0.5). */
+    double confidence(const std::string &kind) const;
+
+    /**
+     * Gate a decision: true when the kind's confidence is above the
+     * threshold, or when a suppressed kind has earned a probation
+     * trial.  Each suppressed call counts toward probation.
+     */
+    bool shouldApply(const std::string &kind);
+
+    /** Number of outcomes recorded for a kind. */
+    std::uint64_t outcomes(const std::string &kind) const;
+
+    /** Kinds currently suppressed. */
+    std::vector<std::string> suppressedKinds() const;
+
+  private:
+    struct State
+    {
+        double confidence = 0.5;
+        std::uint64_t outcomes = 0;
+        unsigned suppressedCalls = 0;
+    };
+
+    ConfidenceConfig cfg_;
+    std::map<std::string, State> kinds_;
+};
+
+} // namespace oceanstore
+
+#endif // OCEANSTORE_INTROSPECT_CONFIDENCE_H

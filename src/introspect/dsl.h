@@ -1,0 +1,139 @@
+/**
+ * @file
+ * The event-handler language (Section 4.7.1).
+ *
+ * "We describe all event handlers in a simple domain-specific
+ * language.  This language includes primitives for operations like
+ * averaging and filtering, but explicitly prohibits loops.  We expect
+ * this model to provide sufficient power, flexibility, and
+ * extensibility, while enabling the verification of security and
+ * resource consumption restrictions placed on event handlers."
+ *
+ * A program is a straight-line pipeline, one operation per line:
+ *
+ *     filter type == access
+ *     filter latency > 0.25
+ *     avg latency window 16 as mean_latency
+ *     sum bytes as total_bytes
+ *     count as accesses
+ *     max latency as worst
+ *     emit every 32
+ *
+ * There is no loop, branch or jump construct, so every event is
+ * processed in O(#ops) — the verifiable resource bound the paper
+ * wants.  Programs longer than maxOps are rejected at parse time.
+ */
+
+#ifndef OCEANSTORE_INTROSPECT_DSL_H
+#define OCEANSTORE_INTROSPECT_DSL_H
+
+#include <deque>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace oceanstore {
+
+/** One observed event: a type tag plus named numeric fields. */
+struct Event
+{
+    std::string type;
+    std::map<std::string, double> fields;
+};
+
+/** A summary record produced by an `emit`. */
+using Summary = std::map<std::string, double>;
+
+/**
+ * A compiled, loop-free event handler.
+ *
+ * Feed events with onEvent(); each `emit every N` fires after every N
+ * events that survive the filters, appending to summaries().
+ */
+class EventHandler
+{
+  public:
+    /** Hard cap on program length (resource restriction). */
+    static constexpr std::size_t maxOps = 32;
+
+    /**
+     * Parse a program.  @throws std::invalid_argument on unknown
+     * operations (including anything loop-like), malformed lines, or
+     * programs longer than maxOps.
+     */
+    static EventHandler parse(const std::string &program);
+
+    /** Process one event through the pipeline. */
+    void onEvent(const Event &e);
+
+    /** Summaries emitted so far (drained by the caller). */
+    std::vector<Summary> &summaries() { return summaries_; }
+
+    /** Current (un-emitted) aggregate values. */
+    Summary current() const;
+
+    /** Events that survived all filters. */
+    std::uint64_t matched() const { return matched_; }
+
+  private:
+    struct FilterOp
+    {
+        std::string field; //!< "type" for the type tag.
+        std::string cmp;   //!< ==, !=, <, <=, >, >=
+        double number = 0.0;
+        std::string text;  //!< For type comparisons.
+        bool isText = false;
+    };
+
+    struct AvgOp
+    {
+        std::string field;
+        std::size_t window = 0;
+        std::string name;
+        std::deque<double> ring;
+        double windowSum = 0.0;
+    };
+
+    struct SumOp
+    {
+        std::string field;
+        std::string name;
+        double total = 0.0;
+    };
+
+    struct CountOp
+    {
+        std::string name;
+        std::uint64_t n = 0;
+    };
+
+    struct ExtremeOp
+    {
+        std::string field;
+        std::string name;
+        bool isMax = true;
+        bool seen = false;
+        double value = 0.0;
+    };
+
+    struct EmitOp
+    {
+        std::uint64_t every = 1;
+        std::uint64_t sinceLast = 0;
+    };
+
+    EventHandler() = default;
+
+    std::vector<FilterOp> filters_;
+    std::vector<AvgOp> avgs_;
+    std::vector<SumOp> sums_;
+    std::vector<CountOp> counts_;
+    std::vector<ExtremeOp> extremes_;
+    std::vector<EmitOp> emits_;
+    std::vector<Summary> summaries_;
+    std::uint64_t matched_ = 0;
+};
+
+} // namespace oceanstore
+
+#endif // OCEANSTORE_INTROSPECT_DSL_H

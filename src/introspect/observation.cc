@@ -1,0 +1,108 @@
+#include "introspect/observation.h"
+
+#include <algorithm>
+
+namespace oceanstore {
+
+void
+ObservationDb::record(const std::string &key, double value, Merge merge)
+{
+    auto it = values_.find(key);
+    if (it == values_.end()) {
+        values_[key] = value;
+        return;
+    }
+    switch (merge) {
+      case Merge::Replace:
+        it->second = value;
+        break;
+      case Merge::Sum:
+        it->second += value;
+        break;
+      case Merge::Max:
+        it->second = std::max(it->second, value);
+        break;
+      case Merge::Min:
+        it->second = std::min(it->second, value);
+        break;
+    }
+}
+
+double
+ObservationDb::get(const std::string &key) const
+{
+    auto it = values_.find(key);
+    return it == values_.end() ? 0.0 : it->second;
+}
+
+bool
+ObservationDb::has(const std::string &key) const
+{
+    return values_.count(key) > 0;
+}
+
+void
+ObservationDb::absorb(const Summary &s, Merge merge)
+{
+    for (const auto &[k, v] : s)
+        record(k, v, merge);
+}
+
+Summary
+ObservationDb::snapshot() const
+{
+    return values_;
+}
+
+IntrospectionNode::IntrospectionNode(std::string name)
+    : name_(std::move(name))
+{
+}
+
+void
+IntrospectionNode::addHandler(EventHandler handler)
+{
+    handlers_.push_back(std::move(handler));
+}
+
+void
+IntrospectionNode::onEvent(const Event &e)
+{
+    for (auto &h : handlers_) {
+        h.onEvent(e);
+        for (const Summary &s : h.summaries())
+            db_.absorb(s, ObservationDb::Merge::Replace);
+        h.summaries().clear();
+    }
+}
+
+void
+IntrospectionNode::addAnalyzer(std::function<void(ObservationDb &)> fn)
+{
+    analyzers_.push_back(std::move(fn));
+}
+
+void
+IntrospectionNode::setForwardMerge(const std::string &key,
+                                   ObservationDb::Merge merge)
+{
+    forwardMerge_[key] = merge;
+}
+
+void
+IntrospectionNode::analyzeAndForward()
+{
+    for (auto &fn : analyzers_)
+        fn(db_);
+    if (!parent_)
+        return;
+    for (const auto &[key, value] : db_.snapshot()) {
+        auto it = forwardMerge_.find(key);
+        auto merge = it == forwardMerge_.end()
+                         ? ObservationDb::Merge::Sum
+                         : it->second;
+        parent_->db().record(key, value, merge);
+    }
+}
+
+} // namespace oceanstore

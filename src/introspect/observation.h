@@ -1,0 +1,112 @@
+/**
+ * @file
+ * The introspective observation hierarchy (Section 4.7.1, Figure 8).
+ *
+ * "Fast event handlers summarize and respond to local events ...
+ * summaries are stored in a local database [which] may be only soft
+ * state ... a third level of each node forwards an appropriate
+ * summary of its knowledge to a parent node for further processing on
+ * the wider scale."
+ */
+
+#ifndef OCEANSTORE_INTROSPECT_OBSERVATION_H
+#define OCEANSTORE_INTROSPECT_OBSERVATION_H
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "introspect/dsl.h"
+
+namespace oceanstore {
+
+/**
+ * A node's soft-state observation database: named summary slots with
+ * merge-on-write aggregation.
+ */
+class ObservationDb
+{
+  public:
+    /** How two values for the same key combine. */
+    enum class Merge { Replace, Sum, Max, Min };
+
+    /** Write (or merge) a value. */
+    void record(const std::string &key, double value,
+                Merge merge = Merge::Replace);
+
+    /** Read a value (0 when absent). */
+    double get(const std::string &key) const;
+
+    /** True when the key exists. */
+    bool has(const std::string &key) const;
+
+    /** Merge every key of a Summary using @p merge. */
+    void absorb(const Summary &s, Merge merge = Merge::Sum);
+
+    /** Snapshot of everything (for forwarding upward). */
+    Summary snapshot() const;
+
+    /** Soft state: drop everything (e.g. on reboot). */
+    void clear() { values_.clear(); }
+
+  private:
+    std::map<std::string, double> values_;
+};
+
+/**
+ * One level of the introspection hierarchy: local event handlers
+ * feeding a soft-state database, periodic in-depth analysis hooks,
+ * and summary forwarding to a parent node.
+ */
+class IntrospectionNode
+{
+  public:
+    explicit IntrospectionNode(std::string name);
+
+    /** Attach a compiled event handler. */
+    void addHandler(EventHandler handler);
+
+    /** Feed a local event to every handler; drains emitted summaries
+     *  into the database. */
+    void onEvent(const Event &e);
+
+    /** The node's database. */
+    ObservationDb &db() { return db_; }
+
+    /** Set the parent this node forwards summaries to. */
+    void setParent(IntrospectionNode *parent) { parent_ = parent; }
+
+    /**
+     * Run the periodic analysis: invoke registered analyzers over
+     * the database, then forward a snapshot to the parent (which
+     * absorbs it with Sum merging).
+     */
+    void analyzeAndForward();
+
+    /** Register an in-depth analysis pass run by analyzeAndForward. */
+    void addAnalyzer(std::function<void(ObservationDb &)> fn);
+
+    /**
+     * How a forwarded key merges at the parent (default Sum; use Max
+     * for peaks, Min for minima, Replace for gauges).
+     */
+    void setForwardMerge(const std::string &key,
+                         ObservationDb::Merge merge);
+
+    /** Node name (diagnostics). */
+    const std::string &name() const { return name_; }
+
+  private:
+    std::string name_;
+    std::vector<EventHandler> handlers_;
+    std::vector<std::function<void(ObservationDb &)>> analyzers_;
+    ObservationDb db_;
+    IntrospectionNode *parent_ = nullptr;
+    std::map<std::string, ObservationDb::Merge> forwardMerge_;
+};
+
+} // namespace oceanstore
+
+#endif // OCEANSTORE_INTROSPECT_OBSERVATION_H

@@ -1,0 +1,60 @@
+#include "naming/directory.h"
+
+#include <stdexcept>
+
+namespace oceanstore {
+
+void
+Directory::bind(const std::string &name, const DirectoryEntry &entry)
+{
+    entries_[name] = entry;
+}
+
+bool
+Directory::unbind(const std::string &name)
+{
+    return entries_.erase(name) > 0;
+}
+
+std::optional<DirectoryEntry>
+Directory::lookup(const std::string &name) const
+{
+    auto it = entries_.find(name);
+    if (it == entries_.end())
+        return std::nullopt;
+    return it->second;
+}
+
+Bytes
+Directory::serialize() const
+{
+    ByteWriter w;
+    w.putU32(static_cast<std::uint32_t>(entries_.size()));
+    for (const auto &[name, entry] : entries_) {
+        w.putString(name);
+        w.putRaw(entry.target.toBytes());
+        w.putU8(static_cast<std::uint8_t>(entry.kind));
+    }
+    return w.take();
+}
+
+Directory
+Directory::deserialize(const Bytes &payload)
+{
+    Directory dir;
+    ByteReader r(payload);
+    std::uint32_t n = r.getU32();
+    for (std::uint32_t i = 0; i < n; i++) {
+        std::string name = r.getString();
+        Guid target = Guid::fromBytes(r.getRaw(Guid::numBytes));
+        auto kind = static_cast<EntryKind>(r.getU8());
+        if (kind != EntryKind::Object && kind != EntryKind::Directory)
+            throw std::invalid_argument("Directory: bad entry kind");
+        dir.bind(name, DirectoryEntry{target, kind});
+    }
+    if (!r.exhausted())
+        throw std::invalid_argument("Directory: trailing bytes");
+    return dir;
+}
+
+} // namespace oceanstore

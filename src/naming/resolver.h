@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Self-certifying path resolution (Section 4.1).
+ *
+ * Object GUIDs are the secure hash of the owner's key and a human-
+ * readable name (self-certifying names, after Mazières), so servers
+ * can verify ownership.  Users choose several directories as *roots*
+ * secured by external means and resolve multi-component paths through
+ * directory objects; "such root directories are only roots with
+ * respect to the clients that use them; the system as a whole has no
+ * one root" — the locally linked name spaces of SDSI.
+ */
+
+#ifndef OCEANSTORE_NAMING_RESOLVER_H
+#define OCEANSTORE_NAMING_RESOLVER_H
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "naming/directory.h"
+
+namespace oceanstore {
+
+/** Outcome of a path resolution. */
+struct ResolveResult
+{
+    bool found = false;
+    Guid target;
+    EntryKind kind = EntryKind::Object;
+    unsigned directoriesTraversed = 0;
+};
+
+/**
+ * A per-client name space: a set of locally trusted roots plus the
+ * resolution walk.  Fetching a directory object's current payload is
+ * delegated to the embedding system via a callback (in the full
+ * system this is an OceanStore read).
+ */
+class NameResolver
+{
+  public:
+    /** Fetches the payload of a directory object by GUID. */
+    using DirectoryFetcher =
+        std::function<std::optional<Bytes>(const Guid &)>;
+
+    explicit NameResolver(DirectoryFetcher fetcher);
+
+    /**
+     * Register a trusted root under a local nickname.  Roots are
+     * secured by external methods (e.g. a public key authority), so
+     * the binding is asserted, not derived.
+     */
+    void addRoot(const std::string &nickname, const Guid &dir_guid);
+
+    /** Remove a trusted root. */
+    void removeRoot(const std::string &nickname);
+
+    /**
+     * Resolve "root:/a/b/c".  Each component except the last must be
+     * a directory.  Empty components are rejected.
+     */
+    ResolveResult resolve(const std::string &path) const;
+
+    /** Nicknames of all registered roots. */
+    std::vector<std::string> roots() const;
+
+    /**
+     * Compute the self-certifying GUID for (owner key, name) — the
+     * way every object GUID in the system is minted.
+     */
+    static Guid selfCertifyingGuid(const Bytes &owner_pub_key,
+                                   const std::string &name);
+
+    /**
+     * Verify a claimed (owner key, name) pair against a GUID: anyone
+     * can check ownership without consulting an authority.
+     */
+    static bool verifyOwnership(const Guid &guid,
+                                const Bytes &owner_pub_key,
+                                const std::string &name);
+
+  private:
+    DirectoryFetcher fetcher_;
+    std::map<std::string, Guid> roots_;
+};
+
+} // namespace oceanstore
+
+#endif // OCEANSTORE_NAMING_RESOLVER_H

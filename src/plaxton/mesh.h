@@ -1,0 +1,232 @@
+/**
+ * @file
+ * The global data location mesh (Section 4.3.3, Figure 3).
+ *
+ * A highly redundant variant of the Plaxton/Rajaraman/Richa randomized
+ * hierarchical distributed data structure.  Every server holds a
+ * routing table of neighbor links organized by level: the level-N
+ * links of node X point at the closest nodes whose IDs match the
+ * lowest N-1 digits of X's ID with every possible value of digit N
+ * (one of which is always a loopback link).  Messages route toward a
+ * GUID by resolving one digit per hop; surrogate routing (scanning to
+ * the next occupied digit) makes the mapping GUID -> root node total
+ * and globally consistent.
+ *
+ * OceanStore-specific extensions implemented here, all from the paper:
+ *  - salted GUID hashing for replicated roots (no single point of
+ *    failure, DoS resistance);
+ *  - redundant backup neighbors per table entry;
+ *  - pointer deposit on publish and early-exit lookup on locate;
+ *  - online node insertion and removal with table repair;
+ *  - soft-state republish so pointers survive server loss.
+ */
+
+#ifndef OCEANSTORE_PLAXTON_MESH_H
+#define OCEANSTORE_PLAXTON_MESH_H
+
+#include <map>
+#include <optional>
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+#include "crypto/guid.h"
+#include "sim/network.h"
+#include "sim/topology.h"
+#include "util/random.h"
+#include "util/stats.h"
+
+namespace oceanstore {
+
+/** Tunables for the mesh. */
+struct PlaxtonConfig
+{
+    /** Routing levels maintained (enough for ~16^8 nodes). */
+    unsigned levels = 8;
+    /** Backup neighbors kept per (level, digit) entry. */
+    unsigned redundancy = 2;
+    /** Salt values per GUID: number of replicated roots. */
+    unsigned numSalts = 3;
+};
+
+/** Result of routing toward a GUID. */
+struct RouteResult
+{
+    std::vector<NodeId> path; //!< Mesh nodes visited (starts at source).
+    NodeId root = invalidNode; //!< Final node (the GUID's root).
+    double latency = 0.0;     //!< Sum of link latencies along the path.
+    bool failed = false;      //!< Progress became impossible (failures).
+};
+
+/** Result of a locate() operation. */
+struct LocateResult
+{
+    bool found = false;
+    NodeId location = invalidNode; //!< Server hosting a replica.
+    unsigned hops = 0;             //!< Mesh hops before the pointer hit.
+    double latency = 0.0;          //!< Mesh latency + final direct hop.
+    unsigned saltUsed = 0;         //!< Which replicated root answered.
+};
+
+/**
+ * The distributed mesh, simulated with per-node routing tables over a
+ * Network that supplies inter-node latencies.
+ *
+ * Node insertion and removal use the library's recursive need-to-know
+ * algorithms; the acknowledged-multicast discovery step of the real
+ * system is stood in for by bucket scans over the simulator's global
+ * state (documented in DESIGN.md), while the *resulting table
+ * invariants* — what the experiments depend on — are maintained
+ * exactly.
+ */
+class PlaxtonMesh
+{
+  public:
+    /**
+     * Build a mesh over @p members, which must already be registered
+     * with @p net (their NodeIds are used for latency queries).
+     * Node GUIDs are assigned pseudo-randomly from @p rng.
+     */
+    PlaxtonMesh(Network &net, const std::vector<NodeId> &members,
+                Rng &rng, PlaxtonConfig cfg = {});
+
+    /** The mesh-assigned GUID of member @p n. */
+    const Guid &guidOf(NodeId n) const;
+
+    /** True when the mesh considers @p n alive. */
+    bool alive(NodeId n) const;
+
+    /**
+     * Route from @p from toward @p target, using surrogate routing.
+     * Dead next-hops fall back to backup links, then to other digits.
+     */
+    RouteResult route(NodeId from, const Guid &target) const;
+
+    /** The root node for @p g (no salting applied). */
+    NodeId rootOf(const Guid &g) const;
+
+    /**
+     * Publish: object @p g is stored on @p storer.  Routes to each of
+     * the numSalts salted roots, depositing a location pointer at
+     * every hop (Section 4.3.3 "publishing").
+     * @return mesh hops used (for maintenance accounting).
+     */
+    unsigned publish(const Guid &g, NodeId storer);
+
+    /** Remove @p storer's pointers for @p g along all salted paths. */
+    void unpublish(const Guid &g, NodeId storer);
+
+    /**
+     * Locate a replica of @p g starting from @p from: climb toward the
+     * salted roots, exiting early at the first deposited pointer; the
+     * final step routes directly (IP) to the chosen replica.  Salt 0
+     * is tried first; later salts only on failure.
+     */
+    LocateResult locate(NodeId from, const Guid &g) const;
+
+    /**
+     * Locate using only salt @p salt (for the single-root ablation;
+     * pass 0 and configure numSalts=1 for the paper's baseline).
+     */
+    LocateResult locateWithSalt(NodeId from, const Guid &g,
+                                unsigned salt) const;
+
+    /**
+     * Online insertion of a new member (must be registered with the
+     * network).  Builds its routing table by routing toward its own
+     * ID and copying/optimizing level tables, then updates the tables
+     * of nodes that need to know about it.
+     */
+    void insertNode(NodeId n, const Guid &id);
+
+    /**
+     * Remove a node (crash or decommission).  Its pointers vanish;
+     * other nodes repair table entries from backups.
+     */
+    void removeNode(NodeId n);
+
+    /**
+     * Soft-state repair sweep: every alive storer republishes its
+     * objects, restoring pointers lost to failed nodes, and every
+     * node replaces dead table entries (Section 4.3.3
+     * "maintenance-free operation").
+     */
+    void repair();
+
+    /** What one beacon sweep observed and did. */
+    struct BeaconReport
+    {
+        unsigned suspects = 0;    //!< Newly suspected (first miss).
+        unsigned evicted = 0;     //!< Removed after a second miss.
+        unsigned reinstated = 0;  //!< Suspects that answered again.
+    };
+
+    /**
+     * Soft-state beacon sweep with a second-chance algorithm
+     * (Section 4.3.3): a member that misses one beacon becomes
+     * *suspect* — routed around, but its table entries and pointers
+     * are kept; a suspect that misses a second consecutive beacon is
+     * evicted (removeNode); a suspect that answers again is
+     * reinstated at no recovery cost.
+     */
+    BeaconReport beaconSweep();
+
+    /** True when @p n is currently under suspicion. */
+    bool isSuspect(NodeId n) const { return suspects_.count(n) > 0; }
+
+    /** All objects published by @p storer (for repair sweeps). */
+    std::vector<Guid> objectsPublishedBy(NodeId storer) const;
+
+    /** Member NodeIds (alive and dead). */
+    const std::vector<NodeId> &members() const { return members_; }
+
+    /** Maintenance counters: publishes, repairs, hops. */
+    const Counters &counters() const { return counters_; }
+
+  private:
+    struct Entry
+    {
+        /** Primary plus backup neighbors, closest first. */
+        std::vector<NodeId> candidates;
+    };
+
+    struct NodeState
+    {
+        Guid id;
+        bool alive = true;
+        /** table[level][digit]. */
+        std::vector<std::vector<Entry>> table;
+        /** Location pointers: object GUID -> storers. */
+        std::unordered_map<Guid, std::set<NodeId>> pointers;
+    };
+
+    /** Index into states_ for a NodeId. */
+    std::size_t indexOf(NodeId n) const;
+
+    /** Fill (or refill) one node's entire routing table. */
+    void buildTable(std::size_t idx);
+
+    /** Insert @p idx into other nodes' tables where it qualifies. */
+    void announce(std::size_t idx);
+
+    /** Pick the best alive candidate of an entry, or invalidNode. */
+    NodeId aliveCandidate(const Entry &e) const;
+
+    /** Deposit pointers along the path to one salted root. */
+    unsigned publishOne(const Guid &salted, const Guid &g, NodeId storer);
+
+    Network &net_;
+    PlaxtonConfig cfg_;
+    std::vector<NodeId> members_;
+    std::unordered_map<NodeId, std::size_t> index_;
+    std::vector<NodeState> states_;
+    /** storer -> object GUIDs it has published (drives repair). */
+    std::unordered_map<NodeId, std::set<Guid>> published_;
+    /** Members that missed the last beacon (second-chance state). */
+    std::set<NodeId> suspects_;
+    Counters counters_;
+};
+
+} // namespace oceanstore
+
+#endif // OCEANSTORE_PLAXTON_MESH_H

@@ -1,0 +1,55 @@
+#include "sim/churn.h"
+
+namespace oceanstore {
+
+ChurnInjector::ChurnInjector(Simulator &sim, Network &net, ChurnConfig cfg)
+    : sim_(sim), net_(net), cfg_(cfg), rng_(cfg.seed)
+{
+}
+
+void
+ChurnInjector::start(const std::vector<NodeId> &nodes)
+{
+    running_ = true;
+    for (NodeId n : nodes)
+        scheduleTransition(n);
+}
+
+void
+ChurnInjector::scheduleTransition(NodeId n)
+{
+    double hold = net_.isUp(n) ? rng_.exponential(cfg_.meanUptime)
+                               : rng_.exponential(cfg_.meanDowntime);
+    sim_.schedule(hold, [this, n]() {
+        if (!running_)
+            return;
+        if (net_.isUp(n)) {
+            net_.setDown(n);
+            if (onCrash)
+                onCrash(n);
+        } else {
+            net_.setUp(n);
+            if (onRecover)
+                onRecover(n);
+        }
+        scheduleTransition(n);
+    });
+}
+
+std::vector<NodeId>
+ChurnInjector::massFailure(Network &net, const std::vector<NodeId> &nodes,
+                           double fraction, Rng &rng)
+{
+    std::size_t k = static_cast<std::size_t>(
+        fraction * static_cast<double>(nodes.size()) + 0.5);
+    auto picks = rng.sampleIndices(nodes.size(), k);
+    std::vector<NodeId> downed;
+    downed.reserve(k);
+    for (auto i : picks) {
+        net.setDown(nodes[i]);
+        downed.push_back(nodes[i]);
+    }
+    return downed;
+}
+
+} // namespace oceanstore

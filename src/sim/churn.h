@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Failure injection and churn generation.
+ *
+ * Drives the failure model the paper's self-maintenance mechanisms
+ * respond to: "Servers and devices will connect, disconnect, and fail
+ * sporadically" (Section 4.7).  The injector schedules crash/recover
+ * cycles with exponential holding times, plus one-shot mass-failure
+ * events for the deep-archival experiments.
+ */
+
+#ifndef OCEANSTORE_SIM_CHURN_H
+#define OCEANSTORE_SIM_CHURN_H
+
+#include <functional>
+#include <vector>
+
+#include "sim/network.h"
+#include "sim/simulator.h"
+#include "util/random.h"
+
+namespace oceanstore {
+
+/** Configuration for continuous churn. */
+struct ChurnConfig
+{
+    double meanUptime = 600.0;   //!< Mean seconds a node stays up.
+    double meanDowntime = 60.0;  //!< Mean seconds a node stays down.
+    std::uint64_t seed = 0x43485255u;
+};
+
+/**
+ * Continuous churn process over a set of nodes.
+ *
+ * Each managed node alternates up/down with exponential holding
+ * times.  Optional callbacks notify protocol layers (e.g. the Plaxton
+ * mesh repair machinery) of transitions.
+ */
+class ChurnInjector
+{
+  public:
+    ChurnInjector(Simulator &sim, Network &net, ChurnConfig cfg = {});
+
+    /** Begin churning @p nodes.  Call at most once. */
+    void start(const std::vector<NodeId> &nodes);
+
+    /** Stop scheduling further transitions. */
+    void stop() { running_ = false; }
+
+    /** Invoked (if set) when a node crashes. */
+    std::function<void(NodeId)> onCrash;
+
+    /** Invoked (if set) when a node recovers. */
+    std::function<void(NodeId)> onRecover;
+
+    /** Crash a uniformly random @p fraction of @p nodes immediately. */
+    static std::vector<NodeId>
+    massFailure(Network &net, const std::vector<NodeId> &nodes,
+                double fraction, Rng &rng);
+
+  private:
+    void scheduleTransition(NodeId n);
+
+    Simulator &sim_;
+    Network &net_;
+    ChurnConfig cfg_;
+    Rng rng_;
+    bool running_ = false;
+};
+
+} // namespace oceanstore
+
+#endif // OCEANSTORE_SIM_CHURN_H

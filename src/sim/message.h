@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Protocol messages (Section 4.3.1).
+ *
+ * OceanStore messages are "labeled with a destination GUID, a random
+ * number, and a small predicate"; the destination IP address does not
+ * appear.  In the simulation a Message carries a type tag, a typed
+ * body (std::any, so protocol layers exchange rich structures without
+ * repeated serialization), an explicit wire size used for byte and
+ * bandwidth accounting, and the GUID-level addressing fields.
+ */
+
+#ifndef OCEANSTORE_SIM_MESSAGE_H
+#define OCEANSTORE_SIM_MESSAGE_H
+
+#include <any>
+#include <cstdint>
+#include <string>
+
+#include "crypto/guid.h"
+
+namespace oceanstore {
+
+/** Index of a node within the simulated network. */
+using NodeId = std::uint32_t;
+
+/** Sentinel for "no node". */
+constexpr NodeId invalidNode = ~0u;
+
+/** Overhead added to every message for headers, in bytes. */
+constexpr std::size_t messageHeaderBytes = 40;
+
+/** A simulated protocol message. */
+struct Message
+{
+    std::string type;    //!< Protocol message kind, e.g. "pbft.prepare".
+    std::any body;       //!< Typed payload; layers any_cast it back.
+    std::size_t wireSize = 0; //!< Payload bytes on the wire (sans header).
+    NodeId src = invalidNode; //!< Sending node.
+    Guid destGuid;       //!< GUID-level destination (may be invalid).
+    std::uint64_t nonce = 0;  //!< The paper's "random number" label.
+
+    /** Total bytes this message occupies on a link. */
+    std::size_t totalBytes() const { return wireSize + messageHeaderBytes; }
+};
+
+/**
+ * Convenience factory for a message with a typed body.
+ *
+ * @param type     protocol tag
+ * @param body     any copyable payload
+ * @param wire_size serialized size of the payload in bytes
+ */
+template <typename T>
+Message
+makeMessage(std::string type, T body, std::size_t wire_size)
+{
+    Message m;
+    m.type = std::move(type);
+    m.body = std::move(body);
+    m.wireSize = wire_size;
+    return m;
+}
+
+/** Extract a message body, asserting on type mismatch. */
+template <typename T>
+const T &
+messageBody(const Message &m)
+{
+    return std::any_cast<const T &>(m.body);
+}
+
+} // namespace oceanstore
+
+#endif // OCEANSTORE_SIM_MESSAGE_H

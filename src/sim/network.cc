@@ -1,0 +1,112 @@
+#include "sim/network.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace oceanstore {
+
+Network::Network(Simulator &sim, NetworkConfig cfg)
+    : sim_(sim), cfg_(cfg), rng_(cfg.seed)
+{
+}
+
+NodeId
+Network::addNode(SimNode *node, double x, double y)
+{
+    NodeId id = static_cast<NodeId>(nodes_.size());
+    nodes_.push_back(node);
+    pos_.emplace_back(x, y);
+    up_.push_back(true);
+    partition_.push_back(0);
+    return id;
+}
+
+double
+Network::distance(NodeId a, NodeId b) const
+{
+    double dx = pos_[a].first - pos_[b].first;
+    double dy = pos_[a].second - pos_[b].second;
+    return std::sqrt(dx * dx + dy * dy);
+}
+
+double
+Network::latency(NodeId a, NodeId b) const
+{
+    if (a == b)
+        return 0.0;
+    return cfg_.baseLatency + cfg_.latencyPerUnit * distance(a, b);
+}
+
+void
+Network::send(NodeId from, NodeId to, Message msg)
+{
+    if (from >= nodes_.size() || to >= nodes_.size())
+        fatal("Network::send: unknown node");
+
+    msg.src = from;
+    std::size_t bytes = msg.totalBytes();
+    totalBytes_ += bytes;
+    totalMessages_++;
+    byType_.bump(msg.type, bytes);
+
+    // A crashed sender cannot transmit.
+    if (!up_[from])
+        return;
+    if (cfg_.dropRate > 0 && rng_.chance(cfg_.dropRate))
+        return;
+
+    double lat = latency(from, to);
+    if (cfg_.jitter > 0)
+        lat *= 1.0 + rng_.uniform(-cfg_.jitter, cfg_.jitter);
+    if (cfg_.bandwidth > 0)
+        lat += static_cast<double>(bytes) / cfg_.bandwidth;
+
+    // Local delivery still takes a scheduling step to avoid unbounded
+    // recursion in protocols that self-send.
+    if (lat <= 0)
+        lat = 1e-6;
+
+    sim_.schedule(lat, [this, to, m = std::move(msg)]() {
+        if (!up_[to])
+            return;
+        if (partition_[m.src] != partition_[to])
+            return;
+        nodes_[to]->handleMessage(m);
+    });
+}
+
+void
+Network::setDown(NodeId n)
+{
+    up_[n] = false;
+}
+
+void
+Network::setUp(NodeId n)
+{
+    up_[n] = true;
+}
+
+void
+Network::setPartition(NodeId n, int partition)
+{
+    partition_[n] = partition;
+}
+
+void
+Network::healPartitions()
+{
+    for (auto &p : partition_)
+        p = 0;
+}
+
+void
+Network::resetCounters()
+{
+    totalBytes_ = 0;
+    totalMessages_ = 0;
+    byType_.clear();
+}
+
+} // namespace oceanstore

@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Simulated wide-area network.
+ *
+ * Models point-to-point IP delivery between simulated nodes: latency
+ * derived from geometric node positions (plus a per-message jitter and
+ * a bandwidth term), byte accounting for every link crossing, message
+ * drops, node failures and network partitions.  The OceanStore routing
+ * layer (Section 4.3) runs *on top of* this, exactly as the paper's
+ * layer runs on top of IP.
+ */
+
+#ifndef OCEANSTORE_SIM_NETWORK_H
+#define OCEANSTORE_SIM_NETWORK_H
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/message.h"
+#include "sim/simulator.h"
+#include "util/random.h"
+#include "util/stats.h"
+
+namespace oceanstore {
+
+/** Interface every simulated protocol endpoint implements. */
+class SimNode
+{
+  public:
+    virtual ~SimNode() = default;
+
+    /** Deliver a message sent to this node. */
+    virtual void handleMessage(const Message &msg) = 0;
+};
+
+/** Tunables for the network model. */
+struct NetworkConfig
+{
+    /** Fixed per-message one-way latency floor, seconds. */
+    double baseLatency = 0.005;
+    /** Extra latency per unit of geometric distance, seconds. */
+    double latencyPerUnit = 0.100;
+    /** Link bandwidth in bytes/second (0 = infinite). */
+    double bandwidth = 10e6;
+    /** Fractional latency jitter (uniform +/-). */
+    double jitter = 0.05;
+    /** Probability an individual message is silently dropped. */
+    double dropRate = 0.0;
+    /** Seed for jitter/drop randomness. */
+    std::uint64_t seed = 0x6e657477u;
+};
+
+/**
+ * The simulated network: node registry, positions, delivery and
+ * accounting.
+ */
+class Network
+{
+  public:
+    Network(Simulator &sim, NetworkConfig cfg = {});
+
+    /**
+     * Register a node at geometric position (x, y) in the unit square.
+     * The caller retains ownership of @p node.
+     */
+    NodeId addNode(SimNode *node, double x, double y);
+
+    /** Number of registered nodes. */
+    std::size_t size() const { return nodes_.size(); }
+
+    /**
+     * Send @p msg from @p from to @p to.  Delivery is scheduled after
+     * the link latency; bytes are counted even if the destination is
+     * down on arrival (the sender cannot know).  Messages to downed or
+     * partitioned-away destinations are dropped at arrival time.
+     */
+    void send(NodeId from, NodeId to, Message msg);
+
+    /** One-way latency between two nodes, without jitter or bandwidth. */
+    double latency(NodeId a, NodeId b) const;
+
+    /** Euclidean distance between two node positions. */
+    double distance(NodeId a, NodeId b) const;
+
+    /** Position accessors. */
+    double xOf(NodeId n) const { return pos_[n].first; }
+    double yOf(NodeId n) const { return pos_[n].second; }
+
+    /** Mark a node crashed; it silently loses all arriving messages. */
+    void setDown(NodeId n);
+
+    /** Bring a crashed node back. */
+    void setUp(NodeId n);
+
+    /** True when the node is up. */
+    bool isUp(NodeId n) const { return up_[n]; }
+
+    /**
+     * Assign a partition id to a node.  Messages are only delivered
+     * between nodes in the same partition.  Default partition is 0.
+     */
+    void setPartition(NodeId n, int partition);
+
+    /** Remove all partitions (everyone back to partition 0). */
+    void healPartitions();
+
+    /** Set the global message drop probability. */
+    void setDropRate(double p) { cfg_.dropRate = p; }
+
+    /** Total payload+header bytes sent so far. */
+    std::uint64_t totalBytes() const { return totalBytes_; }
+
+    /** Total messages sent so far. */
+    std::uint64_t totalMessages() const { return totalMessages_; }
+
+    /** Reset the byte/message counters (not node state). */
+    void resetCounters();
+
+    /** Per-message-type byte counters, for protocol cost breakdowns. */
+    const Counters &byteCounters() const { return byType_; }
+
+    /** The simulator driving this network. */
+    Simulator &sim() { return sim_; }
+
+  private:
+    Simulator &sim_;
+    NetworkConfig cfg_;
+    Rng rng_;
+    std::vector<SimNode *> nodes_;
+    std::vector<std::pair<double, double>> pos_;
+    std::vector<bool> up_;
+    std::vector<int> partition_;
+    std::uint64_t totalBytes_ = 0;
+    std::uint64_t totalMessages_ = 0;
+    Counters byType_;
+};
+
+} // namespace oceanstore
+
+#endif // OCEANSTORE_SIM_NETWORK_H

@@ -1,0 +1,75 @@
+#include "sim/simulator.h"
+
+#include "util/logging.h"
+
+namespace oceanstore {
+
+EventId
+Simulator::schedule(SimTime delay, std::function<void()> fn)
+{
+    if (delay < 0)
+        fatal("Simulator::schedule: negative delay");
+    return scheduleAt(now_ + delay, std::move(fn));
+}
+
+EventId
+Simulator::scheduleAt(SimTime when, std::function<void()> fn)
+{
+    if (when < now_)
+        fatal("Simulator::scheduleAt: time in the past");
+    EventId id = nextId_++;
+    queue_.push(Entry{when, id, std::move(fn)});
+    return id;
+}
+
+void
+Simulator::cancel(EventId id)
+{
+    cancelled_.insert(id);
+}
+
+bool
+Simulator::step()
+{
+    while (!queue_.empty()) {
+        Entry e = queue_.top();
+        queue_.pop();
+        auto it = cancelled_.find(e.id);
+        if (it != cancelled_.end()) {
+            cancelled_.erase(it);
+            continue;
+        }
+        now_ = e.when;
+        executed_++;
+        e.fn();
+        return true;
+    }
+    return false;
+}
+
+void
+Simulator::run()
+{
+    while (step()) {
+    }
+}
+
+void
+Simulator::runUntil(SimTime until)
+{
+    for (;;) {
+        // Drop cancelled entries so the time check below sees the next
+        // event that will actually fire.
+        while (!queue_.empty() && cancelled_.count(queue_.top().id)) {
+            cancelled_.erase(queue_.top().id);
+            queue_.pop();
+        }
+        if (queue_.empty() || queue_.top().when > until)
+            break;
+        step();
+    }
+    if (now_ < until)
+        now_ = until;
+}
+
+} // namespace oceanstore

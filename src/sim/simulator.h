@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Discrete-event simulation kernel.
+ *
+ * Substitution (documented in DESIGN.md): the paper envisioned a
+ * planet-wide deployment of millions of servers; every quantitative
+ * claim it makes (message counts, byte costs, hop counts, phase
+ * latencies) is a property of protocol structure.  We therefore run
+ * all OceanStore protocols above a deterministic discrete-event
+ * simulator instead of a real WAN.
+ */
+
+#ifndef OCEANSTORE_SIM_SIMULATOR_H
+#define OCEANSTORE_SIM_SIMULATOR_H
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+namespace oceanstore {
+
+/** Simulated time, in seconds. */
+using SimTime = double;
+
+/** Handle for a scheduled event, usable with Simulator::cancel(). */
+using EventId = std::uint64_t;
+
+/**
+ * The event queue and simulated clock.
+ *
+ * Events scheduled at the same timestamp fire in scheduling order
+ * (FIFO tie-break), which keeps runs bit-for-bit reproducible.
+ */
+class Simulator
+{
+  public:
+    Simulator() = default;
+
+    /** Current simulated time. */
+    SimTime now() const { return now_; }
+
+    /**
+     * Schedule @p fn to run @p delay seconds from now.
+     * @return an id usable with cancel().
+     */
+    EventId schedule(SimTime delay, std::function<void()> fn);
+
+    /** Schedule @p fn at absolute time @p when (>= now). */
+    EventId scheduleAt(SimTime when, std::function<void()> fn);
+
+    /** Cancel a pending event; no-op if already fired or cancelled. */
+    void cancel(EventId id);
+
+    /** Run one event.  @return false when the queue is empty. */
+    bool step();
+
+    /** Run until the queue drains. */
+    void run();
+
+    /** Run until the queue drains or the clock passes @p until. */
+    void runUntil(SimTime until);
+
+    /** Number of events executed so far. */
+    std::uint64_t eventsExecuted() const { return executed_; }
+
+    /** Number of events currently pending. */
+    std::size_t pending() const { return queue_.size() - cancelled_.size(); }
+
+  private:
+    struct Entry
+    {
+        SimTime when;
+        EventId id;
+        std::function<void()> fn;
+
+        bool
+        operator>(const Entry &o) const
+        {
+            if (when != o.when)
+                return when > o.when;
+            return id > o.id;
+        }
+    };
+
+    SimTime now_ = 0.0;
+    EventId nextId_ = 1;
+    std::uint64_t executed_ = 0;
+    std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>>
+        queue_;
+    std::unordered_set<EventId> cancelled_;
+};
+
+} // namespace oceanstore
+
+#endif // OCEANSTORE_SIM_SIMULATOR_H

@@ -1,0 +1,185 @@
+#include "sim/topology.h"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+
+namespace oceanstore {
+
+void
+Topology::addEdge(NodeId a, NodeId b)
+{
+    if (a == b)
+        return;
+    auto insert_sorted = [](std::vector<NodeId> &v, NodeId x) {
+        auto it = std::lower_bound(v.begin(), v.end(), x);
+        if (it == v.end() || *it != x)
+            v.insert(it, x);
+    };
+    insert_sorted(adjacency[a], b);
+    insert_sorted(adjacency[b], a);
+}
+
+std::vector<int>
+Topology::hopDistances(NodeId from) const
+{
+    std::vector<int> dist(size(), -1);
+    std::queue<NodeId> q;
+    dist[from] = 0;
+    q.push(from);
+    while (!q.empty()) {
+        NodeId n = q.front();
+        q.pop();
+        for (NodeId m : adjacency[n]) {
+            if (dist[m] < 0) {
+                dist[m] = dist[n] + 1;
+                q.push(m);
+            }
+        }
+    }
+    return dist;
+}
+
+bool
+Topology::connected() const
+{
+    if (size() == 0)
+        return true;
+    auto dist = hopDistances(0);
+    return std::all_of(dist.begin(), dist.end(),
+                       [](int d) { return d >= 0; });
+}
+
+namespace {
+
+double
+sqDist(const std::pair<double, double> &a,
+       const std::pair<double, double> &b)
+{
+    double dx = a.first - b.first;
+    double dy = a.second - b.second;
+    return dx * dx + dy * dy;
+}
+
+/** Add random edges between components until connected. */
+void
+ensureConnected(Topology &topo, Rng &rng)
+{
+    while (!topo.connected()) {
+        auto dist = topo.hopDistances(0);
+        std::vector<NodeId> reachable, unreachable;
+        for (NodeId n = 0; n < topo.size(); n++) {
+            (dist[n] >= 0 ? reachable : unreachable).push_back(n);
+        }
+        topo.addEdge(rng.pick(reachable), rng.pick(unreachable));
+    }
+}
+
+} // namespace
+
+Topology
+makeGeometricTopology(std::size_t n, unsigned k, Rng &rng)
+{
+    Topology topo;
+    topo.positions.resize(n);
+    topo.adjacency.resize(n);
+    for (auto &p : topo.positions)
+        p = {rng.uniform(), rng.uniform()};
+
+    for (NodeId a = 0; a < n; a++) {
+        // Pick the k nearest other nodes by partial sort.
+        std::vector<NodeId> order;
+        order.reserve(n - 1);
+        for (NodeId b = 0; b < n; b++) {
+            if (b != a)
+                order.push_back(b);
+        }
+        unsigned kk = std::min<std::size_t>(k, order.size());
+        std::partial_sort(
+            order.begin(), order.begin() + kk, order.end(),
+            [&](NodeId x, NodeId y) {
+                return sqDist(topo.positions[a], topo.positions[x]) <
+                       sqDist(topo.positions[a], topo.positions[y]);
+            });
+        for (unsigned i = 0; i < kk; i++)
+            topo.addEdge(a, order[i]);
+    }
+    ensureConnected(topo, rng);
+    return topo;
+}
+
+Topology
+makeTransitStubTopology(std::size_t transits,
+                        std::size_t stubs_per_transit,
+                        std::size_t nodes_per_stub, Rng &rng)
+{
+    Topology topo;
+    std::size_t n =
+        transits + transits * stubs_per_transit * nodes_per_stub;
+    topo.positions.resize(n);
+    topo.adjacency.resize(n);
+
+    // Transit nodes: spread across the square, fully meshed.
+    for (NodeId t = 0; t < transits; t++) {
+        topo.positions[t] = {rng.uniform(), rng.uniform()};
+        for (NodeId u = 0; u < t; u++)
+            topo.addEdge(t, u);
+    }
+
+    NodeId next = static_cast<NodeId>(transits);
+    for (NodeId t = 0; t < transits; t++) {
+        for (std::size_t s = 0; s < stubs_per_transit; s++) {
+            // Each stub domain is a tight cluster near its transit.
+            double cx = topo.positions[t].first + rng.uniform(-0.08, 0.08);
+            double cy = topo.positions[t].second + rng.uniform(-0.08, 0.08);
+            NodeId first = next;
+            for (std::size_t i = 0; i < nodes_per_stub; i++) {
+                NodeId id = next++;
+                topo.positions[id] = {
+                    std::clamp(cx + rng.uniform(-0.02, 0.02), 0.0, 1.0),
+                    std::clamp(cy + rng.uniform(-0.02, 0.02), 0.0, 1.0)};
+                // Chain within the stub plus a link to the stub head.
+                if (id != first)
+                    topo.addEdge(id, id - 1);
+            }
+            // Stub head attaches to its transit node.
+            topo.addEdge(first, t);
+        }
+    }
+    ensureConnected(topo, rng);
+    return topo;
+}
+
+Topology
+makeSmallWorldTopology(std::size_t n, unsigned k, double beta, Rng &rng)
+{
+    Topology topo;
+    topo.positions.resize(n);
+    topo.adjacency.resize(n);
+    constexpr double pi = 3.14159265358979323846;
+    for (NodeId i = 0; i < n; i++) {
+        double theta = 2.0 * pi * static_cast<double>(i) /
+                       static_cast<double>(n);
+        topo.positions[i] = {0.5 + 0.45 * std::cos(theta),
+                             0.5 + 0.45 * std::sin(theta)};
+    }
+    for (NodeId i = 0; i < n; i++) {
+        for (unsigned j = 1; j <= k; j++) {
+            NodeId b = static_cast<NodeId>((i + j) % n);
+            if (beta > 0 && rng.chance(beta)) {
+                // Rewire to a random non-self node.
+                NodeId r;
+                do {
+                    r = static_cast<NodeId>(rng.below(n));
+                } while (r == i);
+                topo.addEdge(i, r);
+            } else {
+                topo.addEdge(i, b);
+            }
+        }
+    }
+    ensureConnected(topo, rng);
+    return topo;
+}
+
+} // namespace oceanstore

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Overlay topology generation.
+ *
+ * The probabilistic location algorithm (Section 4.3.2) runs over an
+ * explicit neighbor graph — attenuated Bloom filters are stored per
+ * directed edge — while the Plaxton mesh chooses neighbors by network
+ * proximity.  This header generates both: geometric node placements in
+ * the unit square (from which the Network derives IP latency) and
+ * overlay adjacency structures.
+ */
+
+#ifndef OCEANSTORE_SIM_TOPOLOGY_H
+#define OCEANSTORE_SIM_TOPOLOGY_H
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/message.h"
+#include "util/random.h"
+
+namespace oceanstore {
+
+/** Node placements plus an undirected overlay adjacency. */
+struct Topology
+{
+    /** (x, y) positions in the unit square, indexed by NodeId. */
+    std::vector<std::pair<double, double>> positions;
+
+    /** adjacency[n] = sorted neighbor list of node n. */
+    std::vector<std::vector<NodeId>> adjacency;
+
+    /** Number of nodes. */
+    std::size_t size() const { return positions.size(); }
+
+    /**
+     * Hop distances from @p from to every node via BFS over the
+     * adjacency (unreachable = -1).
+     */
+    std::vector<int> hopDistances(NodeId from) const;
+
+    /** True when the overlay is a single connected component. */
+    bool connected() const;
+
+    /** Add an undirected edge (idempotent). */
+    void addEdge(NodeId a, NodeId b);
+};
+
+/**
+ * Random geometric overlay: @p n nodes uniform in the unit square,
+ * each connected to its @p k nearest neighbors (union of directed
+ * choices, so degree may exceed k).  Extra random long edges are added
+ * if needed until the graph is connected.
+ */
+Topology makeGeometricTopology(std::size_t n, unsigned k, Rng &rng);
+
+/**
+ * Transit-stub-like overlay: @p transits well-connected core nodes,
+ * each with @p stubs_per_transit stub domains of
+ * @p nodes_per_stub nodes.  Stub domains are geometrically tight, the
+ * transit core spans the square — a coarse model of the paper's
+ * "high-bandwidth, high-connectivity regions" hosting primary tiers.
+ */
+Topology makeTransitStubTopology(std::size_t transits,
+                                 std::size_t stubs_per_transit,
+                                 std::size_t nodes_per_stub, Rng &rng);
+
+/**
+ * Ring lattice of degree 2*@p k with probability @p beta shortcut
+ * rewiring (Watts-Strogatz style small world).  Positions on a circle.
+ */
+Topology makeSmallWorldTopology(std::size_t n, unsigned k, double beta,
+                                Rng &rng);
+
+} // namespace oceanstore
+
+#endif // OCEANSTORE_SIM_TOPOLOGY_H

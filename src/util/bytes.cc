@@ -1,0 +1,187 @@
+#include "util/bytes.h"
+
+namespace oceanstore {
+
+Bytes
+toBytes(std::string_view s)
+{
+    return Bytes(s.begin(), s.end());
+}
+
+std::string
+toString(const Bytes &b)
+{
+    return std::string(b.begin(), b.end());
+}
+
+std::string
+hexEncode(const Bytes &b)
+{
+    static const char digits[] = "0123456789abcdef";
+    std::string out;
+    out.reserve(b.size() * 2);
+    for (std::uint8_t c : b) {
+        out.push_back(digits[c >> 4]);
+        out.push_back(digits[c & 0xf]);
+    }
+    return out;
+}
+
+namespace {
+
+int
+hexNibble(char c)
+{
+    if (c >= '0' && c <= '9')
+        return c - '0';
+    if (c >= 'a' && c <= 'f')
+        return c - 'a' + 10;
+    if (c >= 'A' && c <= 'F')
+        return c - 'A' + 10;
+    throw std::invalid_argument("hexDecode: non-hex character");
+}
+
+} // namespace
+
+Bytes
+hexDecode(std::string_view hex)
+{
+    if (hex.size() % 2 != 0)
+        throw std::invalid_argument("hexDecode: odd-length input");
+    Bytes out;
+    out.reserve(hex.size() / 2);
+    for (std::size_t i = 0; i < hex.size(); i += 2) {
+        int hi = hexNibble(hex[i]);
+        int lo = hexNibble(hex[i + 1]);
+        out.push_back(static_cast<std::uint8_t>((hi << 4) | lo));
+    }
+    return out;
+}
+
+Bytes
+operator+(const Bytes &a, const Bytes &b)
+{
+    Bytes out;
+    out.reserve(a.size() + b.size());
+    out.insert(out.end(), a.begin(), a.end());
+    out.insert(out.end(), b.begin(), b.end());
+    return out;
+}
+
+void
+ByteWriter::putU16(std::uint16_t v)
+{
+    buf_.push_back(static_cast<std::uint8_t>(v >> 8));
+    buf_.push_back(static_cast<std::uint8_t>(v));
+}
+
+void
+ByteWriter::putU32(std::uint32_t v)
+{
+    for (int shift = 24; shift >= 0; shift -= 8)
+        buf_.push_back(static_cast<std::uint8_t>(v >> shift));
+}
+
+void
+ByteWriter::putU64(std::uint64_t v)
+{
+    for (int shift = 56; shift >= 0; shift -= 8)
+        buf_.push_back(static_cast<std::uint8_t>(v >> shift));
+}
+
+void
+ByteWriter::putRaw(const Bytes &b)
+{
+    buf_.insert(buf_.end(), b.begin(), b.end());
+}
+
+void
+ByteWriter::putRaw(const std::uint8_t *p, std::size_t n)
+{
+    buf_.insert(buf_.end(), p, p + n);
+}
+
+void
+ByteWriter::putBlob(const Bytes &b)
+{
+    putU32(static_cast<std::uint32_t>(b.size()));
+    putRaw(b);
+}
+
+void
+ByteWriter::putString(std::string_view s)
+{
+    putU32(static_cast<std::uint32_t>(s.size()));
+    buf_.insert(buf_.end(), s.begin(), s.end());
+}
+
+void
+ByteReader::require(std::size_t n) const
+{
+    if (remaining() < n)
+        throw std::out_of_range("ByteReader: buffer exhausted");
+}
+
+std::uint8_t
+ByteReader::getU8()
+{
+    require(1);
+    return buf_[pos_++];
+}
+
+std::uint16_t
+ByteReader::getU16()
+{
+    require(2);
+    std::uint16_t v = (static_cast<std::uint16_t>(buf_[pos_]) << 8) |
+                      buf_[pos_ + 1];
+    pos_ += 2;
+    return v;
+}
+
+std::uint32_t
+ByteReader::getU32()
+{
+    require(4);
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; i++)
+        v = (v << 8) | buf_[pos_ + i];
+    pos_ += 4;
+    return v;
+}
+
+std::uint64_t
+ByteReader::getU64()
+{
+    require(8);
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; i++)
+        v = (v << 8) | buf_[pos_ + i];
+    pos_ += 8;
+    return v;
+}
+
+Bytes
+ByteReader::getRaw(std::size_t n)
+{
+    require(n);
+    Bytes out(buf_.begin() + pos_, buf_.begin() + pos_ + n);
+    pos_ += n;
+    return out;
+}
+
+Bytes
+ByteReader::getBlob()
+{
+    std::uint32_t n = getU32();
+    return getRaw(n);
+}
+
+std::string
+ByteReader::getString()
+{
+    Bytes b = getBlob();
+    return toString(b);
+}
+
+} // namespace oceanstore

@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Byte-buffer utilities used throughout OceanStore.
+ *
+ * All wire formats in the library are built on top of the Bytes type:
+ * a plain contiguous buffer of octets.  This header provides hex
+ * conversion and a small serialization reader/writer pair used by the
+ * protocol messages, update records and archival fragments.
+ */
+
+#ifndef OCEANSTORE_UTIL_BYTES_H
+#define OCEANSTORE_UTIL_BYTES_H
+
+#include <cstdint>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace oceanstore {
+
+/** A contiguous, owned buffer of octets. */
+using Bytes = std::vector<std::uint8_t>;
+
+/** Convert a string (its raw characters) to Bytes. */
+Bytes toBytes(std::string_view s);
+
+/** Convert Bytes back into a std::string (raw characters). */
+std::string toString(const Bytes &b);
+
+/** Lower-case hexadecimal encoding of a byte buffer. */
+std::string hexEncode(const Bytes &b);
+
+/**
+ * Decode a lower- or upper-case hexadecimal string.
+ *
+ * @throws std::invalid_argument on odd length or non-hex characters.
+ */
+Bytes hexDecode(std::string_view hex);
+
+/** Concatenate two byte buffers. */
+Bytes operator+(const Bytes &a, const Bytes &b);
+
+/**
+ * Little sequential writer for fixed-width integers and length-prefixed
+ * blobs.  Used by every wire format in the library so that byte
+ * accounting (Figure 6 of the paper) reflects realistic message sizes.
+ */
+class ByteWriter
+{
+  public:
+    ByteWriter() = default;
+
+    /** Append a single octet. */
+    void putU8(std::uint8_t v) { buf_.push_back(v); }
+
+    /** Append a 16-bit unsigned integer, big-endian. */
+    void putU16(std::uint16_t v);
+
+    /** Append a 32-bit unsigned integer, big-endian. */
+    void putU32(std::uint32_t v);
+
+    /** Append a 64-bit unsigned integer, big-endian. */
+    void putU64(std::uint64_t v);
+
+    /** Append raw bytes with no length prefix. */
+    void putRaw(const Bytes &b);
+
+    /** Append raw bytes from a pointer with no length prefix. */
+    void putRaw(const std::uint8_t *p, std::size_t n);
+
+    /** Append a 32-bit length prefix followed by the blob itself. */
+    void putBlob(const Bytes &b);
+
+    /** Append a 32-bit length prefix followed by the string bytes. */
+    void putString(std::string_view s);
+
+    /** Number of bytes written so far. */
+    std::size_t size() const { return buf_.size(); }
+
+    /** Move the accumulated buffer out of the writer. */
+    Bytes take() { return std::move(buf_); }
+
+    /** Read-only view of the accumulated buffer. */
+    const Bytes &buffer() const { return buf_; }
+
+  private:
+    Bytes buf_;
+};
+
+/**
+ * Sequential reader matching ByteWriter.
+ *
+ * All accessors throw std::out_of_range when the buffer is exhausted,
+ * which protocol code treats as a malformed message.
+ */
+class ByteReader
+{
+  public:
+    explicit ByteReader(const Bytes &b) : buf_(b), pos_(0) {}
+
+    /** Read a single octet. */
+    std::uint8_t getU8();
+
+    /** Read a big-endian 16-bit unsigned integer. */
+    std::uint16_t getU16();
+
+    /** Read a big-endian 32-bit unsigned integer. */
+    std::uint32_t getU32();
+
+    /** Read a big-endian 64-bit unsigned integer. */
+    std::uint64_t getU64();
+
+    /** Read exactly @p n raw bytes. */
+    Bytes getRaw(std::size_t n);
+
+    /** Read a 32-bit length prefix followed by that many bytes. */
+    Bytes getBlob();
+
+    /** Read a length-prefixed string. */
+    std::string getString();
+
+    /** Bytes remaining in the buffer. */
+    std::size_t remaining() const { return buf_.size() - pos_; }
+
+    /** True when every byte has been consumed. */
+    bool exhausted() const { return pos_ == buf_.size(); }
+
+  private:
+    void require(std::size_t n) const;
+
+    const Bytes &buf_;
+    std::size_t pos_;
+};
+
+} // namespace oceanstore
+
+#endif // OCEANSTORE_UTIL_BYTES_H

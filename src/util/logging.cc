@@ -1,0 +1,60 @@
+#include "util/logging.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+
+namespace oceanstore {
+
+namespace {
+
+LogLevel g_level = LogLevel::Warn;
+
+const char *
+levelName(LogLevel lvl)
+{
+    switch (lvl) {
+      case LogLevel::Debug: return "DEBUG";
+      case LogLevel::Info:  return "INFO";
+      case LogLevel::Warn:  return "WARN";
+      case LogLevel::Error: return "ERROR";
+      default:              return "?";
+    }
+}
+
+} // namespace
+
+void
+Log::setLevel(LogLevel lvl)
+{
+    g_level = lvl;
+}
+
+LogLevel
+Log::level()
+{
+    return g_level;
+}
+
+void
+Log::write(LogLevel lvl, const std::string &msg)
+{
+    if (lvl < g_level)
+        return;
+    std::fprintf(stderr, "[%s] %s\n", levelName(lvl), msg.c_str());
+}
+
+void
+panic(const std::string &msg)
+{
+    std::fprintf(stderr, "[PANIC] %s\n", msg.c_str());
+    std::abort();
+}
+
+void
+fatal(const std::string &msg)
+{
+    throw std::runtime_error("fatal: " + msg);
+}
+
+} // namespace oceanstore

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Minimal leveled logging for simulation components.
+ *
+ * Follows the gem5 convention of distinguishing user-caused fatal
+ * conditions from internal invariant violations (panic).
+ */
+
+#ifndef OCEANSTORE_UTIL_LOGGING_H
+#define OCEANSTORE_UTIL_LOGGING_H
+
+#include <sstream>
+#include <string>
+
+namespace oceanstore {
+
+/** Severity levels in increasing order of importance. */
+enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
+
+/** Global log configuration (process-wide; simulations are single-threaded). */
+class Log
+{
+  public:
+    /** Set the minimum level that will be emitted. */
+    static void setLevel(LogLevel lvl);
+
+    /** Current minimum level. */
+    static LogLevel level();
+
+    /** Emit a message at @p lvl (no-op when below the minimum level). */
+    static void write(LogLevel lvl, const std::string &msg);
+
+    /** True when a message at @p lvl would be emitted. */
+    static bool enabled(LogLevel lvl) { return lvl >= level(); }
+};
+
+/**
+ * Abort the process for an internal invariant violation (a bug in the
+ * library itself, never a user error).
+ */
+[[noreturn]] void panic(const std::string &msg);
+
+/**
+ * Terminate for an unrecoverable user/configuration error.
+ * Throws std::runtime_error so tests can assert on misconfiguration.
+ */
+[[noreturn]] void fatal(const std::string &msg);
+
+namespace log_detail {
+
+template <typename... Args>
+std::string
+format(Args &&...args)
+{
+    std::ostringstream os;
+    (os << ... << args);
+    return os.str();
+}
+
+} // namespace log_detail
+
+/** Emit a debug-level message built from stream-able arguments. */
+template <typename... Args>
+void
+logDebug(Args &&...args)
+{
+    if (Log::enabled(LogLevel::Debug))
+        Log::write(LogLevel::Debug,
+                   log_detail::format(std::forward<Args>(args)...));
+}
+
+/** Emit an info-level message. */
+template <typename... Args>
+void
+logInfo(Args &&...args)
+{
+    if (Log::enabled(LogLevel::Info))
+        Log::write(LogLevel::Info,
+                   log_detail::format(std::forward<Args>(args)...));
+}
+
+/** Emit a warning. */
+template <typename... Args>
+void
+logWarn(Args &&...args)
+{
+    if (Log::enabled(LogLevel::Warn))
+        Log::write(LogLevel::Warn,
+                   log_detail::format(std::forward<Args>(args)...));
+}
+
+/** Emit an error-level message. */
+template <typename... Args>
+void
+logError(Args &&...args)
+{
+    if (Log::enabled(LogLevel::Error))
+        Log::write(LogLevel::Error,
+                   log_detail::format(std::forward<Args>(args)...));
+}
+
+} // namespace oceanstore
+
+#endif // OCEANSTORE_UTIL_LOGGING_H

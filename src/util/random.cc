@@ -1,0 +1,149 @@
+#include "util/random.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace oceanstore {
+
+namespace {
+
+std::uint64_t
+splitmix64(std::uint64_t &state)
+{
+    std::uint64_t z = (state += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+std::uint64_t
+rotl(std::uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+Rng::Rng(std::uint64_t seed)
+{
+    std::uint64_t sm = seed;
+    for (auto &s : s_)
+        s = splitmix64(sm);
+}
+
+std::uint64_t
+Rng::next()
+{
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+
+    return result;
+}
+
+std::uint64_t
+Rng::below(std::uint64_t bound)
+{
+    assert(bound > 0);
+    // Rejection sampling to avoid modulo bias.
+    std::uint64_t threshold = (~bound + 1) % bound; // (2^64 - bound) % bound
+    for (;;) {
+        std::uint64_t r = next();
+        if (r >= threshold)
+            return r % bound;
+    }
+}
+
+std::int64_t
+Rng::between(std::int64_t lo, std::int64_t hi)
+{
+    assert(lo <= hi);
+    std::uint64_t span = static_cast<std::uint64_t>(hi - lo) + 1;
+    return lo + static_cast<std::int64_t>(below(span));
+}
+
+double
+Rng::uniform()
+{
+    return (next() >> 11) * 0x1.0p-53;
+}
+
+double
+Rng::uniform(double lo, double hi)
+{
+    return lo + (hi - lo) * uniform();
+}
+
+bool
+Rng::chance(double p)
+{
+    if (p <= 0.0)
+        return false;
+    if (p >= 1.0)
+        return true;
+    return uniform() < p;
+}
+
+double
+Rng::exponential(double mean)
+{
+    double u = uniform();
+    // Guard against log(0).
+    if (u <= 0.0)
+        u = 0x1.0p-53;
+    return -mean * std::log(u);
+}
+
+double
+Rng::normal(double mean, double stddev)
+{
+    // Irwin-Hall sum of 12 uniforms: variance 1, mean 6.
+    double sum = 0.0;
+    for (int i = 0; i < 12; i++)
+        sum += uniform();
+    return mean + stddev * (sum - 6.0);
+}
+
+std::uint64_t
+Rng::geometric(double p)
+{
+    if (p <= 0.0 || p > 1.0)
+        throw std::invalid_argument("geometric: p out of (0,1]");
+    if (p == 1.0)
+        return 0;
+    double u = uniform();
+    if (u <= 0.0)
+        u = 0x1.0p-53;
+    return static_cast<std::uint64_t>(std::log(u) / std::log1p(-p));
+}
+
+std::vector<std::size_t>
+Rng::sampleIndices(std::size_t n, std::size_t k)
+{
+    assert(k <= n);
+    // Partial Fisher-Yates over an index vector; O(n) setup, fine for
+    // the node counts used in simulation.
+    std::vector<std::size_t> idx(n);
+    for (std::size_t i = 0; i < n; i++)
+        idx[i] = i;
+    for (std::size_t i = 0; i < k; i++) {
+        std::size_t j = i + below(n - i);
+        std::swap(idx[i], idx[j]);
+    }
+    idx.resize(k);
+    return idx;
+}
+
+Rng
+Rng::fork()
+{
+    return Rng(next());
+}
+
+} // namespace oceanstore

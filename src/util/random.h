@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * Every stochastic component in the library (topology generation,
+ * failure injection, workload generators, salted hashing experiments)
+ * draws from an explicitly seeded Rng so that simulations are exactly
+ * reproducible run-to-run.  The core generator is xoshiro256**, seeded
+ * through SplitMix64.
+ */
+
+#ifndef OCEANSTORE_UTIL_RANDOM_H
+#define OCEANSTORE_UTIL_RANDOM_H
+
+#include <algorithm>
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+namespace oceanstore {
+
+/**
+ * Deterministic random number generator (xoshiro256**).
+ *
+ * Satisfies the UniformRandomBitGenerator concept so it can be used
+ * with standard library distributions when needed, though the helper
+ * methods below cover the library's needs.
+ */
+class Rng
+{
+  public:
+    using result_type = std::uint64_t;
+
+    /** Construct from a 64-bit seed (expanded with SplitMix64). */
+    explicit Rng(std::uint64_t seed = 0x0cea9507eu);
+
+    static constexpr result_type min() { return 0; }
+    static constexpr result_type max() { return ~0ull; }
+
+    /** Next raw 64-bit value. */
+    result_type operator()() { return next(); }
+
+    /** Next raw 64-bit value. */
+    std::uint64_t next();
+
+    /** Uniform integer in [0, bound), bound > 0. */
+    std::uint64_t below(std::uint64_t bound);
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    std::int64_t between(std::int64_t lo, std::int64_t hi);
+
+    /** Uniform double in [0, 1). */
+    double uniform();
+
+    /** Uniform double in [lo, hi). */
+    double uniform(double lo, double hi);
+
+    /** Bernoulli trial with success probability @p p. */
+    bool chance(double p);
+
+    /** Exponentially distributed value with the given mean. */
+    double exponential(double mean);
+
+    /** Approximately normal value (sum of uniforms) with mean/stddev. */
+    double normal(double mean, double stddev);
+
+    /** Geometric: number of failures before first success, P(succ)=p. */
+    std::uint64_t geometric(double p);
+
+    /** Fisher-Yates shuffle of a vector. */
+    template <typename T>
+    void
+    shuffle(std::vector<T> &v)
+    {
+        for (std::size_t i = v.size(); i > 1; i--) {
+            std::size_t j = below(i);
+            std::swap(v[i - 1], v[j]);
+        }
+    }
+
+    /** Pick a uniformly random element of a non-empty vector. */
+    template <typename T>
+    const T &
+    pick(const std::vector<T> &v)
+    {
+        assert(!v.empty());
+        return v[below(v.size())];
+    }
+
+    /**
+     * Sample @p k distinct indices from [0, n) without replacement.
+     * Returned in random order.
+     */
+    std::vector<std::size_t> sampleIndices(std::size_t n, std::size_t k);
+
+    /** Derive an independent child generator (for parallel components). */
+    Rng fork();
+
+  private:
+    std::uint64_t s_[4];
+};
+
+} // namespace oceanstore
+
+#endif // OCEANSTORE_UTIL_RANDOM_H

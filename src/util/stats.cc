@@ -1,0 +1,139 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace oceanstore {
+
+void
+Accumulator::add(double x)
+{
+    count_++;
+    sum_ += x;
+    if (count_ == 1) {
+        min_ = max_ = x;
+        mean_ = x;
+        m2_ = 0.0;
+    } else {
+        min_ = std::min(min_, x);
+        max_ = std::max(max_, x);
+        double delta = x - mean_;
+        mean_ += delta / static_cast<double>(count_);
+        m2_ += delta * (x - mean_);
+    }
+    if (keepSamples_) {
+        samples_.push_back(x);
+        sorted_ = false;
+    }
+}
+
+double
+Accumulator::mean() const
+{
+    return count_ ? mean_ : 0.0;
+}
+
+double
+Accumulator::variance() const
+{
+    if (count_ < 2)
+        return 0.0;
+    return m2_ / static_cast<double>(count_);
+}
+
+double
+Accumulator::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+double
+Accumulator::percentile(double p) const
+{
+    if (!keepSamples_)
+        throw std::logic_error("percentile: samples not retained");
+    if (samples_.empty())
+        return 0.0;
+    if (!sorted_) {
+        std::sort(samples_.begin(), samples_.end());
+        sorted_ = true;
+    }
+    if (p <= 0.0)
+        return samples_.front();
+    if (p >= 100.0)
+        return samples_.back();
+    double rank = p / 100.0 * static_cast<double>(samples_.size() - 1);
+    std::size_t lo = static_cast<std::size_t>(rank);
+    double frac = rank - static_cast<double>(lo);
+    if (lo + 1 >= samples_.size())
+        return samples_.back();
+    return samples_[lo] * (1.0 - frac) + samples_[lo + 1] * frac;
+}
+
+void
+Accumulator::clear()
+{
+    count_ = 0;
+    sum_ = mean_ = m2_ = min_ = max_ = 0.0;
+    samples_.clear();
+    sorted_ = true;
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), bins_(bins, 0)
+{
+    if (!(lo < hi) || bins == 0)
+        throw std::invalid_argument("Histogram: bad range or bin count");
+}
+
+void
+Histogram::add(double x)
+{
+    double clamped = std::min(std::max(x, lo_),
+                              std::nexttoward(hi_, lo_));
+    double frac = (clamped - lo_) / (hi_ - lo_);
+    std::size_t i = static_cast<std::size_t>(
+        frac * static_cast<double>(bins_.size()));
+    if (i >= bins_.size())
+        i = bins_.size() - 1;
+    bins_[i]++;
+    total_++;
+}
+
+double
+Histogram::binLow(std::size_t i) const
+{
+    return lo_ + (hi_ - lo_) * static_cast<double>(i) /
+        static_cast<double>(bins_.size());
+}
+
+std::string
+Histogram::summary() const
+{
+    std::ostringstream os;
+    os << "[";
+    for (std::size_t i = 0; i < bins_.size(); i++) {
+        if (i)
+            os << " ";
+        os << bins_[i];
+    }
+    os << "]";
+    return os.str();
+}
+
+void
+Counters::bump(const std::string &name, std::uint64_t delta)
+{
+    c_[name] += delta;
+}
+
+std::uint64_t
+Counters::get(const std::string &name) const
+{
+    auto it = c_.find(name);
+    return it == c_.end() ? 0 : it->second;
+}
+
+} // namespace oceanstore

@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Statistics accumulators used by benchmarks and introspection.
+ */
+
+#ifndef OCEANSTORE_UTIL_STATS_H
+#define OCEANSTORE_UTIL_STATS_H
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace oceanstore {
+
+/**
+ * Online accumulator of scalar samples.
+ *
+ * Tracks count, sum, min, max and (via Welford's algorithm) variance.
+ * Optionally retains samples so that percentiles can be queried; the
+ * benchmark harnesses rely on this for stretch CDFs.
+ */
+class Accumulator
+{
+  public:
+    /** @param keep_samples retain raw samples for percentile queries. */
+    explicit Accumulator(bool keep_samples = true)
+        : keepSamples_(keep_samples) {}
+
+    /** Add one sample. */
+    void add(double x);
+
+    /** Number of samples seen. */
+    std::size_t count() const { return count_; }
+
+    /** Sum of all samples. */
+    double sum() const { return sum_; }
+
+    /** Arithmetic mean (0 when empty). */
+    double mean() const;
+
+    /** Population variance (0 when fewer than two samples). */
+    double variance() const;
+
+    /** Population standard deviation. */
+    double stddev() const;
+
+    /** Minimum sample (0 when empty). */
+    double min() const { return count_ ? min_ : 0.0; }
+
+    /** Maximum sample (0 when empty). */
+    double max() const { return count_ ? max_ : 0.0; }
+
+    /**
+     * p-th percentile, p in [0, 100].  Requires keep_samples.
+     * Uses nearest-rank on the sorted samples.
+     */
+    double percentile(double p) const;
+
+    /** Reset to empty. */
+    void clear();
+
+  private:
+    bool keepSamples_;
+    std::size_t count_ = 0;
+    double sum_ = 0.0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+    mutable std::vector<double> samples_;
+    mutable bool sorted_ = true;
+};
+
+/**
+ * Fixed-width histogram over [lo, hi) with out-of-range clamping,
+ * used by introspective observation modules.
+ */
+class Histogram
+{
+  public:
+    Histogram(double lo, double hi, std::size_t bins);
+
+    /** Add one sample (clamped into range). */
+    void add(double x);
+
+    /** Count in bin @p i. */
+    std::uint64_t bin(std::size_t i) const { return bins_.at(i); }
+
+    /** Number of bins. */
+    std::size_t numBins() const { return bins_.size(); }
+
+    /** Total samples added. */
+    std::uint64_t total() const { return total_; }
+
+    /** Lower edge of bin @p i. */
+    double binLow(std::size_t i) const;
+
+    /** Render a compact one-line summary (for logs). */
+    std::string summary() const;
+
+  private:
+    double lo_, hi_;
+    std::vector<std::uint64_t> bins_;
+    std::uint64_t total_ = 0;
+};
+
+/**
+ * Named counter set: a tiny metrics registry that protocol components
+ * use to report message/byte counts, which the Figure 6 benchmark
+ * reads back.
+ */
+class Counters
+{
+  public:
+    /** Add @p delta to counter @p name (creating it at zero). */
+    void bump(const std::string &name, std::uint64_t delta = 1);
+
+    /** Current value (0 if never bumped). */
+    std::uint64_t get(const std::string &name) const;
+
+    /** All counters, sorted by name. */
+    const std::map<std::string, std::uint64_t> &all() const { return c_; }
+
+    /** Reset every counter to zero. */
+    void clear() { c_.clear(); }
+
+  private:
+    std::map<std::string, std::uint64_t> c_;
+};
+
+} // namespace oceanstore
+
+#endif // OCEANSTORE_UTIL_STATS_H

@@ -1,0 +1,258 @@
+/** @file Deep archival storage system tests (Section 4.5). */
+
+#include <map>
+#include <optional>
+
+#include <gtest/gtest.h>
+
+#include "archive/archival.h"
+#include "erasure/reed_solomon.h"
+#include "sim/churn.h"
+#include "util/stats.h"
+
+namespace oceanstore {
+namespace {
+
+struct ArchiveFixture
+{
+    explicit ArchiveFixture(std::size_t servers = 40,
+                            ArchiveConfig cfg = {},
+                            double drop_rate = 0.0)
+        : net(sim, netCfg(drop_rate)), codec(8, 16)
+    {
+        Rng rng(0xa5c1);
+        std::vector<std::pair<double, double>> pos;
+        std::vector<unsigned> domains;
+        for (std::size_t i = 0; i < servers; i++) {
+            pos.emplace_back(rng.uniform(), rng.uniform());
+            domains.push_back(static_cast<unsigned>(i % 4));
+        }
+        sys = std::make_unique<ArchivalSystem>(net, pos, domains, cfg);
+        client = sys->makeClient(0.5, 0.5);
+    }
+
+    static NetworkConfig
+    netCfg(double drop_rate)
+    {
+        NetworkConfig cfg;
+        cfg.jitter = 0.01;
+        cfg.dropRate = drop_rate;
+        return cfg;
+    }
+
+    Bytes
+    sampleData(std::size_t n)
+    {
+        Rng rng(0xda7a);
+        Bytes b(n);
+        for (auto &x : b)
+            x = static_cast<std::uint8_t>(rng.next());
+        return b;
+    }
+
+    std::optional<ReconstructResult>
+    reconstruct(const Guid &archive, double max_time = 60.0)
+    {
+        std::optional<ReconstructResult> result;
+        sys->reconstruct(*client, archive,
+                         [&](const ReconstructResult &r) { result = r; });
+        sim.runUntil(sim.now() + max_time);
+        return result;
+    }
+
+    Simulator sim;
+    Network net;
+    ReedSolomonCode codec;
+    std::unique_ptr<ArchivalSystem> sys;
+    std::unique_ptr<ArchivalClient> client;
+};
+
+TEST(Archive, DisperseThenReconstruct)
+{
+    ArchiveFixture fx;
+    Bytes data = fx.sampleData(4096);
+    Guid archive = fx.sys->disperse(fx.codec, data, 0);
+    fx.sim.runUntil(10.0); // let store messages deliver
+    EXPECT_EQ(fx.sys->survivingFragments(archive), 16u);
+
+    auto res = fx.reconstruct(archive);
+    ASSERT_TRUE(res.has_value());
+    EXPECT_TRUE(res->success);
+    EXPECT_EQ(res->data, data);
+    EXPECT_GE(res->fragmentsReceived, 8u);
+}
+
+TEST(Archive, FragmentsSpreadAcrossDomains)
+{
+    ArchiveFixture fx;
+    fx.sys->disperse(fx.codec, fx.sampleData(1024), 0);
+    fx.sim.runUntil(10.0);
+    // 16 fragments over 4 domains: each domain holds exactly 4, so
+    // losing any one domain cannot destroy more than 4.
+    std::map<unsigned, unsigned> per_domain;
+    for (std::size_t i = 0; i < fx.sys->size(); i++) {
+        auto &srv = fx.sys->server(i);
+        per_domain[srv.domain()] +=
+            static_cast<unsigned>(srv.fragmentCount());
+    }
+    for (const auto &[d, count] : per_domain)
+        EXPECT_EQ(count, 4u) << "domain " << d;
+}
+
+TEST(Archive, SurvivesMassServerFailure)
+{
+    // "Nothing short of a global disaster could ever destroy
+    // information": kill 40% of servers, data still reconstructs.
+    ArchiveFixture fx;
+    Bytes data = fx.sampleData(8192);
+    Guid archive = fx.sys->disperse(fx.codec, data, 0);
+    fx.sim.runUntil(10.0);
+
+    Rng rng(7);
+    std::vector<NodeId> server_nodes;
+    for (std::size_t i = 0; i < fx.sys->size(); i++)
+        server_nodes.push_back(fx.sys->server(i).nodeId());
+    ChurnInjector::massFailure(fx.net, server_nodes, 0.4, rng);
+
+    auto res = fx.reconstruct(archive, 120.0);
+    ASSERT_TRUE(res.has_value());
+    if (!res->success)
+        GTEST_SKIP() << "unlucky draw killed >8 fragment holders";
+    EXPECT_EQ(res->data, data);
+}
+
+TEST(Archive, FailsGracefullyWhenTooManyFragmentsLost)
+{
+    ArchiveFixture fx;
+    Bytes data = fx.sampleData(2048);
+    Guid archive = fx.sys->disperse(fx.codec, data, 0);
+    fx.sim.runUntil(10.0);
+
+    // Kill every holder.
+    for (std::size_t i = 0; i < fx.sys->size(); i++) {
+        if (fx.sys->server(i).fragmentCount() > 0)
+            fx.net.setDown(fx.sys->server(i).nodeId());
+    }
+    auto res = fx.reconstruct(archive, 120.0);
+    ASSERT_TRUE(res.has_value());
+    EXPECT_FALSE(res->success);
+}
+
+TEST(Archive, CorruptedFragmentsIgnored)
+{
+    // A malicious server substituting data cannot pollute
+    // reconstruction: fragments are self-verifying.
+    ArchiveFixture fx;
+    Bytes data = fx.sampleData(1024);
+    FragmentSet set = fragmentObject(fx.codec, data);
+    set.fragments[2].data[0] ^= 0xff; // corrupted in storage
+    std::vector<Fragment> available(set.fragments.begin(),
+                                    set.fragments.begin() + 10);
+    auto out = reassembleObject(fx.codec, set.archiveGuid, data.size(),
+                                available);
+    ASSERT_TRUE(out.has_value());
+    EXPECT_EQ(*out, data);
+}
+
+TEST(Archive, OverfactorRequestsMoreFragments)
+{
+    ArchiveConfig lean;
+    lean.requestOverfactor = 1.0;
+    ArchiveConfig eager;
+    eager.requestOverfactor = 2.0;
+
+    ArchiveFixture fx1(40, lean);
+    Guid a1 = fx1.sys->disperse(fx1.codec, fx1.sampleData(1024), 0);
+    fx1.sim.runUntil(10.0);
+    auto r1 = fx1.reconstruct(a1);
+
+    ArchiveFixture fx2(40, eager);
+    Guid a2 = fx2.sys->disperse(fx2.codec, fx2.sampleData(1024), 0);
+    fx2.sim.runUntil(10.0);
+    auto r2 = fx2.reconstruct(a2);
+
+    ASSERT_TRUE(r1 && r2);
+    EXPECT_EQ(r1->fragmentsRequested, 8u);
+    EXPECT_EQ(r2->fragmentsRequested, 16u);
+}
+
+TEST(Archive, ExtraRequestsBeatDropsOnLatency)
+{
+    // The Section 5 finding: under request drops, over-requesting
+    // avoids waiting for the retry timeout.
+    auto run = [](double over) {
+        ArchiveConfig cfg;
+        cfg.requestOverfactor = over;
+        cfg.retryTimeout = 5.0;
+        ArchiveFixture fx(40, cfg, 0.30);
+        Bytes data = fx.sampleData(1024);
+        // Dispersal must survive drops: repeat stores via repair.
+        Guid archive = fx.sys->disperse(fx.codec, data, 0);
+        fx.sim.runUntil(10.0);
+        fx.sys->repairSweep();
+
+        Accumulator lat;
+        for (int t = 0; t < 10; t++) {
+            auto r = fx.reconstruct(archive, 60.0);
+            if (r && r->success)
+                lat.add(r->latency);
+        }
+        return lat.count() ? lat.mean() : 1e9;
+    };
+    double lean = run(1.0);
+    double eager = run(2.0);
+    EXPECT_LT(eager, lean);
+}
+
+TEST(Archive, RepairSweepRestoresRedundancy)
+{
+    ArchiveConfig cfg;
+    cfg.repairThreshold = 14;
+    ArchiveFixture fx(40, cfg);
+    Bytes data = fx.sampleData(4096);
+    Guid archive = fx.sys->disperse(fx.codec, data, 0);
+    fx.sim.runUntil(10.0);
+
+    // Permanently lose four holders.
+    unsigned downed = 0;
+    for (std::size_t i = 0; i < fx.sys->size() && downed < 4; i++) {
+        if (fx.sys->server(i).fragmentCount() > 0) {
+            fx.net.setDown(fx.sys->server(i).nodeId());
+            downed++;
+        }
+    }
+    EXPECT_EQ(fx.sys->survivingFragments(archive), 12u);
+
+    unsigned repaired = fx.sys->repairSweep();
+    EXPECT_EQ(repaired, 1u);
+    EXPECT_EQ(fx.sys->survivingFragments(archive), 16u);
+
+    // The repaired archive still reconstructs bit-exactly.
+    auto res = fx.reconstruct(archive, 60.0);
+    ASSERT_TRUE(res.has_value());
+    EXPECT_TRUE(res->success);
+    EXPECT_EQ(res->data, data);
+}
+
+TEST(Archive, UnknownArchiveFailsFast)
+{
+    ArchiveFixture fx;
+    auto res = fx.reconstruct(Guid::hashOf("never-dispersed"), 5.0);
+    ASSERT_TRUE(res.has_value());
+    EXPECT_FALSE(res->success);
+}
+
+TEST(Archive, ForgedFragmentsFailSelfVerification)
+{
+    // Servers verify fragments before storing and clients before
+    // decoding; a bit-flipped fragment must fail verify().
+    ArchiveFixture fx;
+    FragmentSet set = fragmentObject(fx.codec, fx.sampleData(512));
+    Fragment forged = set.fragments[0];
+    forged.data[0] ^= 1;
+    EXPECT_FALSE(forged.verify());
+    EXPECT_TRUE(set.fragments[0].verify());
+}
+
+} // namespace
+} // namespace oceanstore

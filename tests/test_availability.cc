@@ -1,0 +1,125 @@
+/** @file Deep-archival availability math (Section 4.5 numbers). */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "erasure/availability.h"
+
+namespace oceanstore {
+namespace {
+
+TEST(Availability, PaperReplicationTwoNines)
+{
+    // "With a million machines, ten percent of which are currently
+    // down, simple replication provides only two nines (0.99)."
+    // Two replicas: P(loss) = 0.1^2 = 0.01.
+    double p = replicationAvailability(1'000'000, 100'000, 2);
+    EXPECT_NEAR(p, 0.99, 0.0005);
+    EXPECT_NEAR(nines(p), 2.0, 0.01);
+}
+
+TEST(Availability, PaperErasure16FragmentsFiveNines)
+{
+    // "A 1/2-rate erasure coding of a document into 16 fragments
+    // gives the document over five nines of reliability (0.999994),
+    // yet consumes the same amount of storage."  16 fragments, any 8
+    // reconstruct (rf = 8).
+    double p = documentAvailability(1'000'000, 100'000, 16, 8);
+    EXPECT_GT(p, 0.99999);
+    EXPECT_NEAR(p, 0.999994, 3e-6);
+    EXPECT_GT(nines(p), 5.0);
+}
+
+TEST(Availability, Paper32FragmentsFourThousandTimesBetter)
+{
+    // "With 32 fragments, the reliability increases by another factor
+    // of 4000."
+    double p16 = documentAvailability(1'000'000, 100'000, 16, 8);
+    double p32 = documentAvailability(1'000'000, 100'000, 32, 16);
+    double improvement = (1.0 - p16) / (1.0 - p32);
+    EXPECT_GT(improvement, 1000.0);
+    EXPECT_LT(improvement, 20000.0);
+}
+
+TEST(Availability, DegenerateCases)
+{
+    // No machines down: always available.
+    EXPECT_DOUBLE_EQ(documentAvailability(100, 0, 8, 4), 1.0);
+    // All machines down, fragments needed: never available.
+    EXPECT_NEAR(documentAvailability(100, 100, 8, 4), 0.0, 1e-12);
+    // rf >= f: loss impossible.
+    EXPECT_DOUBLE_EQ(documentAvailability(100, 50, 8, 8), 1.0);
+}
+
+TEST(Availability, MonotoneInDownMachines)
+{
+    double prev = 1.0;
+    for (std::uint64_t m : {0u, 10u, 20u, 40u, 60u, 80u}) {
+        double p = documentAvailability(100, m, 8, 4);
+        EXPECT_LE(p, prev + 1e-12);
+        prev = p;
+    }
+}
+
+TEST(Availability, MonotoneInRedundancy)
+{
+    // More fragments at the same rate only helps (law of large
+    // numbers, the paper's claim that fragmentation increases
+    // reliability).
+    double p8 = documentAvailability(1'000'000, 100'000, 8, 4);
+    double p16 = documentAvailability(1'000'000, 100'000, 16, 8);
+    double p32 = documentAvailability(1'000'000, 100'000, 32, 16);
+    EXPECT_LT(p8, p16);
+    EXPECT_LT(p16, p32);
+}
+
+TEST(Availability, ReplicationMatchesDirectFormula)
+{
+    // r replicas lost only when all r machines are down.
+    double p = replicationAvailability(1000, 100, 3);
+    // Hypergeometric: C(900,?)... ~ 1 - (0.1)^3 approximately.
+    EXPECT_NEAR(p, 1.0 - 0.1 * 0.1 * 0.1, 0.0005);
+}
+
+TEST(Availability, MonteCarloAgreesWithClosedForm)
+{
+    Rng rng(77);
+    double closed = documentAvailability(1000, 300, 12, 6);
+    double sim = simulateAvailability(1000, 300, 12, 6, 20000, rng);
+    EXPECT_NEAR(sim, closed, 0.01);
+}
+
+TEST(Availability, MonteCarloAgreesAtHighReliability)
+{
+    Rng rng(78);
+    double closed = documentAvailability(10000, 1000, 16, 8);
+    double sim = simulateAvailability(10000, 1000, 16, 8, 50000, rng);
+    EXPECT_NEAR(sim, closed, 0.002);
+}
+
+TEST(Availability, LogBinomialSane)
+{
+    EXPECT_DOUBLE_EQ(logBinomial(10, 0), 0.0);
+    EXPECT_DOUBLE_EQ(logBinomial(10, 10), 0.0);
+    EXPECT_NEAR(std::exp(logBinomial(10, 5)), 252.0, 1e-6);
+    EXPECT_EQ(logBinomial(5, 6), -INFINITY);
+}
+
+TEST(Availability, NinesConversion)
+{
+    EXPECT_NEAR(nines(0.99), 2.0, 1e-9);
+    EXPECT_NEAR(nines(0.999), 3.0, 1e-9);
+    EXPECT_EQ(nines(1.0), INFINITY);
+}
+
+TEST(Availability, InvalidInputsRejected)
+{
+    EXPECT_THROW(documentAvailability(10, 5, 20, 5),
+                 std::runtime_error);
+    EXPECT_THROW(documentAvailability(10, 20, 5, 2),
+                 std::runtime_error);
+}
+
+} // namespace
+} // namespace oceanstore

@@ -1,0 +1,120 @@
+/** @file Unit tests for byte-buffer utilities. */
+
+#include <gtest/gtest.h>
+
+#include "util/bytes.h"
+
+namespace oceanstore {
+namespace {
+
+TEST(Bytes, StringRoundTrip)
+{
+    std::string s = "hello oceanstore";
+    EXPECT_EQ(toString(toBytes(s)), s);
+}
+
+TEST(Bytes, HexEncodeKnownValues)
+{
+    EXPECT_EQ(hexEncode({}), "");
+    EXPECT_EQ(hexEncode({0x00}), "00");
+    EXPECT_EQ(hexEncode({0xde, 0xad, 0xbe, 0xef}), "deadbeef");
+    EXPECT_EQ(hexEncode({0x0f, 0xf0}), "0ff0");
+}
+
+TEST(Bytes, HexDecodeRoundTrip)
+{
+    Bytes b = {0x01, 0x23, 0x45, 0x67, 0x89, 0xab, 0xcd, 0xef};
+    EXPECT_EQ(hexDecode(hexEncode(b)), b);
+    EXPECT_EQ(hexDecode("DEADBEEF"), (Bytes{0xde, 0xad, 0xbe, 0xef}));
+}
+
+TEST(Bytes, HexDecodeRejectsBadInput)
+{
+    EXPECT_THROW(hexDecode("abc"), std::invalid_argument);
+    EXPECT_THROW(hexDecode("zz"), std::invalid_argument);
+}
+
+TEST(Bytes, Concatenation)
+{
+    Bytes a = {1, 2};
+    Bytes b = {3};
+    EXPECT_EQ(a + b, (Bytes{1, 2, 3}));
+    EXPECT_EQ(a + Bytes{}, a);
+}
+
+TEST(ByteWriter, IntegerRoundTrip)
+{
+    ByteWriter w;
+    w.putU8(0xab);
+    w.putU16(0x1234);
+    w.putU32(0xdeadbeef);
+    w.putU64(0x0123456789abcdefull);
+    Bytes out = w.take();
+    ASSERT_EQ(out.size(), 1u + 2 + 4 + 8);
+
+    ByteReader r(out);
+    EXPECT_EQ(r.getU8(), 0xab);
+    EXPECT_EQ(r.getU16(), 0x1234);
+    EXPECT_EQ(r.getU32(), 0xdeadbeefu);
+    EXPECT_EQ(r.getU64(), 0x0123456789abcdefull);
+    EXPECT_TRUE(r.exhausted());
+}
+
+TEST(ByteWriter, BigEndianLayout)
+{
+    ByteWriter w;
+    w.putU32(0x01020304);
+    Bytes out = w.take();
+    EXPECT_EQ(out, (Bytes{0x01, 0x02, 0x03, 0x04}));
+}
+
+TEST(ByteWriter, BlobAndStringRoundTrip)
+{
+    ByteWriter w;
+    w.putBlob({9, 8, 7});
+    w.putString("abc");
+    Bytes out = w.take();
+
+    ByteReader r(out);
+    EXPECT_EQ(r.getBlob(), (Bytes{9, 8, 7}));
+    EXPECT_EQ(r.getString(), "abc");
+}
+
+TEST(ByteWriter, EmptyBlob)
+{
+    ByteWriter w;
+    w.putBlob({});
+    ByteReader r(w.buffer());
+    EXPECT_TRUE(r.getBlob().empty());
+    EXPECT_TRUE(r.exhausted());
+}
+
+TEST(ByteReader, ThrowsOnUnderflow)
+{
+    Bytes small = {1, 2};
+    ByteReader r(small);
+    EXPECT_THROW(r.getU32(), std::out_of_range);
+    EXPECT_EQ(r.remaining(), 2u);
+    r.getU16();
+    EXPECT_THROW(r.getU8(), std::out_of_range);
+}
+
+TEST(ByteReader, BlobLengthBeyondBufferThrows)
+{
+    ByteWriter w;
+    w.putU32(1000); // claims 1000 bytes follow
+    w.putU8(1);
+    ByteReader r(w.buffer());
+    EXPECT_THROW(r.getBlob(), std::out_of_range);
+}
+
+TEST(ByteWriter, RawPointerWrite)
+{
+    std::uint8_t data[3] = {5, 6, 7};
+    ByteWriter w;
+    w.putRaw(data, 3);
+    EXPECT_EQ(w.buffer(), (Bytes{5, 6, 7}));
+}
+
+} // namespace
+} // namespace oceanstore

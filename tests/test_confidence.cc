@@ -1,0 +1,90 @@
+/** @file Confidence estimation tests (Section 4.7.2). */
+
+#include <gtest/gtest.h>
+
+#include "introspect/confidence.h"
+
+namespace oceanstore {
+namespace {
+
+TEST(Confidence, StartsNeutralAndApplies)
+{
+    ConfidenceEstimator est;
+    EXPECT_DOUBLE_EQ(est.confidence("replica.create"), 0.5);
+    EXPECT_TRUE(est.shouldApply("replica.create"));
+}
+
+TEST(Confidence, ImprovementsRaiseConfidence)
+{
+    ConfidenceEstimator est;
+    for (int i = 0; i < 5; i++)
+        est.recordOutcome("prefetch", 100.0, 50.0); // halved the cost
+    EXPECT_GT(est.confidence("prefetch"), 0.8);
+    EXPECT_TRUE(est.shouldApply("prefetch"));
+    EXPECT_EQ(est.outcomes("prefetch"), 5u);
+}
+
+TEST(Confidence, RegressionsSuppress)
+{
+    ConfidenceEstimator est;
+    for (int i = 0; i < 6; i++)
+        est.recordOutcome("replica.create", 100.0, 200.0); // doubled
+    EXPECT_LT(est.confidence("replica.create"), 0.35);
+    EXPECT_FALSE(est.shouldApply("replica.create"));
+    auto suppressed = est.suppressedKinds();
+    ASSERT_EQ(suppressed.size(), 1u);
+    EXPECT_EQ(suppressed[0], "replica.create");
+}
+
+TEST(Confidence, ProbationGrantsOccasionalTrials)
+{
+    ConfidenceConfig cfg;
+    cfg.probationAfter = 3;
+    ConfidenceEstimator est(cfg);
+    for (int i = 0; i < 6; i++)
+        est.recordOutcome("opt", 100.0, 300.0);
+    ASSERT_FALSE(est.shouldApply("opt")); // suppressed call 1
+    EXPECT_FALSE(est.shouldApply("opt")); // suppressed call 2
+    EXPECT_TRUE(est.shouldApply("opt"));  // probation trial
+    EXPECT_FALSE(est.shouldApply("opt")); // suppressed again
+}
+
+TEST(Confidence, RehabilitationAfterGoodOutcomes)
+{
+    ConfidenceEstimator est;
+    for (int i = 0; i < 6; i++)
+        est.recordOutcome("opt", 100.0, 300.0);
+    EXPECT_FALSE(est.shouldApply("opt"));
+    // The probation trial works out; confidence recovers.
+    for (int i = 0; i < 8; i++)
+        est.recordOutcome("opt", 100.0, 40.0);
+    EXPECT_GT(est.confidence("opt"), 0.5);
+    EXPECT_TRUE(est.shouldApply("opt"));
+    EXPECT_TRUE(est.suppressedKinds().empty());
+}
+
+TEST(Confidence, NoChangeIsNeutral)
+{
+    ConfidenceEstimator est;
+    for (int i = 0; i < 10; i++)
+        est.recordOutcome("opt", 100.0, 100.0);
+    EXPECT_NEAR(est.confidence("opt"), 0.5, 0.01);
+}
+
+TEST(Confidence, KindsAreIndependent)
+{
+    ConfidenceEstimator est;
+    est.recordOutcome("good", 100.0, 10.0);
+    est.recordOutcome("bad", 100.0, 1000.0);
+    EXPECT_GT(est.confidence("good"), est.confidence("bad"));
+}
+
+TEST(Confidence, ZeroBaselineHandled)
+{
+    ConfidenceEstimator est;
+    est.recordOutcome("opt", 0.0, 5.0); // no baseline: neutral sample
+    EXPECT_NEAR(est.confidence("opt"), 0.5, 0.01);
+}
+
+} // namespace
+} // namespace oceanstore

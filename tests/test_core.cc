@@ -1,0 +1,309 @@
+/** @file End-to-end universe tests: the full update/read paths. */
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "core/universe.h"
+
+namespace oceanstore {
+namespace {
+
+UniverseConfig
+smallConfig()
+{
+    UniverseConfig cfg;
+    cfg.numServers = 24;
+    cfg.archiveOnCommit = false; // explicit archival in tests
+    cfg.archiveDataFragments = 4;
+    cfg.archiveTotalFragments = 8;
+    cfg.initialHosts = 3;
+    return cfg;
+}
+
+struct UniverseTest : public ::testing::Test
+{
+    UniverseTest() : uni(smallConfig()), owner(uni.makeUser()) {}
+
+    Update
+    appendText(const ObjectHandle &h, const std::string &text,
+               VersionNum expected)
+    {
+        return h.makeAppendUpdate(toBytes(text), expected,
+                                  {++tsc, 1});
+    }
+
+    Universe uni;
+    KeyPair owner;
+    std::uint64_t tsc = 0;
+};
+
+TEST_F(UniverseTest, CreateObjectPlacesHosts)
+{
+    ObjectHandle h = uni.createObject(owner, "doc");
+    EXPECT_EQ(uni.hosts(h.guid()).size(), 3u);
+    EXPECT_TRUE(h.guid().valid());
+}
+
+TEST_F(UniverseTest, WriteCommitsAndPropagates)
+{
+    ObjectHandle h = uni.createObject(owner, "doc");
+    WriteResult wr = uni.writeSync(appendText(h, "hello world", 0));
+    ASSERT_TRUE(wr.completed);
+    EXPECT_TRUE(wr.committed);
+    EXPECT_EQ(wr.version, 1u);
+    EXPECT_GT(wr.latency, 0.0);
+
+    // Let the dissemination tree finish.
+    uni.advance(10.0);
+    EXPECT_TRUE(uni.secondaryTier().allCommitted(h.guid(), 1));
+}
+
+TEST_F(UniverseTest, ReadReturnsDecryptableContent)
+{
+    ObjectHandle h = uni.createObject(owner, "doc");
+    std::string text = "the quick brown fox";
+    uni.writeSync(appendText(h, text, 0));
+    uni.advance(10.0);
+
+    ReadResult rr = uni.readSync(5, h.guid());
+    ASSERT_TRUE(rr.found);
+    EXPECT_EQ(rr.version, 1u);
+    EXPECT_EQ(toString(h.decryptContent(rr.blocks)), text);
+}
+
+TEST_F(UniverseTest, StaleVersionGuardAborts)
+{
+    ObjectHandle h = uni.createObject(owner, "doc");
+    ASSERT_TRUE(uni.writeSync(appendText(h, "v1", 0)).committed);
+    // Second write conditioned on the old version must abort.
+    WriteResult wr = uni.writeSync(appendText(h, "v2-stale", 0));
+    ASSERT_TRUE(wr.completed);
+    EXPECT_FALSE(wr.committed);
+    EXPECT_EQ(wr.version, 1u);
+}
+
+TEST_F(UniverseTest, UnauthorizedWriterRejected)
+{
+    ObjectHandle h = uni.createObject(owner, "doc");
+    KeyPair mallory = uni.makeUser();
+    // Mallory signs her own update against the owner's object.
+    ObjectHandle forged(mallory, "doc");
+    Update u = appendText(h, "legit", 0);
+    // Re-sign the owner's update with mallory's key.
+    u.writerPublicKey = mallory.publicKey;
+    u.signature = KeyRegistry::sign(mallory, u.serializeForSigning());
+    WriteResult wr = uni.writeSync(u);
+    ASSERT_TRUE(wr.completed);
+    EXPECT_FALSE(wr.committed);
+}
+
+TEST_F(UniverseTest, GrantedWriterAccepted)
+{
+    ObjectHandle h = uni.createObject(owner, "doc");
+    KeyPair bob = uni.makeUser();
+    uni.grantWrite(h, owner, bob.publicKey);
+
+    Update u = appendText(h, "from bob", 0);
+    u.writerPublicKey = bob.publicKey;
+    u.signature = KeyRegistry::sign(bob, u.serializeForSigning());
+    WriteResult wr = uni.writeSync(u);
+    EXPECT_TRUE(wr.committed);
+}
+
+TEST_F(UniverseTest, TamperedUpdateRejected)
+{
+    ObjectHandle h = uni.createObject(owner, "doc");
+    Update u = appendText(h, "payload", 0);
+    u.timestamp.time ^= 1; // invalidates the signature
+    WriteResult wr = uni.writeSync(u);
+    ASSERT_TRUE(wr.completed);
+    EXPECT_FALSE(wr.committed);
+}
+
+TEST_F(UniverseTest, ReadPrefersBloomTier)
+{
+    ObjectHandle h = uni.createObject(owner, "doc");
+    uni.writeSync(appendText(h, "x", 0));
+    uni.advance(10.0);
+
+    // Read from a host itself: the probabilistic tier must hit.
+    auto host = uni.hosts(h.guid()).front();
+    ReadResult rr = uni.readSync(host, h.guid());
+    ASSERT_TRUE(rr.found);
+    EXPECT_TRUE(rr.viaBloom);
+    EXPECT_EQ(rr.servedBy, host);
+}
+
+TEST_F(UniverseTest, GlobalTierServesDistantReads)
+{
+    ObjectHandle h = uni.createObject(owner, "doc");
+    uni.writeSync(appendText(h, "x", 0));
+    uni.advance(10.0);
+
+    // Some server far from all hosts must still find the object.
+    unsigned found = 0;
+    for (std::size_t s = 0; s < uni.numServers(); s++) {
+        if (uni.readSync(s, h.guid()).found)
+            found++;
+    }
+    EXPECT_EQ(found, uni.numServers());
+}
+
+TEST_F(UniverseTest, ArchiveAndRestore)
+{
+    ObjectHandle h = uni.createObject(owner, "doc");
+    std::string text = "deep archival payload";
+    uni.writeSync(appendText(h, text, 0));
+    Guid archive = uni.archiveObject(h.guid());
+    ASSERT_TRUE(archive.valid());
+    uni.advance(10.0);
+
+    auto res = uni.restoreSync(archive);
+    ASSERT_TRUE(res.success);
+    EXPECT_FALSE(res.data.empty());
+    EXPECT_EQ(uni.latestArchive(h.guid()), archive);
+}
+
+TEST_F(UniverseTest, ArchiveSurvivesDisaster)
+{
+    ObjectHandle h = uni.createObject(owner, "doc");
+    uni.writeSync(appendText(h, "survive me", 0));
+    Guid archive = uni.archiveObject(h.guid());
+    uni.advance(10.0);
+
+    // A regional disaster: kill 25% of the archival servers.
+    Rng rng(3);
+    auto &arch = uni.archival();
+    for (std::size_t i = 0; i < arch.size(); i++) {
+        if (rng.chance(0.25))
+            uni.net().setDown(arch.server(i).nodeId());
+    }
+    auto res = uni.restoreSync(archive);
+    EXPECT_TRUE(res.success);
+}
+
+TEST_F(UniverseTest, AddRemoveHostUpdatesLocation)
+{
+    ObjectHandle h = uni.createObject(owner, "doc");
+    uni.writeSync(appendText(h, "x", 0));
+    uni.advance(5.0);
+
+    auto hosts = uni.hosts(h.guid());
+    std::size_t fresh = 0;
+    while (std::find(hosts.begin(), hosts.end(), fresh) != hosts.end())
+        fresh++;
+    uni.addHost(h.guid(), fresh);
+    EXPECT_EQ(uni.hosts(h.guid()).size(), 4u);
+
+    ReadResult rr = uni.readSync(fresh, h.guid());
+    ASSERT_TRUE(rr.found);
+    EXPECT_EQ(rr.servedBy, fresh); // served locally now
+
+    uni.removeHost(h.guid(), fresh);
+    EXPECT_EQ(uni.hosts(h.guid()).size(), 3u);
+}
+
+TEST_F(UniverseTest, ReplicaManagementCreatesUnderLoad)
+{
+    ObjectHandle h = uni.createObject(owner, "hot-object");
+    uni.writeSync(appendText(h, "x", 0));
+    uni.advance(5.0);
+
+    std::size_t before = uni.hosts(h.guid()).size();
+    // Hammer the object from everywhere.
+    for (int round = 0; round < 10; round++) {
+        for (std::size_t s = 0; s < uni.numServers(); s++)
+            uni.readSync(s, h.guid());
+    }
+    auto actions = uni.runReplicaManagementEpoch();
+    bool created = false;
+    for (const auto &a : actions)
+        created |= a.kind == ReplicaAction::Kind::Create;
+    EXPECT_TRUE(created);
+    EXPECT_GT(uni.hosts(h.guid()).size(), before);
+}
+
+TEST_F(UniverseTest, ReplicaManagementRetiresDisused)
+{
+    ObjectHandle h = uni.createObject(owner, "cold-object");
+    uni.writeSync(appendText(h, "x", 0));
+    uni.advance(5.0);
+    std::size_t before = uni.hosts(h.guid()).size();
+    ASSERT_GT(before, 1u);
+    // Nobody reads it; one epoch should retire extras down to the
+    // floor.
+    auto actions = uni.runReplicaManagementEpoch();
+    bool retired = false;
+    for (const auto &a : actions)
+        retired |= a.kind == ReplicaAction::Kind::Retire;
+    EXPECT_TRUE(retired);
+    EXPECT_LT(uni.hosts(h.guid()).size(), before);
+    EXPECT_GE(uni.hosts(h.guid()).size(), 1u);
+}
+
+TEST_F(UniverseTest, IntrospectionObservesAccesses)
+{
+    ObjectHandle a = uni.createObject(owner, "a");
+    ObjectHandle b = uni.createObject(owner, "b");
+    uni.writeSync(appendText(a, "1", 0));
+    uni.writeSync(appendText(b, "2", 0));
+    uni.advance(5.0);
+    for (int i = 0; i < 8; i++) {
+        uni.readSync(0, a.guid());
+        uni.readSync(0, b.guid());
+    }
+    // Cluster recognition sees a and b as related.
+    EXPECT_GT(uni.semanticGraph().weight(a.guid(), b.guid()), 0.0);
+    // The prefetcher predicts b after a.
+    uni.readSync(0, a.guid());
+    auto preds = uni.prefetcher().predict();
+    ASSERT_FALSE(preds.empty());
+    EXPECT_EQ(preds[0], b.guid());
+}
+
+TEST_F(UniverseTest, MultipleObjectsIndependentVersions)
+{
+    ObjectHandle a = uni.createObject(owner, "a");
+    ObjectHandle b = uni.createObject(owner, "b");
+    uni.writeSync(appendText(a, "1", 0));
+    uni.writeSync(appendText(a, "2", 1));
+    uni.writeSync(appendText(b, "1", 0));
+    uni.advance(10.0);
+    EXPECT_EQ(uni.readSync(0, a.guid()).version, 2u);
+    EXPECT_EQ(uni.readSync(0, b.guid()).version, 1u);
+}
+
+TEST_F(UniverseTest, CiphertextInsertDeleteThroughFullPath)
+{
+    // Figure 4 end-to-end: insert and delete on ciphertext via the
+    // committed path, decrypted correctly by the client.
+    UniverseConfig cfg = smallConfig();
+    Universe u2(cfg);
+    KeyPair user = u2.makeUser();
+    ObjectHandle h(user, "doc", 4); // tiny 4-byte blocks
+    // Register via createObject to install the ACL and hosts.
+    ObjectHandle reg = u2.createObject(user, "doc");
+    ASSERT_EQ(reg.guid(), h.guid());
+
+    std::uint64_t ts = 0;
+    ASSERT_TRUE(
+        u2.writeSync(h.makeAppendUpdate(toBytes("AAAABBBB"), 0,
+                                        {++ts, 1}))
+            .committed); // two blocks: AAAA BBBB
+    ASSERT_TRUE(
+        u2.writeSync(h.makeInsertUpdate(1, toBytes("XXXX"), 1,
+                                        {++ts, 1}))
+            .committed); // AAAA XXXX BBBB
+    ASSERT_TRUE(
+        u2.writeSync(h.makeDeleteUpdate(2, 2, {++ts, 1}))
+            .committed); // AAAA XXXX
+    u2.advance(10.0);
+
+    ReadResult rr = u2.readSync(1, h.guid());
+    ASSERT_TRUE(rr.found);
+    EXPECT_EQ(toString(h.decryptContent(rr.blocks)), "AAAAXXXX");
+}
+
+} // namespace
+} // namespace oceanstore

@@ -1,0 +1,254 @@
+/** @file Replica-side object semantics (Sections 4.4.1-2, Figure 4). */
+
+#include <gtest/gtest.h>
+
+#include "consistency/data_object.h"
+
+namespace oceanstore {
+namespace {
+
+Update
+unconditional(const Guid &g, std::vector<Action> actions)
+{
+    Update u;
+    u.objectGuid = g;
+    UpdateClause clause;
+    clause.actions = std::move(actions);
+    u.clauses.push_back(std::move(clause));
+    return u;
+}
+
+Update
+guarded(const Guid &g, std::vector<Predicate> preds,
+        std::vector<Action> actions)
+{
+    Update u;
+    u.objectGuid = g;
+    UpdateClause clause;
+    clause.predicates = std::move(preds);
+    clause.actions = std::move(actions);
+    u.clauses.push_back(std::move(clause));
+    return u;
+}
+
+struct DataObjectTest : public ::testing::Test
+{
+    DataObjectTest() : g(Guid::hashOf("obj")), obj(g) {}
+
+    void
+    append(const std::string &s)
+    {
+        auto r = obj.apply(
+            unconditional(g, {AppendBlock{toBytes(s)}}));
+        ASSERT_TRUE(r.committed);
+    }
+
+    std::vector<std::string>
+    contents() const
+    {
+        std::vector<std::string> out;
+        for (const auto &b : obj.logicalContent())
+            out.push_back(toString(b));
+        return out;
+    }
+
+    Guid g;
+    DataObject obj;
+};
+
+TEST_F(DataObjectTest, StartsEmptyAtVersionZero)
+{
+    EXPECT_EQ(obj.version(), 0u);
+    EXPECT_EQ(obj.numLogicalBlocks(), 0u);
+}
+
+TEST_F(DataObjectTest, AppendGrowsObjectAndVersion)
+{
+    append("a");
+    append("b");
+    EXPECT_EQ(obj.version(), 2u);
+    EXPECT_EQ(contents(), (std::vector<std::string>{"a", "b"}));
+}
+
+TEST_F(DataObjectTest, ReplaceBlock)
+{
+    append("a");
+    append("b");
+    auto r = obj.apply(
+        unconditional(g, {ReplaceBlock{1, toBytes("B")}}));
+    EXPECT_TRUE(r.committed);
+    EXPECT_EQ(contents(), (std::vector<std::string>{"a", "B"}));
+}
+
+TEST_F(DataObjectTest, InsertUsesPointerBlocks)
+{
+    // Figure 4: insert 41.5 between 41 and 42.  Physically the old
+    // slot becomes an index block; logically the order is 41, 41.5,
+    // 42, 43.
+    append("41");
+    append("42");
+    append("43");
+    std::size_t phys_before = obj.numPhysicalBlocks();
+    auto r = obj.apply(
+        unconditional(g, {InsertBlock{1, toBytes("41.5")}}));
+    EXPECT_TRUE(r.committed);
+    EXPECT_EQ(contents(),
+              (std::vector<std::string>{"41", "41.5", "42", "43"}));
+    // The server appended two physical blocks (new + displaced copy).
+    EXPECT_EQ(obj.numPhysicalBlocks(), phys_before + 2);
+}
+
+TEST_F(DataObjectTest, NestedInserts)
+{
+    append("a");
+    append("d");
+    obj.apply(unconditional(g, {InsertBlock{1, toBytes("c")}}));
+    obj.apply(unconditional(g, {InsertBlock{1, toBytes("b")}}));
+    EXPECT_EQ(contents(),
+              (std::vector<std::string>{"a", "b", "c", "d"}));
+}
+
+TEST_F(DataObjectTest, InsertAtEndActsAsAppend)
+{
+    append("a");
+    obj.apply(unconditional(g, {InsertBlock{1, toBytes("b")}}));
+    EXPECT_EQ(contents(), (std::vector<std::string>{"a", "b"}));
+}
+
+TEST_F(DataObjectTest, DeleteLeavesTombstone)
+{
+    append("a");
+    append("b");
+    append("c");
+    auto r = obj.apply(unconditional(g, {DeleteBlock{1}}));
+    EXPECT_TRUE(r.committed);
+    EXPECT_EQ(contents(), (std::vector<std::string>{"a", "c"}));
+    // Physical slot count unchanged: deletion is an empty pointer.
+    EXPECT_EQ(obj.numPhysicalBlocks(), 3u);
+}
+
+TEST_F(DataObjectTest, CompareVersionGates)
+{
+    append("a");
+    auto ok = obj.apply(guarded(g, {CompareVersion{1}},
+                                {AppendBlock{toBytes("b")}}));
+    EXPECT_TRUE(ok.committed);
+    auto stale = obj.apply(guarded(g, {CompareVersion{1}},
+                                   {AppendBlock{toBytes("c")}}));
+    EXPECT_FALSE(stale.committed);
+    EXPECT_EQ(obj.version(), 2u);
+}
+
+TEST_F(DataObjectTest, CompareSizeAndBlockPredicates)
+{
+    append("hello");
+    EXPECT_TRUE(obj.evaluate(CompareSize{1}));
+    EXPECT_FALSE(obj.evaluate(CompareSize{2}));
+
+    CompareBlock cb;
+    cb.position = 0;
+    cb.expected = Sha1::hash(toBytes("hello"));
+    EXPECT_TRUE(obj.evaluate(cb));
+    cb.expected = Sha1::hash(toBytes("other"));
+    EXPECT_FALSE(obj.evaluate(cb));
+    cb.position = 9; // out of range is simply false
+    EXPECT_FALSE(obj.evaluate(cb));
+}
+
+TEST_F(DataObjectTest, SearchPredicateOverIndex)
+{
+    SearchableCipher sc(toBytes("key"));
+    obj.apply(unconditional(
+        g, {SetSearchIndex{sc.buildIndex("alpha beta gamma")}}));
+
+    SearchPredicate present;
+    present.trapdoor = sc.trapdoor("beta");
+    present.expectPresent = true;
+    EXPECT_TRUE(obj.evaluate(present));
+
+    SearchPredicate absent;
+    absent.trapdoor = sc.trapdoor("delta");
+    absent.expectPresent = false;
+    EXPECT_TRUE(obj.evaluate(absent));
+}
+
+TEST_F(DataObjectTest, FirstTrueClauseWins)
+{
+    append("a");
+    Update u;
+    u.objectGuid = g;
+    UpdateClause wrong;
+    wrong.predicates.push_back(CompareVersion{99});
+    wrong.actions.push_back(AppendBlock{toBytes("wrong")});
+    UpdateClause right;
+    right.predicates.push_back(CompareVersion{1});
+    right.actions.push_back(AppendBlock{toBytes("right")});
+    UpdateClause fallback;
+    fallback.actions.push_back(AppendBlock{toBytes("fallback")});
+    u.clauses = {wrong, right, fallback};
+
+    auto r = obj.apply(u);
+    EXPECT_TRUE(r.committed);
+    EXPECT_EQ(r.clauseFired, 1u);
+    EXPECT_EQ(contents(), (std::vector<std::string>{"a", "right"}));
+}
+
+TEST_F(DataObjectTest, AbortWhenNoClauseHolds)
+{
+    append("a");
+    auto r = obj.apply(guarded(g, {CompareVersion{5}},
+                               {AppendBlock{toBytes("x")}}));
+    EXPECT_FALSE(r.committed);
+    EXPECT_EQ(obj.version(), 1u);
+    // The update is logged regardless (Section 4.4.1).
+    EXPECT_EQ(obj.log().size(), 2u);
+    EXPECT_FALSE(obj.log().back().committed);
+}
+
+TEST_F(DataObjectTest, InvalidActionAbortsClauseAtomically)
+{
+    append("a");
+    // Second action out of range: nothing from the clause applies.
+    auto r = obj.apply(unconditional(
+        g, {AppendBlock{toBytes("b")}, ReplaceBlock{9, toBytes("x")}}));
+    EXPECT_FALSE(r.committed);
+    EXPECT_EQ(contents(), (std::vector<std::string>{"a"}));
+}
+
+TEST_F(DataObjectTest, MaterializeHistoricalVersions)
+{
+    append("v1");
+    obj.apply(unconditional(g, {ReplaceBlock{0, toBytes("v2")}}));
+    obj.apply(unconditional(g, {AppendBlock{toBytes("tail")}}));
+
+    DataObject v1 = obj.materializeVersion(1);
+    EXPECT_EQ(v1.version(), 1u);
+    EXPECT_EQ(toString(v1.logicalBlock(0)), "v1");
+
+    DataObject v2 = obj.materializeVersion(2);
+    EXPECT_EQ(toString(v2.logicalBlock(0)), "v2");
+    EXPECT_EQ(v2.numLogicalBlocks(), 1u);
+
+    DataObject v3 = obj.materializeVersion(3);
+    EXPECT_EQ(v3.numLogicalBlocks(), 2u);
+}
+
+TEST_F(DataObjectTest, SerializeStateIsVersionSensitive)
+{
+    append("a");
+    Bytes s1 = obj.serializeState();
+    append("b");
+    Bytes s2 = obj.serializeState();
+    EXPECT_NE(s1, s2);
+    EXPECT_EQ(obj.serializeState(), s2); // stable snapshot
+}
+
+TEST_F(DataObjectTest, EmptyPredicateClauseAlwaysFires)
+{
+    auto r = obj.apply(unconditional(g, {}));
+    EXPECT_TRUE(r.committed); // vacuous but commits a new version
+    EXPECT_EQ(obj.version(), 1u);
+}
+
+} // namespace
+} // namespace oceanstore

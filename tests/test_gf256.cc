@@ -1,0 +1,129 @@
+/** @file GF(2^8) field axiom property tests. */
+
+#include <gtest/gtest.h>
+
+#include "erasure/gf256.h"
+
+namespace oceanstore {
+namespace {
+
+TEST(Gf256, AdditionIsXor)
+{
+    EXPECT_EQ(gf256::add(0x57, 0x83), 0x57 ^ 0x83);
+    EXPECT_EQ(gf256::add(5, 5), 0);
+}
+
+TEST(Gf256, MultiplicativeIdentity)
+{
+    for (unsigned a = 0; a < 256; a++)
+        EXPECT_EQ(gf256::mul(static_cast<std::uint8_t>(a), 1), a);
+}
+
+TEST(Gf256, MultiplyByZero)
+{
+    for (unsigned a = 0; a < 256; a++)
+        EXPECT_EQ(gf256::mul(static_cast<std::uint8_t>(a), 0), 0);
+}
+
+TEST(Gf256, MultiplicationCommutes)
+{
+    for (unsigned a = 1; a < 256; a += 7) {
+        for (unsigned b = 1; b < 256; b += 11) {
+            EXPECT_EQ(gf256::mul(a, b), gf256::mul(b, a));
+        }
+    }
+}
+
+TEST(Gf256, MultiplicationAssociates)
+{
+    for (unsigned a = 1; a < 256; a += 31) {
+        for (unsigned b = 1; b < 256; b += 29) {
+            for (unsigned c = 1; c < 256; c += 37) {
+                EXPECT_EQ(gf256::mul(gf256::mul(a, b), c),
+                          gf256::mul(a, gf256::mul(b, c)));
+            }
+        }
+    }
+}
+
+TEST(Gf256, DistributesOverAddition)
+{
+    for (unsigned a = 1; a < 256; a += 13) {
+        for (unsigned b = 0; b < 256; b += 17) {
+            for (unsigned c = 0; c < 256; c += 19) {
+                EXPECT_EQ(gf256::mul(a, gf256::add(b, c)),
+                          gf256::add(gf256::mul(a, b),
+                                     gf256::mul(a, c)));
+            }
+        }
+    }
+}
+
+TEST(Gf256, EveryNonzeroHasInverse)
+{
+    for (unsigned a = 1; a < 256; a++) {
+        std::uint8_t inv = gf256::inv(static_cast<std::uint8_t>(a));
+        EXPECT_EQ(gf256::mul(static_cast<std::uint8_t>(a), inv), 1)
+            << "a=" << a;
+    }
+}
+
+TEST(Gf256, DivisionInvertsMultiplication)
+{
+    for (unsigned a = 0; a < 256; a += 5) {
+        for (unsigned b = 1; b < 256; b += 7) {
+            std::uint8_t q = gf256::div(a, b);
+            EXPECT_EQ(gf256::mul(q, b), a);
+        }
+    }
+}
+
+TEST(Gf256, KnownAesStyleProduct)
+{
+    // 2 * 128 over 0x11d: 0x100 ^ 0x11d = 0x1d.
+    EXPECT_EQ(gf256::mul(2, 0x80), 0x1d);
+}
+
+TEST(Gf256, PowMatchesRepeatedMul)
+{
+    for (unsigned a = 1; a < 256; a += 23) {
+        std::uint8_t acc = 1;
+        for (unsigned n = 0; n < 10; n++) {
+            EXPECT_EQ(gf256::pow(a, n), acc) << "a=" << a << " n=" << n;
+            acc = gf256::mul(acc, static_cast<std::uint8_t>(a));
+        }
+    }
+}
+
+TEST(Gf256, MulAddAccumulates)
+{
+    std::uint8_t dst[4] = {1, 2, 3, 4};
+    std::uint8_t src[4] = {5, 6, 7, 8};
+    gf256::mulAdd(dst, src, 3, 4);
+    for (int i = 0; i < 4; i++) {
+        std::uint8_t expect = static_cast<std::uint8_t>(
+            (i + 1) ^ gf256::mul(3, src[i]));
+        EXPECT_EQ(dst[i], expect);
+    }
+}
+
+TEST(Gf256, MulAddByOneIsXor)
+{
+    std::uint8_t dst[2] = {0xaa, 0x55};
+    std::uint8_t src[2] = {0x0f, 0xf0};
+    gf256::mulAdd(dst, src, 1, 2);
+    EXPECT_EQ(dst[0], 0xaa ^ 0x0f);
+    EXPECT_EQ(dst[1], 0x55 ^ 0xf0);
+}
+
+TEST(Gf256, MulAddByZeroIsNoop)
+{
+    std::uint8_t dst[2] = {9, 9};
+    std::uint8_t src[2] = {1, 2};
+    gf256::mulAdd(dst, src, 0, 2);
+    EXPECT_EQ(dst[0], 9);
+    EXPECT_EQ(dst[1], 9);
+}
+
+} // namespace
+} // namespace oceanstore

@@ -1,0 +1,91 @@
+/** @file Simulated signature scheme tests. */
+
+#include <gtest/gtest.h>
+
+#include "crypto/keys.h"
+
+namespace oceanstore {
+namespace {
+
+TEST(Keys, SignVerifyRoundTrip)
+{
+    KeyRegistry reg;
+    KeyPair kp = reg.generate();
+    Bytes msg = toBytes("update payload");
+    Signature sig = KeyRegistry::sign(kp, msg);
+    EXPECT_TRUE(reg.verify(kp.publicKey, msg, sig));
+}
+
+TEST(Keys, SignatureHasModeledWireSize)
+{
+    KeyRegistry reg;
+    KeyPair kp = reg.generate();
+    Signature sig = KeyRegistry::sign(kp, toBytes("m"));
+    EXPECT_EQ(sig.bytes.size(), signatureWireSize);
+}
+
+TEST(Keys, TamperedMessageFails)
+{
+    KeyRegistry reg;
+    KeyPair kp = reg.generate();
+    Signature sig = KeyRegistry::sign(kp, toBytes("original"));
+    EXPECT_FALSE(reg.verify(kp.publicKey, toBytes("tampered"), sig));
+}
+
+TEST(Keys, TamperedSignatureFails)
+{
+    KeyRegistry reg;
+    KeyPair kp = reg.generate();
+    Bytes msg = toBytes("msg");
+    Signature sig = KeyRegistry::sign(kp, msg);
+    sig.bytes[0] ^= 1;
+    EXPECT_FALSE(reg.verify(kp.publicKey, msg, sig));
+}
+
+TEST(Keys, WrongKeyFails)
+{
+    KeyRegistry reg;
+    KeyPair a = reg.generate();
+    KeyPair b = reg.generate();
+    Bytes msg = toBytes("msg");
+    Signature sig = KeyRegistry::sign(a, msg);
+    EXPECT_FALSE(reg.verify(b.publicKey, msg, sig));
+}
+
+TEST(Keys, UnknownPublicKeyFails)
+{
+    KeyRegistry reg;
+    KeyPair kp = reg.generate();
+    Signature sig = KeyRegistry::sign(kp, toBytes("m"));
+    EXPECT_FALSE(reg.verify(toBytes("not a registered key"),
+                            toBytes("m"), sig));
+}
+
+TEST(Keys, PublicKeyIsHashOfPrivate)
+{
+    KeyRegistry reg;
+    KeyPair kp = reg.generate();
+    EXPECT_EQ(kp.publicKey, digestToBytes(Sha1::hash(kp.privateKey)));
+}
+
+TEST(Keys, DistinctKeyPairs)
+{
+    KeyRegistry reg;
+    KeyPair a = reg.generate();
+    KeyPair b = reg.generate();
+    EXPECT_NE(a.publicKey, b.publicKey);
+    EXPECT_NE(a.privateKey, b.privateKey);
+}
+
+TEST(Keys, WrongSizeSignatureRejected)
+{
+    KeyRegistry reg;
+    KeyPair kp = reg.generate();
+    Bytes msg = toBytes("m");
+    Signature sig = KeyRegistry::sign(kp, msg);
+    sig.bytes.resize(20); // raw MAC without padding
+    EXPECT_FALSE(reg.verify(kp.publicKey, msg, sig));
+}
+
+} // namespace
+} // namespace oceanstore

@@ -1,0 +1,113 @@
+/** @file Hierarchical fragment hashing tests (Section 4.5). */
+
+#include <gtest/gtest.h>
+
+#include "crypto/merkle.h"
+
+namespace oceanstore {
+namespace {
+
+std::vector<Bytes>
+makeLeaves(std::size_t n)
+{
+    std::vector<Bytes> leaves;
+    for (std::size_t i = 0; i < n; i++)
+        leaves.push_back(toBytes("fragment-" + std::to_string(i)));
+    return leaves;
+}
+
+class MerkleSizes : public ::testing::TestWithParam<std::size_t>
+{
+};
+
+TEST_P(MerkleSizes, EveryLeafVerifies)
+{
+    auto leaves = makeLeaves(GetParam());
+    MerkleTree tree(leaves);
+    for (std::size_t i = 0; i < leaves.size(); i++) {
+        EXPECT_TRUE(MerkleTree::verify(leaves[i], tree.path(i),
+                                       tree.root()))
+            << "leaf " << i << " of " << GetParam();
+    }
+}
+
+TEST_P(MerkleSizes, WrongLeafFailsVerification)
+{
+    auto leaves = makeLeaves(GetParam());
+    MerkleTree tree(leaves);
+    Bytes forged = toBytes("substituted-fragment");
+    for (std::size_t i = 0; i < leaves.size(); i++) {
+        EXPECT_FALSE(MerkleTree::verify(forged, tree.path(i),
+                                        tree.root()));
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(TreeSizes, MerkleSizes,
+                         ::testing::Values(1, 2, 3, 5, 7, 8, 16, 17,
+                                           31, 32, 33, 100));
+
+TEST(Merkle, RootChangesWithAnyLeaf)
+{
+    auto leaves = makeLeaves(8);
+    MerkleTree base(leaves);
+    for (std::size_t i = 0; i < leaves.size(); i++) {
+        auto mutated = leaves;
+        mutated[i][0] ^= 1;
+        MerkleTree other(mutated);
+        EXPECT_NE(other.root(), base.root()) << "leaf " << i;
+    }
+}
+
+TEST(Merkle, PathHasLogDepth)
+{
+    MerkleTree tree(makeLeaves(64));
+    EXPECT_EQ(tree.path(0).size(), 6u); // log2(64)
+}
+
+TEST(Merkle, CorruptedProofFails)
+{
+    auto leaves = makeLeaves(8);
+    MerkleTree tree(leaves);
+    auto path = tree.path(3);
+    path[1].sibling[0] ^= 0xff;
+    EXPECT_FALSE(MerkleTree::verify(leaves[3], path, tree.root()));
+}
+
+TEST(Merkle, SwappedSiblingSideFails)
+{
+    auto leaves = makeLeaves(8);
+    MerkleTree tree(leaves);
+    auto path = tree.path(3);
+    path[0].siblingOnLeft = !path[0].siblingOnLeft;
+    EXPECT_FALSE(MerkleTree::verify(leaves[3], path, tree.root()));
+}
+
+TEST(Merkle, RootGuidMatchesRootDigest)
+{
+    MerkleTree tree(makeLeaves(4));
+    EXPECT_EQ(tree.rootGuid().toBytes(), digestToBytes(tree.root()));
+}
+
+TEST(Merkle, EmptyLeavesRejected)
+{
+    EXPECT_THROW(MerkleTree(std::vector<Bytes>{}),
+                 std::invalid_argument);
+}
+
+TEST(Merkle, PathIndexOutOfRange)
+{
+    MerkleTree tree(makeLeaves(4));
+    EXPECT_THROW(tree.path(4), std::out_of_range);
+}
+
+TEST(Merkle, ProofForWrongIndexFails)
+{
+    auto leaves = makeLeaves(16);
+    MerkleTree tree(leaves);
+    // Proof of leaf 2 must not verify leaf 3's data.
+    EXPECT_FALSE(
+        MerkleTree::verify(leaves[3], tree.path(2), tree.root()));
+}
+
+} // namespace
+} // namespace oceanstore

@@ -1,0 +1,172 @@
+/** @file Simulated network tests. */
+
+#include <gtest/gtest.h>
+
+#include "sim/network.h"
+
+namespace oceanstore {
+namespace {
+
+/** Records every delivered message. */
+class Sink : public SimNode
+{
+  public:
+    void
+    handleMessage(const Message &msg) override
+    {
+        received.push_back(msg);
+    }
+
+    std::vector<Message> received;
+};
+
+struct NetFixture : public ::testing::Test
+{
+    NetFixture()
+    {
+        NetworkConfig cfg;
+        cfg.jitter = 0.0;
+        cfg.bandwidth = 0.0; // infinite
+        net = std::make_unique<Network>(sim, cfg);
+        a = net->addNode(&na, 0.0, 0.0);
+        b = net->addNode(&nb, 1.0, 0.0);
+    }
+
+    Simulator sim;
+    std::unique_ptr<Network> net;
+    Sink na, nb;
+    NodeId a{}, b{};
+};
+
+TEST_F(NetFixture, DeliversWithGeometricLatency)
+{
+    net->send(a, b, makeMessage("t", 1, 10));
+    sim.run();
+    ASSERT_EQ(nb.received.size(), 1u);
+    // base 0.005 + distance 1.0 * 0.1.
+    EXPECT_NEAR(sim.now(), 0.105, 1e-9);
+    EXPECT_EQ(nb.received[0].src, a);
+}
+
+TEST_F(NetFixture, LatencyIsSymmetric)
+{
+    EXPECT_DOUBLE_EQ(net->latency(a, b), net->latency(b, a));
+    EXPECT_DOUBLE_EQ(net->latency(a, a), 0.0);
+}
+
+TEST_F(NetFixture, CountsBytesIncludingHeader)
+{
+    net->send(a, b, makeMessage("t", 1, 100));
+    EXPECT_EQ(net->totalBytes(), 100 + messageHeaderBytes);
+    EXPECT_EQ(net->totalMessages(), 1u);
+}
+
+TEST_F(NetFixture, PerTypeByteCounters)
+{
+    net->send(a, b, makeMessage("x", 1, 10));
+    net->send(a, b, makeMessage("x", 1, 10));
+    net->send(a, b, makeMessage("y", 1, 20));
+    EXPECT_EQ(net->byteCounters().get("x"),
+              2 * (10 + messageHeaderBytes));
+    EXPECT_EQ(net->byteCounters().get("y"), 20 + messageHeaderBytes);
+}
+
+TEST_F(NetFixture, DownDestinationLosesMessage)
+{
+    net->setDown(b);
+    net->send(a, b, makeMessage("t", 1, 10));
+    sim.run();
+    EXPECT_TRUE(nb.received.empty());
+    // Bytes still counted: the sender transmitted.
+    EXPECT_GT(net->totalBytes(), 0u);
+}
+
+TEST_F(NetFixture, DownSenderCannotTransmit)
+{
+    net->setDown(a);
+    net->send(a, b, makeMessage("t", 1, 10));
+    sim.run();
+    EXPECT_TRUE(nb.received.empty());
+}
+
+TEST_F(NetFixture, RecoveryRestoresDelivery)
+{
+    net->setDown(b);
+    net->setUp(b);
+    net->send(a, b, makeMessage("t", 1, 10));
+    sim.run();
+    EXPECT_EQ(nb.received.size(), 1u);
+}
+
+TEST_F(NetFixture, PartitionBlocksCrossTraffic)
+{
+    net->setPartition(a, 1);
+    net->send(a, b, makeMessage("t", 1, 10));
+    sim.run();
+    EXPECT_TRUE(nb.received.empty());
+
+    net->healPartitions();
+    net->send(a, b, makeMessage("t", 1, 10));
+    sim.run();
+    EXPECT_EQ(nb.received.size(), 1u);
+}
+
+TEST_F(NetFixture, SelfSendStillAsynchronous)
+{
+    bool delivered_inline = true;
+    net->send(a, a, makeMessage("t", 1, 1));
+    delivered_inline = !na.received.empty();
+    sim.run();
+    EXPECT_FALSE(delivered_inline);
+    EXPECT_EQ(na.received.size(), 1u);
+}
+
+TEST(Network, DropRateDropsRoughlyThatFraction)
+{
+    Simulator sim;
+    NetworkConfig cfg;
+    cfg.dropRate = 0.5;
+    cfg.jitter = 0;
+    Network net(sim, cfg);
+    Sink sa, sb;
+    NodeId a = net.addNode(&sa, 0, 0);
+    NodeId b = net.addNode(&sb, 0.1, 0);
+    for (int i = 0; i < 1000; i++)
+        net.send(a, b, makeMessage("t", 1, 1));
+    sim.run();
+    EXPECT_GT(sb.received.size(), 350u);
+    EXPECT_LT(sb.received.size(), 650u);
+}
+
+TEST(Network, BandwidthAddsTransferTime)
+{
+    Simulator sim;
+    NetworkConfig cfg;
+    cfg.jitter = 0;
+    cfg.bandwidth = 1000.0; // 1 kB/s
+    cfg.baseLatency = 0.0;
+    cfg.latencyPerUnit = 0.0;
+    Network net(sim, cfg);
+    Sink sa, sb;
+    NodeId a = net.addNode(&sa, 0, 0);
+    NodeId b = net.addNode(&sb, 0, 0);
+    net.send(a, b, makeMessage("t", 1, 1000 - messageHeaderBytes));
+    sim.run();
+    EXPECT_NEAR(sim.now(), 1.0, 1e-6); // 1000 bytes at 1 kB/s
+}
+
+TEST(Network, ResetCountersKeepsNodeState)
+{
+    Simulator sim;
+    Network net(sim, {});
+    Sink s;
+    NodeId a = net.addNode(&s, 0, 0);
+    net.setDown(a);
+    net.send(a, a, makeMessage("t", 1, 1));
+    net.resetCounters();
+    EXPECT_EQ(net.totalBytes(), 0u);
+    EXPECT_FALSE(net.isUp(a));
+}
+
+} // namespace
+} // namespace oceanstore

@@ -1,0 +1,157 @@
+/** @file Deterministic RNG tests. */
+
+#include <set>
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace oceanstore {
+namespace {
+
+TEST(Rng, DeterministicForSeed)
+{
+    Rng a(123), b(123);
+    for (int i = 0; i < 100; i++)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    bool differ = false;
+    for (int i = 0; i < 10 && !differ; i++)
+        differ = a.next() != b.next();
+    EXPECT_TRUE(differ);
+}
+
+TEST(Rng, BelowStaysInRange)
+{
+    Rng rng(9);
+    for (int i = 0; i < 1000; i++)
+        EXPECT_LT(rng.below(17), 17u);
+}
+
+TEST(Rng, BelowOneIsAlwaysZero)
+{
+    Rng rng(9);
+    for (int i = 0; i < 10; i++)
+        EXPECT_EQ(rng.below(1), 0u);
+}
+
+TEST(Rng, BetweenInclusive)
+{
+    Rng rng(5);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 2000; i++) {
+        auto v = rng.between(-3, 3);
+        EXPECT_GE(v, -3);
+        EXPECT_LE(v, 3);
+        saw_lo |= (v == -3);
+        saw_hi |= (v == 3);
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng rng(42);
+    double sum = 0;
+    for (int i = 0; i < 10000; i++) {
+        double u = rng.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(Rng, ChanceExtremes)
+{
+    Rng rng(1);
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+}
+
+TEST(Rng, ChanceFrequency)
+{
+    Rng rng(77);
+    int hits = 0;
+    for (int i = 0; i < 10000; i++)
+        hits += rng.chance(0.3) ? 1 : 0;
+    EXPECT_NEAR(hits / 10000.0, 0.3, 0.03);
+}
+
+TEST(Rng, ExponentialMean)
+{
+    Rng rng(31);
+    double sum = 0;
+    for (int i = 0; i < 20000; i++)
+        sum += rng.exponential(2.0);
+    EXPECT_NEAR(sum / 20000, 2.0, 0.1);
+}
+
+TEST(Rng, NormalMoments)
+{
+    Rng rng(13);
+    double sum = 0, sq = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; i++) {
+        double v = rng.normal(10.0, 3.0);
+        sum += v;
+        sq += v * v;
+    }
+    double mean = sum / n;
+    double var = sq / n - mean * mean;
+    EXPECT_NEAR(mean, 10.0, 0.1);
+    EXPECT_NEAR(var, 9.0, 0.5);
+}
+
+TEST(Rng, SampleIndicesDistinct)
+{
+    Rng rng(8);
+    auto idx = rng.sampleIndices(100, 30);
+    std::set<std::size_t> uniq(idx.begin(), idx.end());
+    EXPECT_EQ(uniq.size(), 30u);
+    for (auto i : idx)
+        EXPECT_LT(i, 100u);
+}
+
+TEST(Rng, SampleAllIndices)
+{
+    Rng rng(8);
+    auto idx = rng.sampleIndices(10, 10);
+    std::set<std::size_t> uniq(idx.begin(), idx.end());
+    EXPECT_EQ(uniq.size(), 10u);
+}
+
+TEST(Rng, ShufflePreservesElements)
+{
+    Rng rng(21);
+    std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+    auto sorted = v;
+    rng.shuffle(v);
+    std::sort(v.begin(), v.end());
+    EXPECT_EQ(v, sorted);
+}
+
+TEST(Rng, ForkIsIndependent)
+{
+    Rng parent(55);
+    Rng child = parent.fork();
+    EXPECT_NE(parent.next(), child.next());
+}
+
+TEST(Rng, GeometricValidatesP)
+{
+    Rng rng(2);
+    EXPECT_THROW(rng.geometric(0.0), std::invalid_argument);
+    EXPECT_THROW(rng.geometric(1.5), std::invalid_argument);
+    EXPECT_EQ(rng.geometric(1.0), 0u);
+}
+
+} // namespace
+} // namespace oceanstore

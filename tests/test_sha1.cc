@@ -1,0 +1,89 @@
+/** @file SHA-1 correctness against FIPS 180-1 test vectors. */
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "crypto/sha1.h"
+
+namespace oceanstore {
+namespace {
+
+TEST(Sha1, Fips180Abc)
+{
+    // FIPS 180-1 Appendix A.
+    EXPECT_EQ(digestToHex(Sha1::hash("abc")),
+              "a9993e364706816aba3e25717850c26c9cd0d89d");
+}
+
+TEST(Sha1, Fips180TwoBlockMessage)
+{
+    // FIPS 180-1 Appendix B.
+    EXPECT_EQ(
+        digestToHex(Sha1::hash(
+            "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq")),
+        "84983e441c3bd26ebaae4aa1f95129e5e54670f1");
+}
+
+TEST(Sha1, EmptyMessage)
+{
+    EXPECT_EQ(digestToHex(Sha1::hash("")),
+              "da39a3ee5e6b4b0d3255bfef95601890afd80709");
+}
+
+TEST(Sha1, MillionAs)
+{
+    // FIPS 180-1 Appendix C: one million repetitions of 'a'.
+    Sha1 h;
+    std::string chunk(1000, 'a');
+    for (int i = 0; i < 1000; i++)
+        h.update(chunk);
+    EXPECT_EQ(digestToHex(h.finish()),
+              "34aa973cd4c4daa4f61eeb2bdbad27316534016f");
+}
+
+TEST(Sha1, IncrementalMatchesOneShot)
+{
+    std::string msg = "the quick brown fox jumps over the lazy dog";
+    for (std::size_t split = 0; split <= msg.size(); split += 7) {
+        Sha1 h;
+        h.update(std::string_view(msg).substr(0, split));
+        h.update(std::string_view(msg).substr(split));
+        EXPECT_EQ(h.finish(), Sha1::hash(msg)) << "split at " << split;
+    }
+}
+
+TEST(Sha1, KnownQuickBrownFox)
+{
+    EXPECT_EQ(digestToHex(Sha1::hash(
+                  "The quick brown fox jumps over the lazy dog")),
+              "2fd4e1c67a2d28fced849ee1bb76e7391b93eb12");
+}
+
+TEST(Sha1, BoundarySizesNearBlockEdge)
+{
+    // Lengths around the 55/56/64-byte padding edges must all be
+    // distinct and stable.
+    std::set<std::string> seen;
+    for (std::size_t len = 50; len <= 70; len++) {
+        std::string msg(len, 'x');
+        auto hex = digestToHex(Sha1::hash(msg));
+        EXPECT_TRUE(seen.insert(hex).second) << "collision at " << len;
+        // Re-hash must agree.
+        EXPECT_EQ(digestToHex(Sha1::hash(msg)), hex);
+    }
+}
+
+TEST(Sha1, BytesOverloadMatchesString)
+{
+    std::string msg = "payload";
+    EXPECT_EQ(Sha1::hash(msg), Sha1::hash(toBytes(msg)));
+}
+
+TEST(Sha1, DigestToBytesLength)
+{
+    EXPECT_EQ(digestToBytes(Sha1::hash("x")).size(), 20u);
+}
+
+} // namespace
+} // namespace oceanstore

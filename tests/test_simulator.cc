@@ -1,0 +1,117 @@
+/** @file Discrete-event kernel tests. */
+
+#include <gtest/gtest.h>
+
+#include "sim/simulator.h"
+
+namespace oceanstore {
+namespace {
+
+TEST(Simulator, StartsAtTimeZero)
+{
+    Simulator sim;
+    EXPECT_EQ(sim.now(), 0.0);
+    EXPECT_FALSE(sim.step());
+}
+
+TEST(Simulator, EventsFireInTimeOrder)
+{
+    Simulator sim;
+    std::vector<int> order;
+    sim.schedule(3.0, [&]() { order.push_back(3); });
+    sim.schedule(1.0, [&]() { order.push_back(1); });
+    sim.schedule(2.0, [&]() { order.push_back(2); });
+    sim.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(sim.now(), 3.0);
+}
+
+TEST(Simulator, FifoTieBreakAtSameTime)
+{
+    Simulator sim;
+    std::vector<int> order;
+    sim.schedule(1.0, [&]() { order.push_back(1); });
+    sim.schedule(1.0, [&]() { order.push_back(2); });
+    sim.schedule(1.0, [&]() { order.push_back(3); });
+    sim.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Simulator, NestedScheduling)
+{
+    Simulator sim;
+    std::vector<double> times;
+    sim.schedule(1.0, [&]() {
+        times.push_back(sim.now());
+        sim.schedule(0.5, [&]() { times.push_back(sim.now()); });
+    });
+    sim.run();
+    ASSERT_EQ(times.size(), 2u);
+    EXPECT_DOUBLE_EQ(times[0], 1.0);
+    EXPECT_DOUBLE_EQ(times[1], 1.5);
+}
+
+TEST(Simulator, CancelPreventsExecution)
+{
+    Simulator sim;
+    bool fired = false;
+    EventId id = sim.schedule(1.0, [&]() { fired = true; });
+    sim.cancel(id);
+    sim.run();
+    EXPECT_FALSE(fired);
+}
+
+TEST(Simulator, CancelOneOfMany)
+{
+    Simulator sim;
+    int count = 0;
+    sim.schedule(1.0, [&]() { count++; });
+    EventId id = sim.schedule(2.0, [&]() { count += 10; });
+    sim.schedule(3.0, [&]() { count += 100; });
+    sim.cancel(id);
+    sim.run();
+    EXPECT_EQ(count, 101);
+}
+
+TEST(Simulator, RunUntilStopsAtBoundary)
+{
+    Simulator sim;
+    int fired = 0;
+    sim.schedule(1.0, [&]() { fired++; });
+    sim.schedule(5.0, [&]() { fired++; });
+    sim.runUntil(2.0);
+    EXPECT_EQ(fired, 1);
+    EXPECT_DOUBLE_EQ(sim.now(), 2.0);
+    sim.run();
+    EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulator, RunUntilSkipsCancelledHead)
+{
+    Simulator sim;
+    bool late_fired = false;
+    EventId id = sim.schedule(1.0, [] {});
+    sim.schedule(5.0, [&]() { late_fired = true; });
+    sim.cancel(id);
+    sim.runUntil(2.0);
+    EXPECT_FALSE(late_fired);
+    EXPECT_DOUBLE_EQ(sim.now(), 2.0);
+}
+
+TEST(Simulator, NegativeDelayRejected)
+{
+    Simulator sim;
+    EXPECT_THROW(sim.schedule(-1.0, [] {}), std::runtime_error);
+}
+
+TEST(Simulator, EventCountTracked)
+{
+    Simulator sim;
+    for (int i = 0; i < 5; i++)
+        sim.schedule(i, [] {});
+    sim.run();
+    EXPECT_EQ(sim.eventsExecuted(), 5u);
+}
+
+} // namespace
+} // namespace oceanstore

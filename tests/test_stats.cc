@@ -1,0 +1,109 @@
+/** @file Statistics accumulator tests. */
+
+#include <gtest/gtest.h>
+
+#include "util/stats.h"
+
+namespace oceanstore {
+namespace {
+
+TEST(Accumulator, EmptyIsZero)
+{
+    Accumulator a;
+    EXPECT_EQ(a.count(), 0u);
+    EXPECT_EQ(a.mean(), 0.0);
+    EXPECT_EQ(a.stddev(), 0.0);
+    EXPECT_EQ(a.min(), 0.0);
+    EXPECT_EQ(a.max(), 0.0);
+}
+
+TEST(Accumulator, BasicMoments)
+{
+    Accumulator a;
+    for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        a.add(v);
+    EXPECT_EQ(a.count(), 8u);
+    EXPECT_DOUBLE_EQ(a.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(a.variance(), 4.0);
+    EXPECT_DOUBLE_EQ(a.stddev(), 2.0);
+    EXPECT_EQ(a.min(), 2.0);
+    EXPECT_EQ(a.max(), 9.0);
+    EXPECT_DOUBLE_EQ(a.sum(), 40.0);
+}
+
+TEST(Accumulator, Percentiles)
+{
+    Accumulator a;
+    for (int i = 1; i <= 100; i++)
+        a.add(i);
+    EXPECT_NEAR(a.percentile(50), 50.5, 0.01);
+    EXPECT_EQ(a.percentile(0), 1.0);
+    EXPECT_EQ(a.percentile(100), 100.0);
+    EXPECT_NEAR(a.percentile(90), 90.1, 0.2);
+}
+
+TEST(Accumulator, PercentileWithoutSamplesThrows)
+{
+    Accumulator a(false);
+    a.add(1.0);
+    EXPECT_THROW(a.percentile(50), std::logic_error);
+}
+
+TEST(Accumulator, ClearResets)
+{
+    Accumulator a;
+    a.add(5);
+    a.clear();
+    EXPECT_EQ(a.count(), 0u);
+    EXPECT_EQ(a.mean(), 0.0);
+}
+
+TEST(Accumulator, SingleSample)
+{
+    Accumulator a;
+    a.add(3.5);
+    EXPECT_EQ(a.mean(), 3.5);
+    EXPECT_EQ(a.variance(), 0.0);
+    EXPECT_EQ(a.percentile(50), 3.5);
+}
+
+TEST(Histogram, BinningAndClamping)
+{
+    Histogram h(0.0, 10.0, 5);
+    h.add(0.5);  // bin 0
+    h.add(9.5);  // bin 4
+    h.add(-3);   // clamped to bin 0
+    h.add(25);   // clamped to bin 4
+    h.add(5.0);  // bin 2
+    EXPECT_EQ(h.bin(0), 2u);
+    EXPECT_EQ(h.bin(2), 1u);
+    EXPECT_EQ(h.bin(4), 2u);
+    EXPECT_EQ(h.total(), 5u);
+}
+
+TEST(Histogram, BinEdges)
+{
+    Histogram h(0.0, 10.0, 5);
+    EXPECT_DOUBLE_EQ(h.binLow(0), 0.0);
+    EXPECT_DOUBLE_EQ(h.binLow(2), 4.0);
+}
+
+TEST(Histogram, RejectsBadConfig)
+{
+    EXPECT_THROW(Histogram(1.0, 1.0, 4), std::invalid_argument);
+    EXPECT_THROW(Histogram(0.0, 1.0, 0), std::invalid_argument);
+}
+
+TEST(Counters, BumpAndGet)
+{
+    Counters c;
+    EXPECT_EQ(c.get("x"), 0u);
+    c.bump("x");
+    c.bump("x", 4);
+    EXPECT_EQ(c.get("x"), 5u);
+    c.clear();
+    EXPECT_EQ(c.get("x"), 0u);
+}
+
+} // namespace
+} // namespace oceanstore

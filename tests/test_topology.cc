@@ -1,0 +1,130 @@
+/** @file Overlay topology generator tests. */
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "sim/topology.h"
+
+namespace oceanstore {
+namespace {
+
+TEST(Topology, GeometricIsConnected)
+{
+    Rng rng(1);
+    for (std::size_t n : {8u, 32u, 128u}) {
+        auto topo = makeGeometricTopology(n, 3, rng);
+        EXPECT_EQ(topo.size(), n);
+        EXPECT_TRUE(topo.connected());
+    }
+}
+
+TEST(Topology, GeometricDegreeAtLeastK)
+{
+    Rng rng(2);
+    auto topo = makeGeometricTopology(64, 4, rng);
+    for (NodeId i = 0; i < topo.size(); i++)
+        EXPECT_GE(topo.adjacency[i].size(), 4u) << "node " << i;
+}
+
+TEST(Topology, AdjacencyIsSymmetric)
+{
+    Rng rng(3);
+    auto topo = makeGeometricTopology(50, 3, rng);
+    for (NodeId a = 0; a < topo.size(); a++) {
+        for (NodeId b : topo.adjacency[a]) {
+            const auto &back = topo.adjacency[b];
+            EXPECT_TRUE(std::binary_search(back.begin(), back.end(), a))
+                << a << "->" << b;
+        }
+    }
+}
+
+TEST(Topology, NoSelfLoops)
+{
+    Rng rng(4);
+    auto topo = makeGeometricTopology(40, 3, rng);
+    for (NodeId a = 0; a < topo.size(); a++) {
+        for (NodeId b : topo.adjacency[a])
+            EXPECT_NE(a, b);
+    }
+}
+
+TEST(Topology, PositionsInUnitSquare)
+{
+    Rng rng(5);
+    auto topo = makeGeometricTopology(100, 3, rng);
+    for (const auto &[x, y] : topo.positions) {
+        EXPECT_GE(x, 0.0);
+        EXPECT_LE(x, 1.0);
+        EXPECT_GE(y, 0.0);
+        EXPECT_LE(y, 1.0);
+    }
+}
+
+TEST(Topology, HopDistancesFromBfs)
+{
+    // A 3-node path: 0-1, 1-2.
+    Topology topo;
+    topo.positions = {{0, 0}, {0.5, 0}, {1, 0}};
+    topo.adjacency.resize(3);
+    topo.addEdge(0, 1);
+    topo.addEdge(1, 2);
+    auto d = topo.hopDistances(0);
+    EXPECT_EQ(d, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(Topology, DisconnectedDetected)
+{
+    Topology topo;
+    topo.positions = {{0, 0}, {1, 1}};
+    topo.adjacency.resize(2);
+    EXPECT_FALSE(topo.connected());
+    auto d = topo.hopDistances(0);
+    EXPECT_EQ(d[1], -1);
+}
+
+TEST(Topology, AddEdgeIdempotent)
+{
+    Topology topo;
+    topo.positions = {{0, 0}, {1, 1}};
+    topo.adjacency.resize(2);
+    topo.addEdge(0, 1);
+    topo.addEdge(0, 1);
+    topo.addEdge(1, 0);
+    EXPECT_EQ(topo.adjacency[0].size(), 1u);
+    EXPECT_EQ(topo.adjacency[1].size(), 1u);
+}
+
+TEST(Topology, TransitStubShape)
+{
+    Rng rng(6);
+    auto topo = makeTransitStubTopology(4, 2, 5, rng);
+    EXPECT_EQ(topo.size(), 4u + 4 * 2 * 5);
+    EXPECT_TRUE(topo.connected());
+    // Transit core is fully meshed: degree >= transits-1.
+    for (NodeId t = 0; t < 4; t++)
+        EXPECT_GE(topo.adjacency[t].size(), 3u);
+}
+
+TEST(Topology, SmallWorldConnected)
+{
+    Rng rng(7);
+    auto topo = makeSmallWorldTopology(60, 2, 0.2, rng);
+    EXPECT_EQ(topo.size(), 60u);
+    EXPECT_TRUE(topo.connected());
+}
+
+TEST(Topology, SmallWorldZeroBetaIsRing)
+{
+    Rng rng(8);
+    auto topo = makeSmallWorldTopology(20, 1, 0.0, rng);
+    // Pure ring of degree 2.
+    for (NodeId i = 0; i < topo.size(); i++)
+        EXPECT_EQ(topo.adjacency[i].size(), 2u);
+    auto d = topo.hopDistances(0);
+    EXPECT_EQ(*std::max_element(d.begin(), d.end()), 10);
+}
+
+} // namespace
+} // namespace oceanstore

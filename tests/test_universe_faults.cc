@@ -1,0 +1,168 @@
+/** @file Full-system fault tests: partitions and churn end to end. */
+
+#include <gtest/gtest.h>
+
+#include "core/universe.h"
+#include "sim/churn.h"
+
+namespace oceanstore {
+namespace {
+
+UniverseConfig
+faultConfig()
+{
+    UniverseConfig cfg;
+    cfg.numServers = 24;
+    cfg.archiveOnCommit = false;
+    cfg.archiveDataFragments = 4;
+    cfg.archiveTotalFragments = 8;
+    return cfg;
+}
+
+struct FaultTest : public ::testing::Test
+{
+    FaultTest() : uni(faultConfig()), owner(uni.makeUser()) {}
+
+    Update
+    appendText(const ObjectHandle &h, const std::string &text,
+               VersionNum expected)
+    {
+        return h.makeAppendUpdate(toBytes(text), expected, {++tsc, 1});
+    }
+
+    Universe uni;
+    KeyPair owner;
+    std::uint64_t tsc = 0;
+};
+
+TEST_F(FaultTest, ReadsSurviveWhilePrimaryTierIsPartitioned)
+{
+    // "If application semantics allow it, this availability is
+    // provided at the expense of consistency" (Section 2 fn. 1):
+    // with the primary tier unreachable, new commits stall but reads
+    // of previously committed data keep working from the floating
+    // replicas.
+    ObjectHandle doc = uni.createObject(owner, "doc");
+    ASSERT_TRUE(uni.writeSync(appendText(doc, "v1", 0)).committed);
+    uni.advance(10.0);
+
+    // Partition every primary replica away.
+    for (unsigned r = 0; r < uni.primaryTier().size(); r++) {
+        uni.net().setPartition(uni.primaryTier().replica(r).nodeId(),
+                               1);
+    }
+
+    // A new write cannot complete...
+    bool completed = false;
+    uni.write(appendText(doc, "v2", 1),
+              [&](WriteResult wr) { completed = wr.completed; });
+    uni.advance(30.0);
+    EXPECT_FALSE(completed);
+
+    // ...but reads are still served everywhere.
+    for (std::size_t s = 0; s < uni.numServers(); s += 5) {
+        ReadResult rr = uni.readSync(s, doc.guid());
+        EXPECT_TRUE(rr.found) << "server " << s;
+        EXPECT_EQ(rr.version, 1u);
+    }
+
+    // Healing lets the stalled update commit (client retry path).
+    uni.net().healPartitions();
+    bool landed = uni.runUntil([&]() { return completed; },
+                               uni.sim().now() + 120.0);
+    EXPECT_TRUE(landed);
+}
+
+TEST_F(FaultTest, MinorityPrimaryPartitionCannotCommit)
+{
+    // Byzantine safety: a minority of the tier split away from the
+    // quorum must not serialize updates.
+    ObjectHandle doc = uni.createObject(owner, "doc");
+    ASSERT_TRUE(uni.writeSync(appendText(doc, "v1", 0)).committed);
+
+    // Split one replica (of n=4, quorum needs 3) plus the client
+    // into partition 1: the client can only reach the minority.
+    uni.net().setPartition(uni.primaryTier().replica(1).nodeId(), 1);
+    uni.net().setPartition(uni.primaryTier().replica(2).nodeId(), 1);
+    uni.net().setPartition(uni.primaryTier().replica(3).nodeId(), 1);
+    // Leader (rank 0) is alone in partition 0 with the client: it can
+    // pre-prepare but can never reach the 2m+1 quorum.
+    bool completed = false;
+    uni.write(appendText(doc, "v2", 1),
+              [&](WriteResult wr) { completed = wr.completed; });
+    uni.advance(30.0);
+    EXPECT_FALSE(completed);
+
+    // No replica executed the update.
+    for (unsigned r = 0; r < uni.primaryTier().size(); r++)
+        EXPECT_EQ(uni.primaryTier().replica(r).executedCount(), 1u);
+
+    uni.net().healPartitions();
+    uni.runUntil([&]() { return completed; }, uni.sim().now() + 120.0);
+    EXPECT_TRUE(completed);
+}
+
+TEST_F(FaultTest, SecondaryChurnDoesNotLoseCommittedData)
+{
+    ObjectHandle doc = uni.createObject(owner, "doc");
+    ASSERT_TRUE(uni.writeSync(appendText(doc, "v1", 0)).committed);
+    uni.advance(10.0);
+
+    // Churn the secondary servers while more commits land.
+    std::vector<NodeId> servers;
+    for (std::size_t i = 0; i < uni.numServers(); i++)
+        servers.push_back(uni.secondaryTier().replica(i).nodeId());
+    ChurnConfig ccfg;
+    ccfg.meanUptime = 20.0;
+    ccfg.meanDowntime = 5.0;
+    ChurnInjector churn(uni.sim(), uni.net(), ccfg);
+    churn.start(servers);
+    uni.secondaryTier().startAntiEntropy();
+
+    for (VersionNum v = 1; v < 6; v++) {
+        WriteResult wr =
+            uni.writeSync(appendText(doc, "v" + std::to_string(v + 1),
+                                     v));
+        ASSERT_TRUE(wr.completed);
+        ASSERT_TRUE(wr.committed) << "version " << v + 1;
+        uni.advance(5.0);
+    }
+    churn.stop();
+
+    // Bring everyone up; anti-entropy converges the stragglers.
+    for (NodeId n : servers)
+        uni.net().setUp(n);
+    bool converged = uni.runUntil(
+        [&]() {
+            return uni.secondaryTier().allCommitted(doc.guid(), 6);
+        },
+        uni.sim().now() + 300.0);
+    uni.secondaryTier().stopAntiEntropy();
+    EXPECT_TRUE(converged);
+
+    ReadResult rr = uni.readSync(3, doc.guid());
+    ASSERT_TRUE(rr.found);
+    EXPECT_EQ(rr.version, 6u);
+    EXPECT_EQ(rr.blocks.size(), 6u);
+}
+
+TEST_F(FaultTest, ArchivedDataOutlivesEveryFloatingReplica)
+{
+    // The deep-archival promise: destroy every floating replica host;
+    // the archival form still reconstructs the data.
+    ObjectHandle doc = uni.createObject(owner, "doc");
+    std::string text = "only the archive remembers";
+    ASSERT_TRUE(uni.writeSync(appendText(doc, text, 0)).committed);
+    Guid archive = uni.archiveObject(doc.guid());
+    uni.advance(10.0);
+
+    for (std::size_t idx : uni.hosts(doc.guid()))
+        uni.net().setDown(uni.secondaryTier().replica(idx).nodeId());
+
+    auto res = uni.restoreSync(archive);
+    ASSERT_TRUE(res.success);
+    EXPECT_FALSE(res.data.empty());
+}
+
+} // namespace
+} // namespace oceanstore

@@ -1,0 +1,135 @@
+/** @file Update model serialization and semantics (Section 4.4.1). */
+
+#include <gtest/gtest.h>
+
+#include "consistency/update.h"
+#include "crypto/keys.h"
+
+namespace oceanstore {
+namespace {
+
+Update
+sampleUpdate()
+{
+    Update u;
+    u.objectGuid = Guid::hashOf("object");
+    u.timestamp = {123456, 42};
+
+    UpdateClause c1;
+    c1.predicates.push_back(CompareVersion{7});
+    c1.predicates.push_back(CompareSize{3});
+    CompareBlock cb;
+    cb.position = 1;
+    cb.expected = Sha1::hash("block");
+    c1.predicates.push_back(cb);
+    SearchPredicate sp;
+    sp.trapdoor.wordToken = Sha1::hash("word");
+    sp.expectPresent = false;
+    c1.predicates.push_back(sp);
+    c1.actions.push_back(ReplaceBlock{0, toBytes("new-cipher")});
+    c1.actions.push_back(AppendBlock{toBytes("tail")});
+
+    UpdateClause c2;
+    c2.actions.push_back(InsertBlock{2, toBytes("mid")});
+    c2.actions.push_back(DeleteBlock{5});
+    SetSearchIndex ssi;
+    ssi.index.maskedTokens = {Sha1::hash("a"), Sha1::hash("b")};
+    c2.actions.push_back(ssi);
+
+    u.clauses = {c1, c2};
+    u.writerPublicKey = toBytes("writer-pub");
+    return u;
+}
+
+TEST(Update, SerializationIsDeterministic)
+{
+    Update u = sampleUpdate();
+    EXPECT_EQ(u.serializeForSigning(), u.serializeForSigning());
+    EXPECT_EQ(u.id(), u.id());
+}
+
+TEST(Update, IdChangesWithContent)
+{
+    Update a = sampleUpdate();
+    Update b = sampleUpdate();
+    b.timestamp.time++;
+    EXPECT_NE(a.id(), b.id());
+}
+
+TEST(Update, FullRoundTrip)
+{
+    KeyRegistry reg;
+    KeyPair kp = reg.generate();
+    Update u = sampleUpdate();
+    u.writerPublicKey = kp.publicKey;
+    u.signature = KeyRegistry::sign(kp, u.serializeForSigning());
+
+    Update parsed = Update::deserializeFull(u.serializeFull());
+    EXPECT_EQ(parsed.objectGuid, u.objectGuid);
+    EXPECT_EQ(parsed.timestamp, u.timestamp);
+    EXPECT_EQ(parsed.writerPublicKey, u.writerPublicKey);
+    EXPECT_EQ(parsed.signature, u.signature);
+    ASSERT_EQ(parsed.clauses.size(), 2u);
+    EXPECT_EQ(parsed.clauses[0].predicates.size(), 4u);
+    EXPECT_EQ(parsed.clauses[0].actions.size(), 2u);
+    EXPECT_EQ(parsed.clauses[1].actions.size(), 3u);
+
+    // Identical serialization implies identical id and signature
+    // verification on the receiving server.
+    EXPECT_EQ(parsed.id(), u.id());
+    EXPECT_TRUE(reg.verify(parsed.writerPublicKey,
+                           parsed.serializeForSigning(),
+                           parsed.signature));
+}
+
+TEST(Update, ParsedPredicatesSurviveStructurally)
+{
+    Update parsed =
+        Update::deserializeFull(sampleUpdate().serializeFull());
+    const auto &preds = parsed.clauses[0].predicates;
+    EXPECT_EQ(std::get<CompareVersion>(preds[0]).expected, 7u);
+    EXPECT_EQ(std::get<CompareSize>(preds[1]).expectedBlocks, 3u);
+    EXPECT_EQ(std::get<CompareBlock>(preds[2]).position, 1u);
+    EXPECT_FALSE(std::get<SearchPredicate>(preds[3]).expectPresent);
+}
+
+TEST(Update, ParsedActionsSurviveStructurally)
+{
+    Update parsed =
+        Update::deserializeFull(sampleUpdate().serializeFull());
+    const auto &a1 = parsed.clauses[0].actions;
+    EXPECT_EQ(std::get<ReplaceBlock>(a1[0]).ciphertext,
+              toBytes("new-cipher"));
+    EXPECT_EQ(std::get<AppendBlock>(a1[1]).ciphertext, toBytes("tail"));
+    const auto &a2 = parsed.clauses[1].actions;
+    EXPECT_EQ(std::get<InsertBlock>(a2[0]).position, 2u);
+    EXPECT_EQ(std::get<DeleteBlock>(a2[1]).position, 5u);
+    EXPECT_EQ(std::get<SetSearchIndex>(a2[2]).index.maskedTokens.size(),
+              2u);
+}
+
+TEST(Update, WireSizeTracksPayload)
+{
+    Update small = sampleUpdate();
+    Update big = sampleUpdate();
+    std::get<ReplaceBlock>(big.clauses[0].actions[0]).ciphertext =
+        Bytes(10000, 0xaa);
+    EXPECT_GT(big.wireSize(), small.wireSize() + 9000);
+}
+
+TEST(Update, MalformedWireRejected)
+{
+    EXPECT_THROW(Update::deserializeFull(Bytes{1, 2, 3}),
+                 std::out_of_range);
+}
+
+TEST(Update, TimestampOrdering)
+{
+    Timestamp a{10, 1}, b{10, 2}, c{11, 0};
+    EXPECT_LT(a, b);
+    EXPECT_LT(b, c);
+    EXPECT_EQ(a, (Timestamp{10, 1}));
+}
+
+} // namespace
+} // namespace oceanstore

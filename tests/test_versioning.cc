@@ -1,0 +1,203 @@
+/** @file Versioning tests (Sections 2 and 4.5). */
+
+#include <gtest/gtest.h>
+
+#include "core/universe.h"
+
+namespace oceanstore {
+namespace {
+
+TEST(VersionedName, FormatAndParse)
+{
+    Guid g = Guid::hashOf("object");
+    VersionedName bare{g, std::nullopt};
+    VersionedName pinned{g, 7};
+
+    EXPECT_EQ(bare.toString(), g.hex());
+    EXPECT_EQ(pinned.toString(), g.hex() + "@7");
+
+    auto parsed = VersionedName::parse(pinned.toString());
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, pinned);
+
+    auto parsed_bare = VersionedName::parse(bare.toString());
+    ASSERT_TRUE(parsed_bare.has_value());
+    EXPECT_FALSE(parsed_bare->version.has_value());
+}
+
+TEST(VersionedName, RejectsMalformed)
+{
+    EXPECT_FALSE(VersionedName::parse("nothex@3").has_value());
+    EXPECT_FALSE(VersionedName::parse("").has_value());
+    Guid g = Guid::hashOf("o");
+    EXPECT_FALSE(VersionedName::parse(g.hex() + "@").has_value());
+    EXPECT_FALSE(VersionedName::parse(g.hex() + "@x7").has_value());
+}
+
+TEST(Retention, KeepAllKeepsEverything)
+{
+    RetentionPolicy policy;
+    policy.kind = RetentionKind::KeepAll;
+    auto keep = selectRetainedVersions({1, 2, 3, 4, 5}, policy);
+    EXPECT_EQ(keep.size(), 5u);
+}
+
+TEST(Retention, KeepLastWindow)
+{
+    RetentionPolicy policy;
+    policy.kind = RetentionKind::KeepLast;
+    policy.keepLast = 3;
+    auto keep = selectRetainedVersions({1, 2, 3, 4, 5, 8, 9}, policy);
+    EXPECT_EQ(keep, (std::set<VersionNum>{5, 8, 9}));
+}
+
+TEST(Retention, LatestAlwaysSurvives)
+{
+    RetentionPolicy policy;
+    policy.kind = RetentionKind::KeepLast;
+    policy.keepLast = 1;
+    auto keep = selectRetainedVersions({10, 20, 30}, policy);
+    EXPECT_EQ(keep, (std::set<VersionNum>{30}));
+}
+
+TEST(Retention, LandmarksKeepDenseRecentSparseOld)
+{
+    RetentionPolicy policy;
+    policy.kind = RetentionKind::KeepLandmarks;
+    policy.landmarkWindow = 2;
+    policy.landmarkStride = 3;
+    std::vector<VersionNum> versions{1, 2, 3, 4, 5, 6, 7, 8};
+    auto keep = selectRetainedVersions(versions, policy);
+    // Recent window {7, 8}; landmarks from the oldest every 3rd: 1, 4.
+    EXPECT_EQ(keep, (std::set<VersionNum>{1, 4, 7, 8}));
+}
+
+TEST(Retention, EmptyInput)
+{
+    RetentionPolicy policy;
+    EXPECT_TRUE(selectRetainedVersions({}, policy).empty());
+}
+
+struct VersioningUniverse : public ::testing::Test
+{
+    VersioningUniverse()
+        : uni(config()), owner(uni.makeUser()),
+          doc(uni.createObject(owner, "doc"))
+    {
+    }
+
+    static UniverseConfig
+    config()
+    {
+        UniverseConfig cfg;
+        cfg.numServers = 20;
+        cfg.archiveOnCommit = false;
+        cfg.archiveDataFragments = 4;
+        cfg.archiveTotalFragments = 8;
+        return cfg;
+    }
+
+    void
+    writeVersion(const std::string &text, VersionNum expected)
+    {
+        ASSERT_TRUE(uni.writeSync(doc.makeAppendUpdate(
+                                      toBytes(text), expected,
+                                      {++tsc, 1}))
+                        .committed);
+    }
+
+    Universe uni;
+    KeyPair owner;
+    ObjectHandle doc;
+    std::uint64_t tsc = 0;
+};
+
+TEST_F(VersioningUniverse, HistoryRecordsEveryUpdate)
+{
+    writeVersion("v1", 0);
+    writeVersion("v2", 1);
+    // An aborted update is logged too.
+    uni.writeSync(doc.makeAppendUpdate(toBytes("stale"), 0, {++tsc, 1}));
+
+    auto history = uni.historyOf(doc.guid());
+    ASSERT_EQ(history.size(), 3u);
+    EXPECT_TRUE(history[0].committed);
+    EXPECT_EQ(history[0].version, 1u);
+    EXPECT_TRUE(history[1].committed);
+    EXPECT_EQ(history[1].version, 2u);
+    EXPECT_FALSE(history[2].committed);
+    EXPECT_EQ(history[2].writerPublicKey, owner.publicKey);
+    EXPECT_GT(history[0].actions, 0u);
+}
+
+TEST_F(VersioningUniverse, ReadHistoricalVersions)
+{
+    writeVersion("v1", 0);
+    writeVersion("v2", 1);
+
+    auto v1 = uni.readVersion(doc.guid(), 1);
+    ASSERT_TRUE(v1.has_value());
+    EXPECT_EQ(v1->numLogicalBlocks(), 1u);
+
+    auto v2 = uni.readVersion(doc.guid(), 2);
+    ASSERT_TRUE(v2.has_value());
+    EXPECT_EQ(v2->numLogicalBlocks(), 2u);
+
+    EXPECT_FALSE(uni.readVersion(doc.guid(), 9).has_value());
+    EXPECT_FALSE(uni.readVersion(Guid::hashOf("x"), 1).has_value());
+}
+
+TEST_F(VersioningUniverse, PerVersionArchivesAndPermanentNames)
+{
+    writeVersion("v1", 0);
+    Guid a1 = uni.archiveObject(doc.guid());
+    writeVersion("v2", 1);
+    Guid a2 = uni.archiveObject(doc.guid());
+    uni.advance(10.0);
+
+    auto versions = uni.archivedVersions(doc.guid());
+    ASSERT_EQ(versions.size(), 2u);
+    EXPECT_EQ(versions[0], (std::pair<VersionNum, Guid>{1, a1}));
+    EXPECT_EQ(versions[1], (std::pair<VersionNum, Guid>{2, a2}));
+    EXPECT_EQ(uni.latestArchive(doc.guid()), a2);
+
+    // Permanent hyper-links resolve per version.
+    EXPECT_EQ(uni.resolveVersionedName({doc.guid(), 1}), a1);
+    EXPECT_EQ(uni.resolveVersionedName({doc.guid(), 2}), a2);
+    EXPECT_EQ(uni.resolveVersionedName({doc.guid(), std::nullopt}), a2);
+    EXPECT_FALSE(
+        uni.resolveVersionedName({doc.guid(), 5}).valid());
+
+    // Both archival versions reconstruct.
+    EXPECT_TRUE(uni.restoreSync(a1).success);
+    EXPECT_TRUE(uni.restoreSync(a2).success);
+}
+
+TEST_F(VersioningUniverse, RetentionRetiresOldArchives)
+{
+    for (VersionNum v = 0; v < 6; v++) {
+        writeVersion("v" + std::to_string(v + 1), v);
+        uni.archiveObject(doc.guid());
+    }
+    uni.advance(10.0);
+    ASSERT_EQ(uni.archivedVersions(doc.guid()).size(), 6u);
+
+    Guid old_archive = uni.archivedVersions(doc.guid())[0].second;
+
+    RetentionPolicy policy;
+    policy.kind = RetentionKind::KeepLast;
+    policy.keepLast = 2;
+    unsigned retired = uni.applyRetention(doc.guid(), policy);
+    EXPECT_EQ(retired, 4u);
+    EXPECT_EQ(uni.archivedVersions(doc.guid()).size(), 2u);
+
+    // Retired versions are gone from the archive: fragments deleted.
+    EXPECT_EQ(uni.archival().survivingFragments(old_archive), 0u);
+    EXPECT_FALSE(uni.restoreSync(old_archive).success);
+    // Retained ones still reconstruct.
+    EXPECT_TRUE(
+        uni.restoreSync(uni.latestArchive(doc.guid())).success);
+}
+
+} // namespace
+} // namespace oceanstore

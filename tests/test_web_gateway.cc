@@ -1,0 +1,109 @@
+/** @file Web gateway facade tests (Section 4.6). */
+
+#include <gtest/gtest.h>
+
+#include "api/web_gateway.h"
+
+namespace oceanstore {
+namespace {
+
+struct GatewayTest : public ::testing::Test
+{
+    GatewayTest() : uni(config()), gateway(uni, 0) {}
+
+    static UniverseConfig
+    config()
+    {
+        UniverseConfig cfg;
+        cfg.numServers = 20;
+        cfg.archiveOnCommit = false;
+        return cfg;
+    }
+
+    Universe uni;
+    WebGateway gateway;
+};
+
+TEST_F(GatewayTest, PublishAndGet)
+{
+    KeyPair site = uni.makeUser();
+    ASSERT_TRUE(gateway.publish(site, "example.org/index.html",
+                                toBytes("<h1>hello</h1>")));
+    WebResponse res = gateway.get("example.org/index.html");
+    EXPECT_EQ(res.status, 200);
+    EXPECT_EQ(toString(res.body), "<h1>hello</h1>");
+    EXPECT_GE(res.version, 1u);
+}
+
+TEST_F(GatewayTest, UnknownUrlIs404)
+{
+    WebResponse res = gateway.get("nowhere.test/missing");
+    EXPECT_EQ(res.status, 404);
+    EXPECT_TRUE(res.body.empty());
+}
+
+TEST_F(GatewayTest, CacheHitsAfterFirstFetch)
+{
+    KeyPair site = uni.makeUser();
+    gateway.publish(site, "example.org/page", toBytes("content"));
+    WebResponse first = gateway.get("example.org/page");
+    EXPECT_FALSE(first.fromCache);
+    WebResponse second = gateway.get("example.org/page");
+    EXPECT_TRUE(second.fromCache);
+    EXPECT_EQ(toString(second.body), "content");
+    auto [hits, misses] = gateway.cacheStats();
+    EXPECT_EQ(hits, 1u);
+    EXPECT_EQ(misses, 1u);
+}
+
+TEST_F(GatewayTest, CacheValidatesVersion)
+{
+    KeyPair site = uni.makeUser();
+    gateway.publish(site, "example.org/live", toBytes("old"));
+    gateway.get("example.org/live"); // warm the cache
+    ASSERT_TRUE(
+        gateway.publish(site, "example.org/live", toBytes("new")));
+
+    // The cached body is stale; the validating read must notice.
+    WebResponse res = gateway.get("example.org/live");
+    EXPECT_EQ(res.status, 200);
+    EXPECT_FALSE(res.fromCache);
+    EXPECT_EQ(toString(res.body), "new");
+}
+
+TEST_F(GatewayTest, MultipleSites)
+{
+    KeyPair a = uni.makeUser();
+    KeyPair b = uni.makeUser();
+    gateway.publish(a, "a.test/", toBytes("site a"));
+    gateway.publish(b, "b.test/", toBytes("site b"));
+    EXPECT_EQ(gateway.siteCount(), 2u);
+    EXPECT_EQ(toString(gateway.get("a.test/").body), "site a");
+    EXPECT_EQ(toString(gateway.get("b.test/").body), "site b");
+}
+
+TEST_F(GatewayTest, ClearCacheForcesRefetch)
+{
+    KeyPair site = uni.makeUser();
+    gateway.publish(site, "x.test/", toBytes("x"));
+    gateway.get("x.test/");
+    gateway.clearCache();
+    WebResponse res = gateway.get("x.test/");
+    EXPECT_FALSE(res.fromCache);
+    EXPECT_EQ(res.status, 200);
+}
+
+TEST_F(GatewayTest, LargePageRoundTrips)
+{
+    KeyPair site = uni.makeUser();
+    Bytes big(100000);
+    for (std::size_t i = 0; i < big.size(); i++)
+        big[i] = static_cast<std::uint8_t>(i * 13);
+    ASSERT_TRUE(gateway.publish(site, "big.test/blob", big));
+    WebResponse res = gateway.get("big.test/blob");
+    EXPECT_EQ(res.status, 200);
+    EXPECT_EQ(res.body, big);
+}
+
+} // namespace
+} // namespace oceanstore
