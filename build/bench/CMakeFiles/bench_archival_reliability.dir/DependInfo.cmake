@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_archival_reliability.cpp" "bench/CMakeFiles/bench_archival_reliability.dir/bench_archival_reliability.cpp.o" "gcc" "bench/CMakeFiles/bench_archival_reliability.dir/bench_archival_reliability.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/erasure/CMakeFiles/os_erasure.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/os_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/os_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

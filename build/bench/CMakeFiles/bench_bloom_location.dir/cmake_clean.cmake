@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_bloom_location.dir/bench_bloom_location.cpp.o"
+  "CMakeFiles/bench_bloom_location.dir/bench_bloom_location.cpp.o.d"
+  "bench_bloom_location"
+  "bench_bloom_location.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_bloom_location.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ciphertext_ops.dir/bench_ciphertext_ops.cpp.o"
+  "CMakeFiles/bench_ciphertext_ops.dir/bench_ciphertext_ops.cpp.o.d"
+  "bench_ciphertext_ops"
+  "bench_ciphertext_ops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ciphertext_ops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_conflict_resolution.dir/bench_conflict_resolution.cpp.o"
+  "CMakeFiles/bench_conflict_resolution.dir/bench_conflict_resolution.cpp.o.d"
+  "bench_conflict_resolution"
+  "bench_conflict_resolution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_conflict_resolution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_erasure_codes.dir/bench_erasure_codes.cpp.o"
+  "CMakeFiles/bench_erasure_codes.dir/bench_erasure_codes.cpp.o.d"
+  "bench_erasure_codes"
+  "bench_erasure_codes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_erasure_codes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

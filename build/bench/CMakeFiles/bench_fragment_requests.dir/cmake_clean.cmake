@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fragment_requests.dir/bench_fragment_requests.cpp.o"
+  "CMakeFiles/bench_fragment_requests.dir/bench_fragment_requests.cpp.o.d"
+  "bench_fragment_requests"
+  "bench_fragment_requests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fragment_requests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_plaxton_locality.dir/bench_plaxton_locality.cpp.o"
+  "CMakeFiles/bench_plaxton_locality.dir/bench_plaxton_locality.cpp.o.d"
+  "bench_plaxton_locality"
+  "bench_plaxton_locality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_plaxton_locality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/email_groupware.dir/email_groupware.cpp.o"
+  "CMakeFiles/email_groupware.dir/email_groupware.cpp.o.d"
+  "email_groupware"
+  "email_groupware.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/email_groupware.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

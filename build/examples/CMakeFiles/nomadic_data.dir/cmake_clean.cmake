@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nomadic_data.dir/nomadic_data.cpp.o"
+  "CMakeFiles/nomadic_data.dir/nomadic_data.cpp.o.d"
+  "nomadic_data"
+  "nomadic_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nomadic_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

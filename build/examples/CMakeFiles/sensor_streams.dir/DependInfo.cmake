@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/sensor_streams.cpp" "examples/CMakeFiles/sensor_streams.dir/sensor_streams.cpp.o" "gcc" "examples/CMakeFiles/sensor_streams.dir/sensor_streams.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/os_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/introspect/CMakeFiles/os_introspect.dir/DependInfo.cmake"
+  "/root/repo/build/src/access/CMakeFiles/os_access.dir/DependInfo.cmake"
+  "/root/repo/build/src/archive/CMakeFiles/os_archive.dir/DependInfo.cmake"
+  "/root/repo/build/src/bloom/CMakeFiles/os_bloom.dir/DependInfo.cmake"
+  "/root/repo/build/src/consistency/CMakeFiles/os_consistency.dir/DependInfo.cmake"
+  "/root/repo/build/src/erasure/CMakeFiles/os_erasure.dir/DependInfo.cmake"
+  "/root/repo/build/src/naming/CMakeFiles/os_naming.dir/DependInfo.cmake"
+  "/root/repo/build/src/plaxton/CMakeFiles/os_plaxton.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/os_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/os_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/os_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sensor_streams.dir/sensor_streams.cpp.o"
+  "CMakeFiles/sensor_streams.dir/sensor_streams.cpp.o.d"
+  "sensor_streams"
+  "sensor_streams.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sensor_streams.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("crypto")
+subdirs("sim")
+subdirs("bloom")
+subdirs("plaxton")
+subdirs("erasure")
+subdirs("consistency")
+subdirs("naming")
+subdirs("access")
+subdirs("archive")
+subdirs("introspect")
+subdirs("core")
+subdirs("api")

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/access/acl.cc" "src/access/CMakeFiles/os_access.dir/acl.cc.o" "gcc" "src/access/CMakeFiles/os_access.dir/acl.cc.o.d"
+  "/root/repo/src/access/groups.cc" "src/access/CMakeFiles/os_access.dir/groups.cc.o" "gcc" "src/access/CMakeFiles/os_access.dir/groups.cc.o.d"
+  "/root/repo/src/access/keydist.cc" "src/access/CMakeFiles/os_access.dir/keydist.cc.o" "gcc" "src/access/CMakeFiles/os_access.dir/keydist.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/crypto/CMakeFiles/os_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/os_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

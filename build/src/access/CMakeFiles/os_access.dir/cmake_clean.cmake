@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/os_access.dir/acl.cc.o"
+  "CMakeFiles/os_access.dir/acl.cc.o.d"
+  "CMakeFiles/os_access.dir/groups.cc.o"
+  "CMakeFiles/os_access.dir/groups.cc.o.d"
+  "CMakeFiles/os_access.dir/keydist.cc.o"
+  "CMakeFiles/os_access.dir/keydist.cc.o.d"
+  "libos_access.a"
+  "libos_access.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/os_access.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libos_access.a"
+)

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/os_api.dir/fs_facade.cc.o"
+  "CMakeFiles/os_api.dir/fs_facade.cc.o.d"
+  "CMakeFiles/os_api.dir/session.cc.o"
+  "CMakeFiles/os_api.dir/session.cc.o.d"
+  "CMakeFiles/os_api.dir/transaction.cc.o"
+  "CMakeFiles/os_api.dir/transaction.cc.o.d"
+  "CMakeFiles/os_api.dir/web_gateway.cc.o"
+  "CMakeFiles/os_api.dir/web_gateway.cc.o.d"
+  "libos_api.a"
+  "libos_api.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/os_api.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

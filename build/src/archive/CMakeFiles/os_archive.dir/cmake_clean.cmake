@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/os_archive.dir/archival.cc.o"
+  "CMakeFiles/os_archive.dir/archival.cc.o.d"
+  "libos_archive.a"
+  "libos_archive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/os_archive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bloom/attenuated.cc" "src/bloom/CMakeFiles/os_bloom.dir/attenuated.cc.o" "gcc" "src/bloom/CMakeFiles/os_bloom.dir/attenuated.cc.o.d"
+  "/root/repo/src/bloom/bloom_filter.cc" "src/bloom/CMakeFiles/os_bloom.dir/bloom_filter.cc.o" "gcc" "src/bloom/CMakeFiles/os_bloom.dir/bloom_filter.cc.o.d"
+  "/root/repo/src/bloom/location_service.cc" "src/bloom/CMakeFiles/os_bloom.dir/location_service.cc.o" "gcc" "src/bloom/CMakeFiles/os_bloom.dir/location_service.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/crypto/CMakeFiles/os_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/os_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/os_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

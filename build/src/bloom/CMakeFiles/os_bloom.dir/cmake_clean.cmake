@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/os_bloom.dir/attenuated.cc.o"
+  "CMakeFiles/os_bloom.dir/attenuated.cc.o.d"
+  "CMakeFiles/os_bloom.dir/bloom_filter.cc.o"
+  "CMakeFiles/os_bloom.dir/bloom_filter.cc.o.d"
+  "CMakeFiles/os_bloom.dir/location_service.cc.o"
+  "CMakeFiles/os_bloom.dir/location_service.cc.o.d"
+  "libos_bloom.a"
+  "libos_bloom.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/os_bloom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

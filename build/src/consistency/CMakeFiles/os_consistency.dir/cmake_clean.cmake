@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/os_consistency.dir/byzantine.cc.o"
+  "CMakeFiles/os_consistency.dir/byzantine.cc.o.d"
+  "CMakeFiles/os_consistency.dir/data_object.cc.o"
+  "CMakeFiles/os_consistency.dir/data_object.cc.o.d"
+  "CMakeFiles/os_consistency.dir/dissemination.cc.o"
+  "CMakeFiles/os_consistency.dir/dissemination.cc.o.d"
+  "CMakeFiles/os_consistency.dir/secondary.cc.o"
+  "CMakeFiles/os_consistency.dir/secondary.cc.o.d"
+  "CMakeFiles/os_consistency.dir/update.cc.o"
+  "CMakeFiles/os_consistency.dir/update.cc.o.d"
+  "libos_consistency.a"
+  "libos_consistency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/os_consistency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

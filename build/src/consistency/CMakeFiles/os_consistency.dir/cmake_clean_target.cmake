@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libos_consistency.a"
+)

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/os_core.dir/object_handle.cc.o"
+  "CMakeFiles/os_core.dir/object_handle.cc.o.d"
+  "CMakeFiles/os_core.dir/universe.cc.o"
+  "CMakeFiles/os_core.dir/universe.cc.o.d"
+  "CMakeFiles/os_core.dir/versioning.cc.o"
+  "CMakeFiles/os_core.dir/versioning.cc.o.d"
+  "libos_core.a"
+  "libos_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/os_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/crypto/block_cipher.cc" "src/crypto/CMakeFiles/os_crypto.dir/block_cipher.cc.o" "gcc" "src/crypto/CMakeFiles/os_crypto.dir/block_cipher.cc.o.d"
+  "/root/repo/src/crypto/guid.cc" "src/crypto/CMakeFiles/os_crypto.dir/guid.cc.o" "gcc" "src/crypto/CMakeFiles/os_crypto.dir/guid.cc.o.d"
+  "/root/repo/src/crypto/keys.cc" "src/crypto/CMakeFiles/os_crypto.dir/keys.cc.o" "gcc" "src/crypto/CMakeFiles/os_crypto.dir/keys.cc.o.d"
+  "/root/repo/src/crypto/merkle.cc" "src/crypto/CMakeFiles/os_crypto.dir/merkle.cc.o" "gcc" "src/crypto/CMakeFiles/os_crypto.dir/merkle.cc.o.d"
+  "/root/repo/src/crypto/searchable.cc" "src/crypto/CMakeFiles/os_crypto.dir/searchable.cc.o" "gcc" "src/crypto/CMakeFiles/os_crypto.dir/searchable.cc.o.d"
+  "/root/repo/src/crypto/sha1.cc" "src/crypto/CMakeFiles/os_crypto.dir/sha1.cc.o" "gcc" "src/crypto/CMakeFiles/os_crypto.dir/sha1.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/os_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/os_crypto.dir/block_cipher.cc.o"
+  "CMakeFiles/os_crypto.dir/block_cipher.cc.o.d"
+  "CMakeFiles/os_crypto.dir/guid.cc.o"
+  "CMakeFiles/os_crypto.dir/guid.cc.o.d"
+  "CMakeFiles/os_crypto.dir/keys.cc.o"
+  "CMakeFiles/os_crypto.dir/keys.cc.o.d"
+  "CMakeFiles/os_crypto.dir/merkle.cc.o"
+  "CMakeFiles/os_crypto.dir/merkle.cc.o.d"
+  "CMakeFiles/os_crypto.dir/searchable.cc.o"
+  "CMakeFiles/os_crypto.dir/searchable.cc.o.d"
+  "CMakeFiles/os_crypto.dir/sha1.cc.o"
+  "CMakeFiles/os_crypto.dir/sha1.cc.o.d"
+  "libos_crypto.a"
+  "libos_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/os_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/erasure/availability.cc" "src/erasure/CMakeFiles/os_erasure.dir/availability.cc.o" "gcc" "src/erasure/CMakeFiles/os_erasure.dir/availability.cc.o.d"
+  "/root/repo/src/erasure/fragment.cc" "src/erasure/CMakeFiles/os_erasure.dir/fragment.cc.o" "gcc" "src/erasure/CMakeFiles/os_erasure.dir/fragment.cc.o.d"
+  "/root/repo/src/erasure/gf256.cc" "src/erasure/CMakeFiles/os_erasure.dir/gf256.cc.o" "gcc" "src/erasure/CMakeFiles/os_erasure.dir/gf256.cc.o.d"
+  "/root/repo/src/erasure/reed_solomon.cc" "src/erasure/CMakeFiles/os_erasure.dir/reed_solomon.cc.o" "gcc" "src/erasure/CMakeFiles/os_erasure.dir/reed_solomon.cc.o.d"
+  "/root/repo/src/erasure/tornado.cc" "src/erasure/CMakeFiles/os_erasure.dir/tornado.cc.o" "gcc" "src/erasure/CMakeFiles/os_erasure.dir/tornado.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/crypto/CMakeFiles/os_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/os_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/os_erasure.dir/availability.cc.o"
+  "CMakeFiles/os_erasure.dir/availability.cc.o.d"
+  "CMakeFiles/os_erasure.dir/fragment.cc.o"
+  "CMakeFiles/os_erasure.dir/fragment.cc.o.d"
+  "CMakeFiles/os_erasure.dir/gf256.cc.o"
+  "CMakeFiles/os_erasure.dir/gf256.cc.o.d"
+  "CMakeFiles/os_erasure.dir/reed_solomon.cc.o"
+  "CMakeFiles/os_erasure.dir/reed_solomon.cc.o.d"
+  "CMakeFiles/os_erasure.dir/tornado.cc.o"
+  "CMakeFiles/os_erasure.dir/tornado.cc.o.d"
+  "libos_erasure.a"
+  "libos_erasure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/os_erasure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

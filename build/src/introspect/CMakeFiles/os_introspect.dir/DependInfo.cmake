@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/introspect/clustering.cc" "src/introspect/CMakeFiles/os_introspect.dir/clustering.cc.o" "gcc" "src/introspect/CMakeFiles/os_introspect.dir/clustering.cc.o.d"
+  "/root/repo/src/introspect/confidence.cc" "src/introspect/CMakeFiles/os_introspect.dir/confidence.cc.o" "gcc" "src/introspect/CMakeFiles/os_introspect.dir/confidence.cc.o.d"
+  "/root/repo/src/introspect/dsl.cc" "src/introspect/CMakeFiles/os_introspect.dir/dsl.cc.o" "gcc" "src/introspect/CMakeFiles/os_introspect.dir/dsl.cc.o.d"
+  "/root/repo/src/introspect/observation.cc" "src/introspect/CMakeFiles/os_introspect.dir/observation.cc.o" "gcc" "src/introspect/CMakeFiles/os_introspect.dir/observation.cc.o.d"
+  "/root/repo/src/introspect/prefetch.cc" "src/introspect/CMakeFiles/os_introspect.dir/prefetch.cc.o" "gcc" "src/introspect/CMakeFiles/os_introspect.dir/prefetch.cc.o.d"
+  "/root/repo/src/introspect/replica_mgmt.cc" "src/introspect/CMakeFiles/os_introspect.dir/replica_mgmt.cc.o" "gcc" "src/introspect/CMakeFiles/os_introspect.dir/replica_mgmt.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/crypto/CMakeFiles/os_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/os_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/os_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

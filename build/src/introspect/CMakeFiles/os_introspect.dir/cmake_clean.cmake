@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/os_introspect.dir/clustering.cc.o"
+  "CMakeFiles/os_introspect.dir/clustering.cc.o.d"
+  "CMakeFiles/os_introspect.dir/confidence.cc.o"
+  "CMakeFiles/os_introspect.dir/confidence.cc.o.d"
+  "CMakeFiles/os_introspect.dir/dsl.cc.o"
+  "CMakeFiles/os_introspect.dir/dsl.cc.o.d"
+  "CMakeFiles/os_introspect.dir/observation.cc.o"
+  "CMakeFiles/os_introspect.dir/observation.cc.o.d"
+  "CMakeFiles/os_introspect.dir/prefetch.cc.o"
+  "CMakeFiles/os_introspect.dir/prefetch.cc.o.d"
+  "CMakeFiles/os_introspect.dir/replica_mgmt.cc.o"
+  "CMakeFiles/os_introspect.dir/replica_mgmt.cc.o.d"
+  "libos_introspect.a"
+  "libos_introspect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/os_introspect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

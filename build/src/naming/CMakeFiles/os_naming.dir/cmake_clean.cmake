@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/os_naming.dir/directory.cc.o"
+  "CMakeFiles/os_naming.dir/directory.cc.o.d"
+  "CMakeFiles/os_naming.dir/resolver.cc.o"
+  "CMakeFiles/os_naming.dir/resolver.cc.o.d"
+  "libos_naming.a"
+  "libos_naming.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/os_naming.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

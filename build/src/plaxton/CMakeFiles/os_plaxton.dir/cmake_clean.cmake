@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/os_plaxton.dir/mesh.cc.o"
+  "CMakeFiles/os_plaxton.dir/mesh.cc.o.d"
+  "libos_plaxton.a"
+  "libos_plaxton.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/os_plaxton.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

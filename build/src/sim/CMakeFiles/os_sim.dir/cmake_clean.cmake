@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/os_sim.dir/churn.cc.o"
+  "CMakeFiles/os_sim.dir/churn.cc.o.d"
+  "CMakeFiles/os_sim.dir/network.cc.o"
+  "CMakeFiles/os_sim.dir/network.cc.o.d"
+  "CMakeFiles/os_sim.dir/simulator.cc.o"
+  "CMakeFiles/os_sim.dir/simulator.cc.o.d"
+  "CMakeFiles/os_sim.dir/topology.cc.o"
+  "CMakeFiles/os_sim.dir/topology.cc.o.d"
+  "libos_sim.a"
+  "libos_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/os_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/os_util.dir/bytes.cc.o"
+  "CMakeFiles/os_util.dir/bytes.cc.o.d"
+  "CMakeFiles/os_util.dir/logging.cc.o"
+  "CMakeFiles/os_util.dir/logging.cc.o.d"
+  "CMakeFiles/os_util.dir/random.cc.o"
+  "CMakeFiles/os_util.dir/random.cc.o.d"
+  "CMakeFiles/os_util.dir/stats.cc.o"
+  "CMakeFiles/os_util.dir/stats.cc.o.d"
+  "libos_util.a"
+  "libos_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/os_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

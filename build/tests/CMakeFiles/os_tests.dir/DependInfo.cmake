@@ -1,0 +1,66 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_access.cc" "tests/CMakeFiles/os_tests.dir/test_access.cc.o" "gcc" "tests/CMakeFiles/os_tests.dir/test_access.cc.o.d"
+  "/root/repo/tests/test_api.cc" "tests/CMakeFiles/os_tests.dir/test_api.cc.o" "gcc" "tests/CMakeFiles/os_tests.dir/test_api.cc.o.d"
+  "/root/repo/tests/test_archive.cc" "tests/CMakeFiles/os_tests.dir/test_archive.cc.o" "gcc" "tests/CMakeFiles/os_tests.dir/test_archive.cc.o.d"
+  "/root/repo/tests/test_availability.cc" "tests/CMakeFiles/os_tests.dir/test_availability.cc.o" "gcc" "tests/CMakeFiles/os_tests.dir/test_availability.cc.o.d"
+  "/root/repo/tests/test_block_cipher.cc" "tests/CMakeFiles/os_tests.dir/test_block_cipher.cc.o" "gcc" "tests/CMakeFiles/os_tests.dir/test_block_cipher.cc.o.d"
+  "/root/repo/tests/test_bloom.cc" "tests/CMakeFiles/os_tests.dir/test_bloom.cc.o" "gcc" "tests/CMakeFiles/os_tests.dir/test_bloom.cc.o.d"
+  "/root/repo/tests/test_bytes.cc" "tests/CMakeFiles/os_tests.dir/test_bytes.cc.o" "gcc" "tests/CMakeFiles/os_tests.dir/test_bytes.cc.o.d"
+  "/root/repo/tests/test_byzantine.cc" "tests/CMakeFiles/os_tests.dir/test_byzantine.cc.o" "gcc" "tests/CMakeFiles/os_tests.dir/test_byzantine.cc.o.d"
+  "/root/repo/tests/test_churn_integration.cc" "tests/CMakeFiles/os_tests.dir/test_churn_integration.cc.o" "gcc" "tests/CMakeFiles/os_tests.dir/test_churn_integration.cc.o.d"
+  "/root/repo/tests/test_confidence.cc" "tests/CMakeFiles/os_tests.dir/test_confidence.cc.o" "gcc" "tests/CMakeFiles/os_tests.dir/test_confidence.cc.o.d"
+  "/root/repo/tests/test_core.cc" "tests/CMakeFiles/os_tests.dir/test_core.cc.o" "gcc" "tests/CMakeFiles/os_tests.dir/test_core.cc.o.d"
+  "/root/repo/tests/test_data_object.cc" "tests/CMakeFiles/os_tests.dir/test_data_object.cc.o" "gcc" "tests/CMakeFiles/os_tests.dir/test_data_object.cc.o.d"
+  "/root/repo/tests/test_dissemination.cc" "tests/CMakeFiles/os_tests.dir/test_dissemination.cc.o" "gcc" "tests/CMakeFiles/os_tests.dir/test_dissemination.cc.o.d"
+  "/root/repo/tests/test_erasure.cc" "tests/CMakeFiles/os_tests.dir/test_erasure.cc.o" "gcc" "tests/CMakeFiles/os_tests.dir/test_erasure.cc.o.d"
+  "/root/repo/tests/test_gf256.cc" "tests/CMakeFiles/os_tests.dir/test_gf256.cc.o" "gcc" "tests/CMakeFiles/os_tests.dir/test_gf256.cc.o.d"
+  "/root/repo/tests/test_groups.cc" "tests/CMakeFiles/os_tests.dir/test_groups.cc.o" "gcc" "tests/CMakeFiles/os_tests.dir/test_groups.cc.o.d"
+  "/root/repo/tests/test_guid.cc" "tests/CMakeFiles/os_tests.dir/test_guid.cc.o" "gcc" "tests/CMakeFiles/os_tests.dir/test_guid.cc.o.d"
+  "/root/repo/tests/test_introspect.cc" "tests/CMakeFiles/os_tests.dir/test_introspect.cc.o" "gcc" "tests/CMakeFiles/os_tests.dir/test_introspect.cc.o.d"
+  "/root/repo/tests/test_keys.cc" "tests/CMakeFiles/os_tests.dir/test_keys.cc.o" "gcc" "tests/CMakeFiles/os_tests.dir/test_keys.cc.o.d"
+  "/root/repo/tests/test_merkle.cc" "tests/CMakeFiles/os_tests.dir/test_merkle.cc.o" "gcc" "tests/CMakeFiles/os_tests.dir/test_merkle.cc.o.d"
+  "/root/repo/tests/test_naming.cc" "tests/CMakeFiles/os_tests.dir/test_naming.cc.o" "gcc" "tests/CMakeFiles/os_tests.dir/test_naming.cc.o.d"
+  "/root/repo/tests/test_network.cc" "tests/CMakeFiles/os_tests.dir/test_network.cc.o" "gcc" "tests/CMakeFiles/os_tests.dir/test_network.cc.o.d"
+  "/root/repo/tests/test_param_sweeps.cc" "tests/CMakeFiles/os_tests.dir/test_param_sweeps.cc.o" "gcc" "tests/CMakeFiles/os_tests.dir/test_param_sweeps.cc.o.d"
+  "/root/repo/tests/test_plaxton.cc" "tests/CMakeFiles/os_tests.dir/test_plaxton.cc.o" "gcc" "tests/CMakeFiles/os_tests.dir/test_plaxton.cc.o.d"
+  "/root/repo/tests/test_random.cc" "tests/CMakeFiles/os_tests.dir/test_random.cc.o" "gcc" "tests/CMakeFiles/os_tests.dir/test_random.cc.o.d"
+  "/root/repo/tests/test_searchable.cc" "tests/CMakeFiles/os_tests.dir/test_searchable.cc.o" "gcc" "tests/CMakeFiles/os_tests.dir/test_searchable.cc.o.d"
+  "/root/repo/tests/test_secondary.cc" "tests/CMakeFiles/os_tests.dir/test_secondary.cc.o" "gcc" "tests/CMakeFiles/os_tests.dir/test_secondary.cc.o.d"
+  "/root/repo/tests/test_sha1.cc" "tests/CMakeFiles/os_tests.dir/test_sha1.cc.o" "gcc" "tests/CMakeFiles/os_tests.dir/test_sha1.cc.o.d"
+  "/root/repo/tests/test_simulator.cc" "tests/CMakeFiles/os_tests.dir/test_simulator.cc.o" "gcc" "tests/CMakeFiles/os_tests.dir/test_simulator.cc.o.d"
+  "/root/repo/tests/test_stats.cc" "tests/CMakeFiles/os_tests.dir/test_stats.cc.o" "gcc" "tests/CMakeFiles/os_tests.dir/test_stats.cc.o.d"
+  "/root/repo/tests/test_topology.cc" "tests/CMakeFiles/os_tests.dir/test_topology.cc.o" "gcc" "tests/CMakeFiles/os_tests.dir/test_topology.cc.o.d"
+  "/root/repo/tests/test_universe_faults.cc" "tests/CMakeFiles/os_tests.dir/test_universe_faults.cc.o" "gcc" "tests/CMakeFiles/os_tests.dir/test_universe_faults.cc.o.d"
+  "/root/repo/tests/test_update.cc" "tests/CMakeFiles/os_tests.dir/test_update.cc.o" "gcc" "tests/CMakeFiles/os_tests.dir/test_update.cc.o.d"
+  "/root/repo/tests/test_versioning.cc" "tests/CMakeFiles/os_tests.dir/test_versioning.cc.o" "gcc" "tests/CMakeFiles/os_tests.dir/test_versioning.cc.o.d"
+  "/root/repo/tests/test_web_gateway.cc" "tests/CMakeFiles/os_tests.dir/test_web_gateway.cc.o" "gcc" "tests/CMakeFiles/os_tests.dir/test_web_gateway.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/api/CMakeFiles/os_api.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/os_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/access/CMakeFiles/os_access.dir/DependInfo.cmake"
+  "/root/repo/build/src/archive/CMakeFiles/os_archive.dir/DependInfo.cmake"
+  "/root/repo/build/src/bloom/CMakeFiles/os_bloom.dir/DependInfo.cmake"
+  "/root/repo/build/src/consistency/CMakeFiles/os_consistency.dir/DependInfo.cmake"
+  "/root/repo/build/src/erasure/CMakeFiles/os_erasure.dir/DependInfo.cmake"
+  "/root/repo/build/src/introspect/CMakeFiles/os_introspect.dir/DependInfo.cmake"
+  "/root/repo/build/src/plaxton/CMakeFiles/os_plaxton.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/os_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/naming/CMakeFiles/os_naming.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/os_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/os_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
