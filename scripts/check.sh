@@ -1,0 +1,50 @@
+#!/usr/bin/env bash
+# Correctness gate for the whole tree: build + full test suite under
+#   1. the plain configuration,
+#   2. AddressSanitizer + UndefinedBehaviorSanitizer,
+#   3. ThreadSanitizer,
+# each in its own build directory.  The determinism lint and its
+# self-test run as ctest cases in every configuration.
+#
+# Usage: scripts/check.sh [plain|asan|tsan]...   (default: all three)
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+jobs="$(nproc 2>/dev/null || echo 4)"
+
+# Sanitizer runtime knobs: fail hard on the first report so ctest
+# turns any finding into a test failure.
+export ASAN_OPTIONS="abort_on_error=1:detect_leaks=1"
+export UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1"
+export TSAN_OPTIONS="halt_on_error=1"
+
+run_config() {
+    local name="$1" sanitize="$2"
+    local build="build-check-${name}"
+    echo "=== [${name}] configure (-DOCEANSTORE_SANITIZE=${sanitize})"
+    cmake -B "${build}" -S . -DOCEANSTORE_SANITIZE="${sanitize}" \
+        > "${build}.cmake.log" 2>&1 \
+        || { cat "${build}.cmake.log"; return 1; }
+    echo "=== [${name}] build"
+    cmake --build "${build}" -j "${jobs}"
+    echo "=== [${name}] test"
+    (cd "${build}" && ctest --output-on-failure -j "${jobs}")
+}
+
+configs=("$@")
+[ "${#configs[@]}" -eq 0 ] && configs=(plain asan tsan)
+
+for cfg in "${configs[@]}"; do
+    case "${cfg}" in
+    plain) run_config plain OFF ;;
+    asan) run_config asan address ;;
+    tsan) run_config tsan thread ;;
+    *)
+        echo "unknown config '${cfg}' (want plain|asan|tsan)" >&2
+        exit 2
+        ;;
+    esac
+done
+
+echo "=== all configurations passed"

@@ -2,11 +2,14 @@
 
 #include <algorithm>
 
+#include "util/check.h"
+
 namespace oceanstore {
 
 void
 Acl::grant(const Bytes &key, std::uint8_t privileges)
 {
+    OS_DCHECK(!key.empty(), "Acl::grant: empty signer key");
     for (auto &e : entries_) {
         if (e.signerPublicKey == key) {
             e.privileges |= privileges;

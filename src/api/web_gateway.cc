@@ -1,10 +1,15 @@
 #include "api/web_gateway.h"
 
+#include "util/check.h"
+
 namespace oceanstore {
 
 WebGateway::WebGateway(Universe &universe, std::size_t home_server)
     : universe_(universe), homeServer_(home_server)
 {
+    OS_CHECK(home_server < universe.numServers(),
+             "WebGateway: home server ", home_server, " of ",
+             universe.numServers());
 }
 
 bool

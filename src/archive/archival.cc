@@ -5,6 +5,7 @@
 #include <memory>
 #include <cmath>
 
+#include "util/check.h"
 #include "util/logging.h"
 
 namespace oceanstore {
@@ -101,7 +102,10 @@ ArchivalClient::handleMessage(const Message &msg)
 void
 ArchivalClient::maybeFinish(std::uint64_t ticket)
 {
-    PendingReconstruction &pr = pending_[ticket];
+    auto it = pending_.find(ticket);
+    OS_CHECK(it != pending_.end(),
+             "maybeFinish for unknown ticket ", ticket);
+    PendingReconstruction &pr = it->second;
     if (pr.done || pr.received.size() < pr.codec->dataFragments())
         return;
 
@@ -301,9 +305,14 @@ ArchivalSystem::reconstruct(
     // yet received (requests or replies may have been dropped), until
     // the reconstruction finishes or the hard timeout fires.
     double give_up_at = net_.sim().now() + cfg_.failTimeout;
+    // The scheduled wrapper owns the function; the function holds
+    // only a weak reference to itself for rescheduling (a shared_ptr
+    // captured inside its own target would own itself and leak).
     auto escalate = std::make_shared<std::function<void()>>();
     *escalate = [this, &client, archive, ticket, request_one,
-                 give_up_at, escalate]() {
+                 give_up_at,
+                 weak = std::weak_ptr<std::function<void()>>(
+                     escalate)]() {
         auto it = client.pending_.find(ticket);
         if (it == client.pending_.end() || it->second.done)
             return;
@@ -318,10 +327,14 @@ ArchivalSystem::reconstruct(
             request_one(idx, pit2->second.holders[idx]);
             it->second.requested++;
         }
-        if (net_.sim().now() + cfg_.retryTimeout < give_up_at)
-            net_.sim().schedule(cfg_.retryTimeout, *escalate);
+        if (net_.sim().now() + cfg_.retryTimeout < give_up_at) {
+            if (auto self = weak.lock()) {
+                net_.sim().schedule(cfg_.retryTimeout,
+                                    [self]() { (*self)(); });
+            }
+        }
     };
-    net_.sim().schedule(cfg_.retryTimeout, *escalate);
+    net_.sim().schedule(cfg_.retryTimeout, [escalate]() { (*escalate)(); });
 
     // Failure: give up after the hard timeout.
     net_.sim().schedule(cfg_.failTimeout, [this, &client, ticket]() {

@@ -17,7 +17,7 @@
 #define OCEANSTORE_BLOOM_LOCATION_SERVICE_H
 
 #include <map>
-#include <unordered_set>
+#include <set>
 #include <vector>
 
 #include "bloom/attenuated.h"
@@ -118,8 +118,9 @@ class BloomLocationService
     bool dirty_ = true;
     std::uint64_t gossipBytes_ = 0;
 
-    /** Authoritative local object sets. */
-    std::vector<std::unordered_set<Guid>> localSets_;
+    /** Authoritative local object sets (ordered for deterministic
+     *  filter rebuilds). */
+    std::vector<std::set<Guid>> localSets_;
     /** Local Bloom filters (level 0 of the node itself). */
     std::vector<BloomFilter> localFilters_;
     /** edgeFilters_[n][j] covers edge n -> adjacency[n][j]. */

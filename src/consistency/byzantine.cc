@@ -124,8 +124,13 @@ PbftClient::submit(const Bytes &payload,
     // Retry: while no quorum arrives, periodically broadcast to all
     // replicas — this triggers forwarding (and eventually view
     // changes) and lets stalled requests land once a partition heals.
+    // The scheduled wrapper owns the function; the function holds
+    // only a weak reference to itself for rescheduling.  (Capturing
+    // the shared_ptr inside its own target is a refcount cycle: the
+    // heap-allocated std::function would own itself and leak.)
     auto retry = std::make_shared<std::function<void()>>();
-    *retry = [this, req_id, retry]() {
+    *retry = [this, req_id,
+              weak = std::weak_ptr<std::function<void()>>(retry)]() {
         auto it = pending_.find(req_id);
         if (it == pending_.end() || it->second.completed)
             return;
@@ -138,11 +143,14 @@ PbftClient::submit(const Bytes &payload,
             cluster_.net().send(nodeId_, cluster_.replica(r).nodeId(),
                                 rm);
         }
-        cluster_.net().sim().schedule(
-            cluster_.config().clientRetryTimeout, *retry);
+        if (auto self = weak.lock()) {
+            cluster_.net().sim().schedule(
+                cluster_.config().clientRetryTimeout,
+                [self]() { (*self)(); });
+        }
     };
     cluster_.net().sim().schedule(cluster_.config().clientRetryTimeout,
-                                  *retry);
+                                  [retry]() { (*retry)(); });
 }
 
 void

@@ -28,6 +28,7 @@
 
 #include "crypto/keys.h"
 #include "sim/network.h"
+#include "util/check.h"
 
 namespace oceanstore {
 
@@ -220,8 +221,10 @@ class PbftReplica : public SimNode
     std::map<unsigned, std::set<unsigned>> viewVotes_;
     /** Requests awaiting pre-prepare (view-change timers armed). */
     std::unordered_map<Guid, EventId> timers_;
-    /** Requests known but not yet pre-prepared (for new leader). */
-    std::unordered_map<Guid, std::pair<Bytes, NodeId>> known_;
+    /** Requests known but not yet pre-prepared (for new leader).
+     *  Ordered: a new leader re-proposes these in iteration order,
+     *  which feeds message emission and must be deterministic. */
+    std::map<Guid, std::pair<Bytes, NodeId>> known_;
 };
 
 /**
@@ -252,7 +255,13 @@ class PbftCluster
     unsigned faultTolerance() const { return cfg_.m; }
 
     /** Replica by rank. */
-    PbftReplica &replica(unsigned rank) { return *replicas_[rank]; }
+    PbftReplica &
+    replica(unsigned rank)
+    {
+        OS_CHECK(rank < replicas_.size(), "PbftCluster::replica(",
+                 rank, ") of ", replicas_.size());
+        return *replicas_[rank];
+    }
 
     /** Create and register a client endpoint at (x, y). */
     std::unique_ptr<PbftClient> makeClient(double x, double y,

@@ -2,6 +2,7 @@
 
 #include <functional>
 
+#include "util/check.h"
 #include "util/logging.h"
 
 namespace oceanstore {
@@ -16,6 +17,8 @@ DataObject::refreshLogical() const
     // order.  Index blocks may nest arbitrarily deep after repeated
     // inserts.
     std::function<void(std::uint32_t)> walk = [&](std::uint32_t phys) {
+        OS_DCHECK(phys < blocks_.size(),
+                  "DataObject: dangling block reference ", phys);
         const StoredBlock &b = blocks_[phys];
         if (std::holds_alternative<DataBlock>(b)) {
             logicalCache_.push_back(phys);

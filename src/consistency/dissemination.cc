@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "util/check.h"
 #include "util/logging.h"
 
 namespace oceanstore {
@@ -11,6 +12,7 @@ DisseminationTree::DisseminationTree(Network &net, NodeId root,
                                      unsigned fanout)
     : net_(net), root_(root), members_(members)
 {
+    OS_CHECK(fanout > 0, "DisseminationTree: zero fanout");
     all_.push_back(root);
     all_.insert(all_.end(), members.begin(), members.end());
     parent_.assign(all_.size(), invalidNode);

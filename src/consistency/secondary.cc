@@ -1,6 +1,7 @@
 #include "consistency/secondary.h"
 
 #include <algorithm>
+#include <unordered_set>
 
 #include "util/logging.h"
 

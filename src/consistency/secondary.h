@@ -19,12 +19,12 @@
 #include <map>
 #include <memory>
 #include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
 #include "consistency/data_object.h"
 #include "consistency/dissemination.h"
 #include "sim/network.h"
+#include "util/check.h"
 #include "util/random.h"
 
 namespace oceanstore {
@@ -102,8 +102,11 @@ class SecondaryReplica : public SimNode
     NodeId nodeId_ = invalidNode;
     Rng rng_;
 
-    std::map<Guid, DataObject> objects_;            //!< Committed.
-    std::unordered_map<Guid, Update> tentative_;    //!< By update id.
+    std::map<Guid, DataObject> objects_; //!< Committed.
+    /** Tentative updates by update id.  Ordered: anti-entropy digests
+     *  and pushes are built by iterating this map, so its order feeds
+     *  message emission and must be deterministic. */
+    std::map<Guid, Update> tentative_;
     /** Committed updates that arrived out of order. */
     std::map<Guid, std::map<VersionNum, Update>> buffered_;
     /** Objects invalidated but not yet re-fetched: obj -> needed version. */
@@ -131,7 +134,13 @@ class SecondaryTier
     std::size_t size() const { return replicas_.size(); }
 
     /** Replica accessor. */
-    SecondaryReplica &replica(std::size_t i) { return *replicas_[i]; }
+    SecondaryReplica &
+    replica(std::size_t i)
+    {
+        OS_CHECK(i < replicas_.size(), "SecondaryTier::replica(", i,
+                 ") of ", replicas_.size());
+        return *replicas_[i];
+    }
 
     /** Begin the periodic anti-entropy process on every replica. */
     void startAntiEntropy();

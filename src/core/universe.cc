@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "sim/topology.h"
+#include "util/check.h"
 #include "util/logging.h"
 
 namespace oceanstore {
@@ -101,6 +102,9 @@ Bytes
 Universe::executeUpdate(unsigned rank, const Bytes &payload,
                         std::uint64_t)
 {
+    OS_CHECK(rank < primaryObjects_.size(),
+             "executeUpdate: rank ", rank, " of ",
+             primaryObjects_.size());
     Update u = Update::deserializeFull(payload);
 
     Bytes result;

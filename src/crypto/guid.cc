@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "util/check.h"
+
 namespace oceanstore {
 
 Guid::Guid(const Sha1Digest &d)
@@ -94,6 +96,7 @@ Guid::withSalt(std::uint32_t salt) const
 unsigned
 Guid::digit(std::size_t i) const
 {
+    OS_DCHECK(i < numDigits, "Guid::digit(", i, ")");
     // Digit 0 is the least significant nibble: low nibble of the last
     // byte.  Digit 1 is the high nibble of the last byte, and so on.
     std::size_t byte_index = numBytes - 1 - i / 2;
@@ -104,6 +107,8 @@ Guid::digit(std::size_t i) const
 Guid
 Guid::withDigit(std::size_t i, unsigned value) const
 {
+    OS_DCHECK(i < numDigits, "Guid::withDigit(", i, ")");
+    OS_DCHECK(value < digitBase, "Guid::withDigit: value ", value);
     Guid g = *this;
     std::size_t byte_index = numBytes - 1 - i / 2;
     std::uint8_t b = g.bytes_[byte_index];

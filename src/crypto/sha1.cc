@@ -2,6 +2,8 @@
 
 #include <cstring>
 
+#include "util/check.h"
+
 namespace oceanstore {
 
 namespace {
@@ -109,6 +111,8 @@ Sha1::finish()
     for (int i = 0; i < 8; i++)
         len_bytes[i] = static_cast<std::uint8_t>(bit_len >> (56 - 8 * i));
     // Bypass update() so totalLen_ bookkeeping is irrelevant now.
+    OS_DCHECK(bufferLen_ == 56, "SHA-1 padding left bufferLen_=",
+              bufferLen_);
     std::memcpy(buffer_ + bufferLen_, len_bytes, 8);
     processBlock(buffer_);
 

@@ -1,5 +1,7 @@
 #include "erasure/fragment.h"
 
+#include "util/check.h"
+
 namespace oceanstore {
 
 bool
@@ -21,6 +23,9 @@ fragmentObject(const ErasureCodec &codec, const Bytes &data)
     set.originalSize = data.size();
 
     std::vector<Bytes> coded = codec.encode(data);
+    OS_CHECK(coded.size() == codec.totalFragments(),
+             "codec produced ", coded.size(), " fragments, expected ",
+             codec.totalFragments());
     MerkleTree tree(coded);
     set.archiveGuid = tree.rootGuid();
 

@@ -69,7 +69,10 @@ pow(std::uint8_t a, unsigned n)
         return 1;
     if (a == 0)
         return 0;
-    unsigned l = (tables.logTable[a] * n) % 255;
+    // Reduce the exponent first: a^255 = 1 for non-zero a, and
+    // log(a) * n can wrap unsigned for large n, silently corrupting
+    // the result.
+    unsigned l = (tables.logTable[a] * (n % 255u)) % 255u;
     return tables.expTable[l];
 }
 

@@ -3,11 +3,17 @@
 #include <algorithm>
 #include <cmath>
 
+#include "util/check.h"
+
 namespace oceanstore {
 
 ConfidenceEstimator::ConfidenceEstimator(ConfidenceConfig cfg)
     : cfg_(cfg)
 {
+    OS_CHECK(cfg.alpha > 0.0 && cfg.alpha <= 1.0,
+             "ConfidenceConfig: alpha ", cfg.alpha, " outside (0,1]");
+    OS_CHECK(cfg.minConfidence >= 0.0 && cfg.minConfidence <= 1.0,
+             "ConfidenceConfig: minConfidence outside [0,1]");
 }
 
 void

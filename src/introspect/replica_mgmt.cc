@@ -2,11 +2,23 @@
 
 #include <algorithm>
 
+#include "util/check.h"
+
 namespace oceanstore {
 
 ReplicaManager::ReplicaManager(ReplicaPolicyConfig cfg)
     : cfg_(cfg)
 {
+    OS_CHECK(cfg.minReplicas >= 1 &&
+                 cfg.maxReplicas >= cfg.minReplicas,
+             "ReplicaPolicyConfig: min=", cfg.minReplicas,
+             " max=", cfg.maxReplicas);
+    // A zero overload threshold would flag every idle replica as
+    // overloaded.  (disuse >= overload is deliberately allowed: tests
+    // use hair-trigger overload thresholds, and decide() resolves the
+    // overlap by checking overload first.)
+    OS_CHECK(cfg.overloadThreshold > 0,
+             "ReplicaPolicyConfig: zero overload threshold");
 }
 
 std::vector<ReplicaAction>

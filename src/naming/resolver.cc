@@ -1,5 +1,6 @@
 #include "naming/resolver.h"
 
+#include "util/check.h"
 #include "util/logging.h"
 
 namespace oceanstore {
@@ -14,6 +15,9 @@ NameResolver::NameResolver(DirectoryFetcher fetcher)
 void
 NameResolver::addRoot(const std::string &nickname, const Guid &dir_guid)
 {
+    OS_CHECK(nickname.find(':') == std::string::npos,
+             "NameResolver: root nickname contains ':'");
+    OS_CHECK(dir_guid.valid(), "NameResolver: invalid root GUID");
     roots_[nickname] = dir_guid;
 }
 

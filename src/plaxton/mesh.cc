@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "util/check.h"
 #include "util/logging.h"
 
 namespace oceanstore {
@@ -18,6 +19,8 @@ PlaxtonMesh::PlaxtonMesh(Network &net, const std::vector<NodeId> &members,
     }
     for (std::size_t i = 0; i < members_.size(); i++)
         buildTable(i);
+    OS_CHECK(index_.size() == members_.size(),
+             "PlaxtonMesh: duplicate member NodeIds");
 }
 
 std::size_t

@@ -196,8 +196,9 @@ class PlaxtonMesh
         bool alive = true;
         /** table[level][digit]. */
         std::vector<std::vector<Entry>> table;
-        /** Location pointers: object GUID -> storers. */
-        std::unordered_map<Guid, std::set<NodeId>> pointers;
+        /** Location pointers: object GUID -> storers.  Ordered so
+         *  repair sweeps visit pointers deterministically. */
+        std::map<Guid, std::set<NodeId>> pointers;
     };
 
     /** Index into states_ for a NodeId. */
@@ -220,8 +221,10 @@ class PlaxtonMesh
     std::vector<NodeId> members_;
     std::unordered_map<NodeId, std::size_t> index_;
     std::vector<NodeState> states_;
-    /** storer -> object GUIDs it has published (drives repair). */
-    std::unordered_map<NodeId, std::set<Guid>> published_;
+    /** storer -> object GUIDs it has published (drives repair).
+     *  Ordered: repair republishes in iteration order, which feeds
+     *  message emission and must be deterministic. */
+    std::map<NodeId, std::set<Guid>> published_;
     /** Members that missed the last beacon (second-chance state). */
     std::set<NodeId> suspects_;
     Counters counters_;

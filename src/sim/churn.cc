@@ -1,10 +1,14 @@
 #include "sim/churn.h"
 
+#include "util/check.h"
+
 namespace oceanstore {
 
 ChurnInjector::ChurnInjector(Simulator &sim, Network &net, ChurnConfig cfg)
     : sim_(sim), net_(net), cfg_(cfg), rng_(cfg.seed)
 {
+    OS_CHECK(cfg.meanUptime > 0 && cfg.meanDowntime > 0,
+             "ChurnInjector: non-positive mean up/down time");
 }
 
 void
@@ -40,6 +44,8 @@ std::vector<NodeId>
 ChurnInjector::massFailure(Network &net, const std::vector<NodeId> &nodes,
                            double fraction, Rng &rng)
 {
+    OS_CHECK(fraction >= 0.0 && fraction <= 1.0,
+             "massFailure: fraction ", fraction, " outside [0,1]");
     std::size_t k = static_cast<std::size_t>(
         fraction * static_cast<double>(nodes.size()) + 0.5);
     auto picks = rng.sampleIndices(nodes.size(), k);

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "util/check.h"
 #include "util/logging.h"
 
 namespace oceanstore {
@@ -25,6 +26,8 @@ Network::addNode(SimNode *node, double x, double y)
 double
 Network::distance(NodeId a, NodeId b) const
 {
+    OS_DCHECK(a < pos_.size() && b < pos_.size(),
+              "Network::distance: bad node id");
     double dx = pos_[a].first - pos_[b].first;
     double dy = pos_[a].second - pos_[b].second;
     return std::sqrt(dx * dx + dy * dy);
@@ -79,18 +82,22 @@ Network::send(NodeId from, NodeId to, Message msg)
 void
 Network::setDown(NodeId n)
 {
+    OS_CHECK(n < up_.size(), "Network::setDown: bad node id ", n);
     up_[n] = false;
 }
 
 void
 Network::setUp(NodeId n)
 {
+    OS_CHECK(n < up_.size(), "Network::setUp: bad node id ", n);
     up_[n] = true;
 }
 
 void
 Network::setPartition(NodeId n, int partition)
 {
+    OS_CHECK(n < partition_.size(),
+             "Network::setPartition: bad node id ", n);
     partition_[n] = partition;
 }
 

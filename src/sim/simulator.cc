@@ -1,5 +1,8 @@
 #include "sim/simulator.h"
 
+#include <cmath>
+
+#include "util/check.h"
 #include "util/logging.h"
 
 namespace oceanstore {
@@ -15,16 +18,27 @@ Simulator::schedule(SimTime delay, std::function<void()> fn)
 EventId
 Simulator::scheduleAt(SimTime when, std::function<void()> fn)
 {
+    if (std::isnan(when))
+        fatal("Simulator::scheduleAt: NaN time");
     if (when < now_)
         fatal("Simulator::scheduleAt: time in the past");
     EventId id = nextId_++;
     queue_.push(Entry{when, id, std::move(fn)});
+    pendingIds_.insert(id);
     return id;
 }
 
 void
 Simulator::cancel(EventId id)
 {
+    // Only events that are still pending get a tombstone; cancelling
+    // a fired, cancelled, or unknown id is a documented no-op.  (The
+    // pending-set lookup is what keeps tombstones from leaking and
+    // pending() from under-counting.)
+    auto it = pendingIds_.find(id);
+    if (it == pendingIds_.end())
+        return;
+    pendingIds_.erase(it);
     cancelled_.insert(id);
 }
 
@@ -39,11 +53,22 @@ Simulator::step()
             cancelled_.erase(it);
             continue;
         }
+        // Self-audit: the clock never moves backwards, and events at
+        // equal timestamps fire in scheduling (id) order.
+        OS_CHECK(e.when >= now_, "event ", e.id, " at t=", e.when,
+                 " fired with clock at t=", now_);
+        OS_CHECK(e.when > lastFiredWhen_ || e.id > lastFiredId_,
+                 "FIFO tie-break violated: event ", e.id, " after ",
+                 lastFiredId_, " at t=", e.when);
+        lastFiredWhen_ = e.when;
+        lastFiredId_ = e.id;
         now_ = e.when;
         executed_++;
+        pendingIds_.erase(e.id);
         e.fn();
         return true;
     }
+    auditDrained();
     return false;
 }
 
@@ -68,8 +93,23 @@ Simulator::runUntil(SimTime until)
             break;
         step();
     }
+    if (queue_.empty())
+        auditDrained();
     if (now_ < until)
         now_ = until;
+}
+
+void
+Simulator::auditDrained() const
+{
+    // Every queue entry is accounted for in exactly one of pendingIds_
+    // or cancelled_, so an empty queue must leave both empty.
+    OS_CHECK(queue_.empty(),
+             "auditDrained with ", queue_.size(), " queued events");
+    OS_CHECK(cancelled_.empty(), "cancel-tombstone leak: ",
+             cancelled_.size(), " tombstones after queue drained");
+    OS_CHECK(pendingIds_.empty(), "pending-id leak: ",
+             pendingIds_.size(), " ids after queue drained");
 }
 
 } // namespace oceanstore

@@ -8,6 +8,13 @@
  * latencies) is a property of protocol structure.  We therefore run
  * all OceanStore protocols above a deterministic discrete-event
  * simulator instead of a real WAN.
+ *
+ * Determinism contract (enforced by self-audit checks in step()):
+ *  - simulated time never moves backwards;
+ *  - events at the same timestamp fire in scheduling order (FIFO
+ *    tie-break on the monotonically increasing EventId);
+ *  - cancellation bookkeeping never leaks: when the queue drains,
+ *    every cancel() tombstone must have been consumed.
  */
 
 #ifndef OCEANSTORE_SIM_SIMULATOR_H
@@ -50,7 +57,10 @@ class Simulator
     /** Schedule @p fn at absolute time @p when (>= now). */
     EventId scheduleAt(SimTime when, std::function<void()> fn);
 
-    /** Cancel a pending event; no-op if already fired or cancelled. */
+    /**
+     * Cancel a pending event; no-op if already fired, already
+     * cancelled, or never scheduled.
+     */
     void cancel(EventId id);
 
     /** Run one event.  @return false when the queue is empty. */
@@ -65,8 +75,19 @@ class Simulator
     /** Number of events executed so far. */
     std::uint64_t eventsExecuted() const { return executed_; }
 
-    /** Number of events currently pending. */
-    std::size_t pending() const { return queue_.size() - cancelled_.size(); }
+    /** Number of events currently pending (scheduled, not yet fired
+     *  or cancelled). */
+    std::size_t pending() const { return pendingIds_.size(); }
+
+    /** Cancellation tombstones not yet swept from the queue. */
+    std::size_t cancelTombstones() const { return cancelled_.size(); }
+
+    /**
+     * Self-audit: verify cancellation bookkeeping is fully drained.
+     * Called automatically whenever the queue empties; aborts on a
+     * leaked tombstone (an internal accounting bug).
+     */
+    void auditDrained() const;
 
   private:
     struct Entry
@@ -89,7 +110,13 @@ class Simulator
     std::uint64_t executed_ = 0;
     std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>>
         queue_;
+    /** Ids scheduled but not yet fired or cancelled. */
+    std::unordered_set<EventId> pendingIds_;
+    /** Cancelled ids whose queue entries have not been popped yet. */
     std::unordered_set<EventId> cancelled_;
+    /** Timestamp/id of the last event fired (FIFO tie-break audit). */
+    SimTime lastFiredWhen_ = 0.0;
+    EventId lastFiredId_ = 0;
 };
 
 } // namespace oceanstore

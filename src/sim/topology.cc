@@ -4,11 +4,15 @@
 #include <cmath>
 #include <queue>
 
+#include "util/check.h"
+
 namespace oceanstore {
 
 void
 Topology::addEdge(NodeId a, NodeId b)
 {
+    OS_CHECK(a < size() && b < size(),
+             "Topology::addEdge: node out of range");
     if (a == b)
         return;
     auto insert_sorted = [](std::vector<NodeId> &v, NodeId x) {
@@ -23,6 +27,7 @@ Topology::addEdge(NodeId a, NodeId b)
 std::vector<int>
 Topology::hopDistances(NodeId from) const
 {
+    OS_CHECK(from < size(), "Topology::hopDistances: bad source");
     std::vector<int> dist(size(), -1);
     std::queue<NodeId> q;
     dist[from] = 0;

@@ -1,0 +1,25 @@
+#include "util/check.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace oceanstore {
+namespace check_detail {
+
+void
+checkFailed(const char *file, int line, const char *macro,
+            const char *expr, const std::string &msg)
+{
+    if (msg.empty()) {
+        std::fprintf(stderr, "%s failed at %s:%d: %s\n", macro, file,
+                     line, expr);
+    } else {
+        std::fprintf(stderr, "%s failed at %s:%d: %s (%s)\n", macro,
+                     file, line, expr, msg.c_str());
+    }
+    std::fflush(stderr);
+    std::abort();
+}
+
+} // namespace check_detail
+} // namespace oceanstore

@@ -50,7 +50,7 @@ Rng::next()
 std::uint64_t
 Rng::below(std::uint64_t bound)
 {
-    assert(bound > 0);
+    OS_CHECK(bound > 0, "Rng::below(0)");
     // Rejection sampling to avoid modulo bias.
     std::uint64_t threshold = (~bound + 1) % bound; // (2^64 - bound) % bound
     for (;;) {
@@ -63,7 +63,7 @@ Rng::below(std::uint64_t bound)
 std::int64_t
 Rng::between(std::int64_t lo, std::int64_t hi)
 {
-    assert(lo <= hi);
+    OS_CHECK(lo <= hi, "Rng::between: lo=", lo, " > hi=", hi);
     std::uint64_t span = static_cast<std::uint64_t>(hi - lo) + 1;
     return lo + static_cast<std::int64_t>(below(span));
 }
@@ -126,7 +126,7 @@ Rng::geometric(double p)
 std::vector<std::size_t>
 Rng::sampleIndices(std::size_t n, std::size_t k)
 {
-    assert(k <= n);
+    OS_CHECK(k <= n, "Rng::sampleIndices: k=", k, " > n=", n);
     // Partial Fisher-Yates over an index vector; O(n) setup, fine for
     // the node counts used in simulation.
     std::vector<std::size_t> idx(n);

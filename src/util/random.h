@@ -13,9 +13,10 @@
 #define OCEANSTORE_UTIL_RANDOM_H
 
 #include <algorithm>
-#include <cassert>
 #include <cstdint>
 #include <vector>
+
+#include "util/check.h"
 
 namespace oceanstore {
 
@@ -83,7 +84,7 @@ class Rng
     const T &
     pick(const std::vector<T> &v)
     {
-        assert(!v.empty());
+        OS_CHECK(!v.empty(), "Rng::pick on empty vector");
         return v[below(v.size())];
     }
 

@@ -95,6 +95,24 @@ TEST(Gf256, PowMatchesRepeatedMul)
     }
 }
 
+TEST(Gf256, PowLargeExponentsReduceByGroupOrder)
+{
+    // The multiplicative group has order 255, so a^n == a^(n % 255).
+    // Regression: the old implementation computed
+    // (logTable[a] * n) % 255 in unsigned arithmetic, which wraps for
+    // n > ~16.9M and returned wrong powers for large exponents.
+    for (unsigned a : {2u, 3u, 29u, 133u, 254u}) {
+        auto b = static_cast<std::uint8_t>(a);
+        EXPECT_EQ(gf256::pow(b, 255), 1) << "a=" << a;
+        EXPECT_EQ(gf256::pow(b, 256), b) << "a=" << a;
+        for (unsigned n : {1u << 25, 1u << 31, 4294967295u}) {
+            EXPECT_EQ(gf256::pow(b, n), gf256::pow(b, n % 255u))
+                << "a=" << a << " n=" << n;
+        }
+    }
+    EXPECT_EQ(gf256::pow(0, 1u << 30), 0); // 0^n stays 0
+}
+
 TEST(Gf256, MulAddAccumulates)
 {
     std::uint8_t dst[4] = {1, 2, 3, 4};

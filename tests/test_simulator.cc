@@ -2,7 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <utility>
+#include <vector>
+
 #include "sim/simulator.h"
+#include "util/random.h"
 
 namespace oceanstore {
 namespace {
@@ -111,6 +116,108 @@ TEST(Simulator, EventCountTracked)
         sim.schedule(i, [] {});
     sim.run();
     EXPECT_EQ(sim.eventsExecuted(), 5u);
+}
+
+TEST(Simulator, CancelAfterFireIsNoOp)
+{
+    // Regression: cancelling an id that already fired used to leave a
+    // permanent tombstone, so pending() (queue size minus tombstones)
+    // could underflow and the drain audit would trip.
+    Simulator sim;
+    int fired = 0;
+    EventId id = sim.schedule(1.0, [&]() { fired++; });
+    sim.run();
+    EXPECT_EQ(fired, 1);
+    sim.cancel(id);
+    EXPECT_EQ(sim.cancelTombstones(), 0u);
+    EXPECT_EQ(sim.pending(), 0u);
+    sim.schedule(1.0, [&]() { fired++; });
+    sim.run(); // drains: the self-audit must find no leaks
+    EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulator, DoubleCancelCountsOnce)
+{
+    Simulator sim;
+    sim.schedule(1.0, [] {});
+    EventId id = sim.schedule(2.0, [] {});
+    sim.schedule(3.0, [] {});
+    EXPECT_EQ(sim.pending(), 3u);
+    sim.cancel(id);
+    sim.cancel(id);   // second cancel of the same id: no-op
+    sim.cancel(9999); // never-scheduled id: no-op
+    EXPECT_EQ(sim.pending(), 2u);
+    EXPECT_EQ(sim.cancelTombstones(), 1u);
+    sim.run();
+    EXPECT_EQ(sim.eventsExecuted(), 2u);
+    EXPECT_EQ(sim.cancelTombstones(), 0u); // tombstone swept on pop
+    EXPECT_EQ(sim.pending(), 0u);
+}
+
+/**
+ * One seeded scenario exercising everything the determinism contract
+ * covers: same-time ties (FIFO break on schedule order), nested
+ * scheduling at the current timestamp, random delays from the seeded
+ * Rng, and cancellation of both pending and already-fired events.
+ * Returns the (time, tag) trace of every callback execution.
+ */
+std::vector<std::pair<double, int>>
+runTrace(std::uint64_t seed)
+{
+    Simulator sim;
+    Rng rng(seed);
+    std::vector<std::pair<double, int>> trace;
+
+    for (int i = 0; i < 4; i++) { // four-way tie at t = 1.0
+        sim.schedule(1.0,
+                     [&, i]() { trace.emplace_back(sim.now(), i); });
+    }
+    for (int i = 4; i < 12; i++) {
+        double d = rng.uniform(0.0, 5.0);
+        sim.schedule(d, [&, i]() {
+            trace.emplace_back(sim.now(), i);
+            if (i % 3 == 0) { // same-timestamp nested event
+                sim.schedule(0.0, [&, i]() {
+                    trace.emplace_back(sim.now(), 100 + i);
+                });
+            }
+        });
+    }
+    EventId victim = sim.schedule(
+        4.5, [&]() { trace.emplace_back(sim.now(), 999); });
+    EventId early = sim.schedule(
+        0.25, [&]() { trace.emplace_back(sim.now(), 42); });
+    sim.schedule(0.5, [&]() {
+        sim.cancel(victim); // pending: must never fire
+        sim.cancel(early);  // already fired: documented no-op
+    });
+    sim.run();
+    return trace;
+}
+
+TEST(Simulator, IdenticalTraceForSameSeed)
+{
+    auto a = runTrace(0xabcdefu);
+    auto b = runTrace(0xabcdefu);
+    EXPECT_EQ(a, b); // bit-for-bit identical replay
+
+    auto c = runTrace(0x123456u);
+    EXPECT_NE(a, c); // the seed actually drives the schedule
+
+    // FIFO tie-break: the four t=1.0 events fire in schedule order.
+    std::vector<int> ties;
+    for (const auto &[t, tag] : a) {
+        if (tag < 4)
+            ties.push_back(tag);
+    }
+    EXPECT_EQ(ties, (std::vector<int>{0, 1, 2, 3}));
+
+    // The cancelled event never fired; the early one fired once.
+    for (const auto &[t, tag] : a)
+        EXPECT_NE(tag, 999);
+    EXPECT_EQ(std::count_if(a.begin(), a.end(),
+                            [](const auto &e) { return e.second == 42; }),
+              1);
 }
 
 } // namespace

@@ -1,0 +1,539 @@
+/**
+ * @file
+ * Determinism and hygiene lint for the OceanStore source tree.
+ *
+ * The simulator promises bit-for-bit reproducible runs; that promise
+ * is easy to break with one stray call to wall-clock time or one loop
+ * over a hash container that feeds message emission.  This tool
+ * mechanically rejects the known hazard patterns:
+ *
+ *  1. randomness/time outside the seeded facade: `rand()`, `srand()`,
+ *     `std::random_device`, `std::mt19937`, `time(...)`,
+ *     `system_clock` / `steady_clock` / `high_resolution_clock` are
+ *     banned everywhere under src/ except src/util/random.*;
+ *  2. iteration over `std::unordered_map` / `std::unordered_set` in
+ *     the modules whose iteration order feeds event scheduling or
+ *     message emission (src/sim, src/consistency, src/plaxton,
+ *     src/bloom) — hash order is not part of the determinism
+ *     contract, so those loops must use ordered containers;
+ *  3. header-guard naming: each src/<dir>/<file>.h must guard with
+ *     OCEANSTORE_<DIR>_<FILE>_H.
+ *
+ * (A fourth check — per-header self-containment — is enforced by the
+ * `header_selfcheck` CMake target, which compiles every header as its
+ * own translation unit.)
+ *
+ * Usage:
+ *   oceanstore_lint <src-root>        lint the tree; findings to
+ *                                     stdout, exit 1 when any exist
+ *   oceanstore_lint --selftest <dir>  run against a fixture tree and
+ *                                     verify findings line up with
+ *                                     `EXPECT-LINT: <rule>` markers
+ */
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <regex>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace fs = std::filesystem;
+
+namespace {
+
+struct Finding
+{
+    std::string file; // path relative to the scanned root
+    std::size_t line; // 1-based
+    std::string rule;
+    std::string message;
+};
+
+/** Directories whose unordered-container iteration order can leak
+ *  into event scheduling or message emission. */
+const std::set<std::string> kOrderSensitiveDirs = {
+    "sim", "consistency", "plaxton", "bloom"};
+
+std::string
+readFile(const fs::path &p)
+{
+    std::ifstream in(p, std::ios::binary);
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+}
+
+/**
+ * Blank out comments, string literals, and char literals, preserving
+ * the byte count and every newline so line numbers survive.  Keeps
+ * the scanner honest: a banned token inside a comment or a log string
+ * is not a violation.
+ */
+std::string
+stripNonCode(const std::string &src)
+{
+    std::string out = src;
+    enum class St { Code, Line, Block, Str, Chr } st = St::Code;
+    for (std::size_t i = 0; i < src.size(); i++) {
+        char c = src[i];
+        char n = i + 1 < src.size() ? src[i + 1] : '\0';
+        switch (st) {
+        case St::Code:
+            if (c == '/' && n == '/') {
+                st = St::Line;
+                out[i] = ' ';
+            } else if (c == '/' && n == '*') {
+                st = St::Block;
+                out[i] = ' ';
+            } else if (c == '"') {
+                st = St::Str;
+            } else if (c == '\'') {
+                st = St::Chr;
+            }
+            break;
+        case St::Line:
+            if (c == '\n')
+                st = St::Code;
+            else
+                out[i] = ' ';
+            break;
+        case St::Block:
+            if (c == '*' && n == '/') {
+                st = St::Code;
+                out[i] = out[i + 1] = ' ';
+                i++;
+            } else if (c != '\n') {
+                out[i] = ' ';
+            }
+            break;
+        case St::Str:
+            if (c == '\\' && n != '\0') {
+                out[i] = out[i + 1] = ' ';
+                i++;
+            } else if (c == '"') {
+                st = St::Code;
+            } else if (c != '\n') {
+                out[i] = ' ';
+            }
+            break;
+        case St::Chr:
+            if (c == '\\' && n != '\0') {
+                out[i] = out[i + 1] = ' ';
+                i++;
+            } else if (c == '\'') {
+                st = St::Code;
+            } else {
+                out[i] = ' ';
+            }
+            break;
+        }
+    }
+    return out;
+}
+
+std::size_t
+lineOf(const std::string &text, std::size_t offset)
+{
+    return 1 + static_cast<std::size_t>(
+                   std::count(text.begin(), text.begin() + offset, '\n'));
+}
+
+// ---------------------------------------------------------------------
+// Check 1: banned randomness / wall-clock sources.
+
+struct BannedToken
+{
+    std::regex re;
+    const char *what;
+};
+
+const std::vector<BannedToken> &
+bannedTokens()
+{
+    static const std::vector<BannedToken> tokens = {
+        {std::regex(R"(\brand\s*\()"), "rand()"},
+        {std::regex(R"(\bsrand\s*\()"), "srand()"},
+        {std::regex(R"(\brandom_device\b)"), "std::random_device"},
+        {std::regex(R"(\bmt19937(_64)?\b)"), "std::mt19937"},
+        {std::regex(R"(\btime\s*\()"), "time()"},
+        {std::regex(R"(\bsystem_clock\b)"), "std::chrono::system_clock"},
+        {std::regex(R"(\bsteady_clock\b)"), "std::chrono::steady_clock"},
+        {std::regex(R"(\bhigh_resolution_clock\b)"),
+         "std::chrono::high_resolution_clock"},
+    };
+    return tokens;
+}
+
+void
+checkRandomness(const std::string &rel, const std::string &code,
+                std::vector<Finding> &out)
+{
+    // The seeded facade itself is the one legitimate home for this.
+    if (rel.find("util/random") != std::string::npos)
+        return;
+    for (const auto &tok : bannedTokens()) {
+        for (auto it = std::sregex_iterator(code.begin(), code.end(),
+                                            tok.re);
+             it != std::sregex_iterator(); ++it) {
+            out.push_back({rel,
+                           lineOf(code, static_cast<std::size_t>(
+                                            it->position())),
+                           "randomness",
+                           std::string(tok.what) +
+                               " is nondeterministic; route through "
+                               "src/util/random.h (Rng)"});
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Check 2: unordered-container iteration in order-sensitive modules.
+
+/**
+ * Collect the names of variables and members declared with an
+ * unordered container type.  Handles nested template arguments by
+ * balancing angle brackets, then takes the first identifier after the
+ * closing '>'.
+ */
+void
+collectUnorderedNames(const std::string &code,
+                      std::set<std::string> &names)
+{
+    static const std::regex decl(R"(\bunordered_(?:map|set)\s*<)");
+    for (auto it = std::sregex_iterator(code.begin(), code.end(), decl);
+         it != std::sregex_iterator(); ++it) {
+        std::size_t i = static_cast<std::size_t>(it->position()) +
+                        it->length();
+        int depth = 1;
+        while (i < code.size() && depth > 0) {
+            if (code[i] == '<')
+                depth++;
+            else if (code[i] == '>')
+                depth--;
+            i++;
+        }
+        while (i < code.size() &&
+               std::isspace(static_cast<unsigned char>(code[i])))
+            i++;
+        // Skip over '&', '*' (reference/pointer declarators).
+        while (i < code.size() && (code[i] == '&' || code[i] == '*'))
+            i++;
+        while (i < code.size() &&
+               std::isspace(static_cast<unsigned char>(code[i])))
+            i++;
+        std::size_t start = i;
+        while (i < code.size() &&
+               (std::isalnum(static_cast<unsigned char>(code[i])) ||
+                code[i] == '_'))
+            i++;
+        if (i > start)
+            names.insert(code.substr(start, i - start));
+    }
+}
+
+bool
+containsWord(const std::string &text, const std::string &word)
+{
+    std::size_t pos = 0;
+    auto isWordChar = [](char c) {
+        return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+    };
+    while ((pos = text.find(word, pos)) != std::string::npos) {
+        bool left_ok = pos == 0 || !isWordChar(text[pos - 1]);
+        std::size_t end = pos + word.size();
+        bool right_ok = end >= text.size() || !isWordChar(text[end]);
+        if (left_ok && right_ok)
+            return true;
+        pos = end;
+    }
+    return false;
+}
+
+void
+checkUnorderedIteration(const std::string &rel, const std::string &code,
+                        const std::set<std::string> &module_names,
+                        std::vector<Finding> &out)
+{
+    if (module_names.empty())
+        return;
+
+    // Range-based for: `for (decl : expr)` where expr mentions a name
+    // declared with an unordered type anywhere in this module.
+    static const std::regex range_for(R"(\bfor\s*\()");
+    for (auto it = std::sregex_iterator(code.begin(), code.end(),
+                                        range_for);
+         it != std::sregex_iterator(); ++it) {
+        std::size_t open = static_cast<std::size_t>(it->position()) +
+                           it->length() - 1;
+        int depth = 0;
+        std::size_t close = open;
+        while (close < code.size()) {
+            if (code[close] == '(')
+                depth++;
+            else if (code[close] == ')' && --depth == 0)
+                break;
+            close++;
+        }
+        if (close >= code.size())
+            continue;
+        std::string head = code.substr(open + 1, close - open - 1);
+        auto colon = head.find(':');
+        // Skip `::` (scope) occurrences when looking for the range ':'.
+        while (colon != std::string::npos && colon + 1 < head.size() &&
+               head[colon + 1] == ':')
+            colon = head.find(':', colon + 2);
+        if (colon == std::string::npos)
+            continue;
+        std::string range_expr = head.substr(colon + 1);
+        for (const auto &name : module_names) {
+            if (containsWord(range_expr, name)) {
+                out.push_back(
+                    {rel, lineOf(code, open), "unordered-iteration",
+                     "range-for over unordered container '" + name +
+                         "'; hash order feeds scheduling/emission "
+                         "here - use std::map/std::set"});
+                break;
+            }
+        }
+    }
+
+    // Iterator-style loops: `name.begin()` / `name.cbegin()`.
+    static const std::regex begin_call(R"((\w+)\s*\.\s*c?begin\s*\()");
+    for (auto it = std::sregex_iterator(code.begin(), code.end(),
+                                        begin_call);
+         it != std::sregex_iterator(); ++it) {
+        std::string name = (*it)[1].str();
+        if (module_names.count(name)) {
+            out.push_back(
+                {rel,
+                 lineOf(code, static_cast<std::size_t>(it->position())),
+                 "unordered-iteration",
+                 "iterator over unordered container '" + name +
+                     "'; hash order feeds scheduling/emission here - "
+                     "use std::map/std::set"});
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Check 3: header-guard naming.
+
+std::string
+expectedGuard(const fs::path &rel)
+{
+    std::string guard = "OCEANSTORE";
+    for (const auto &part : rel) {
+        std::string p = part.string();
+        if (p == rel.filename().string())
+            p = rel.stem().string();
+        guard += "_";
+        for (char c : p) {
+            guard += std::isalnum(static_cast<unsigned char>(c))
+                         ? static_cast<char>(std::toupper(
+                               static_cast<unsigned char>(c)))
+                         : '_';
+        }
+    }
+    return guard + "_H";
+}
+
+void
+checkHeaderGuard(const fs::path &rel, const std::string &code,
+                 std::vector<Finding> &out)
+{
+    std::string want = expectedGuard(rel);
+    static const std::regex ifndef(
+        R"(#\s*ifndef\s+([A-Za-z_][A-Za-z0-9_]*))");
+    std::smatch m;
+    if (!std::regex_search(code, m, ifndef)) {
+        out.push_back({rel.generic_string(), 1, "header-guard",
+                       "missing include guard; expected " + want});
+        return;
+    }
+    std::string got = m[1].str();
+    std::size_t line =
+        lineOf(code, static_cast<std::size_t>(m.position(1)));
+    if (got != want) {
+        out.push_back({rel.generic_string(), line, "header-guard",
+                       "guard '" + got + "' should be '" + want + "'"});
+        return;
+    }
+    std::regex define(R"(#\s*define\s+)" + want + R"(\b)");
+    if (!std::regex_search(code, define)) {
+        out.push_back({rel.generic_string(), line, "header-guard",
+                       "#ifndef " + want +
+                           " is not followed by a matching #define"});
+    }
+}
+
+// ---------------------------------------------------------------------
+// Driver.
+
+bool
+isSourceFile(const fs::path &p)
+{
+    auto ext = p.extension().string();
+    return ext == ".h" || ext == ".cc" || ext == ".cpp" ||
+           ext == ".hpp";
+}
+
+std::vector<Finding>
+lintTree(const fs::path &root)
+{
+    std::vector<Finding> findings;
+
+    // Gather files, sorted for stable output.
+    std::vector<fs::path> files;
+    for (const auto &entry : fs::recursive_directory_iterator(root)) {
+        if (entry.is_regular_file() && isSourceFile(entry.path()))
+            files.push_back(entry.path());
+    }
+    std::sort(files.begin(), files.end());
+
+    // Pass 1: per order-sensitive module (top-level dir under root),
+    // collect every unordered-declared name.  Headers declare the
+    // members that .cc files iterate, so the scope is the module, not
+    // the single file.
+    std::map<std::string, std::set<std::string>> module_names;
+    for (const auto &f : files) {
+        fs::path rel = fs::relative(f, root);
+        std::string module = rel.begin()->string();
+        if (!kOrderSensitiveDirs.count(module))
+            continue;
+        collectUnorderedNames(stripNonCode(readFile(f)),
+                              module_names[module]);
+    }
+
+    for (const auto &f : files) {
+        fs::path rel = fs::relative(f, root);
+        std::string rel_str = rel.generic_string();
+        std::string code = stripNonCode(readFile(f));
+
+        checkRandomness(rel_str, code, findings);
+
+        std::string module = rel.begin()->string();
+        if (kOrderSensitiveDirs.count(module)) {
+            checkUnorderedIteration(rel_str, code,
+                                    module_names[module], findings);
+        }
+        if (rel.extension() == ".h" || rel.extension() == ".hpp")
+            checkHeaderGuard(rel, code, findings);
+    }
+
+    std::sort(findings.begin(), findings.end(),
+              [](const Finding &a, const Finding &b) {
+                  if (a.file != b.file)
+                      return a.file < b.file;
+                  return a.line < b.line;
+              });
+    return findings;
+}
+
+// ---------------------------------------------------------------------
+// Self-test mode: every fixture line carrying `EXPECT-LINT: <rule>`
+// must produce a finding with that rule on that line, and no finding
+// may appear on an unmarked line.
+
+int
+selftest(const fs::path &root)
+{
+    auto findings = lintTree(root);
+
+    struct Marker
+    {
+        std::string file;
+        std::size_t line;
+        std::string rule;
+        bool hit = false;
+    };
+    std::vector<Marker> markers;
+
+    static const std::regex marker_re(
+        R"(EXPECT-LINT:\s*([a-z-]+))");
+    for (const auto &entry : fs::recursive_directory_iterator(root)) {
+        if (!entry.is_regular_file() || !isSourceFile(entry.path()))
+            continue;
+        fs::path rel = fs::relative(entry.path(), root);
+        std::istringstream in(readFile(entry.path()));
+        std::string line;
+        std::size_t lineno = 0;
+        while (std::getline(in, line)) {
+            lineno++;
+            std::smatch m;
+            if (std::regex_search(line, m, marker_re)) {
+                markers.push_back(
+                    {rel.generic_string(), lineno, m[1].str()});
+            }
+        }
+    }
+
+    int failures = 0;
+    for (const auto &f : findings) {
+        bool matched = false;
+        for (auto &mk : markers) {
+            if (mk.file == f.file && mk.line == f.line &&
+                mk.rule == f.rule) {
+                mk.hit = true;
+                matched = true;
+            }
+        }
+        if (!matched) {
+            std::printf("SELFTEST: unexpected finding %s:%zu [%s] %s\n",
+                        f.file.c_str(), f.line, f.rule.c_str(),
+                        f.message.c_str());
+            failures++;
+        }
+    }
+    for (const auto &mk : markers) {
+        if (!mk.hit) {
+            std::printf(
+                "SELFTEST: marker not triggered %s:%zu [%s]\n",
+                mk.file.c_str(), mk.line, mk.rule.c_str());
+            failures++;
+        }
+    }
+    std::printf("SELFTEST: %zu findings, %zu markers, %d failures\n",
+                findings.size(), markers.size(), failures);
+    return failures == 0 ? 0 : 1;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const char *root =
+        argc == 3 && std::string(argv[1]) == "--selftest" ? argv[2]
+        : argc == 2                                       ? argv[1]
+                                                          : nullptr;
+    if (root == nullptr) {
+        std::fprintf(stderr,
+                     "usage: %s <src-root> | --selftest <dir>\n",
+                     argv[0]);
+        return 2;
+    }
+    if (!fs::is_directory(root)) {
+        std::fprintf(stderr, "%s: not a directory: %s\n", argv[0],
+                     root);
+        return 2;
+    }
+    if (argc == 3)
+        return selftest(root);
+
+    auto findings = lintTree(root);
+    for (const auto &f : findings) {
+        std::printf("%s:%zu: [%s] %s\n", f.file.c_str(), f.line,
+                    f.rule.c_str(), f.message.c_str());
+    }
+    if (!findings.empty()) {
+        std::printf("%zu lint finding(s)\n", findings.size());
+        return 1;
+    }
+    return 0;
+}

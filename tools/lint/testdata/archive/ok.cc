@@ -1,0 +1,14 @@
+/* Fixture: a module outside the order-sensitive set (sim,
+ * consistency, plaxton, bloom) may iterate unordered containers;
+ * nothing here is a finding. */
+#include <unordered_map>
+
+int
+sumAll(const std::unordered_map<int, int> &m)
+{
+    std::unordered_map<int, int> local = m;
+    int sum = 0;
+    for (const auto &kv : local)
+        sum += kv.second;
+    return sum;
+}

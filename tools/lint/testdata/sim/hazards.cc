@@ -1,0 +1,46 @@
+/* Fixture: every determinism hazard the lint must catch, one per
+ * marked line.  Lines without an EXPECT-LINT marker must stay
+ * clean. */
+#include "hazards.h"
+
+#include <cstdlib>
+
+int
+sumTable(const Hazards &h)
+{
+    int sum = 0;
+    for (const auto &kv : h.table_) // EXPECT-LINT: unordered-iteration
+        sum += kv.second;
+    return sum;
+}
+
+unsigned long
+firstPeer(const Hazards &h)
+{
+    for (auto it = h.peers_.begin(); // EXPECT-LINT: unordered-iteration
+         it != h.peers_.end(); ++it)
+        return *it;
+    return 0;
+}
+
+int
+badEntropy()
+{
+    int a = rand(); // EXPECT-LINT: randomness
+    std::random_device rd; // EXPECT-LINT: randomness
+    std::mt19937 gen(rd()); // EXPECT-LINT: randomness
+    long t = time(nullptr); // EXPECT-LINT: randomness
+    auto now = std::chrono::system_clock::now(); // EXPECT-LINT: randomness
+    (void)now;
+    (void)gen;
+    return a + static_cast<int>(t);
+}
+
+int
+cleanUses()
+{
+    // Banned tokens inside comments or strings are not findings:
+    // rand(), time(), system_clock.
+    const char *msg = "do not call rand() or time() here";
+    return msg[0];
+}

@@ -1,0 +1,19 @@
+/* Fixture: declares unordered members that hazards.cc iterates. The
+ * guard itself is correct for this fixture tree, so the only findings
+ * here come from the declarations being iterated elsewhere. */
+#ifndef OCEANSTORE_SIM_HAZARDS_H
+#define OCEANSTORE_SIM_HAZARDS_H
+
+#include <unordered_map>
+#include <unordered_set>
+
+struct Hazards
+{
+    std::unordered_map<int, int> table_;
+    std::unordered_set<unsigned long> peers_;
+    // Lookup-only use of an unordered container is fine; only
+    // iteration order is a determinism hazard.
+    bool has(int k) const { return table_.count(k) > 0; }
+};
+
+#endif // OCEANSTORE_SIM_HAZARDS_H

@@ -1,0 +1,7 @@
+/* Fixture: the guard does not follow OCEANSTORE_<DIR>_<FILE>_H. */
+#ifndef WRONG_GUARD_H // EXPECT-LINT: header-guard
+#define WRONG_GUARD_H
+
+int unguarded();
+
+#endif // WRONG_GUARD_H
