@@ -18,11 +18,12 @@
 #include <cstdio>
 
 #include "erasure/availability.h"
+#include "runner.h"
 
 using namespace oceanstore;
 
-int
-main()
+static int
+reportMain()
 {
     std::printf("=== Section 4.5: deep archival reliability ===\n\n");
 
@@ -89,4 +90,34 @@ main()
                 "the code rate -- the law of\n   large numbers "
                 "argument of Section 4.5)\n");
     return 0;
+}
+
+/** Compute kernel: closed-form availability + Monte-Carlo check for
+ *  the paper's 16-fragment row. */
+static void
+availabilityKernel(oceanstore::bench::BenchContext &ctx)
+{
+    const std::uint64_t machines = 1'000'000;
+    const std::uint64_t down = 100'000;
+    const int trials = ctx.smoke() ? 2000 : 200000;
+
+    Rng rng(0xa11ab1e);
+    ctx.beginMeasured();
+    double p = documentAvailability(machines, down, 16, 8);
+    double mc = simulateAvailability(machines, down, 16, 8, trials,
+                                     rng);
+    ctx.endMeasured();
+
+    ctx.metric("nines_16frag", "nines", nines(p));
+    ctx.metric("monte_carlo_p", "p", mc);
+}
+
+int
+main(int argc, char **argv)
+{
+    std::vector<oceanstore::bench::BenchCase> cases{
+        {"availability", availabilityKernel}};
+    return oceanstore::bench::runBenchMain(
+        argc, argv, "bench_archival_reliability", cases,
+        [](int, char **) { return reportMain(); });
 }

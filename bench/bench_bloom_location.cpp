@@ -17,13 +17,14 @@
 #include <vector>
 
 #include "bloom/location_service.h"
+#include "runner.h"
 #include "sim/topology.h"
 #include "util/stats.h"
 
 using namespace oceanstore;
 
-int
-main()
+static int
+reportMain()
 {
     std::printf("=== Figure 2 / Sec 5: probabilistic location via "
                 "attenuated Bloom filters ===\n\n");
@@ -146,4 +147,48 @@ main()
                     storage.mean() / 1024.0);
     }
     return 0;
+}
+
+/** Throughput kernel: add/query/remove cycles against one D=4
+ *  service; topology and filter construction excluded. */
+static void
+queryLoop(bench::BenchContext &ctx)
+{
+    Rng rng(0xb100f);
+    const std::size_t n = ctx.smoke() ? 64 : 256;
+    auto topo = makeGeometricTopology(n, 4, rng);
+    BloomLocationConfig cfg;
+    cfg.depth = 4;
+    cfg.bits = 4096;
+    cfg.ttl = 16;
+    BloomLocationService svc(topo, cfg);
+
+    const int trials = ctx.smoke() ? 20 : 400;
+    unsigned found = 0;
+    Accumulator hops;
+    ctx.beginMeasured();
+    for (int t = 0; t < trials; t++) {
+        Guid g = Guid::random(rng);
+        NodeId holder = static_cast<NodeId>(rng.below(n));
+        svc.addObject(holder, g);
+        auto res = svc.query(static_cast<NodeId>(rng.below(n)), g);
+        if (res.found) {
+            found++;
+            hops.add(res.hops);
+        }
+        svc.removeObject(holder, g);
+    }
+    ctx.endMeasured();
+
+    ctx.metric("hit_pct", "%", 100.0 * found / trials);
+    ctx.metric("mean_hops", "hops", hops.count() ? hops.mean() : 0);
+}
+
+int
+main(int argc, char **argv)
+{
+    std::vector<bench::BenchCase> cases{{"query", queryLoop}};
+    return bench::runBenchMain(argc, argv, "bench_bloom_location",
+                               cases,
+                               [](int, char **) { return reportMain(); });
 }

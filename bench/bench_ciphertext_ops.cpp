@@ -17,6 +17,7 @@
 #include "consistency/data_object.h"
 #include "core/object_handle.h"
 #include "crypto/keys.h"
+#include "runner.h"
 
 using namespace oceanstore;
 
@@ -197,13 +198,53 @@ printInsertTable()
                 "O(object))\n");
 }
 
+/** Compute kernel: server-side predicate evaluation rate. */
+void
+predicateLoop(bench::BenchContext &ctx)
+{
+    const DataObject &obj = baseObject(64);
+    CompareBlock cb = handle().expectBlock(5, 5, Bytes(kBlock, 0x41));
+    const int iters = ctx.smoke() ? 1000 : 200000;
+    volatile bool sink = false;
+    ctx.beginMeasured();
+    for (int i = 0; i < iters; i++)
+        sink = obj.evaluate(cb);
+    ctx.endMeasured();
+    (void)sink;
+    ctx.addEvents(static_cast<std::uint64_t>(iters));
+}
+
+/** Compute kernel: client-side position-dependent block encryption. */
+void
+encryptLoop(bench::BenchContext &ctx)
+{
+    Bytes plain(4096, 0x50);
+    const int iters = ctx.smoke() ? 100 : 20000;
+    std::uint64_t pos = 0;
+    std::size_t total = 0;
+    ctx.beginMeasured();
+    for (int i = 0; i < iters; i++)
+        total += handle().encryptBlock(pos++, plain).size();
+    ctx.endMeasured();
+    ctx.addEvents(static_cast<std::uint64_t>(iters));
+    ctx.metric("cipher_bytes", "B", static_cast<double>(total));
+}
+
 } // namespace
 
 int
 main(int argc, char **argv)
 {
-    benchmark::Initialize(&argc, argv);
-    benchmark::RunSpecifiedBenchmarks();
-    printInsertTable();
-    return 0;
+    std::vector<bench::BenchCase> cases{
+        {"compare_block", predicateLoop},
+        {"encrypt_block", encryptLoop},
+    };
+    return bench::runBenchMain(
+        argc, argv, "bench_ciphertext_ops", cases,
+        [](int argc2, char **argv2) {
+            benchmark::Initialize(&argc2, argv2);
+            benchmark::RunSpecifiedBenchmarks();
+            printInsertTable();
+            return 0;
+        });
 }

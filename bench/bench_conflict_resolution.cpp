@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "core/universe.h"
+#include "runner.h"
 
 using namespace oceanstore;
 
@@ -100,10 +101,62 @@ runWorkload(unsigned writers, bool with_merge_clause, int total_intents)
     return stats;
 }
 
+/** Throughput kernel: the merge-clause hot-spot workload with 4
+ *  writers; Universe construction excluded. */
+void
+mergeCommitLoop(bench::BenchContext &ctx)
+{
+    UniverseConfig cfg;
+    cfg.numServers = 16;
+    cfg.archiveOnCommit = false;
+    Universe uni(cfg);
+    KeyPair owner = uni.makeUser();
+    ObjectHandle obj = uni.createObject(owner, "hot-spot");
+
+    const int intents = ctx.smoke() ? 4 : 24;
+    unsigned aborts = 0, submitted = 0;
+    std::uint64_t ts = 0;
+    int landed = 0, rounds = 0;
+
+    ctx.beginMeasured();
+    std::uint64_t ev0 = uni.sim().eventsExecuted();
+    while (landed < intents && rounds < 500) {
+        rounds++;
+        ReadResult rr = uni.readSync(0, obj.guid());
+        VersionNum seen = rr.found ? rr.version : 0;
+        unsigned batch = std::min<unsigned>(
+            4, static_cast<unsigned>(intents - landed));
+        for (unsigned w = 0; w < batch; w++) {
+            Bytes cipher = obj.encryptBlock(
+                (seen + 1) * (1ull << 20) + w,
+                toBytes("intent-" + std::to_string(landed + w)));
+            UpdateClause fast;
+            fast.predicates.push_back(CompareVersion{seen});
+            fast.actions.push_back(AppendBlock{cipher});
+            UpdateClause merge;
+            merge.actions.push_back(AppendBlock{cipher});
+            Update u = obj.makeUpdate({fast, merge}, {++ts, w});
+            submitted++;
+            WriteResult wr = uni.writeSync(u);
+            if (wr.completed && wr.committed)
+                landed++;
+            else
+                aborts++;
+        }
+        uni.advance(5.0);
+    }
+    ctx.addEvents(uni.sim().eventsExecuted() - ev0);
+    ctx.endMeasured();
+
+    ctx.metric("aborts_per_100", "aborts",
+               submitted ? 100.0 * aborts / submitted : 0);
+    ctx.metric("rounds", "rounds", rounds);
+}
+
 } // namespace
 
-int
-main()
+static int
+reportMain()
 {
     std::printf("=== ablation: merge clauses vs detection-only "
                 "aborts ===\n\n");
@@ -132,4 +185,14 @@ main()
                 "conflict resolution over plain optimistic "
                 "concurrency.\n");
     return 0;
+}
+
+int
+main(int argc, char **argv)
+{
+    std::vector<bench::BenchCase> cases{
+        {"merge_commit", mergeCommitLoop}};
+    return bench::runBenchMain(argc, argv, "bench_conflict_resolution",
+                               cases,
+                               [](int, char **) { return reportMain(); });
 }

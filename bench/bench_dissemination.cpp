@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "consistency/secondary.h"
+#include "runner.h"
 
 using namespace oceanstore;
 
@@ -26,6 +27,7 @@ struct Result
 {
     double seconds = -1.0;
     double kilobytes = 0.0;
+    std::uint64_t events = 0;
 };
 
 Result
@@ -75,13 +77,14 @@ propagate(std::size_t replicas, bool tree_push, bool invalidate,
         sim.runUntil(30.0); // fixed window for byte accounting
     tier.stopAntiEntropy();
     out.kilobytes = static_cast<double>(net.totalBytes()) / 1024.0;
+    out.events = sim.eventsExecuted();
     return out;
 }
 
 } // namespace
 
-int
-main()
+static int
+reportMain()
 {
     std::printf("=== A1: dissemination tree vs pure epidemic ===\n\n");
     std::printf("time and bytes until ALL secondary replicas hold a "
@@ -121,4 +124,84 @@ main()
                 "leaves of the network where bandwidth is "
                 "limited\")\n");
     return 0;
+}
+
+namespace {
+
+/**
+ * Event-loop throughput kernel: push @p updates committed versions
+ * through a @p replicas-wide tier (tree push or epidemic-only) with
+ * anti-entropy running, and measure only the event-processing region
+ * (tier construction excluded).
+ */
+void
+pushMany(bench::BenchContext &ctx, std::size_t replicas,
+         int updates, bool tree_push, std::size_t update_bytes)
+{
+    Simulator sim;
+    NetworkConfig ncfg;
+    ncfg.jitter = 0.05;
+    Network net(sim, ncfg);
+
+    Rng rng(0xd15e + replicas);
+    std::vector<std::pair<double, double>> pos;
+    for (std::size_t i = 0; i < replicas; i++)
+        pos.emplace_back(rng.uniform(), rng.uniform());
+
+    SecondaryConfig cfg;
+    cfg.treePush = tree_push;
+    cfg.antiEntropyPeriod = 0.5;
+    SecondaryTier tier(net, pos, cfg);
+    tier.startAntiEntropy();
+
+    Guid obj = Guid::hashOf("bench-object");
+    double done_s = -1.0;
+
+    ctx.beginMeasured();
+    std::uint64_t ev0 = sim.eventsExecuted();
+    for (int v = 1; v <= updates; v++) {
+        Update u;
+        u.objectGuid = obj;
+        UpdateClause clause;
+        clause.actions.push_back(AppendBlock{Bytes(update_bytes, 0x77)});
+        u.clauses.push_back(clause);
+        u.timestamp = {static_cast<std::uint64_t>(v), 1};
+        tier.injectCommitted(u, static_cast<VersionNum>(v));
+        double deadline = sim.now() + (tree_push ? 30.0 : 120.0);
+        while (sim.now() < deadline &&
+               !tier.allCommitted(obj, static_cast<VersionNum>(v)))
+            sim.runUntil(sim.now() + 0.25);
+    }
+    if (tier.allCommitted(obj, static_cast<VersionNum>(updates)))
+        done_s = sim.now();
+    ctx.addEvents(sim.eventsExecuted() - ev0);
+    ctx.endMeasured();
+    tier.stopAntiEntropy();
+
+    ctx.metric("all_committed_s", "s", done_s);
+    ctx.metric("bytes_kb", "kB",
+               static_cast<double>(net.totalBytes()) / 1024.0);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using bench::BenchCase;
+    using bench::BenchContext;
+    std::vector<BenchCase> cases{
+        {"tree_push",
+         [](BenchContext &ctx) {
+             pushMany(ctx, ctx.smoke() ? 16 : 128,
+                      ctx.smoke() ? 2 : 40, true, 4096);
+         }},
+        {"epidemic",
+         [](BenchContext &ctx) {
+             pushMany(ctx, ctx.smoke() ? 8 : 64,
+                      ctx.smoke() ? 2 : 10, false, 4096);
+         }},
+    };
+    return bench::runBenchMain(argc, argv, "bench_dissemination", cases,
+                               [](int, char **) { return reportMain(); });
 }

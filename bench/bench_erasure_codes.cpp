@@ -17,6 +17,7 @@
 
 #include "erasure/reed_solomon.h"
 #include "erasure/tornado.h"
+#include "runner.h"
 #include "util/random.h"
 
 using namespace oceanstore;
@@ -151,13 +152,61 @@ printOverheadTable()
                 "reconstruct the information\")\n");
 }
 
+/** Compute kernel: rate-1/2 Reed-Solomon encode at 64 kB. */
+void
+rsEncodeLoop(bench::BenchContext &ctx)
+{
+    ReedSolomonCode code(16, 32);
+    const std::size_t size = 64 << 10;
+    Bytes data = randomData(size);
+    const int iters = ctx.smoke() ? 2 : 40;
+    std::size_t total = 0;
+    ctx.beginMeasured();
+    for (int i = 0; i < iters; i++)
+        total += code.encode(data).size();
+    ctx.endMeasured();
+    ctx.addEvents(static_cast<std::uint64_t>(iters));
+    ctx.metric("encoded_mb", "MB",
+               static_cast<double>(iters) * size / (1 << 20));
+    (void)total;
+}
+
+/** Compute kernel: worst-case Reed-Solomon decode (parity only). */
+void
+rsDecodeLoop(bench::BenchContext &ctx)
+{
+    ReedSolomonCode code(16, 32);
+    const std::size_t size = 64 << 10;
+    Bytes data = randomData(size);
+    auto frags = code.encode(data);
+    std::vector<std::optional<Bytes>> slots(32);
+    for (unsigned i = 16; i < 32; i++)
+        slots[i] = frags[i];
+    const int iters = ctx.smoke() ? 2 : 40;
+    std::size_t ok = 0;
+    ctx.beginMeasured();
+    for (int i = 0; i < iters; i++)
+        ok += code.decode(slots, data.size()).has_value();
+    ctx.endMeasured();
+    ctx.addEvents(static_cast<std::uint64_t>(iters));
+    ctx.metric("decode_ok", "count", static_cast<double>(ok));
+}
+
 } // namespace
 
 int
 main(int argc, char **argv)
 {
-    benchmark::Initialize(&argc, argv);
-    benchmark::RunSpecifiedBenchmarks();
-    printOverheadTable();
-    return 0;
+    std::vector<bench::BenchCase> cases{
+        {"rs_encode", rsEncodeLoop},
+        {"rs_decode_worst", rsDecodeLoop},
+    };
+    return bench::runBenchMain(
+        argc, argv, "bench_erasure_codes", cases,
+        [](int argc2, char **argv2) {
+            benchmark::Initialize(&argc2, argv2);
+            benchmark::RunSpecifiedBenchmarks();
+            printOverheadTable();
+            return 0;
+        });
 }

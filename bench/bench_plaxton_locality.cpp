@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "plaxton/mesh.h"
+#include "runner.h"
 #include "sim/topology.h"
 #include "util/stats.h"
 
@@ -64,8 +65,8 @@ struct World
 
 } // namespace
 
-int
-main()
+static int
+reportMain()
 {
     std::printf("=== Figure 3 / Sec 4.3.3: the global location mesh "
                 "===\n\n");
@@ -202,4 +203,46 @@ main()
                 "single point of failure;\n   repair restores "
                 "locate success)\n");
     return 0;
+}
+
+namespace {
+
+/** Throughput kernel: publish/locate/unpublish round-trips on one
+ *  mesh, mesh construction excluded from the measured region. */
+void
+locateLoop(bench::BenchContext &ctx)
+{
+    World w(ctx.smoke() ? 64 : 256, 1, 0x9a9a);
+    const int trials = ctx.smoke() ? 10 : 300;
+
+    Accumulator hops, lat;
+    ctx.beginMeasured();
+    std::uint64_t ev0 = w.sim.eventsExecuted();
+    for (int t = 0; t < trials; t++) {
+        Guid g = Guid::random(w.rng);
+        NodeId storer = w.rng.pick(w.members);
+        w.mesh->publish(g, storer);
+        auto res = w.mesh->locate(w.rng.pick(w.members), g);
+        if (res.found) {
+            hops.add(res.hops);
+            lat.add(res.latency);
+        }
+        w.mesh->unpublish(g, storer);
+    }
+    ctx.addEvents(w.sim.eventsExecuted() - ev0);
+    ctx.endMeasured();
+
+    ctx.metric("locate_hops", "hops", hops.count() ? hops.mean() : 0);
+    ctx.metric("locate_ms", "ms", lat.count() ? lat.mean() * 1e3 : 0);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::vector<bench::BenchCase> cases{{"locate", locateLoop}};
+    return bench::runBenchMain(argc, argv, "bench_plaxton_locality",
+                               cases,
+                               [](int, char **) { return reportMain(); });
 }

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "introspect/prefetch.h"
+#include "runner.h"
 #include "util/random.h"
 #include "util/stats.h"
 
@@ -90,10 +91,23 @@ hitRate(unsigned order, double noise, std::uint64_t seed)
     return total ? 100.0 * hits / total : 0.0;
 }
 
+/** Compute kernel: order-2 train+predict pass at 20% noise. */
+void
+trainPredict(bench::BenchContext &ctx)
+{
+    const int seeds = ctx.smoke() ? 1 : 5;
+    Accumulator hit;
+    ctx.beginMeasured();
+    for (int s = 1; s <= seeds; s++)
+        hit.add(hitRate(2, 0.2, static_cast<std::uint64_t>(s)));
+    ctx.endMeasured();
+    ctx.metric("order2_hit_pct", "%", hit.mean());
+}
+
 } // namespace
 
-int
-main()
+static int
+reportMain()
 {
     std::printf("=== Section 5: prefetching captures high-order "
                 "correlations under noise ===\n\n");
@@ -124,4 +138,13 @@ main()
                 "Section 5 claim of capturing high-order\n  "
                 "correlations \"even in the presence of noise\".\n");
     return 0;
+}
+
+int
+main(int argc, char **argv)
+{
+    std::vector<bench::BenchCase> cases{
+        {"train_predict", trainPredict}};
+    return bench::runBenchMain(argc, argv, "bench_prefetch", cases,
+                               [](int, char **) { return reportMain(); });
 }

@@ -18,11 +18,74 @@
 #include <cstdio>
 
 #include "core/universe.h"
+#include "runner.h"
 
 using namespace oceanstore;
 
-int
-main()
+namespace {
+
+struct PathRun
+{
+    Accumulator commit;
+    Accumulator propagate;
+    std::uint64_t events = 0;
+    bool ok = true;
+};
+
+/** Drive @p updates through the full client->agreement->dissemination
+ *  path on a ~100 ms WAN and collect both latency distributions.
+ *  When @p ctx is given, only the update-path region (not Universe
+ *  construction/key generation) counts toward throughput. */
+PathRun
+runUpdatePath(std::size_t servers, int updates,
+              bench::BenchContext *ctx = nullptr)
+{
+    UniverseConfig cfg;
+    cfg.numServers = servers;
+    cfg.archiveOnCommit = false;
+    cfg.network.baseLatency = 0.050;
+    cfg.network.latencyPerUnit = 0.100;
+    cfg.network.jitter = 0.10;
+    Universe universe(cfg);
+
+    KeyPair user = universe.makeUser();
+    ObjectHandle doc = universe.createObject(user, "bench/doc");
+
+    PathRun run;
+    std::uint64_t ts = 0;
+    std::uint64_t ev0 = universe.sim().eventsExecuted();
+    if (ctx)
+        ctx->beginMeasured();
+    for (int i = 0; i < updates; i++) {
+        double start = universe.sim().now();
+        WriteResult wr = universe.writeSync(doc.makeAppendUpdate(
+            Bytes(512, static_cast<std::uint8_t>(i)),
+            static_cast<VersionNum>(i), {++ts, 1}));
+        if (!wr.completed || !wr.committed) {
+            run.ok = false;
+            return run;
+        }
+        run.commit.add(wr.latency);
+
+        VersionNum v = wr.version;
+        universe.runUntil(
+            [&]() {
+                return universe.secondaryTier().allCommitted(doc.guid(),
+                                                             v);
+            },
+            universe.sim().now() + 120.0);
+        run.propagate.add(universe.sim().now() - start);
+    }
+    if (ctx)
+        ctx->endMeasured();
+    run.events = universe.sim().eventsExecuted() - ev0;
+    return run;
+}
+
+} // namespace
+
+static int
+reportMain()
 {
     std::printf("=== Figure 5: the path of an update ===\n\n");
 
@@ -97,4 +160,25 @@ main()
                     (unsigned long long)bytes);
 
     return under_second ? 0 : 1;
+}
+
+int
+main(int argc, char **argv)
+{
+    using bench::BenchCase;
+    using bench::BenchContext;
+    std::vector<BenchCase> cases{
+        {"update_path",
+         [](BenchContext &ctx) {
+             std::size_t servers = ctx.smoke() ? 10 : 64;
+             int updates = ctx.smoke() ? 2 : 15;
+             PathRun run = runUpdatePath(servers, updates, &ctx);
+             ctx.addEvents(run.events);
+             ctx.metric("commit_ms", "ms", run.commit.mean() * 1e3);
+             ctx.metric("propagate_ms", "ms",
+                        run.propagate.mean() * 1e3);
+         }},
+    };
+    return bench::runBenchMain(argc, argv, "bench_update_latency", cases,
+                               [](int, char **) { return reportMain(); });
 }

@@ -1,0 +1,310 @@
+#include "runner.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+
+#include "util/stats.h"
+
+namespace oceanstore {
+namespace bench {
+
+void
+BenchContext::metric(const std::string &name, const std::string &unit,
+                     double value)
+{
+    metrics_.emplace_back(name, std::make_pair(unit, value));
+}
+
+void
+BenchContext::beginMeasured()
+{
+    if (inRegion_)
+        return;
+    inRegion_ = true;
+    regionStart_ = std::chrono::steady_clock::now();
+}
+
+void
+BenchContext::endMeasured()
+{
+    if (!inRegion_)
+        return;
+    inRegion_ = false;
+    measured_ += std::chrono::duration<double>(
+                     std::chrono::steady_clock::now() - regionStart_)
+                     .count();
+}
+
+RunnerOptions
+parseRunnerArgs(int argc, char **argv, std::string *error_out)
+{
+    RunnerOptions opt;
+    auto fail = [&](const std::string &msg) {
+        if (error_out)
+            *error_out = msg;
+    };
+    for (int i = 1; i < argc; i++) {
+        std::string a = argv[i];
+        auto next = [&](const char *flag) -> const char * {
+            if (i + 1 >= argc) {
+                fail(std::string(flag) + " requires an argument");
+                return nullptr;
+            }
+            return argv[++i];
+        };
+        if (a == "--bench") {
+            opt.benchMode = true;
+        } else if (a == "--smoke") {
+            opt.benchMode = true;
+            opt.smoke = true;
+            opt.repeats = 1;
+            opt.warmup = 0;
+        } else if (a == "--list") {
+            opt.benchMode = true;
+            opt.list = true;
+        } else if (a == "--json") {
+            if (const char *v = next("--json")) {
+                opt.benchMode = true;
+                opt.jsonPath = v;
+            }
+        } else if (a == "--filter") {
+            if (const char *v = next("--filter")) {
+                opt.benchMode = true;
+                opt.filter = v;
+            }
+        } else if (a == "--repeats") {
+            if (const char *v = next("--repeats")) {
+                opt.benchMode = true;
+                opt.repeats = std::max(1, std::atoi(v));
+            }
+        } else if (a == "--warmup") {
+            if (const char *v = next("--warmup")) {
+                opt.benchMode = true;
+                opt.warmup = std::max(0, std::atoi(v));
+            }
+        }
+        // Anything else is left for the legacy main (e.g.
+        // google-benchmark flags).
+    }
+    return opt;
+}
+
+namespace {
+
+/** Escape a string for inclusion in a JSON document. */
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        case '\t': out += "\\t"; break;
+        default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+std::string
+jsonNumber(double v)
+{
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.6g", v);
+    return buf;
+}
+
+MetricStats
+aggregate(const std::string &unit, std::vector<double> samples)
+{
+    MetricStats st;
+    st.unit = unit;
+    st.repeats = samples.size();
+    if (samples.empty())
+        return st;
+    Accumulator acc;
+    for (double s : samples)
+        acc.add(s);
+    st.mean = acc.mean();
+    st.min = acc.min();
+    st.max = acc.max();
+    st.p50 = acc.percentile(50);
+    st.p95 = acc.percentile(95);
+    return st;
+}
+
+} // namespace
+
+class Runner
+{
+  public:
+    Runner(std::string suite, RunnerOptions opt)
+        : suite_(std::move(suite)), opt_(std::move(opt))
+    {
+    }
+
+    int
+    run(const std::vector<BenchCase> &cases)
+    {
+        for (const BenchCase &c : cases) {
+            if (!opt_.filter.empty() &&
+                c.name.find(opt_.filter) == std::string::npos)
+                continue;
+            if (opt_.list) {
+                std::printf("%s\n", c.name.c_str());
+                continue;
+            }
+            runCase(c);
+        }
+        if (opt_.list)
+            return 0;
+        if (!opt_.jsonPath.empty() && !writeJson())
+            return 1;
+        return 0;
+    }
+
+  private:
+    /** metric name -> (unit, per-repeat samples). */
+    using CaseSamples =
+        std::map<std::string, std::pair<std::string, std::vector<double>>>;
+
+    void
+    runCase(const BenchCase &c)
+    {
+        for (int w = 0; w < opt_.warmup; w++) {
+            BenchContext ctx;
+            ctx.smoke_ = opt_.smoke;
+            c.fn(ctx);
+        }
+        CaseSamples samples;
+        for (int r = 0; r < opt_.repeats; r++) {
+            BenchContext ctx;
+            ctx.smoke_ = opt_.smoke;
+            auto t0 = std::chrono::steady_clock::now();
+            c.fn(ctx);
+            auto t1 = std::chrono::steady_clock::now();
+            double wall =
+                std::chrono::duration<double>(t1 - t0).count();
+            record(samples, "wall_ms", "ms", wall * 1e3);
+            double denom = ctx.measured_ > 0 ? ctx.measured_ : wall;
+            if (ctx.events_ > 0 && denom > 0) {
+                record(samples, "events_per_sec", "1/s",
+                       static_cast<double>(ctx.events_) / denom);
+            }
+            for (const auto &[name, us] : ctx.metrics_)
+                record(samples, name, us.first, us.second);
+        }
+        auto &stats = results_[c.name];
+        for (auto &[name, us] : samples)
+            stats[name] = aggregate(us.first, std::move(us.second));
+        printCase(c.name, stats);
+    }
+
+    static void
+    record(CaseSamples &samples, const std::string &name,
+           const std::string &unit, double value)
+    {
+        auto &entry = samples[name];
+        entry.first = unit;
+        entry.second.push_back(value);
+    }
+
+    void
+    printCase(const std::string &name,
+              const std::map<std::string, MetricStats> &stats) const
+    {
+        std::printf("%s/%s:\n", suite_.c_str(), name.c_str());
+        for (const auto &[metric, st] : stats) {
+            std::printf("  %-24s p50 %12.4g   p95 %12.4g   "
+                        "mean %12.4g %s  (%zu repeats)\n",
+                        metric.c_str(), st.p50, st.p95, st.mean,
+                        st.unit.c_str(), st.repeats);
+        }
+    }
+
+    bool
+    writeJson() const
+    {
+        std::ofstream out(opt_.jsonPath);
+        if (!out) {
+            std::fprintf(stderr, "runner: cannot write %s\n",
+                         opt_.jsonPath.c_str());
+            return false;
+        }
+        out << "{\n";
+        out << "  \"schema\": \"oceanstore-bench-v1\",\n";
+        out << "  \"bench\": \"" << jsonEscape(suite_) << "\",\n";
+        out << "  \"smoke\": " << (opt_.smoke ? "true" : "false")
+            << ",\n";
+        out << "  \"repeats\": " << opt_.repeats << ",\n";
+        out << "  \"warmup\": " << opt_.warmup << ",\n";
+        out << "  \"cases\": {\n";
+        bool first_case = true;
+        for (const auto &[name, stats] : results_) {
+            if (!first_case)
+                out << ",\n";
+            first_case = false;
+            out << "    \"" << jsonEscape(name)
+                << "\": {\"metrics\": {\n";
+            bool first_metric = true;
+            for (const auto &[metric, st] : stats) {
+                if (!first_metric)
+                    out << ",\n";
+                first_metric = false;
+                out << "      \"" << jsonEscape(metric) << "\": {"
+                    << "\"unit\": \"" << jsonEscape(st.unit) << "\", "
+                    << "\"repeats\": " << st.repeats << ", "
+                    << "\"mean\": " << jsonNumber(st.mean) << ", "
+                    << "\"min\": " << jsonNumber(st.min) << ", "
+                    << "\"max\": " << jsonNumber(st.max) << ", "
+                    << "\"p50\": " << jsonNumber(st.p50) << ", "
+                    << "\"p95\": " << jsonNumber(st.p95) << "}";
+            }
+            out << "\n    }}";
+        }
+        out << "\n  }\n}\n";
+        return out.good();
+    }
+
+    std::string suite_;
+    RunnerOptions opt_;
+    /** case -> metric -> stats, in registration-independent order. */
+    std::map<std::string, std::map<std::string, MetricStats>> results_;
+};
+
+int
+runBenchMain(int argc, char **argv, const std::string &suite,
+             const std::vector<BenchCase> &cases,
+             const std::function<int(int, char **)> &legacy)
+{
+    std::string error;
+    RunnerOptions opt = parseRunnerArgs(argc, argv, &error);
+    if (!error.empty()) {
+        std::fprintf(stderr, "%s: %s\n", suite.c_str(), error.c_str());
+        return 2;
+    }
+    if (!opt.benchMode) {
+        if (legacy)
+            return legacy(argc, argv);
+        opt.benchMode = true; // no legacy main: default to bench mode
+    }
+    Runner runner(suite, opt);
+    return runner.run(cases);
+}
+
+} // namespace bench
+} // namespace oceanstore

@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Shared benchmark harness.
+ *
+ * Every bench_* binary registers one or more named cases with
+ * runBenchMain().  The runner gives all of them the same
+ * warmup/repeat/percentile logic and a machine-readable JSON output
+ * (schema "oceanstore-bench-v1") that scripts/bench.sh aggregates
+ * into BENCH_oceanstore.json, so the repo accumulates a performance
+ * trajectory across PRs instead of eleven incomparable stdout tables.
+ *
+ * Modes (mutually composable flags):
+ *   (no args)      legacy report: the bench's original stdout tables
+ *   --bench        run registered cases, print a human summary
+ *   --json PATH    run cases, write the JSON document to PATH
+ *   --smoke        tiny configs, 1 repeat, 0 warmup (ctest smoke gate)
+ *   --repeats N    measured repetitions per case (default 5)
+ *   --warmup N     discarded warmup repetitions per case (default 1)
+ *   --filter SUB   only run cases whose name contains SUB
+ *   --list         print case names and exit
+ */
+
+#ifndef OCEANSTORE_BENCH_RUNNER_H
+#define OCEANSTORE_BENCH_RUNNER_H
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace oceanstore {
+namespace bench {
+
+/**
+ * Per-repeat recording surface handed to each case body.
+ *
+ * The runner measures wall time automatically; a case additionally
+ * calls addEvents() with Simulator::eventsExecuted() deltas so the
+ * runner can derive simulator event-loop throughput, and metric() for
+ * domain measurements (latencies, bytes, hit rates, ...).
+ */
+class BenchContext
+{
+  public:
+    /** True when running under --smoke: use the smallest config. */
+    bool smoke() const { return smoke_; }
+
+    /** Record a domain metric sample for this repeat. */
+    void metric(const std::string &name, const std::string &unit,
+                double value);
+
+    /**
+     * Count simulator events executed during this repeat; the runner
+     * derives an "events_per_sec" metric from the total and the
+     * measured wall time.
+     */
+    void addEvents(std::uint64_t n) { events_ += n; }
+
+    /**
+     * Mark the start/end of the measured region.  Setup work (tier
+     * construction, key generation) outside the region is excluded
+     * from the throughput denominator; wall_ms still covers the whole
+     * repeat.  Multiple begin/end pairs accumulate.  Without any
+     * region, the full repeat wall time is used.
+     */
+    void beginMeasured();
+    void endMeasured();
+
+  private:
+    friend class Runner;
+    bool smoke_ = false;
+    std::uint64_t events_ = 0;
+    double measured_ = 0.0;
+    bool inRegion_ = false;
+    std::chrono::steady_clock::time_point regionStart_;
+    std::vector<std::pair<std::string, std::pair<std::string, double>>>
+        metrics_;
+};
+
+/** One registered benchmark case. */
+struct BenchCase
+{
+    std::string name;
+    std::function<void(BenchContext &)> fn;
+};
+
+/** Aggregated statistics for one metric across repeats. */
+struct MetricStats
+{
+    std::string unit;
+    std::size_t repeats = 0;
+    double mean = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+    double p50 = 0.0;
+    double p95 = 0.0;
+};
+
+/** Parsed runner options (exposed for tests). */
+struct RunnerOptions
+{
+    bool benchMode = false; //!< any runner flag present
+    bool smoke = false;
+    bool list = false;
+    int repeats = 5;
+    int warmup = 1;
+    std::string jsonPath;
+    std::string filter;
+};
+
+/**
+ * Parse runner flags out of argv.  Unknown arguments are left for the
+ * legacy main (e.g. google-benchmark flags).  @return options; sets
+ * @p error_out (if non-null) on malformed input.
+ */
+RunnerOptions parseRunnerArgs(int argc, char **argv,
+                              std::string *error_out = nullptr);
+
+/**
+ * Entry point every bench binary delegates its main() to.
+ *
+ * When no runner flag is present, @p legacy (the bench's original
+ * table-printing main) runs instead, so existing invocations keep
+ * their output byte-for-byte.
+ *
+ * @param suite   bench binary name, e.g. "bench_dissemination"
+ * @param cases   registered cases
+ * @param legacy  original main body (may be null)
+ * @return process exit code
+ */
+int runBenchMain(int argc, char **argv, const std::string &suite,
+                 const std::vector<BenchCase> &cases,
+                 const std::function<int(int, char **)> &legacy = nullptr);
+
+} // namespace bench
+} // namespace oceanstore
+
+#endif // OCEANSTORE_BENCH_RUNNER_H

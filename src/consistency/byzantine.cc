@@ -139,10 +139,9 @@ PbftClient::submit(const Bytes &payload,
         Message rm = makeMessage(
             "pbft.request", rb,
             it->second.payload.size() + Guid::numBytes + 8);
-        for (unsigned r = 0; r < cluster_.size(); r++) {
-            cluster_.net().send(nodeId_, cluster_.replica(r).nodeId(),
-                                rm);
-        }
+        cluster_.net().multicast(
+            nodeId_, cluster_.replicaNodeIds(invalidNode),
+            std::move(rm));
         if (auto self = weak.lock()) {
             cluster_.net().sim().schedule(
                 cluster_.config().clientRetryTimeout,
@@ -276,10 +275,8 @@ PbftReplica::assignAndPrePrepare(const Bytes &payload, const Guid &req_id,
     PrePrepareBody body{view_, seq, slot.digest, payload, req_id, client};
     Message m = makeMessage("pbft.preprepare", body,
                             payload.size() + pbftControlBytes);
-    for (unsigned r = 0; r < cluster_.size(); r++) {
-        if (r != rank_)
-            cluster_.net().send(nodeId_, cluster_.replica(r).nodeId(), m);
-    }
+    cluster_.net().multicast(nodeId_, cluster_.replicaNodeIds(nodeId_),
+                             std::move(m));
     // The leader's own prepare is implicit in the pre-prepare.
     slot.prepares.insert(rank_);
     tryCommit(seq);
@@ -344,15 +341,10 @@ PbftReplica::startViewChangeTimer(const Guid &req_id)
             ViewChangeBody vc{view_ + 1, rank_};
             Message m = makeMessage("pbft.viewchange", vc,
                                     pbftControlBytes);
-            for (unsigned r = 0; r < cluster_.size(); r++) {
-                if (r == rank_) {
-                    onViewChange(makeMessage("pbft.viewchange", vc,
-                                             pbftControlBytes));
-                } else {
-                    cluster_.net().send(
-                        nodeId_, cluster_.replica(r).nodeId(), m);
-                }
-            }
+            onViewChange(m); // deliver own vote directly
+            cluster_.net().multicast(
+                nodeId_, cluster_.replicaNodeIds(nodeId_),
+                std::move(m));
         });
 }
 
@@ -396,10 +388,8 @@ PbftReplica::onPrePrepare(const Message &msg)
 
     VoteBody vote{view_, body.seq, maybeCorrupt(body.digest), rank_};
     Message m = makeMessage("pbft.prepare", vote, pbftControlBytes);
-    for (unsigned r = 0; r < cluster_.size(); r++) {
-        if (r != rank_)
-            cluster_.net().send(nodeId_, cluster_.replica(r).nodeId(), m);
-    }
+    cluster_.net().multicast(nodeId_, cluster_.replicaNodeIds(nodeId_),
+                             std::move(m));
     slot.prepares.insert(rank_);
     // The leader's prepare is implicit in its pre-prepare (PBFT):
     // count it so quorums survive m crashed backups.
@@ -438,10 +428,8 @@ PbftReplica::tryCommit(std::uint64_t seq)
     slot.sentCommit = true;
     VoteBody vote{view_, seq, maybeCorrupt(slot.digest), rank_};
     Message m = makeMessage("pbft.commit", vote, pbftControlBytes);
-    for (unsigned r = 0; r < cluster_.size(); r++) {
-        if (r != rank_)
-            cluster_.net().send(nodeId_, cluster_.replica(r).nodeId(), m);
-    }
+    cluster_.net().multicast(nodeId_, cluster_.replicaNodeIds(nodeId_),
+                             std::move(m));
     slot.commits.insert(rank_);
     executeReady();
 }
@@ -553,11 +541,8 @@ PbftReplica::onViewChange(const Message &msg)
     if (isLeader()) {
         NewViewBody nv{view_};
         Message m = makeMessage("pbft.newview", nv, pbftControlBytes);
-        for (unsigned r = 0; r < cluster_.size(); r++) {
-            if (r != rank_)
-                cluster_.net().send(nodeId_,
-                                    cluster_.replica(r).nodeId(), m);
-        }
+        cluster_.net().multicast(
+            nodeId_, cluster_.replicaNodeIds(nodeId_), std::move(m));
         // Re-propose everything we know about that never finished.
         for (const auto &[req_id, pc] : known_) {
             if (done_.count(req_id))
@@ -631,10 +616,19 @@ PbftCluster::publicKeys() const
 void
 PbftCluster::broadcast(NodeId from, const Message &msg)
 {
-    for (auto &rep : replicas_) {
-        if (rep->nodeId() != from)
-            net_.send(from, rep->nodeId(), msg);
+    net_.multicast(from, replicaNodeIds(from), msg);
+}
+
+std::vector<NodeId>
+PbftCluster::replicaNodeIds(NodeId except) const
+{
+    std::vector<NodeId> ids;
+    ids.reserve(replicas_.size());
+    for (const auto &rep : replicas_) {
+        if (rep->nodeId() != except)
+            ids.push_back(rep->nodeId());
     }
+    return ids;
 }
 
 } // namespace oceanstore

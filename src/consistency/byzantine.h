@@ -303,6 +303,10 @@ class PbftCluster
     /** Broadcast @p msg from @p from to every replica (incl. self). */
     void broadcast(NodeId from, const Message &msg);
 
+    /** Node ids of every replica except @p except (pass invalidNode
+     *  to get all of them) — fan-out list for Network::multicast(). */
+    std::vector<NodeId> replicaNodeIds(NodeId except) const;
+
     Network &net_;
     PbftConfig cfg_;
     KeyRegistry &registry_;

@@ -194,13 +194,21 @@ SecondaryReplica::applyCommitted(const Update &u, VersionNum version)
 
     if (version <= obj.version())
         return; // duplicate
+
+    // Warm the memoized id/size *before* the update is copied into
+    // the buffer or the object log: anti-entropy serves updates back
+    // out of the log, so a cold log copy re-hashes the full payload
+    // once per gossip exchange.
+    Guid uid = u.id();
+    u.wireSize();
+
     if (version > obj.version() + 1) {
         buffered_[u.objectGuid][version] = u;
         return;
     }
 
     obj.apply(u);
-    tentative_.erase(u.id());
+    tentative_.erase(uid);
 
     auto sit = stale_.find(u.objectGuid);
     if (sit != stale_.end() && obj.version() >= sit->second)
@@ -221,8 +229,9 @@ SecondaryReplica::drainBuffered(const Guid &obj)
            pending.begin()->first == oit->second.version() + 1) {
         Update u = pending.begin()->second;
         pending.erase(pending.begin());
+        Guid uid = u.id(); // warm before the log copies it
         oit->second.apply(u);
-        tentative_.erase(u.id());
+        tentative_.erase(uid);
     }
     if (pending.empty())
         buffered_.erase(bit);
@@ -235,20 +244,29 @@ SecondaryReplica::onPush(const Message &msg)
     applyCommitted(body.update, body.version);
 
     // Forward down the dissemination tree; bandwidth-limited leaves
-    // get an invalidation instead of the body.
+    // get an invalidation instead of the body.  Both fan-outs go
+    // through the batched multicast path so the update body is stored
+    // once, not deep-copied per child.
+    std::vector<NodeId> push_children;
+    std::vector<NodeId> inval_children;
     for (NodeId child : tier_.tree().childrenOf(nodeId_)) {
         if (tier_.config().invalidateAtLeaves &&
-            tier_.tree().isLeaf(child)) {
-            InvalBody inv{body.update.objectGuid, body.version,
-                          body.update.id()};
-            tier_.net().send(nodeId_, child,
-                             makeMessage("sec.inval", inv,
-                                         2 * Guid::numBytes + 8));
-        } else {
-            tier_.net().send(nodeId_, child,
-                             makeMessage("sec.push", body,
-                                         body.update.wireSize() + 8));
-        }
+            tier_.tree().isLeaf(child))
+            inval_children.push_back(child);
+        else
+            push_children.push_back(child);
+    }
+    if (!inval_children.empty()) {
+        InvalBody inv{body.update.objectGuid, body.version,
+                      body.update.id()};
+        tier_.net().multicast(nodeId_, inval_children,
+                              makeMessage("sec.inval", inv,
+                                          2 * Guid::numBytes + 8));
+    }
+    if (!push_children.empty()) {
+        tier_.net().multicast(nodeId_, push_children,
+                              makeMessage("sec.push", body,
+                                          body.update.wireSize() + 8));
     }
 }
 
@@ -484,6 +502,8 @@ void
 SecondaryTier::injectCommitted(const Update &u, VersionNum version)
 {
     SecondaryReplica &root = *replicas_[0];
+    u.id(); // warm the memoized id/size before any copy circulates
+    u.wireSize();
     if (cfg_.treePush) {
         // Deliver to the root as a push so it forwards down the tree.
         PushBody body{u, version};

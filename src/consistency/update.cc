@@ -76,13 +76,19 @@ Update::serializeForSigning() const
             serializeAction(w, a);
     }
     w.putBlob(writerPublicKey);
-    return w.take();
+    Bytes out = w.take();
+    cachedSignedSize_ = out.size();
+    return out;
 }
 
 Guid
 Update::id() const
 {
-    return Guid::hashOf(serializeForSigning());
+    if (!idCached_) {
+        cachedId_ = Guid::hashOf(serializeForSigning());
+        idCached_ = true;
+    }
+    return cachedId_;
 }
 
 Bytes
@@ -191,7 +197,9 @@ Update::deserializeFull(const Bytes &wire)
 std::size_t
 Update::wireSize() const
 {
-    return serializeForSigning().size() + signature.bytes.size();
+    if (cachedSignedSize_ == 0)
+        serializeForSigning(); // memoizes cachedSignedSize_
+    return cachedSignedSize_ + signature.bytes.size();
 }
 
 } // namespace oceanstore

@@ -131,7 +131,18 @@ struct UpdateClause
     std::vector<Action> actions;
 };
 
-/** A client-generated update against one object. */
+/**
+ * A client-generated update against one object.
+ *
+ * Hot-path contract: an update is treated as value-immutable once it
+ * starts circulating (signed and handed to the consistency layers).
+ * id() and wireSize() memoize their result on first call — replicas
+ * recompute both per log scan and per dissemination hop, and without
+ * the cache every call re-serializes and re-hashes the full payload
+ * (the dominant cost in the simulator benchmarks).  Code that mutates
+ * content fields after either has been called must invalidate with
+ * resetCachedIdentity().
+ */
 struct Update
 {
     Guid objectGuid;              //!< Target object.
@@ -140,7 +151,8 @@ struct Update
     Bytes writerPublicKey;        //!< Key the signature verifies under.
     Signature signature;          //!< Over serializeForSigning().
 
-    /** Unique id of this update (hash of its signed serialization). */
+    /** Unique id of this update (hash of its signed serialization).
+     *  Memoized; see the struct comment. */
     Guid id() const;
 
     /** Serialized form covered by the signature. */
@@ -152,8 +164,24 @@ struct Update
     /** Parse a serializeFull() buffer. @throws on malformed input. */
     static Update deserializeFull(const Bytes &wire);
 
-    /** Bytes this update occupies on the wire. */
+    /** Bytes this update occupies on the wire.  Memoized (the
+     *  signature's size contribution is always read live). */
     std::size_t wireSize() const;
+
+    /** Drop memoized id/size after mutating content fields. */
+    void
+    resetCachedIdentity()
+    {
+        idCached_ = false;
+        cachedSignedSize_ = 0;
+    }
+
+  private:
+    mutable Guid cachedId_;
+    mutable bool idCached_ = false;
+    /** serializeForSigning().size(); 0 = not yet computed (the real
+     *  size is always positive: it contains the object guid). */
+    mutable std::size_t cachedSignedSize_ = 0;
 };
 
 /** Serialize a predicate for signing / byte accounting. */

@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Small-buffer-optimized callable for simulator events.
+ *
+ * Every message delivery, timer and protocol callback in the
+ * simulator is one heap-scheduled closure; with std::function each of
+ * those costs a heap allocation once captures exceed the (small,
+ * implementation-defined) inline buffer.  EventFn guarantees 48 bytes
+ * of inline storage — enough for every closure the hot paths create
+ * (network deliveries capture a pool index, timers capture `this`
+ * plus an id) — and falls back to the heap only for oversized
+ * captures.  Move-only, so captured state is never duplicated.
+ */
+
+#ifndef OCEANSTORE_SIM_EVENT_FN_H
+#define OCEANSTORE_SIM_EVENT_FN_H
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace oceanstore {
+
+/** Move-only type-erased void() callable with inline small-buffer
+ *  storage (see file comment). */
+class EventFn
+{
+  public:
+    /** Captures at or below this size (and alignment) stay inline. */
+    static constexpr std::size_t inlineSize = 48;
+
+    EventFn() = default;
+
+    template <typename F,
+              typename = std::enable_if_t<
+                  !std::is_same_v<std::decay_t<F>, EventFn> &&
+                  std::is_invocable_r_v<void, std::decay_t<F> &>>>
+    EventFn(F &&f) // NOLINT: implicit by design, mirrors std::function
+    {
+        using Fn = std::decay_t<F>;
+        if constexpr (fitsInline<Fn>()) {
+            ::new (static_cast<void *>(buf_)) Fn(std::forward<F>(f));
+            vt_ = &inlineVTable<Fn>;
+        } else {
+            *reinterpret_cast<void **>(buf_) =
+                new Fn(std::forward<F>(f));
+            vt_ = &heapVTable<Fn>;
+        }
+    }
+
+    EventFn(EventFn &&o) noexcept { moveFrom(o); }
+
+    EventFn &
+    operator=(EventFn &&o) noexcept
+    {
+        if (this != &o) {
+            reset();
+            moveFrom(o);
+        }
+        return *this;
+    }
+
+    EventFn(const EventFn &) = delete;
+    EventFn &operator=(const EventFn &) = delete;
+
+    ~EventFn() { reset(); }
+
+    /** True when a callable is held. */
+    explicit operator bool() const { return vt_ != nullptr; }
+
+    /** Invoke the callable (must hold one). */
+    void operator()() { vt_->call(buf_); }
+
+    /** Drop the held callable (release captures). */
+    void
+    reset()
+    {
+        if (vt_) {
+            vt_->destroy(buf_);
+            vt_ = nullptr;
+        }
+    }
+
+  private:
+    struct VTable
+    {
+        void (*call)(void *buf);
+        void (*moveTo)(void *src_buf, void *dst_buf) /*noexcept*/;
+        void (*destroy)(void *buf);
+    };
+
+    template <typename Fn>
+    static constexpr bool
+    fitsInline()
+    {
+        return sizeof(Fn) <= inlineSize &&
+               alignof(Fn) <= alignof(std::max_align_t) &&
+               std::is_nothrow_move_constructible_v<Fn>;
+    }
+
+    template <typename Fn>
+    static constexpr VTable inlineVTable = {
+        [](void *buf) { (*std::launder(reinterpret_cast<Fn *>(buf)))(); },
+        [](void *src, void *dst) {
+            Fn *f = std::launder(reinterpret_cast<Fn *>(src));
+            ::new (dst) Fn(std::move(*f));
+            f->~Fn();
+        },
+        [](void *buf) {
+            std::launder(reinterpret_cast<Fn *>(buf))->~Fn();
+        },
+    };
+
+    template <typename Fn>
+    static constexpr VTable heapVTable = {
+        [](void *buf) { (**reinterpret_cast<Fn **>(buf))(); },
+        [](void *src, void *dst) {
+            *reinterpret_cast<Fn **>(dst) =
+                *reinterpret_cast<Fn **>(src);
+        },
+        [](void *buf) { delete *reinterpret_cast<Fn **>(buf); },
+    };
+
+    void
+    moveFrom(EventFn &o) noexcept
+    {
+        if (o.vt_) {
+            vt_ = o.vt_;
+            vt_->moveTo(o.buf_, buf_);
+            o.vt_ = nullptr;
+        }
+    }
+
+    alignas(std::max_align_t) unsigned char buf_[inlineSize];
+    const VTable *vt_ = nullptr;
+};
+
+} // namespace oceanstore
+
+#endif // OCEANSTORE_SIM_EVENT_FN_H

@@ -41,6 +41,69 @@ Network::latency(NodeId a, NodeId b) const
     return cfg_.baseLatency + cfg_.latencyPerUnit * distance(a, b);
 }
 
+std::uint32_t
+Network::allocFlight(Message &&msg)
+{
+    if (!freeFlights_.empty()) {
+        std::uint32_t f = freeFlights_.back();
+        freeFlights_.pop_back();
+        flights_[f].msg = std::move(msg);
+        return f;
+    }
+    flights_.push_back(Flight{std::move(msg), 0});
+    return static_cast<std::uint32_t>(flights_.size() - 1);
+}
+
+void
+Network::releaseFlight(std::uint32_t flight)
+{
+    Flight &fl = flights_[flight];
+    OS_DCHECK(fl.refs > 0, "Network: flight over-released");
+    if (--fl.refs == 0) {
+        fl.msg = Message(); // drop the payload eagerly
+        freeFlights_.push_back(flight);
+    }
+}
+
+double
+Network::deliveryLatency(NodeId from, NodeId to, std::size_t bytes)
+{
+    double lat = latency(from, to);
+    if (cfg_.jitter > 0)
+        lat *= 1.0 + rng_.uniform(-cfg_.jitter, cfg_.jitter);
+    if (cfg_.bandwidth > 0)
+        lat += static_cast<double>(bytes) / cfg_.bandwidth;
+
+    // Local delivery still takes a scheduling step to avoid unbounded
+    // recursion in protocols that self-send.
+    if (lat <= 0)
+        lat = 1e-6;
+    return lat;
+}
+
+void
+Network::scheduleDelivery(std::uint32_t flight, NodeId to, double lat)
+{
+    flights_[flight].refs++;
+    inFlight_++;
+    // Captures 12 bytes: stays in EventFn's inline buffer, so the
+    // whole send costs no heap allocation.
+    sim_.schedule(lat, [this, flight, to]() { deliver(flight, to); });
+}
+
+void
+Network::deliver(std::uint32_t flight, NodeId to)
+{
+    inFlight_--;
+    const Message &m = flights_[flight].msg;
+    if (up_[to] && partition_[m.src] == partition_[to]) {
+        // The handler may reentrantly send (allocating new flights);
+        // flights_ is a deque so &m stays valid throughout.
+        nodes_[to]->handleMessage(m);
+    }
+    releaseFlight(flight);
+}
+
 void
 Network::send(NodeId from, NodeId to, Message msg)
 {
@@ -59,24 +122,45 @@ Network::send(NodeId from, NodeId to, Message msg)
     if (cfg_.dropRate > 0 && rng_.chance(cfg_.dropRate))
         return;
 
-    double lat = latency(from, to);
-    if (cfg_.jitter > 0)
-        lat *= 1.0 + rng_.uniform(-cfg_.jitter, cfg_.jitter);
-    if (cfg_.bandwidth > 0)
-        lat += static_cast<double>(bytes) / cfg_.bandwidth;
+    double lat = deliveryLatency(from, to, bytes);
+    scheduleDelivery(allocFlight(std::move(msg)), to, lat);
+}
 
-    // Local delivery still takes a scheduling step to avoid unbounded
-    // recursion in protocols that self-send.
-    if (lat <= 0)
-        lat = 1e-6;
+void
+Network::multicast(NodeId from, const std::vector<NodeId> &tos,
+                   Message msg)
+{
+    if (from >= nodes_.size())
+        fatal("Network::multicast: unknown sender");
+    if (tos.empty())
+        return;
 
-    sim_.schedule(lat, [this, to, m = std::move(msg)]() {
-        if (!up_[to])
-            return;
-        if (partition_[m.src] != partition_[to])
-            return;
-        nodes_[to]->handleMessage(m);
-    });
+    msg.src = from;
+    std::size_t bytes = msg.totalBytes();
+    // Every destination is one link crossing, exactly as if sent
+    // individually.
+    for (NodeId to : tos) {
+        if (to >= nodes_.size())
+            fatal("Network::multicast: unknown node");
+        totalBytes_ += bytes;
+        totalMessages_++;
+    }
+    byType_.bump(msg.type, bytes * tos.size());
+
+    if (!up_[from])
+        return;
+
+    std::uint32_t flight = allocFlight(std::move(msg));
+    // Pin the flight while scheduling so an immediate zero-ref free
+    // cannot recycle it if every destination drops.
+    flights_[flight].refs++;
+    for (NodeId to : tos) {
+        if (cfg_.dropRate > 0 && rng_.chance(cfg_.dropRate))
+            continue;
+        double lat = deliveryLatency(from, to, bytes);
+        scheduleDelivery(flight, to, lat);
+    }
+    releaseFlight(flight);
 }
 
 void

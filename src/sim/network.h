@@ -8,13 +8,20 @@
  * drops, node failures and network partitions.  The OceanStore routing
  * layer (Section 4.3) runs *on top of* this, exactly as the paper's
  * layer runs on top of IP.
+ *
+ * Hot path (DESIGN.md section 9): in-flight messages live in a pooled
+ * store — the scheduled delivery closure captures only (pool index,
+ * destination), which fits the simulator's inline EventFn buffer, so
+ * a send costs no closure heap allocation.  multicast() ships one
+ * payload to many destinations through a single reference-counted
+ * pool slot instead of one deep Message copy per receiver.
  */
 
 #ifndef OCEANSTORE_SIM_NETWORK_H
 #define OCEANSTORE_SIM_NETWORK_H
 
 #include <cstdint>
-#include <functional>
+#include <deque>
 #include <string>
 #include <vector>
 
@@ -31,7 +38,11 @@ class SimNode
   public:
     virtual ~SimNode() = default;
 
-    /** Deliver a message sent to this node. */
+    /**
+     * Deliver a message sent to this node.  The reference is only
+     * valid for the duration of the call (multicast receivers share
+     * one pooled payload); copy whatever must outlive it.
+     */
     virtual void handleMessage(const Message &msg) = 0;
 };
 
@@ -78,6 +89,17 @@ class Network
      */
     void send(NodeId from, NodeId to, Message msg);
 
+    /**
+     * Send one message from @p from to every node in @p tos — the
+     * batched fan-out path for protocol broadcast/tree-push.
+     * Semantically identical to a send() per destination (per-link
+     * byte accounting, per-destination jitter/drop/liveness), but the
+     * payload is stored once and shared by reference across all
+     * deliveries instead of deep-copied per receiver.
+     */
+    void multicast(NodeId from, const std::vector<NodeId> &tos,
+                   Message msg);
+
     /** One-way latency between two nodes, without jitter or bandwidth. */
     double latency(NodeId a, NodeId b) const;
 
@@ -115,6 +137,9 @@ class Network
     /** Total messages sent so far. */
     std::uint64_t totalMessages() const { return totalMessages_; }
 
+    /** In-flight messages (scheduled, not yet delivered or dropped). */
+    std::size_t inFlight() const { return inFlight_; }
+
     /** Reset the byte/message counters (not node state). */
     void resetCounters();
 
@@ -125,6 +150,20 @@ class Network
     Simulator &sim() { return sim_; }
 
   private:
+    /** One pooled in-flight payload, shared by @c refs deliveries. */
+    struct Flight
+    {
+        Message msg;
+        std::uint32_t refs = 0;
+    };
+
+    std::uint32_t allocFlight(Message &&msg);
+    void releaseFlight(std::uint32_t flight);
+    /** Jitter/bandwidth-adjusted delivery latency; consumes rng. */
+    double deliveryLatency(NodeId from, NodeId to, std::size_t bytes);
+    void scheduleDelivery(std::uint32_t flight, NodeId to, double lat);
+    void deliver(std::uint32_t flight, NodeId to);
+
     Simulator &sim_;
     NetworkConfig cfg_;
     Rng rng_;
@@ -134,6 +173,11 @@ class Network
     std::vector<int> partition_;
     std::uint64_t totalBytes_ = 0;
     std::uint64_t totalMessages_ = 0;
+    std::size_t inFlight_ = 0;
+    /** deque: references into flights_ stay valid while handlers
+     *  reentrantly send (and thus allocate) new flights. */
+    std::deque<Flight> flights_;
+    std::vector<std::uint32_t> freeFlights_;
     Counters byType_;
 };
 

@@ -7,8 +7,37 @@
 
 namespace oceanstore {
 
+std::uint32_t
+Simulator::allocSlot()
+{
+    if (!freeSlots_.empty()) {
+        std::uint32_t s = freeSlots_.back();
+        freeSlots_.pop_back();
+        return s;
+    }
+    pool_.emplace_back();
+    return static_cast<std::uint32_t>(pool_.size() - 1);
+}
+
+void
+Simulator::reclaimSlot(std::uint32_t slot)
+{
+    Slot &s = pool_[slot];
+    s.fn.reset(); // release captures eagerly
+    s.armed = false;
+    s.gen++;      // invalidate every outstanding EventId for this slot
+    freeSlots_.push_back(slot);
+}
+
+void
+Simulator::reserve(std::size_t n)
+{
+    pool_.reserve(n);
+    freeSlots_.reserve(n);
+}
+
 EventId
-Simulator::schedule(SimTime delay, std::function<void()> fn)
+Simulator::schedule(SimTime delay, EventFn fn)
 {
     if (delay < 0)
         fatal("Simulator::schedule: negative delay");
@@ -16,56 +45,73 @@ Simulator::schedule(SimTime delay, std::function<void()> fn)
 }
 
 EventId
-Simulator::scheduleAt(SimTime when, std::function<void()> fn)
+Simulator::scheduleAt(SimTime when, EventFn fn)
 {
     if (std::isnan(when))
         fatal("Simulator::scheduleAt: NaN time");
     if (when < now_)
         fatal("Simulator::scheduleAt: time in the past");
-    EventId id = nextId_++;
-    queue_.push(Entry{when, id, std::move(fn)});
-    pendingIds_.insert(id);
-    return id;
+    std::uint32_t slot = allocSlot();
+    Slot &s = pool_[slot];
+    s.fn = std::move(fn);
+    s.when = when;
+    s.seq = nextSeq_++;
+    s.armed = true;
+    queue_.push(QueueEntry{when, s.seq, slot});
+    pending_++;
+    return packId(slot, s.gen);
 }
 
 void
 Simulator::cancel(EventId id)
 {
-    // Only events that are still pending get a tombstone; cancelling
-    // a fired, cancelled, or unknown id is a documented no-op.  (The
-    // pending-set lookup is what keeps tombstones from leaking and
-    // pending() from under-counting.)
-    auto it = pendingIds_.find(id);
-    if (it == pendingIds_.end())
+    // Only live events are cancellable; a fired, cancelled, or
+    // never-scheduled id fails the generation check and is a
+    // documented no-op.  The slot is reclaimed right here — O(1),
+    // no tombstone set — and the queue entry it leaves behind is
+    // recognized as stale by its sequence number when popped.
+    std::uint32_t slot = static_cast<std::uint32_t>(id);
+    std::uint32_t gen = static_cast<std::uint32_t>(id >> 32);
+    if (slot >= pool_.size())
         return;
-    pendingIds_.erase(it);
-    cancelled_.insert(id);
+    Slot &s = pool_[slot];
+    if (s.gen != gen || !s.armed)
+        return;
+    reclaimSlot(slot);
+    pending_--;
+    staleEntries_++;
 }
 
 bool
 Simulator::step()
 {
     while (!queue_.empty()) {
-        Entry e = queue_.top();
+        QueueEntry e = queue_.top();
         queue_.pop();
-        auto it = cancelled_.find(e.id);
-        if (it != cancelled_.end()) {
-            cancelled_.erase(it);
+        Slot &s = pool_[e.slot];
+        if (s.seq != e.seq || !s.armed) {
+            // Entry of a cancelled (and possibly since-reused) slot.
+            staleEntries_--;
             continue;
         }
         // Self-audit: the clock never moves backwards, and events at
-        // equal timestamps fire in scheduling (id) order.
-        OS_CHECK(e.when >= now_, "event ", e.id, " at t=", e.when,
+        // equal timestamps fire in scheduling (seq) order.
+        OS_CHECK(e.when >= now_, "event seq ", e.seq, " at t=", e.when,
                  " fired with clock at t=", now_);
-        OS_CHECK(e.when > lastFiredWhen_ || e.id > lastFiredId_,
-                 "FIFO tie-break violated: event ", e.id, " after ",
-                 lastFiredId_, " at t=", e.when);
+        OS_CHECK(e.when > lastFiredWhen_ || e.seq > lastFiredSeq_,
+                 "FIFO tie-break violated: event seq ", e.seq,
+                 " after ", lastFiredSeq_, " at t=", e.when);
         lastFiredWhen_ = e.when;
-        lastFiredId_ = e.id;
+        lastFiredSeq_ = e.seq;
         now_ = e.when;
         executed_++;
-        pendingIds_.erase(e.id);
-        e.fn();
+        pending_--;
+        // Move the callback out and reclaim the slot *before* firing:
+        // the handler may cancel its own id (a no-op by then) or
+        // schedule new events that reuse the slot.
+        EventFn fn = std::move(s.fn);
+        reclaimSlot(e.slot);
+        fn();
         return true;
     }
     auditDrained();
@@ -83,10 +129,14 @@ void
 Simulator::runUntil(SimTime until)
 {
     for (;;) {
-        // Drop cancelled entries so the time check below sees the next
+        // Drop stale entries so the time check below sees the next
         // event that will actually fire.
-        while (!queue_.empty() && cancelled_.count(queue_.top().id)) {
-            cancelled_.erase(queue_.top().id);
+        while (!queue_.empty()) {
+            const QueueEntry &top = queue_.top();
+            const Slot &s = pool_[top.slot];
+            if (s.seq == top.seq && s.armed)
+                break;
+            staleEntries_--;
             queue_.pop();
         }
         if (queue_.empty() || queue_.top().when > until)
@@ -102,14 +152,18 @@ Simulator::runUntil(SimTime until)
 void
 Simulator::auditDrained() const
 {
-    // Every queue entry is accounted for in exactly one of pendingIds_
-    // or cancelled_, so an empty queue must leave both empty.
+    // Every queue entry maps to exactly one live or stale slot state,
+    // so an empty queue must leave no pending events, no stale
+    // entries, and every pool slot reclaimed.
     OS_CHECK(queue_.empty(),
              "auditDrained with ", queue_.size(), " queued events");
-    OS_CHECK(cancelled_.empty(), "cancel-tombstone leak: ",
-             cancelled_.size(), " tombstones after queue drained");
-    OS_CHECK(pendingIds_.empty(), "pending-id leak: ",
-             pendingIds_.size(), " ids after queue drained");
+    OS_CHECK(staleEntries_ == 0, "stale-entry leak: ", staleEntries_,
+             " cancelled entries after queue drained");
+    OS_CHECK(pending_ == 0, "pending-event leak: ", pending_,
+             " events after queue drained");
+    OS_CHECK(freeSlots_.size() == pool_.size(), "slot leak: ",
+             pool_.size() - freeSlots_.size(),
+             " unreclaimed slots after queue drained");
 }
 
 } // namespace oceanstore

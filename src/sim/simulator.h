@@ -9,30 +9,46 @@
  * all OceanStore protocols above a deterministic discrete-event
  * simulator instead of a real WAN.
  *
+ * Implementation (DESIGN.md section 9): events live in a pool of
+ * reusable slots; the priority queue orders 24-byte POD handles
+ * (when, seq, slot) instead of closures, and cancellation is O(1)
+ * generation-count bookkeeping — a cancelled slot is reclaimed
+ * immediately and its queue entry is recognized as stale by sequence
+ * mismatch when popped, so there is no tombstone set and no scan.
+ *
  * Determinism contract (enforced by self-audit checks in step()):
  *  - simulated time never moves backwards;
  *  - events at the same timestamp fire in scheduling order (FIFO
- *    tie-break on the monotonically increasing EventId);
+ *    tie-break on the monotonically increasing sequence number);
  *  - cancellation bookkeeping never leaks: when the queue drains,
- *    every cancel() tombstone must have been consumed.
+ *    every stale queue entry must have been consumed and every pool
+ *    slot reclaimed.
  */
 
 #ifndef OCEANSTORE_SIM_SIMULATOR_H
 #define OCEANSTORE_SIM_SIMULATOR_H
 
 #include <cstdint>
-#include <functional>
 #include <queue>
-#include <unordered_set>
 #include <vector>
+
+#include "sim/event_fn.h"
 
 namespace oceanstore {
 
 /** Simulated time, in seconds. */
 using SimTime = double;
 
-/** Handle for a scheduled event, usable with Simulator::cancel(). */
+/**
+ * Handle for a scheduled event, usable with Simulator::cancel().
+ * Encodes (pool slot, slot generation); the zero value is never a
+ * live event.  Stale handles — fired, cancelled, never scheduled, or
+ * whose slot was since reused — are recognized and ignored.
+ */
 using EventId = std::uint64_t;
+
+/** Sentinel EventId that never names a live event. */
+constexpr EventId invalidEventId = 0;
 
 /**
  * The event queue and simulated clock.
@@ -52,14 +68,15 @@ class Simulator
      * Schedule @p fn to run @p delay seconds from now.
      * @return an id usable with cancel().
      */
-    EventId schedule(SimTime delay, std::function<void()> fn);
+    EventId schedule(SimTime delay, EventFn fn);
 
     /** Schedule @p fn at absolute time @p when (>= now). */
-    EventId scheduleAt(SimTime when, std::function<void()> fn);
+    EventId scheduleAt(SimTime when, EventFn fn);
 
     /**
      * Cancel a pending event; no-op if already fired, already
-     * cancelled, or never scheduled.
+     * cancelled, or never scheduled.  O(1): the slot is reclaimed and
+     * its captures released immediately.
      */
     void cancel(EventId id);
 
@@ -77,46 +94,75 @@ class Simulator
 
     /** Number of events currently pending (scheduled, not yet fired
      *  or cancelled). */
-    std::size_t pending() const { return pendingIds_.size(); }
+    std::size_t pending() const { return pending_; }
 
-    /** Cancellation tombstones not yet swept from the queue. */
-    std::size_t cancelTombstones() const { return cancelled_.size(); }
+    /** Stale queue entries left by cancel(), not yet popped.  (The
+     *  slots themselves are already reclaimed; this counts only the
+     *  24-byte heap handles awaiting their turn at the queue head.) */
+    std::size_t cancelTombstones() const { return staleEntries_; }
+
+    /** Reserve pool and queue capacity for @p n in-flight events. */
+    void reserve(std::size_t n);
 
     /**
      * Self-audit: verify cancellation bookkeeping is fully drained.
      * Called automatically whenever the queue empties; aborts on a
-     * leaked tombstone (an internal accounting bug).
+     * leaked stale entry or an unreclaimed slot (an internal
+     * accounting bug).
      */
     void auditDrained() const;
 
   private:
-    struct Entry
+    /** One pooled event.  A slot is live between schedule() and
+     *  fire/cancel; its generation increments on every reclaim so
+     *  stale EventIds can never touch a reused slot. */
+    struct Slot
+    {
+        EventFn fn;
+        SimTime when = 0.0;
+        std::uint64_t seq = 0;  //!< Global schedule order; never reused.
+        std::uint32_t gen = 1;  //!< Bumped when the slot is reclaimed.
+        bool armed = false;     //!< Live (scheduled, not fired/cancelled).
+    };
+
+    /** Priority-queue entry: POD handle into the pool. */
+    struct QueueEntry
     {
         SimTime when;
-        EventId id;
-        std::function<void()> fn;
+        std::uint64_t seq;
+        std::uint32_t slot;
 
         bool
-        operator>(const Entry &o) const
+        operator>(const QueueEntry &o) const
         {
             if (when != o.when)
                 return when > o.when;
-            return id > o.id;
+            return seq > o.seq;
         }
     };
 
+    static EventId
+    packId(std::uint32_t slot, std::uint32_t gen)
+    {
+        return (static_cast<EventId>(gen) << 32) | slot;
+    }
+
+    std::uint32_t allocSlot();
+    void reclaimSlot(std::uint32_t slot);
+
     SimTime now_ = 0.0;
-    EventId nextId_ = 1;
+    std::uint64_t nextSeq_ = 1;
     std::uint64_t executed_ = 0;
-    std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>>
+    std::size_t pending_ = 0;
+    std::size_t staleEntries_ = 0;
+    std::vector<Slot> pool_;
+    std::vector<std::uint32_t> freeSlots_;
+    std::priority_queue<QueueEntry, std::vector<QueueEntry>,
+                        std::greater<QueueEntry>>
         queue_;
-    /** Ids scheduled but not yet fired or cancelled. */
-    std::unordered_set<EventId> pendingIds_;
-    /** Cancelled ids whose queue entries have not been popped yet. */
-    std::unordered_set<EventId> cancelled_;
-    /** Timestamp/id of the last event fired (FIFO tie-break audit). */
+    /** Timestamp/seq of the last event fired (FIFO tie-break audit). */
     SimTime lastFiredWhen_ = 0.0;
-    EventId lastFiredId_ = 0;
+    std::uint64_t lastFiredSeq_ = 0;
 };
 
 } // namespace oceanstore

@@ -1,0 +1,171 @@
+/**
+ * @file
+ * Seed-sweep determinism property test for the event-store scheduler.
+ *
+ * The determinism contract (DESIGN.md section 9) promises that a
+ * seeded scenario replays bit-for-bit: pool slot reuse, the
+ * generation-counter cancel path, multicast fan-out and churn
+ * transitions must never leak iteration order or allocation order
+ * into the event schedule.  This sweep runs a gossiping workload with
+ * churn over 32 seeds x 2 overlay families (transit-stub and ring),
+ * twice per cell, and asserts the full event traces hash identically.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "sim/churn.h"
+#include "sim/network.h"
+#include "sim/simulator.h"
+#include "sim/topology.h"
+
+namespace oceanstore {
+namespace {
+
+/** FNV-1a over the delivery trace; cheap and order-sensitive. */
+struct TraceHash
+{
+    std::uint64_t h = 1469598103934665603ull;
+
+    void
+    mix(std::uint64_t v)
+    {
+        for (int i = 0; i < 8; i++) {
+            h ^= (v >> (8 * i)) & 0xff;
+            h *= 1099511628211ull;
+        }
+    }
+
+    void
+    mixTime(double t)
+    {
+        std::uint64_t bits;
+        static_assert(sizeof(bits) == sizeof(t));
+        __builtin_memcpy(&bits, &t, sizeof(bits));
+        mix(bits);
+    }
+};
+
+struct HopBody
+{
+    std::uint32_t hops = 0;
+};
+
+/**
+ * A node that records every delivery into the shared trace hash and
+ * forwards the message round-robin through its overlay neighbors
+ * (bounded by a hop count), so traffic keeps flowing between churn
+ * transitions and exercises slot reuse heavily.
+ */
+struct GossipNode : SimNode
+{
+    Network *net = nullptr;
+    NodeId self = invalidNode;
+    std::vector<NodeId> neighbors;
+    std::size_t nextNeighbor = 0;
+    TraceHash *trace = nullptr;
+
+    void
+    handleMessage(const Message &msg) override
+    {
+        const auto &body = messageBody<HopBody>(msg);
+        trace->mixTime(net->sim().now());
+        trace->mix(msg.src);
+        trace->mix(self);
+        trace->mix(body.hops);
+        if (body.hops == 0 || neighbors.empty())
+            return;
+        if (body.hops % 3 == 0) {
+            // Multicast leg: fan the rumor to every neighbor.
+            net->multicast(self, neighbors,
+                           makeMessage("hop", HopBody{body.hops - 1},
+                                       64));
+        } else {
+            NodeId to = neighbors[nextNeighbor++ % neighbors.size()];
+            net->send(self, to,
+                      makeMessage("hop", HopBody{body.hops - 1}, 64));
+        }
+    }
+};
+
+enum class Overlay { TransitStub, Ring };
+
+std::uint64_t
+runScenario(std::uint64_t seed, Overlay kind)
+{
+    Simulator sim;
+    NetworkConfig ncfg;
+    ncfg.jitter = 0.05;
+    ncfg.seed = seed ^ 0x6e657477u;
+    Network net(sim, ncfg);
+
+    Rng rng(seed);
+    Topology topo = kind == Overlay::TransitStub
+                        ? makeTransitStubTopology(3, 2, 4, rng)
+                        : makeSmallWorldTopology(24, 2, 0.0, rng);
+
+    TraceHash trace;
+    std::vector<std::unique_ptr<GossipNode>> nodes;
+    std::vector<NodeId> ids;
+    for (std::size_t i = 0; i < topo.size(); i++) {
+        auto n = std::make_unique<GossipNode>();
+        n->net = &net;
+        n->trace = &trace;
+        n->self = net.addNode(n.get(), topo.positions[i].first,
+                              topo.positions[i].second);
+        ids.push_back(n->self);
+        nodes.push_back(std::move(n));
+    }
+    for (std::size_t i = 0; i < topo.size(); i++)
+        nodes[i]->neighbors = topo.adjacency[i];
+
+    ChurnConfig ccfg;
+    ccfg.meanUptime = 8.0;
+    ccfg.meanDowntime = 2.0;
+    ccfg.seed = seed ^ 0x43485255u;
+    ChurnInjector churn(sim, net, ccfg);
+    churn.start(ids);
+
+    // Seed rumors from a few random nodes.
+    for (int i = 0; i < 4; i++) {
+        NodeId from = rng.pick(ids);
+        NodeId to = rng.pick(ids);
+        net.send(from, to, makeMessage("hop", HopBody{12}, 64));
+    }
+
+    sim.runUntil(40.0);
+    churn.stop();
+    sim.run();
+
+    trace.mix(sim.eventsExecuted());
+    trace.mix(net.totalMessages());
+    return trace.h;
+}
+
+TEST(DeterminismSweep, IdenticalTraceAcrossSeedsAndTopologies)
+{
+    int distinct = 0;
+    std::uint64_t prev = 0;
+    for (std::uint64_t seed = 1; seed <= 32; seed++) {
+        for (Overlay kind : {Overlay::TransitStub, Overlay::Ring}) {
+            std::uint64_t a = runScenario(seed, kind);
+            std::uint64_t b = runScenario(seed, kind);
+            EXPECT_EQ(a, b)
+                << "seed " << seed << " overlay "
+                << (kind == Overlay::TransitStub ? "transit-stub"
+                                                 : "ring");
+            if (a != prev)
+                distinct++;
+            prev = a;
+        }
+    }
+    // The seed must actually drive the schedule: across 64 cells we
+    // expect (nearly) all trace hashes to differ.
+    EXPECT_GE(distinct, 60);
+}
+
+} // namespace
+} // namespace oceanstore

@@ -155,6 +155,133 @@ TEST(Network, BandwidthAddsTransferTime)
     EXPECT_NEAR(sim.now(), 1.0, 1e-6); // 1000 bytes at 1 kB/s
 }
 
+TEST_F(NetFixture, SelfSendsDeliverInFifoOrder)
+{
+    // Self-delivery uses the minimal latency floor; equal timestamps
+    // must resolve by the scheduler's FIFO tie-break, so the arrival
+    // order is exactly the send order.
+    for (int i = 0; i < 8; i++)
+        net->send(a, a, makeMessage("t", i, 1));
+    sim.run();
+    ASSERT_EQ(na.received.size(), 8u);
+    for (int i = 0; i < 8; i++)
+        EXPECT_EQ(messageBody<int>(na.received[i]), i);
+}
+
+TEST_F(NetFixture, CrashMidFlightDropsAtArrival)
+{
+    // The destination churns out while the message is on the wire:
+    // the sender transmitted (bytes counted, message in flight), but
+    // delivery is lost at arrival time.
+    net->send(a, b, makeMessage("t", 1, 10));
+    EXPECT_EQ(net->inFlight(), 1u);
+    net->setDown(b);
+    sim.run();
+    EXPECT_TRUE(nb.received.empty());
+    EXPECT_EQ(net->totalMessages(), 1u);
+    EXPECT_EQ(net->totalBytes(), 10 + messageHeaderBytes);
+    EXPECT_EQ(net->inFlight(), 0u);
+
+    // Recovery after the arrival time does not resurrect it.
+    net->setUp(b);
+    sim.run();
+    EXPECT_TRUE(nb.received.empty());
+}
+
+TEST_F(NetFixture, ZeroAndNonzeroLatencyLinksInterleave)
+{
+    // near sits on top of a (zero link latency, floored to 1e-6);
+    // b is 1.0 away (0.105s).  A message sent to b *first* must still
+    // arrive after a later message to near — arrival order follows
+    // link latency, not send order — while same-latency messages keep
+    // FIFO order among themselves.
+    Sink nnear;
+    NodeId near = net->addNode(&nnear, 0.0, 0.0);
+
+    net->send(a, b, makeMessage("far", 0, 1));
+    net->send(a, near, makeMessage("near", 1, 1));
+    net->send(a, near, makeMessage("near", 2, 1));
+
+    while (sim.step()) {
+    }
+    ASSERT_EQ(nnear.received.size(), 2u);
+    ASSERT_EQ(nb.received.size(), 1u);
+    EXPECT_EQ(messageBody<int>(nnear.received[0]), 1);
+    EXPECT_EQ(messageBody<int>(nnear.received[1]), 2);
+    // The far delivery is the one that ends the run at t=0.105.
+    EXPECT_NEAR(sim.now(), 0.105, 1e-9);
+}
+
+TEST_F(NetFixture, MulticastDeliversSharedPayloadToEveryDest)
+{
+    Sink nc;
+    NodeId c = net->addNode(&nc, 0.5, 0.0);
+    std::string blob(4096, 'x');
+    net->multicast(a, {b, c, a}, makeMessage("m", blob, blob.size()));
+
+    // One link crossing per destination, exactly like three sends.
+    EXPECT_EQ(net->totalMessages(), 3u);
+    EXPECT_EQ(net->totalBytes(), 3 * (blob.size() + messageHeaderBytes));
+    EXPECT_EQ(net->inFlight(), 3u);
+
+    sim.run();
+    EXPECT_EQ(net->inFlight(), 0u);
+    ASSERT_EQ(nb.received.size(), 1u);
+    ASSERT_EQ(nc.received.size(), 1u);
+    ASSERT_EQ(na.received.size(), 1u); // self is a valid multicast dest
+    EXPECT_EQ(messageBody<std::string>(nb.received[0]), blob);
+    EXPECT_EQ(messageBody<std::string>(nc.received[0]), blob);
+    EXPECT_EQ(nb.received[0].src, a);
+}
+
+TEST_F(NetFixture, MulticastSkipsDownDestOnly)
+{
+    Sink nc;
+    NodeId c = net->addNode(&nc, 0.5, 0.0);
+    net->setDown(b);
+    net->multicast(a, {b, c}, makeMessage("m", 7, 10));
+    // Bytes are counted for the downed destination too: the sender
+    // still transmitted on that link.
+    EXPECT_EQ(net->totalMessages(), 2u);
+    sim.run();
+    EXPECT_TRUE(nb.received.empty());
+    ASSERT_EQ(nc.received.size(), 1u);
+    EXPECT_EQ(net->inFlight(), 0u);
+}
+
+TEST_F(NetFixture, MulticastFromDownSenderIsLost)
+{
+    net->setDown(a);
+    net->multicast(a, {b}, makeMessage("m", 7, 10));
+    sim.run();
+    EXPECT_TRUE(nb.received.empty());
+    EXPECT_EQ(net->inFlight(), 0u);
+}
+
+TEST(Network, MulticastAllDropsReclaimsFlightSlot)
+{
+    // With dropRate 1 every destination is dropped at send time; the
+    // pinned flight must still be released so the pool slot can be
+    // reused by the very next send.
+    Simulator sim;
+    NetworkConfig cfg;
+    cfg.dropRate = 1.0;
+    Network net(sim, cfg);
+    Sink sa, sb;
+    NodeId a = net.addNode(&sa, 0, 0);
+    NodeId b = net.addNode(&sb, 0.1, 0);
+    net.multicast(a, {b, b, b}, makeMessage("m", 1, 10));
+    EXPECT_EQ(net.inFlight(), 0u);
+    sim.run();
+    EXPECT_TRUE(sb.received.empty());
+
+    net.setDropRate(0.0);
+    net.send(a, b, makeMessage("m", 2, 10));
+    sim.run();
+    ASSERT_EQ(sb.received.size(), 1u);
+    EXPECT_EQ(messageBody<int>(sb.received[0]), 2);
+}
+
 TEST(Network, ResetCountersKeepsNodeState)
 {
     Simulator sim;
