@@ -49,7 +49,8 @@ measureUpdateBytes(unsigned m, std::size_t update_size)
     cfg.m = m;
     // Large updates take seconds at the modeled bandwidth: the client
     // must not re-broadcast while the body is still in flight.
-    cfg.clientRetryTimeout = 120.0;
+    cfg.clientRetry.firstDelay = 120.0;
+    cfg.clientRetry.maxDelay = 120.0;
     PbftCluster cluster(net, pos, registry, cfg);
     cluster.executor = [](unsigned, const Bytes &, std::uint64_t) {
         return Bytes{1};
@@ -87,7 +88,8 @@ commitLoop(bench::BenchContext &ctx)
     }
     PbftConfig cfg;
     cfg.m = m;
-    cfg.clientRetryTimeout = 120.0;
+    cfg.clientRetry.firstDelay = 120.0;
+    cfg.clientRetry.maxDelay = 120.0;
     PbftCluster cluster(net, pos, registry, cfg);
     cluster.executor = [](unsigned, const Bytes &, std::uint64_t) {
         return Bytes{1};

@@ -7,6 +7,10 @@
 # self-test run as ctest cases in every configuration.
 #
 # Usage: scripts/check.sh [plain|asan|tsan]...   (default: all three)
+#
+# OCEANSTORE_CHECK_FILTER, when set, is passed to ctest as -R so a
+# configuration can run one suite (e.g. the chaos matrix under ASan:
+#   OCEANSTORE_CHECK_FILTER='^Chaos\.' scripts/check.sh asan).
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -29,7 +33,11 @@ run_config() {
     echo "=== [${name}] build"
     cmake --build "${build}" -j "${jobs}"
     echo "=== [${name}] test"
-    (cd "${build}" && ctest --output-on-failure -j "${jobs}")
+    local filter=()
+    [ -n "${OCEANSTORE_CHECK_FILTER:-}" ] &&
+        filter=(-R "${OCEANSTORE_CHECK_FILTER}")
+    (cd "${build}" && ctest --output-on-failure -j "${jobs}" \
+        "${filter[@]}")
 }
 
 configs=("$@")

@@ -117,6 +117,8 @@ ArchivalClient::maybeFinish(std::uint64_t ticket)
         return;
 
     pr.done = true;
+    if (pr.retry)
+        pr.retry->succeed();
     ReconstructResult res;
     res.success = true;
     res.data = std::move(*data);
@@ -303,16 +305,20 @@ ArchivalSystem::reconstruct(
 
     // Escalation: every retry period, re-request every fragment not
     // yet received (requests or replies may have been dropped), until
-    // the reconstruction finishes or the hard timeout fires.
-    double give_up_at = net_.sim().now() + cfg_.failTimeout;
-    // The scheduled wrapper owns the function; the function holds
-    // only a weak reference to itself for rescheduling (a shared_ptr
-    // captured inside its own target would own itself and leak).
-    auto escalate = std::make_shared<std::function<void()>>();
-    *escalate = [this, &client, archive, ticket, request_one,
-                 give_up_at,
-                 weak = std::weak_ptr<std::function<void()>>(
-                     escalate)]() {
+    // the reconstruction finishes or the hard timeout fires.  The
+    // first wave above is attempt 1; constant-interval backoff
+    // (backoff factor 1) keeps the historical timing, and the attempt
+    // bound lands the final escalation strictly before failTimeout.
+    unsigned escalations = std::max<unsigned>(
+        1, static_cast<unsigned>(
+               std::ceil(cfg_.failTimeout / cfg_.retryTimeout)) -
+               1);
+    RetryPolicy policy{cfg_.retryTimeout, 1.0, cfg_.retryTimeout,
+                       escalations + 1, 0.0};
+    pr.retry = std::make_unique<RpcCall>(net_.sim(), policy,
+                                         archive.hash64() ^ ticket);
+    pr.retry->arm([this, &client, archive, ticket,
+                   request_one](unsigned) {
         auto it = client.pending_.find(ticket);
         if (it == client.pending_.end() || it->second.done)
             return;
@@ -327,14 +333,7 @@ ArchivalSystem::reconstruct(
             request_one(idx, pit2->second.holders[idx]);
             it->second.requested++;
         }
-        if (net_.sim().now() + cfg_.retryTimeout < give_up_at) {
-            if (auto self = weak.lock()) {
-                net_.sim().schedule(cfg_.retryTimeout,
-                                    [self]() { (*self)(); });
-            }
-        }
-    };
-    net_.sim().schedule(cfg_.retryTimeout, [escalate]() { (*escalate)(); });
+    });
 
     // Failure: give up after the hard timeout.
     net_.sim().schedule(cfg_.failTimeout, [this, &client, ticket]() {
@@ -342,6 +341,8 @@ ArchivalSystem::reconstruct(
         if (it == client.pending_.end() || it->second.done)
             return;
         it->second.done = true;
+        if (it->second.retry)
+            it->second.retry->succeed();
         ReconstructResult res;
         res.latency = net_.sim().now() - it->second.startTime;
         res.fragmentsRequested = it->second.requested;

@@ -28,6 +28,7 @@
 
 #include "erasure/fragment.h"
 #include "sim/network.h"
+#include "sim/rpc.h"
 
 namespace oceanstore {
 
@@ -115,6 +116,9 @@ class ArchivalClient : public SimNode
         unsigned requested = 0;
         bool done = false;
         std::function<void(const ReconstructResult &)> callback;
+        /** Bounded escalation driver: re-requests missing fragments
+         *  every retryTimeout until decode succeeds or failTimeout. */
+        std::unique_ptr<RpcCall> retry;
     };
 
     void maybeFinish(std::uint64_t ticket);

@@ -181,6 +181,13 @@ BloomLocationService::query(NodeId from, const Guid &g)
             if (d == 0)
                 continue;
             d += penalties_[cur][j];
+            // Reliability factor (Section 4.3.2): a link downgraded
+            // past the attenuation horizon advertises nothing
+            // credible — treat it as matchless rather than chase a
+            // hopeless hop, so heavy loss degrades the query to the
+            // global-tier fallback instead of a wandering TTL burn.
+            if (d > cfg_.depth)
+                continue;
             if (d < best_dist || (d == best_dist && adj[j] < best)) {
                 best_dist = d;
                 best = adj[j];

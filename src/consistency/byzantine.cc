@@ -124,17 +124,18 @@ PbftClient::submit(const Bytes &payload,
     // Retry: while no quorum arrives, periodically broadcast to all
     // replicas — this triggers forwarding (and eventually view
     // changes) and lets stalled requests land once a partition heals.
-    // The scheduled wrapper owns the function; the function holds
-    // only a weak reference to itself for rescheduling.  (Capturing
-    // the shared_ptr inside its own target is a refcount cycle: the
-    // heap-allocated std::function would own itself and leak.)
-    auto retry = std::make_shared<std::function<void()>>();
-    *retry = [this, req_id,
-              weak = std::weak_ptr<std::function<void()>>(retry)]() {
+    // The leader send above is attempt 1; the RpcCall drives bounded
+    // backoff re-broadcasts until maybeComplete calls succeed().
+    PendingRequest &slot = pending_[req_id];
+    slot.retry = std::make_unique<RpcCall>(
+        cluster_.net().sim(), cluster_.config().clientRetry,
+        req_id.hash64() ^ clientId_);
+    slot.retry->arm([this, req_id](unsigned) {
         auto it = pending_.find(req_id);
         if (it == pending_.end() || it->second.completed)
             return;
         it->second.retried = true;
+        retryAttempts_++;
         ReqBody rb{it->second.payload, req_id, nodeId_, true};
         Message rm = makeMessage(
             "pbft.request", rb,
@@ -142,14 +143,7 @@ PbftClient::submit(const Bytes &payload,
         cluster_.net().multicast(
             nodeId_, cluster_.replicaNodeIds(invalidNode),
             std::move(rm));
-        if (auto self = weak.lock()) {
-            cluster_.net().sim().schedule(
-                cluster_.config().clientRetryTimeout,
-                [self]() { (*self)(); });
-        }
-    };
-    cluster_.net().sim().schedule(cluster_.config().clientRetryTimeout,
-                                  [retry]() { (*retry)(); });
+    });
 }
 
 void
@@ -170,6 +164,8 @@ PbftClient::maybeComplete(const Guid &request_id, PendingRequest &pr,
         return;
 
     pr.completed = true;
+    if (pr.retry)
+        pr.retry->succeed();
     PbftOutcome out;
     out.requestId = request_id;
     out.sequence = seq;
@@ -307,9 +303,29 @@ PbftReplica::onRequest(const Message &msg)
     known_[body.requestId] = {body.payload, body.client};
 
     if (isLeader()) {
-        if (!assigned_.count(body.requestId))
+        auto ait = assigned_.find(body.requestId);
+        if (ait == assigned_.end()) {
             assignAndPrePrepare(body.payload, body.requestId,
                                 body.client);
+        } else if (body.retry) {
+            // Assigned but stalled: retransmit the pre-prepare.
+            // Without within-view retransmission a single dropped
+            // control message stalls the slot until a view change,
+            // and view changes restart everyone's work.
+            auto sit = slots_.find(ait->second);
+            if (sit != slots_.end() && !sit->second.executed) {
+                Slot &slot = sit->second;
+                PrePrepareBody pp{view_, ait->second, slot.digest,
+                                  slot.payload, body.requestId,
+                                  slot.client};
+                Message m = makeMessage("pbft.preprepare", pp,
+                                        slot.payload.size() +
+                                            pbftControlBytes);
+                cluster_.net().multicast(
+                    nodeId_, cluster_.replicaNodeIds(nodeId_),
+                    std::move(m));
+            }
+        }
         return;
     }
 
@@ -330,8 +346,13 @@ PbftReplica::startViewChangeTimer(const Guid &req_id)
     if (timers_.count(req_id))
         return;
     unsigned armed_view = view_;
+    // Timeouts grow with the view number (Castro-Liskov): under heavy
+    // message loss successive view changes otherwise fire faster than
+    // any view can finish its work, and the group thrashes forever.
+    double delay = cluster_.config().viewChangeTimeout *
+                   static_cast<double>(1u << std::min(view_, 4u));
     timers_[req_id] = cluster_.net().sim().schedule(
-        cluster_.config().viewChangeTimeout, [this, req_id, armed_view]() {
+        delay, [this, req_id, armed_view]() {
             timers_.erase(req_id);
             if (fault_ == ReplicaFault::Crash)
                 return;
@@ -386,6 +407,7 @@ PbftReplica::onPrePrepare(const Message &msg)
     }
     slot.earlyCommits.clear();
 
+    bool had_committed = slot.sentCommit;
     VoteBody vote{view_, body.seq, maybeCorrupt(body.digest), rank_};
     Message m = makeMessage("pbft.prepare", vote, pbftControlBytes);
     cluster_.net().multicast(nodeId_, cluster_.replicaNodeIds(nodeId_),
@@ -395,6 +417,15 @@ PbftReplica::onPrePrepare(const Message &msg)
     // count it so quorums survive m crashed backups.
     slot.prepares.insert(view_ % cluster_.size());
     tryCommit(body.seq);
+    if (had_committed) {
+        // Retransmitted pre-prepare and we had already committed:
+        // our earlier commit may be what the stalled peers lost.
+        VoteBody cv{view_, body.seq, maybeCorrupt(slot.digest), rank_};
+        Message cm = makeMessage("pbft.commit", cv, pbftControlBytes);
+        cluster_.net().multicast(nodeId_,
+                                 cluster_.replicaNodeIds(nodeId_),
+                                 std::move(cm));
+    }
 }
 
 void
@@ -516,10 +547,36 @@ void
 PbftReplica::onViewChange(const Message &msg)
 {
     const auto &body = messageBody<ViewChangeBody>(msg);
-    if (body.newView <= view_)
+    if (body.newView <= view_) {
+        // Stale vote: the sender is behind (its earlier votes for our
+        // current view were lost).  Announce the view we are in so it
+        // catches up — without this, a laggard keeps voting for a
+        // view everyone else already passed and the group can strand
+        // itself short of a view-change quorum under message loss.
+        if (body.rank != rank_) {
+            NewViewBody nv{view_};
+            Message m = makeMessage("pbft.newview", nv,
+                                    pbftControlBytes);
+            cluster_.net().send(
+                nodeId_, cluster_.replica(body.rank).nodeId(), m);
+        }
         return;
+    }
     auto &votes = viewVotes_[body.newView];
     votes.insert(body.rank);
+    // Join rule (PBFT liveness): m+1 votes for a higher view prove at
+    // least one correct replica timed out, so join that view-change
+    // even though our own timer has not fired — otherwise replicas
+    // that advanced at different times can each sit one vote short.
+    if (!votes.count(rank_) &&
+        votes.size() >= cluster_.faultTolerance() + 1) {
+        votes.insert(rank_);
+        ViewChangeBody vc{body.newView, rank_};
+        Message m = makeMessage("pbft.viewchange", vc,
+                                pbftControlBytes);
+        cluster_.net().multicast(
+            nodeId_, cluster_.replicaNodeIds(nodeId_), std::move(m));
+    }
     if (votes.size() < 2 * cluster_.faultTolerance() + 1)
         return;
 
@@ -537,6 +594,20 @@ PbftReplica::onViewChange(const Message &msg)
         }
     }
     nextSeq_ = lastExecuted_ + 1;
+    // Forget leader-side dedupe entries for requests that never
+    // executed: their sequence numbers died with the old view, and a
+    // retried request must be assignable afresh by the new leader.
+    // (Every assigned request is in known_, which is ordered.)
+    for (const auto &[req_id, pc] : known_) {
+        if (!done_.count(req_id))
+            assigned_.erase(req_id);
+    }
+    // Entering a view restarts the failure clock: timers armed for
+    // the old view would fire as no-ops yet block re-arming, leaving
+    // no path to the next view change once they are spent.
+    for (auto &[req_id, ev] : timers_)
+        cluster_.net().sim().cancel(ev);
+    timers_.clear();
 
     if (isLeader()) {
         NewViewBody nv{view_};
@@ -559,6 +630,7 @@ PbftReplica::onNewView(const Message &msg)
     if (body.newView <= view_)
         return;
     view_ = body.newView;
+    viewVotes_.erase(viewVotes_.begin(), viewVotes_.upper_bound(view_));
     for (auto it = slots_.begin(); it != slots_.end();) {
         if (!it->second.executed && it->first > lastExecuted_) {
             it = slots_.erase(it);
@@ -567,6 +639,13 @@ PbftReplica::onNewView(const Message &msg)
         }
     }
     nextSeq_ = lastExecuted_ + 1;
+    for (const auto &[req_id, pc] : known_) {
+        if (!done_.count(req_id))
+            assigned_.erase(req_id);
+    }
+    for (auto &[req_id, ev] : timers_)
+        cluster_.net().sim().cancel(ev);
+    timers_.clear();
 }
 
 // ---------------------------------------------------------------------

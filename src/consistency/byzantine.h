@@ -28,7 +28,9 @@
 
 #include "crypto/keys.h"
 #include "sim/network.h"
+#include "sim/rpc.h"
 #include "util/check.h"
+#include "util/retry.h"
 
 namespace oceanstore {
 
@@ -39,8 +41,14 @@ struct PbftConfig
     unsigned m = 1;
     /** Seconds a backup waits for a pre-prepare before view change. */
     double viewChangeTimeout = 3.0;
-    /** Seconds a client waits before re-broadcasting its request. */
-    double clientRetryTimeout = 2.0;
+    /**
+     * Client re-broadcast schedule: bounded exponential backoff with
+     * deterministic jitter, starting 2 s after submission; ten
+     * attempts spread over ~80 s ride out drop storms and a
+     * partition/heal cycle without keeping the event queue alive
+     * forever.
+     */
+    RetryPolicy clientRetry{2.0, 1.5, 12.0, 10, 0.05};
 };
 
 /** Fault behavior injected into a replica. */
@@ -114,6 +122,10 @@ class PbftClient : public SimNode
     /** Network id (set when the cluster registers the client). */
     NodeId nodeId() const { return nodeId_; }
 
+    /** Total retry broadcasts issued across all requests (the chaos
+     *  suite asserts this stays bounded). */
+    std::uint64_t retryAttempts() const { return retryAttempts_; }
+
   private:
     friend class PbftCluster;
 
@@ -134,6 +146,8 @@ class PbftClient : public SimNode
         std::map<unsigned, Vote> votes;
         bool completed = false;
         bool retried = false;
+        /** Bounded re-broadcast driver; quorum calls succeed(). */
+        std::unique_ptr<RpcCall> retry;
     };
 
     void maybeComplete(const Guid &request_id, PendingRequest &pr,
@@ -142,6 +156,7 @@ class PbftClient : public SimNode
     PbftCluster &cluster_;
     std::uint64_t clientId_;
     NodeId nodeId_ = invalidNode;
+    std::uint64_t retryAttempts_ = 0;
     std::unordered_map<Guid, PendingRequest> pending_;
 };
 
@@ -219,8 +234,9 @@ class PbftReplica : public SimNode
     std::unordered_map<Guid, std::pair<std::uint64_t, Bytes>> done_;
     /** Pending view-change votes: newView -> voter ranks. */
     std::map<unsigned, std::set<unsigned>> viewVotes_;
-    /** Requests awaiting pre-prepare (view-change timers armed). */
-    std::unordered_map<Guid, EventId> timers_;
+    /** Requests awaiting pre-prepare (view-change timers armed).
+     *  Ordered: view adoption cancels these in iteration order. */
+    std::map<Guid, EventId> timers_;
     /** Requests known but not yet pre-prepared (for new leader).
      *  Ordered: a new leader re-proposes these in iteration order,
      *  which feeds message emission and must be deterministic. */

@@ -47,6 +47,12 @@ struct PushBody
     VersionNum version = 0;
 };
 
+struct AckBody
+{
+    Guid updateId;
+    VersionNum version = 0;
+};
+
 struct InvalBody
 {
     Guid object;
@@ -141,6 +147,8 @@ SecondaryReplica::handleMessage(const Message &msg)
         onUpdates(msg);
     else if (msg.type == "sec.push")
         onPush(msg);
+    else if (msg.type == "sec.ack")
+        onAck(msg);
     else if (msg.type == "sec.inval")
         onInvalidate(msg);
     else if (msg.type == "sec.fetch")
@@ -241,7 +249,24 @@ void
 SecondaryReplica::onPush(const Message &msg)
 {
     const auto &body = messageBody<PushBody>(msg);
+    Guid uid = body.update.id();
+
+    // Ack every push that crossed the network (the root injects
+    // locally with src == invalidNode), including duplicates and
+    // retransmissions: the parent may have missed the first ack.
+    if (tier_.config().reliablePush && msg.src != invalidNode) {
+        AckBody ack{uid, body.version};
+        tier_.net().send(nodeId_, msg.src,
+                         makeMessage("sec.ack", ack,
+                                     Guid::numBytes + 8));
+    }
+
     applyCommitted(body.update, body.version);
+
+    // Forward each update down the tree at most once; retransmitted
+    // or duplicated pushes stop here.
+    if (!forwarded_.insert(uid).second)
+        return;
 
     // Forward down the dissemination tree; bandwidth-limited leaves
     // get an invalidation instead of the body.  Both fan-outs go
@@ -267,7 +292,39 @@ SecondaryReplica::onPush(const Message &msg)
         tier_.net().multicast(nodeId_, push_children,
                               makeMessage("sec.push", body,
                                           body.update.wireSize() + 8));
+        if (tier_.config().reliablePush) {
+            // The multicast is attempt 1; per-child drivers retransmit
+            // individually until the child acks or attempts run out
+            // (anti-entropy is the backstop beyond that).
+            for (NodeId child : push_children) {
+                auto key = std::make_pair(child, uid);
+                auto call = std::make_unique<RpcCall>(
+                    tier_.net().sim(), tier_.config().pushRetry,
+                    tier_.config().seed ^ child ^ uid.hash64());
+                call->arm(
+                    [this, child, body](unsigned) {
+                        pushRetransmits_++;
+                        tier_.net().send(
+                            nodeId_, child,
+                            makeMessage("sec.push", body,
+                                        body.update.wireSize() + 8));
+                    },
+                    [this, key]() { pushPending_.erase(key); });
+                pushPending_[key] = std::move(call);
+            }
+        }
     }
+}
+
+void
+SecondaryReplica::onAck(const Message &msg)
+{
+    const auto &body = messageBody<AckBody>(msg);
+    auto it = pushPending_.find({msg.src, body.updateId});
+    if (it == pushPending_.end())
+        return;
+    it->second->succeed();
+    pushPending_.erase(it);
 }
 
 void
@@ -533,6 +590,15 @@ SecondaryTier::tentativeSpread(const Guid &id) const
         if (rep->tentative_.count(id))
             n++;
     }
+    return n;
+}
+
+std::uint64_t
+SecondaryTier::pushRetransmits() const
+{
+    std::uint64_t n = 0;
+    for (const auto &rep : replicas_)
+        n += rep->pushRetransmits_;
     return n;
 }
 

@@ -18,14 +18,17 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <set>
 #include <unordered_map>
 #include <vector>
 
 #include "consistency/data_object.h"
 #include "consistency/dissemination.h"
 #include "sim/network.h"
+#include "sim/rpc.h"
 #include "util/check.h"
 #include "util/random.h"
+#include "util/retry.h"
 
 namespace oceanstore {
 
@@ -42,6 +45,15 @@ struct SecondaryConfig
     bool treePush = true;
     /** Send invalidations (not bodies) to tree leaves. */
     bool invalidateAtLeaves = false;
+    /**
+     * Acknowledge tree pushes and retransmit unacked ones.  Without
+     * it a single dropped sec.push silences a whole subtree until
+     * anti-entropy happens by; with it the tree itself rides out
+     * lossy links.
+     */
+    bool reliablePush = true;
+    /** Retransmit schedule for unacked pushes (reliablePush). */
+    RetryPolicy pushRetry{0.6, 2.0, 5.0, 4, 0.1};
     /** Randomness seed. */
     std::uint64_t seed = 0x5ec0d417u;
 };
@@ -88,6 +100,7 @@ class SecondaryReplica : public SimNode
     void onPull(const Message &msg);
     void onUpdates(const Message &msg);
     void onPush(const Message &msg);
+    void onAck(const Message &msg);
     void onInvalidate(const Message &msg);
     void onFetch(const Message &msg);
 
@@ -111,6 +124,14 @@ class SecondaryReplica : public SimNode
     std::map<Guid, std::map<VersionNum, Update>> buffered_;
     /** Objects invalidated but not yet re-fetched: obj -> needed version. */
     std::unordered_map<Guid, VersionNum> stale_;
+    /** Update ids already forwarded down the tree: a duplicated or
+     *  retransmitted sec.push is re-acked but never re-forwarded, so
+     *  lossy links cannot trigger multicast storms. */
+    std::set<Guid> forwarded_;
+    /** (child, update id) -> retransmit driver (reliablePush). */
+    std::map<std::pair<NodeId, Guid>, std::unique_ptr<RpcCall>>
+        pushPending_;
+    std::uint64_t pushRetransmits_ = 0;
 };
 
 /**
@@ -166,6 +187,10 @@ class SecondaryTier
 
     /** Number of replicas holding the tentative update @p id. */
     std::size_t tentativeSpread(const Guid &id) const;
+
+    /** Total sec.push retransmissions across all replicas (the chaos
+     *  suite asserts this stays bounded). */
+    std::uint64_t pushRetransmits() const;
 
     /** The dissemination tree (valid when treePush). */
     const DisseminationTree &tree() const { return *tree_; }

@@ -338,6 +338,37 @@ Universe::read(std::size_t from_server, const Guid &obj,
         }
     }
 
+    // Location retry: a miss in both tiers usually means stale mesh
+    // state after churn, so repair the pointer paths and re-run the
+    // deterministic lookup, charging each retry's backoff delay to
+    // the modeled read latency.
+    if (holder == static_cast<std::size_t>(invalidNode)) {
+        RetrySchedule sched(cfg_.locationRetry,
+                            cfg_.seed ^ obj.hash64());
+        for (unsigned a = 1; a < cfg_.locationRetry.maxAttempts; a++) {
+            auto gap = sched.nextDelay();
+            if (!gap.has_value())
+                break;
+            latency += *gap;
+            mesh_->repair();
+            auto lr = mesh_->locate(
+                tier_->replica(from_server).nodeId(), obj);
+            if (!lr.found)
+                continue;
+            for (std::size_t i = 0; i < cfg_.numServers; i++) {
+                if (tier_->replica(i).nodeId() == lr.location) {
+                    holder = i;
+                    break;
+                }
+            }
+            latency +=
+                lr.latency +
+                net_.latency(lr.location,
+                             tier_->replica(from_server).nodeId());
+            break;
+        }
+    }
+
     if (holder != static_cast<std::size_t>(invalidNode)) {
         const DataObject &state =
             tier_->replica(holder).committedObject(obj);

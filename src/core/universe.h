@@ -46,6 +46,7 @@
 #include "introspect/prefetch.h"
 #include "introspect/replica_mgmt.h"
 #include "plaxton/mesh.h"
+#include "util/retry.h"
 
 namespace oceanstore {
 
@@ -60,6 +61,13 @@ struct UniverseConfig
     unsigned archiveTotalFragments = 32;
     unsigned archiveDomains = 4;   //!< Administrative domains.
     bool archiveOnCommit = true;   //!< Couple archival to commits.
+    /**
+     * Read-path location retries: on a two-tier miss the mesh is
+     * repaired and the deterministic lookup re-run, each retry adding
+     * its backoff delay to the modeled read latency.  maxAttempts
+     * counts the initial lookup; 1 disables retries.
+     */
+    RetryPolicy locationRetry{1.0, 2.0, 8.0, 3, 0.0};
     std::uint64_t seed = 0x0cea5042u;
 
     NetworkConfig network;

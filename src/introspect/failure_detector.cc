@@ -1,0 +1,154 @@
+#include "introspect/failure_detector.h"
+
+#include "util/check.h"
+
+namespace oceanstore {
+
+namespace {
+
+struct HeartbeatBody
+{
+    NodeId node = invalidNode;
+};
+
+constexpr std::size_t heartbeatWireBytes = 8;
+
+} // namespace
+
+FailureDetector::FailureDetector(Simulator &sim, Network &net, double x,
+                                 double y, FailureDetectorConfig cfg)
+    : sim_(sim), net_(net), cfg_(cfg), rng_(cfg.seed)
+{
+    OS_CHECK(cfg.heartbeatPeriod > 0 && cfg.sweepPeriod > 0,
+             "FailureDetector: non-positive period");
+    OS_CHECK(cfg.suspectTimeout > cfg.heartbeatPeriod,
+             "FailureDetector: suspectTimeout ", cfg.suspectTimeout,
+             " must exceed heartbeatPeriod ", cfg.heartbeatPeriod);
+    self_ = net_.addNode(this, x, y);
+}
+
+void
+FailureDetector::monitor(const std::vector<NodeId> &nodes)
+{
+    for (NodeId n : nodes) {
+        if (lastSeen_.count(n))
+            continue;
+        // Grace: a fresh node is as good as just-heard-from.
+        lastSeen_[n] = sim_.now();
+        if (running_) {
+            scheduleHeartbeat(
+                n, rng_.uniform(0.0, cfg_.heartbeatPeriod));
+        }
+    }
+}
+
+void
+FailureDetector::start()
+{
+    if (running_)
+        return;
+    running_ = true;
+    for (auto &[n, seen] : lastSeen_) {
+        seen = sim_.now();
+        // Stagger phases so heartbeats don't arrive in lockstep.
+        scheduleHeartbeat(n, rng_.uniform(0.0, cfg_.heartbeatPeriod));
+    }
+    scheduleSweep();
+}
+
+void
+FailureDetector::scheduleHeartbeat(NodeId n, double delay)
+{
+    sim_.schedule(delay, [this, n]() {
+        if (!running_)
+            return;
+        // The heartbeat originates at the monitored node; a crashed
+        // sender transmits nothing, drops and partitions apply.
+        net_.send(n, self_,
+                  makeMessage("fd.heartbeat", HeartbeatBody{n},
+                              heartbeatWireBytes));
+        scheduleHeartbeat(n, cfg_.heartbeatPeriod);
+    });
+}
+
+void
+FailureDetector::scheduleSweep()
+{
+    if (sweepArmed_)
+        return;
+    sweepArmed_ = true;
+    sim_.schedule(cfg_.sweepPeriod, [this]() {
+        sweepArmed_ = false;
+        if (!running_)
+            return;
+        sweep();
+        scheduleSweep();
+    });
+}
+
+void
+FailureDetector::handleMessage(const Message &msg)
+{
+    if (msg.type != "fd.heartbeat")
+        return;
+    const auto &body = messageBody<HeartbeatBody>(msg);
+    auto it = lastSeen_.find(body.node);
+    if (it == lastSeen_.end())
+        return; // not monitored
+    it->second = sim_.now();
+
+    if (suspects_.erase(body.node)) {
+        restoreEvents_++;
+        emitEvent("fd.restore", body.node);
+        if (onRestore)
+            onRestore(body.node);
+    }
+}
+
+void
+FailureDetector::sweep()
+{
+    bool changed = false;
+    for (const auto &[n, seen] : lastSeen_) {
+        if (sim_.now() - seen < cfg_.suspectTimeout)
+            continue;
+        if (!suspects_.insert(n).second)
+            continue;
+        suspicionEvents_++;
+        changed = true;
+        emitEvent("fd.suspect", n);
+        if (onSuspect)
+            onSuspect(n);
+    }
+    if (changed && observer_) {
+        // Suspicion changed the picture: run the in-depth analyzers
+        // (mesh repair sweeps, archival re-repair) and forward the
+        // summary up the hierarchy.
+        observer_->analyzeAndForward();
+    }
+}
+
+void
+FailureDetector::emitEvent(const char *type, NodeId n)
+{
+    if (!observer_)
+        return;
+    Event e;
+    e.type = type;
+    e.fields["node"] = static_cast<double>(n);
+    e.fields["time"] = sim_.now();
+    observer_->onEvent(e);
+    observer_->db().record(std::string(type) + ".count", 1.0,
+                           ObservationDb::Merge::Sum);
+    observer_->db().record("fd.suspected_now",
+                           static_cast<double>(suspects_.size()),
+                           ObservationDb::Merge::Replace);
+}
+
+std::vector<NodeId>
+FailureDetector::suspects() const
+{
+    return {suspects_.begin(), suspects_.end()};
+}
+
+} // namespace oceanstore

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Heartbeat-based failure detection feeding introspection.
+ *
+ * Section 4.7: the observation modules "monitor current
+ * circumstances" so that self-maintenance reacts to failure without
+ * human intervention.  The detector models the standard heartbeat
+ * scheme: every monitored node emits a periodic heartbeat over the
+ * real simulated network (so crashes, drops and partitions silence it
+ * naturally), and a sweep marks nodes unseen for longer than the
+ * suspicion timeout.  Suspicion and restore events fire callbacks —
+ * typically wired to Plaxton mesh repair and archival re-repair — and
+ * are recorded into an attached IntrospectionNode, whose analyzers
+ * run whenever a sweep changes the suspect set.  That closes the
+ * paper's loop: observe, analyze, repair, automatically.
+ */
+
+#ifndef OCEANSTORE_INTROSPECT_FAILURE_DETECTOR_H
+#define OCEANSTORE_INTROSPECT_FAILURE_DETECTOR_H
+
+#include <functional>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "introspect/observation.h"
+#include "sim/network.h"
+#include "sim/simulator.h"
+#include "util/random.h"
+
+namespace oceanstore {
+
+/** Tunables for the heartbeat failure detector. */
+struct FailureDetectorConfig
+{
+    /** Seconds between heartbeats from each monitored node. */
+    double heartbeatPeriod = 1.0;
+    /** Seconds of silence before a node becomes suspected.  Keep
+     *  comfortably above heartbeatPeriod so isolated message drops
+     *  do not trigger false suspicion. */
+    double suspectTimeout = 3.5;
+    /** Seconds between suspicion sweeps. */
+    double sweepPeriod = 1.0;
+    /** Seed for heartbeat phase staggering. */
+    std::uint64_t seed = 0xde7ec7u;
+};
+
+/**
+ * The detector node.  Register it on the network (it receives the
+ * heartbeats), call monitor() for the watched nodes, then start().
+ * stop() before draining the simulator: the periodic timers otherwise
+ * keep the event queue alive forever.
+ */
+class FailureDetector : public SimNode
+{
+  public:
+    FailureDetector(Simulator &sim, Network &net, double x, double y,
+                    FailureDetectorConfig cfg = {});
+
+    /** Add @p nodes to the monitored set (before or after start()). */
+    void monitor(const std::vector<NodeId> &nodes);
+
+    /** Begin heartbeats and sweeps. */
+    void start();
+
+    /** Stop scheduling further heartbeats and sweeps. */
+    void stop() { running_ = false; }
+
+    void handleMessage(const Message &msg) override;
+
+    /** Fired when a monitored node becomes suspected. */
+    std::function<void(NodeId)> onSuspect;
+
+    /** Fired when a suspected node's heartbeat returns. */
+    std::function<void(NodeId)> onRestore;
+
+    /** True while @p n is suspected. */
+    bool isSuspect(NodeId n) const { return suspects_.count(n) > 0; }
+
+    /** Currently suspected nodes, ascending. */
+    std::vector<NodeId> suspects() const;
+
+    /** Total suspicion events raised so far. */
+    std::uint64_t suspicionEvents() const { return suspicionEvents_; }
+
+    /** Total restore events raised so far. */
+    std::uint64_t restoreEvents() const { return restoreEvents_; }
+
+    /**
+     * Attach the introspection node that absorbs suspicion/restore
+     * events ("fd.suspect" / "fd.restore") and whose analyzers run
+     * after every sweep that changed the suspect set.
+     */
+    void setObserver(IntrospectionNode *obs) { observer_ = obs; }
+
+    /** The detector's own network id. */
+    NodeId nodeId() const { return self_; }
+
+  private:
+    void scheduleHeartbeat(NodeId n, double delay);
+    void scheduleSweep();
+    void sweep();
+    void emitEvent(const char *type, NodeId n);
+
+    Simulator &sim_;
+    Network &net_;
+    FailureDetectorConfig cfg_;
+    Rng rng_;
+    NodeId self_ = invalidNode;
+    bool running_ = false;
+    bool sweepArmed_ = false;
+    /** Monitored node -> last heartbeat arrival (ordered: sweeps
+     *  iterate this map and feed suspicion callbacks). */
+    std::map<NodeId, double> lastSeen_;
+    std::set<NodeId> suspects_;
+    std::uint64_t suspicionEvents_ = 0;
+    std::uint64_t restoreEvents_ = 0;
+    IntrospectionNode *observer_ = nullptr;
+};
+
+} // namespace oceanstore
+
+#endif // OCEANSTORE_INTROSPECT_FAILURE_DETECTOR_H

@@ -41,6 +41,33 @@ ChurnInjector::scheduleTransition(NodeId n)
 }
 
 std::vector<NodeId>
+ChurnInjector::massFailure(const std::vector<NodeId> &nodes,
+                           double fraction)
+{
+    auto downed = massFailure(net_, nodes, fraction, rng_);
+    if (onCrash) {
+        for (NodeId n : downed)
+            onCrash(n);
+    }
+    return downed;
+}
+
+std::vector<NodeId>
+ChurnInjector::massRecover(const std::vector<NodeId> &nodes)
+{
+    std::vector<NodeId> recovered;
+    for (NodeId n : nodes) {
+        if (net_.isUp(n))
+            continue;
+        net_.setUp(n);
+        recovered.push_back(n);
+        if (onRecover)
+            onRecover(n);
+    }
+    return recovered;
+}
+
+std::vector<NodeId>
 ChurnInjector::massFailure(Network &net, const std::vector<NodeId> &nodes,
                            double fraction, Rng &rng)
 {

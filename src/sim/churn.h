@@ -58,6 +58,23 @@ class ChurnInjector
     massFailure(Network &net, const std::vector<NodeId> &nodes,
                 double fraction, Rng &rng);
 
+    /**
+     * Crash a uniformly random @p fraction of @p nodes immediately,
+     * firing onCrash for each — the callback-carrying counterpart of
+     * the static helper, so protocol layers (mesh repair, failure
+     * detectors) observe mass-failure events exactly like ordinary
+     * churn transitions.  @return the downed nodes.
+     */
+    std::vector<NodeId> massFailure(const std::vector<NodeId> &nodes,
+                                    double fraction);
+
+    /**
+     * Symmetric recovery: bring every currently-down node in
+     * @p nodes back up, firing onRecover for each.
+     * @return the recovered nodes.
+     */
+    std::vector<NodeId> massRecover(const std::vector<NodeId> &nodes);
+
   private:
     void scheduleTransition(NodeId n);
 

@@ -1,0 +1,114 @@
+#include "sim/fault.h"
+
+#include "util/check.h"
+
+namespace oceanstore {
+
+FaultInjector::FaultInjector(Simulator &sim, Network &net, FaultPlan plan)
+    : sim_(sim), net_(net), plan_(std::move(plan)), rng_(plan_.seed)
+{
+    OS_CHECK(plan_.drop >= 0 && plan_.drop <= 1,
+             "FaultPlan: drop ", plan_.drop, " outside [0,1]");
+    OS_CHECK(plan_.duplicate >= 0 && plan_.duplicate <= 1,
+             "FaultPlan: duplicate ", plan_.duplicate,
+             " outside [0,1]");
+    OS_CHECK(plan_.delayJitter >= 0,
+             "FaultPlan: negative delayJitter");
+    for (const auto &lf : plan_.links) {
+        OS_CHECK(lf.drop >= 0 && lf.drop <= 1,
+                 "FaultPlan: link drop outside [0,1]");
+        linkDrop_[{lf.from, lf.to}] = lf.drop;
+    }
+    for (const auto &pc : plan_.partitions) {
+        OS_CHECK(pc.healAt >= pc.splitAt,
+                 "FaultPlan: partition heals before it splits");
+    }
+}
+
+FaultInjector::~FaultInjector()
+{
+    disarm();
+    for (EventId ev : cycleEvents_)
+        sim_.cancel(ev); // cancel-after-fire is a no-op
+}
+
+void
+FaultInjector::arm()
+{
+    if (armed_)
+        return;
+    armed_ = true;
+    net_.setFaultInjector(this);
+
+    // Partition cycles: each uses its own partition id so overlapping
+    // cycles stay distinguishable; heal merges the group back into
+    // the default partition.
+    for (std::size_t i = 0; i < plan_.partitions.size(); i++) {
+        const auto &pc = plan_.partitions[i];
+        int pid = static_cast<int>(i) + 1;
+        cycleEvents_.push_back(
+            sim_.scheduleAt(pc.splitAt, [this, i, pid]() {
+                for (NodeId n : plan_.partitions[i].groupA)
+                    net_.setPartition(n, pid);
+            }));
+        cycleEvents_.push_back(sim_.scheduleAt(
+            pc.healAt, [this, pid]() { net_.heal(0, pid); }));
+    }
+}
+
+void
+FaultInjector::disarm()
+{
+    if (!armed_)
+        return;
+    armed_ = false;
+    net_.setFaultInjector(nullptr);
+}
+
+void
+FaultInjector::mix(std::uint64_t v)
+{
+    for (int i = 0; i < 8; i++) {
+        trace_ ^= (v >> (8 * i)) & 0xff;
+        trace_ *= 1099511628211ull;
+    }
+}
+
+FaultInjector::Verdict
+FaultInjector::onSend(NodeId from, NodeId to, std::size_t bytes)
+{
+    inspected_++;
+    Verdict v;
+
+    double drop = plan_.drop;
+    if (!linkDrop_.empty()) {
+        auto it = linkDrop_.find({from, to});
+        if (it != linkDrop_.end())
+            drop = it->second;
+    }
+    if (drop > 0 && rng_.chance(drop)) {
+        v.drop = true;
+        dropped_++;
+    } else {
+        if (plan_.duplicate > 0 && rng_.chance(plan_.duplicate)) {
+            v.duplicate = true;
+            duplicated_++;
+        }
+        if (plan_.delayJitter > 0) {
+            v.extraDelay = rng_.uniform(0.0, plan_.delayJitter);
+            delayed_++;
+        }
+    }
+
+    mix(from);
+    mix(to);
+    mix(bytes);
+    std::uint64_t bits;
+    static_assert(sizeof(bits) == sizeof(v.extraDelay));
+    __builtin_memcpy(&bits, &v.extraDelay, sizeof(bits));
+    mix((v.drop ? 1u : 0u) | (v.duplicate ? 2u : 0u));
+    mix(bits);
+    return v;
+}
+
+} // namespace oceanstore

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "sim/fault.h"
 #include "util/check.h"
 #include "util/logging.h"
 
@@ -123,7 +124,25 @@ Network::send(NodeId from, NodeId to, Message msg)
         return;
 
     double lat = deliveryLatency(from, to, bytes);
-    scheduleDelivery(allocFlight(std::move(msg)), to, lat);
+    bool dup = false;
+    if (fault_) {
+        auto v = fault_->onSend(from, to, bytes);
+        if (v.drop)
+            return;
+        lat += v.extraDelay;
+        dup = v.duplicate;
+    }
+    std::uint32_t flight = allocFlight(std::move(msg));
+    if (dup) {
+        // Pin the flight so both copies share one payload slot.
+        flights_[flight].refs++;
+        scheduleDelivery(flight, to, lat);
+        scheduleDelivery(flight, to,
+                         lat + deliveryLatency(from, to, bytes));
+        releaseFlight(flight);
+        return;
+    }
+    scheduleDelivery(flight, to, lat);
 }
 
 void
@@ -158,6 +177,17 @@ Network::multicast(NodeId from, const std::vector<NodeId> &tos,
         if (cfg_.dropRate > 0 && rng_.chance(cfg_.dropRate))
             continue;
         double lat = deliveryLatency(from, to, bytes);
+        if (fault_) {
+            auto v = fault_->onSend(from, to, bytes);
+            if (v.drop)
+                continue;
+            lat += v.extraDelay;
+            if (v.duplicate) {
+                scheduleDelivery(flight, to,
+                                 lat +
+                                     deliveryLatency(from, to, bytes));
+            }
+        }
         scheduleDelivery(flight, to, lat);
     }
     releaseFlight(flight);
@@ -190,6 +220,17 @@ Network::healPartitions()
 {
     for (auto &p : partition_)
         p = 0;
+}
+
+void
+Network::heal(int a, int b)
+{
+    if (a == b)
+        return;
+    for (auto &p : partition_) {
+        if (p == b)
+            p = a;
+    }
 }
 
 void

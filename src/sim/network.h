@@ -32,6 +32,8 @@
 
 namespace oceanstore {
 
+class FaultInjector;
+
 /** Interface every simulated protocol endpoint implements. */
 class SimNode
 {
@@ -128,8 +130,28 @@ class Network
     /** Remove all partitions (everyone back to partition 0). */
     void healPartitions();
 
+    /**
+     * Heal the split between two partitions: every node in partition
+     * @p b moves to partition @p a, so traffic flows between the two
+     * groups again.  Other partitions are untouched.
+     */
+    void heal(int a, int b);
+
+    /** Remove all partitions; alias of healPartitions(). */
+    void healAll() { healPartitions(); }
+
     /** Set the global message drop probability. */
     void setDropRate(double p) { cfg_.dropRate = p; }
+
+    /**
+     * Attach (or with nullptr detach) a fault injector consulted for
+     * every transmission whose sender is alive.  When none is
+     * attached the send path pays exactly one null check.
+     */
+    void setFaultInjector(FaultInjector *f) { fault_ = f; }
+
+    /** The attached fault injector (nullptr when faults are off). */
+    FaultInjector *faultInjector() const { return fault_; }
 
     /** Total payload+header bytes sent so far. */
     std::uint64_t totalBytes() const { return totalBytes_; }
@@ -167,6 +189,7 @@ class Network
     Simulator &sim_;
     NetworkConfig cfg_;
     Rng rng_;
+    FaultInjector *fault_ = nullptr;
     std::vector<SimNode *> nodes_;
     std::vector<std::pair<double, double>> pos_;
     std::vector<bool> up_;

@@ -1,0 +1,87 @@
+#include "sim/rpc.h"
+
+#include "util/check.h"
+
+namespace oceanstore {
+
+RpcCall::RpcCall(Simulator &sim, const RetryPolicy &policy,
+                 std::uint64_t seed)
+    : sim_(sim), policy_(policy), schedule_(policy, seed)
+{
+}
+
+RpcCall::~RpcCall()
+{
+    if (pending_ != invalidEventId)
+        sim_.cancel(pending_);
+}
+
+void
+RpcCall::start(AttemptFn attempt, ExhaustedFn exhausted)
+{
+    arm(std::move(attempt), std::move(exhausted));
+    if (attempt_)
+        attempt_(1);
+}
+
+void
+RpcCall::arm(AttemptFn attempt, ExhaustedFn exhausted)
+{
+    OS_CHECK(!started_, "RpcCall: started twice");
+    started_ = true;
+    attempts_ = 1;
+    attempt_ = std::move(attempt);
+    exhausted_ = std::move(exhausted);
+    scheduleNext();
+}
+
+void
+RpcCall::succeed()
+{
+    if (!started_ || done_)
+        return;
+    done_ = true;
+    if (pending_ != invalidEventId) {
+        sim_.cancel(pending_);
+        pending_ = invalidEventId;
+    }
+    attempt_ = nullptr;
+    exhausted_ = nullptr;
+}
+
+void
+RpcCall::scheduleNext()
+{
+    auto d = schedule_.nextDelay();
+    OS_CHECK(d.has_value(), "RpcCall: delay budget over-consumed");
+    // Captures only `this`: fits the simulator's inline EventFn.
+    pending_ = sim_.schedule(*d, [this]() { onTimer(); });
+}
+
+void
+RpcCall::onTimer()
+{
+    pending_ = invalidEventId;
+    if (done_)
+        return;
+
+    if (attempts_ >= policy_.maxAttempts) {
+        // The final attempt's grace period elapsed unanswered.
+        done_ = true;
+        exhaustedFlag_ = true;
+        attempt_ = nullptr;
+        ExhaustedFn fn = std::move(exhausted_);
+        exhausted_ = nullptr;
+        if (fn)
+            fn(); // may destroy this call; nothing touched after
+        return;
+    }
+
+    attempts_++;
+    unsigned k = attempts_;
+    scheduleNext();
+    if (attempt_)
+        attempt_(k);
+}
+
+} // namespace oceanstore

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Bounded, retryable request helper over the simulator clock.
+ *
+ * The one reusable shape for "send, wait, resend with backoff, give
+ * up" that the protocol layers adopt instead of hand-rolled
+ * self-rescheduling closures: PBFT client submission, archival
+ * fragment escalation and the dissemination-tree push retransmit all
+ * drive an RpcCall.  Attempts are bounded by the RetryPolicy so a
+ * stalled call never keeps the event queue alive forever, and every
+ * delay comes from a seeded RetrySchedule, preserving the
+ * determinism contract.
+ *
+ * Lifetime rules: the owner keeps the RpcCall alive until it
+ * succeeds, exhausts, or is destroyed (the destructor cancels the
+ * pending timer).  The attempt callback must not destroy the call
+ * (calling succeed() from it is fine); the exhausted callback runs
+ * last and may destroy it.
+ */
+
+#ifndef OCEANSTORE_SIM_RPC_H
+#define OCEANSTORE_SIM_RPC_H
+
+#include <functional>
+
+#include "sim/simulator.h"
+#include "util/retry.h"
+
+namespace oceanstore {
+
+/** One retryable logical request driven by simulator timers. */
+class RpcCall
+{
+  public:
+    /** Invoked per attempt with the 1-based attempt number. */
+    using AttemptFn = std::function<void(unsigned)>;
+    /** Invoked once when every attempt timed out unanswered. */
+    using ExhaustedFn = std::function<void()>;
+
+    RpcCall(Simulator &sim, const RetryPolicy &policy,
+            std::uint64_t seed);
+    ~RpcCall();
+
+    RpcCall(const RpcCall &) = delete;
+    RpcCall &operator=(const RpcCall &) = delete;
+
+    /**
+     * Launch the call: invokes @p attempt synchronously for attempt 1
+     * and schedules the backoff-driven retries.
+     */
+    void start(AttemptFn attempt, ExhaustedFn exhausted = {});
+
+    /**
+     * Like start(), but the caller already performed attempt 1 itself
+     * (e.g. as part of a batched multicast); only the retries are
+     * scheduled.
+     */
+    void arm(AttemptFn attempt, ExhaustedFn exhausted = {});
+
+    /** The reply arrived: cancel the pending retry, release state. */
+    void succeed();
+
+    /** True while retries may still fire. */
+    bool active() const { return started_ && !done_; }
+
+    /** Attempts launched so far (including the initial one). */
+    unsigned attempts() const { return attempts_; }
+
+    /** True when the call gave up without succeed(). */
+    bool exhausted() const { return exhaustedFlag_; }
+
+  private:
+    void scheduleNext();
+    void onTimer();
+
+    Simulator &sim_;
+    RetryPolicy policy_;
+    RetrySchedule schedule_;
+    AttemptFn attempt_;
+    ExhaustedFn exhausted_;
+    EventId pending_ = invalidEventId;
+    unsigned attempts_ = 0;
+    bool started_ = false;
+    bool done_ = false;
+    bool exhaustedFlag_ = false;
+};
+
+} // namespace oceanstore
+
+#endif // OCEANSTORE_SIM_RPC_H

@@ -5,6 +5,8 @@
 #include <gtest/gtest.h>
 
 #include "bloom/location_service.h"
+#include "plaxton/mesh.h"
+#include "sim/network.h"
 
 namespace oceanstore {
 namespace {
@@ -197,6 +199,60 @@ TEST(BloomLocation, PenaltyRoutesAround)
     auto after = svc.query(0, g);
     ASSERT_TRUE(after.found);
     EXPECT_NE(after.path[1], first_hop);
+}
+
+TEST(BloomLocation, LossyLinksDegradeToMeshRoutingNotHardFailure)
+{
+    // Section 3.1's two-tier lookup under lossy links: when every
+    // path advertised by the attenuated filters runs over links the
+    // reliability factor has downgraded (the paper's mechanism for
+    // routing around lossy or abusive neighbors), the probabilistic
+    // query must *fall back* — fellBack, never a silent hard miss —
+    // and the deterministic global tier must still locate the object.
+    auto topo = lineTopology(8);
+    BloomLocationConfig cfg;
+    cfg.depth = 3;
+    BloomLocationService svc(topo, cfg);
+    Rng rng(21);
+    Guid g = Guid::hashOf("lossy-two-tier-object");
+    svc.addObject(3, g);
+
+    // Healthy filters: tier 1 finds the replica on its own.
+    auto healthy = svc.query(0, g);
+    ASSERT_TRUE(healthy.found);
+    EXPECT_FALSE(healthy.fellBack);
+
+    // Every edge along the only path is now heavily penalized: the
+    // apparent distance exceeds the attenuation horizon everywhere,
+    // so hill-climbing has nowhere credible to go.
+    for (NodeId n = 0; n < 7; n++) {
+        svc.penalize(n, n + 1, 100);
+        svc.penalize(n + 1, n, 100);
+    }
+    auto degraded = svc.query(0, g);
+    EXPECT_FALSE(degraded.found);
+    EXPECT_TRUE(degraded.fellBack) << "must hand off, not hard-fail";
+
+    // Tier 2: the same object is locatable through the global mesh,
+    // which does not depend on the poisoned filters.
+    Simulator sim;
+    Network net(sim, {});
+    struct NullSink : SimNode
+    {
+        void handleMessage(const Message &) override {}
+    };
+    std::vector<NullSink> nodes(8);
+    std::vector<NodeId> members;
+    for (std::size_t i = 0; i < nodes.size(); i++) {
+        members.push_back(net.addNode(&nodes[i],
+                                      topo.positions[i].first,
+                                      topo.positions[i].second));
+    }
+    PlaxtonMesh mesh(net, members, rng);
+    mesh.publish(g, members[3]);
+    auto lr = mesh.locate(members[0], g);
+    ASSERT_TRUE(lr.found);
+    EXPECT_EQ(lr.location, members[3]);
 }
 
 TEST(BloomLocation, GossipBytesAccumulate)

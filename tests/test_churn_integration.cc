@@ -1,6 +1,8 @@
 /** @file Failure/churn integration tests: self-maintenance (Sec 4.3.3,
  *  4.5, 4.7). */
 
+#include <algorithm>
+
 #include <gtest/gtest.h>
 
 #include "archive/archival.h"
@@ -60,6 +62,49 @@ TEST(Churn, MassFailureDownsRequestedFraction)
     for (NodeId n : nodes)
         down_count += net.isUp(n) ? 0 : 1;
     EXPECT_EQ(down_count, 10u);
+}
+
+TEST(Churn, MassFailureAndMassRecoverFireSymmetricCallbacks)
+{
+    // Mass-failure events must feed the same crash/recover callbacks
+    // as ordinary churn transitions, so failure detectors and repair
+    // sweeps observe storms exactly like per-node churn: one onCrash
+    // per downed node, and a symmetric onRecover for each on the way
+    // back up.
+    Simulator sim;
+    Network net(sim, {});
+    std::vector<Sink> sinks(40);
+    std::vector<NodeId> nodes;
+    for (auto &s : sinks)
+        nodes.push_back(net.addNode(&s, 0.5, 0.5));
+
+    ChurnConfig cfg;
+    cfg.seed = 17;
+    ChurnInjector churn(sim, net, cfg);
+    std::vector<NodeId> crashed, recovered;
+    churn.onCrash = [&](NodeId n) { crashed.push_back(n); };
+    churn.onRecover = [&](NodeId n) { recovered.push_back(n); };
+
+    auto downed = churn.massFailure(nodes, 0.25);
+    EXPECT_EQ(downed.size(), 10u);
+    EXPECT_EQ(crashed, downed); // one callback per victim, in order
+
+    // Recovery is symmetric: every victim (and only the victims)
+    // comes back, each firing onRecover exactly once.
+    auto back = churn.massRecover(nodes);
+    EXPECT_EQ(back.size(), downed.size());
+    EXPECT_EQ(recovered, back);
+    std::vector<NodeId> a = downed, b = back;
+    std::sort(a.begin(), a.end());
+    std::sort(b.begin(), b.end());
+    EXPECT_EQ(a, b);
+    for (NodeId n : nodes)
+        EXPECT_TRUE(net.isUp(n));
+
+    // A second recover pass is a no-op: nothing is down, so no
+    // callback fires twice.
+    EXPECT_TRUE(churn.massRecover(nodes).empty());
+    EXPECT_EQ(recovered.size(), downed.size());
 }
 
 TEST(Churn, MeshStaysUsableUnderChurnWithPeriodicRepair)

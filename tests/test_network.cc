@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "sim/fault.h"
 #include "sim/network.h"
 
 namespace oceanstore {
@@ -280,6 +281,115 @@ TEST(Network, MulticastAllDropsReclaimsFlightSlot)
     sim.run();
     ASSERT_EQ(sb.received.size(), 1u);
     EXPECT_EQ(messageBody<int>(sb.received[0]), 2);
+}
+
+TEST_F(NetFixture, HealMergesTwoPartitionsAndLeavesOthersSplit)
+{
+    Sink nc;
+    NodeId c = net->addNode(&nc, 0.3, 0.0);
+    net->setPartition(b, 1);
+    net->setPartition(c, 2);
+
+    net->send(a, b, makeMessage("t", 1, 10));
+    net->send(a, c, makeMessage("t", 2, 10));
+    sim.run();
+    EXPECT_TRUE(nb.received.empty());
+    EXPECT_TRUE(nc.received.empty());
+
+    // heal(0, 1) merges b's group back; c's partition is untouched.
+    net->heal(0, 1);
+    net->send(a, b, makeMessage("t", 3, 10));
+    net->send(a, c, makeMessage("t", 4, 10));
+    sim.run();
+    ASSERT_EQ(nb.received.size(), 1u);
+    EXPECT_EQ(messageBody<int>(nb.received[0]), 3);
+    EXPECT_TRUE(nc.received.empty());
+
+    // healAll() removes every remaining split.
+    net->healAll();
+    net->send(a, c, makeMessage("t", 5, 10));
+    sim.run();
+    ASSERT_EQ(nc.received.size(), 1u);
+    EXPECT_EQ(messageBody<int>(nc.received[0]), 5);
+}
+
+TEST_F(NetFixture, PartitionMidFlightLosesMessageWithoutLeak)
+{
+    // The partition forms while messages are on the wire: they are
+    // dropped at arrival (partition checked at delivery time), and
+    // the in-flight accounting must still drain to zero — no flight
+    // slot or counter leak survives the split/heal cycle.
+    net->send(a, b, makeMessage("t", 1, 10));
+    net->send(a, b, makeMessage("t", 2, 10));
+    EXPECT_EQ(net->inFlight(), 2u);
+    net->setPartition(b, 1);
+    sim.run();
+    EXPECT_TRUE(nb.received.empty());
+    EXPECT_EQ(net->inFlight(), 0u);
+
+    // Healing after the arrival time does not resurrect them, but
+    // new traffic flows and the pooled flight slots are reusable.
+    net->heal(0, 1);
+    net->send(a, b, makeMessage("t", 3, 10));
+    EXPECT_EQ(net->inFlight(), 1u);
+    sim.run();
+    ASSERT_EQ(nb.received.size(), 1u);
+    EXPECT_EQ(messageBody<int>(nb.received[0]), 3);
+    EXPECT_EQ(net->inFlight(), 0u);
+}
+
+TEST_F(NetFixture, FaultInjectorDuplicateDeliversTwiceAndDrains)
+{
+    FaultPlan plan;
+    plan.duplicate = 1.0;
+    FaultInjector inj(sim, *net, plan);
+    inj.arm();
+    net->send(a, b, makeMessage("t", 1, 10));
+    EXPECT_EQ(net->inFlight(), 2u); // original + duplicate, one payload
+    sim.run();
+    EXPECT_EQ(nb.received.size(), 2u);
+    EXPECT_EQ(net->inFlight(), 0u);
+    EXPECT_EQ(inj.duplicated(), 1u);
+
+    // Disarm detaches: the next send is fault-free.
+    inj.disarm();
+    net->send(a, b, makeMessage("t", 2, 10));
+    sim.run();
+    EXPECT_EQ(nb.received.size(), 3u);
+    EXPECT_EQ(inj.inspected(), 1u);
+}
+
+TEST_F(NetFixture, DestroyedInjectorCancelsPendingPartitionCycles)
+{
+    // The injector schedules its partition/heal cycles on the
+    // simulator; destroying it must cancel them, or a dead
+    // injector's closures fire with a dangling `this`.
+    {
+        FaultPlan plan;
+        plan.partitions.push_back({1.0, 2.0, {b}});
+        FaultInjector inj(sim, *net, plan);
+        inj.arm();
+    }
+    sim.run(); // cycle events were cancelled: nothing fires
+    net->send(a, b, makeMessage("t", 1, 10));
+    sim.run();
+    ASSERT_EQ(nb.received.size(), 1u); // b was never partitioned
+}
+
+TEST_F(NetFixture, FaultInjectorDropIsAccountedPerLink)
+{
+    FaultPlan plan;
+    plan.links.push_back({a, b, 1.0}); // this link always drops
+    FaultInjector inj(sim, *net, plan);
+    inj.arm();
+    net->send(a, b, makeMessage("t", 1, 10));
+    net->send(b, a, makeMessage("t", 2, 10)); // reverse link is clean
+    sim.run();
+    EXPECT_TRUE(nb.received.empty());
+    ASSERT_EQ(na.received.size(), 1u);
+    EXPECT_EQ(inj.dropped(), 1u);
+    EXPECT_EQ(inj.inspected(), 2u);
+    EXPECT_EQ(net->inFlight(), 0u);
 }
 
 TEST(Network, ResetCountersKeepsNodeState)

@@ -14,8 +14,11 @@
  *  2. iteration over `std::unordered_map` / `std::unordered_set` in
  *     the modules whose iteration order feeds event scheduling or
  *     message emission (src/sim, src/consistency, src/plaxton,
- *     src/bloom) — hash order is not part of the determinism
- *     contract, so those loops must use ordered containers;
+ *     src/bloom, src/util, src/introspect — the last two carry the
+ *     retry/backoff machinery and the failure detector, whose
+ *     callback order reaches the event queue) — hash order is not
+ *     part of the determinism contract, so those loops must use
+ *     ordered containers;
  *  3. header-guard naming: each src/<dir>/<file>.h must guard with
  *     OCEANSTORE_<DIR>_<FILE>_H.
  *
@@ -58,7 +61,7 @@ struct Finding
 /** Directories whose unordered-container iteration order can leak
  *  into event scheduling or message emission. */
 const std::set<std::string> kOrderSensitiveDirs = {
-    "sim", "consistency", "plaxton", "bloom"};
+    "sim", "consistency", "plaxton", "bloom", "util", "introspect"};
 
 std::string
 readFile(const fs::path &p)

@@ -1,0 +1,17 @@
+/* Fixture: src/util is order-sensitive (retry/backoff machinery) —
+ * unordered iteration there must be flagged, exactly like sim/. */
+#include <unordered_map>
+
+struct PendingCalls
+{
+    std::unordered_map<unsigned long, double> deadlines_;
+};
+
+double
+earliestDeadline(const PendingCalls &p)
+{
+    double best = 1e300;
+    for (const auto &kv : p.deadlines_) // EXPECT-LINT: unordered-iteration
+        best = kv.second < best ? kv.second : best;
+    return best;
+}
