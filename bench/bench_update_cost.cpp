@@ -22,6 +22,8 @@
 
 #include "consistency/byzantine.h"
 #include "consistency/cost_model.h"
+#include "obs/profiler.h"
+#include "obs/trace.h"
 #include "runner.h"
 
 using namespace oceanstore;
@@ -67,11 +69,29 @@ measureUpdateBytes(unsigned m, std::size_t update_size)
     return static_cast<double>(net.totalBytes());
 }
 
-/** Throughput kernel: commit a run of PBFT updates through one
- *  cluster; cluster construction/keygen excluded. */
+/**
+ * Throughput kernel: commit a run of PBFT updates through one
+ * cluster; cluster construction/keygen excluded.
+ *
+ * With @p traced false the tracer and profiler stay detached, so the
+ * observability hooks in the simulator and network cost one null
+ * check each — "pbft_commit" is the tracing-detached overhead guard
+ * (mirroring "tree_push_fault_hooks_off" for the fault layer): its
+ * numbers must not regress against the pre-tracing baseline beyond
+ * noise.  "pbft_commit_traced" runs the same kernel with a live
+ * Tracer and PhaseProfiler to quantify the attached cost.
+ */
 static void
-commitLoop(bench::BenchContext &ctx)
+commitLoop(bench::BenchContext &ctx, bool traced)
 {
+    Tracer tracer;
+    PhaseProfiler profiler;
+    std::unique_ptr<TraceScope> ts;
+    std::unique_ptr<ProfileScope> ps;
+    if (traced) {
+        ts = std::make_unique<TraceScope>(tracer);
+        ps = std::make_unique<ProfileScope>(profiler);
+    }
     Simulator sim;
     NetworkConfig ncfg;
     ncfg.jitter = 0.0;
@@ -116,6 +136,9 @@ commitLoop(bench::BenchContext &ctx)
 
     ctx.metric("bytes_per_commit", "B",
                bytes.count() ? bytes.mean() : -1);
+    if (traced)
+        ctx.metric("spans", "count",
+                   static_cast<double>(tracer.buffer().size()));
 }
 
 } // namespace
@@ -205,7 +228,12 @@ reportMain()
 int
 main(int argc, char **argv)
 {
-    std::vector<bench::BenchCase> cases{{"pbft_commit", commitLoop}};
+    std::vector<bench::BenchCase> cases{
+        {"pbft_commit",
+         [](bench::BenchContext &ctx) { commitLoop(ctx, false); }},
+        {"pbft_commit_traced",
+         [](bench::BenchContext &ctx) { commitLoop(ctx, true); }},
+    };
     return bench::runBenchMain(argc, argv, "bench_update_cost", cases,
                                [](int, char **) { return reportMain(); });
 }

@@ -7,6 +7,7 @@
 #include <cstring>
 #include <fstream>
 
+#include "obs/metrics.h"
 #include "util/stats.h"
 
 namespace oceanstore {
@@ -191,6 +192,7 @@ class Runner
             c.fn(ctx);
         }
         CaseSamples samples;
+        MetricsSnapshot before = MetricsRegistry::global().snapshot();
         for (int r = 0; r < opt_.repeats; r++) {
             BenchContext ctx;
             ctx.smoke_ = opt_.smoke;
@@ -211,7 +213,12 @@ class Runner
         auto &stats = results_[c.name];
         for (auto &[name, us] : samples)
             stats[name] = aggregate(us.first, std::move(us.second));
-        printCase(c.name, stats);
+        // Registry counter deltas over the measured repeats (warmup
+        // excluded): what the system *did*, next to how fast it did it.
+        counters_[c.name] =
+            MetricsRegistry::global().snapshot().deltaFrom(before)
+                .counters;
+        printCase(c.name, stats, counters_[c.name]);
     }
 
     static void
@@ -225,7 +232,8 @@ class Runner
 
     void
     printCase(const std::string &name,
-              const std::map<std::string, MetricStats> &stats) const
+              const std::map<std::string, MetricStats> &stats,
+              const std::map<std::string, std::uint64_t> &counters) const
     {
         std::printf("%s/%s:\n", suite_.c_str(), name.c_str());
         for (const auto &[metric, st] : stats) {
@@ -233,6 +241,11 @@ class Runner
                         "mean %12.4g %s  (%zu repeats)\n",
                         metric.c_str(), st.p50, st.p95, st.mean,
                         st.unit.c_str(), st.repeats);
+        }
+        for (const auto &[counter, delta] : counters) {
+            std::printf("  %-24s %llu (counter, all repeats)\n",
+                        counter.c_str(),
+                        static_cast<unsigned long long>(delta));
         }
     }
 
@@ -274,7 +287,21 @@ class Runner
                     << "\"p50\": " << jsonNumber(st.p50) << ", "
                     << "\"p95\": " << jsonNumber(st.p95) << "}";
             }
-            out << "\n    }}";
+            out << "\n    }";
+            auto cit = counters_.find(name);
+            if (cit != counters_.end() && !cit->second.empty()) {
+                out << ", \"counters\": {";
+                bool first_counter = true;
+                for (const auto &[counter, delta] : cit->second) {
+                    if (!first_counter)
+                        out << ", ";
+                    first_counter = false;
+                    out << "\"" << jsonEscape(counter)
+                        << "\": " << delta;
+                }
+                out << "}";
+            }
+            out << "}";
         }
         out << "\n  }\n}\n";
         return out.good();
@@ -284,6 +311,8 @@ class Runner
     RunnerOptions opt_;
     /** case -> metric -> stats, in registration-independent order. */
     std::map<std::string, std::map<std::string, MetricStats>> results_;
+    /** case -> registry counter deltas summed over measured repeats. */
+    std::map<std::string, std::map<std::string, std::uint64_t>> counters_;
 };
 
 int

@@ -9,6 +9,12 @@
  * into BENCH_oceanstore.json, so the repo accumulates a performance
  * trajectory across PRs instead of eleven incomparable stdout tables.
  *
+ * Each case additionally records the MetricsRegistry counter deltas
+ * accumulated over its measured repeats (warmup excluded) as a
+ * "counters" object next to "metrics" in the JSON — so a latency
+ * regression can be cross-read against what the system actually did
+ * (messages sent, retries, view changes, ...).
+ *
  * Modes (mutually composable flags):
  *   (no args)      legacy report: the bench's original stdout tables
  *   --bench        run registered cases, print a human summary

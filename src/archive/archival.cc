@@ -5,12 +5,41 @@
 #include <memory>
 #include <cmath>
 
+#include "obs/metrics.h"
 #include "util/check.h"
 #include "util/logging.h"
 
 namespace oceanstore {
 
 namespace {
+
+/** Interned metric ids, registered once on first use. */
+struct ArchMetricIds
+{
+    MetricsRegistry *reg;
+    MetricsRegistry::Id disperses, fragmentsStored, reconstructs,
+        fragmentRequests, escalationRequests, reconstructDone;
+
+    ArchMetricIds()
+        : reg(&MetricsRegistry::global()),
+          disperses(reg->counter("archive.disperses")),
+          fragmentsStored(reg->counter("archive.fragments_stored")),
+          reconstructs(reg->counter("archive.reconstructs")),
+          fragmentRequests(reg->counter("archive.fragment_requests")),
+          escalationRequests(
+              reg->counter("archive.escalation_requests")),
+          reconstructDone(
+              reg->counter("archive.reconstructs_succeeded"))
+    {
+    }
+};
+
+ArchMetricIds &
+archMetrics()
+{
+    static ArchMetricIds ids;
+    return ids;
+}
 
 struct StoreBody
 {
@@ -119,6 +148,10 @@ ArchivalClient::maybeFinish(std::uint64_t ticket)
     pr.done = true;
     if (pr.retry)
         pr.retry->succeed();
+    {
+        ArchMetricIds &am = archMetrics();
+        am.reg->inc(am.reconstructDone);
+    }
     ReconstructResult res;
     res.success = true;
     res.data = std::move(*data);
@@ -229,6 +262,11 @@ ArchivalSystem::disperse(const ErasureCodec &codec, const Bytes &data,
     placement.holders.resize(set.fragments.size());
 
     NodeId src_node = servers_[source]->nodeId();
+    {
+        ArchMetricIds &am = archMetrics();
+        am.reg->inc(am.disperses);
+        am.reg->inc(am.fragmentsStored, set.fragments.size());
+    }
     for (std::size_t i = 0; i < set.fragments.size(); i++) {
         placement.holders[i] = targets[i];
         StoreBody body{set.fragments[i]};
@@ -290,10 +328,18 @@ ArchivalSystem::reconstruct(
                         ticket](std::uint32_t frag_index,
                                 std::size_t holder) {
         RequestBody body{archive, frag_index, ticket};
+        {
+            ArchMetricIds &am = archMetrics();
+            am.reg->inc(am.fragmentRequests);
+        }
         net_.send(client.nodeId(), servers_[holder]->nodeId(),
                   makeMessage("arch.request", body,
                               Guid::numBytes + 12));
     };
+    {
+        ArchMetricIds &am = archMetrics();
+        am.reg->inc(am.reconstructs);
+    }
 
     for (unsigned i = 0; i < first_wave; i++) {
         request_one(order[i], placement.holders[order[i]]);
@@ -330,6 +376,10 @@ ArchivalSystem::reconstruct(
              idx < pit2->second.holders.size(); idx++) {
             if (it->second.haveIndex[idx])
                 continue;
+            {
+                ArchMetricIds &am = archMetrics();
+                am.reg->inc(am.escalationRequests);
+            }
             request_one(idx, pit2->second.holders[idx]);
             it->second.requested++;
         }

@@ -4,9 +4,38 @@
 #include <set>
 #include <unordered_set>
 
+#include "obs/metrics.h"
 #include "util/logging.h"
 
 namespace oceanstore {
+
+namespace {
+
+/** Interned metric ids, registered once on first use. */
+struct BloomMetricIds
+{
+    MetricsRegistry *reg;
+    MetricsRegistry::Id queries, hits, fallbacks;
+    MetricsRegistry::Id queryHops; //!< histogram
+
+    BloomMetricIds()
+        : reg(&MetricsRegistry::global()),
+          queries(reg->counter("bloom.queries")),
+          hits(reg->counter("bloom.hits")),
+          fallbacks(reg->counter("bloom.fallbacks")),
+          queryHops(reg->histogram("bloom.query_hops", 0.0, 16.0, 16))
+    {
+    }
+};
+
+BloomMetricIds &
+bloomMetrics()
+{
+    static BloomMetricIds ids;
+    return ids;
+}
+
+} // namespace
 
 BloomLocationService::BloomLocationService(const Topology &topo,
                                            BloomLocationConfig cfg)
@@ -153,6 +182,8 @@ BloomLocationService::query(NodeId from, const Guid &g)
     if (dirty_)
         rebuildFilters();
 
+    BloomMetricIds &bm = bloomMetrics();
+    bm.reg->inc(bm.queries);
     BloomQueryResult res;
     res.path.push_back(from);
 
@@ -163,6 +194,9 @@ BloomLocationService::query(NodeId from, const Guid &g)
         if (hasObject(cur, g)) {
             res.found = true;
             res.location = cur;
+            bm.reg->inc(bm.hits);
+            bm.reg->observe(bm.queryHops,
+                            static_cast<double>(res.hops));
             return res;
         }
         if (res.hops >= cfg_.ttl)
@@ -203,6 +237,7 @@ BloomLocationService::query(NodeId from, const Guid &g)
     }
 
     res.fellBack = true;
+    bm.reg->inc(bm.fallbacks);
     return res;
 }
 

@@ -1,10 +1,41 @@
 #include "consistency/byzantine.h"
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/logging.h"
 
 namespace oceanstore {
 
 namespace {
+
+/** Interned metric ids, registered once on first use. */
+struct PbftMetricIds
+{
+    MetricsRegistry *reg;
+    MetricsRegistry::Id submits, clientRetries, commits,
+        viewChangeVotes, viewChanges, preprepareRetransmits,
+        commitRetransmits;
+
+    PbftMetricIds()
+        : reg(&MetricsRegistry::global()),
+          submits(reg->counter("pbft.client_submits")),
+          clientRetries(reg->counter("pbft.client_retries")),
+          commits(reg->counter("pbft.commits")),
+          viewChangeVotes(reg->counter("pbft.view_change_votes")),
+          viewChanges(reg->counter("pbft.view_changes")),
+          preprepareRetransmits(
+              reg->counter("pbft.preprepare_retransmits")),
+          commitRetransmits(reg->counter("pbft.commit_retransmits"))
+    {
+    }
+};
+
+PbftMetricIds &
+pbftMetrics()
+{
+    static PbftMetricIds ids;
+    return ids;
+}
 
 /** Internal message bodies. */
 struct ReqBody
@@ -98,6 +129,15 @@ void
 PbftClient::submit(const Bytes &payload,
                    std::function<void(const PbftOutcome &)> done)
 {
+    // Root span of the update's causal chain: the request send, every
+    // agreement round it triggers and the dissemination push all
+    // become (transitive) children of this span.
+    ScopedSpan span("pbft", "client.submit",
+                    cluster_.net().sim().now(), nodeId_);
+    {
+        PbftMetricIds &pm = pbftMetrics();
+        pm.reg->inc(pm.submits);
+    }
     // Request ids must be unique even for identical payloads, so the
     // hash covers the client id and a per-client counter.
     ByteWriter w;
@@ -136,6 +176,10 @@ PbftClient::submit(const Bytes &payload,
             return;
         it->second.retried = true;
         retryAttempts_++;
+        {
+            PbftMetricIds &pm = pbftMetrics();
+            pm.reg->inc(pm.clientRetries);
+        }
         ReqBody rb{it->second.payload, req_id, nodeId_, true};
         Message rm = makeMessage(
             "pbft.request", rb,
@@ -321,6 +365,10 @@ PbftReplica::onRequest(const Message &msg)
                 Message m = makeMessage("pbft.preprepare", pp,
                                         slot.payload.size() +
                                             pbftControlBytes);
+                {
+                    PbftMetricIds &pm = pbftMetrics();
+                    pm.reg->inc(pm.preprepareRetransmits);
+                }
                 cluster_.net().multicast(
                     nodeId_, cluster_.replicaNodeIds(nodeId_),
                     std::move(m));
@@ -359,6 +407,10 @@ PbftReplica::startViewChangeTimer(const Guid &req_id)
             if (done_.count(req_id) || view_ != armed_view)
                 return;
             // The leader failed us: vote to move to the next view.
+            {
+                PbftMetricIds &pm = pbftMetrics();
+                pm.reg->inc(pm.viewChangeVotes);
+            }
             ViewChangeBody vc{view_ + 1, rank_};
             Message m = makeMessage("pbft.viewchange", vc,
                                     pbftControlBytes);
@@ -422,6 +474,10 @@ PbftReplica::onPrePrepare(const Message &msg)
         // our earlier commit may be what the stalled peers lost.
         VoteBody cv{view_, body.seq, maybeCorrupt(slot.digest), rank_};
         Message cm = makeMessage("pbft.commit", cv, pbftControlBytes);
+        {
+            PbftMetricIds &pm = pbftMetrics();
+            pm.reg->inc(pm.commitRetransmits);
+        }
         cluster_.net().multicast(nodeId_,
                                  cluster_.replicaNodeIds(nodeId_),
                                  std::move(cm));
@@ -504,6 +560,10 @@ PbftReplica::executeReady()
         slot.executed = true;
         lastExecuted_++;
         executedCount_++;
+        {
+            PbftMetricIds &pm = pbftMetrics();
+            pm.reg->inc(pm.commits);
+        }
 
         Bytes result;
         if (done_.count(slot.requestId)) {
@@ -571,6 +631,10 @@ PbftReplica::onViewChange(const Message &msg)
     if (!votes.count(rank_) &&
         votes.size() >= cluster_.faultTolerance() + 1) {
         votes.insert(rank_);
+        {
+            PbftMetricIds &pm = pbftMetrics();
+            pm.reg->inc(pm.viewChangeVotes);
+        }
         ViewChangeBody vc{body.newView, rank_};
         Message m = makeMessage("pbft.viewchange", vc,
                                 pbftControlBytes);
@@ -584,6 +648,10 @@ PbftReplica::onViewChange(const Message &msg)
     // that were in flight are abandoned and their requests
     // re-proposed with fresh sequence numbers by the new leader;
     // request-id dedupe prevents double execution.
+    {
+        PbftMetricIds &pm = pbftMetrics();
+        pm.reg->inc(pm.viewChanges);
+    }
     view_ = body.newView;
     viewVotes_.erase(viewVotes_.begin(), viewVotes_.upper_bound(view_));
     for (auto it = slots_.begin(); it != slots_.end();) {

@@ -3,11 +3,39 @@
 #include <algorithm>
 #include <unordered_set>
 
+#include "obs/metrics.h"
 #include "util/logging.h"
 
 namespace oceanstore {
 
 namespace {
+
+/** Interned metric ids, registered once on first use. */
+struct SecMetricIds
+{
+    MetricsRegistry *reg;
+    MetricsRegistry::Id pushes, acks, pushRetransmits,
+        antiEntropyRounds, invalidations, fetches, injects;
+
+    SecMetricIds()
+        : reg(&MetricsRegistry::global()),
+          pushes(reg->counter("sec.pushes")),
+          acks(reg->counter("sec.acks")),
+          pushRetransmits(reg->counter("sec.push_retransmits")),
+          antiEntropyRounds(reg->counter("sec.antientropy_rounds")),
+          invalidations(reg->counter("sec.invalidations")),
+          fetches(reg->counter("sec.fetches")),
+          injects(reg->counter("sec.committed_injects"))
+    {
+    }
+};
+
+SecMetricIds &
+secMetrics()
+{
+    static SecMetricIds ids;
+    return ids;
+}
 
 struct TentativeBody
 {
@@ -250,12 +278,15 @@ SecondaryReplica::onPush(const Message &msg)
 {
     const auto &body = messageBody<PushBody>(msg);
     Guid uid = body.update.id();
+    SecMetricIds &sm = secMetrics();
+    sm.reg->inc(sm.pushes);
 
     // Ack every push that crossed the network (the root injects
     // locally with src == invalidNode), including duplicates and
     // retransmissions: the parent may have missed the first ack.
     if (tier_.config().reliablePush && msg.src != invalidNode) {
         AckBody ack{uid, body.version};
+        sm.reg->inc(sm.acks);
         tier_.net().send(nodeId_, msg.src,
                          makeMessage("sec.ack", ack,
                                      Guid::numBytes + 8));
@@ -304,6 +335,10 @@ SecondaryReplica::onPush(const Message &msg)
                 call->arm(
                     [this, child, body](unsigned) {
                         pushRetransmits_++;
+                        {
+                            SecMetricIds &m = secMetrics();
+                            m.reg->inc(m.pushRetransmits);
+                        }
                         tier_.net().send(
                             nodeId_, child,
                             makeMessage("sec.push", body,
@@ -331,6 +366,10 @@ void
 SecondaryReplica::onInvalidate(const Message &msg)
 {
     const auto &body = messageBody<InvalBody>(msg);
+    {
+        SecMetricIds &sm = secMetrics();
+        sm.reg->inc(sm.invalidations);
+    }
     if (committedVersion(body.object) >= body.version)
         return;
     auto &needed = stale_[body.object];
@@ -345,6 +384,10 @@ SecondaryReplica::fetchFromParent(const Guid &obj)
     NodeId parent = tier_.tree().parentOf(nodeId_);
     if (parent == invalidNode)
         return;
+    {
+        SecMetricIds &sm = secMetrics();
+        sm.reg->inc(sm.fetches);
+    }
     FetchBody body{obj, committedVersion(obj)};
     tier_.net().send(nodeId_, parent,
                      makeMessage("sec.fetch", body,
@@ -390,6 +433,10 @@ SecondaryReplica::runAntiEntropy()
 {
     if (tier_.size() < 2)
         return;
+    {
+        SecMetricIds &sm = secMetrics();
+        sm.reg->inc(sm.antiEntropyRounds);
+    }
     std::size_t peer;
     do {
         peer = rng_.below(tier_.size());
@@ -561,6 +608,10 @@ SecondaryTier::injectCommitted(const Update &u, VersionNum version)
     SecondaryReplica &root = *replicas_[0];
     u.id(); // warm the memoized id/size before any copy circulates
     u.wireSize();
+    {
+        SecMetricIds &sm = secMetrics();
+        sm.reg->inc(sm.injects);
+    }
     if (cfg_.treePush) {
         // Deliver to the root as a push so it forwards down the tree.
         PushBody body{u, version};

@@ -3,11 +3,42 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sim/topology.h"
 #include "util/check.h"
 #include "util/logging.h"
 
 namespace oceanstore {
+
+namespace {
+
+/** Interned metric ids, registered once on first use. */
+struct CoreMetricIds
+{
+    MetricsRegistry *reg;
+    MetricsRegistry::Id writes, reads, readBloomHits, readMeshHits,
+        readMisses;
+
+    CoreMetricIds()
+        : reg(&MetricsRegistry::global()),
+          writes(reg->counter("core.writes")),
+          reads(reg->counter("core.reads")),
+          readBloomHits(reg->counter("core.read_bloom_hits")),
+          readMeshHits(reg->counter("core.read_mesh_hits")),
+          readMisses(reg->counter("core.read_misses"))
+    {
+    }
+};
+
+CoreMetricIds &
+coreMetrics()
+{
+    static CoreMetricIds ids;
+    return ids;
+}
+
+} // namespace
 
 Universe::Universe(UniverseConfig cfg)
     : cfg_(cfg), rng_(cfg.seed), net_(sim_, cfg.network),
@@ -266,6 +297,13 @@ Universe::removeHost(const Guid &obj, std::size_t idx)
 void
 Universe::write(const Update &u, std::function<void(WriteResult)> done)
 {
+    // Root span for the whole update path: serialization, the PBFT
+    // rounds and the dissemination push all nest under it.
+    ScopedSpan span("core", "core.write", sim_.now());
+    {
+        CoreMetricIds &cm = coreMetrics();
+        cm.reg->inc(cm.writes);
+    }
     client_->submit(u.serializeFull(), [done = std::move(done)](
                                            const PbftOutcome &out) {
         WriteResult wr;
@@ -299,6 +337,9 @@ Universe::read(std::size_t from_server, const Guid &obj,
                std::function<void(ReadResult)> done)
 {
     ReadResult res;
+    ScopedSpan span("core", "core.read", sim_.now());
+    CoreMetricIds &cm = coreMetrics();
+    cm.reg->inc(cm.reads);
 
     // Introspection taps every access (Section 4.7.2).
     semantic_.onAccess(obj);
@@ -377,6 +418,9 @@ Universe::read(std::size_t from_server, const Guid &obj,
         res.version = state.version();
         res.servedBy = holder;
         accessLoad_[{obj, holder}]++;
+        cm.reg->inc(res.viaBloom ? cm.readBloomHits : cm.readMeshHits);
+    } else {
+        cm.reg->inc(cm.readMisses);
     }
     res.latency = latency;
 

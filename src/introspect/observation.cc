@@ -2,7 +2,34 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
+
 namespace oceanstore {
+
+namespace {
+
+/** Interned metric ids, registered once on first use. */
+struct IntrospectMetricIds
+{
+    MetricsRegistry *reg;
+    MetricsRegistry::Id events, forwards;
+
+    IntrospectMetricIds()
+        : reg(&MetricsRegistry::global()),
+          events(reg->counter("introspect.events")),
+          forwards(reg->counter("introspect.forwarded_keys"))
+    {
+    }
+};
+
+IntrospectMetricIds &
+introspectMetrics()
+{
+    static IntrospectMetricIds ids;
+    return ids;
+}
+
+} // namespace
 
 void
 ObservationDb::record(const std::string &key, double value, Merge merge)
@@ -68,6 +95,10 @@ IntrospectionNode::addHandler(EventHandler handler)
 void
 IntrospectionNode::onEvent(const Event &e)
 {
+    {
+        IntrospectMetricIds &im = introspectMetrics();
+        im.reg->inc(im.events);
+    }
     for (auto &h : handlers_) {
         h.onEvent(e);
         for (const Summary &s : h.summaries())
@@ -101,6 +132,10 @@ IntrospectionNode::analyzeAndForward()
         auto merge = it == forwardMerge_.end()
                          ? ObservationDb::Merge::Sum
                          : it->second;
+        {
+            IntrospectMetricIds &im = introspectMetrics();
+            im.reg->inc(im.forwards);
+        }
         parent_->db().record(key, value, merge);
     }
 }

@@ -1,0 +1,144 @@
+#include "obs/export.h"
+
+#include <cstdio>
+#include <fstream>
+#include <ostream>
+
+namespace oceanstore {
+
+namespace {
+
+const char *
+kindName(SpanKind k)
+{
+    switch (k) {
+    case SpanKind::Local:
+        return "local";
+    case SpanKind::Send:
+        return "send";
+    case SpanKind::Multicast:
+        return "multicast";
+    }
+    return "?";
+}
+
+const char *
+statusName(SpanStatus s)
+{
+    return s == SpanStatus::Ok ? "ok" : "dropped";
+}
+
+/** Deterministic sim-time rendering (sub-microsecond resolution on
+ *  second-scale values). */
+std::string
+jsonTime(double v)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.9g", v);
+    return buf;
+}
+
+/** Escape a string for embedding in JSON. */
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+        case '"':
+            out += "\\\"";
+            break;
+        case '\\':
+            out += "\\\\";
+            break;
+        case '\n':
+            out += "\\n";
+            break;
+        case '\t':
+            out += "\\t";
+            break;
+        default:
+            out += c;
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+void
+writeSpansJsonl(const Tracer &tracer, std::ostream &out)
+{
+    for (const SpanRecord &r : tracer.buffer().records()) {
+        out << "{\"trace\": " << r.traceId << ", \"span\": " << r.spanId
+            << ", \"parent\": " << r.parent << ", \"component\": \""
+            << jsonEscape(tracer.internedString(r.component))
+            << "\", \"name\": \""
+            << jsonEscape(tracer.internedString(r.name)) << "\"";
+        if (r.node != ~0u)
+            out << ", \"node\": " << r.node;
+        if (r.peer != ~0u)
+            out << ", \"peer\": " << r.peer;
+        out << ", \"hop\": " << r.hop;
+        if (r.bytes != 0)
+            out << ", \"bytes\": " << r.bytes;
+        out << ", \"start\": " << jsonTime(r.start)
+            << ", \"end\": " << jsonTime(r.end) << ", \"kind\": \""
+            << kindName(r.kind) << "\", \"status\": \""
+            << statusName(r.status) << "\"}\n";
+    }
+}
+
+void
+writeChromeTrace(const Tracer &tracer, std::ostream &out)
+{
+    out << "[";
+    bool first = true;
+    for (const SpanRecord &r : tracer.buffer().records()) {
+        // Complete ("X") events: sim-seconds -> microseconds; one pid
+        // per trace so chrome://tracing groups causally related spans,
+        // one tid per node.
+        double ts = r.start * 1e6;
+        double dur = (r.end - r.start) * 1e6;
+        if (dur < 1.0)
+            dur = 1.0; // zero-width spans are invisible
+        out << (first ? "\n" : ",\n") << "{\"name\": \""
+            << jsonEscape(tracer.internedString(r.name))
+            << "\", \"cat\": \""
+            << jsonEscape(tracer.internedString(r.component))
+            << "\", \"ph\": \"X\", \"ts\": " << jsonTime(ts)
+            << ", \"dur\": " << jsonTime(dur)
+            << ", \"pid\": " << r.traceId << ", \"tid\": "
+            << (r.node == ~0u ? 0 : r.node)
+            << ", \"args\": {\"span\": " << r.spanId
+            << ", \"parent\": " << r.parent << ", \"hop\": " << r.hop
+            << ", \"bytes\": " << r.bytes << ", \"kind\": \""
+            << kindName(r.kind) << "\", \"status\": \""
+            << statusName(r.status) << "\"}}";
+        first = false;
+    }
+    out << "\n]\n";
+}
+
+bool
+dumpSpansJsonl(const Tracer &tracer, const std::string &path)
+{
+    std::ofstream out(path);
+    if (!out)
+        return false;
+    writeSpansJsonl(tracer, out);
+    return static_cast<bool>(out);
+}
+
+bool
+dumpChromeTrace(const Tracer &tracer, const std::string &path)
+{
+    std::ofstream out(path);
+    if (!out)
+        return false;
+    writeChromeTrace(tracer, out);
+    return static_cast<bool>(out);
+}
+
+} // namespace oceanstore

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Trace and metrics exporters (observability layer).
+ *
+ * Two serializations of a Tracer's span buffer:
+ *
+ *  - JSONL: one span object per line, the stable format consumed by
+ *    `tools/tracecat` (critical paths, hop histograms, retry trees)
+ *    and by the chaos suite's failing-seed dumps.  Rendering is
+ *    deterministic — fixed field order, fixed number formatting — so
+ *    two runs of the same seed produce byte-identical dumps (the
+ *    determinism sweep asserts this).
+ *
+ *  - Chrome trace_event JSON: loadable in chrome://tracing or Perfetto
+ *    for a visual timeline; sim-seconds are mapped to microseconds,
+ *    traces to pids and nodes to tids.
+ *
+ * These are the only files under src/ permitted to perform ad-hoc
+ * output (the lint `adhoc-print` rule exempts obs/export*); all other
+ * code reports through the logger, metrics or spans.
+ */
+
+#ifndef OCEANSTORE_OBS_EXPORT_H
+#define OCEANSTORE_OBS_EXPORT_H
+
+#include <iosfwd>
+#include <string>
+
+#include "obs/trace.h"
+
+namespace oceanstore {
+
+/** Write every span as one JSON object per line (JSONL). */
+void writeSpansJsonl(const Tracer &tracer, std::ostream &out);
+
+/** Write the Chrome trace_event format (a JSON array of complete
+ *  "X" events). */
+void writeChromeTrace(const Tracer &tracer, std::ostream &out);
+
+/** writeSpansJsonl to a file; false on I/O failure. */
+bool dumpSpansJsonl(const Tracer &tracer, const std::string &path);
+
+/** writeChromeTrace to a file; false on I/O failure. */
+bool dumpChromeTrace(const Tracer &tracer, const std::string &path);
+
+} // namespace oceanstore
+
+#endif // OCEANSTORE_OBS_EXPORT_H

@@ -1,0 +1,245 @@
+#include "obs/metrics.h"
+
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+
+#include "util/check.h"
+
+namespace oceanstore {
+
+namespace {
+
+/** Shortest round-trippable rendering, deterministic across runs. */
+std::string
+jsonDouble(double v)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.12g", v);
+    return buf;
+}
+
+} // namespace
+
+MetricsRegistry &
+MetricsRegistry::global()
+{
+    static MetricsRegistry instance;
+    return instance;
+}
+
+MetricsRegistry::Id
+MetricsRegistry::registerMetric(const std::string &name, Kind kind)
+{
+    auto it = names_.find(name);
+    if (it != names_.end()) {
+        OS_CHECK(it->second.first == kind,
+                 "metric '", name, "' re-registered as a different kind");
+        return it->second.second;
+    }
+    Id id = 0;
+    switch (kind) {
+    case Kind::Counter:
+        id = static_cast<Id>(counters_.size());
+        counters_.push_back(0);
+        break;
+    case Kind::Gauge:
+        id = static_cast<Id>(gauges_.size());
+        gauges_.push_back(0.0);
+        break;
+    case Kind::Histogram:
+        id = static_cast<Id>(histograms_.size());
+        histograms_.emplace_back();
+        break;
+    }
+    auto ins = names_.emplace(name, std::make_pair(kind, id));
+    const std::string *key = &ins.first->first;
+    switch (kind) {
+    case Kind::Counter:
+        counterNames_.push_back(key);
+        break;
+    case Kind::Gauge:
+        gaugeNames_.push_back(key);
+        break;
+    case Kind::Histogram:
+        histogramNames_.push_back(key);
+        break;
+    }
+    return id;
+}
+
+MetricsRegistry::Id
+MetricsRegistry::counter(const std::string &name)
+{
+    return registerMetric(name, Kind::Counter);
+}
+
+MetricsRegistry::Id
+MetricsRegistry::gauge(const std::string &name)
+{
+    return registerMetric(name, Kind::Gauge);
+}
+
+MetricsRegistry::Id
+MetricsRegistry::histogram(const std::string &name, double lo, double hi,
+                           std::size_t bins)
+{
+    OS_CHECK(hi > lo && bins > 0, "histogram '", name,
+             "': bad bucket range");
+    auto it = names_.find(name);
+    bool fresh = it == names_.end();
+    Id id = registerMetric(name, Kind::Histogram);
+    if (fresh) {
+        HistogramData &h = histograms_[id];
+        h.lo = lo;
+        h.hi = hi;
+        h.binWidth = (hi - lo) / static_cast<double>(bins);
+        h.bins.assign(bins + 2, 0); // [underflow, buckets..., overflow]
+    }
+    return id;
+}
+
+void
+MetricsRegistry::observe(Id id, double value)
+{
+    HistogramData &h = histograms_[id];
+    std::size_t bin;
+    if (value < h.lo) {
+        bin = 0;
+    } else if (value >= h.hi) {
+        bin = h.bins.size() - 1;
+    } else {
+        bin = 1 + static_cast<std::size_t>((value - h.lo) / h.binWidth);
+        if (bin > h.bins.size() - 2)
+            bin = h.bins.size() - 2;
+    }
+    h.bins[bin]++;
+    h.total++;
+    h.sum += value;
+}
+
+std::uint64_t
+MetricsRegistry::counterValue(const std::string &name) const
+{
+    auto it = names_.find(name);
+    if (it == names_.end() || it->second.first != Kind::Counter)
+        return 0;
+    return counters_[it->second.second];
+}
+
+double
+MetricsRegistry::gaugeValue(const std::string &name) const
+{
+    auto it = names_.find(name);
+    if (it == names_.end() || it->second.first != Kind::Gauge)
+        return 0.0;
+    return gauges_[it->second.second];
+}
+
+MetricsSnapshot
+MetricsRegistry::snapshot() const
+{
+    MetricsSnapshot snap;
+    for (std::size_t i = 0; i < counters_.size(); i++)
+        snap.counters[*counterNames_[i]] = counters_[i];
+    for (std::size_t i = 0; i < gauges_.size(); i++)
+        snap.gauges[*gaugeNames_[i]] = gauges_[i];
+    for (std::size_t i = 0; i < histograms_.size(); i++) {
+        const HistogramData &h = histograms_[i];
+        MetricsSnapshot::Hist out;
+        out.lo = h.lo;
+        out.hi = h.hi;
+        out.bins = h.bins;
+        out.total = h.total;
+        out.sum = h.sum;
+        snap.histograms[*histogramNames_[i]] = std::move(out);
+    }
+    return snap;
+}
+
+void
+MetricsRegistry::resetValues()
+{
+    for (auto &c : counters_)
+        c = 0;
+    for (auto &g : gauges_)
+        g = 0.0;
+    for (auto &h : histograms_) {
+        for (auto &b : h.bins)
+            b = 0;
+        h.total = 0;
+        h.sum = 0.0;
+    }
+}
+
+MetricsSnapshot
+MetricsSnapshot::deltaFrom(const MetricsSnapshot &before) const
+{
+    MetricsSnapshot delta;
+    for (const auto &[name, value] : counters) {
+        auto it = before.counters.find(name);
+        std::uint64_t base = it == before.counters.end() ? 0 : it->second;
+        if (value != base)
+            delta.counters[name] = value - base;
+    }
+    delta.gauges = gauges; // levels, not totals
+    for (const auto &[name, h] : histograms) {
+        auto it = before.histograms.find(name);
+        Hist d = h;
+        if (it != before.histograms.end()) {
+            const Hist &b = it->second;
+            if (b.bins.size() == d.bins.size()) {
+                for (std::size_t i = 0; i < d.bins.size(); i++)
+                    d.bins[i] -= b.bins[i];
+                d.total -= b.total;
+                d.sum -= b.sum;
+            }
+        }
+        if (d.total != 0)
+            delta.histograms[name] = std::move(d);
+    }
+    return delta;
+}
+
+void
+MetricsSnapshot::writeJson(std::ostream &out) const
+{
+    out << "{\n  \"counters\": {";
+    bool first = true;
+    for (const auto &[name, value] : counters) {
+        out << (first ? "\n" : ",\n") << "    \"" << name
+            << "\": " << value;
+        first = false;
+    }
+    out << (first ? "" : "\n  ") << "},\n  \"gauges\": {";
+    first = true;
+    for (const auto &[name, value] : gauges) {
+        out << (first ? "\n" : ",\n") << "    \"" << name
+            << "\": " << jsonDouble(value);
+        first = false;
+    }
+    out << (first ? "" : "\n  ") << "},\n  \"histograms\": {";
+    first = true;
+    for (const auto &[name, h] : histograms) {
+        out << (first ? "\n" : ",\n") << "    \"" << name
+            << "\": {\"lo\": " << jsonDouble(h.lo)
+            << ", \"hi\": " << jsonDouble(h.hi)
+            << ", \"total\": " << h.total
+            << ", \"sum\": " << jsonDouble(h.sum) << ", \"bins\": [";
+        for (std::size_t i = 0; i < h.bins.size(); i++)
+            out << (i ? ", " : "") << h.bins[i];
+        out << "]}";
+        first = false;
+    }
+    out << (first ? "" : "\n  ") << "}\n}\n";
+}
+
+std::string
+MetricsSnapshot::toJson() const
+{
+    std::ostringstream os;
+    writeJson(os);
+    return os.str();
+}
+
+} // namespace oceanstore

@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Process-wide metrics registry (observability layer).
+ *
+ * Named counters, gauges and histograms with interned ids: a
+ * subsystem registers each metric once (string lookup, O(log n)) and
+ * thereafter increments through a dense integer id — a single vector
+ * add on the hot path, cheap enough to stay always-on in the
+ * simulator event loop.  Names follow the `component.event` scheme
+ * (DESIGN.md section 11): `sim.events_fired`, `net.drops`,
+ * `pbft.view_changes`, `plaxton.lookup_hops`, ...
+ *
+ * Snapshots are value copies keyed by name (sorted, so the JSON
+ * rendering is deterministic); deltaFrom() subtracts a "before"
+ * snapshot to isolate one bench repeat or one chaos seed.  The bench
+ * runner embeds such deltas next to p50/p95 in its JSON output.
+ *
+ * The registry is process-wide (MetricsRegistry::global()) because
+ * metric identity is program-wide: two scenarios bumping
+ * `net.sends` mean the same thing.  Tests that need isolation take
+ * a snapshot before and diff after.
+ */
+
+#ifndef OCEANSTORE_OBS_METRICS_H
+#define OCEANSTORE_OBS_METRICS_H
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace oceanstore {
+
+/**
+ * Value-copy of every registered metric, keyed by name.  Maps keep
+ * the keys sorted, making snapshot rendering deterministic.
+ */
+struct MetricsSnapshot
+{
+    /** Fixed-bucket histogram contents. */
+    struct Hist
+    {
+        double lo = 0.0;
+        double hi = 0.0;
+        std::vector<std::uint64_t> bins; //!< size = bins + 2 (under/over).
+        std::uint64_t total = 0;
+        double sum = 0.0;
+    };
+
+    std::map<std::string, std::uint64_t> counters;
+    std::map<std::string, double> gauges;
+    std::map<std::string, Hist> histograms;
+
+    /**
+     * The change since @p before: counters and histogram bins are
+     * subtracted (metrics absent from @p before pass through whole),
+     * gauges keep their current value (they are levels, not totals).
+     * Zero-delta counters and empty-delta histograms are omitted.
+     */
+    MetricsSnapshot deltaFrom(const MetricsSnapshot &before) const;
+
+    /** Render as a deterministic JSON object (sorted keys, fixed
+     *  number formatting). */
+    void writeJson(std::ostream &out) const;
+
+    /** writeJson into a string. */
+    std::string toJson() const;
+};
+
+/**
+ * The registry.  Counter, gauge and histogram ids are separate dense
+ * id spaces; re-registering a name returns the existing id (and
+ * aborts if the name is already claimed by a different metric kind).
+ */
+class MetricsRegistry
+{
+  public:
+    using Id = std::uint32_t;
+
+    MetricsRegistry() = default;
+    MetricsRegistry(const MetricsRegistry &) = delete;
+    MetricsRegistry &operator=(const MetricsRegistry &) = delete;
+
+    /** The process-wide instance used by all subsystems. */
+    static MetricsRegistry &global();
+
+    /** Register (or look up) a monotonic counter. */
+    Id counter(const std::string &name);
+
+    /** Register (or look up) a last-value gauge. */
+    Id gauge(const std::string &name);
+
+    /**
+     * Register (or look up) a fixed-bucket histogram over [lo, hi)
+     * with @p bins equal-width buckets plus underflow/overflow.
+     */
+    Id histogram(const std::string &name, double lo, double hi,
+                 std::size_t bins);
+
+    /** O(1) hot-path updates. */
+    void inc(Id id, std::uint64_t delta = 1) { counters_[id] += delta; }
+    void set(Id id, double value) { gauges_[id] = value; }
+    void add(Id id, double delta) { gauges_[id] += delta; }
+    void observe(Id id, double value);
+
+    /** Read-back by name; zero-value when not registered. */
+    std::uint64_t counterValue(const std::string &name) const;
+    double gaugeValue(const std::string &name) const;
+
+    /** Copy every metric's current value. */
+    MetricsSnapshot snapshot() const;
+
+    /** Reset all values to zero, keeping registrations (ids remain
+     *  valid).  Used by tests needing a pristine baseline. */
+    void resetValues();
+
+  private:
+    enum class Kind : std::uint8_t { Counter, Gauge, Histogram };
+
+    struct HistogramData
+    {
+        double lo = 0.0;
+        double hi = 0.0;
+        double binWidth = 0.0;
+        std::vector<std::uint64_t> bins; //!< [under, b0..bN-1, over]
+        std::uint64_t total = 0;
+        double sum = 0.0;
+    };
+
+    Id registerMetric(const std::string &name, Kind kind);
+
+    std::map<std::string, std::pair<Kind, Id>> names_;
+    std::vector<std::uint64_t> counters_;
+    std::vector<double> gauges_;
+    std::vector<HistogramData> histograms_;
+    /** name of each id, per kind, for snapshotting. */
+    std::vector<const std::string *> counterNames_;
+    std::vector<const std::string *> gaugeNames_;
+    std::vector<const std::string *> histogramNames_;
+};
+
+} // namespace oceanstore
+
+#endif // OCEANSTORE_OBS_METRICS_H

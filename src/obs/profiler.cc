@@ -1,0 +1,83 @@
+#include "obs/profiler.h"
+
+#include <algorithm>
+
+namespace oceanstore {
+
+PhaseProfiler *PhaseProfiler::active_ = nullptr;
+
+PhaseProfiler::PhaseProfiler()
+{
+    // Label 0: events scheduled with no ambient attribution.
+    labelNames_.push_back("(unlabeled)");
+    labelTable_.emplace(labelNames_.back(), 0);
+    buckets_.emplace_back();
+}
+
+PhaseProfiler::Label
+PhaseProfiler::intern(const std::string &name)
+{
+    auto it = labelTable_.find(name);
+    if (it != labelTable_.end())
+        return it->second;
+    Label label = static_cast<Label>(labelNames_.size());
+    labelNames_.push_back(name);
+    labelTable_.emplace(name, label);
+    buckets_.emplace_back();
+    return label;
+}
+
+PhaseProfiler::Label
+PhaseProfiler::labelForMessageType(const std::string &type)
+{
+    auto it = typeCache_.find(type);
+    if (it != typeCache_.end())
+        return it->second;
+    std::size_t dot = type.find('.');
+    Label label = intern(dot == std::string::npos
+                             ? type
+                             : type.substr(0, dot));
+    typeCache_.emplace(type, label);
+    return label;
+}
+
+std::vector<PhaseProfiler::PhaseStats>
+PhaseProfiler::stats() const
+{
+    std::vector<PhaseStats> out;
+    for (std::size_t i = 0; i < buckets_.size(); i++) {
+        if (buckets_[i].events == 0)
+            continue;
+        PhaseStats row;
+        row.name = labelNames_[i];
+        row.events = buckets_[i].events;
+        row.simDelay = buckets_[i].simDelay;
+        out.push_back(std::move(row));
+    }
+    std::sort(out.begin(), out.end(),
+              [](const PhaseStats &a, const PhaseStats &b) {
+                  return a.name < b.name;
+              });
+    return out;
+}
+
+std::uint64_t
+PhaseProfiler::totalEvents() const
+{
+    std::uint64_t total = 0;
+    for (const Bucket &b : buckets_)
+        total += b.events;
+    return total;
+}
+
+void
+PhaseProfiler::clear()
+{
+    for (Bucket &b : buckets_) {
+        b.events = 0;
+        b.simDelay = 0.0;
+    }
+    current_ = 0;
+}
+
+} // namespace oceanstore

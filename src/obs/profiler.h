@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Sim-time latency-phase profiler (observability layer).
+ *
+ * Figures 5 and 6 of the paper decompose update latency into phases
+ * (serialize -> route -> agree -> disseminate).  This profiler
+ * reproduces that decomposition by attributing event-loop activity to
+ * *component labels*: the network labels each delivery event with the
+ * component prefix of the message type ("pbft", "sec", "loc", ...),
+ * timers inherit the ambient label of the code that armed them, and
+ * the simulator reports every fired event to the active profiler
+ * along with its scheduling delay (fire time minus schedule time —
+ * the simulated latency the event spent in flight or pending).
+ *
+ * Everything is simulated time and event counts — never wall-clock —
+ * so the profiler obeys the determinism contract: two runs of the
+ * same seed produce identical phase tables.  Like the Tracer, the
+ * profiler is ambient (ProfileScope installs it) and costs one null
+ * check per event when detached.
+ */
+
+#ifndef OCEANSTORE_OBS_PROFILER_H
+#define OCEANSTORE_OBS_PROFILER_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace oceanstore {
+
+/**
+ * Per-label accounting of fired events.  Label 0 is reserved for
+ * unattributed events ("(unlabeled)").
+ */
+class PhaseProfiler
+{
+  public:
+    using Label = std::uint16_t;
+
+    PhaseProfiler();
+    PhaseProfiler(const PhaseProfiler &) = delete;
+    PhaseProfiler &operator=(const PhaseProfiler &) = delete;
+
+    /** The process-wide active profiler, or nullptr when detached. */
+    static PhaseProfiler *active() { return active_; }
+
+    /** Intern a phase label (deterministic first-use order). */
+    Label intern(const std::string &name);
+
+    /**
+     * Label for a dotted message type: the prefix before the first
+     * '.' ("pbft.prepare" -> "pbft").  Memoized per full type string
+     * so the network hot path does one map lookup, no allocation.
+     */
+    Label labelForMessageType(const std::string &type);
+
+    /** Ambient label inherited by events scheduled right now. */
+    Label currentLabel() const { return current_; }
+    void setCurrent(Label label) { current_ = label; }
+
+    /** Called by the simulator for every fired event: @p sim_delay is
+     *  fire time minus schedule time (simulated seconds). */
+    void
+    onEventFired(Label label, double sim_delay)
+    {
+        Bucket &b = buckets_[label];
+        b.events++;
+        b.simDelay += sim_delay;
+    }
+
+    /** One phase row of the breakdown. */
+    struct PhaseStats
+    {
+        std::string name;
+        std::uint64_t events = 0; //!< Events attributed to the phase.
+        double simDelay = 0.0;    //!< Summed schedule->fire latency.
+    };
+
+    /** Snapshot of every non-empty phase, sorted by name. */
+    std::vector<PhaseStats> stats() const;
+
+    /** Total events seen (all labels). */
+    std::uint64_t totalEvents() const;
+
+    /** Zero all buckets, keeping label registrations. */
+    void clear();
+
+  private:
+    friend class ProfileScope;
+
+    struct Bucket
+    {
+        std::uint64_t events = 0;
+        double simDelay = 0.0;
+    };
+
+    static PhaseProfiler *active_;
+
+    Label current_ = 0;
+    std::vector<Bucket> buckets_;
+    std::vector<std::string> labelNames_;
+    std::map<std::string, Label> labelTable_; //!< name -> label
+    std::map<std::string, Label> typeCache_;  //!< full type -> label
+};
+
+/** RAII installation of a profiler as the active instance. */
+class ProfileScope
+{
+  public:
+    explicit ProfileScope(PhaseProfiler &profiler)
+        : prev_(PhaseProfiler::active_)
+    {
+        PhaseProfiler::active_ = &profiler;
+    }
+
+    ~ProfileScope() { PhaseProfiler::active_ = prev_; }
+
+    ProfileScope(const ProfileScope &) = delete;
+    ProfileScope &operator=(const ProfileScope &) = delete;
+
+  private:
+    PhaseProfiler *prev_;
+};
+
+/** RAII ambient-label override (restores the previous label). */
+class ScopedPhase
+{
+  public:
+    ScopedPhase(PhaseProfiler *profiler, PhaseProfiler::Label label)
+        : profiler_(profiler)
+    {
+        if (profiler_) {
+            prev_ = profiler_->currentLabel();
+            profiler_->setCurrent(label);
+        }
+    }
+
+    ~ScopedPhase()
+    {
+        if (profiler_)
+            profiler_->setCurrent(prev_);
+    }
+
+    ScopedPhase(const ScopedPhase &) = delete;
+    ScopedPhase &operator=(const ScopedPhase &) = delete;
+
+  private:
+    PhaseProfiler *profiler_;
+    PhaseProfiler::Label prev_ = 0;
+};
+
+} // namespace oceanstore
+
+#endif // OCEANSTORE_OBS_PROFILER_H

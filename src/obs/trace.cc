@@ -1,0 +1,107 @@
+#include "obs/trace.h"
+
+#include "util/check.h"
+
+namespace oceanstore {
+
+Tracer *Tracer::active_ = nullptr;
+
+std::uint32_t
+Tracer::intern(const std::string &s)
+{
+    auto it = internTable_.find(s);
+    if (it != internTable_.end())
+        return it->second;
+    std::uint32_t id = static_cast<std::uint32_t>(strings_.size());
+    internTable_.emplace(s, id);
+    strings_.push_back(s);
+    return id;
+}
+
+const std::string &
+Tracer::internedString(std::uint32_t id) const
+{
+    OS_CHECK(id < strings_.size(), "Tracer: bad interned id ", id);
+    return strings_[id];
+}
+
+std::uint32_t
+Tracer::newSpan(const std::string &component, const std::string &name,
+                std::uint32_t node, std::uint32_t peer,
+                std::uint32_t bytes, double start, double end,
+                SpanKind kind, SpanStatus status)
+{
+    SpanRecord rec;
+    if (current_.valid()) {
+        rec.traceId = current_.traceId;
+        rec.parent = current_.spanId;
+        rec.hop = current_.hop + 1;
+    } else {
+        rec.traceId = nextTraceId_++;
+        rec.parent = 0;
+        rec.hop = 0;
+    }
+    rec.component = intern(component);
+    rec.name = intern(name);
+    rec.node = node;
+    rec.peer = peer;
+    rec.bytes = bytes;
+    rec.start = start;
+    rec.end = end;
+    rec.kind = kind;
+    rec.status = status;
+    rec.spanId = static_cast<std::uint32_t>(buffer_.size() + 1);
+    buffer_.append(rec);
+    return rec.spanId;
+}
+
+std::uint32_t
+Tracer::beginLocalSpan(const std::string &component,
+                       const std::string &name, double now,
+                       std::uint32_t node)
+{
+    std::uint32_t id = newSpan(component, name, node, ~0u, 0, now, now,
+                               SpanKind::Local, SpanStatus::Ok);
+    const SpanRecord &rec = buffer_.at(id);
+    scopeStack_.push_back(current_);
+    current_ = TraceContext{rec.traceId, id, rec.hop};
+    return id;
+}
+
+void
+Tracer::endLocalSpan(std::uint32_t span_id, double now)
+{
+    OS_CHECK(!scopeStack_.empty(),
+             "Tracer::endLocalSpan without matching begin");
+    OS_CHECK(current_.spanId == span_id,
+             "Tracer::endLocalSpan: unbalanced span nesting (closing ",
+             span_id, " while inside ", current_.spanId, ")");
+    setSpanEnd(span_id, now);
+    current_ = scopeStack_.back();
+    scopeStack_.pop_back();
+}
+
+TraceContext
+Tracer::messageSpan(const std::string &name, std::uint32_t node,
+                    std::uint32_t peer, std::uint32_t bytes,
+                    double start, double end, SpanKind kind,
+                    SpanStatus status)
+{
+    std::uint32_t id = newSpan("net", name, node, peer, bytes, start,
+                               end, kind, status);
+    const SpanRecord &rec = buffer_.at(id);
+    return TraceContext{rec.traceId, id, rec.hop};
+}
+
+void
+Tracer::clear()
+{
+    buffer_.clear();
+    current_ = TraceContext{};
+    scopeStack_.clear();
+    internTable_.clear();
+    strings_.clear();
+    nextTraceId_ = 1;
+}
+
+} // namespace oceanstore

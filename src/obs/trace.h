@@ -1,0 +1,298 @@
+/**
+ * @file
+ * Causal message tracing (observability layer).
+ *
+ * The paper's quantitative claims are about message counts, hop
+ * counts and latency phases (Figures 2-6, Section 4); its
+ * introspection architecture (Section 4.7) argues the system should
+ * observe itself.  This header provides the mechanism: a TraceContext
+ * (trace id + span id + hop count) rides inside every sim::Message
+ * and every scheduled event, so each protocol action can be linked to
+ * the action that caused it, across the network and across timers.
+ *
+ * Span records are appended to a per-run pooled TraceBuffer owned by
+ * a Tracer.  Tracing is *ambient*: protocol code never threads a
+ * tracer through its call graph.  A TraceScope installs a Tracer as
+ * the process-wide active instance; when none is installed, every
+ * hook in the hot paths costs exactly one null-pointer check
+ * (mirroring the fault-injector contract from DESIGN.md section 10).
+ *
+ * Determinism: tracing only *observes*.  It consumes no randomness,
+ * schedules no events and never branches protocol behaviour, so a
+ * traced run replays bit-for-bit against an untraced one, and two
+ * traced runs of the same seed produce byte-identical span dumps
+ * (asserted by the determinism sweep).
+ */
+
+#ifndef OCEANSTORE_OBS_TRACE_H
+#define OCEANSTORE_OBS_TRACE_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace oceanstore {
+
+/**
+ * Causal position of a message or event: which trace it belongs to,
+ * which span caused it, and how many causal hops lie between it and
+ * the trace root.  Plain POD so sim::Message and simulator slots can
+ * embed it by value; the zero value means "untraced".
+ */
+struct TraceContext
+{
+    std::uint64_t traceId = 0; //!< 0 = no active trace.
+    std::uint32_t spanId = 0;  //!< Span that is the causal parent.
+    std::uint32_t hop = 0;     //!< Causal hops from the trace root.
+
+    /** True when this context belongs to a live trace. */
+    bool valid() const { return traceId != 0; }
+};
+
+/** What kind of action a span records. */
+enum class SpanKind : std::uint8_t
+{
+    Local = 0,     //!< In-process action (handler, API call, timer).
+    Send = 1,      //!< Unicast network transmission.
+    Multicast = 2, //!< Fan-out transmission (one span per multicast).
+};
+
+/** Outcome of the action the span records. */
+enum class SpanStatus : std::uint8_t
+{
+    Ok = 0,      //!< Completed / delivered (absent node-down at arrival).
+    Dropped = 1, //!< Lost in transit (crash, drop rate, fault injector).
+};
+
+/**
+ * One recorded span.  Component and name are interned string ids
+ * (resolve via Tracer::internedString) so the hot path never copies
+ * strings; times are simulated seconds.
+ */
+struct SpanRecord
+{
+    std::uint64_t traceId = 0;
+    std::uint32_t spanId = 0;  //!< 1-based; == index in the buffer + 1.
+    std::uint32_t parent = 0;  //!< Parent span id, 0 for a trace root.
+    std::uint32_t component = 0; //!< Interned component label.
+    std::uint32_t name = 0;      //!< Interned span name (message type).
+    std::uint32_t node = ~0u;    //!< Acting / sending node.
+    std::uint32_t peer = ~0u;    //!< Destination node; fan-out count
+                                 //!< for multicast spans.
+    std::uint32_t hop = 0;       //!< Causal hops from the trace root.
+    std::uint32_t bytes = 0;     //!< Wire bytes (send spans).
+    double start = 0.0;          //!< Sim-time the action began.
+    double end = 0.0;            //!< Sim-time it completed/delivers.
+    SpanKind kind = SpanKind::Local;
+    SpanStatus status = SpanStatus::Ok;
+};
+
+/**
+ * Per-run pooled span storage.  clear() drops records but keeps the
+ * allocation, so repeated scenario runs (chaos seeds, bench repeats)
+ * reuse one buffer.
+ */
+class TraceBuffer
+{
+  public:
+    /** Append and return the new record's 1-based span id. */
+    std::uint32_t
+    append(const SpanRecord &rec)
+    {
+        records_.push_back(rec);
+        return static_cast<std::uint32_t>(records_.size());
+    }
+
+    /** Mutable access by span id (1-based), e.g. to extend a
+     *  multicast span's end time as fan-out legs are scheduled. */
+    SpanRecord &
+    at(std::uint32_t span_id)
+    {
+        return records_[span_id - 1];
+    }
+
+    const std::vector<SpanRecord> &records() const { return records_; }
+    std::size_t size() const { return records_.size(); }
+    bool empty() const { return records_.empty(); }
+
+    /** Drop all records, retaining capacity. */
+    void clear() { records_.clear(); }
+
+    void reserve(std::size_t n) { records_.reserve(n); }
+
+  private:
+    std::vector<SpanRecord> records_;
+};
+
+/**
+ * The tracing engine: interns strings, allocates trace/span ids,
+ * tracks the ambient causal context, and owns the TraceBuffer.
+ *
+ * Exactly one Tracer may be active at a time (see TraceScope); the
+ * simulator and network consult Tracer::active() on their hot paths.
+ */
+class Tracer
+{
+  public:
+    Tracer() = default;
+
+    Tracer(const Tracer &) = delete;
+    Tracer &operator=(const Tracer &) = delete;
+
+    /** The process-wide active tracer, or nullptr when tracing is
+     *  detached (the common, zero-cost case). */
+    static Tracer *active() { return active_; }
+
+    /** Ambient causal context (the span "we are inside of"). */
+    const TraceContext &current() const { return current_; }
+
+    /** Install / clear the ambient context.  Used by the simulator
+     *  when firing an event and by the network when delivering. */
+    void setCurrent(const TraceContext &ctx) { current_ = ctx; }
+    void clearCurrent() { current_ = TraceContext{}; }
+
+    /** Intern a string, returning a stable dense id (deterministic:
+     *  first-use order). */
+    std::uint32_t intern(const std::string &s);
+
+    /** Resolve an interned id back to its string. */
+    const std::string &internedString(std::uint32_t id) const;
+
+    /**
+     * Open a local span (handler body, API entry, timer action) as a
+     * child of the ambient context — or as the root of a fresh trace
+     * when none is ambient — and make it the new ambient context.
+     * Balance with endLocalSpan().  @return the span id.
+     */
+    std::uint32_t beginLocalSpan(const std::string &component,
+                                 const std::string &name, double now,
+                                 std::uint32_t node = ~0u);
+
+    /** Close a local span: stamp its end time and restore the
+     *  ambient context that beginLocalSpan() displaced. */
+    void endLocalSpan(std::uint32_t span_id, double now);
+
+    /**
+     * Record a message transmission as a child of the ambient
+     * context (or as a fresh trace root when none is ambient).
+     * Does *not* change the ambient context.
+     *
+     * @param name    message type, e.g. "pbft.prepare"
+     * @param peer    destination node; fan-out size for multicast
+     * @param start   send sim-time
+     * @param end     scheduled delivery sim-time (== start if dropped)
+     * @return the context to stamp into the message, carrying this
+     *         span as the causal parent of everything the receiver
+     *         does.
+     */
+    TraceContext messageSpan(const std::string &name,
+                             std::uint32_t node, std::uint32_t peer,
+                             std::uint32_t bytes, double start,
+                             double end, SpanKind kind,
+                             SpanStatus status);
+
+    /** Extend a span's end time (multicast legs, retransmissions). */
+    void
+    setSpanEnd(std::uint32_t span_id, double end)
+    {
+        SpanRecord &r = buffer_.at(span_id);
+        if (end > r.end)
+            r.end = end;
+    }
+
+    /** The span storage. */
+    const TraceBuffer &buffer() const { return buffer_; }
+
+    /** Interned strings in id order (id i -> strings()[i]). */
+    const std::vector<std::string> &strings() const { return strings_; }
+
+    /** Drop all spans and reset ids; interned strings survive so
+     *  repeated runs keep identical id assignments only if they
+     *  intern in the same order — which clear() guarantees by
+     *  resetting the table too. */
+    void clear();
+
+  private:
+    friend class TraceScope;
+
+    static Tracer *active_;
+
+    std::uint32_t newSpan(const std::string &component,
+                          const std::string &name, std::uint32_t node,
+                          std::uint32_t peer, std::uint32_t bytes,
+                          double start, double end, SpanKind kind,
+                          SpanStatus status);
+
+    TraceBuffer buffer_;
+    TraceContext current_;
+    std::vector<TraceContext> scopeStack_;
+    std::map<std::string, std::uint32_t> internTable_;
+    std::vector<std::string> strings_;
+    std::uint64_t nextTraceId_ = 1;
+};
+
+/**
+ * RAII installation of a Tracer as the process-wide active instance.
+ * Scopes nest (the previous active tracer is restored on
+ * destruction), though in practice one per run is the norm.
+ */
+class TraceScope
+{
+  public:
+    explicit TraceScope(Tracer &tracer)
+        : prev_(Tracer::active_)
+    {
+        Tracer::active_ = &tracer;
+    }
+
+    ~TraceScope() { Tracer::active_ = prev_; }
+
+    TraceScope(const TraceScope &) = delete;
+    TraceScope &operator=(const TraceScope &) = delete;
+
+  private:
+    Tracer *prev_;
+};
+
+/**
+ * RAII local span: opens on construction when a tracer is active,
+ * closes (with the supplied clock reading) on end().  For code that
+ * cannot conveniently read the clock in a destructor, call end()
+ * explicitly; the destructor closes at the start time otherwise.
+ */
+class ScopedSpan
+{
+  public:
+    ScopedSpan(const std::string &component, const std::string &name,
+               double now, std::uint32_t node = ~0u)
+        : tracer_(Tracer::active()), start_(now)
+    {
+        if (tracer_)
+            span_ = tracer_->beginLocalSpan(component, name, now, node);
+    }
+
+    /** Close the span at sim-time @p now (idempotent). */
+    void
+    end(double now)
+    {
+        if (tracer_ && span_) {
+            tracer_->endLocalSpan(span_, now);
+            span_ = 0;
+        }
+    }
+
+    ~ScopedSpan() { end(start_); }
+
+    ScopedSpan(const ScopedSpan &) = delete;
+    ScopedSpan &operator=(const ScopedSpan &) = delete;
+
+  private:
+    Tracer *tracer_;
+    double start_;
+    std::uint32_t span_ = 0;
+};
+
+} // namespace oceanstore
+
+#endif // OCEANSTORE_OBS_TRACE_H

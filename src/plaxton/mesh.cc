@@ -2,10 +2,41 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
 #include "util/check.h"
 #include "util/logging.h"
 
 namespace oceanstore {
+
+namespace {
+
+/** Interned metric ids, registered once on first use. */
+struct PlaxtonMetricIds
+{
+    MetricsRegistry *reg;
+    MetricsRegistry::Id lookups, lookupsFailed, publishes, repairs;
+    MetricsRegistry::Id lookupHops; //!< histogram
+
+    PlaxtonMetricIds()
+        : reg(&MetricsRegistry::global()),
+          lookups(reg->counter("plaxton.lookups")),
+          lookupsFailed(reg->counter("plaxton.lookups_failed")),
+          publishes(reg->counter("plaxton.publishes")),
+          repairs(reg->counter("plaxton.table_repairs")),
+          lookupHops(
+              reg->histogram("plaxton.lookup_hops", 0.0, 16.0, 16))
+    {
+    }
+};
+
+PlaxtonMetricIds &
+plaxtonMetrics()
+{
+    static PlaxtonMetricIds ids;
+    return ids;
+}
+
+} // namespace
 
 PlaxtonMesh::PlaxtonMesh(Network &net, const std::vector<NodeId> &members,
                          Rng &rng, PlaxtonConfig cfg)
@@ -181,6 +212,10 @@ PlaxtonMesh::publish(const Guid &g, NodeId storer)
         hops += publishOne(g.withSalt(s), g, storer);
     published_[storer].insert(g);
     counters_.bump("publish.count");
+    {
+        PlaxtonMetricIds &pm = plaxtonMetrics();
+        pm.reg->inc(pm.publishes);
+    }
     return hops;
 }
 
@@ -252,15 +287,20 @@ PlaxtonMesh::locateWithSalt(NodeId from, const Guid &g,
 LocateResult
 PlaxtonMesh::locate(NodeId from, const Guid &g) const
 {
+    PlaxtonMetricIds &pm = plaxtonMetrics();
+    pm.reg->inc(pm.lookups);
     double wasted = 0.0;
     for (unsigned s = 0; s < cfg_.numSalts; s++) {
         LocateResult res = locateWithSalt(from, g, s);
         if (res.found) {
             res.latency += wasted; // earlier failed salt attempts
+            pm.reg->observe(pm.lookupHops,
+                            static_cast<double>(res.hops));
             return res;
         }
         wasted += res.latency;
     }
+    pm.reg->inc(pm.lookupsFailed);
     LocateResult res;
     res.latency = wasted;
     return res;
@@ -338,6 +378,10 @@ PlaxtonMesh::repair()
             continue;
         buildTable(i);
         counters_.bump("repair.tables");
+        {
+            PlaxtonMetricIds &pm = plaxtonMetrics();
+            pm.reg->inc(pm.repairs);
+        }
     }
     // 2. Drop pointers that reference dead storers.
     for (auto &st : states_) {

@@ -1,8 +1,36 @@
 #include "sim/fault.h"
 
+#include "obs/metrics.h"
 #include "util/check.h"
 
 namespace oceanstore {
+
+namespace {
+
+/** Interned metric ids, registered once on first use. */
+struct FaultMetricIds
+{
+    MetricsRegistry *reg;
+    MetricsRegistry::Id inspected, dropped, duplicated, delayed;
+
+    FaultMetricIds()
+        : reg(&MetricsRegistry::global()),
+          inspected(reg->counter("fault.inspected")),
+          dropped(reg->counter("fault.drops")),
+          duplicated(reg->counter("fault.dups")),
+          delayed(reg->counter("fault.delays"))
+    {
+    }
+};
+
+FaultMetricIds &
+faultMetrics()
+{
+    static FaultMetricIds ids;
+    return ids;
+}
+
+} // namespace
 
 FaultInjector::FaultInjector(Simulator &sim, Network &net, FaultPlan plan)
     : sim_(sim), net_(net), plan_(std::move(plan)), rng_(plan_.seed)
@@ -79,6 +107,8 @@ FaultInjector::onSend(NodeId from, NodeId to, std::size_t bytes)
 {
     inspected_++;
     Verdict v;
+    FaultMetricIds &fm = faultMetrics();
+    fm.reg->inc(fm.inspected);
 
     double drop = plan_.drop;
     if (!linkDrop_.empty()) {
@@ -89,14 +119,17 @@ FaultInjector::onSend(NodeId from, NodeId to, std::size_t bytes)
     if (drop > 0 && rng_.chance(drop)) {
         v.drop = true;
         dropped_++;
+        fm.reg->inc(fm.dropped);
     } else {
         if (plan_.duplicate > 0 && rng_.chance(plan_.duplicate)) {
             v.duplicate = true;
             duplicated_++;
+            fm.reg->inc(fm.duplicated);
         }
         if (plan_.delayJitter > 0) {
             v.extraDelay = rng_.uniform(0.0, plan_.delayJitter);
             delayed_++;
+            fm.reg->inc(fm.delayed);
         }
     }
 

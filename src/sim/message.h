@@ -18,6 +18,7 @@
 #include <string>
 
 #include "crypto/guid.h"
+#include "obs/trace.h"
 
 namespace oceanstore {
 
@@ -39,6 +40,8 @@ struct Message
     NodeId src = invalidNode; //!< Sending node.
     Guid destGuid;       //!< GUID-level destination (may be invalid).
     std::uint64_t nonce = 0;  //!< The paper's "random number" label.
+    TraceContext trace;  //!< Causal context (zero when untraced); set
+                         //!< by the network, never serialized/costed.
 
     /** Total bytes this message occupies on a link. */
     std::size_t totalBytes() const { return wireSize + messageHeaderBytes; }

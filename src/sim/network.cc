@@ -2,11 +2,45 @@
 
 #include <cmath>
 
+#include "obs/metrics.h"
+#include "obs/profiler.h"
+#include "obs/trace.h"
 #include "sim/fault.h"
 #include "util/check.h"
 #include "util/logging.h"
 
 namespace oceanstore {
+
+namespace {
+
+/** Interned metric ids, registered once on first use. */
+struct NetMetricIds
+{
+    MetricsRegistry *reg;
+    MetricsRegistry::Id sends, bytes, drops, arrivalDrops, delivered,
+        dup, inFlight;
+
+    NetMetricIds()
+        : reg(&MetricsRegistry::global()),
+          sends(reg->counter("net.sends")),
+          bytes(reg->counter("net.bytes")),
+          drops(reg->counter("net.drops")),
+          arrivalDrops(reg->counter("net.arrival_drops")),
+          delivered(reg->counter("net.delivered")),
+          dup(reg->counter("net.dup")),
+          inFlight(reg->gauge("net.in_flight"))
+    {
+    }
+};
+
+NetMetricIds &
+netMetrics()
+{
+    static NetMetricIds ids;
+    return ids;
+}
+
+} // namespace
 
 Network::Network(Simulator &sim, NetworkConfig cfg)
     : sim_(sim), cfg_(cfg), rng_(cfg.seed)
@@ -87,6 +121,16 @@ Network::scheduleDelivery(std::uint32_t flight, NodeId to, double lat)
 {
     flights_[flight].refs++;
     inFlight_++;
+    {
+        NetMetricIds &nm = netMetrics();
+        nm.reg->set(nm.inFlight, static_cast<double>(inFlight_));
+    }
+    // Label the delivery event with the message's component prefix
+    // ("pbft.prepare" -> "pbft") so the profiler attributes the
+    // event-loop phase breakdown per protocol layer.
+    PhaseProfiler *pp = PhaseProfiler::active();
+    ScopedPhase phase(
+        pp, pp ? pp->labelForMessageType(flights_[flight].msg.type) : 0);
     // Captures 12 bytes: stays in EventFn's inline buffer, so the
     // whole send costs no heap allocation.
     sim_.schedule(lat, [this, flight, to]() { deliver(flight, to); });
@@ -96,11 +140,24 @@ void
 Network::deliver(std::uint32_t flight, NodeId to)
 {
     inFlight_--;
+    NetMetricIds &nm = netMetrics();
+    nm.reg->set(nm.inFlight, static_cast<double>(inFlight_));
     const Message &m = flights_[flight].msg;
     if (up_[to] && partition_[m.src] == partition_[to]) {
+        nm.reg->inc(nm.delivered);
+        // Make the message's span the ambient causal parent for
+        // everything the handler does (nested sends, timers).
+        Tracer *tr = Tracer::active();
+        bool traced = tr && m.trace.valid();
+        if (traced)
+            tr->setCurrent(m.trace);
         // The handler may reentrantly send (allocating new flights);
         // flights_ is a deque so &m stays valid throughout.
         nodes_[to]->handleMessage(m);
+        if (traced)
+            tr->clearCurrent();
+    } else {
+        nm.reg->inc(nm.arrivalDrops);
     }
     releaseFlight(flight);
 }
@@ -116,29 +173,66 @@ Network::send(NodeId from, NodeId to, Message msg)
     totalBytes_ += bytes;
     totalMessages_++;
     byType_.bump(msg.type, bytes);
+    NetMetricIds &nm = netMetrics();
+    nm.reg->inc(nm.sends);
+    nm.reg->inc(nm.bytes, bytes);
+    Tracer *tr = Tracer::active();
 
-    // A crashed sender cannot transmit.
-    if (!up_[from])
+    // A crashed sender cannot transmit.  Dropped transmissions still
+    // get a span (marked Dropped) so retry trees show every attempt.
+    if (!up_[from]) {
+        nm.reg->inc(nm.drops);
+        if (tr)
+            tr->messageSpan(msg.type, from, to,
+                            static_cast<std::uint32_t>(bytes),
+                            sim_.now(), sim_.now(), SpanKind::Send,
+                            SpanStatus::Dropped);
         return;
-    if (cfg_.dropRate > 0 && rng_.chance(cfg_.dropRate))
+    }
+    if (cfg_.dropRate > 0 && rng_.chance(cfg_.dropRate)) {
+        nm.reg->inc(nm.drops);
+        if (tr)
+            tr->messageSpan(msg.type, from, to,
+                            static_cast<std::uint32_t>(bytes),
+                            sim_.now(), sim_.now(), SpanKind::Send,
+                            SpanStatus::Dropped);
         return;
+    }
 
     double lat = deliveryLatency(from, to, bytes);
     bool dup = false;
     if (fault_) {
         auto v = fault_->onSend(from, to, bytes);
-        if (v.drop)
+        if (v.drop) {
+            nm.reg->inc(nm.drops);
+            if (tr)
+                tr->messageSpan(msg.type, from, to,
+                                static_cast<std::uint32_t>(bytes),
+                                sim_.now(), sim_.now(), SpanKind::Send,
+                                SpanStatus::Dropped);
             return;
+        }
         lat += v.extraDelay;
         dup = v.duplicate;
     }
+    // The duplicate's latency is drawn *before* tracing so the rng
+    // stream is identical whether or not a tracer is attached.
+    double dupLat = 0.0;
+    if (dup) {
+        nm.reg->inc(nm.dup);
+        dupLat = lat + deliveryLatency(from, to, bytes);
+    }
+    if (tr)
+        msg.trace = tr->messageSpan(
+            msg.type, from, to, static_cast<std::uint32_t>(bytes),
+            sim_.now(), sim_.now() + (dup ? dupLat : lat),
+            SpanKind::Send, SpanStatus::Ok);
     std::uint32_t flight = allocFlight(std::move(msg));
     if (dup) {
         // Pin the flight so both copies share one payload slot.
         flights_[flight].refs++;
         scheduleDelivery(flight, to, lat);
-        scheduleDelivery(flight, to,
-                         lat + deliveryLatency(from, to, bytes));
+        scheduleDelivery(flight, to, dupLat);
         releaseFlight(flight);
         return;
     }
@@ -165,29 +259,60 @@ Network::multicast(NodeId from, const std::vector<NodeId> &tos,
         totalMessages_++;
     }
     byType_.bump(msg.type, bytes * tos.size());
+    NetMetricIds &nm = netMetrics();
+    nm.reg->inc(nm.sends, tos.size());
+    nm.reg->inc(nm.bytes, bytes * tos.size());
+    Tracer *tr = Tracer::active();
 
-    if (!up_[from])
+    if (!up_[from]) {
+        nm.reg->inc(nm.drops, tos.size());
+        if (tr)
+            tr->messageSpan(msg.type, from,
+                            static_cast<std::uint32_t>(tos.size()),
+                            static_cast<std::uint32_t>(bytes),
+                            sim_.now(), sim_.now(),
+                            SpanKind::Multicast, SpanStatus::Dropped);
         return;
+    }
 
+    // One span covers the whole fan-out (peer = destination count);
+    // its end time is extended to the latest scheduled delivery as
+    // the legs below are drawn.
+    std::uint32_t fanoutSpan = 0;
+    if (tr) {
+        msg.trace = tr->messageSpan(
+            msg.type, from, static_cast<std::uint32_t>(tos.size()),
+            static_cast<std::uint32_t>(bytes), sim_.now(), sim_.now(),
+            SpanKind::Multicast, SpanStatus::Ok);
+        fanoutSpan = msg.trace.spanId;
+    }
     std::uint32_t flight = allocFlight(std::move(msg));
     // Pin the flight while scheduling so an immediate zero-ref free
     // cannot recycle it if every destination drops.
     flights_[flight].refs++;
     for (NodeId to : tos) {
-        if (cfg_.dropRate > 0 && rng_.chance(cfg_.dropRate))
+        if (cfg_.dropRate > 0 && rng_.chance(cfg_.dropRate)) {
+            nm.reg->inc(nm.drops);
             continue;
+        }
         double lat = deliveryLatency(from, to, bytes);
         if (fault_) {
             auto v = fault_->onSend(from, to, bytes);
-            if (v.drop)
+            if (v.drop) {
+                nm.reg->inc(nm.drops);
                 continue;
+            }
             lat += v.extraDelay;
             if (v.duplicate) {
-                scheduleDelivery(flight, to,
-                                 lat +
-                                     deliveryLatency(from, to, bytes));
+                nm.reg->inc(nm.dup);
+                double dupLat = lat + deliveryLatency(from, to, bytes);
+                if (tr)
+                    tr->setSpanEnd(fanoutSpan, sim_.now() + dupLat);
+                scheduleDelivery(flight, to, dupLat);
             }
         }
+        if (tr)
+            tr->setSpanEnd(fanoutSpan, sim_.now() + lat);
         scheduleDelivery(flight, to, lat);
     }
     releaseFlight(flight);

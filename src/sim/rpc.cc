@@ -1,8 +1,36 @@
 #include "sim/rpc.h"
 
+#include "obs/metrics.h"
 #include "util/check.h"
 
 namespace oceanstore {
+
+namespace {
+
+/** Interned metric ids, registered once on first use. */
+struct RpcMetricIds
+{
+    MetricsRegistry *reg;
+    MetricsRegistry::Id attempts, retries, successes, exhaustions;
+
+    RpcMetricIds()
+        : reg(&MetricsRegistry::global()),
+          attempts(reg->counter("rpc.attempts")),
+          retries(reg->counter("rpc.retries")),
+          successes(reg->counter("rpc.successes")),
+          exhaustions(reg->counter("rpc.exhaustions"))
+    {
+    }
+};
+
+RpcMetricIds &
+rpcMetrics()
+{
+    static RpcMetricIds ids;
+    return ids;
+}
+
+} // namespace
 
 RpcCall::RpcCall(Simulator &sim, const RetryPolicy &policy,
                  std::uint64_t seed)
@@ -32,6 +60,8 @@ RpcCall::arm(AttemptFn attempt, ExhaustedFn exhausted)
     attempts_ = 1;
     attempt_ = std::move(attempt);
     exhausted_ = std::move(exhausted);
+    RpcMetricIds &rm = rpcMetrics();
+    rm.reg->inc(rm.attempts);
     scheduleNext();
 }
 
@@ -41,6 +71,10 @@ RpcCall::succeed()
     if (!started_ || done_)
         return;
     done_ = true;
+    {
+        RpcMetricIds &rm = rpcMetrics();
+        rm.reg->inc(rm.successes);
+    }
     if (pending_ != invalidEventId) {
         sim_.cancel(pending_);
         pending_ = invalidEventId;
@@ -67,6 +101,8 @@ RpcCall::onTimer()
 
     if (attempts_ >= policy_.maxAttempts) {
         // The final attempt's grace period elapsed unanswered.
+        RpcMetricIds &rm = rpcMetrics();
+        rm.reg->inc(rm.exhaustions);
         done_ = true;
         exhaustedFlag_ = true;
         attempt_ = nullptr;
@@ -78,6 +114,11 @@ RpcCall::onTimer()
     }
 
     attempts_++;
+    {
+        RpcMetricIds &rm = rpcMetrics();
+        rm.reg->inc(rm.attempts);
+        rm.reg->inc(rm.retries);
+    }
     unsigned k = attempts_;
     scheduleNext();
     if (attempt_)

@@ -2,10 +2,38 @@
 
 #include <cmath>
 
+#include "obs/metrics.h"
+#include "obs/profiler.h"
 #include "util/check.h"
 #include "util/logging.h"
 
 namespace oceanstore {
+
+namespace {
+
+/** Interned metric ids, registered once on first use. */
+struct SimMetricIds
+{
+    MetricsRegistry *reg;
+    MetricsRegistry::Id scheduled, fired, cancelled;
+
+    SimMetricIds()
+        : reg(&MetricsRegistry::global()),
+          scheduled(reg->counter("sim.events_scheduled")),
+          fired(reg->counter("sim.events_fired")),
+          cancelled(reg->counter("sim.events_cancelled"))
+    {
+    }
+};
+
+SimMetricIds &
+simMetrics()
+{
+    static SimMetricIds ids;
+    return ids;
+}
+
+} // namespace
 
 std::uint32_t
 Simulator::allocSlot()
@@ -55,8 +83,23 @@ Simulator::scheduleAt(SimTime when, EventFn fn)
     Slot &s = pool_[slot];
     s.fn = std::move(fn);
     s.when = when;
+    s.scheduledAt = now_;
     s.seq = nextSeq_++;
     s.armed = true;
+    // Capture the ambient observability context so the event fires
+    // inside the trace/phase of the code scheduling it.  One null
+    // check each when tracing/profiling are detached; the context is
+    // zeroed either way so a reused slot never leaks a stale trace.
+    if (const Tracer *tr = Tracer::active())
+        s.ctx = tr->current();
+    else
+        s.ctx = TraceContext{};
+    if (const PhaseProfiler *pp = PhaseProfiler::active())
+        s.label = pp->currentLabel();
+    else
+        s.label = 0;
+    SimMetricIds &m = simMetrics();
+    m.reg->inc(m.scheduled);
     queue_.push(QueueEntry{when, s.seq, slot});
     pending_++;
     return packId(slot, s.gen);
@@ -80,6 +123,8 @@ Simulator::cancel(EventId id)
     reclaimSlot(slot);
     pending_--;
     staleEntries_++;
+    SimMetricIds &m = simMetrics();
+    m.reg->inc(m.cancelled);
 }
 
 bool
@@ -110,8 +155,28 @@ Simulator::step()
         // the handler may cancel its own id (a no-op by then) or
         // schedule new events that reuse the slot.
         EventFn fn = std::move(s.fn);
+        TraceContext ctx = s.ctx;
+        std::uint16_t label = s.label;
+        SimTime scheduledAt = s.scheduledAt;
         reclaimSlot(e.slot);
+        SimMetricIds &m = simMetrics();
+        m.reg->inc(m.fired);
+        // Restore the scheduling code's observability context around
+        // the callback, so everything it does (sends, new timers)
+        // stays causally linked and phase-attributed.
+        Tracer *tr = Tracer::active();
+        if (tr)
+            tr->setCurrent(ctx);
+        PhaseProfiler *pp = PhaseProfiler::active();
+        if (pp) {
+            pp->onEventFired(label, e.when - scheduledAt);
+            pp->setCurrent(label);
+        }
         fn();
+        if (tr)
+            tr->clearCurrent();
+        if (pp)
+            pp->setCurrent(0);
         return true;
     }
     auditDrained();

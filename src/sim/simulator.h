@@ -32,6 +32,7 @@
 #include <queue>
 #include <vector>
 
+#include "obs/trace.h"
 #include "sim/event_fn.h"
 
 namespace oceanstore {
@@ -120,9 +121,16 @@ class Simulator
     {
         EventFn fn;
         SimTime when = 0.0;
+        SimTime scheduledAt = 0.0; //!< Clock reading at schedule time.
         std::uint64_t seq = 0;  //!< Global schedule order; never reused.
         std::uint32_t gen = 1;  //!< Bumped when the slot is reclaimed.
         bool armed = false;     //!< Live (scheduled, not fired/cancelled).
+        /** Ambient causal context captured at schedule time: timers
+         *  fired later re-enter the trace of the code that armed
+         *  them (retry trees).  Zero when tracing is detached. */
+        TraceContext ctx;
+        /** Ambient profiler phase label captured at schedule time. */
+        std::uint16_t label = 0;
     };
 
     /** Priority-queue entry: POD handle into the pool. */

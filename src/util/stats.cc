@@ -5,6 +5,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "util/check.h"
+
 namespace oceanstore {
 
 void
@@ -52,8 +54,8 @@ Accumulator::stddev() const
 double
 Accumulator::percentile(double p) const
 {
-    if (!keepSamples_)
-        throw std::logic_error("percentile: samples not retained");
+    OS_CHECK(keepSamples_,
+             "Accumulator::percentile requires keep_samples=true");
     if (samples_.empty())
         return 0.0;
     if (!sorted_) {

@@ -53,8 +53,10 @@ class Accumulator
     double max() const { return count_ ? max_ : 0.0; }
 
     /**
-     * p-th percentile, p in [0, 100].  Requires keep_samples.
-     * Uses nearest-rank on the sorted samples.
+     * p-th percentile, p in [0, 100].  Contract: the accumulator must
+     * have been constructed with keep_samples=true (OS_CHECK aborts
+     * otherwise — a percentile over discarded samples would silently
+     * misreport).  Uses nearest-rank on the sorted samples.
      */
     double percentile(double p) const;
 

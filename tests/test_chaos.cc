@@ -12,11 +12,23 @@
  *  - location eventually succeeds for objects with live storers;
  *  - every retry loop stays bounded (no retransmit storms);
  *  - runs are bit-for-bit reproducible per seed (trace hashes).
+ *
+ * When an invariant fails, the failing seed is re-run once under a
+ * live Tracer and its span dump + metrics delta are written to
+ * OCEANSTORE_CHAOS_DUMP_DIR (or the working directory) as
+ * chaos_<scenario>_seed<N>.{trace.jsonl,trace.chrome.json,metrics.json}
+ * — determinism guarantees the replay reproduces the failure, so the
+ * dump shows the exact causal history behind it (analyze with
+ * tools/tracecat).  CI uploads the directory as an artifact.
  */
 
 #include <algorithm>
 #include <cmath>
 #include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
 #include <map>
 #include <memory>
 #include <optional>
@@ -32,6 +44,9 @@
 #include "erasure/reed_solomon.h"
 #include "introspect/failure_detector.h"
 #include "introspect/observation.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "plaxton/mesh.h"
 #include "sim/churn.h"
 #include "sim/fault.h"
@@ -41,6 +56,43 @@
 
 namespace oceanstore {
 namespace {
+
+/**
+ * Re-run a failing seed under tracing and dump spans + metrics for
+ * offline analysis.  @p rerun must replay the exact scenario run that
+ * failed (same seed); the determinism contract makes the replay
+ * reproduce it bit-for-bit, now with causal spans attached.
+ */
+template <typename Fn>
+void
+dumpFailingSeed(const std::string &scenario, std::uint64_t seed,
+                Fn &&rerun)
+{
+    const char *env = std::getenv("OCEANSTORE_CHAOS_DUMP_DIR");
+    std::string dir = env && *env ? env : ".";
+    std::error_code ec;
+    std::filesystem::create_directories(dir, ec);
+    std::string base = dir + "/chaos_" + scenario + "_seed" +
+                       std::to_string(seed);
+
+    Tracer tracer;
+    MetricsSnapshot before = MetricsRegistry::global().snapshot();
+    {
+        TraceScope scope(tracer);
+        rerun();
+    }
+    dumpSpansJsonl(tracer, base + ".trace.jsonl");
+    dumpChromeTrace(tracer, base + ".trace.chrome.json");
+    std::ofstream mf(base + ".metrics.json");
+    if (mf) {
+        MetricsRegistry::global().snapshot().deltaFrom(before).writeJson(
+            mf);
+        mf << "\n";
+    }
+    std::fprintf(stderr,
+                 "chaos: invariant failure at seed %llu; dumped %s.*\n",
+                 static_cast<unsigned long long>(seed), base.c_str());
+}
 
 /** FNV-1a over 8-byte words (same discipline as the determinism
  *  sweep): order-sensitive, endian-stable. */
@@ -192,6 +244,7 @@ TEST(Chaos, PbftCommitsSurviveDropsAndPartition)
     // order with no duplicates, offline-verifiable certificates,
     // bounded client retries, reproducible traces.
     std::set<std::uint64_t> distinct;
+    bool dumped = false;
     for (std::uint64_t seed = 1; seed <= 16; seed++) {
         PbftChaosResult a = runPbftChaos(seed);
         PbftChaosResult b = runPbftChaos(seed);
@@ -202,6 +255,10 @@ TEST(Chaos, PbftCommitsSurviveDropsAndPartition)
         // Hard policy bound: 6 requests x (maxAttempts - 1) rebroadcasts.
         EXPECT_LE(a.retries, 60u) << "seed " << seed;
         distinct.insert(a.hash);
+        if (::testing::Test::HasFailure() && !dumped) {
+            dumped = true;
+            dumpFailingSeed("pbft", seed, [&] { runPbftChaos(seed); });
+        }
     }
     // Different seeds explore different fault schedules.
     EXPECT_GE(distinct.size(), 14u);
@@ -326,6 +383,7 @@ runMeshChaos(std::uint64_t seed)
 TEST(Chaos, MeshLocationSurvivesCrashStorm)
 {
     std::set<std::uint64_t> distinct;
+    bool dumped = false;
     for (std::uint64_t seed = 1; seed <= 8; seed++) {
         MeshChaosResult a = runMeshChaos(seed);
         MeshChaosResult b = runMeshChaos(seed);
@@ -337,6 +395,10 @@ TEST(Chaos, MeshLocationSurvivesCrashStorm)
         EXPECT_GT(a.locatable, 0u) << "seed " << seed;
         EXPECT_EQ(a.located, a.locatable) << "seed " << seed;
         distinct.insert(a.hash);
+        if (::testing::Test::HasFailure() && !dumped) {
+            dumped = true;
+            dumpFailingSeed("mesh", seed, [&] { runMeshChaos(seed); });
+        }
     }
     EXPECT_GE(distinct.size(), 6u);
 }
@@ -461,6 +523,7 @@ TEST(Chaos, ArchivesReconstructThroughCrashStorms)
 {
     std::set<std::uint64_t> distinct;
     unsigned totalRepairs = 0;
+    bool dumped = false;
     for (std::uint64_t seed = 1; seed <= 6; seed++) {
         ArchiveChaosResult a = runArchiveChaos(seed);
         ArchiveChaosResult b = runArchiveChaos(seed);
@@ -470,6 +533,11 @@ TEST(Chaos, ArchivesReconstructThroughCrashStorms)
         EXPECT_TRUE(a.requestsBounded) << "seed " << seed;
         totalRepairs += a.repairs;
         distinct.insert(a.hash);
+        if (::testing::Test::HasFailure() && !dumped) {
+            dumped = true;
+            dumpFailingSeed("archive", seed,
+                            [&] { runArchiveChaos(seed); });
+        }
     }
     // The observe->analyze->repair loop actually fired somewhere in
     // the matrix (storms routinely fell a fragment holder).
@@ -545,6 +613,7 @@ runSecondaryChaos(std::uint64_t seed)
 TEST(Chaos, CommittedUpdatesSurviveLossyTreePush)
 {
     std::set<std::uint64_t> distinct;
+    bool dumped = false;
     for (std::uint64_t seed = 1; seed <= 8; seed++) {
         SecondaryChaosResult a = runSecondaryChaos(seed);
         SecondaryChaosResult b = runSecondaryChaos(seed);
@@ -556,6 +625,11 @@ TEST(Chaos, CommittedUpdatesSurviveLossyTreePush)
         // At 20% loss the ack machinery is actually exercised.
         EXPECT_GT(a.retransmits, 0u) << "seed " << seed;
         distinct.insert(a.hash);
+        if (::testing::Test::HasFailure() && !dumped) {
+            dumped = true;
+            dumpFailingSeed("secondary", seed,
+                            [&] { runSecondaryChaos(seed); });
+        }
     }
     EXPECT_GE(distinct.size(), 6u);
 }

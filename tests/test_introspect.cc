@@ -131,6 +131,91 @@ TEST(Observation, SoftStateClear)
     EXPECT_FALSE(db.has("k"));
 }
 
+TEST(Observation, FirstRecordStoresRawValue)
+{
+    // The first write of a key stores the value verbatim, whatever the
+    // merge mode — Min/Max must not combine with a phantom zero.
+    ObservationDb db;
+    db.record("peak", 30, ObservationDb::Merge::Max);
+    EXPECT_DOUBLE_EQ(db.get("peak"), 30.0);
+    db.record("floor", 30, ObservationDb::Merge::Min);
+    EXPECT_DOUBLE_EQ(db.get("floor"), 30.0);
+    db.record("neg", -5, ObservationDb::Merge::Max);
+    EXPECT_DOUBLE_EQ(db.get("neg"), -5.0);
+    db.record("floor", 40, ObservationDb::Merge::Min);
+    EXPECT_DOUBLE_EQ(db.get("floor"), 30.0); // now it merges
+}
+
+TEST(Observation, AbsentKeyReadsZeroButHasIsFalse)
+{
+    ObservationDb db;
+    EXPECT_DOUBLE_EQ(db.get("missing"), 0.0);
+    EXPECT_FALSE(db.has("missing"));
+    db.record("zero", 0);
+    EXPECT_TRUE(db.has("zero"));
+}
+
+TEST(Observation, AbsorbAppliesOneMergeModeToAllKeys)
+{
+    ObservationDb db;
+    db.record("a", 10);
+    Summary s = {{"a", 1.0}, {"b", 2.0}};
+    db.absorb(s); // default Sum
+    EXPECT_DOUBLE_EQ(db.get("a"), 11.0);
+    EXPECT_DOUBLE_EQ(db.get("b"), 2.0); // fresh key: raw value
+    db.absorb(s, ObservationDb::Merge::Max);
+    EXPECT_DOUBLE_EQ(db.get("a"), 11.0); // max(11, 1)
+    EXPECT_DOUBLE_EQ(db.get("b"), 2.0);
+    db.absorb(s, ObservationDb::Merge::Replace);
+    EXPECT_DOUBLE_EQ(db.get("a"), 1.0);
+}
+
+TEST(Observation, SnapshotCopiesEverything)
+{
+    ObservationDb db;
+    db.record("a", 1);
+    db.record("b", 2);
+    Summary snap = db.snapshot();
+    ASSERT_EQ(snap.size(), 2u);
+    EXPECT_DOUBLE_EQ(snap["a"], 1.0);
+    db.record("a", 99); // snapshot is a value copy
+    EXPECT_DOUBLE_EQ(snap["a"], 1.0);
+}
+
+TEST(Observation, MinForwardMergeTakesTheSmallest)
+{
+    IntrospectionNode parent("p"), a("a"), b("b");
+    a.setParent(&parent);
+    b.setParent(&parent);
+    a.setForwardMerge("floor", ObservationDb::Merge::Min);
+    b.setForwardMerge("floor", ObservationDb::Merge::Min);
+    a.db().record("floor", 30);
+    b.db().record("floor", 22);
+    a.analyzeAndForward();
+    b.analyzeAndForward();
+    // First forward stores 30 raw; the second merges min(30, 22).
+    EXPECT_DOUBLE_EQ(parent.db().get("floor"), 22.0);
+}
+
+TEST(Observation, ForwardsThroughMultipleLevels)
+{
+    // Section 4.7.1's hierarchy is recursive: leaf summaries climb
+    // through an intermediate node to the root, aggregating at each
+    // level.
+    IntrospectionNode root("root"), mid("mid");
+    IntrospectionNode leaf1("l1"), leaf2("l2");
+    mid.setParent(&root);
+    leaf1.setParent(&mid);
+    leaf2.setParent(&mid);
+    leaf1.db().record("requests", 10);
+    leaf2.db().record("requests", 32);
+    leaf1.analyzeAndForward();
+    leaf2.analyzeAndForward();
+    EXPECT_DOUBLE_EQ(mid.db().get("requests"), 42.0);
+    mid.analyzeAndForward();
+    EXPECT_DOUBLE_EQ(root.db().get("requests"), 42.0);
+}
+
 TEST(Observation, HandlersFeedDatabase)
 {
     IntrospectionNode node("leaf");

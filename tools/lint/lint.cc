@@ -14,13 +14,19 @@
  *  2. iteration over `std::unordered_map` / `std::unordered_set` in
  *     the modules whose iteration order feeds event scheduling or
  *     message emission (src/sim, src/consistency, src/plaxton,
- *     src/bloom, src/util, src/introspect — the last two carry the
- *     retry/backoff machinery and the failure detector, whose
- *     callback order reaches the event queue) — hash order is not
- *     part of the determinism contract, so those loops must use
- *     ordered containers;
+ *     src/bloom, src/util, src/introspect, src/obs — util and
+ *     introspect carry the retry/backoff machinery and the failure
+ *     detector, whose callback order reaches the event queue; obs
+ *     renders trace/metric dumps that must be byte-identical across
+ *     runs) — hash order is not part of the determinism contract, so
+ *     those loops must use ordered containers;
  *  3. header-guard naming: each src/<dir>/<file>.h must guard with
- *     OCEANSTORE_<DIR>_<FILE>_H.
+ *     OCEANSTORE_<DIR>_<FILE>_H;
+ *  4. ad-hoc console output: `printf(` and `std::cout` are banned in
+ *     library code under src/ — results flow through the logger,
+ *     metrics or spans; only the exporters (src/obs/export*) may
+ *     serialize to streams.  (fprintf-to-stderr diagnostics and
+ *     snprintf formatting are unaffected.)
  *
  * (A fourth check — per-header self-containment — is enforced by the
  * `header_selfcheck` CMake target, which compiles every header as its
@@ -61,7 +67,8 @@ struct Finding
 /** Directories whose unordered-container iteration order can leak
  *  into event scheduling or message emission. */
 const std::set<std::string> kOrderSensitiveDirs = {
-    "sim", "consistency", "plaxton", "bloom", "util", "introspect"};
+    "sim", "consistency", "plaxton", "bloom", "util", "introspect",
+    "obs"};
 
 std::string
 readFile(const fs::path &p)
@@ -376,6 +383,33 @@ checkHeaderGuard(const fs::path &rel, const std::string &code,
 }
 
 // ---------------------------------------------------------------------
+// Check 4: ad-hoc console output in library code.
+
+void
+checkAdhocPrint(const std::string &rel, const std::string &code,
+                std::vector<Finding> &out)
+{
+    // The exporters are the one sanctioned serialization point.
+    if (rel.find("obs/export") != std::string::npos)
+        return;
+    // `\bprintf` does not match fprintf/snprintf (no word boundary
+    // after the leading f/n), so stderr diagnostics and buffer
+    // formatting stay legal.
+    static const std::regex print_re(R"(\bprintf\s*\(|\bcout\b)");
+    for (auto it = std::sregex_iterator(code.begin(), code.end(),
+                                        print_re);
+         it != std::sregex_iterator(); ++it) {
+        out.push_back(
+            {rel,
+             lineOf(code, static_cast<std::size_t>(it->position())),
+             "adhoc-print",
+             "ad-hoc console output in library code; report through "
+             "the logger, metrics or spans (only obs/export* may "
+             "serialize to streams)"});
+    }
+}
+
+// ---------------------------------------------------------------------
 // Driver.
 
 bool
@@ -419,6 +453,7 @@ lintTree(const fs::path &root)
         std::string code = stripNonCode(readFile(f));
 
         checkRandomness(rel_str, code, findings);
+        checkAdhocPrint(rel_str, code, findings);
 
         std::string module = rel.begin()->string();
         if (kOrderSensitiveDirs.count(module)) {

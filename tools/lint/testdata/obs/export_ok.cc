@@ -1,0 +1,9 @@
+/* Fixture: paths matching obs/export* are the sanctioned
+ * serialization point; console output here is not a finding. */
+#include <cstdio>
+
+void
+exportThings(int n)
+{
+    std::printf("{\"n\": %d}\n", n);
+}
