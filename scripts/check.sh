@@ -3,10 +3,17 @@
 #   1. the plain configuration,
 #   2. AddressSanitizer + UndefinedBehaviorSanitizer,
 #   3. ThreadSanitizer,
-# each in its own build directory.  The determinism lint and its
-# self-test run as ctest cases in every configuration.
+# each in its own build directory.  The oslint static-analysis suite
+# and its self-test run as ctest cases in every configuration.
 #
-# Usage: scripts/check.sh [plain|asan|tsan]...   (default: all three)
+# A fourth configuration, `tsafety`, compiles the tree with clang and
+# -Wthread-safety -Werror, statically checking the OS_GUARDED_BY /
+# OS_REQUIRES lock annotations (src/util/thread_annotations.h) ahead
+# of the Runtime seam.  It needs a clang toolchain and is skipped
+# with a notice when none is installed (CI runs it).
+#
+# Usage: scripts/check.sh [plain|asan|tsan|tsafety]...
+#        (default: plain asan tsan)
 #
 # OCEANSTORE_CHECK_FILTER, when set, is passed to ctest as -R so a
 # configuration can run one suite (e.g. the chaos matrix under ASan:
@@ -40,6 +47,28 @@ run_config() {
         "${filter[@]}")
 }
 
+# Thread-safety analysis build: clang-only, compile is the test (the
+# annotations are checked statically; -Werror turns any inconsistency
+# into a build failure).
+run_tsafety() {
+    local clangxx
+    clangxx="$(command -v clang++ || true)"
+    if [ -z "${clangxx}" ]; then
+        echo "=== [tsafety] SKIPPED: clang++ not installed" \
+             "(the CI analysis job runs this configuration)"
+        return 0
+    fi
+    local build="build-check-tsafety"
+    echo "=== [tsafety] configure (clang, -Wthread-safety -Werror)"
+    cmake -B "${build}" -S . \
+        -DCMAKE_CXX_COMPILER="${clangxx}" \
+        -DOCEANSTORE_THREAD_SAFETY=ON \
+        > "${build}.cmake.log" 2>&1 \
+        || { cat "${build}.cmake.log"; return 1; }
+    echo "=== [tsafety] build (compile clean == pass)"
+    cmake --build "${build}" -j "${jobs}"
+}
+
 configs=("$@")
 [ "${#configs[@]}" -eq 0 ] && configs=(plain asan tsan)
 
@@ -48,8 +77,9 @@ for cfg in "${configs[@]}"; do
     plain) run_config plain OFF ;;
     asan) run_config asan address ;;
     tsan) run_config tsan thread ;;
+    tsafety) run_tsafety ;;
     *)
-        echo "unknown config '${cfg}' (want plain|asan|tsan)" >&2
+        echo "unknown config '${cfg}' (want plain|asan|tsan|tsafety)" >&2
         exit 2
         ;;
     esac

@@ -1,0 +1,46 @@
+#!/usr/bin/env bash
+# clang-tidy gate: run the checks from .clang-tidy over src/ using
+# the compilation database (CMAKE_EXPORT_COMPILE_COMMANDS is on by
+# default, so any configured build directory works).
+#
+# Usage: scripts/tidy.sh [build-dir] [extra clang-tidy args...]
+#        (default build dir: build)
+#
+# Needs clang-tidy; skipped with a notice when it is not installed
+# (the CI analysis job runs it).
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+tidy="$(command -v clang-tidy || true)"
+if [ -z "${tidy}" ]; then
+    echo "=== [tidy] SKIPPED: clang-tidy not installed" \
+         "(the CI analysis job runs this gate)"
+    exit 0
+fi
+
+build="${1:-build}"
+shift || true
+
+if [ ! -f "${build}/compile_commands.json" ]; then
+    echo "=== [tidy] configure (${build})"
+    cmake -B "${build}" -S . > /dev/null
+fi
+
+jobs="$(nproc 2>/dev/null || echo 4)"
+
+# run-clang-tidy parallelizes across translation units when present;
+# fall back to a sequential loop otherwise.
+runner="$(command -v run-clang-tidy || true)"
+mapfile -t sources < <(find src -name '*.cc' | sort)
+
+echo "=== [tidy] ${#sources[@]} translation units"
+if [ -n "${runner}" ]; then
+    "${runner}" -quiet -p "${build}" -j "${jobs}" "$@" \
+        "^$(pwd)/src/.*"
+else
+    for f in "${sources[@]}"; do
+        "${tidy}" -p "${build}" --quiet "$@" "${f}"
+    done
+fi
+echo "=== [tidy] clean"

@@ -6,6 +6,7 @@
 #include <cmath>
 
 #include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/check.h"
 #include "util/logging.h"
 
@@ -148,6 +149,8 @@ ArchivalClient::maybeFinish(std::uint64_t ticket)
     pr.done = true;
     if (pr.retry)
         pr.retry->succeed();
+    sys_.net().sim().cancel(pr.failTimer);
+    pr.failTimer = invalidEventId;
     {
         ArchMetricIds &am = archMetrics();
         am.reg->inc(am.reconstructDone);
@@ -253,6 +256,11 @@ Guid
 ArchivalSystem::disperse(const ErasureCodec &codec, const Bytes &data,
                          std::size_t source)
 {
+    // Root span of the dispersal: every fragment store message
+    // becomes a child, so traces attribute archival traffic to the
+    // operation that caused it.
+    ScopedSpan span("archive", "archive.disperse", net_.sim().now(),
+                    servers_[source]->nodeId());
     FragmentSet set = fragmentObject(codec, data);
     auto targets = chooseTargets(codec.totalFragments(), source);
 
@@ -385,8 +393,10 @@ ArchivalSystem::reconstruct(
         }
     });
 
-    // Failure: give up after the hard timeout.
-    net_.sim().schedule(cfg_.failTimeout, [this, &client, ticket]() {
+    // Failure: give up after the hard timeout.  The handle is kept in
+    // the pending entry so an early finish cancels the timer.
+    pr.failTimer = net_.sim().schedule(cfg_.failTimeout, [this, &client,
+                                                          ticket]() {
         auto it = client.pending_.find(ticket);
         if (it == client.pending_.end() || it->second.done)
             return;

@@ -29,6 +29,7 @@
 #include "erasure/fragment.h"
 #include "sim/network.h"
 #include "sim/rpc.h"
+#include "sim/simulator.h"
 
 namespace oceanstore {
 
@@ -119,6 +120,9 @@ class ArchivalClient : public SimNode
         /** Bounded escalation driver: re-requests missing fragments
          *  every retryTimeout until decode succeeds or failTimeout. */
         std::unique_ptr<RpcCall> retry;
+        /** Armed hard-timeout event: cancelled when the
+         *  reconstruction finishes early. */
+        EventId failTimer = invalidEventId;
     };
 
     void maybeFinish(std::uint64_t ticket);

@@ -302,6 +302,10 @@ void
 PbftReplica::assignAndPrePrepare(const Bytes &payload, const Guid &req_id,
                                  NodeId client)
 {
+    // Span for the leader's ordering step; the pre-prepare multicast
+    // becomes its child.
+    ScopedSpan span("pbft", "pbft.assign", cluster_.net().sim().now(),
+                    nodeId_);
     std::uint64_t seq = nextSeq_++;
     assigned_[req_id] = seq;
 
@@ -513,6 +517,10 @@ PbftReplica::tryCommit(std::uint64_t seq)
         return;
 
     slot.sentCommit = true;
+    // Span for the prepared->commit transition; the commit multicast
+    // becomes its child.
+    ScopedSpan span("pbft", "pbft.trycommit",
+                    cluster_.net().sim().now(), nodeId_);
     VoteBody vote{view_, seq, maybeCorrupt(slot.digest), rank_};
     Message m = makeMessage("pbft.commit", vote, pbftControlBytes);
     cluster_.net().multicast(nodeId_, cluster_.replicaNodeIds(nodeId_),
@@ -541,6 +549,10 @@ PbftReplica::onCommit(const Message &msg)
 void
 PbftReplica::executeReady()
 {
+    // Span for the execution sweep; client replies sent from the
+    // loop below become its children.
+    ScopedSpan span("pbft", "pbft.execute",
+                    cluster_.net().sim().now(), nodeId_);
     // Execute committed slots strictly in sequence order.
     for (;;) {
         auto it = slots_.find(lastExecuted_ + 1);

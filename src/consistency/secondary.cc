@@ -4,6 +4,7 @@
 #include <unordered_set>
 
 #include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/logging.h"
 
 namespace oceanstore {
@@ -202,6 +203,9 @@ SecondaryReplica::storeTentative(const Update &u, bool gossip)
     if (!gossip)
         return;
     // Rumor mongering: forward a fresh rumor to a few random peers.
+    // The fan-out sends become children of this span.
+    ScopedSpan span("sec", "sec.rumor", tier_.net().sim().now(),
+                    nodeId_);
     TentativeBody body{u};
     for (unsigned i = 0; i < tier_.config().rumorFanout; i++) {
         std::size_t peer = rng_.below(tier_.size());
@@ -384,6 +388,10 @@ SecondaryReplica::fetchFromParent(const Guid &obj)
     NodeId parent = tier_.tree().parentOf(nodeId_);
     if (parent == invalidNode)
         return;
+    // Entry-point span: the fetch request up the tree becomes its
+    // child.
+    ScopedSpan span("sec", "sec.fetch_parent",
+                    tier_.net().sim().now(), nodeId_);
     {
         SecMetricIds &sm = secMetrics();
         sm.reg->inc(sm.fetches);
@@ -420,7 +428,7 @@ SecondaryReplica::scheduleAntiEntropy()
 {
     double period = tier_.config().antiEntropyPeriod *
                     rng_.uniform(0.8, 1.2);
-    tier_.net().sim().schedule(period, [this]() {
+    antiEntropyTimer_ = tier_.net().sim().schedule(period, [this]() {
         if (!tier_.antiEntropyOn_)
             return;
         runAntiEntropy();
@@ -433,6 +441,10 @@ SecondaryReplica::runAntiEntropy()
 {
     if (tier_.size() < 2)
         return;
+    // Root span of an anti-entropy round: the digest exchange and any
+    // repair traffic it triggers become (transitive) children.
+    ScopedSpan span("sec", "sec.antientropy",
+                    tier_.net().sim().now(), nodeId_);
     {
         SecMetricIds &sm = secMetrics();
         sm.reg->inc(sm.antiEntropyRounds);

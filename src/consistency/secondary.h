@@ -26,6 +26,7 @@
 #include "consistency/dissemination.h"
 #include "sim/network.h"
 #include "sim/rpc.h"
+#include "sim/simulator.h"
 #include "util/check.h"
 #include "util/random.h"
 #include "util/retry.h"
@@ -132,6 +133,9 @@ class SecondaryReplica : public SimNode
     std::map<std::pair<NodeId, Guid>, std::unique_ptr<RpcCall>>
         pushPending_;
     std::uint64_t pushRetransmits_ = 0;
+    /** Armed anti-entropy timer: the cancellation handle for the
+     *  self-rescheduling closure (which captures `this`). */
+    EventId antiEntropyTimer_ = invalidEventId;
 };
 
 /**

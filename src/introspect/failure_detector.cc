@@ -59,7 +59,7 @@ FailureDetector::start()
 void
 FailureDetector::scheduleHeartbeat(NodeId n, double delay)
 {
-    sim_.schedule(delay, [this, n]() {
+    heartbeatTimers_[n] = sim_.schedule(delay, [this, n]() {
         if (!running_)
             return;
         // The heartbeat originates at the monitored node; a crashed
@@ -77,7 +77,7 @@ FailureDetector::scheduleSweep()
     if (sweepArmed_)
         return;
     sweepArmed_ = true;
-    sim_.schedule(cfg_.sweepPeriod, [this]() {
+    sweepTimer_ = sim_.schedule(cfg_.sweepPeriod, [this]() {
         sweepArmed_ = false;
         if (!running_)
             return;

@@ -63,8 +63,21 @@ class FailureDetector : public SimNode
     /** Begin heartbeats and sweeps. */
     void start();
 
-    /** Stop scheduling further heartbeats and sweeps. */
-    void stop() { running_ = false; }
+    /** Stop the detector: cancel every armed heartbeat and the sweep
+     *  so no timer closure can outlive the owner's teardown. */
+    void
+    stop()
+    {
+        running_ = false;
+        for (const auto &[n, ev] : heartbeatTimers_) {
+            (void)n;
+            sim_.cancel(ev);
+        }
+        heartbeatTimers_.clear();
+        sim_.cancel(sweepTimer_);
+        sweepTimer_ = invalidEventId;
+        sweepArmed_ = false;
+    }
 
     void handleMessage(const Message &msg) override;
 
@@ -109,6 +122,10 @@ class FailureDetector : public SimNode
     NodeId self_ = invalidNode;
     bool running_ = false;
     bool sweepArmed_ = false;
+    /** Node -> armed heartbeat event (cancellation handles for the
+     *  self-rescheduling timer closures; ordered for determinism). */
+    std::map<NodeId, EventId> heartbeatTimers_;
+    EventId sweepTimer_ = invalidEventId;
     /** Monitored node -> last heartbeat arrival (ordered: sweeps
      *  iterate this map and feed suspicion callbacks). */
     std::map<NodeId, double> lastSeen_;

@@ -29,7 +29,8 @@ MetricsRegistry::global()
 }
 
 MetricsRegistry::Id
-MetricsRegistry::registerMetric(const std::string &name, Kind kind)
+MetricsRegistry::registerMetricLocked(const std::string &name,
+                                      Kind kind)
 {
     auto it = names_.find(name);
     if (it != names_.end()) {
@@ -71,13 +72,15 @@ MetricsRegistry::registerMetric(const std::string &name, Kind kind)
 MetricsRegistry::Id
 MetricsRegistry::counter(const std::string &name)
 {
-    return registerMetric(name, Kind::Counter);
+    MutexLock lock(mu_);
+    return registerMetricLocked(name, Kind::Counter);
 }
 
 MetricsRegistry::Id
 MetricsRegistry::gauge(const std::string &name)
 {
-    return registerMetric(name, Kind::Gauge);
+    MutexLock lock(mu_);
+    return registerMetricLocked(name, Kind::Gauge);
 }
 
 MetricsRegistry::Id
@@ -86,9 +89,10 @@ MetricsRegistry::histogram(const std::string &name, double lo, double hi,
 {
     OS_CHECK(hi > lo && bins > 0, "histogram '", name,
              "': bad bucket range");
+    MutexLock lock(mu_);
     auto it = names_.find(name);
     bool fresh = it == names_.end();
-    Id id = registerMetric(name, Kind::Histogram);
+    Id id = registerMetricLocked(name, Kind::Histogram);
     if (fresh) {
         HistogramData &h = histograms_[id];
         h.lo = lo;
@@ -102,6 +106,7 @@ MetricsRegistry::histogram(const std::string &name, double lo, double hi,
 void
 MetricsRegistry::observe(Id id, double value)
 {
+    MutexLock lock(mu_);
     HistogramData &h = histograms_[id];
     std::size_t bin;
     if (value < h.lo) {
@@ -121,6 +126,7 @@ MetricsRegistry::observe(Id id, double value)
 std::uint64_t
 MetricsRegistry::counterValue(const std::string &name) const
 {
+    MutexLock lock(mu_);
     auto it = names_.find(name);
     if (it == names_.end() || it->second.first != Kind::Counter)
         return 0;
@@ -130,6 +136,7 @@ MetricsRegistry::counterValue(const std::string &name) const
 double
 MetricsRegistry::gaugeValue(const std::string &name) const
 {
+    MutexLock lock(mu_);
     auto it = names_.find(name);
     if (it == names_.end() || it->second.first != Kind::Gauge)
         return 0.0;
@@ -140,6 +147,7 @@ MetricsSnapshot
 MetricsRegistry::snapshot() const
 {
     MetricsSnapshot snap;
+    MutexLock lock(mu_);
     for (std::size_t i = 0; i < counters_.size(); i++)
         snap.counters[*counterNames_[i]] = counters_[i];
     for (std::size_t i = 0; i < gauges_.size(); i++)
@@ -160,6 +168,7 @@ MetricsRegistry::snapshot() const
 void
 MetricsRegistry::resetValues()
 {
+    MutexLock lock(mu_);
     for (auto &c : counters_)
         c = 0;
     for (auto &g : gauges_)

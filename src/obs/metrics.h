@@ -19,6 +19,13 @@
  * metric identity is program-wide: two scenarios bumping
  * `net.sends` mean the same thing.  Tests that need isolation take
  * a snapshot before and diff after.
+ *
+ * Thread contract (Runtime-seam prep, DESIGN.md section 12): every
+ * member is guarded by mu_ and every method takes the lock.  In the
+ * single-threaded sim build util::Mutex is a no-op, so the hot-path
+ * inc() still compiles to a single vector add; the clang
+ * -Wthread-safety build proves the discipline holds before the
+ * real-process runtime turns the lock on (OCEANSTORE_THREADED).
  */
 
 #ifndef OCEANSTORE_OBS_METRICS_H
@@ -29,6 +36,8 @@
 #include <map>
 #include <string>
 #include <vector>
+
+#include "util/mutex.h"
 
 namespace oceanstore {
 
@@ -86,34 +95,53 @@ class MetricsRegistry
     static MetricsRegistry &global();
 
     /** Register (or look up) a monotonic counter. */
-    Id counter(const std::string &name);
+    Id counter(const std::string &name) OS_EXCLUDES(mu_);
 
     /** Register (or look up) a last-value gauge. */
-    Id gauge(const std::string &name);
+    Id gauge(const std::string &name) OS_EXCLUDES(mu_);
 
     /**
      * Register (or look up) a fixed-bucket histogram over [lo, hi)
      * with @p bins equal-width buckets plus underflow/overflow.
      */
     Id histogram(const std::string &name, double lo, double hi,
-                 std::size_t bins);
+                 std::size_t bins) OS_EXCLUDES(mu_);
 
-    /** O(1) hot-path updates. */
-    void inc(Id id, std::uint64_t delta = 1) { counters_[id] += delta; }
-    void set(Id id, double value) { gauges_[id] = value; }
-    void add(Id id, double delta) { gauges_[id] += delta; }
-    void observe(Id id, double value);
+    /** O(1) hot-path updates (the Mutex is a no-op in the sim build). */
+    void
+    inc(Id id, std::uint64_t delta = 1) OS_EXCLUDES(mu_)
+    {
+        MutexLock lock(mu_);
+        counters_[id] += delta;
+    }
+
+    void
+    set(Id id, double value) OS_EXCLUDES(mu_)
+    {
+        MutexLock lock(mu_);
+        gauges_[id] = value;
+    }
+
+    void
+    add(Id id, double delta) OS_EXCLUDES(mu_)
+    {
+        MutexLock lock(mu_);
+        gauges_[id] += delta;
+    }
+
+    void observe(Id id, double value) OS_EXCLUDES(mu_);
 
     /** Read-back by name; zero-value when not registered. */
-    std::uint64_t counterValue(const std::string &name) const;
-    double gaugeValue(const std::string &name) const;
+    std::uint64_t counterValue(const std::string &name) const
+        OS_EXCLUDES(mu_);
+    double gaugeValue(const std::string &name) const OS_EXCLUDES(mu_);
 
     /** Copy every metric's current value. */
-    MetricsSnapshot snapshot() const;
+    MetricsSnapshot snapshot() const OS_EXCLUDES(mu_);
 
     /** Reset all values to zero, keeping registrations (ids remain
      *  valid).  Used by tests needing a pristine baseline. */
-    void resetValues();
+    void resetValues() OS_EXCLUDES(mu_);
 
   private:
     enum class Kind : std::uint8_t { Counter, Gauge, Histogram };
@@ -128,16 +156,22 @@ class MetricsRegistry
         double sum = 0.0;
     };
 
-    Id registerMetric(const std::string &name, Kind kind);
+    Id registerMetricLocked(const std::string &name, Kind kind)
+        OS_REQUIRES(mu_);
 
-    std::map<std::string, std::pair<Kind, Id>> names_;
-    std::vector<std::uint64_t> counters_;
-    std::vector<double> gauges_;
-    std::vector<HistogramData> histograms_;
+    /** Guards every member; no-op until OCEANSTORE_THREADED. */
+    mutable Mutex mu_;
+
+    std::map<std::string, std::pair<Kind, Id>> names_
+        OS_GUARDED_BY(mu_);
+    std::vector<std::uint64_t> counters_ OS_GUARDED_BY(mu_);
+    std::vector<double> gauges_ OS_GUARDED_BY(mu_);
+    std::vector<HistogramData> histograms_ OS_GUARDED_BY(mu_);
     /** name of each id, per kind, for snapshotting. */
-    std::vector<const std::string *> counterNames_;
-    std::vector<const std::string *> gaugeNames_;
-    std::vector<const std::string *> histogramNames_;
+    std::vector<const std::string *> counterNames_ OS_GUARDED_BY(mu_);
+    std::vector<const std::string *> gaugeNames_ OS_GUARDED_BY(mu_);
+    std::vector<const std::string *> histogramNames_
+        OS_GUARDED_BY(mu_);
 };
 
 } // namespace oceanstore

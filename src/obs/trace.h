@@ -32,6 +32,8 @@
 #include <string>
 #include <vector>
 
+#include "util/mutex.h"
+
 namespace oceanstore {
 
 /**
@@ -92,14 +94,21 @@ struct SpanRecord
  * Per-run pooled span storage.  clear() drops records but keeps the
  * allocation, so repeated scenario runs (chaos seeds, bench repeats)
  * reuse one buffer.
+ *
+ * Thread contract (Runtime-seam prep): the record vector is guarded
+ * by mu_ — a no-op lock in the sim build, statically checked by the
+ * clang -Wthread-safety configuration.  References handed out by
+ * at() stay single-writer by the Tracer's own contract (exactly one
+ * active Tracer, mutated only from the simulation thread).
  */
 class TraceBuffer
 {
   public:
     /** Append and return the new record's 1-based span id. */
     std::uint32_t
-    append(const SpanRecord &rec)
+    append(const SpanRecord &rec) OS_EXCLUDES(mu_)
     {
+        MutexLock lock(mu_);
         records_.push_back(rec);
         return static_cast<std::uint32_t>(records_.size());
     }
@@ -107,22 +116,53 @@ class TraceBuffer
     /** Mutable access by span id (1-based), e.g. to extend a
      *  multicast span's end time as fan-out legs are scheduled. */
     SpanRecord &
-    at(std::uint32_t span_id)
+    at(std::uint32_t span_id) OS_EXCLUDES(mu_)
     {
+        MutexLock lock(mu_);
         return records_[span_id - 1];
     }
 
-    const std::vector<SpanRecord> &records() const { return records_; }
-    std::size_t size() const { return records_.size(); }
-    bool empty() const { return records_.empty(); }
+    const std::vector<SpanRecord> &
+    records() const OS_EXCLUDES(mu_)
+    {
+        MutexLock lock(mu_);
+        return records_;
+    }
+
+    std::size_t
+    size() const OS_EXCLUDES(mu_)
+    {
+        MutexLock lock(mu_);
+        return records_.size();
+    }
+
+    bool
+    empty() const OS_EXCLUDES(mu_)
+    {
+        MutexLock lock(mu_);
+        return records_.empty();
+    }
 
     /** Drop all records, retaining capacity. */
-    void clear() { records_.clear(); }
+    void
+    clear() OS_EXCLUDES(mu_)
+    {
+        MutexLock lock(mu_);
+        records_.clear();
+    }
 
-    void reserve(std::size_t n) { records_.reserve(n); }
+    void
+    reserve(std::size_t n) OS_EXCLUDES(mu_)
+    {
+        MutexLock lock(mu_);
+        records_.reserve(n);
+    }
 
   private:
-    std::vector<SpanRecord> records_;
+    /** Guards records_; no-op until OCEANSTORE_THREADED. */
+    mutable Mutex mu_;
+
+    std::vector<SpanRecord> records_ OS_GUARDED_BY(mu_);
 };
 
 /**

@@ -24,7 +24,7 @@ ChurnInjector::scheduleTransition(NodeId n)
 {
     double hold = net_.isUp(n) ? rng_.exponential(cfg_.meanUptime)
                                : rng_.exponential(cfg_.meanDowntime);
-    sim_.schedule(hold, [this, n]() {
+    transitions_[n] = sim_.schedule(hold, [this, n]() {
         if (!running_)
             return;
         if (net_.isUp(n)) {

@@ -13,6 +13,7 @@
 #define OCEANSTORE_SIM_CHURN_H
 
 #include <functional>
+#include <map>
 #include <vector>
 
 #include "sim/network.h"
@@ -44,8 +45,18 @@ class ChurnInjector
     /** Begin churning @p nodes.  Call at most once. */
     void start(const std::vector<NodeId> &nodes);
 
-    /** Stop scheduling further transitions. */
-    void stop() { running_ = false; }
+    /** Stop churning: cancel every armed transition so no closure
+     *  can fire after the injector's owner tears it down. */
+    void
+    stop()
+    {
+        running_ = false;
+        for (const auto &[n, ev] : transitions_) {
+            (void)n;
+            sim_.cancel(ev);
+        }
+        transitions_.clear();
+    }
 
     /** Invoked (if set) when a node crashes. */
     std::function<void(NodeId)> onCrash;
@@ -83,6 +94,9 @@ class ChurnInjector
     ChurnConfig cfg_;
     Rng rng_;
     bool running_ = false;
+    /** Node -> its armed transition event (the cancellation handles
+     *  for the self-rescheduling closures; ordered for determinism). */
+    std::map<NodeId, EventId> transitions_;
 };
 
 } // namespace oceanstore

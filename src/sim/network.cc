@@ -79,6 +79,7 @@ Network::latency(NodeId a, NodeId b) const
 std::uint32_t
 Network::allocFlight(Message &&msg)
 {
+    MutexLock lock(mu_);
     if (!freeFlights_.empty()) {
         std::uint32_t f = freeFlights_.back();
         freeFlights_.pop_back();
@@ -92,6 +93,7 @@ Network::allocFlight(Message &&msg)
 void
 Network::releaseFlight(std::uint32_t flight)
 {
+    MutexLock lock(mu_);
     Flight &fl = flights_[flight];
     OS_DCHECK(fl.refs > 0, "Network: flight over-released");
     if (--fl.refs == 0) {
@@ -117,32 +119,59 @@ Network::deliveryLatency(NodeId from, NodeId to, std::size_t bytes)
 }
 
 void
+Network::pinFlight(std::uint32_t flight)
+{
+    MutexLock lock(mu_);
+    flights_[flight].refs++;
+}
+
+const Message &
+Network::flightMsg(std::uint32_t flight) const
+{
+    MutexLock lock(mu_);
+    return flights_[flight].msg;
+}
+
+void
 Network::scheduleDelivery(std::uint32_t flight, NodeId to, double lat)
 {
-    flights_[flight].refs++;
-    inFlight_++;
+    std::size_t nowInFlight;
+    {
+        MutexLock lock(mu_);
+        flights_[flight].refs++;
+        inFlight_++;
+        nowInFlight = inFlight_;
+    }
     {
         NetMetricIds &nm = netMetrics();
-        nm.reg->set(nm.inFlight, static_cast<double>(inFlight_));
+        nm.reg->set(nm.inFlight, static_cast<double>(nowInFlight));
     }
     // Label the delivery event with the message's component prefix
     // ("pbft.prepare" -> "pbft") so the profiler attributes the
     // event-loop phase breakdown per protocol layer.
     PhaseProfiler *pp = PhaseProfiler::active();
     ScopedPhase phase(
-        pp, pp ? pp->labelForMessageType(flights_[flight].msg.type) : 0);
+        pp, pp ? pp->labelForMessageType(flightMsg(flight).type) : 0);
     // Captures 12 bytes: stays in EventFn's inline buffer, so the
-    // whole send costs no heap allocation.
+    // whole send costs no heap allocation.  Delivery events carry no
+    // cancellation token by design: they *are* the simulated network,
+    // and the Network outlives the drained event queue.
+    // oslint-allow(lifetime): deliveries are owned by the run; the Network outlives them
     sim_.schedule(lat, [this, flight, to]() { deliver(flight, to); });
 }
 
 void
 Network::deliver(std::uint32_t flight, NodeId to)
 {
-    inFlight_--;
+    std::size_t nowInFlight;
+    {
+        MutexLock lock(mu_);
+        inFlight_--;
+        nowInFlight = inFlight_;
+    }
     NetMetricIds &nm = netMetrics();
-    nm.reg->set(nm.inFlight, static_cast<double>(inFlight_));
-    const Message &m = flights_[flight].msg;
+    nm.reg->set(nm.inFlight, static_cast<double>(nowInFlight));
+    const Message &m = flightMsg(flight);
     if (up_[to] && partition_[m.src] == partition_[to]) {
         nm.reg->inc(nm.delivered);
         // Make the message's span the ambient causal parent for
@@ -230,7 +259,7 @@ Network::send(NodeId from, NodeId to, Message msg)
     std::uint32_t flight = allocFlight(std::move(msg));
     if (dup) {
         // Pin the flight so both copies share one payload slot.
-        flights_[flight].refs++;
+        pinFlight(flight);
         scheduleDelivery(flight, to, lat);
         scheduleDelivery(flight, to, dupLat);
         releaseFlight(flight);
@@ -289,7 +318,7 @@ Network::multicast(NodeId from, const std::vector<NodeId> &tos,
     std::uint32_t flight = allocFlight(std::move(msg));
     // Pin the flight while scheduling so an immediate zero-ref free
     // cannot recycle it if every destination drops.
-    flights_[flight].refs++;
+    pinFlight(flight);
     for (NodeId to : tos) {
         if (cfg_.dropRate > 0 && rng_.chance(cfg_.dropRate)) {
             nm.reg->inc(nm.drops);

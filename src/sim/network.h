@@ -27,6 +27,7 @@
 
 #include "sim/message.h"
 #include "sim/simulator.h"
+#include "util/mutex.h"
 #include "util/random.h"
 #include "util/stats.h"
 
@@ -160,7 +161,12 @@ class Network
     std::uint64_t totalMessages() const { return totalMessages_; }
 
     /** In-flight messages (scheduled, not yet delivered or dropped). */
-    std::size_t inFlight() const { return inFlight_; }
+    std::size_t
+    inFlight() const OS_EXCLUDES(mu_)
+    {
+        MutexLock lock(mu_);
+        return inFlight_;
+    }
 
     /** Reset the byte/message counters (not node state). */
     void resetCounters();
@@ -179,8 +185,15 @@ class Network
         std::uint32_t refs = 0;
     };
 
-    std::uint32_t allocFlight(Message &&msg);
-    void releaseFlight(std::uint32_t flight);
+    std::uint32_t allocFlight(Message &&msg) OS_EXCLUDES(mu_);
+    void releaseFlight(std::uint32_t flight) OS_EXCLUDES(mu_);
+    /** Add one delivery reference to a pooled flight. */
+    void pinFlight(std::uint32_t flight) OS_EXCLUDES(mu_);
+    /** The pooled payload of @p flight.  The reference stays valid
+     *  across reentrant sends (deque slots are stable) and is only
+     *  mutated once the last reference is released. */
+    const Message &flightMsg(std::uint32_t flight) const
+        OS_EXCLUDES(mu_);
     /** Jitter/bandwidth-adjusted delivery latency; consumes rng. */
     double deliveryLatency(NodeId from, NodeId to, std::size_t bytes);
     void scheduleDelivery(std::uint32_t flight, NodeId to, double lat);
@@ -196,11 +209,16 @@ class Network
     std::vector<int> partition_;
     std::uint64_t totalBytes_ = 0;
     std::uint64_t totalMessages_ = 0;
-    std::size_t inFlight_ = 0;
+
+    /** Guards the pooled flight store (Runtime-seam prep); no-op
+     *  until OCEANSTORE_THREADED. */
+    mutable Mutex mu_;
+
+    std::size_t inFlight_ OS_GUARDED_BY(mu_) = 0;
     /** deque: references into flights_ stay valid while handlers
      *  reentrantly send (and thus allocate) new flights. */
-    std::deque<Flight> flights_;
-    std::vector<std::uint32_t> freeFlights_;
+    std::deque<Flight> flights_ OS_GUARDED_BY(mu_);
+    std::vector<std::uint32_t> freeFlights_ OS_GUARDED_BY(mu_);
     Counters byType_;
 };
 

@@ -36,7 +36,7 @@ simMetrics()
 } // namespace
 
 std::uint32_t
-Simulator::allocSlot()
+Simulator::allocSlotLocked()
 {
     if (!freeSlots_.empty()) {
         std::uint32_t s = freeSlots_.back();
@@ -48,7 +48,7 @@ Simulator::allocSlot()
 }
 
 void
-Simulator::reclaimSlot(std::uint32_t slot)
+Simulator::reclaimSlotLocked(std::uint32_t slot)
 {
     Slot &s = pool_[slot];
     s.fn.reset(); // release captures eagerly
@@ -60,6 +60,7 @@ Simulator::reclaimSlot(std::uint32_t slot)
 void
 Simulator::reserve(std::size_t n)
 {
+    MutexLock lock(mu_);
     pool_.reserve(n);
     freeSlots_.reserve(n);
 }
@@ -69,17 +70,25 @@ Simulator::schedule(SimTime delay, EventFn fn)
 {
     if (delay < 0)
         fatal("Simulator::schedule: negative delay");
-    return scheduleAt(now_ + delay, std::move(fn));
+    MutexLock lock(mu_);
+    return scheduleAtLocked(now_ + delay, std::move(fn));
 }
 
 EventId
 Simulator::scheduleAt(SimTime when, EventFn fn)
 {
+    MutexLock lock(mu_);
+    return scheduleAtLocked(when, std::move(fn));
+}
+
+EventId
+Simulator::scheduleAtLocked(SimTime when, EventFn fn)
+{
     if (std::isnan(when))
         fatal("Simulator::scheduleAt: NaN time");
     if (when < now_)
         fatal("Simulator::scheduleAt: time in the past");
-    std::uint32_t slot = allocSlot();
+    std::uint32_t slot = allocSlotLocked();
     Slot &s = pool_[slot];
     s.fn = std::move(fn);
     s.when = when;
@@ -115,12 +124,13 @@ Simulator::cancel(EventId id)
     // recognized as stale by its sequence number when popped.
     std::uint32_t slot = static_cast<std::uint32_t>(id);
     std::uint32_t gen = static_cast<std::uint32_t>(id >> 32);
+    MutexLock lock(mu_);
     if (slot >= pool_.size())
         return;
     Slot &s = pool_[slot];
     if (s.gen != gen || !s.armed)
         return;
-    reclaimSlot(slot);
+    reclaimSlotLocked(slot);
     pending_--;
     staleEntries_++;
     SimMetricIds &m = simMetrics();
@@ -130,57 +140,76 @@ Simulator::cancel(EventId id)
 bool
 Simulator::step()
 {
-    while (!queue_.empty()) {
-        QueueEntry e = queue_.top();
-        queue_.pop();
-        Slot &s = pool_[e.slot];
-        if (s.seq != e.seq || !s.armed) {
-            // Entry of a cancelled (and possibly since-reused) slot.
-            staleEntries_--;
-            continue;
+    EventFn fn;
+    TraceContext ctx;
+    std::uint16_t label = 0;
+    SimTime scheduledAt = 0.0;
+    SimTime firedAt = 0.0;
+    bool have = false;
+
+    // Bookkeeping happens under the lock; the callback fires with it
+    // released, so handlers may freely (re)schedule and cancel.
+    {
+        MutexLock lock(mu_);
+        while (!queue_.empty()) {
+            QueueEntry e = queue_.top();
+            queue_.pop();
+            Slot &s = pool_[e.slot];
+            if (s.seq != e.seq || !s.armed) {
+                // Entry of a cancelled (and possibly since-reused)
+                // slot.
+                staleEntries_--;
+                continue;
+            }
+            // Self-audit: the clock never moves backwards, and events
+            // at equal timestamps fire in scheduling (seq) order.
+            OS_CHECK(e.when >= now_, "event seq ", e.seq,
+                     " at t=", e.when, " fired with clock at t=", now_);
+            OS_CHECK(e.when > lastFiredWhen_ || e.seq > lastFiredSeq_,
+                     "FIFO tie-break violated: event seq ", e.seq,
+                     " after ", lastFiredSeq_, " at t=", e.when);
+            lastFiredWhen_ = e.when;
+            lastFiredSeq_ = e.seq;
+            now_ = e.when;
+            executed_++;
+            pending_--;
+            // Move the callback out and reclaim the slot *before*
+            // firing: the handler may cancel its own id (a no-op by
+            // then) or schedule new events that reuse the slot.
+            fn = std::move(s.fn);
+            ctx = s.ctx;
+            label = s.label;
+            scheduledAt = s.scheduledAt;
+            firedAt = e.when;
+            reclaimSlotLocked(e.slot);
+            have = true;
+            break;
         }
-        // Self-audit: the clock never moves backwards, and events at
-        // equal timestamps fire in scheduling (seq) order.
-        OS_CHECK(e.when >= now_, "event seq ", e.seq, " at t=", e.when,
-                 " fired with clock at t=", now_);
-        OS_CHECK(e.when > lastFiredWhen_ || e.seq > lastFiredSeq_,
-                 "FIFO tie-break violated: event seq ", e.seq,
-                 " after ", lastFiredSeq_, " at t=", e.when);
-        lastFiredWhen_ = e.when;
-        lastFiredSeq_ = e.seq;
-        now_ = e.when;
-        executed_++;
-        pending_--;
-        // Move the callback out and reclaim the slot *before* firing:
-        // the handler may cancel its own id (a no-op by then) or
-        // schedule new events that reuse the slot.
-        EventFn fn = std::move(s.fn);
-        TraceContext ctx = s.ctx;
-        std::uint16_t label = s.label;
-        SimTime scheduledAt = s.scheduledAt;
-        reclaimSlot(e.slot);
-        SimMetricIds &m = simMetrics();
-        m.reg->inc(m.fired);
-        // Restore the scheduling code's observability context around
-        // the callback, so everything it does (sends, new timers)
-        // stays causally linked and phase-attributed.
-        Tracer *tr = Tracer::active();
-        if (tr)
-            tr->setCurrent(ctx);
-        PhaseProfiler *pp = PhaseProfiler::active();
-        if (pp) {
-            pp->onEventFired(label, e.when - scheduledAt);
-            pp->setCurrent(label);
-        }
-        fn();
-        if (tr)
-            tr->clearCurrent();
-        if (pp)
-            pp->setCurrent(0);
-        return true;
+        if (!have)
+            auditDrainedLocked();
     }
-    auditDrained();
-    return false;
+    if (!have)
+        return false;
+
+    SimMetricIds &m = simMetrics();
+    m.reg->inc(m.fired);
+    // Restore the scheduling code's observability context around the
+    // callback, so everything it does (sends, new timers) stays
+    // causally linked and phase-attributed.
+    Tracer *tr = Tracer::active();
+    if (tr)
+        tr->setCurrent(ctx);
+    PhaseProfiler *pp = PhaseProfiler::active();
+    if (pp) {
+        pp->onEventFired(label, firedAt - scheduledAt);
+        pp->setCurrent(label);
+    }
+    fn();
+    if (tr)
+        tr->clearCurrent();
+    if (pp)
+        pp->setCurrent(0);
+    return true;
 }
 
 void
@@ -194,28 +223,41 @@ void
 Simulator::runUntil(SimTime until)
 {
     for (;;) {
-        // Drop stale entries so the time check below sees the next
-        // event that will actually fire.
-        while (!queue_.empty()) {
-            const QueueEntry &top = queue_.top();
-            const Slot &s = pool_[top.slot];
-            if (s.seq == top.seq && s.armed)
-                break;
-            staleEntries_--;
-            queue_.pop();
+        bool fire;
+        {
+            MutexLock lock(mu_);
+            // Drop stale entries so the time check below sees the
+            // next event that will actually fire.
+            while (!queue_.empty()) {
+                const QueueEntry &top = queue_.top();
+                const Slot &s = pool_[top.slot];
+                if (s.seq == top.seq && s.armed)
+                    break;
+                staleEntries_--;
+                queue_.pop();
+            }
+            fire = !queue_.empty() && queue_.top().when <= until;
         }
-        if (queue_.empty() || queue_.top().when > until)
+        if (!fire)
             break;
         step();
     }
+    MutexLock lock(mu_);
     if (queue_.empty())
-        auditDrained();
+        auditDrainedLocked();
     if (now_ < until)
         now_ = until;
 }
 
 void
 Simulator::auditDrained() const
+{
+    MutexLock lock(mu_);
+    auditDrainedLocked();
+}
+
+void
+Simulator::auditDrainedLocked() const
 {
     // Every queue entry maps to exactly one live or stale slot state,
     // so an empty queue must leave no pending events, no stale

@@ -34,6 +34,7 @@
 
 #include "obs/trace.h"
 #include "sim/event_fn.h"
+#include "util/mutex.h"
 
 namespace oceanstore {
 
@@ -56,6 +57,14 @@ constexpr EventId invalidEventId = 0;
  *
  * Events scheduled at the same timestamp fire in scheduling order
  * (FIFO tie-break), which keeps runs bit-for-bit reproducible.
+ *
+ * Thread contract (Runtime-seam prep, DESIGN.md section 12): the
+ * pooled event store and the clock are guarded by mu_ — a no-op lock
+ * in the sim build, checked by the clang -Wthread-safety build.  The
+ * lock is never held across a callback: step() pops and reclaims
+ * under the lock, then fires with it released, so handlers are free
+ * to reschedule (and, later, other threads free to schedule into a
+ * running loop).
  */
 class Simulator
 {
@@ -63,47 +72,67 @@ class Simulator
     Simulator() = default;
 
     /** Current simulated time. */
-    SimTime now() const { return now_; }
+    SimTime
+    now() const OS_EXCLUDES(mu_)
+    {
+        MutexLock lock(mu_);
+        return now_;
+    }
 
     /**
      * Schedule @p fn to run @p delay seconds from now.
      * @return an id usable with cancel().
      */
-    EventId schedule(SimTime delay, EventFn fn);
+    EventId schedule(SimTime delay, EventFn fn) OS_EXCLUDES(mu_);
 
     /** Schedule @p fn at absolute time @p when (>= now). */
-    EventId scheduleAt(SimTime when, EventFn fn);
+    EventId scheduleAt(SimTime when, EventFn fn) OS_EXCLUDES(mu_);
 
     /**
      * Cancel a pending event; no-op if already fired, already
      * cancelled, or never scheduled.  O(1): the slot is reclaimed and
      * its captures released immediately.
      */
-    void cancel(EventId id);
+    void cancel(EventId id) OS_EXCLUDES(mu_);
 
     /** Run one event.  @return false when the queue is empty. */
-    bool step();
+    bool step() OS_EXCLUDES(mu_);
 
     /** Run until the queue drains. */
     void run();
 
     /** Run until the queue drains or the clock passes @p until. */
-    void runUntil(SimTime until);
+    void runUntil(SimTime until) OS_EXCLUDES(mu_);
 
     /** Number of events executed so far. */
-    std::uint64_t eventsExecuted() const { return executed_; }
+    std::uint64_t
+    eventsExecuted() const OS_EXCLUDES(mu_)
+    {
+        MutexLock lock(mu_);
+        return executed_;
+    }
 
     /** Number of events currently pending (scheduled, not yet fired
      *  or cancelled). */
-    std::size_t pending() const { return pending_; }
+    std::size_t
+    pending() const OS_EXCLUDES(mu_)
+    {
+        MutexLock lock(mu_);
+        return pending_;
+    }
 
     /** Stale queue entries left by cancel(), not yet popped.  (The
      *  slots themselves are already reclaimed; this counts only the
      *  24-byte heap handles awaiting their turn at the queue head.) */
-    std::size_t cancelTombstones() const { return staleEntries_; }
+    std::size_t
+    cancelTombstones() const OS_EXCLUDES(mu_)
+    {
+        MutexLock lock(mu_);
+        return staleEntries_;
+    }
 
     /** Reserve pool and queue capacity for @p n in-flight events. */
-    void reserve(std::size_t n);
+    void reserve(std::size_t n) OS_EXCLUDES(mu_);
 
     /**
      * Self-audit: verify cancellation bookkeeping is fully drained.
@@ -111,7 +140,7 @@ class Simulator
      * leaked stale entry or an unreclaimed slot (an internal
      * accounting bug).
      */
-    void auditDrained() const;
+    void auditDrained() const OS_EXCLUDES(mu_);
 
   private:
     /** One pooled event.  A slot is live between schedule() and
@@ -155,22 +184,29 @@ class Simulator
         return (static_cast<EventId>(gen) << 32) | slot;
     }
 
-    std::uint32_t allocSlot();
-    void reclaimSlot(std::uint32_t slot);
+    EventId scheduleAtLocked(SimTime when, EventFn fn)
+        OS_REQUIRES(mu_);
+    std::uint32_t allocSlotLocked() OS_REQUIRES(mu_);
+    void reclaimSlotLocked(std::uint32_t slot) OS_REQUIRES(mu_);
+    void auditDrainedLocked() const OS_REQUIRES(mu_);
 
-    SimTime now_ = 0.0;
-    std::uint64_t nextSeq_ = 1;
-    std::uint64_t executed_ = 0;
-    std::size_t pending_ = 0;
-    std::size_t staleEntries_ = 0;
-    std::vector<Slot> pool_;
-    std::vector<std::uint32_t> freeSlots_;
+    /** Guards the clock and the pooled event store; no-op until
+     *  OCEANSTORE_THREADED. */
+    mutable Mutex mu_;
+
+    SimTime now_ OS_GUARDED_BY(mu_) = 0.0;
+    std::uint64_t nextSeq_ OS_GUARDED_BY(mu_) = 1;
+    std::uint64_t executed_ OS_GUARDED_BY(mu_) = 0;
+    std::size_t pending_ OS_GUARDED_BY(mu_) = 0;
+    std::size_t staleEntries_ OS_GUARDED_BY(mu_) = 0;
+    std::vector<Slot> pool_ OS_GUARDED_BY(mu_);
+    std::vector<std::uint32_t> freeSlots_ OS_GUARDED_BY(mu_);
     std::priority_queue<QueueEntry, std::vector<QueueEntry>,
                         std::greater<QueueEntry>>
-        queue_;
+        queue_ OS_GUARDED_BY(mu_);
     /** Timestamp/seq of the last event fired (FIFO tie-break audit). */
-    SimTime lastFiredWhen_ = 0.0;
-    std::uint64_t lastFiredSeq_ = 0;
+    SimTime lastFiredWhen_ OS_GUARDED_BY(mu_) = 0.0;
+    std::uint64_t lastFiredSeq_ OS_GUARDED_BY(mu_) = 0;
 };
 
 } // namespace oceanstore

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Annotated mutex for the Runtime seam (thread-safety prep).
+ *
+ * The deterministic simulator is single-threaded by contract, so
+ * today every lock would be uncontended pure overhead on hot paths
+ * (Simulator::schedule, MetricsRegistry::inc fire millions of times
+ * per bench run).  The Runtime seam (ROADMAP item 2) will run the
+ * same types from real threads.
+ *
+ * This header squares that circle: util::Mutex carries the clang
+ * thread-safety *annotations* unconditionally — so the lock
+ * discipline is statically checked in every build — but its
+ * lock()/unlock() bodies compile to nothing unless OCEANSTORE_THREADED
+ * is defined, which the future real-process runtime will do.  The
+ * sim build therefore pays zero cycles while the seam inherits a
+ * tree whose guarded members and lock scopes are already proven
+ * consistent by `scripts/check.sh tsafety` (clang, -Wthread-safety
+ * -Werror).
+ */
+
+#ifndef OCEANSTORE_UTIL_MUTEX_H
+#define OCEANSTORE_UTIL_MUTEX_H
+
+#ifdef OCEANSTORE_THREADED
+#include <mutex>
+#endif
+
+#include "util/thread_annotations.h"
+
+namespace oceanstore {
+
+/**
+ * A mutual-exclusion capability.  No-op in the single-threaded sim
+ * build; std::mutex-backed when OCEANSTORE_THREADED is defined.
+ */
+class OS_CAPABILITY("mutex") Mutex
+{
+  public:
+    Mutex() = default;
+    Mutex(const Mutex &) = delete;
+    Mutex &operator=(const Mutex &) = delete;
+
+#ifdef OCEANSTORE_THREADED
+    void lock() OS_ACQUIRE() { m_.lock(); }
+    void unlock() OS_RELEASE() { m_.unlock(); }
+#else
+    void lock() OS_ACQUIRE() {}
+    void unlock() OS_RELEASE() {}
+#endif
+
+  private:
+#ifdef OCEANSTORE_THREADED
+    std::mutex m_;
+#endif
+};
+
+/** RAII lock over a util::Mutex. */
+class OS_SCOPED_CAPABILITY MutexLock
+{
+  public:
+    explicit MutexLock(Mutex &mu) OS_ACQUIRE(mu)
+        : mu_(mu)
+    {
+        mu_.lock();
+    }
+
+    ~MutexLock() OS_RELEASE() { mu_.unlock(); }
+
+    MutexLock(const MutexLock &) = delete;
+    MutexLock &operator=(const MutexLock &) = delete;
+
+  private:
+    Mutex &mu_;
+};
+
+} // namespace oceanstore
+
+#endif // OCEANSTORE_UTIL_MUTEX_H

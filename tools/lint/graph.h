@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Include-graph and layering analysis for oslint.
+ *
+ * The layering contract (DESIGN.md section 12) is a checked-in DAG:
+ * tools/lint/layers.txt declares the modules under src/ bottom-up,
+ * one `layer` line per tier.  A module may include headers from its
+ * own tier's *own module only* and from any strictly lower tier.
+ * oslint builds the real module-level include graph from the quoted
+ * includes in the tree and fails on
+ *   - includes that point upward or sideways across the DAG,
+ *   - modules present in the tree but missing from layers.txt (and
+ *     vice versa),
+ *   - file-level include cycles (which layering alone cannot see when
+ *     they stay inside one module).
+ *
+ * The graph can also be dumped as GraphViz DOT, with one rank cluster
+ * per layer, so CI archives a picture of the dependency structure for
+ * every change.
+ */
+
+#ifndef OCEANSTORE_TOOLS_LINT_GRAPH_H
+#define OCEANSTORE_TOOLS_LINT_GRAPH_H
+
+#include <cstddef>
+#include <filesystem>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "scanner.h"
+
+namespace oslint {
+
+/** The declared layer DAG, loaded from layers.txt. */
+struct Layers
+{
+    /** Tier index per module; lower = nearer the bottom. */
+    std::map<std::string, std::size_t> tierOf;
+
+    /** Line in layers.txt where each module is declared. */
+    std::map<std::string, std::size_t> declLine;
+
+    /** Tiers bottom-up, each a list of module names in declaration
+     *  order (for the DOT rank clusters). */
+    std::vector<std::vector<std::string>> tiers;
+
+    bool contains(const std::string &module) const
+    {
+        return tierOf.count(module) != 0;
+    }
+};
+
+/** Load layers.txt.  On a parse problem, returns false and sets
+ *  @p error to a "file:line: message" description. */
+bool loadLayers(const std::filesystem::path &file, Layers &layers,
+                std::string &error);
+
+/** Module-level include graph built from the scanned tree. */
+struct ModuleGraph
+{
+    /** One aggregated cross-module edge. */
+    struct Edge
+    {
+        std::string from, to;
+        std::size_t count = 0; //!< Number of #include sites.
+    };
+    std::vector<Edge> edges;
+    std::set<std::string> modules; //!< Every module seen in the tree.
+};
+
+/** Aggregate the per-file quoted includes into module edges.  An
+ *  include path's module is its first path component (include paths
+ *  are root-relative throughout the tree). */
+ModuleGraph buildModuleGraph(const std::vector<SourceFile> &files);
+
+/** Write the module graph as GraphViz DOT, one subgraph per layer. */
+void writeDot(const ModuleGraph &graph, const Layers &layers,
+              std::ostream &out);
+
+/**
+ * File-level include-cycle detection.  Returns each cycle as the list
+ * of relative paths along it (first repeated file omitted).  Includes
+ * that point outside the scanned tree are ignored.
+ */
+std::vector<std::vector<std::string>>
+findIncludeCycles(const std::vector<SourceFile> &files);
+
+} // namespace oslint
+
+#endif // OCEANSTORE_TOOLS_LINT_GRAPH_H

@@ -1,47 +1,32 @@
 /**
  * @file
- * Determinism and hygiene lint for the OceanStore source tree.
+ * oslint: static-analysis suite for the OceanStore source tree.
  *
- * The simulator promises bit-for-bit reproducible runs; that promise
- * is easy to break with one stray call to wall-clock time or one loop
- * over a hash container that feeds message emission.  This tool
- * mechanically rejects the known hazard patterns:
+ * The simulator promises bit-for-bit reproducible runs and the
+ * architecture promises a layered dependency DAG; both promises are
+ * easy to break one line at a time.  oslint mechanically rejects the
+ * known hazard patterns — see passes.h for the pass list and
+ * DESIGN.md section 12 ("Static analysis & layering contract") for
+ * the rationale behind each rule.
  *
- *  1. randomness/time outside the seeded facade: `rand()`, `srand()`,
- *     `std::random_device`, `std::mt19937`, `time(...)`,
- *     `system_clock` / `steady_clock` / `high_resolution_clock` are
- *     banned everywhere under src/ except src/util/random.*;
- *  2. iteration over `std::unordered_map` / `std::unordered_set` in
- *     the modules whose iteration order feeds event scheduling or
- *     message emission (src/sim, src/consistency, src/plaxton,
- *     src/bloom, src/util, src/introspect, src/obs — util and
- *     introspect carry the retry/backoff machinery and the failure
- *     detector, whose callback order reaches the event queue; obs
- *     renders trace/metric dumps that must be byte-identical across
- *     runs) — hash order is not part of the determinism contract, so
- *     those loops must use ordered containers;
- *  3. header-guard naming: each src/<dir>/<file>.h must guard with
- *     OCEANSTORE_<DIR>_<FILE>_H;
- *  4. ad-hoc console output: `printf(` and `std::cout` are banned in
- *     library code under src/ — results flow through the logger,
- *     metrics or spans; only the exporters (src/obs/export*) may
- *     serialize to streams.  (fprintf-to-stderr diagnostics and
- *     snprintf formatting are unaffected.)
- *
- * (A fourth check — per-header self-containment — is enforced by the
- * `header_selfcheck` CMake target, which compiles every header as its
- * own translation unit.)
+ * A finding can be suppressed, one site at a time, with
+ *     // oslint-allow(<rule>): <reason>
+ * on the same line or the line directly above.  The reason is
+ * mandatory; a bare directive suppresses nothing.
  *
  * Usage:
- *   oceanstore_lint <src-root>        lint the tree; findings to
- *                                     stdout, exit 1 when any exist
- *   oceanstore_lint --selftest <dir>  run against a fixture tree and
- *                                     verify findings line up with
- *                                     `EXPECT-LINT: <rule>` markers
+ *   oslint [options] <src-root>
+ *     --layers <file>    layer DAG for the layering pass
+ *     --manifest <file>  metric manifest for metrics-manifest
+ *     --dot <file>       write the module include graph as GraphViz
+ *     --pass <a,b,...>   run only the named passes
+ *   oslint --selftest <fixture-root>
+ *     Lint a fixture tree and verify findings line up with
+ *     `EXPECT-LINT: <rule>` markers.  <fixture-root>/layers.txt and
+ *     <fixture-root>/metrics_manifest.txt are picked up when present
+ *     (and scanned for markers too).
  */
 
-#include <algorithm>
-#include <cctype>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
@@ -52,425 +37,146 @@
 #include <string>
 #include <vector>
 
+#include "graph.h"
+#include "passes.h"
+#include "scanner.h"
+
 namespace fs = std::filesystem;
 
 namespace {
 
-struct Finding
+using oslint::Finding;
+using oslint::Layers;
+using oslint::ModuleGraph;
+using oslint::PassContext;
+using oslint::SourceFile;
+
+/** Parse the metrics manifest: one metric name per line (a kind
+ *  annotation after the name is informational), '#' comments. */
+bool
+loadManifest(const fs::path &file,
+             std::map<std::string, std::size_t> &manifest,
+             std::string &error)
 {
-    std::string file; // path relative to the scanned root
-    std::size_t line; // 1-based
-    std::string rule;
-    std::string message;
+    std::ifstream in(file);
+    if (!in) {
+        error = file.string() + ": cannot open";
+        return false;
+    }
+    std::string line;
+    std::size_t lineno = 0;
+    while (std::getline(in, line)) {
+        lineno++;
+        auto hash = line.find('#');
+        if (hash != std::string::npos)
+            line.erase(hash);
+        std::istringstream ss(line);
+        std::string name;
+        if (!(ss >> name))
+            continue;
+        if (manifest.count(name)) {
+            error = file.string() + ":" + std::to_string(lineno) +
+                    ": metric '" + name + "' listed twice";
+            return false;
+        }
+        manifest[name] = lineno;
+    }
+    return true;
+}
+
+/** Display name for a support file: relative to the scanned root when
+ *  it lives underneath it, the given path otherwise. */
+std::string
+displayName(const fs::path &file, const fs::path &root)
+{
+    std::error_code ec;
+    fs::path rel = fs::relative(file, root, ec);
+    if (!ec && !rel.empty() && rel.begin()->string() != "..")
+        return rel.generic_string();
+    return file.generic_string();
+}
+
+struct Options
+{
+    fs::path root;
+    fs::path layersFile;   // empty = layering pass disabled
+    fs::path manifestFile; // empty = metrics-manifest disabled
+    fs::path dotFile;      // empty = no DOT dump
+    std::set<std::string> only; // empty = all passes
+    bool selftest = false;
 };
 
-/** Directories whose unordered-container iteration order can leak
- *  into event scheduling or message emission. */
-const std::set<std::string> kOrderSensitiveDirs = {
-    "sim", "consistency", "plaxton", "bloom", "util", "introspect",
-    "obs"};
-
-std::string
-readFile(const fs::path &p)
+/** Run the pass suite over a tree; allow-filtered, sorted. */
+int
+runPasses(const Options &opt, std::vector<Finding> &findings)
 {
-    std::ifstream in(p, std::ios::binary);
-    std::ostringstream ss;
-    ss << in.rdbuf();
-    return ss.str();
-}
+    std::vector<SourceFile> files = oslint::scanTree(opt.root);
 
-/**
- * Blank out comments, string literals, and char literals, preserving
- * the byte count and every newline so line numbers survive.  Keeps
- * the scanner honest: a banned token inside a comment or a log string
- * is not a violation.
- */
-std::string
-stripNonCode(const std::string &src)
-{
-    std::string out = src;
-    enum class St { Code, Line, Block, Str, Chr } st = St::Code;
-    for (std::size_t i = 0; i < src.size(); i++) {
-        char c = src[i];
-        char n = i + 1 < src.size() ? src[i + 1] : '\0';
-        switch (st) {
-        case St::Code:
-            if (c == '/' && n == '/') {
-                st = St::Line;
-                out[i] = ' ';
-            } else if (c == '/' && n == '*') {
-                st = St::Block;
-                out[i] = ' ';
-            } else if (c == '"') {
-                st = St::Str;
-            } else if (c == '\'') {
-                st = St::Chr;
-            }
-            break;
-        case St::Line:
-            if (c == '\n')
-                st = St::Code;
-            else
-                out[i] = ' ';
-            break;
-        case St::Block:
-            if (c == '*' && n == '/') {
-                st = St::Code;
-                out[i] = out[i + 1] = ' ';
-                i++;
-            } else if (c != '\n') {
-                out[i] = ' ';
-            }
-            break;
-        case St::Str:
-            if (c == '\\' && n != '\0') {
-                out[i] = out[i + 1] = ' ';
-                i++;
-            } else if (c == '"') {
-                st = St::Code;
-            } else if (c != '\n') {
-                out[i] = ' ';
-            }
-            break;
-        case St::Chr:
-            if (c == '\\' && n != '\0') {
-                out[i] = out[i + 1] = ' ';
-                i++;
-            } else if (c == '\'') {
-                st = St::Code;
-            } else {
-                out[i] = ' ';
-            }
-            break;
+    PassContext ctx;
+    ctx.files = &files;
+    ctx.unorderedByModule = oslint::collectUnorderedByModule(files);
+
+    ModuleGraph graph = oslint::buildModuleGraph(files);
+    ctx.graph = &graph;
+
+    Layers layers;
+    std::string error;
+    if (!opt.layersFile.empty()) {
+        if (!oslint::loadLayers(opt.layersFile, layers, error)) {
+            std::fprintf(stderr, "oslint: %s\n", error.c_str());
+            return 2;
         }
+        ctx.layers = &layers;
+        ctx.layersFile = displayName(opt.layersFile, opt.root);
     }
-    return out;
-}
 
-std::size_t
-lineOf(const std::string &text, std::size_t offset)
-{
-    return 1 + static_cast<std::size_t>(
-                   std::count(text.begin(), text.begin() + offset, '\n'));
-}
-
-// ---------------------------------------------------------------------
-// Check 1: banned randomness / wall-clock sources.
-
-struct BannedToken
-{
-    std::regex re;
-    const char *what;
-};
-
-const std::vector<BannedToken> &
-bannedTokens()
-{
-    static const std::vector<BannedToken> tokens = {
-        {std::regex(R"(\brand\s*\()"), "rand()"},
-        {std::regex(R"(\bsrand\s*\()"), "srand()"},
-        {std::regex(R"(\brandom_device\b)"), "std::random_device"},
-        {std::regex(R"(\bmt19937(_64)?\b)"), "std::mt19937"},
-        {std::regex(R"(\btime\s*\()"), "time()"},
-        {std::regex(R"(\bsystem_clock\b)"), "std::chrono::system_clock"},
-        {std::regex(R"(\bsteady_clock\b)"), "std::chrono::steady_clock"},
-        {std::regex(R"(\bhigh_resolution_clock\b)"),
-         "std::chrono::high_resolution_clock"},
-    };
-    return tokens;
-}
-
-void
-checkRandomness(const std::string &rel, const std::string &code,
-                std::vector<Finding> &out)
-{
-    // The seeded facade itself is the one legitimate home for this.
-    if (rel.find("util/random") != std::string::npos)
-        return;
-    for (const auto &tok : bannedTokens()) {
-        for (auto it = std::sregex_iterator(code.begin(), code.end(),
-                                            tok.re);
-             it != std::sregex_iterator(); ++it) {
-            out.push_back({rel,
-                           lineOf(code, static_cast<std::size_t>(
-                                            it->position())),
-                           "randomness",
-                           std::string(tok.what) +
-                               " is nondeterministic; route through "
-                               "src/util/random.h (Rng)"});
+    std::map<std::string, std::size_t> manifest;
+    if (!opt.manifestFile.empty()) {
+        if (!loadManifest(opt.manifestFile, manifest, error)) {
+            std::fprintf(stderr, "oslint: %s\n", error.c_str());
+            return 2;
         }
+        ctx.manifest = &manifest;
+        ctx.manifestFile = displayName(opt.manifestFile, opt.root);
     }
-}
 
-// ---------------------------------------------------------------------
-// Check 2: unordered-container iteration in order-sensitive modules.
-
-/**
- * Collect the names of variables and members declared with an
- * unordered container type.  Handles nested template arguments by
- * balancing angle brackets, then takes the first identifier after the
- * closing '>'.
- */
-void
-collectUnorderedNames(const std::string &code,
-                      std::set<std::string> &names)
-{
-    static const std::regex decl(R"(\bunordered_(?:map|set)\s*<)");
-    for (auto it = std::sregex_iterator(code.begin(), code.end(), decl);
-         it != std::sregex_iterator(); ++it) {
-        std::size_t i = static_cast<std::size_t>(it->position()) +
-                        it->length();
-        int depth = 1;
-        while (i < code.size() && depth > 0) {
-            if (code[i] == '<')
-                depth++;
-            else if (code[i] == '>')
-                depth--;
-            i++;
+    if (!opt.dotFile.empty()) {
+        std::ofstream dot(opt.dotFile);
+        if (!dot) {
+            std::fprintf(stderr, "oslint: cannot write %s\n",
+                         opt.dotFile.string().c_str());
+            return 2;
         }
-        while (i < code.size() &&
-               std::isspace(static_cast<unsigned char>(code[i])))
-            i++;
-        // Skip over '&', '*' (reference/pointer declarators).
-        while (i < code.size() && (code[i] == '&' || code[i] == '*'))
-            i++;
-        while (i < code.size() &&
-               std::isspace(static_cast<unsigned char>(code[i])))
-            i++;
-        std::size_t start = i;
-        while (i < code.size() &&
-               (std::isalnum(static_cast<unsigned char>(code[i])) ||
-                code[i] == '_'))
-            i++;
-        if (i > start)
-            names.insert(code.substr(start, i - start));
+        oslint::writeDot(graph, layers, dot);
     }
-}
 
-bool
-containsWord(const std::string &text, const std::string &word)
-{
-    std::size_t pos = 0;
-    auto isWordChar = [](char c) {
-        return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
-    };
-    while ((pos = text.find(word, pos)) != std::string::npos) {
-        bool left_ok = pos == 0 || !isWordChar(text[pos - 1]);
-        std::size_t end = pos + word.size();
-        bool right_ok = end >= text.size() || !isWordChar(text[end]);
-        if (left_ok && right_ok)
-            return true;
-        pos = end;
-    }
-    return false;
-}
-
-void
-checkUnorderedIteration(const std::string &rel, const std::string &code,
-                        const std::set<std::string> &module_names,
-                        std::vector<Finding> &out)
-{
-    if (module_names.empty())
-        return;
-
-    // Range-based for: `for (decl : expr)` where expr mentions a name
-    // declared with an unordered type anywhere in this module.
-    static const std::regex range_for(R"(\bfor\s*\()");
-    for (auto it = std::sregex_iterator(code.begin(), code.end(),
-                                        range_for);
-         it != std::sregex_iterator(); ++it) {
-        std::size_t open = static_cast<std::size_t>(it->position()) +
-                           it->length() - 1;
-        int depth = 0;
-        std::size_t close = open;
-        while (close < code.size()) {
-            if (code[close] == '(')
-                depth++;
-            else if (code[close] == ')' && --depth == 0)
-                break;
-            close++;
-        }
-        if (close >= code.size())
+    std::vector<Finding> raw;
+    for (const auto &pass : oslint::allPasses()) {
+        if (!opt.only.empty() && !opt.only.count(pass.name))
             continue;
-        std::string head = code.substr(open + 1, close - open - 1);
-        auto colon = head.find(':');
-        // Skip `::` (scope) occurrences when looking for the range ':'.
-        while (colon != std::string::npos && colon + 1 < head.size() &&
-               head[colon + 1] == ':')
-            colon = head.find(':', colon + 2);
-        if (colon == std::string::npos)
+        pass.run(ctx, raw);
+    }
+
+    // Apply the inline suppressions.
+    std::map<std::string, const SourceFile *> byRel;
+    for (const auto &f : files)
+        byRel[f.rel] = &f;
+    for (auto &f : raw) {
+        auto it = byRel.find(f.file);
+        if (it != byRel.end() && it->second->allowed(f.rule, f.line))
             continue;
-        std::string range_expr = head.substr(colon + 1);
-        for (const auto &name : module_names) {
-            if (containsWord(range_expr, name)) {
-                out.push_back(
-                    {rel, lineOf(code, open), "unordered-iteration",
-                     "range-for over unordered container '" + name +
-                         "'; hash order feeds scheduling/emission "
-                         "here - use std::map/std::set"});
-                break;
-            }
-        }
-    }
-
-    // Iterator-style loops: `name.begin()` / `name.cbegin()`.
-    static const std::regex begin_call(R"((\w+)\s*\.\s*c?begin\s*\()");
-    for (auto it = std::sregex_iterator(code.begin(), code.end(),
-                                        begin_call);
-         it != std::sregex_iterator(); ++it) {
-        std::string name = (*it)[1].str();
-        if (module_names.count(name)) {
-            out.push_back(
-                {rel,
-                 lineOf(code, static_cast<std::size_t>(it->position())),
-                 "unordered-iteration",
-                 "iterator over unordered container '" + name +
-                     "'; hash order feeds scheduling/emission here - "
-                     "use std::map/std::set"});
-        }
-    }
-}
-
-// ---------------------------------------------------------------------
-// Check 3: header-guard naming.
-
-std::string
-expectedGuard(const fs::path &rel)
-{
-    std::string guard = "OCEANSTORE";
-    for (const auto &part : rel) {
-        std::string p = part.string();
-        if (p == rel.filename().string())
-            p = rel.stem().string();
-        guard += "_";
-        for (char c : p) {
-            guard += std::isalnum(static_cast<unsigned char>(c))
-                         ? static_cast<char>(std::toupper(
-                               static_cast<unsigned char>(c)))
-                         : '_';
-        }
-    }
-    return guard + "_H";
-}
-
-void
-checkHeaderGuard(const fs::path &rel, const std::string &code,
-                 std::vector<Finding> &out)
-{
-    std::string want = expectedGuard(rel);
-    static const std::regex ifndef(
-        R"(#\s*ifndef\s+([A-Za-z_][A-Za-z0-9_]*))");
-    std::smatch m;
-    if (!std::regex_search(code, m, ifndef)) {
-        out.push_back({rel.generic_string(), 1, "header-guard",
-                       "missing include guard; expected " + want});
-        return;
-    }
-    std::string got = m[1].str();
-    std::size_t line =
-        lineOf(code, static_cast<std::size_t>(m.position(1)));
-    if (got != want) {
-        out.push_back({rel.generic_string(), line, "header-guard",
-                       "guard '" + got + "' should be '" + want + "'"});
-        return;
-    }
-    std::regex define(R"(#\s*define\s+)" + want + R"(\b)");
-    if (!std::regex_search(code, define)) {
-        out.push_back({rel.generic_string(), line, "header-guard",
-                       "#ifndef " + want +
-                           " is not followed by a matching #define"});
-    }
-}
-
-// ---------------------------------------------------------------------
-// Check 4: ad-hoc console output in library code.
-
-void
-checkAdhocPrint(const std::string &rel, const std::string &code,
-                std::vector<Finding> &out)
-{
-    // The exporters are the one sanctioned serialization point.
-    if (rel.find("obs/export") != std::string::npos)
-        return;
-    // `\bprintf` does not match fprintf/snprintf (no word boundary
-    // after the leading f/n), so stderr diagnostics and buffer
-    // formatting stay legal.
-    static const std::regex print_re(R"(\bprintf\s*\(|\bcout\b)");
-    for (auto it = std::sregex_iterator(code.begin(), code.end(),
-                                        print_re);
-         it != std::sregex_iterator(); ++it) {
-        out.push_back(
-            {rel,
-             lineOf(code, static_cast<std::size_t>(it->position())),
-             "adhoc-print",
-             "ad-hoc console output in library code; report through "
-             "the logger, metrics or spans (only obs/export* may "
-             "serialize to streams)"});
-    }
-}
-
-// ---------------------------------------------------------------------
-// Driver.
-
-bool
-isSourceFile(const fs::path &p)
-{
-    auto ext = p.extension().string();
-    return ext == ".h" || ext == ".cc" || ext == ".cpp" ||
-           ext == ".hpp";
-}
-
-std::vector<Finding>
-lintTree(const fs::path &root)
-{
-    std::vector<Finding> findings;
-
-    // Gather files, sorted for stable output.
-    std::vector<fs::path> files;
-    for (const auto &entry : fs::recursive_directory_iterator(root)) {
-        if (entry.is_regular_file() && isSourceFile(entry.path()))
-            files.push_back(entry.path());
-    }
-    std::sort(files.begin(), files.end());
-
-    // Pass 1: per order-sensitive module (top-level dir under root),
-    // collect every unordered-declared name.  Headers declare the
-    // members that .cc files iterate, so the scope is the module, not
-    // the single file.
-    std::map<std::string, std::set<std::string>> module_names;
-    for (const auto &f : files) {
-        fs::path rel = fs::relative(f, root);
-        std::string module = rel.begin()->string();
-        if (!kOrderSensitiveDirs.count(module))
-            continue;
-        collectUnorderedNames(stripNonCode(readFile(f)),
-                              module_names[module]);
-    }
-
-    for (const auto &f : files) {
-        fs::path rel = fs::relative(f, root);
-        std::string rel_str = rel.generic_string();
-        std::string code = stripNonCode(readFile(f));
-
-        checkRandomness(rel_str, code, findings);
-        checkAdhocPrint(rel_str, code, findings);
-
-        std::string module = rel.begin()->string();
-        if (kOrderSensitiveDirs.count(module)) {
-            checkUnorderedIteration(rel_str, code,
-                                    module_names[module], findings);
-        }
-        if (rel.extension() == ".h" || rel.extension() == ".hpp")
-            checkHeaderGuard(rel, code, findings);
+        findings.push_back(std::move(f));
     }
 
     std::sort(findings.begin(), findings.end(),
               [](const Finding &a, const Finding &b) {
                   if (a.file != b.file)
                       return a.file < b.file;
-                  return a.line < b.line;
+                  if (a.line != b.line)
+                      return a.line < b.line;
+                  return a.rule < b.rule;
               });
-    return findings;
+    return 0;
 }
 
 // ---------------------------------------------------------------------
@@ -479,9 +185,18 @@ lintTree(const fs::path &root)
 // may appear on an unmarked line.
 
 int
-selftest(const fs::path &root)
+selftest(Options opt)
 {
-    auto findings = lintTree(root);
+    // Fixture trees carry their own contract files.
+    if (fs::exists(opt.root / "layers.txt"))
+        opt.layersFile = opt.root / "layers.txt";
+    if (fs::exists(opt.root / "metrics_manifest.txt"))
+        opt.manifestFile = opt.root / "metrics_manifest.txt";
+
+    std::vector<Finding> findings;
+    int rc = runPasses(opt, findings);
+    if (rc != 0)
+        return rc;
 
     struct Marker
     {
@@ -492,24 +207,29 @@ selftest(const fs::path &root)
     };
     std::vector<Marker> markers;
 
-    static const std::regex marker_re(
-        R"(EXPECT-LINT:\s*([a-z-]+))");
-    for (const auto &entry : fs::recursive_directory_iterator(root)) {
-        if (!entry.is_regular_file() || !isSourceFile(entry.path()))
-            continue;
-        fs::path rel = fs::relative(entry.path(), root);
-        std::istringstream in(readFile(entry.path()));
+    static const std::regex marker_re(R"(EXPECT-LINT:\s*([a-z-]+))");
+    auto scanMarkers = [&](const fs::path &path) {
+        std::ifstream in(path);
+        std::string rel = displayName(path, opt.root);
         std::string line;
         std::size_t lineno = 0;
         while (std::getline(in, line)) {
             lineno++;
             std::smatch m;
-            if (std::regex_search(line, m, marker_re)) {
-                markers.push_back(
-                    {rel.generic_string(), lineno, m[1].str()});
-            }
+            if (std::regex_search(line, m, marker_re))
+                markers.push_back({rel, lineno, m[1].str()});
         }
+    };
+    for (const auto &entry :
+         fs::recursive_directory_iterator(opt.root)) {
+        if (entry.is_regular_file() &&
+            oslint::isSourceFile(entry.path()))
+            scanMarkers(entry.path());
     }
+    if (!opt.layersFile.empty())
+        scanMarkers(opt.layersFile);
+    if (!opt.manifestFile.empty())
+        scanMarkers(opt.manifestFile);
 
     int failures = 0;
     for (const auto &f : findings) {
@@ -530,9 +250,8 @@ selftest(const fs::path &root)
     }
     for (const auto &mk : markers) {
         if (!mk.hit) {
-            std::printf(
-                "SELFTEST: marker not triggered %s:%zu [%s]\n",
-                mk.file.c_str(), mk.line, mk.rule.c_str());
+            std::printf("SELFTEST: marker not triggered %s:%zu [%s]\n",
+                        mk.file.c_str(), mk.line, mk.rule.c_str());
             failures++;
         }
     }
@@ -541,30 +260,72 @@ selftest(const fs::path &root)
     return failures == 0 ? 0 : 1;
 }
 
+int
+usage(const char *argv0)
+{
+    std::fprintf(stderr,
+                 "usage: %s [--layers f] [--manifest f] [--dot f] "
+                 "[--pass a,b,...] <src-root>\n"
+                 "       %s --selftest <fixture-root>\n",
+                 argv0, argv0);
+    return 2;
+}
+
 } // namespace
 
 int
 main(int argc, char **argv)
 {
-    const char *root =
-        argc == 3 && std::string(argv[1]) == "--selftest" ? argv[2]
-        : argc == 2                                       ? argv[1]
-                                                          : nullptr;
-    if (root == nullptr) {
-        std::fprintf(stderr,
-                     "usage: %s <src-root> | --selftest <dir>\n",
-                     argv[0]);
-        return 2;
+    Options opt;
+    std::vector<std::string> args(argv + 1, argv + argc);
+    for (std::size_t i = 0; i < args.size(); i++) {
+        const std::string &a = args[i];
+        auto value = [&](fs::path &dst) -> bool {
+            if (i + 1 >= args.size())
+                return false;
+            dst = args[++i];
+            return true;
+        };
+        if (a == "--selftest") {
+            opt.selftest = true;
+        } else if (a == "--layers") {
+            if (!value(opt.layersFile))
+                return usage(argv[0]);
+        } else if (a == "--manifest") {
+            if (!value(opt.manifestFile))
+                return usage(argv[0]);
+        } else if (a == "--dot") {
+            if (!value(opt.dotFile))
+                return usage(argv[0]);
+        } else if (a == "--pass") {
+            fs::path list;
+            if (!value(list))
+                return usage(argv[0]);
+            std::istringstream ss(list.string());
+            std::string name;
+            while (std::getline(ss, name, ','))
+                opt.only.insert(name);
+        } else if (!a.empty() && a[0] == '-') {
+            return usage(argv[0]);
+        } else if (opt.root.empty()) {
+            opt.root = a;
+        } else {
+            return usage(argv[0]);
+        }
     }
-    if (!fs::is_directory(root)) {
-        std::fprintf(stderr, "%s: not a directory: %s\n", argv[0],
-                     root);
-        return 2;
+    if (opt.root.empty() || !fs::is_directory(opt.root)) {
+        std::fprintf(stderr, "oslint: not a directory: %s\n",
+                     opt.root.string().c_str());
+        return usage(argv[0]);
     }
-    if (argc == 3)
-        return selftest(root);
 
-    auto findings = lintTree(root);
+    if (opt.selftest)
+        return selftest(opt);
+
+    std::vector<Finding> findings;
+    int rc = runPasses(opt, findings);
+    if (rc != 0)
+        return rc;
     for (const auto &f : findings) {
         std::printf("%s:%zu: [%s] %s\n", f.file.c_str(), f.line,
                     f.rule.c_str(), f.message.c_str());

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * The oslint pass registry.
+ *
+ * Each pass is a named analysis over the scanned tree (see
+ * scanner.h); a pass appends Findings and the driver filters them
+ * through the `oslint-allow` suppressions, sorts, and reports.
+ *
+ * Passes (DESIGN.md section 12 documents the rationale for each):
+ *   randomness          banned randomness / wall-clock sources
+ *   unordered-iteration iteration over hash containers anywhere in
+ *                       the tree (hash order is not part of the
+ *                       determinism contract)
+ *   pointer-key         std::map/set keyed by a pointer type
+ *                       (address order differs across runs)
+ *   address-hash        hashing addresses (std::hash<T*>,
+ *                       reinterpret_cast<uintptr_t>)
+ *   header-guard        OCEANSTORE_<DIR>_<FILE>_H guard naming
+ *   adhoc-print         printf/std::cout in library code
+ *   lifetime            `this`/by-reference lambda handed to
+ *                       schedule() with the EventId discarded
+ *   tracescope          protocol-layer send/multicast with no
+ *                       ambient span evidence in scope
+ *   layering            include-graph vs. the declared layer DAG
+ *                       (layers.txt), plus file-level cycles
+ *   metrics-manifest    metric name literals <-> manifest round-trip
+ */
+
+#ifndef OCEANSTORE_TOOLS_LINT_PASSES_H
+#define OCEANSTORE_TOOLS_LINT_PASSES_H
+
+#include <cstddef>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "graph.h"
+#include "scanner.h"
+
+namespace oslint {
+
+/** One reported violation. */
+struct Finding
+{
+    std::string file; //!< Path relative to the scanned root.
+    std::size_t line; //!< 1-based.
+    std::string rule;
+    std::string message;
+};
+
+/** Everything a pass may look at. */
+struct PassContext
+{
+    const std::vector<SourceFile> *files = nullptr;
+
+    /** Declared layer DAG; nullptr disables the layering pass. */
+    const Layers *layers = nullptr;
+    std::string layersFile; //!< Display name for layers.txt findings.
+
+    /** Manifest metric name -> declaration line; nullptr disables the
+     *  metrics-manifest pass. */
+    const std::map<std::string, std::size_t> *manifest = nullptr;
+    std::string manifestFile; //!< Display name for manifest findings.
+
+    /** Per-module names declared with an unordered container type. */
+    std::map<std::string, std::set<std::string>> unorderedByModule;
+
+    const ModuleGraph *graph = nullptr;
+};
+
+/** A named pass. */
+struct Pass
+{
+    const char *name;
+    void (*run)(const PassContext &ctx, std::vector<Finding> &out);
+};
+
+/** Every pass, in reporting order. */
+const std::vector<Pass> &allPasses();
+
+/** Build the shared per-module unordered-name index. */
+std::map<std::string, std::set<std::string>>
+collectUnorderedByModule(const std::vector<SourceFile> &files);
+
+} // namespace oslint
+
+#endif // OCEANSTORE_TOOLS_LINT_PASSES_H

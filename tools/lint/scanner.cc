@@ -1,0 +1,390 @@
+#include "scanner.h"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <regex>
+#include <sstream>
+
+namespace fs = std::filesystem;
+
+namespace oslint {
+
+namespace {
+
+std::string
+readAll(const fs::path &p)
+{
+    std::ifstream in(p, std::ios::binary);
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+}
+
+bool
+isWordChar(char c)
+{
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+/**
+ * Blank comments, string literals and char literals, preserving byte
+ * count and every newline.  Produces two views in one scan: @p code
+ * (strings blanked too) and @p code_strings (string contents kept).
+ * Handles raw string literals (R"delim(...)delim").
+ */
+void
+stripViews(const std::string &src, std::string &code,
+           std::string &code_strings)
+{
+    code = src;
+    code_strings = src;
+    enum class St { Code, Line, Block, Str, Chr, Raw } st = St::Code;
+    std::string rawEnd; // ")delim\"" terminator of a raw string
+    for (std::size_t i = 0; i < src.size(); i++) {
+        char c = src[i];
+        char n = i + 1 < src.size() ? src[i + 1] : '\0';
+        switch (st) {
+        case St::Code:
+            if (c == '/' && n == '/') {
+                st = St::Line;
+                code[i] = code_strings[i] = ' ';
+            } else if (c == '/' && n == '*') {
+                st = St::Block;
+                code[i] = code_strings[i] = ' ';
+            } else if (c == 'R' && n == '"' &&
+                       (i == 0 || !isWordChar(src[i - 1]))) {
+                // R"delim( ... )delim"
+                std::size_t d = i + 2;
+                while (d < src.size() && src[d] != '(' &&
+                       src[d] != '"' && src[d] != '\n')
+                    d++;
+                if (d < src.size() && src[d] == '(') {
+                    rawEnd = ")" + src.substr(i + 2, d - i - 2) + "\"";
+                    st = St::Raw;
+                    i = d; // leave prefix bytes intact in both views
+                }
+            } else if (c == '"') {
+                st = St::Str;
+            } else if (c == '\'') {
+                // Heed digit separators (1'000'000): a quote directly
+                // after an alnum inside a number is not a char literal.
+                if (i > 0 &&
+                    std::isdigit(static_cast<unsigned char>(src[i - 1])))
+                    break;
+                st = St::Chr;
+            }
+            break;
+        case St::Line:
+            if (c == '\n')
+                st = St::Code;
+            else
+                code[i] = code_strings[i] = ' ';
+            break;
+        case St::Block:
+            if (c == '*' && n == '/') {
+                st = St::Code;
+                code[i] = code_strings[i] = ' ';
+                code[i + 1] = code_strings[i + 1] = ' ';
+                i++;
+            } else if (c != '\n') {
+                code[i] = code_strings[i] = ' ';
+            }
+            break;
+        case St::Str:
+            if (c == '\\' && n != '\0') {
+                code[i] = code[i + 1] = ' ';
+                i++;
+            } else if (c == '"') {
+                st = St::Code;
+            } else if (c != '\n') {
+                code[i] = ' ';
+            }
+            break;
+        case St::Chr:
+            if (c == '\\' && n != '\0') {
+                code[i] = code[i + 1] = ' ';
+                code_strings[i] = code_strings[i + 1] = ' ';
+                i++;
+            } else if (c == '\'') {
+                st = St::Code;
+            } else {
+                code[i] = code_strings[i] = ' ';
+            }
+            break;
+        case St::Raw:
+            if (src.compare(i, rawEnd.size(), rawEnd) == 0) {
+                st = St::Code;
+                i += rawEnd.size() - 1;
+            } else if (c != '\n') {
+                code[i] = ' ';
+            }
+            break;
+        }
+    }
+}
+
+} // namespace
+
+std::size_t
+SourceFile::lineOf(std::size_t offset) const
+{
+    auto it = std::upper_bound(lineStarts_.begin(), lineStarts_.end(),
+                               offset);
+    return static_cast<std::size_t>(it - lineStarts_.begin());
+}
+
+bool
+SourceFile::allowed(const std::string &rule, std::size_t line) const
+{
+    for (const auto &a : allows) {
+        if (a.rule == rule && (a.line == line || a.line + 1 == line))
+            return true;
+    }
+    return false;
+}
+
+bool
+isSourceFile(const fs::path &p)
+{
+    auto ext = p.extension().string();
+    return ext == ".h" || ext == ".cc" || ext == ".cpp" ||
+           ext == ".hpp";
+}
+
+SourceFile
+scanFile(const fs::path &abs, const fs::path &root)
+{
+    SourceFile f;
+    fs::path rel = fs::relative(abs, root);
+    f.rel = rel.generic_string();
+    f.module = rel.begin()->string();
+    auto ext = rel.extension().string();
+    f.isHeader = ext == ".h" || ext == ".hpp";
+    f.raw = readAll(abs);
+    stripViews(f.raw, f.code, f.codeStrings);
+
+    f.lineStarts_.push_back(0);
+    for (std::size_t i = 0; i < f.raw.size(); i++) {
+        if (f.raw[i] == '\n')
+            f.lineStarts_.push_back(i + 1);
+    }
+
+    // Quoted includes, scanned on the comment-stripped view so a
+    // commented-out include does not count.
+    static const std::regex inc_re(
+        R"re(^[ \t]*#[ \t]*include[ \t]*"([^"\n]+)")re",
+        std::regex::multiline);
+    for (auto it = std::sregex_iterator(f.codeStrings.begin(),
+                                        f.codeStrings.end(), inc_re);
+         it != std::sregex_iterator(); ++it) {
+        f.includes.push_back(
+            {f.lineOf(static_cast<std::size_t>(it->position())),
+             (*it)[1].str()});
+    }
+
+    // Allow directives live in comments, so scan the raw text.  The
+    // reason after the colon is mandatory; without one the directive
+    // is inert (and the finding it meant to silence still fires).
+    static const std::regex allow_re(
+        R"(oslint-allow\(([a-z-]+)\)\s*:\s*\S)");
+    for (auto it = std::sregex_iterator(f.raw.begin(), f.raw.end(),
+                                        allow_re);
+         it != std::sregex_iterator(); ++it) {
+        f.allows.push_back(
+            {f.lineOf(static_cast<std::size_t>(it->position())),
+             (*it)[1].str()});
+    }
+    return f;
+}
+
+std::vector<SourceFile>
+scanTree(const fs::path &root)
+{
+    std::vector<fs::path> paths;
+    for (const auto &entry : fs::recursive_directory_iterator(root)) {
+        if (entry.is_regular_file() && isSourceFile(entry.path()))
+            paths.push_back(entry.path());
+    }
+    std::sort(paths.begin(), paths.end());
+    std::vector<SourceFile> files;
+    files.reserve(paths.size());
+    for (const auto &p : paths)
+        files.push_back(scanFile(p, root));
+    return files;
+}
+
+namespace {
+
+std::size_t
+skipSpaceBack(const std::string &code, std::size_t i)
+{
+    while (i > 0 &&
+           std::isspace(static_cast<unsigned char>(code[i - 1])))
+        i--;
+    return i;
+}
+
+/** The word ending at (exclusive) offset @p end, or "". */
+std::string
+wordBefore(const std::string &code, std::size_t end)
+{
+    std::size_t b = end;
+    while (b > 0 && isWordChar(code[b - 1]))
+        b--;
+    return code.substr(b, end - b);
+}
+
+std::size_t
+matchBack(const std::string &code, std::size_t close, char open_c,
+          char close_c)
+{
+    int depth = 0;
+    for (std::size_t i = close + 1; i-- > 0;) {
+        if (code[i] == close_c)
+            depth++;
+        else if (code[i] == open_c && --depth == 0)
+            return i;
+    }
+    return std::string::npos;
+}
+
+} // namespace
+
+FunctionScope
+enclosingFunction(const std::string &code, std::size_t offset)
+{
+    // Collect the open braces enclosing the offset.
+    std::vector<std::size_t> stack;
+    for (std::size_t i = 0; i < offset && i < code.size(); i++) {
+        if (code[i] == '{')
+            stack.push_back(i);
+        else if (code[i] == '}' && !stack.empty())
+            stack.pop_back();
+    }
+
+    for (std::size_t s = stack.size(); s-- > 0;) {
+        std::size_t open = stack[s];
+        std::size_t j = skipSpaceBack(code, open);
+        // Skip trailing function qualifiers.
+        for (;;) {
+            std::string w = wordBefore(code, j);
+            if (w == "const" || w == "noexcept" || w == "override" ||
+                w == "final" || w == "mutable") {
+                j = skipSpaceBack(code, j - w.size());
+            } else {
+                break;
+            }
+        }
+        if (j == 0)
+            continue;
+        char c = code[j - 1];
+        if (c != ')') {
+            // `else {`, `do {`, `try {`, namespace/class/struct
+            // bodies, initializer lists, plain blocks: keep walking
+            // outward.
+            continue;
+        }
+        std::size_t close = j - 1;
+        std::size_t paren = matchBack(code, close, '(', ')');
+        if (paren == std::string::npos)
+            continue;
+        std::size_t k = skipSpaceBack(code, paren);
+        std::string head = wordBefore(code, k);
+        if (head == "if" || head == "for" || head == "while" ||
+            head == "switch" || head == "catch")
+            continue; // control statement, not a function
+        FunctionScope fn;
+        fn.bodyOpen = open;
+        fn.paramOpen = paren;
+        fn.paramClose = close;
+        if (k > 0 && code[k - 1] == ']') {
+            fn.kind = FunctionScope::Kind::Lambda;
+        } else {
+            fn.kind = FunctionScope::Kind::Function;
+        }
+        return fn;
+    }
+    return FunctionScope{};
+}
+
+std::size_t
+statementStart(const std::string &code, std::size_t offset)
+{
+    std::size_t i = offset;
+    while (i > 0) {
+        char c = code[i - 1];
+        if (c == ';' || c == '{' || c == '}')
+            break;
+        i--;
+    }
+    return i;
+}
+
+CaptureList
+lambdaCaptures(const std::string &code, std::size_t callOpen)
+{
+    CaptureList cl;
+    int depth = 0;
+    for (std::size_t i = callOpen; i < code.size(); i++) {
+        char c = code[i];
+        if (c == '(')
+            depth++;
+        else if (c == ')') {
+            if (--depth == 0)
+                break;
+        } else if (c == '[' && depth >= 1) {
+            // Lambda introducer vs. subscript: an introducer follows
+            // '(' or ',' (possibly with whitespace).
+            std::size_t j = skipSpaceBack(code, i);
+            char prev = j > 0 ? code[j - 1] : '\0';
+            if (prev != '(' && prev != ',')
+                continue;
+            cl.found = true;
+            cl.offset = i;
+            // Split the capture list on top-level commas.
+            std::size_t k = i + 1;
+            int adepth = 0;
+            std::string item;
+            auto flush = [&]() {
+                // Trim.
+                std::size_t b = 0, e = item.size();
+                while (b < e && std::isspace(
+                                    static_cast<unsigned char>(item[b])))
+                    b++;
+                while (e > b && std::isspace(static_cast<unsigned char>(
+                                    item[e - 1])))
+                    e--;
+                std::string t = item.substr(b, e - b);
+                item.clear();
+                if (t.empty())
+                    return;
+                if (t == "this")
+                    cl.capturesThis = true;
+                else if (t == "&")
+                    cl.byRefDefault = true;
+                else if (t[0] == '&')
+                    cl.byRefNamed = true;
+            };
+            for (; k < code.size(); k++) {
+                char d = code[k];
+                if (d == '[' || d == '(' || d == '<' || d == '{')
+                    adepth++;
+                else if (d == '(' || d == ')' || d == '>' || d == '}')
+                    adepth--;
+                if (d == ']' && adepth <= 0)
+                    break;
+                if (d == ',' && adepth <= 0) {
+                    flush();
+                    continue;
+                }
+                item.push_back(d);
+            }
+            flush();
+            return cl;
+        }
+    }
+    return cl;
+}
+
+} // namespace oslint

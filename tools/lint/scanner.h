@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Lexical scanner for oslint (tools/lint).
+ *
+ * oslint's passes work on a per-file `SourceFile` produced here: the
+ * raw bytes plus two comment-aware views (one with string literals
+ * blanked for token rules, one with them kept for the metrics
+ * manifest), the quoted include list, the `oslint-allow` suppression
+ * directives, and a byte-offset -> line-number map.  Everything
+ * preserves byte positions, so a finding always carries an exact
+ * file:line.
+ *
+ * A small structural analysis (enclosingFunction) walks the brace
+ * nesting around an offset and classifies the innermost
+ * function-like scope — free/member function, lambda, or none —
+ * which the lifetime and tracescope passes use to reason about call
+ * sites without a full parser.
+ */
+
+#ifndef OCEANSTORE_TOOLS_LINT_SCANNER_H
+#define OCEANSTORE_TOOLS_LINT_SCANNER_H
+
+#include <cstddef>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+namespace oslint {
+
+/** One scanned source file. */
+struct SourceFile
+{
+    std::string rel;    //!< Path relative to the scanned root.
+    std::string module; //!< First path component ("sim", "obs", ...).
+    bool isHeader = false;
+
+    std::string raw;  //!< Original bytes.
+    std::string code; //!< Comments, strings and char literals blanked.
+    /** Comments blanked, string literals kept (for rules that need
+     *  literal values, e.g. metric names). */
+    std::string codeStrings;
+
+    /** A `#include "..."` directive (quoted form only). */
+    struct Include
+    {
+        std::size_t line = 0;
+        std::string path;
+    };
+    std::vector<Include> includes;
+
+    /** An inline suppression: `// oslint-allow(<rule>): <reason>`.
+     *  Only parsed when a non-empty reason follows the colon; a
+     *  reasonless directive never suppresses anything. */
+    struct Allow
+    {
+        std::size_t line = 0;
+        std::string rule;
+    };
+    std::vector<Allow> allows;
+
+    /** 1-based line number of a byte offset (into raw/code). */
+    std::size_t lineOf(std::size_t offset) const;
+
+    /** True when a finding of @p rule on @p line is suppressed by an
+     *  allow directive on the same or the preceding line. */
+    bool allowed(const std::string &rule, std::size_t line) const;
+
+  private:
+    friend SourceFile scanFile(const std::filesystem::path &abs,
+                               const std::filesystem::path &root);
+    std::vector<std::size_t> lineStarts_;
+};
+
+/** True for the extensions oslint scans (.h/.hpp/.cc/.cpp). */
+bool isSourceFile(const std::filesystem::path &p);
+
+/** Scan one file into a SourceFile. */
+SourceFile scanFile(const std::filesystem::path &abs,
+                    const std::filesystem::path &root);
+
+/** Scan every source file under @p root, sorted by relative path. */
+std::vector<SourceFile> scanTree(const std::filesystem::path &root);
+
+/** The innermost function-like scope containing an offset. */
+struct FunctionScope
+{
+    enum class Kind { None, Function, Lambda };
+    Kind kind = Kind::None;
+    std::size_t bodyOpen = 0;   //!< Offset of the body '{'.
+    std::size_t paramOpen = 0;  //!< Offset of the parameter-list '('.
+    std::size_t paramClose = 0; //!< Offset of the matching ')'.
+};
+
+/**
+ * Classify the innermost function or lambda body containing
+ * @p offset in @p code (the blanked view), skipping plain blocks and
+ * control-statement bodies (if/for/while/switch/catch/else/do/try).
+ */
+FunctionScope enclosingFunction(const std::string &code,
+                                std::size_t offset);
+
+/** Offset of the start of the statement containing @p offset: one
+ *  past the previous ';', '{' or '}' at the same nesting. */
+std::size_t statementStart(const std::string &code, std::size_t offset);
+
+/** Parsed lambda capture list. */
+struct CaptureList
+{
+    bool found = false;        //!< A lambda introducer was present.
+    bool capturesThis = false; //!< `this` (not `*this`).
+    bool byRefDefault = false; //!< `&` default capture.
+    bool byRefNamed = false;   //!< `&name` / `&name = expr`.
+    std::size_t offset = 0;    //!< Offset of the '['.
+};
+
+/**
+ * Find and parse the first lambda introducer among the arguments of
+ * the call whose opening parenthesis is at @p callOpen.
+ */
+CaptureList lambdaCaptures(const std::string &code,
+                           std::size_t callOpen);
+
+} // namespace oslint
+
+#endif // OCEANSTORE_TOOLS_LINT_SCANNER_H

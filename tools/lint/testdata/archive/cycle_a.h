@@ -1,0 +1,12 @@
+/* Fixture: half of a file-level include cycle. EXPECT-LINT: layering */
+#ifndef OCEANSTORE_ARCHIVE_CYCLE_A_H
+#define OCEANSTORE_ARCHIVE_CYCLE_A_H
+
+#include "archive/cycle_b.h"
+
+struct CycleA
+{
+    int a = 0;
+};
+
+#endif // OCEANSTORE_ARCHIVE_CYCLE_A_H

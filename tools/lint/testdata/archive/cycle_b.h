@@ -1,0 +1,13 @@
+/* Fixture: the other half of the include cycle (reported once, at
+ * the first file along the cycle). */
+#ifndef OCEANSTORE_ARCHIVE_CYCLE_B_H
+#define OCEANSTORE_ARCHIVE_CYCLE_B_H
+
+#include "archive/cycle_a.h"
+
+struct CycleB
+{
+    int b = 0;
+};
+
+#endif // OCEANSTORE_ARCHIVE_CYCLE_B_H

@@ -1,14 +1,35 @@
-/* Fixture: a module outside the order-sensitive set (sim,
- * consistency, plaxton, bloom) may iterate unordered containers;
- * nothing here is a finding. */
+/* Fixture: inline suppressions.  A finding is silenced only by an
+ * oslint-allow with a non-empty reason on the same or the preceding
+ * line; a bare directive (or one naming the wrong rule) suppresses
+ * nothing. */
 #include <unordered_map>
 
 int
 sumAll(const std::unordered_map<int, int> &m)
 {
-    std::unordered_map<int, int> local = m;
     int sum = 0;
-    for (const auto &kv : local)
+    // oslint-allow(unordered-iteration): sum is order-insensitive
+    for (const auto &kv : m)
+        sum += kv.second;
+    return sum;
+}
+
+int
+sumAllBareDirective(const std::unordered_map<int, int> &m)
+{
+    int sum = 0;
+    // oslint-allow(unordered-iteration)
+    for (const auto &kv : m) // EXPECT-LINT: unordered-iteration
+        sum += kv.second;
+    return sum;
+}
+
+int
+sumAllWrongRule(const std::unordered_map<int, int> &m)
+{
+    int sum = 0;
+    // oslint-allow(randomness): names the wrong rule
+    for (const auto &kv : m) // EXPECT-LINT: unordered-iteration
         sum += kv.second;
     return sum;
 }

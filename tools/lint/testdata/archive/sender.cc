@@ -1,0 +1,31 @@
+/* Fixture: protocol-layer transmissions need span evidence in scope.
+ * Exempt shapes: the call sits inside a lambda (ambient context was
+ * captured when the closure was armed), the enclosing function takes
+ * the triggering Message, or a ScopedSpan opens earlier in the
+ * body. */
+
+void
+gossip(Net &net, const Payload &p)
+{
+    net.send(1, 2, p); // EXPECT-LINT: tracescope
+    net.multicast(everyone, p); // EXPECT-LINT: tracescope
+}
+
+void
+onFetch(const Message &msg, Net &net)
+{
+    net.send(msg.from, 2, msg.payload);
+}
+
+void
+disperse(Net &net, const Payload &p)
+{
+    ScopedSpan span("archive", "disperse", 0.0);
+    net.send(1, 2, p);
+}
+
+void
+armPush(Sim &sim, Net &net, const Payload &p)
+{
+    timer = sim.schedule(1.0, [&net, p]() { net.send(1, 2, p); });
+}

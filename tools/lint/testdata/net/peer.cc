@@ -1,0 +1,9 @@
+/* Fixture: net and archive share a layer; a cross include between
+ * same-layer modules breaks the independence rule. */
+#include "archive/types.h" // EXPECT-LINT: layering
+
+int
+peerCount()
+{
+    return 0;
+}

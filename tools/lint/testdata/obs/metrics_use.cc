@@ -1,0 +1,10 @@
+/* Fixture: metric name literals round-trip against
+ * metrics_manifest.txt in both directions. */
+
+void
+registerAll(Registry *reg)
+{
+    reg->counter("fixture.good");
+    reg->counter("fixture.rogue"); // EXPECT-LINT: metrics-manifest
+    reg->histogram("fixture.hops");
+}

@@ -1,0 +1,6 @@
+/* Fixture: module absent from layers.txt. EXPECT-LINT: layering */
+int
+strayValue()
+{
+    return 42;
+}

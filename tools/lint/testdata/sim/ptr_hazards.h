@@ -1,0 +1,32 @@
+/* Fixture: pointer-keyed containers and address hashing.  Both make
+ * iteration order / hash values depend on the allocator, which the
+ * determinism contract forbids; pointers as *values* are fine. */
+#ifndef OCEANSTORE_SIM_PTR_HAZARDS_H
+#define OCEANSTORE_SIM_PTR_HAZARDS_H
+
+#include <cstdint>
+#include <functional>
+#include <map>
+
+struct Node;
+
+struct PtrHazards
+{
+    std::map<Node *, int> rank_; // EXPECT-LINT: pointer-key
+
+    std::size_t
+    slot(const Node *n) const
+    {
+        return std::hash<const Node *>{}(n); // EXPECT-LINT: address-hash
+    }
+
+    std::uintptr_t
+    key(const Node *n) const
+    {
+        return reinterpret_cast<std::uintptr_t>(n); // EXPECT-LINT: address-hash
+    }
+
+    std::map<std::uint64_t, Node *> byId_; // pointer value: clean
+};
+
+#endif // OCEANSTORE_SIM_PTR_HAZARDS_H

@@ -1,0 +1,31 @@
+/* Fixture: scheduled-closure lifetime hazards.  A lambda capturing
+ * `this` or by reference handed to schedule()/scheduleAt() must keep
+ * the returned EventId (assignment or return) as a cancellation
+ * handle; a value-owning capture is fine. */
+
+struct Timers
+{
+    void
+    armHazards(Sim &sim)
+    {
+        sim.schedule(1.0, [this]() { tick_++; }); // EXPECT-LINT: lifetime
+        sim.schedule(2.0, [&]() { tick_++; }); // EXPECT-LINT: lifetime
+        int local = 0;
+        sim.scheduleAt(3.0, [&local]() { local++; }); // EXPECT-LINT: lifetime
+        (void)local;
+    }
+
+    unsigned long
+    armSafe(Sim &sim)
+    {
+        timer_ = sim.schedule(1.0, [this]() { tick_++; });
+        sim.schedule(2.0, [t = tick_]() { (void)t; });
+        // oslint-allow(lifetime): the fixture run outlives every closure
+        sim.schedule(3.0, [this]() { tick_++; });
+        pending_.push_back(sim.schedule(4.0, [this]() { tick_++; }));
+        return sim.schedule(5.0, [this]() { tick_++; });
+    }
+
+    unsigned long tick_ = 0;
+    unsigned long timer_ = 0;
+};

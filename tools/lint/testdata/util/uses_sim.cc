@@ -1,0 +1,9 @@
+/* Fixture: util is the bottom layer; including sim from it points up
+ * the declared DAG. */
+#include "sim/hazards.h" // EXPECT-LINT: layering
+
+int
+tableSize(const Hazards &h)
+{
+    return h.has(0) ? 1 : 0;
+}

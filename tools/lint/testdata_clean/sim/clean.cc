@@ -1,0 +1,25 @@
+/* Negative fixture: exercises the shapes the passes must NOT flag —
+ * ordered iteration, downward includes, manifest-listed metrics, and
+ * a scheduled closure whose EventId is kept. */
+#include "util/clean.h"
+
+int
+total(const CleanStats &s)
+{
+    int sum = 0;
+    for (const auto &kv : s.counts_)
+        sum += kv.second;
+    return sum;
+}
+
+void
+registerMetrics(Registry *reg)
+{
+    reg->counter("clean.ticks");
+}
+
+void
+armTick(Sim &sim, Ticker *t)
+{
+    t->timer = sim.schedule(1.0, [t]() { t->ticks++; });
+}

@@ -1,0 +1,12 @@
+/* Negative fixture: must stay finding-free under every pass. */
+#ifndef OCEANSTORE_UTIL_CLEAN_H
+#define OCEANSTORE_UTIL_CLEAN_H
+
+#include <map>
+
+struct CleanStats
+{
+    std::map<int, int> counts_;
+};
+
+#endif // OCEANSTORE_UTIL_CLEAN_H
