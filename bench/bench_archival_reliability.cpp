@@ -101,7 +101,7 @@ availabilityKernel(oceanstore::bench::BenchContext &ctx)
     const std::uint64_t down = 100'000;
     const int trials = ctx.smoke() ? 2000 : 200000;
 
-    Rng rng(0xa11ab1e);
+    Rng rng(ctx.seed(0xa11ab1e));
     ctx.beginMeasured();
     double p = documentAvailability(machines, down, 16, 8);
     double mc = simulateAvailability(machines, down, 16, 8, trials,

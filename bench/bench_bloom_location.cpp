@@ -154,7 +154,7 @@ reportMain()
 static void
 queryLoop(bench::BenchContext &ctx)
 {
-    Rng rng(0xb100f);
+    Rng rng(ctx.seed(0xb100f));
     const std::size_t n = ctx.smoke() ? 64 : 256;
     auto topo = makeGeometricTopology(n, 4, rng);
     BloomLocationConfig cfg;

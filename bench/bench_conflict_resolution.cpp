@@ -109,6 +109,7 @@ mergeCommitLoop(bench::BenchContext &ctx)
     UniverseConfig cfg;
     cfg.numServers = 16;
     cfg.archiveOnCommit = false;
+    cfg.seed = ctx.seed(cfg.seed);
     Universe uni(cfg);
     KeyPair owner = uni.makeUser();
     ObjectHandle obj = uni.createObject(owner, "hot-spot");

@@ -155,7 +155,7 @@ pushMany(bench::BenchContext &ctx, std::size_t replicas,
         inj->arm();
     }
 
-    Rng rng(0xd15e + replicas);
+    Rng rng(ctx.seed(0xd15e) + replicas);
     std::vector<std::pair<double, double>> pos;
     for (std::size_t i = 0; i < replicas; i++)
         pos.emplace_back(rng.uniform(), rng.uniform());

@@ -25,9 +25,9 @@ using namespace oceanstore;
 namespace {
 
 Bytes
-randomData(std::size_t n)
+randomData(std::size_t n, std::uint64_t seed = 0xbe9c)
 {
-    Rng rng(0xbe9c);
+    Rng rng(seed);
     Bytes b(n);
     for (auto &x : b)
         x = static_cast<std::uint8_t>(rng.next());
@@ -158,7 +158,7 @@ rsEncodeLoop(bench::BenchContext &ctx)
 {
     ReedSolomonCode code(16, 32);
     const std::size_t size = 64 << 10;
-    Bytes data = randomData(size);
+    Bytes data = randomData(size, ctx.seed(0xbe9c));
     const int iters = ctx.smoke() ? 2 : 40;
     std::size_t total = 0;
     ctx.beginMeasured();
@@ -177,7 +177,7 @@ rsDecodeLoop(bench::BenchContext &ctx)
 {
     ReedSolomonCode code(16, 32);
     const std::size_t size = 64 << 10;
-    Bytes data = randomData(size);
+    Bytes data = randomData(size, ctx.seed(0xbe9c));
     auto frags = code.encode(data);
     std::vector<std::optional<Bytes>> slots(32);
     for (unsigned i = 16; i < 32; i++)

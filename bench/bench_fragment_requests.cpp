@@ -50,10 +50,11 @@ measure(double overfactor, double drop_rate, int trials,
         NetworkConfig ncfg;
         ncfg.jitter = 0.05;
         ncfg.dropRate = 0.0; // dispersal must succeed
-        ncfg.seed = 0xf00d + t;
+        std::uint64_t base = ctx ? ctx->seed(0xf00d) : 0xf00d;
+        ncfg.seed = base + t;
         Network net(sim, ncfg);
 
-        Rng rng(0x5eed + t);
+        Rng rng(base - 0xf00d + 0x5eed + t);
         std::vector<std::pair<double, double>> pos;
         std::vector<unsigned> domains;
         for (int i = 0; i < 48; i++) {

@@ -212,7 +212,7 @@ namespace {
 void
 locateLoop(bench::BenchContext &ctx)
 {
-    World w(ctx.smoke() ? 64 : 256, 1, 0x9a9a);
+    World w(ctx.smoke() ? 64 : 256, 1, ctx.seed(0x9a9a));
     const int trials = ctx.smoke() ? 10 : 300;
 
     Accumulator hops, lat;

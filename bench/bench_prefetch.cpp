@@ -96,10 +96,12 @@ void
 trainPredict(bench::BenchContext &ctx)
 {
     const int seeds = ctx.smoke() ? 1 : 5;
+    const std::uint64_t base = ctx.seed(0);
     Accumulator hit;
     ctx.beginMeasured();
     for (int s = 1; s <= seeds; s++)
-        hit.add(hitRate(2, 0.2, static_cast<std::uint64_t>(s)));
+        hit.add(hitRate(2, 0.2,
+                        base + static_cast<std::uint64_t>(s)));
     ctx.endMeasured();
     ctx.metric("order2_hit_pct", "%", hit.mean());
 }

@@ -95,6 +95,7 @@ commitLoop(bench::BenchContext &ctx, bool traced)
     Simulator sim;
     NetworkConfig ncfg;
     ncfg.jitter = 0.0;
+    ncfg.seed = ctx.seed(ncfg.seed);
     Network net(sim, ncfg);
     KeyRegistry registry;
 

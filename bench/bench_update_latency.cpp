@@ -47,6 +47,8 @@ runUpdatePath(std::size_t servers, int updates,
     cfg.network.baseLatency = 0.050;
     cfg.network.latencyPerUnit = 0.100;
     cfg.network.jitter = 0.10;
+    if (ctx)
+        cfg.seed = ctx->seed(cfg.seed);
     Universe universe(cfg);
 
     KeyPair user = universe.makeUser();

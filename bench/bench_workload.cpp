@@ -1,0 +1,187 @@
+/**
+ * @file
+ * Trace-driven workload scenarios through the full Universe stack.
+ *
+ * Three cases exercise the src/workload layer end to end:
+ *
+ *   zipf         steady-state Zipf-popularity sessions (reads+appends)
+ *   flash_crowd  a popularity spike redirects most reads to one object
+ *                mid-run (Section 5's "flash crowds" motivation)
+ *   audit_repair an adversary corrupts archival fragments mid-workload
+ *                and the LOCKSS-style sampled audit digs the tier out
+ *
+ * Every case attaches obs::PhaseProfiler for the run, so the JSON
+ * carries a per-component latency-phase breakdown (summed
+ * schedule->fire sim delay per subsystem) next to the workload's own
+ * counters — a read-latency regression can be attributed to the
+ * phase that grew.
+ */
+
+#include <string>
+
+#include "core/universe.h"
+#include "obs/profiler.h"
+#include "runner.h"
+#include "workload/driver.h"
+
+using namespace oceanstore;
+
+namespace {
+
+/** Splitmix-style seed derivation, matching the chaos suite. */
+std::uint64_t
+mixSeed(std::uint64_t base, std::uint64_t seed)
+{
+    return base ^ (seed * 0x9e3779b97f4a7c15ull + 0x2545f4914f6cdd1dull);
+}
+
+UniverseConfig
+universeConfig(std::uint64_t seed, bool archive_on_commit)
+{
+    UniverseConfig cfg;
+    cfg.numServers = 24;
+    cfg.archiveOnCommit = archive_on_commit;
+    cfg.archiveDataFragments = 8;
+    cfg.archiveTotalFragments = 16;
+    cfg.seed = mixSeed(0x0cea5042u, seed);
+    return cfg;
+}
+
+WorkloadPlan
+basePlan(bench::BenchContext &ctx)
+{
+    WorkloadPlan plan;
+    plan.seed = ctx.seed(0x30ad1u);
+    plan.numObjects = ctx.smoke() ? 4 : 10;
+    plan.duration = ctx.smoke() ? 6.0 : 30.0;
+    plan.arrivalRate = ctx.smoke() ? 0.3 : 0.6;
+    plan.thinkTime = 0.5;
+    plan.readFraction = 0.7;
+    return plan;
+}
+
+/** Run @p plan under the profiler and emit the shared metric set. */
+WorkloadStats
+runProfiled(bench::BenchContext &ctx, Universe &universe,
+            const WorkloadPlan &plan)
+{
+    PhaseProfiler profiler;
+    std::uint64_t ev0 = universe.sim().eventsExecuted();
+    WorkloadDriver driver(universe, plan);
+
+    ctx.beginMeasured();
+    WorkloadStats stats;
+    {
+        ProfileScope scope(profiler);
+        stats = driver.run();
+    }
+    ctx.endMeasured();
+    ctx.addEvents(universe.sim().eventsExecuted() - ev0);
+
+    ctx.metric("sessions", "n", static_cast<double>(stats.sessions));
+    ctx.metric("reads", "n", static_cast<double>(stats.reads));
+    ctx.metric("writes", "n", static_cast<double>(stats.writes));
+    double sim_s = universe.sim().now();
+    if (sim_s > 0) {
+        ctx.metric("ops_per_sim_sec", "1/s",
+                   static_cast<double>(stats.reads + stats.writes +
+                                       stats.restores) /
+                       sim_s);
+    }
+    // Latency-phase breakdown: summed schedule->fire sim delay per
+    // component over the whole run (the Figure 5 decomposition,
+    // applied to a mixed workload instead of one update).
+    for (const auto &row : profiler.stats()) {
+        ctx.metric("phase_" + row.name + "_ms", "ms",
+                   row.simDelay * 1e3);
+    }
+    return stats;
+}
+
+void
+zipfCase(bench::BenchContext &ctx)
+{
+    WorkloadPlan plan = basePlan(ctx);
+    Universe universe(universeConfig(plan.seed, false));
+    WorkloadStats stats = runProfiled(ctx, universe, plan);
+
+    // Popularity concentration actually observed: the share of reads
+    // landing on the hottest rank (Zipf's defining property).
+    if (stats.reads > 0) {
+        ctx.metric("top_rank_read_pct", "%",
+                   100.0 * stats.objectReads[0] / stats.reads);
+    }
+}
+
+void
+flashCrowdCase(bench::BenchContext &ctx)
+{
+    WorkloadPlan plan = basePlan(ctx);
+    plan.flash.enabled = true;
+    plan.flash.object = plan.numObjects - 1; // coldest rank erupts
+    plan.flash.start = plan.duration * 0.33;
+    plan.flash.end = plan.duration * 0.67;
+    plan.flash.share = 0.8;
+    Universe universe(universeConfig(plan.seed, false));
+    WorkloadStats stats = runProfiled(ctx, universe, plan);
+
+    if (stats.reads > 0) {
+        ctx.metric("crowd_read_pct", "%",
+                   100.0 * stats.objectReads[plan.flash.object] /
+                       stats.reads);
+    }
+}
+
+void
+auditRepairCase(bench::BenchContext &ctx)
+{
+    WorkloadPlan plan = basePlan(ctx);
+    plan.readFraction = 0.5; // write-heavy: populate the archive
+    plan.restoreFraction = 0.25;
+
+    UniverseConfig ucfg = universeConfig(plan.seed, true);
+    ucfg.archive.audit.sweepPeriod = 0.5;
+    ucfg.archive.audit.samplesPerSweep = 8;
+    ucfg.archive.audit.windowBudget = 64;
+    ucfg.archive.audit.budgetWindow = 5.0;
+    Universe universe(ucfg);
+
+    // The adversary corrupts every fragment on three storage servers
+    // mid-run; the rate-limited sampled audit starts with the attack.
+    ArchivalSystem &arch = universe.archival();
+    Rng adversary(mixSeed(0xbadu, plan.seed));
+    unsigned flipped = 0;
+    universe.sim().scheduleAt(plan.duration * 0.5, [&]() {
+        for (std::size_t s = 0; s < 3; s++)
+            flipped += arch.corruptServer(s, adversary, 0.8);
+        arch.startAudit();
+    });
+
+    runProfiled(ctx, universe, plan);
+
+    double drain_start = universe.sim().now();
+    universe.runUntil([&]() { return arch.corruptedFragments() == 0; },
+                      drain_start + 1500.0);
+    arch.stopAudit();
+
+    ctx.metric("fragments_corrupted", "n", static_cast<double>(flipped));
+    ctx.metric("audit_repairs", "n",
+               static_cast<double>(arch.auditRepairs()));
+    ctx.metric("fragments_unrepaired", "n",
+               static_cast<double>(arch.corruptedFragments()));
+    ctx.metric("repair_drain_sim_s", "s",
+               universe.sim().now() - drain_start);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::vector<bench::BenchCase> cases{
+        {"zipf", zipfCase},
+        {"flash_crowd", flashCrowdCase},
+        {"audit_repair", auditRepairCase},
+    };
+    return bench::runBenchMain(argc, argv, "bench_workload", cases);
+}

@@ -87,6 +87,14 @@ parseRunnerArgs(int argc, char **argv, std::string *error_out)
                 opt.benchMode = true;
                 opt.warmup = std::max(0, std::atoi(v));
             }
+        } else if (a == "--seed") {
+            if (const char *v = next("--seed")) {
+                opt.benchMode = true;
+                opt.seed = std::strtoull(v, nullptr, 0);
+            }
+        } else if (a.rfind("--seed=", 0) == 0) {
+            opt.benchMode = true;
+            opt.seed = std::strtoull(a.c_str() + 7, nullptr, 0);
         }
         // Anything else is left for the legacy main (e.g.
         // google-benchmark flags).
@@ -189,6 +197,7 @@ class Runner
         for (int w = 0; w < opt_.warmup; w++) {
             BenchContext ctx;
             ctx.smoke_ = opt_.smoke;
+            ctx.seed_ = opt_.seed;
             c.fn(ctx);
         }
         CaseSamples samples;
@@ -196,6 +205,7 @@ class Runner
         for (int r = 0; r < opt_.repeats; r++) {
             BenchContext ctx;
             ctx.smoke_ = opt_.smoke;
+            ctx.seed_ = opt_.seed;
             auto t0 = std::chrono::steady_clock::now();
             c.fn(ctx);
             auto t1 = std::chrono::steady_clock::now();
@@ -265,6 +275,7 @@ class Runner
             << ",\n";
         out << "  \"repeats\": " << opt_.repeats << ",\n";
         out << "  \"warmup\": " << opt_.warmup << ",\n";
+        out << "  \"seed\": " << opt_.seed << ",\n";
         out << "  \"cases\": {\n";
         bool first_case = true;
         for (const auto &[name, stats] : results_) {

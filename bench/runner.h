@@ -23,6 +23,7 @@
  *   --repeats N    measured repetitions per case (default 5)
  *   --warmup N     discarded warmup repetitions per case (default 1)
  *   --filter SUB   only run cases whose name contains SUB
+ *   --seed N       override each case's built-in base seed (0 = keep)
  *   --list         print case names and exit
  */
 
@@ -53,6 +54,17 @@ class BenchContext
     /** True when running under --smoke: use the smallest config. */
     bool smoke() const { return smoke_; }
 
+    /**
+     * Base seed for this case's deterministic configs: the --seed
+     * override when given, otherwise @p fallback (the case's
+     * built-in default, keeping historical runs comparable).
+     */
+    std::uint64_t
+    seed(std::uint64_t fallback) const
+    {
+        return seed_ != 0 ? seed_ : fallback;
+    }
+
     /** Record a domain metric sample for this repeat. */
     void metric(const std::string &name, const std::string &unit,
                 double value);
@@ -77,6 +89,7 @@ class BenchContext
   private:
     friend class Runner;
     bool smoke_ = false;
+    std::uint64_t seed_ = 0;
     std::uint64_t events_ = 0;
     double measured_ = 0.0;
     bool inRegion_ = false;
@@ -112,6 +125,7 @@ struct RunnerOptions
     bool list = false;
     int repeats = 5;
     int warmup = 1;
+    std::uint64_t seed = 0; //!< 0 = keep each case's built-in seed.
     std::string jsonPath;
     std::string filter;
 };

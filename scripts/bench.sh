@@ -37,6 +37,7 @@ BENCHES=(
     bench_prefetch
     bench_update_cost
     bench_update_latency
+    bench_workload
 )
 
 OUTDIR="$BUILD/bench_json"

@@ -19,7 +19,9 @@ struct ArchMetricIds
 {
     MetricsRegistry *reg;
     MetricsRegistry::Id disperses, fragmentsStored, reconstructs,
-        fragmentRequests, escalationRequests, reconstructDone;
+        fragmentRequests, escalationRequests, reconstructDone,
+        auditSweeps, auditSamples, auditMismatches, auditRepairs,
+        auditDeferred;
 
     ArchMetricIds()
         : reg(&MetricsRegistry::global()),
@@ -30,7 +32,12 @@ struct ArchMetricIds
           escalationRequests(
               reg->counter("archive.escalation_requests")),
           reconstructDone(
-              reg->counter("archive.reconstructs_succeeded"))
+              reg->counter("archive.reconstructs_succeeded")),
+          auditSweeps(reg->counter("archive.audit.sweeps")),
+          auditSamples(reg->counter("archive.audit.samples")),
+          auditMismatches(reg->counter("archive.audit.mismatches")),
+          auditRepairs(reg->counter("archive.audit.repairs")),
+          auditDeferred(reg->counter("archive.audit.deferred"))
     {
     }
 };
@@ -108,6 +115,19 @@ ArchivalClient::ArchivalClient(ArchivalSystem &sys)
 {
 }
 
+ArchivalClient::~ArchivalClient()
+{
+    // Cancel pending hard-timeout events before the network forgets
+    // us: their callbacks capture `this`.
+    // oslint-allow(unordered-iteration): cancel only nulls slots, any order
+    for (auto &[ticket, pr] : pending_) {
+        if (pr.failTimer != invalidEventId)
+            sys_.net_.sim().cancel(pr.failTimer);
+    }
+    if (nodeId_ != invalidNode)
+        sys_.net_.removeNode(nodeId_);
+}
+
 void
 ArchivalClient::handleMessage(const Message &msg)
 {
@@ -173,7 +193,7 @@ ArchivalSystem::ArchivalSystem(
     Network &net,
     const std::vector<std::pair<double, double>> &positions,
     const std::vector<unsigned> &domains, ArchiveConfig cfg)
-    : net_(net), cfg_(cfg)
+    : net_(net), cfg_(cfg), auditRng_(cfg.audit.seed)
 {
     if (positions.size() != domains.size())
         fatal("ArchivalSystem: positions/domains size mismatch");
@@ -185,6 +205,11 @@ ArchivalSystem::ArchivalSystem(
         srv->domain_ = domains[i];
         servers_.push_back(std::move(srv));
     }
+}
+
+ArchivalSystem::~ArchivalSystem()
+{
+    stopAudit();
 }
 
 void
@@ -508,6 +533,188 @@ ArchivalSystem::archives() const
     for (const auto &[g, p] : placements_)
         out.push_back(g);
     return out;
+}
+
+// ---------------------------------------------------------------------
+// Adversarial corruption & sampled audit
+// ---------------------------------------------------------------------
+
+unsigned
+ArchivalSystem::corruptServer(std::size_t server, Rng &rng,
+                              double fraction)
+{
+    OS_CHECK(server < servers_.size(), "corruptServer: index ", server,
+             " of ", servers_.size());
+    unsigned corrupted = 0;
+    for (auto &[key, frag] : servers_[server]->store_) {
+        if (fraction < 1.0 && !rng.chance(fraction))
+            continue;
+        if (frag.data.empty())
+            continue;
+        // Payload no longer matches the Merkle proof; the proof and
+        // header stay intact so the fragment still *looks* plausible.
+        frag.data[0] ^= 0xa5;
+        corrupted++;
+    }
+    return corrupted;
+}
+
+bool
+ArchivalSystem::corruptFragment(const Guid &archive, std::uint32_t index)
+{
+    auto pit = placements_.find(archive);
+    if (pit == placements_.end() || index >= pit->second.holders.size())
+        return false;
+    auto &srv = servers_[pit->second.holders[index]];
+    auto fit = srv->store_.find({archive, index});
+    if (fit == srv->store_.end() || fit->second.data.empty())
+        return false;
+    fit->second.data[0] ^= 0xa5;
+    return true;
+}
+
+unsigned
+ArchivalSystem::corruptedFragments() const
+{
+    unsigned bad = 0;
+    for (const auto &[archive, p] : placements_) {
+        for (std::size_t i = 0; i < p.holders.size(); i++) {
+            const auto &srv = servers_[p.holders[i]];
+            auto fit = srv->store_.find(
+                {archive, static_cast<std::uint32_t>(i)});
+            if (fit != srv->store_.end() && !fit->second.verify())
+                bad++;
+        }
+    }
+    return bad;
+}
+
+bool
+ArchivalSystem::repairFragment(const Guid &archive, Placement &placement,
+                               std::uint32_t index)
+{
+    // Gather only fragments that pass verification: the decoder would
+    // treat corrupt ones as erasures anyway, but filtering here keeps
+    // a Byzantine majority of *served* bytes from costing decode time.
+    std::vector<Fragment> have;
+    for (std::size_t i = 0; i < placement.holders.size(); i++) {
+        const auto &srv = servers_[placement.holders[i]];
+        if (!net_.isUp(srv->nodeId()))
+            continue;
+        auto fit = srv->store_.find(
+            {archive, static_cast<std::uint32_t>(i)});
+        if (fit != srv->store_.end() && fit->second.verify())
+            have.push_back(fit->second);
+    }
+    auto data = reassembleObject(*placement.codec, archive,
+                                 placement.originalSize, have);
+    if (!data.has_value())
+        return false; // beyond the erasure threshold: unrepairable
+
+    FragmentSet set = fragmentObject(*placement.codec, *data);
+    std::size_t holder = placement.holders[index];
+    if (!net_.isUp(servers_[holder]->nodeId())) {
+        holder = chooseTargets(1, placement.holders[index])[0];
+        placement.holders[index] = holder;
+    }
+    servers_[holder]->store_[{archive, index}] = set.fragments[index];
+    return true;
+}
+
+ArchivalSystem::AuditReport
+ArchivalSystem::auditSweep()
+{
+    AuditReport rep;
+    auditSweeps_++;
+    ArchMetricIds &am = archMetrics();
+    am.reg->inc(am.auditSweeps);
+
+    // Budget window rollover (aligned to windowStart_, so an idle
+    // stretch cannot bank more than one window's budget).
+    double now = net_.sim().now();
+    if (cfg_.audit.budgetWindow > 0 &&
+        now >= windowStart_ + cfg_.audit.budgetWindow) {
+        double gone = std::floor((now - windowStart_) /
+                                 cfg_.audit.budgetWindow);
+        windowStart_ += gone * cfg_.audit.budgetWindow;
+        windowUsed_ = 0;
+    }
+
+    std::size_t total = 0;
+    for (const auto &[g, p] : placements_)
+        total += p.holders.size();
+    if (total == 0)
+        return rep;
+
+    for (unsigned s = 0; s < cfg_.audit.samplesPerSweep; s++) {
+        if (windowUsed_ >= cfg_.audit.windowBudget) {
+            rep.deferred++;
+            auditDeferred_++;
+            am.reg->inc(am.auditDeferred);
+            continue;
+        }
+        windowUsed_++;
+        windowPeak_ = std::max(windowPeak_, windowUsed_);
+        rep.sampled++;
+        auditSamples_++;
+        am.reg->inc(am.auditSamples);
+
+        // Uniform draw over every (archive, fragment index) pair.
+        std::size_t flat =
+            static_cast<std::size_t>(auditRng_.below(total));
+        auto pit = placements_.begin();
+        while (flat >= pit->second.holders.size()) {
+            flat -= pit->second.holders.size();
+            ++pit;
+        }
+        const Guid &archive = pit->first;
+        Placement &placement = pit->second;
+        auto index = static_cast<std::uint32_t>(flat);
+
+        const auto &srv = servers_[placement.holders[flat]];
+        bool healthy = net_.isUp(srv->nodeId());
+        if (healthy) {
+            auto fit = srv->store_.find({archive, index});
+            healthy = fit != srv->store_.end() && fit->second.verify();
+        }
+        if (healthy)
+            continue;
+        rep.mismatches++;
+        auditMismatches_++;
+        am.reg->inc(am.auditMismatches);
+        if (repairFragment(archive, placement, index)) {
+            rep.repaired++;
+            auditRepairs_++;
+            am.reg->inc(am.auditRepairs);
+        }
+    }
+    return rep;
+}
+
+void
+ArchivalSystem::armAuditTimer()
+{
+    auditTimer_ = net_.sim().schedule(cfg_.audit.sweepPeriod, [this]() {
+        auditSweep();
+        armAuditTimer();
+    });
+}
+
+void
+ArchivalSystem::startAudit()
+{
+    if (auditTimer_ != invalidEventId)
+        return;
+    windowStart_ = net_.sim().now();
+    windowUsed_ = 0;
+    armAuditTimer();
+}
+
+void
+ArchivalSystem::stopAudit()
+{
+    net_.sim().cancel(auditTimer_);
+    auditTimer_ = invalidEventId;
 }
 
 } // namespace oceanstore

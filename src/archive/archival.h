@@ -14,7 +14,14 @@
  *    absolutely need" — the request over-factor of the Section 5
  *    finding that extra requests pay off under drops;
  *  - repair: background sweeps that count surviving fragments and
- *    restore redundancy when servers are permanently lost.
+ *    restore redundancy when servers are permanently lost;
+ *  - audit: a LOCKSS-style rate-limited sampled integrity pass
+ *    (PAPERS.md) that draws k random (archive, fragment) pairs per
+ *    sweep, re-verifies each stored copy against its Merkle/SHA-1
+ *    proof, and restores any mismatching or missing fragment from the
+ *    surviving verified set — capped by a per-sim-time-window sample
+ *    budget so a Byzantine storage tier cannot stampede the auditor
+ *    into unbounded repair traffic.
  */
 
 #ifndef OCEANSTORE_ARCHIVE_ARCHIVAL_H
@@ -30,8 +37,30 @@
 #include "sim/network.h"
 #include "sim/rpc.h"
 #include "sim/simulator.h"
+#include "util/random.h"
 
 namespace oceanstore {
+
+/**
+ * LOCKSS-style sampled-audit tunables: "sample k fragments per
+ * sweep, never more than the window budget per window" — the rate
+ * limit is the defense against adversarial peers baiting the auditor
+ * into repair storms.
+ */
+struct ArchiveAuditConfig
+{
+    /** Fragments sampled (verified) per sweep. */
+    unsigned samplesPerSweep = 8;
+    /** Seconds between periodic sweeps (startAudit()). */
+    double sweepPeriod = 2.0;
+    /** Length of one budget window, in simulated seconds. */
+    double budgetWindow = 10.0;
+    /** Max sampled verifications charged to one window; draws beyond
+     *  the cap are deferred to a later sweep, never skipped silently. */
+    unsigned windowBudget = 32;
+    /** Seed for sample selection (independent of dispersal RNG). */
+    std::uint64_t seed = 0xa0d175u;
+};
 
 /** Tunables for the archival subsystem. */
 struct ArchiveConfig
@@ -47,6 +76,8 @@ struct ArchiveConfig
     double failTimeout = 10.0;
     /** Surviving-fragment floor that triggers repair. */
     unsigned repairThreshold = 0; //!< 0 = 1.5 * k (default).
+    /** Sampled-audit tunables. */
+    ArchiveAuditConfig audit;
 };
 
 /** One storage server's archival state. */
@@ -96,6 +127,13 @@ class ArchivalClient : public SimNode
 {
   public:
     explicit ArchivalClient(class ArchivalSystem &sys);
+
+    /**
+     * Detaches from the network: straggler fragments from an
+     * already-finished reconstruction may still be in flight to this
+     * node, and must drop instead of dereferencing a dead endpoint.
+     */
+    ~ArchivalClient() override;
 
     void handleMessage(const Message &msg) override;
 
@@ -151,6 +189,8 @@ class ArchivalSystem
                    const std::vector<unsigned> &domains,
                    ArchiveConfig cfg = {});
 
+    ~ArchivalSystem();
+
     /** Number of archival servers. */
     std::size_t size() const { return servers_.size(); }
 
@@ -195,6 +235,61 @@ class ArchivalSystem
     /** Archive GUIDs known to the placement directory. */
     std::vector<Guid> archives() const;
 
+    // --- adversarial corruption & sampled audit -----------------------
+
+    /**
+     * Adversary hook: corrupt the payload of stored fragments on
+     * @p server (each with probability @p fraction), leaving the
+     * Merkle proofs untouched so every corrupted copy fails verify().
+     * The server keeps serving the corrupted bytes — honest clients
+     * and the auditor must detect them.  @return fragments corrupted.
+     */
+    unsigned corruptServer(std::size_t server, Rng &rng,
+                           double fraction = 1.0);
+
+    /**
+     * Adversary hook: corrupt the stored copy of one specific
+     * fragment.  @return false when no such fragment is stored.
+     */
+    bool corruptFragment(const Guid &archive, std::uint32_t index);
+
+    /** Stored fragments across all placements failing verification. */
+    unsigned corruptedFragments() const;
+
+    /** Outcome of one audit sweep. */
+    struct AuditReport
+    {
+        unsigned sampled = 0;    //!< Verifications performed.
+        unsigned mismatches = 0; //!< Corrupt, missing or downed copies.
+        unsigned repaired = 0;   //!< Fragments restored from the set.
+        unsigned deferred = 0;   //!< Draws pushed out by the budget cap.
+    };
+
+    /**
+     * One rate-limited sampled audit pass: draw samplesPerSweep
+     * uniform (archive, fragment index) pairs, re-verify each stored
+     * copy, and restore any mismatch from the surviving verified
+     * fragments.  Draws beyond the current window's budget are
+     * deferred (counted, never silently dropped).
+     */
+    AuditReport auditSweep();
+
+    /** Schedule periodic auditSweep() every audit.sweepPeriod. */
+    void startAudit();
+
+    /** Cancel the periodic audit timer (idempotent). */
+    void stopAudit();
+
+    /** Lifetime audit counters (all sweeps). */
+    std::uint64_t auditSweeps() const { return auditSweeps_; }
+    std::uint64_t auditSamples() const { return auditSamples_; }
+    std::uint64_t auditMismatches() const { return auditMismatches_; }
+    std::uint64_t auditRepairs() const { return auditRepairs_; }
+    std::uint64_t auditDeferred() const { return auditDeferred_; }
+
+    /** Most samples ever charged to a single budget window. */
+    unsigned auditWindowPeak() const { return windowPeak_; }
+
     /**
      * Retire an archival version: drop its placement record and
      * instruct every holder to delete its fragment (run by the
@@ -225,11 +320,33 @@ class ArchivalSystem
     std::vector<std::size_t> chooseTargets(unsigned count,
                                            std::size_t exclude) const;
 
+    /** Restore one fragment from the verified surviving set; moves
+     *  the placement to a fresh up server when the holder is down. */
+    bool repairFragment(const Guid &archive, Placement &placement,
+                        std::uint32_t index);
+
+    /** (Re)arm the periodic audit timer. */
+    void armAuditTimer();
+
     Network &net_;
     ArchiveConfig cfg_;
     std::vector<std::unique_ptr<ArchivalServer>> servers_;
     std::map<unsigned, double> domainReliability_;
     std::map<Guid, Placement> placements_;
+
+    /** Sampled-audit state: seeded draw stream, the periodic timer
+     *  (cancelled by stopAudit()/the destructor), per-window budget
+     *  bookkeeping and lifetime counters. */
+    Rng auditRng_;
+    EventId auditTimer_ = invalidEventId;
+    double windowStart_ = 0.0;
+    unsigned windowUsed_ = 0;
+    unsigned windowPeak_ = 0;
+    std::uint64_t auditSweeps_ = 0;
+    std::uint64_t auditSamples_ = 0;
+    std::uint64_t auditMismatches_ = 0;
+    std::uint64_t auditRepairs_ = 0;
+    std::uint64_t auditDeferred_ = 0;
 };
 
 } // namespace oceanstore

@@ -12,14 +12,15 @@ namespace {
 struct PbftMetricIds
 {
     MetricsRegistry *reg;
-    MetricsRegistry::Id submits, clientRetries, commits,
-        viewChangeVotes, viewChanges, preprepareRetransmits,
+    MetricsRegistry::Id submits, clientRetries, clientGiveups,
+        commits, viewChangeVotes, viewChanges, preprepareRetransmits,
         commitRetransmits;
 
     PbftMetricIds()
         : reg(&MetricsRegistry::global()),
           submits(reg->counter("pbft.client_submits")),
           clientRetries(reg->counter("pbft.client_retries")),
+          clientGiveups(reg->counter("pbft.client_giveups")),
           commits(reg->counter("pbft.commits")),
           viewChangeVotes(reg->counter("pbft.view_change_votes")),
           viewChanges(reg->counter("pbft.view_changes")),
@@ -187,6 +188,29 @@ PbftClient::submit(const Bytes &payload,
         cluster_.net().multicast(
             nodeId_, cluster_.replicaNodeIds(invalidNode),
             std::move(rm));
+    }, [this, req_id]() {
+        // Rebroadcast schedule exhausted without a quorum.  A real
+        // PBFT client would retransmit forever; this one surrenders
+        // the ambiguity to the caller instead of hanging its callback
+        // for eternity — the request may still commit server-side.
+        auto it = pending_.find(req_id);
+        if (it == pending_.end() || it->second.completed)
+            return;
+        it->second.completed = true;
+        {
+            PbftMetricIds &pm = pbftMetrics();
+            pm.reg->inc(pm.clientGiveups);
+        }
+        PbftOutcome out;
+        out.requestId = req_id;
+        out.completed = false;
+        out.latency =
+            cluster_.net().sim().now() - it->second.submitTime;
+        // The callback may re-enter submit() and rehash pending_;
+        // take what we need off the entry first.
+        auto done = std::move(it->second.done);
+        if (done)
+            done(out);
     });
 }
 

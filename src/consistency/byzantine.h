@@ -89,10 +89,17 @@ struct CommitCertificate
                 unsigned need) const;
 };
 
-/** Outcome delivered to the client when its update serializes. */
+/**
+ * Outcome delivered to the client when its update serializes — or
+ * when the bounded rebroadcast schedule exhausts without a quorum of
+ * matching replies.  In the latter case @c completed is false and the
+ * outcome is ambiguous: the request may still commit later, so the
+ * caller must not assume it was rejected.
+ */
 struct PbftOutcome
 {
     Guid requestId;
+    bool completed = true;      //!< Quorum of replies arrived.
     std::uint64_t sequence = 0; //!< Final commit order position.
     Bytes result;               //!< State-machine execution result.
     double latency = 0.0;       //!< Submit-to-quorum-of-replies time.

@@ -307,7 +307,7 @@ Universe::write(const Update &u, std::function<void(WriteResult)> done)
     client_->submit(u.serializeFull(), [done = std::move(done)](
                                            const PbftOutcome &out) {
         WriteResult wr;
-        wr.completed = true;
+        wr.completed = out.completed;
         wr.latency = out.latency;
         if (out.result.size() >= 9) {
             ByteReader r(out.result);

@@ -123,6 +123,9 @@ class Universe
     /** Number of secondary servers. */
     std::size_t numServers() const { return cfg_.numServers; }
 
+    /** The secondary-tier overlay topology (positions + adjacency). */
+    const Topology &topology() const { return topo_; }
+
     // --- users and objects ---------------------------------------------
 
     /** Mint a user key pair. */

@@ -58,6 +58,13 @@ Network::addNode(SimNode *node, double x, double y)
     return id;
 }
 
+void
+Network::removeNode(NodeId id)
+{
+    if (id < nodes_.size())
+        nodes_[id] = nullptr;
+}
+
 double
 Network::distance(NodeId a, NodeId b) const
 {
@@ -172,7 +179,8 @@ Network::deliver(std::uint32_t flight, NodeId to)
     NetMetricIds &nm = netMetrics();
     nm.reg->set(nm.inFlight, static_cast<double>(nowInFlight));
     const Message &m = flightMsg(flight);
-    if (up_[to] && partition_[m.src] == partition_[to]) {
+    if (nodes_[to] != nullptr && up_[to] &&
+        partition_[m.src] == partition_[to]) {
         nm.reg->inc(nm.delivered);
         // Make the message's span the ambient causal parent for
         // everything the handler does (nested sends, timers).

@@ -81,6 +81,15 @@ class Network
      */
     NodeId addNode(SimNode *node, double x, double y);
 
+    /**
+     * Detach @p id's endpoint: the slot stays allocated (ids are
+     * stable) but messages arriving for it are dropped like arrivals
+     * at a downed node.  Call from the destructor of any SimNode
+     * that can die before the network — in-flight deliveries hold
+     * the id, not the pointer, and must not touch a freed endpoint.
+     */
+    void removeNode(NodeId id);
+
     /** Number of registered nodes. */
     std::size_t size() const { return nodes_.size(); }
 

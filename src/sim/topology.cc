@@ -187,4 +187,21 @@ makeSmallWorldTopology(std::size_t n, unsigned k, double beta, Rng &rng)
     return topo;
 }
 
+std::vector<unsigned>
+assignGridRegions(const Topology &topo, unsigned grid)
+{
+    OS_CHECK(grid > 0, "assignGridRegions: grid must be positive");
+    std::vector<unsigned> regions;
+    regions.reserve(topo.positions.size());
+    for (const auto &[x, y] : topo.positions) {
+        auto cell = [grid](double v) {
+            auto c = static_cast<long>(v * grid);
+            c = std::max(0l, std::min<long>(c, grid - 1));
+            return static_cast<unsigned>(c);
+        };
+        regions.push_back(cell(x) + grid * cell(y));
+    }
+    return regions;
+}
+
 } // namespace oceanstore

@@ -72,6 +72,16 @@ Topology makeTransitStubTopology(std::size_t transits,
 Topology makeSmallWorldTopology(std::size_t n, unsigned k, double beta,
                                 Rng &rng);
 
+/**
+ * Partition nodes into @p grid x @p grid geographic regions by their
+ * unit-square position: region = cell column + grid * cell row.
+ * Positions outside [0, 1) clamp to the border cells.  Workload
+ * generators use regions to correlate session arrival (diurnal phase
+ * per region) with network locality.
+ */
+std::vector<unsigned> assignGridRegions(const Topology &topo,
+                                        unsigned grid);
+
 } // namespace oceanstore
 
 #endif // OCEANSTORE_SIM_TOPOLOGY_H

@@ -1,0 +1,361 @@
+#include "workload/driver.h"
+
+#include <algorithm>
+#include <string>
+
+#include "obs/metrics.h"
+#include "util/check.h"
+
+namespace oceanstore {
+
+namespace {
+
+/** Interned metric ids, registered once on first use. */
+struct WorkloadMetricIds
+{
+    MetricsRegistry *reg;
+    MetricsRegistry::Id sessions, reads, readMisses, writes, restores;
+
+    WorkloadMetricIds()
+        : reg(&MetricsRegistry::global()),
+          sessions(reg->counter("workload.sessions")),
+          reads(reg->counter("workload.reads")),
+          readMisses(reg->counter("workload.read_misses")),
+          writes(reg->counter("workload.writes")),
+          restores(reg->counter("workload.restores"))
+    {
+    }
+};
+
+WorkloadMetricIds &
+wlMetrics()
+{
+    static WorkloadMetricIds ids;
+    return ids;
+}
+
+constexpr std::uint64_t fnvOffset = 1469598103934665603ull;
+constexpr std::uint64_t fnvPrime = 1099511628211ull;
+
+/** Timestamp tie-breaker identifying the driver as the client. */
+constexpr std::uint64_t driverClientId = 0x70adu;
+
+} // namespace
+
+WorkloadDriver::WorkloadDriver(Universe &universe, WorkloadPlan plan)
+    : universe_(universe), plan_(plan), rng_(plan.seed),
+      zipf_(plan.numObjects, plan.zipfExponent),
+      arrivals_(plan.arrivalRate, plan.diurnalAmplitude,
+                plan.diurnalPeriod,
+                plan.regionGrid * plan.regionGrid),
+      traceHash_(fnvOffset)
+{
+    OS_CHECK(plan_.payloadBytes > 0 &&
+                 plan_.payloadBytes <= defaultBlockSize,
+             "WorkloadPlan: payload must fit one logical block");
+    OS_CHECK(plan_.minOpsPerSession >= 1 &&
+                 plan_.minOpsPerSession <= plan_.maxOpsPerSession,
+             "WorkloadPlan: bad ops-per-session range");
+    OS_CHECK(!plan_.flash.enabled ||
+                 plan_.flash.object < plan_.numObjects,
+             "WorkloadPlan: flash-crowd object out of range");
+
+    // Geographic regions over the secondary-tier overlay.
+    std::vector<unsigned> region =
+        assignGridRegions(universe_.topology(), plan_.regionGrid);
+    regionServers_.resize(plan_.regionGrid * plan_.regionGrid);
+    for (std::size_t s = 0; s < region.size(); s++)
+        regionServers_[region[s]].push_back(s);
+    arrivalTimers_.assign(regionServers_.size(), invalidEventId);
+
+    owner_ = universe_.makeUser();
+    objects_.resize(plan_.numObjects);
+    for (std::size_t i = 0; i < plan_.numObjects; i++) {
+        objects_[i].handle = std::make_unique<ObjectHandle>(
+            universe_.createObject(owner_,
+                                   "wl/obj" + std::to_string(i)));
+    }
+    stats_.objectReads.assign(plan_.numObjects, 0);
+
+    if (plan_.restoreFraction > 0.0)
+        archClient_ = universe_.archival().makeClient(0.5, 0.5);
+}
+
+WorkloadDriver::~WorkloadDriver()
+{
+    for (EventId id : arrivalTimers_)
+        universe_.sim().cancel(id);
+    for (Session &s : sessions_)
+        universe_.sim().cancel(s.timer);
+}
+
+const ObjectHandle &
+WorkloadDriver::handle(std::size_t i) const
+{
+    OS_CHECK(i < objects_.size(), "WorkloadDriver: rank out of range");
+    return *objects_[i].handle;
+}
+
+VersionNum
+WorkloadDriver::version(std::size_t i) const
+{
+    OS_CHECK(i < objects_.size(), "WorkloadDriver: rank out of range");
+    return objects_[i].version;
+}
+
+Bytes
+WorkloadDriver::payloadFor(std::size_t i, VersionNum v) const
+{
+    // Pure function of (rank, version): byte k of the payload is an
+    // FNV mix of the triple, so any committed prefix is recomputable
+    // without history.
+    Bytes out(plan_.payloadBytes);
+    std::uint64_t h = fnvOffset;
+    h = (h ^ (i + 1)) * fnvPrime;
+    h = (h ^ v) * fnvPrime;
+    for (std::size_t k = 0; k < out.size(); k++) {
+        h = (h ^ k) * fnvPrime;
+        out[k] = static_cast<std::uint8_t>(h >> 32);
+    }
+    return out;
+}
+
+Bytes
+WorkloadDriver::expectedContent(std::size_t i, VersionNum v) const
+{
+    Bytes all;
+    all.reserve(plan_.payloadBytes * v);
+    for (VersionNum ver = 1; ver <= v; ver++) {
+        Bytes p = payloadFor(i, ver);
+        all.insert(all.end(), p.begin(), p.end());
+    }
+    return all;
+}
+
+void
+WorkloadDriver::mix(std::uint64_t value)
+{
+    traceHash_ = (traceHash_ ^ value) * fnvPrime;
+}
+
+bool
+WorkloadDriver::done() const
+{
+    // Arrival chains self-terminate past plan_.duration, so no time
+    // clause is needed: quiescence of the three counters is complete.
+    return chainsLive_ == 0 && sessionsLive_ == 0 && outstanding_ == 0;
+}
+
+const WorkloadStats &
+WorkloadDriver::run()
+{
+    OS_CHECK(!ran_, "WorkloadDriver::run is single-shot");
+    ran_ = true;
+
+    for (unsigned r = 0; r < regionServers_.size(); r++) {
+        if (regionServers_[r].empty())
+            continue; // no servers landed in this grid cell
+        chainsLive_++;
+        armArrival(r, arrivals_.nextArrival(rng_, r, 0.0));
+    }
+
+    // Drain with an adaptive deadline.  The base window covers the
+    // plan duration plus a generous session tail; after that the
+    // deadline extends only while ops keep completing.  Under faults
+    // a serialized write chain can legitimately take one client
+    // give-up cycle (~80s of sim time) per queued append, so a fixed
+    // deadline either aborts live runs or balloons for clean ones —
+    // progress, not wall position, is the real liveness signal.
+    double deadline = plan_.duration +
+                      plan_.maxOpsPerSession *
+                          (plan_.thinkTime + 30.0) +
+                      60.0;
+    const double grace = 120.0; // > one write give-up cycle
+    std::uint64_t last_ops = ~0ull;
+    while (!universe_.runUntil([this]() { return done(); }, deadline)) {
+        std::uint64_t ops =
+            stats_.reads + stats_.writes + stats_.restores;
+        OS_CHECK(ops != last_ops,
+                 "WorkloadDriver: run deadlocked at t=",
+                 universe_.sim().now(), " (chains=", chainsLive_,
+                 " sessions=", sessionsLive_,
+                 " outstanding=", outstanding_, ")");
+        last_ops = ops;
+        deadline = universe_.sim().now() + grace;
+    }
+    return stats_;
+}
+
+void
+WorkloadDriver::armArrival(unsigned region, double when)
+{
+    if (when > plan_.duration) {
+        chainsLive_--;
+        return;
+    }
+    arrivalTimers_[region] = universe_.sim().scheduleAt(
+        when, [this, region, when]() {
+            startSession(region);
+            armArrival(region,
+                       arrivals_.nextArrival(rng_, region, when));
+        });
+}
+
+void
+WorkloadDriver::startSession(unsigned region)
+{
+    WorkloadMetricIds &wm = wlMetrics();
+    stats_.sessions++;
+    wm.reg->inc(wm.sessions);
+    sessionsLive_++;
+
+    Session s;
+    s.region = region;
+    s.home = rng_.pick(regionServers_[region]);
+    s.opsLeft = static_cast<unsigned>(
+        rng_.between(plan_.minOpsPerSession, plan_.maxOpsPerSession));
+    sessions_.push_back(s);
+    nextOp(sessions_.size() - 1);
+}
+
+void
+WorkloadDriver::scheduleNextOp(std::size_t sid)
+{
+    sessions_[sid].timer = universe_.sim().schedule(
+        rng_.exponential(plan_.thinkTime),
+        [this, sid]() { nextOp(sid); });
+}
+
+void
+WorkloadDriver::nextOp(std::size_t sid)
+{
+    Session &s = sessions_[sid];
+    if (s.opsLeft == 0) {
+        sessionsLive_--;
+        return;
+    }
+    s.opsLeft--;
+
+    std::size_t obj = plan_.flash.sample(zipf_, rng_,
+                                         universe_.sim().now());
+    if (rng_.chance(plan_.readFraction)) {
+        if (plan_.restoreFraction > 0.0 &&
+            rng_.chance(plan_.restoreFraction) &&
+            universe_.latestArchive(objects_[obj].handle->guid()) !=
+                Guid()) {
+            issueRestore(sid, obj);
+        } else {
+            issueRead(sid, obj);
+        }
+    } else {
+        // Fire-and-forget from the session's view: the driver
+        // serializes appends per object, the session moves on after
+        // its think time.
+        ObjectState &o = objects_[obj];
+        if (o.writing)
+            o.queuedWrites++;
+        else
+            issueWrite(obj);
+        scheduleNextOp(sid);
+    }
+}
+
+void
+WorkloadDriver::issueRead(std::size_t sid, std::size_t obj)
+{
+    WorkloadMetricIds &wm = wlMetrics();
+    stats_.reads++;
+    stats_.objectReads[obj]++;
+    wm.reg->inc(wm.reads);
+    outstanding_++;
+
+    universe_.read(
+        sessions_[sid].home, objects_[obj].handle->guid(),
+        [this, sid, obj](ReadResult r) {
+            outstanding_--;
+            mix(0x52); // 'R'
+            mix(obj);
+            mix(r.found ? r.version : ~0ull);
+            if (!r.found) {
+                WorkloadMetricIds &m = wlMetrics();
+                stats_.readMisses++;
+                m.reg->inc(m.readMisses);
+            } else {
+                // The read must return exactly the committed append
+                // prefix for the version it claims to serve.
+                Bytes got =
+                    objects_[obj].handle->decryptContent(r.blocks);
+                if (got != expectedContent(obj, r.version))
+                    stats_.readMismatches++;
+            }
+            scheduleNextOp(sid);
+        });
+}
+
+void
+WorkloadDriver::issueRestore(std::size_t sid, std::size_t obj)
+{
+    WorkloadMetricIds &wm = wlMetrics();
+    stats_.restores++;
+    wm.reg->inc(wm.restores);
+    outstanding_++;
+
+    Guid archive =
+        universe_.latestArchive(objects_[obj].handle->guid());
+    universe_.archival().reconstruct(
+        *archClient_, archive,
+        [this, sid, obj](const ReconstructResult &r) {
+            outstanding_--;
+            mix(0x41); // 'A'
+            mix(obj);
+            mix(r.success ? r.fragmentsReceived : ~0ull);
+            if (!r.success)
+                stats_.restoreFailures++;
+            scheduleNextOp(sid);
+        });
+}
+
+void
+WorkloadDriver::issueWrite(std::size_t obj)
+{
+    ObjectState &o = objects_[obj];
+    o.writing = true;
+    outstanding_++;
+
+    VersionNum expected = o.version;
+    Update u = o.handle->makeAppendUpdate(
+        payloadFor(obj, expected + 1), expected,
+        {++ts_, driverClientId});
+    universe_.write(u, [this, obj](WriteResult wr) {
+        outstanding_--;
+        WorkloadMetricIds &wm = wlMetrics();
+        stats_.writes++;
+        wm.reg->inc(wm.writes);
+        mix(0x57); // 'W'
+        mix(obj);
+        mix(wr.committed ? wr.version : ~0ull);
+
+        ObjectState &o = objects_[obj];
+        if (!wr.completed) {
+            // The client exhausted its rebroadcasts: the append may
+            // or may not land later.  The next abort reply carries
+            // the authoritative version, so the chain resyncs.
+            stats_.writeTimeouts++;
+        } else if (wr.committed) {
+            o.version = wr.version;
+        } else {
+            stats_.writeAborts++;
+            // An abort reply reports the object's current version;
+            // adopt it so one stale expectation (e.g. after a write
+            // timeout that later committed) cannot wedge the chain.
+            o.version = std::max(o.version, wr.version);
+        }
+        o.writing = false;
+        if (o.queuedWrites > 0) {
+            o.queuedWrites--;
+            issueWrite(obj);
+        }
+    });
+}
+
+} // namespace oceanstore

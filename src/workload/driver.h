@@ -1,0 +1,172 @@
+/**
+ * @file
+ * Trace-driven workload driver.
+ *
+ * A WorkloadPlan describes a deterministic traffic mix — Zipf object
+ * popularity, an optional flash crowd, diurnal geo-correlated session
+ * arrival over the topology's grid regions, and an optional
+ * archival-restore share — and WorkloadDriver replays it against a
+ * core::Universe entirely inside the discrete-event simulator:
+ *
+ *  - sessions arrive per region (non-homogeneous Poisson, phase
+ *    offset per region) at a home server drawn from that region;
+ *  - each session performs a think-time-separated run of operations:
+ *    reads (verified byte-for-byte against the committed append
+ *    history), writes (appends serialized per object so the
+ *    compare-version predicate never self-aborts), and archival
+ *    restores;
+ *  - every completion is folded into an FNV-1a trace hash, so two
+ *    runs of the same plan and seed must produce the same hash —
+ *    the workload-level determinism contract used by the tests.
+ *
+ * Payload bytes are a pure function of (object, version): any read
+ * can be verified against the expected append prefix without the
+ * driver retaining per-write history.
+ */
+
+#ifndef OCEANSTORE_WORKLOAD_DRIVER_H
+#define OCEANSTORE_WORKLOAD_DRIVER_H
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/universe.h"
+#include "workload/generators.h"
+
+namespace oceanstore {
+
+/** A deterministic workload description. */
+struct WorkloadPlan
+{
+    std::size_t numObjects = 8;   //!< Distinct objects (Zipf ranks).
+    double zipfExponent = 0.9;    //!< Popularity skew; 0 = uniform.
+    std::size_t payloadBytes = 96; //!< Plaintext bytes per append.
+
+    double duration = 40.0;       //!< Sim seconds of session arrival.
+    double arrivalRate = 0.5;     //!< Mean session arrivals/s/region.
+    double diurnalAmplitude = 0.6; //!< Sinusoid amplitude in [0, 1].
+    double diurnalPeriod = 40.0;  //!< Sim seconds per "day".
+    unsigned regionGrid = 2;      //!< Grid regions per axis.
+
+    unsigned minOpsPerSession = 2;
+    unsigned maxOpsPerSession = 5;
+    double thinkTime = 1.0;       //!< Mean pause between session ops.
+
+    double readFraction = 0.7;    //!< Reads vs writes per op.
+    double restoreFraction = 0.0; //!< Share of reads done as restores.
+
+    FlashCrowd flash;             //!< Optional popularity step.
+
+    std::uint64_t seed = 0x30ad1u;
+};
+
+/** Aggregate outcome of one driver run. */
+struct WorkloadStats
+{
+    std::uint64_t sessions = 0;
+    std::uint64_t reads = 0;
+    std::uint64_t readMisses = 0;     //!< Location failed.
+    std::uint64_t readMismatches = 0; //!< Bytes differed from history.
+    std::uint64_t writes = 0;
+    std::uint64_t writeAborts = 0;    //!< Predicate rejected a write.
+    std::uint64_t writeTimeouts = 0;  //!< Client gave up; fate unknown.
+    std::uint64_t restores = 0;
+    std::uint64_t restoreFailures = 0;
+    /** Per-object read counts (Zipf rank -> observed hits). */
+    std::vector<std::uint64_t> objectReads;
+};
+
+/**
+ * Replays a WorkloadPlan against a Universe.  Single-shot: construct,
+ * run(), inspect.  The driver owns only client-side state (handles,
+ * timers, the trace hash); all infrastructure belongs to the
+ * Universe, which must outlive the driver.
+ */
+class WorkloadDriver
+{
+  public:
+    WorkloadDriver(Universe &universe, WorkloadPlan plan);
+    ~WorkloadDriver();
+
+    WorkloadDriver(const WorkloadDriver &) = delete;
+    WorkloadDriver &operator=(const WorkloadDriver &) = delete;
+
+    /**
+     * Run the plan to completion: session arrival for plan.duration,
+     * then drain every in-flight operation.  OS_CHECKs that the run
+     * drains within a generous deadline.
+     */
+    const WorkloadStats &run();
+
+    /** FNV-1a hash over every operation completion (order-sensitive). */
+    std::uint64_t traceHash() const { return traceHash_; }
+
+    const WorkloadStats &stats() const { return stats_; }
+
+    /** The handle of Zipf rank @p i (for test-side verification). */
+    const ObjectHandle &handle(std::size_t i) const;
+
+    /** Committed version of rank @p i as the driver observed it. */
+    VersionNum version(std::size_t i) const;
+
+    /** Expected plaintext of rank @p i at version @p v (the
+     *  deterministic append prefix: payloads 1..v concatenated). */
+    Bytes expectedContent(std::size_t i, VersionNum v) const;
+
+  private:
+    struct ObjectState
+    {
+        std::unique_ptr<ObjectHandle> handle;
+        VersionNum version = 0;    //!< Last commit we saw.
+        bool writing = false;      //!< An append is in flight.
+        unsigned queuedWrites = 0; //!< Appends waiting their turn.
+    };
+
+    struct Session
+    {
+        unsigned region = 0;
+        std::size_t home = 0; //!< Server index reads originate from.
+        unsigned opsLeft = 0;
+        EventId timer = invalidEventId;
+    };
+
+    /** Deterministic payload of (rank, version) — seed-independent. */
+    Bytes payloadFor(std::size_t i, VersionNum v) const;
+
+    void armArrival(unsigned region, double when);
+    void startSession(unsigned region);
+    void nextOp(std::size_t sid);
+    void issueRead(std::size_t sid, std::size_t obj);
+    void issueRestore(std::size_t sid, std::size_t obj);
+    void issueWrite(std::size_t obj);
+    void scheduleNextOp(std::size_t sid);
+    void mix(std::uint64_t value);
+    bool done() const;
+
+    Universe &universe_;
+    WorkloadPlan plan_;
+    Rng rng_;
+    ZipfGenerator zipf_;
+    DiurnalArrivals arrivals_;
+
+    KeyPair owner_;
+    std::vector<ObjectState> objects_;
+    std::vector<Session> sessions_;
+    /** region id -> server indices in that region (empty = skipped). */
+    std::vector<std::vector<std::size_t>> regionServers_;
+    std::vector<EventId> arrivalTimers_;
+    std::unique_ptr<ArchivalClient> archClient_;
+
+    WorkloadStats stats_;
+    std::uint64_t traceHash_;
+    std::uint64_t ts_ = 0;        //!< Update timestamp clock.
+    unsigned chainsLive_ = 0;     //!< Regions still spawning sessions.
+    std::uint64_t sessionsLive_ = 0;
+    std::uint64_t outstanding_ = 0; //!< In-flight reads/writes/restores.
+    bool ran_ = false;
+};
+
+} // namespace oceanstore
+
+#endif // OCEANSTORE_WORKLOAD_DRIVER_H

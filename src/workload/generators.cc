@@ -1,0 +1,87 @@
+#include "workload/generators.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace oceanstore {
+
+ZipfGenerator::ZipfGenerator(std::size_t n, double exponent)
+    : exponent_(exponent)
+{
+    OS_CHECK(n > 0, "ZipfGenerator: need at least one object");
+    OS_CHECK(exponent >= 0.0, "ZipfGenerator: exponent must be >= 0");
+    cdf_.resize(n);
+    double sum = 0.0;
+    for (std::size_t r = 0; r < n; r++) {
+        sum += 1.0 / std::pow(static_cast<double>(r + 1), exponent);
+        cdf_[r] = sum;
+    }
+    for (double &c : cdf_)
+        c /= sum;
+    cdf_.back() = 1.0; // guard against rounding shortfall
+}
+
+std::size_t
+ZipfGenerator::sample(Rng &rng) const
+{
+    double u = rng.uniform();
+    auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+    return static_cast<std::size_t>(it - cdf_.begin());
+}
+
+double
+ZipfGenerator::probability(std::size_t rank) const
+{
+    OS_CHECK(rank < cdf_.size(), "ZipfGenerator: rank out of range");
+    return cdf_[rank] - (rank == 0 ? 0.0 : cdf_[rank - 1]);
+}
+
+std::size_t
+FlashCrowd::sample(const ZipfGenerator &base, Rng &rng,
+                   double now) const
+{
+    if (enabled && now >= start && now < end && rng.chance(share))
+        return object;
+    return base.sample(rng);
+}
+
+DiurnalArrivals::DiurnalArrivals(double base_rate, double amplitude,
+                                 double period, unsigned num_regions)
+    : baseRate_(base_rate), amplitude_(amplitude), period_(period),
+      numRegions_(num_regions == 0 ? 1 : num_regions)
+{
+    OS_CHECK(base_rate > 0.0, "DiurnalArrivals: rate must be positive");
+    OS_CHECK(amplitude >= 0.0 && amplitude <= 1.0,
+             "DiurnalArrivals: amplitude must be in [0, 1]");
+    OS_CHECK(period > 0.0, "DiurnalArrivals: period must be positive");
+}
+
+double
+DiurnalArrivals::rate(unsigned region, double t) const
+{
+    constexpr double two_pi = 2.0 * 3.14159265358979323846;
+    double phase = static_cast<double>(region % numRegions_) /
+                   static_cast<double>(numRegions_);
+    return baseRate_ *
+           (1.0 + amplitude_ * std::sin(two_pi * (t / period_ + phase)));
+}
+
+double
+DiurnalArrivals::nextArrival(Rng &rng, unsigned region,
+                             double now) const
+{
+    double majorant = baseRate_ * (1.0 + amplitude_);
+    double t = now;
+    // Thinning: the majorant's homogeneous candidates are accepted
+    // with probability rate(t)/majorant, yielding the target
+    // non-homogeneous process exactly.
+    for (;;) {
+        t += rng.exponential(1.0 / majorant);
+        if (rng.uniform() * majorant <= rate(region, t))
+            return t;
+    }
+}
+
+} // namespace oceanstore

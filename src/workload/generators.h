@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Deterministic workload generators.
+ *
+ * OceanStore's promiscuous-caching and archival claims are only
+ * meaningful under realistic traffic: decentralized-storage traces
+ * (PAPERS.md, the IPFS evaluation) are heavily Zipf-skewed in object
+ * popularity, punctuated by flash crowds, and session arrival is
+ * diurnal and geographically correlated.  This header provides the
+ * three generator primitives — all seeded through util/random.h's Rng
+ * so every workload is exactly reproducible:
+ *
+ *  - ZipfGenerator: rank r drawn with probability proportional to
+ *    1 / r^s (inverse-CDF over a precomputed table; s = 0 degenerates
+ *    to uniform);
+ *  - FlashCrowd: a popularity step — between two instants a chosen
+ *    object absorbs a fixed share of all draws, the remainder falling
+ *    through to the underlying Zipf;
+ *  - DiurnalArrivals: a non-homogeneous Poisson arrival process with
+ *    sinusoidal intensity and a per-region phase offset (regions from
+ *    sim/topology's assignGridRegions), sampled by thinning.
+ */
+
+#ifndef OCEANSTORE_WORKLOAD_GENERATORS_H
+#define OCEANSTORE_WORKLOAD_GENERATORS_H
+
+#include <cstdint>
+#include <vector>
+
+#include "util/random.h"
+
+namespace oceanstore {
+
+/**
+ * Zipf-distributed object popularity over ranks [0, n): rank r is
+ * drawn with probability (1/(r+1)^s) / H(n, s).  s = 0 is uniform;
+ * larger s concentrates mass on the low ranks.
+ */
+class ZipfGenerator
+{
+  public:
+    ZipfGenerator(std::size_t n, double exponent);
+
+    /** Draw a rank in [0, n). */
+    std::size_t sample(Rng &rng) const;
+
+    /** Exact model probability of @p rank. */
+    double probability(std::size_t rank) const;
+
+    std::size_t size() const { return cdf_.size(); }
+    double exponent() const { return exponent_; }
+
+  private:
+    double exponent_;
+    /** cdf_[r] = P(rank <= r); strictly increasing, back() == 1. */
+    std::vector<double> cdf_;
+};
+
+/**
+ * Flash-crowd popularity step: inside [start, end) a fraction
+ * @p share of draws hit @p object; everything else (and all draws
+ * outside the window) falls through to the base Zipf.
+ */
+struct FlashCrowd
+{
+    bool enabled = false;
+    double start = 0.0;     //!< Sim time the crowd arrives.
+    double end = 0.0;       //!< Sim time it disperses.
+    std::size_t object = 0; //!< The suddenly-popular rank.
+    double share = 0.8;     //!< Fraction of draws redirected.
+
+    /** Draw a rank at sim time @p now. */
+    std::size_t sample(const ZipfGenerator &base, Rng &rng,
+                       double now) const;
+};
+
+/**
+ * Non-homogeneous Poisson session arrival with diurnal intensity:
+ *
+ *   rate(t) = baseRate * (1 + amplitude * sin(2*pi*(t/period + ph)))
+ *
+ * where ph is a per-region phase offset (region / numRegions of a
+ * full cycle) — regions on the "other side" of the grid peak half a
+ * period later, a coarse model of timezone-correlated load.  Sampled
+ * by thinning against the constant majorant rate.
+ */
+class DiurnalArrivals
+{
+  public:
+    /** @p amplitude must lie in [0, 1] so the rate stays nonnegative. */
+    DiurnalArrivals(double base_rate, double amplitude, double period,
+                    unsigned num_regions);
+
+    /** Instantaneous arrival rate for @p region at sim time @p t. */
+    double rate(unsigned region, double t) const;
+
+    /**
+     * Time of the next arrival in @p region strictly after @p now
+     * (thinning: candidate gaps from the majorant rate, accepted with
+     * probability rate/majorant).
+     */
+    double nextArrival(Rng &rng, unsigned region, double now) const;
+
+  private:
+    double baseRate_;
+    double amplitude_;
+    double period_;
+    unsigned numRegions_;
+};
+
+} // namespace oceanstore
+
+#endif // OCEANSTORE_WORKLOAD_GENERATORS_H

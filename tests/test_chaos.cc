@@ -45,6 +45,7 @@
 #include "introspect/failure_detector.h"
 #include "introspect/observation.h"
 #include "obs/export.h"
+#include "core/universe.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "plaxton/mesh.h"
@@ -53,6 +54,7 @@
 #include "sim/topology.h"
 #include "util/bytes.h"
 #include "util/random.h"
+#include "workload/driver.h"
 
 namespace oceanstore {
 namespace {
@@ -669,6 +671,190 @@ TEST(Chaos, DisabledFaultPlanLeavesTracesUntouched)
         return t.h;
     };
     EXPECT_EQ(run(false), run(true));
+}
+
+// ---------------------------------------------------------------------------
+// Scenario F: the Zipf/flash-crowd workload driver under message
+// drops — every read byte-verified, writes keep committing through
+// the retry machinery, runs reproducible per seed.
+// ---------------------------------------------------------------------------
+
+struct WorkloadChaosResult
+{
+    std::uint64_t hash = 0;
+    WorkloadStats stats;
+};
+
+WorkloadChaosResult
+runWorkloadChaos(std::uint64_t seed)
+{
+    UniverseConfig ucfg;
+    ucfg.numServers = 24;
+    ucfg.archiveOnCommit = false;
+    ucfg.seed = mixSeed(0x0cea5042u, seed);
+    Universe universe(ucfg);
+
+    FaultPlan fplan;
+    fplan.drop = 0.05;
+    fplan.duplicate = 0.02;
+    fplan.delayJitter = 0.05;
+    fplan.seed = mixSeed(0xfa017u, seed);
+    FaultInjector inj(universe.sim(), universe.net(), fplan);
+    inj.arm();
+
+    WorkloadPlan plan;
+    plan.numObjects = 5;
+    plan.duration = 20.0;
+    plan.arrivalRate = 0.4;
+    plan.thinkTime = 0.5;
+    plan.flash.enabled = true;
+    plan.flash.start = 8.0;
+    plan.flash.end = 20.0;
+    plan.flash.object = 4;
+    plan.seed = mixSeed(0x30ad1u, seed);
+
+    WorkloadChaosResult res;
+    WorkloadDriver driver(universe, plan);
+    res.stats = driver.run();
+
+    TraceHash t;
+    t.mix(driver.traceHash());
+    t.mix(inj.traceHash());
+    t.mix(universe.sim().eventsExecuted());
+    res.hash = t.h;
+    return res;
+}
+
+TEST(Chaos, WorkloadSurvivesLossyNetwork)
+{
+    std::set<std::uint64_t> distinct;
+    bool dumped = false;
+    for (std::uint64_t seed = 1; seed <= 6; seed++) {
+        WorkloadChaosResult a = runWorkloadChaos(seed);
+        WorkloadChaosResult b = runWorkloadChaos(seed);
+        EXPECT_EQ(a.hash, b.hash) << "seed " << seed;
+        EXPECT_GT(a.stats.sessions, 0u) << "seed " << seed;
+        EXPECT_GT(a.stats.reads, 0u) << "seed " << seed;
+        // Safety: no read ever returns bytes that differ from the
+        // committed append history — even with 5% message loss.
+        EXPECT_EQ(a.stats.readMismatches, 0u) << "seed " << seed;
+        // Liveness: the retry machinery pushes every append through.
+        EXPECT_EQ(a.stats.writeAborts, 0u) << "seed " << seed;
+        distinct.insert(a.hash);
+        if (::testing::Test::HasFailure() && !dumped) {
+            dumped = true;
+            dumpFailingSeed("workload", seed,
+                            [&] { runWorkloadChaos(seed); });
+        }
+    }
+    EXPECT_GE(distinct.size(), 4u);
+}
+
+// ---------------------------------------------------------------------------
+// Scenario G: adversarial archival peers under the sampled audit.
+// Mid-run, an adversary corrupts the stored fragments of a slice of
+// the storage tier; the rate-limited audit repairs everything while
+// restore traffic keeps flowing over a lossy network.
+// ---------------------------------------------------------------------------
+
+struct AuditChaosResult
+{
+    std::uint64_t hash = 0;
+    unsigned flipped = 0;
+    unsigned remaining = 0;
+    unsigned windowPeak = 0;
+    WorkloadStats stats;
+};
+
+AuditChaosResult
+runAuditChaos(std::uint64_t seed)
+{
+    UniverseConfig ucfg;
+    ucfg.numServers = 24;
+    ucfg.archiveOnCommit = true;
+    ucfg.archiveDataFragments = 8;
+    ucfg.archiveTotalFragments = 16;
+    ucfg.seed = mixSeed(0x0cea5042u, seed);
+    ucfg.archive.audit.sweepPeriod = 0.5;
+    ucfg.archive.audit.samplesPerSweep = 8;
+    ucfg.archive.audit.windowBudget = 64;
+    ucfg.archive.audit.budgetWindow = 5.0;
+    Universe universe(ucfg);
+
+    FaultPlan fplan;
+    fplan.drop = 0.05;
+    fplan.delayJitter = 0.05;
+    fplan.seed = mixSeed(0xfa017u, seed);
+    FaultInjector inj(universe.sim(), universe.net(), fplan);
+    inj.arm();
+
+    WorkloadPlan plan;
+    plan.numObjects = 4;
+    plan.duration = 15.0;
+    plan.arrivalRate = 0.4;
+    plan.thinkTime = 0.5;
+    plan.readFraction = 0.5; // write-heavy: populate the archive
+    plan.restoreFraction = 0.3;
+    plan.seed = mixSeed(0x30ad1u, seed);
+
+    AuditChaosResult res;
+    ArchivalSystem &arch = universe.archival();
+
+    // The adversary strikes mid-run: every fragment stored on three
+    // servers is corrupted in place (proofs intact, bytes flipped).
+    Rng adversary(mixSeed(0xbadu, seed));
+    universe.sim().scheduleAt(10.0, [&]() {
+        for (std::size_t s = 0; s < 3; s++)
+            res.flipped += arch.corruptServer(s, adversary, 0.8);
+        arch.startAudit();
+    });
+
+    WorkloadDriver driver(universe, plan);
+    res.stats = driver.run();
+
+    // Let the audit finish digging the tier out.
+    universe.runUntil([&]() { return arch.corruptedFragments() == 0; },
+                      universe.sim().now() + 600.0);
+    arch.stopAudit();
+    res.remaining = arch.corruptedFragments();
+    res.windowPeak = arch.auditWindowPeak();
+
+    TraceHash t;
+    t.mix(driver.traceHash());
+    t.mix(inj.traceHash());
+    t.mix(res.flipped);
+    t.mix(arch.auditRepairs());
+    t.mix(universe.sim().eventsExecuted());
+    res.hash = t.h;
+    return res;
+}
+
+TEST(Chaos, AuditRepairsAdversarialCorruptionMidWorkload)
+{
+    std::set<std::uint64_t> distinct;
+    unsigned totalFlipped = 0;
+    bool dumped = false;
+    for (std::uint64_t seed = 1; seed <= 4; seed++) {
+        AuditChaosResult a = runAuditChaos(seed);
+        AuditChaosResult b = runAuditChaos(seed);
+        EXPECT_EQ(a.hash, b.hash) << "seed " << seed;
+        // Durability: every corrupted fragment restored.
+        EXPECT_EQ(a.remaining, 0u) << "seed " << seed;
+        // The rate cap held throughout the attack.
+        EXPECT_LE(a.windowPeak, 64u) << "seed " << seed;
+        // Reads stayed byte-correct while the tier was corrupt.
+        EXPECT_EQ(a.stats.readMismatches, 0u) << "seed " << seed;
+        totalFlipped += a.flipped;
+        distinct.insert(a.hash);
+        if (::testing::Test::HasFailure() && !dumped) {
+            dumped = true;
+            dumpFailingSeed("audit", seed,
+                            [&] { runAuditChaos(seed); });
+        }
+    }
+    // The adversary actually corrupted fragments somewhere.
+    EXPECT_GE(totalFlipped, 1u);
+    EXPECT_GE(distinct.size(), 3u);
 }
 
 } // namespace

@@ -1,0 +1,407 @@
+/**
+ * @file
+ * Trace-driven workload suite (DESIGN.md section 13).
+ *
+ * Exercises the src/workload generators and driver against the full
+ * Universe across a seed matrix, asserting the three workload-level
+ * invariants:
+ *
+ *  - every read returns exactly the committed append prefix for the
+ *    version it serves (no silently wrong bytes, ever);
+ *  - under a corruption rate at or below the erasure threshold, the
+ *    LOCKSS-style sampled audit repairs *all* corrupted fragments
+ *    within a bounded number of sweeps while never exceeding the
+ *    per-window sample budget;
+ *  - determinism: same plan + same seed => identical trace hash, and
+ *    a traced run replays the untraced schedule bit-for-bit.
+ *
+ * Plus distributional sanity for the generators themselves: Zipf
+ * rank-frequency against the configured exponent (chi-square-style),
+ * the degenerate s = 0 uniform case, flash-crowd popularity shift and
+ * diurnal arrival bounds.
+ */
+
+#include <cmath>
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/universe.h"
+#include "obs/profiler.h"
+#include "obs/trace.h"
+#include "sim/topology.h"
+#include "workload/driver.h"
+#include "workload/generators.h"
+
+namespace oceanstore {
+namespace {
+
+// --- generator statistics (satellite: Zipf sanity) --------------------
+
+/** Pearson chi-square statistic of empirical counts vs the model. */
+double
+chiSquare(const std::vector<std::uint64_t> &counts,
+          const ZipfGenerator &zipf, std::uint64_t draws)
+{
+    double stat = 0.0;
+    for (std::size_t r = 0; r < counts.size(); r++) {
+        double expected =
+            zipf.probability(r) * static_cast<double>(draws);
+        double diff = static_cast<double>(counts[r]) - expected;
+        stat += diff * diff / expected;
+    }
+    return stat;
+}
+
+TEST(ZipfStats, ProbabilitiesSumToOne)
+{
+    for (double s : {0.0, 0.5, 0.9, 1.2}) {
+        ZipfGenerator zipf(32, s);
+        double sum = 0.0;
+        for (std::size_t r = 0; r < 32; r++)
+            sum += zipf.probability(r);
+        EXPECT_NEAR(sum, 1.0, 1e-9) << "s=" << s;
+        // Monotone non-increasing in rank.
+        for (std::size_t r = 1; r < 32; r++)
+            EXPECT_GE(zipf.probability(r - 1), zipf.probability(r));
+    }
+}
+
+TEST(ZipfStats, RankFrequencyMatchesExponent)
+{
+    // Multi-seed chi-square-style check: 16 ranks => 15 degrees of
+    // freedom, chi2(0.999, 15) ~ 37.7.  A wrong exponent blows the
+    // statistic up by orders of magnitude.
+    const std::uint64_t draws = 40000;
+    for (std::uint64_t seed : {11u, 22u, 33u, 44u, 55u}) {
+        for (double s : {0.7, 1.0}) {
+            ZipfGenerator zipf(16, s);
+            Rng rng(seed);
+            std::vector<std::uint64_t> counts(16, 0);
+            for (std::uint64_t i = 0; i < draws; i++)
+                counts[zipf.sample(rng)]++;
+            EXPECT_LT(chiSquare(counts, zipf, draws), 37.7)
+                << "seed=" << seed << " s=" << s;
+
+            // And the same counts against a *wrong* model must fail:
+            // the statistic discriminates, not just accepts.
+            ZipfGenerator wrong(16, s + 0.6);
+            EXPECT_GT(chiSquare(counts, wrong, draws), 100.0)
+                << "seed=" << seed << " s=" << s;
+        }
+    }
+}
+
+TEST(ZipfStats, ZeroExponentIsUniform)
+{
+    ZipfGenerator zipf(10, 0.0);
+    for (std::size_t r = 0; r < 10; r++)
+        EXPECT_NEAR(zipf.probability(r), 0.1, 1e-9);
+
+    Rng rng(7);
+    std::vector<std::uint64_t> counts(10, 0);
+    const std::uint64_t draws = 50000;
+    for (std::uint64_t i = 0; i < draws; i++)
+        counts[zipf.sample(rng)]++;
+    EXPECT_LT(chiSquare(counts, zipf, draws), 27.9); // chi2(.999, 9)
+}
+
+TEST(FlashCrowdGen, RedirectsDrawsInsideWindowOnly)
+{
+    ZipfGenerator zipf(16, 0.9);
+    FlashCrowd flash;
+    flash.enabled = true;
+    flash.start = 10.0;
+    flash.end = 20.0;
+    flash.object = 15; // least popular rank
+    flash.share = 0.9;
+
+    Rng rng(42);
+    std::uint64_t inside = 0, outside = 0;
+    const std::uint64_t draws = 20000;
+    for (std::uint64_t i = 0; i < draws; i++) {
+        if (flash.sample(zipf, rng, 15.0) == 15)
+            inside++;
+        if (flash.sample(zipf, rng, 25.0) == 15)
+            outside++;
+    }
+    // Inside the window rank 15 absorbs ~90% of draws; outside it
+    // keeps its tiny Zipf share.
+    EXPECT_GT(inside, draws * 85 / 100);
+    EXPECT_LT(outside, draws * 5 / 100);
+}
+
+TEST(DiurnalGen, RateBoundedAndPhaseShifted)
+{
+    DiurnalArrivals arr(2.0, 0.5, 40.0, 4);
+    for (unsigned region = 0; region < 4; region++) {
+        for (double t = 0.0; t < 80.0; t += 0.7) {
+            double r = arr.rate(region, t);
+            EXPECT_GE(r, 2.0 * 0.5 - 1e-9);
+            EXPECT_LE(r, 2.0 * 1.5 + 1e-9);
+        }
+    }
+    // Different regions peak at different times (phase offset).
+    EXPECT_GT(std::abs(arr.rate(0, 10.0) - arr.rate(2, 10.0)), 0.1);
+}
+
+TEST(DiurnalGen, ThinningMatchesMeanRate)
+{
+    // With amplitude 0 the process is homogeneous Poisson(rate);
+    // the empirical mean gap must match 1/rate.
+    DiurnalArrivals arr(4.0, 0.0, 40.0, 1);
+    Rng rng(3);
+    double t = 0.0;
+    const int n = 20000;
+    for (int i = 0; i < n; i++) {
+        double next = arr.nextArrival(rng, 0, t);
+        EXPECT_GT(next, t);
+        t = next;
+    }
+    EXPECT_NEAR(t / n, 0.25, 0.01);
+}
+
+TEST(GridRegions, PartitionsEveryNode)
+{
+    Rng rng(9);
+    Topology topo = makeGeometricTopology(60, 4, rng);
+    std::vector<unsigned> regions = assignGridRegions(topo, 3);
+    ASSERT_EQ(regions.size(), 60u);
+    for (std::size_t i = 0; i < regions.size(); i++) {
+        EXPECT_LT(regions[i], 9u);
+        auto [x, y] = topo.positions[i];
+        unsigned col = std::min(2u, static_cast<unsigned>(x * 3));
+        unsigned row = std::min(2u, static_cast<unsigned>(y * 3));
+        EXPECT_EQ(regions[i], col + 3 * row);
+    }
+}
+
+// --- driver invariants ------------------------------------------------
+
+UniverseConfig
+workloadUniverseConfig(bool archive_on_commit)
+{
+    UniverseConfig cfg;
+    cfg.numServers = 24;
+    cfg.archiveOnCommit = archive_on_commit;
+    cfg.archiveDataFragments = 8;
+    cfg.archiveTotalFragments = 16;
+    return cfg;
+}
+
+WorkloadPlan
+smallPlan(std::uint64_t seed)
+{
+    WorkloadPlan plan;
+    plan.numObjects = 5;
+    plan.duration = 20.0;
+    plan.arrivalRate = 0.4;
+    plan.minOpsPerSession = 2;
+    plan.maxOpsPerSession = 4;
+    plan.thinkTime = 0.5;
+    plan.seed = seed;
+    return plan;
+}
+
+TEST(WorkloadInvariants, ReadsReturnCommittedBytesMultiSeed)
+{
+    // The acceptance matrix: >= 8 seeds, every read byte-verified
+    // against the deterministic append history.
+    for (std::uint64_t seed = 1; seed <= 8; seed++) {
+        Universe universe(workloadUniverseConfig(false));
+        WorkloadDriver driver(universe, smallPlan(seed));
+        const WorkloadStats &st = driver.run();
+
+        EXPECT_GT(st.sessions, 0u) << "seed=" << seed;
+        EXPECT_GT(st.reads, 0u) << "seed=" << seed;
+        EXPECT_GT(st.writes, 0u) << "seed=" << seed;
+        EXPECT_EQ(st.readMismatches, 0u) << "seed=" << seed;
+        EXPECT_EQ(st.readMisses, 0u) << "seed=" << seed;
+        // Per-object writes are serialized on the committed version,
+        // so the compare-version predicate can never self-abort.
+        EXPECT_EQ(st.writeAborts, 0u) << "seed=" << seed;
+    }
+}
+
+TEST(WorkloadInvariants, FlashCrowdShiftsReadMass)
+{
+    // Same seed with and without the crowd: the target object (the
+    // least popular rank) must absorb far more reads when enabled.
+    WorkloadPlan base = smallPlan(77);
+    base.duration = 30.0;
+    base.arrivalRate = 0.8;
+
+    WorkloadPlan crowded = base;
+    crowded.flash.enabled = true;
+    crowded.flash.start = 5.0;
+    crowded.flash.end = 30.0;
+    crowded.flash.object = base.numObjects - 1;
+    crowded.flash.share = 0.9;
+
+    Universe u1(workloadUniverseConfig(false));
+    WorkloadDriver quiet(u1, base);
+    quiet.run();
+
+    Universe u2(workloadUniverseConfig(false));
+    WorkloadDriver spiky(u2, crowded);
+    spiky.run();
+
+    std::size_t target = crowded.flash.object;
+    std::uint64_t quiet_hits = quiet.stats().objectReads[target];
+    std::uint64_t spike_hits = spiky.stats().objectReads[target];
+    EXPECT_GT(spike_hits, quiet_hits)
+        << "flash crowd did not shift popularity";
+    // During the crowd the target dominates the read mix.
+    EXPECT_GT(spike_hits * 2,
+              spiky.stats().reads); // > 50% of all reads
+}
+
+TEST(WorkloadDeterminism, SameSeedSameTraceHash)
+{
+    auto runOnce = [](std::uint64_t seed) {
+        Universe universe(workloadUniverseConfig(false));
+        WorkloadDriver driver(universe, smallPlan(seed));
+        driver.run();
+        return driver.traceHash();
+    };
+    for (std::uint64_t seed : {3u, 14u, 159u}) {
+        std::uint64_t first = runOnce(seed);
+        std::uint64_t second = runOnce(seed);
+        EXPECT_EQ(first, second) << "seed=" << seed;
+    }
+    // Distinct seeds must not collide (would indicate the hash is
+    // insensitive to the schedule).
+    EXPECT_NE(runOnce(3), runOnce(14));
+}
+
+TEST(WorkloadDeterminism, TracedReplayMatchesUntraced)
+{
+    // Observability is observation-only: attaching the Tracer and the
+    // PhaseProfiler must not perturb the workload schedule.
+    auto runOnce = [](bool traced) {
+        Universe universe(workloadUniverseConfig(false));
+        WorkloadDriver driver(universe, smallPlan(41));
+        if (traced) {
+            Tracer tracer;
+            PhaseProfiler profiler;
+            TraceScope ts(tracer);
+            ProfileScope ps(profiler);
+            driver.run();
+            EXPECT_GT(profiler.totalEvents(), 0u);
+        } else {
+            driver.run();
+        }
+        return driver.traceHash();
+    };
+    EXPECT_EQ(runOnce(false), runOnce(true));
+}
+
+TEST(WorkloadRestore, ArchivalRestoresServeHistoricVersions)
+{
+    WorkloadPlan plan = smallPlan(21);
+    plan.restoreFraction = 0.5;
+    plan.readFraction = 0.8;
+    Universe universe(workloadUniverseConfig(true));
+    WorkloadDriver driver(universe, plan);
+    const WorkloadStats &st = driver.run();
+    EXPECT_GT(st.restores, 0u);
+    EXPECT_EQ(st.restoreFailures, 0u);
+    EXPECT_EQ(st.readMismatches, 0u);
+}
+
+// --- the audit acceptance matrix --------------------------------------
+
+TEST(WorkloadAudit, AuditRepairsAllCorruptionUnderRateCapMultiSeed)
+{
+    // >= 8 seeds: run a write-heavy plan with archival coupled to the
+    // commit path, then have a seeded adversary corrupt stored
+    // fragments on a quarter of the archival servers (at most n - k
+    // fragments of any one archive).  The rate-limited audit must
+    // repair every corrupted fragment within a bounded number of
+    // sweeps and never exceed its per-window budget.
+    for (std::uint64_t seed = 1; seed <= 8; seed++) {
+        UniverseConfig ucfg = workloadUniverseConfig(true);
+        ucfg.archive.audit.sweepPeriod = 0.5;
+        ucfg.archive.audit.samplesPerSweep = 8;
+        ucfg.archive.audit.windowBudget = 64;
+        ucfg.archive.audit.budgetWindow = 5.0;
+        Universe universe(ucfg);
+
+        WorkloadPlan plan = smallPlan(seed);
+        plan.readFraction = 0.4; // write-heavy: populate the archive
+        WorkloadDriver driver(universe, plan);
+        driver.run();
+
+        ArchivalSystem &arch = universe.archival();
+        ASSERT_FALSE(arch.archives().empty()) << "seed=" << seed;
+
+        // Corrupt every fragment stored on 4 of the 16+? archival
+        // servers; (8, 16) coding tolerates 8 erasures, domains
+        // spread fragments so 4 servers hold at most 4 of any one
+        // archive's 16 fragments.
+        Rng adversary(0xadd + seed);
+        unsigned flipped = 0;
+        for (std::size_t s = 0; s < 4; s++)
+            flipped += arch.corruptServer(s, adversary, 0.8);
+        if (flipped == 0)
+            continue; // those servers held nothing this seed
+        ASSERT_EQ(arch.corruptedFragments(), flipped)
+            << "seed=" << seed;
+
+        // Coupon-collector bound: uniform sampling over ~1000
+        // fragments needs total * (ln m + slack) draws to cover all
+        // m corrupted ones; the cap grants 12.8/s, so 1500 s gives
+        // ~19k samples — overwhelming coverage, still rate-limited.
+        std::uint64_t sweeps_before = arch.auditSweeps();
+        arch.startAudit();
+        bool repaired = universe.runUntil(
+            [&]() { return arch.corruptedFragments() == 0; },
+            universe.sim().now() + 1500.0);
+        arch.stopAudit();
+
+        EXPECT_TRUE(repaired) << "seed=" << seed;
+        EXPECT_EQ(arch.corruptedFragments(), 0u) << "seed=" << seed;
+        EXPECT_GE(arch.auditRepairs(), flipped) << "seed=" << seed;
+        // Bounded sweeps: 1500 s at 0.5 s/sweep caps the pass count.
+        EXPECT_LE(arch.auditSweeps() - sweeps_before, 3001u)
+            << "seed=" << seed;
+        // The rate cap held throughout.
+        EXPECT_LE(arch.auditWindowPeak(),
+                  ucfg.archive.audit.windowBudget)
+            << "seed=" << seed;
+    }
+}
+
+TEST(WorkloadAudit, DeferredDrawsAreAccounted)
+{
+    // When the sweep cadence outruns the budget, the surplus draws
+    // show up in the deferred counter — never silently vanish.
+    UniverseConfig ucfg = workloadUniverseConfig(true);
+    ucfg.archive.audit.sweepPeriod = 0.1; // 80 draws/s...
+    ucfg.archive.audit.samplesPerSweep = 8;
+    ucfg.archive.audit.windowBudget = 16; // ...vs 1.6 allowed/s
+    ucfg.archive.audit.budgetWindow = 10.0;
+    Universe universe(ucfg);
+
+    WorkloadPlan plan = smallPlan(5);
+    plan.readFraction = 0.3;
+    WorkloadDriver driver(universe, plan);
+    driver.run();
+    ASSERT_FALSE(universe.archival().archives().empty());
+
+    ArchivalSystem &arch = universe.archival();
+    arch.startAudit();
+    universe.advance(30.0);
+    arch.stopAudit();
+
+    EXPECT_GT(arch.auditDeferred(), 0u);
+    EXPECT_LE(arch.auditWindowPeak(), 16u);
+    std::uint64_t accounted =
+        arch.auditSamples() + arch.auditDeferred();
+    EXPECT_EQ(accounted, arch.auditSweeps() * 8);
+}
+
+} // namespace
+} // namespace oceanstore

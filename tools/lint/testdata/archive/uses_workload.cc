@@ -1,0 +1,9 @@
+/* Fixture: a protocol-layer module reaching *up* into the workload
+ * tier inverts the DAG. */
+#include "workload/driver.h" // EXPECT-LINT: layering
+
+int
+replayPlan()
+{
+    return 0;
+}

@@ -1,0 +1,12 @@
+/* Fixture: the workload tier sits on top of the protocol layers —
+ * downward includes are legal, and its metric literals round-trip
+ * against the manifest like everyone else's. */
+#include "archive/types.h"
+
+void
+registerWorkloadMetrics(Registry *reg)
+{
+    reg->counter("workload.ops");
+    reg->counter("archive.audit.checked");
+    reg->counter("workload.rogue"); // EXPECT-LINT: metrics-manifest
+}
