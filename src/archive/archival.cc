@@ -84,6 +84,66 @@ ArchivalServer::holds(const Guid &archive, std::uint32_t index) const
     return store_.count({archive, index}) > 0;
 }
 
+std::string
+ArchivalServer::fragmentKey(const Guid &archive, std::uint32_t index)
+{
+    return "frag/" + archive.hex() + "/" + std::to_string(index);
+}
+
+void
+ArchivalServer::persistFragment(const Fragment &fragment)
+{
+    if (!storage_ || !storage_->running())
+        return;
+    // A full disk refuses the write (counted as storage.enospc) but
+    // the RAM copy keeps serving: durability degrades, reads do not.
+    storage_->backend().put(
+        fragmentKey(fragment.archiveGuid, fragment.index),
+        fragment.serialize());
+}
+
+void
+ArchivalServer::storeFragment(const Fragment &fragment)
+{
+    store_[{fragment.archiveGuid, fragment.index}] = fragment;
+    persistFragment(fragment);
+}
+
+void
+ArchivalServer::dropFragment(const Guid &archive, std::uint32_t index)
+{
+    store_.erase({archive, index});
+    if (storage_ && storage_->running())
+        storage_->backend().erase(fragmentKey(archive, index));
+}
+
+std::size_t
+ArchivalServer::restoreFromStorage()
+{
+    store_.clear();
+    if (!storage_ || !storage_->running())
+        return 0;
+    std::size_t restored = 0, skipped = 0;
+    storage_->backend().scan(
+        "frag/", [&](const std::string &key, const Bytes &value) {
+            auto frag = Fragment::deserialize(value);
+            if (!frag.has_value()) {
+                skipped++;
+                logWarn("archive: undecodable stored fragment '", key,
+                        "' skipped during restore");
+                return;
+            }
+            store_[{frag->archiveGuid, frag->index}] =
+                std::move(*frag);
+            restored++;
+        });
+    if (skipped > 0) {
+        logWarn("archive: server ", index_, " restore skipped ",
+                skipped, " damaged fragments");
+    }
+    return restored;
+}
+
 void
 ArchivalServer::handleMessage(const Message &msg)
 {
@@ -92,8 +152,7 @@ ArchivalServer::handleMessage(const Message &msg)
         // Fragments are self-verifying; never store garbage.
         if (!body.fragment.verify())
             return;
-        store_[{body.fragment.archiveGuid, body.fragment.index}] =
-            body.fragment;
+        storeFragment(body.fragment);
     } else if (msg.type == "arch.request") {
         const auto &body = messageBody<RequestBody>(msg);
         auto it = store_.find({body.archive, body.index});
@@ -499,9 +558,7 @@ ArchivalSystem::repairSweep()
                 continue;
             auto targets = chooseTargets(1, placement.holders[i]);
             placement.holders[i] = targets[0];
-            servers_[targets[0]]->store_[{archive,
-                                          static_cast<std::uint32_t>(i)}] =
-                set.fragments[i];
+            servers_[targets[0]]->storeFragment(set.fragments[i]);
         }
         repaired++;
     }
@@ -518,8 +575,8 @@ ArchivalSystem::forget(const Guid &archive)
     // over placement state, so fragments are dropped directly rather
     // than via simulated messages (consistent with repairSweep).
     for (std::size_t i = 0; i < it->second.holders.size(); i++) {
-        servers_[it->second.holders[i]]->store_.erase(
-            {archive, static_cast<std::uint32_t>(i)});
+        servers_[it->second.holders[i]]->dropFragment(
+            archive, static_cast<std::uint32_t>(i));
     }
     placements_.erase(it);
     return true;
@@ -553,7 +610,12 @@ ArchivalSystem::corruptServer(std::size_t server, Rng &rng,
             continue;
         // Payload no longer matches the Merkle proof; the proof and
         // header stay intact so the fragment still *looks* plausible.
+        // Written through to the server's disk with a valid storage
+        // checksum (the adversary controls the medium): the corruption
+        // survives a restart CRC-intact, detectable only by the
+        // Merkle-verified audit.
         frag.data[0] ^= 0xa5;
+        servers_[server]->persistFragment(frag);
         corrupted++;
     }
     return corrupted;
@@ -570,6 +632,7 @@ ArchivalSystem::corruptFragment(const Guid &archive, std::uint32_t index)
     if (fit == srv->store_.end() || fit->second.data.empty())
         return false;
     fit->second.data[0] ^= 0xa5;
+    srv->persistFragment(fit->second);
     return true;
 }
 
@@ -617,7 +680,7 @@ ArchivalSystem::repairFragment(const Guid &archive, Placement &placement,
         holder = chooseTargets(1, placement.holders[index])[0];
         placement.holders[index] = holder;
     }
-    servers_[holder]->store_[{archive, index}] = set.fragments[index];
+    servers_[holder]->storeFragment(set.fragments[index]);
     return true;
 }
 

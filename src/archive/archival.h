@@ -37,6 +37,7 @@
 #include "sim/network.h"
 #include "sim/rpc.h"
 #include "sim/simulator.h"
+#include "storage/node_storage.h"
 #include "util/random.h"
 
 namespace oceanstore {
@@ -100,14 +101,52 @@ class ArchivalServer : public SimNode
     /** True when a fragment of @p archive at @p index is held here. */
     bool holds(const Guid &archive, std::uint32_t index) const;
 
+    // --- durable storage (DESIGN.md section 14) -----------------------
+
+    /** Attach this server's durable storage handle (owned by the
+     *  Universe; may be null for the historical RAM-only behavior). */
+    void attachStorage(NodeStorage *storage) { storage_ = storage; }
+
+    /** Accept a fragment: RAM map plus write-through to storage. */
+    void storeFragment(const Fragment &fragment);
+
+    /** Drop a fragment from the map and from storage. */
+    void dropFragment(const Guid &archive, std::uint32_t index);
+
+    /**
+     * Write-through of an already-held (possibly adversarially
+     * corrupted) fragment: the adversary controls the server's disk,
+     * so corrupt payloads are re-framed with a *valid* storage
+     * checksum — after a restart they are Merkle-detected by the
+     * audit, not CRC-detected by the backend.
+     */
+    void persistFragment(const Fragment &fragment);
+
+    /** Crash: the in-memory fragment map dies with the process. */
+    void clearForCrash() { store_.clear(); }
+
+    /**
+     * Restart: rebuild the fragment map by scanning the recovered
+     * backend's "frag/" namespace.  CRC-corrupt records are withheld
+     * by the backend (surfacing as missing fragments the repair sweep
+     * restores); structurally damaged ones are skipped and counted.
+     * @return fragments restored.
+     */
+    std::size_t restoreFromStorage();
+
   private:
     friend class ArchivalSystem;
+
+    /** Storage key of one fragment: "frag/<archive hex>/<index>". */
+    static std::string fragmentKey(const Guid &archive,
+                                   std::uint32_t index);
 
     class ArchivalSystem &sys_;
     std::size_t index_;
     NodeId nodeId_ = invalidNode;
     unsigned domain_ = 0;
     double reliability_ = 1.0;
+    NodeStorage *storage_ = nullptr;
     /** (archive GUID, fragment index) -> fragment. */
     std::map<std::pair<Guid, std::uint32_t>, Fragment> store_;
 };

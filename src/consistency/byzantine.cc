@@ -1,5 +1,8 @@
 #include "consistency/byzantine.h"
 
+#include <algorithm>
+#include <string>
+
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "util/logging.h"
@@ -84,6 +87,15 @@ struct NewViewBody
 {
     unsigned newView;
 };
+
+/** Durable update-log key: zero-padded so a lexicographic "ulog/"
+ *  scan replays strictly in sequence order. */
+std::string
+updateLogKey(std::uint64_t seq)
+{
+    std::string digits = std::to_string(seq);
+    return "ulog/" + std::string(20 - digits.size(), '0') + digits;
+}
 
 } // namespace
 
@@ -611,6 +623,12 @@ PbftReplica::executeReady()
                 result = cluster_.executor(rank_, slot.payload,
                                            lastExecuted_);
             done_[slot.requestId] = {lastExecuted_, result};
+            // Durable write-through of the committed update: what
+            // restoreFromLog() replays after a crash.
+            if (cluster_.storageHook) {
+                if (StorageBackend *sb = cluster_.storageHook(rank_))
+                    sb->put(updateLogKey(lastExecuted_), slot.payload);
+            }
             if (rank_ == 0 && cluster_.onCommit)
                 cluster_.onCommit(slot.payload, lastExecuted_);
         }
@@ -637,6 +655,30 @@ PbftReplica::executeReady()
             cluster_.net().send(nodeId_, slot.client, rm);
         }
     }
+}
+
+std::uint64_t
+PbftReplica::restoreFromLog()
+{
+    if (!cluster_.storageHook)
+        return 0;
+    StorageBackend *sb = cluster_.storageHook(rank_);
+    if (!sb)
+        return 0;
+    std::uint64_t replayed = 0;
+    std::uint64_t max_seq = 0;
+    sb->scan("ulog/", [&](const std::string &key, const Bytes &payload) {
+        std::uint64_t seq = std::stoull(key.substr(5));
+        if (cluster_.executor)
+            cluster_.executor(rank_, payload, seq);
+        max_seq = std::max(max_seq, seq);
+        replayed++;
+    });
+    lastExecuted_ = std::max(lastExecuted_, max_seq);
+    nextSeq_ = std::max(nextSeq_, lastExecuted_ + 1);
+    logInfo("pbft: replica ", rank_, " replayed ", replayed,
+            " committed updates from its durable log");
+    return replayed;
 }
 
 void

@@ -29,6 +29,7 @@
 #include "crypto/keys.h"
 #include "sim/network.h"
 #include "sim/rpc.h"
+#include "storage/backend.h"
 #include "util/check.h"
 #include "util/retry.h"
 
@@ -192,6 +193,20 @@ class PbftReplica : public SimNode
     /** Current view number. */
     unsigned view() const { return view_; }
 
+    /**
+     * Crash-restart recovery (DESIGN.md section 14): replay the
+     * durable committed-update log ("ulog/" records written through
+     * the cluster's storageHook at execution time) through the
+     * executor in sequence order, rebuilding the application state
+     * behind this replica and advancing lastExecuted / nextSeq past
+     * the recovered prefix.  The caller owns clearing the application
+     * state first; protocol state for in-flight slots is not restored
+     * — un-executed updates are re-proposed by clients, exactly like
+     * updates lost to an ordinary crash.
+     * @return committed records replayed.
+     */
+    std::uint64_t restoreFromLog();
+
   private:
     friend class PbftCluster;
 
@@ -303,6 +318,16 @@ class PbftCluster
      * down the dissemination tree and to archival storage.
      */
     std::function<void(const Bytes &, std::uint64_t)> onCommit;
+
+    /**
+     * Durable update-log hook (DESIGN.md section 14): maps a replica
+     * rank to its running storage backend, or null for the historical
+     * RAM-only behavior.  When set, every executed commit is written
+     * through as a "ulog/<seq>" record and
+     * PbftReplica::restoreFromLog() can replay the log after a
+     * crash/restart cycle.
+     */
+    std::function<StorageBackend *(unsigned)> storageHook;
 
     /** The network (for latency-free helpers and counters). */
     Network &net() { return net_; }

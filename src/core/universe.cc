@@ -96,6 +96,46 @@ Universe::Universe(UniverseConfig cfg)
     archiveCodec_ = std::make_unique<ReedSolomonCode>(
         cfg_.archiveDataFragments, cfg_.archiveTotalFragments);
 
+    // 7. Durable storage (DESIGN.md section 14): one handle per
+    //    secondary server — shared by the co-located archival server
+    //    and mesh node — plus one per primary replica, each with a
+    //    node-mixed fault seed so crashes damage disks independently
+    //    but deterministically.
+    serverStorage_.reserve(cfg_.numServers);
+    for (std::size_t i = 0; i < cfg_.numServers; i++) {
+        StorageSetup setup = cfg_.storage;
+        setup.faults.seed = cfg_.storage.faults.seed ^
+                            (0x9e3779b97f4a7c15ull * (i + 1));
+        serverStorage_.push_back(
+            std::make_unique<NodeStorage>(setup));
+        archive_->server(i).attachStorage(serverStorage_[i].get());
+        serverIndexByNode_[tier_->replica(i).nodeId()] = i;
+        serverIndexByNode_[archive_->server(i).nodeId()] = i;
+    }
+    for (unsigned r = 0; r < n; r++) {
+        StorageSetup setup = cfg_.storage;
+        setup.faults.seed = cfg_.storage.faults.seed ^
+                            (0xc2b2ae3d27d4eb4full * (r + 1));
+        primaryStorage_.push_back(
+            std::make_unique<NodeStorage>(setup));
+        primaryRankByNode_[pbft_->replica(r).nodeId()] = r;
+    }
+    mesh_->storageHook = [this](NodeId node) -> StorageBackend * {
+        auto it = serverIndexByNode_.find(node);
+        if (it == serverIndexByNode_.end() ||
+            !serverStorage_[it->second]->running()) {
+            return nullptr;
+        }
+        return &serverStorage_[it->second]->backend();
+    };
+    pbft_->storageHook = [this](unsigned rank) -> StorageBackend * {
+        if (rank >= primaryStorage_.size() ||
+            !primaryStorage_[rank]->running()) {
+            return nullptr;
+        }
+        return &primaryStorage_[rank]->backend();
+    };
+
     wireCommitPath();
 }
 
@@ -350,7 +390,8 @@ Universe::read(std::size_t from_server, const Guid &obj,
     auto bq = bloom_->query(static_cast<NodeId>(from_server), obj);
     std::size_t holder = invalidNode;
     double latency = 0.0;
-    if (bq.found) {
+    if (bq.found &&
+        net_.isUp(tier_->replica(bq.location).nodeId())) {
         res.viaBloom = true;
         holder = bq.location;
         for (std::size_t i = 1; i < bq.path.size(); i++) {
@@ -362,7 +403,10 @@ Universe::read(std::size_t from_server, const Guid &obj,
         latency += net_.latency(tier_->replica(holder).nodeId(),
                                 tier_->replica(from_server).nodeId());
     } else {
-        // Tier 2: the global mesh (Section 4.3.3).
+        // Tier 2: the global mesh (Section 4.3.3).  Also the fallback
+        // when the Bloom tier advertises a crashed holder — its soft
+        // state decays lazily, whereas mesh locate() filters dead
+        // storers at lookup time.
         auto lr = mesh_->locate(tier_->replica(from_server).nodeId(),
                                 obj);
         if (lr.found) {
@@ -643,6 +687,136 @@ Universe::runReplicaManagementEpoch()
     accessLoad_.clear();
     readerLoad_.clear();
     return actions;
+}
+
+NodeStorage &
+Universe::storageOf(std::size_t idx)
+{
+    OS_CHECK(idx < serverStorage_.size(), "storageOf: server ", idx,
+             " of ", serverStorage_.size());
+    return *serverStorage_[idx];
+}
+
+NodeStorage &
+Universe::primaryStorage(unsigned rank)
+{
+    OS_CHECK(rank < primaryStorage_.size(), "primaryStorage: rank ",
+             rank, " of ", primaryStorage_.size());
+    return *primaryStorage_[rank];
+}
+
+void
+Universe::crashServer(std::size_t idx)
+{
+    OS_CHECK(idx < serverStorage_.size(), "crashServer: server ", idx,
+             " of ", serverStorage_.size());
+    // Storage dies first so no teardown step below can write through
+    // to a disk that should already have stopped (the hooks return
+    // nullptr once the backend is gone).
+    if (serverStorage_[idx]->running()) {
+        auto report = serverStorage_[idx]->crash();
+        if (report.tornBytes || report.bitFlips) {
+            logInfo("universe: server ", idx, " crash damaged disk (",
+                    report.tornBytes, " torn bytes, ",
+                    report.bitFlips, " bit flips)");
+        }
+    }
+    NodeId tnode = tier_->replica(idx).nodeId();
+    net_.setDown(tnode);
+    net_.setDown(archive_->server(idx).nodeId());
+    // RAM state is amnesia: the archival fragment map empties (only
+    // the disk survives) and the mesh forgets the node wholesale.
+    archive_->server(idx).clearForCrash();
+    mesh_->removeNode(tnode);
+}
+
+void
+Universe::restartServer(std::size_t idx)
+{
+    OS_CHECK(idx < serverStorage_.size(), "restartServer: server ",
+             idx, " of ", serverStorage_.size());
+    // Recovery replay happens here: constructing the backend over the
+    // surviving disk image truncates any torn tail and rejects
+    // corrupt records before anything is served.
+    if (!serverStorage_[idx]->running())
+        serverStorage_[idx]->restart();
+    NodeId tnode = tier_->replica(idx).nodeId();
+    net_.setUp(tnode);
+    net_.setUp(archive_->server(idx).nodeId());
+    std::size_t frags = archive_->server(idx).restoreFromStorage();
+    std::size_t ptrs = mesh_->restoreNode(tnode);
+    // Pointers TO this node's floating replicas were purged from the
+    // rest of the mesh while it was down; re-deposit them.  (The
+    // restoreNode call above only reloads pointers this node stores
+    // on behalf of others.)
+    std::size_t republished = 0;
+    for (const auto &[obj, host_set] : hosts_) {
+        if (host_set.count(idx)) {
+            mesh_->publish(obj, tnode);
+            republished++;
+        }
+    }
+    logInfo("universe: server ", idx, " restarted (", frags,
+            " fragments, ", ptrs, " stored pointers, ", republished,
+            " republished objects)");
+}
+
+void
+Universe::crashPrimary(unsigned rank)
+{
+    OS_CHECK(rank < primaryStorage_.size(), "crashPrimary: rank ",
+             rank, " of ", primaryStorage_.size());
+    if (primaryStorage_[rank]->running())
+        primaryStorage_[rank]->crash();
+    net_.setDown(pbft_->replica(rank).nodeId());
+    // The replica's application state is RAM: it must be rebuilt from
+    // the durable update log on restart.
+    primaryObjects_[rank].clear();
+}
+
+void
+Universe::restartPrimary(unsigned rank)
+{
+    OS_CHECK(rank < primaryStorage_.size(), "restartPrimary: rank ",
+             rank, " of ", primaryStorage_.size());
+    if (!primaryStorage_[rank]->running())
+        primaryStorage_[rank]->restart();
+    net_.setUp(pbft_->replica(rank).nodeId());
+    std::uint64_t replayed = pbft_->replica(rank).restoreFromLog();
+    logInfo("universe: primary rank ", rank, " restarted, replayed ",
+            replayed, " committed updates");
+}
+
+void
+Universe::shutdown(NodeId n)
+{
+    auto sit = serverIndexByNode_.find(n);
+    if (sit != serverIndexByNode_.end()) {
+        crashServer(sit->second);
+        return;
+    }
+    auto pit = primaryRankByNode_.find(n);
+    if (pit != primaryRankByNode_.end()) {
+        crashPrimary(pit->second);
+        return;
+    }
+    net_.setDown(n); // not a storage-owning node: link state only
+}
+
+void
+Universe::restart(NodeId n)
+{
+    auto sit = serverIndexByNode_.find(n);
+    if (sit != serverIndexByNode_.end()) {
+        restartServer(sit->second);
+        return;
+    }
+    auto pit = primaryRankByNode_.find(n);
+    if (pit != primaryRankByNode_.end()) {
+        restartPrimary(pit->second);
+        return;
+    }
+    net_.setUp(n);
 }
 
 bool

@@ -46,6 +46,8 @@
 #include "introspect/prefetch.h"
 #include "introspect/replica_mgmt.h"
 #include "plaxton/mesh.h"
+#include "sim/churn.h"
+#include "storage/node_storage.h"
 #include "util/retry.h"
 
 namespace oceanstore {
@@ -77,6 +79,14 @@ struct UniverseConfig
     PbftConfig pbft;
     ArchiveConfig archive;
     ReplicaPolicyConfig replicaPolicy;
+    /**
+     * Durable storage per node (DESIGN.md section 14).  The default
+     * Memory kind preserves the historical crash-is-amnesia behavior;
+     * StorageKind::Log gives every server and primary replica an
+     * append-only log that survives the crash/restart lifecycle.
+     * `storage.faults.seed` is mixed per node.
+     */
+    StorageSetup storage;
 };
 
 /** Result of a write (after the primary tier serialized it). */
@@ -100,11 +110,11 @@ struct ReadResult
 };
 
 /** The assembled system. */
-class Universe
+class Universe : public NodeLifecycle
 {
   public:
     explicit Universe(UniverseConfig cfg = {});
-    ~Universe();
+    ~Universe() override;
 
     Universe(const Universe &) = delete;
     Universe &operator=(const Universe &) = delete;
@@ -181,6 +191,49 @@ class Universe
 
     /** Read and run the simulation until the result arrives. */
     ReadResult readSync(std::size_t from_server, const Guid &obj);
+
+    // --- durable storage & the crash/restart lifecycle ------------------
+
+    /** Server @p idx's durable storage handle (disk + backend). */
+    NodeStorage &storageOf(std::size_t idx);
+
+    /** Primary-tier replica @p rank's durable storage handle. */
+    NodeStorage &primaryStorage(unsigned rank);
+
+    /**
+     * Crash secondary server @p idx: its network links go down, the
+     * disk-fault injector applies the configured crash plan (torn
+     * tail, bit flips) to its image, and every in-memory view of its
+     * durable state — storage index, archival fragment map, mesh
+     * pointer cache — dies with the process.
+     */
+    void crashServer(std::size_t idx);
+
+    /**
+     * Restart server @p idx: recovery replay over the (possibly
+     * damaged) image, then re-serve — archival fragments reloaded
+     * from the "frag/" namespace, mesh pointers from "ptr/", hosted
+     * floating replicas republished in both location tiers.
+     */
+    void restartServer(std::size_t idx);
+
+    /** Crash primary-tier replica @p rank (its object state dies). */
+    void crashPrimary(unsigned rank);
+
+    /** Restart primary-tier replica @p rank: replays its durable
+     *  "ulog/" commit log through the executor. */
+    void restartPrimary(unsigned rank);
+
+    /**
+     * NodeLifecycle (sim/churn.h): failure injectors route node
+     * transitions here so link state and storage stay symmetric.
+     * NodeIds of secondary servers and their co-located archival
+     * servers map to crashServer/restartServer; primary replicas to
+     * crashPrimary/restartPrimary; anything else falls back to raw
+     * link state.
+     */
+    void shutdown(NodeId n) override;
+    void restart(NodeId n) override;
 
     // --- archival ---------------------------------------------------------
 
@@ -295,6 +348,17 @@ class Universe
     std::unique_ptr<ArchivalSystem> archive_;
     std::unique_ptr<ArchivalClient> archiveClient_;
     std::unique_ptr<ReedSolomonCode> archiveCodec_;
+
+    /** Durable storage handles: one per secondary server (shared by
+     *  its co-located archival server and mesh node) and one per
+     *  primary-tier replica.  The handles — and the disk images they
+     *  own — outlive crashes; only the backends die. */
+    std::vector<std::unique_ptr<NodeStorage>> serverStorage_;
+    std::vector<std::unique_ptr<NodeStorage>> primaryStorage_;
+    /** NodeId -> secondary server index (tier + archival NodeIds). */
+    std::map<NodeId, std::size_t> serverIndexByNode_;
+    /** NodeId -> primary-tier rank. */
+    std::map<NodeId, unsigned> primaryRankByNode_;
 
     /** Primary-tier replica state: one object map per rank. */
     std::vector<std::map<Guid, DataObject>> primaryObjects_;

@@ -1,5 +1,7 @@
 #include "erasure/fragment.h"
 
+#include <algorithm>
+
 #include "util/check.h"
 
 namespace oceanstore {
@@ -14,6 +16,48 @@ std::size_t
 Fragment::wireSize() const
 {
     return data.size() + proof.size() * (20 + 1) + Guid::numBytes + 4;
+}
+
+Bytes
+Fragment::serialize() const
+{
+    ByteWriter w;
+    w.putRaw(archiveGuid.bytes().data(), Guid::numBytes);
+    w.putU32(index);
+    w.putBlob(data);
+    w.putU32(static_cast<std::uint32_t>(proof.size()));
+    for (const MerkleStep &step : proof) {
+        w.putRaw(step.sibling.data(), step.sibling.size());
+        w.putU8(step.siblingOnLeft ? 1 : 0);
+    }
+    return w.take();
+}
+
+std::optional<Fragment>
+Fragment::deserialize(const Bytes &raw)
+{
+    try {
+        ByteReader r(raw);
+        Fragment f;
+        Bytes guid_bytes = r.getRaw(Guid::numBytes);
+        f.archiveGuid = Guid::fromBytes(guid_bytes);
+        f.index = r.getU32();
+        f.data = r.getBlob();
+        std::uint32_t steps = r.getU32();
+        f.proof.reserve(steps);
+        for (std::uint32_t i = 0; i < steps; i++) {
+            MerkleStep step;
+            Bytes sib = r.getRaw(step.sibling.size());
+            std::copy(sib.begin(), sib.end(), step.sibling.begin());
+            step.siblingOnLeft = r.getU8() != 0;
+            f.proof.push_back(step);
+        }
+        if (!r.exhausted())
+            return std::nullopt;
+        return f;
+    } catch (const std::exception &) {
+        return std::nullopt;
+    }
 }
 
 FragmentSet

@@ -33,6 +33,14 @@ struct Fragment
 
     /** Wire size: payload + proof + header fields. */
     std::size_t wireSize() const;
+
+    /** Durable encoding: guid, index, payload and Merkle proof — the
+     *  on-disk record format used by the storage tier. */
+    Bytes serialize() const;
+
+    /** Decode a serialize() buffer.  @return nullopt on malformed
+     *  input (a structurally damaged stored record). */
+    static std::optional<Fragment> deserialize(const Bytes &raw);
 };
 
 /** A complete fragment set plus the metadata needed to reassemble. */

@@ -194,12 +194,38 @@ PlaxtonMesh::rootOf(const Guid &g) const
     return invalidNode;
 }
 
+std::string
+PlaxtonMesh::pointerKey(const Guid &g, NodeId storer)
+{
+    return "ptr/" + g.hex() + "/" + std::to_string(storer);
+}
+
+void
+PlaxtonMesh::persistPointer(NodeId n, const Guid &g, NodeId storer)
+{
+    if (!storageHook)
+        return;
+    if (StorageBackend *sb = storageHook(n))
+        sb->put(pointerKey(g, storer), Bytes{});
+}
+
+void
+PlaxtonMesh::unpersistPointer(NodeId n, const Guid &g, NodeId storer)
+{
+    if (!storageHook)
+        return;
+    if (StorageBackend *sb = storageHook(n))
+        sb->erase(pointerKey(g, storer));
+}
+
 unsigned
 PlaxtonMesh::publishOne(const Guid &salted, const Guid &g, NodeId storer)
 {
     RouteResult r = route(storer, salted);
-    for (NodeId n : r.path)
-        states_[indexOf(n)].pointers[g].insert(storer);
+    for (NodeId n : r.path) {
+        if (states_[indexOf(n)].pointers[g].insert(storer).second)
+            persistPointer(n, g, storer);
+    }
     counters_.bump("publish.hops", r.path.size() - 1);
     return static_cast<unsigned>(r.path.size() - 1);
 }
@@ -228,7 +254,8 @@ PlaxtonMesh::unpublish(const Guid &g, NodeId storer)
             auto &ptrs = states_[indexOf(n)].pointers;
             auto it = ptrs.find(g);
             if (it != ptrs.end()) {
-                it->second.erase(storer);
+                if (it->second.erase(storer) > 0)
+                    unpersistPointer(n, g, storer);
                 if (it->second.empty())
                     ptrs.erase(it);
             }
@@ -363,10 +390,48 @@ PlaxtonMesh::removeNode(NodeId n)
     std::size_t idx = indexOf(n);
     states_[idx].alive = false;
     // A removed server loses its soft state: deposited pointers and
-    // its own publications (its replicas are gone).
+    // its own publications (its replicas are gone).  The durable
+    // "ptr/" records on its own disk are deliberately left alone —
+    // restoreNode() reloads them after a crash/restart cycle.
     states_[idx].pointers.clear();
     published_.erase(n);
     counters_.bump("remove.count");
+}
+
+std::size_t
+PlaxtonMesh::restoreNode(NodeId n)
+{
+    std::size_t idx = indexOf(n);
+    NodeState &st = states_[idx];
+    OS_CHECK(!st.alive, "PlaxtonMesh::restoreNode(", n,
+             "): member was never removed");
+    st.alive = true;
+    buildTable(idx);
+    announce(idx);
+
+    // Reload the durable pointer cache.  Keys are
+    // "ptr/<40 hex digits>/<storer>"; anything unparsable is a
+    // storage-layer bug, so fail loudly rather than skip.
+    st.pointers.clear();
+    std::size_t reloaded = 0;
+    if (storageHook) {
+        if (StorageBackend *sb = storageHook(n)) {
+            sb->scan("ptr/", [&](const std::string &key, const Bytes &) {
+                OS_CHECK(key.size() > 4 + Guid::numDigits + 1,
+                         "mesh restore: malformed pointer key '", key,
+                         "'");
+                Guid g = Guid::fromHex(
+                    std::string_view(key).substr(4, Guid::numDigits));
+                NodeId storer = static_cast<NodeId>(
+                    std::stoull(key.substr(4 + Guid::numDigits + 1)));
+                st.pointers[g].insert(storer);
+                reloaded++;
+            });
+        }
+    }
+    counters_.bump("restore.count");
+    counters_.bump("restore.pointers", reloaded);
+    return reloaded;
 }
 
 void
@@ -384,16 +449,19 @@ PlaxtonMesh::repair()
         }
     }
     // 2. Drop pointers that reference dead storers.
-    for (auto &st : states_) {
+    for (std::size_t i = 0; i < states_.size(); i++) {
+        NodeState &st = states_[i];
         if (!st.alive)
             continue;
         for (auto it = st.pointers.begin(); it != st.pointers.end();) {
             for (auto sit = it->second.begin();
                  sit != it->second.end();) {
-                if (!alive(*sit))
+                if (!alive(*sit)) {
+                    unpersistPointer(members_[i], it->first, *sit);
                     sit = it->second.erase(sit);
-                else
+                } else {
                     ++sit;
+                }
             }
             if (it->second.empty())
                 it = st.pointers.erase(it);

@@ -24,15 +24,18 @@
 #ifndef OCEANSTORE_PLAXTON_MESH_H
 #define OCEANSTORE_PLAXTON_MESH_H
 
+#include <functional>
 #include <map>
 #include <optional>
 #include <set>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "crypto/guid.h"
 #include "sim/network.h"
 #include "sim/topology.h"
+#include "storage/backend.h"
 #include "util/random.h"
 #include "util/stats.h"
 
@@ -146,6 +149,26 @@ class PlaxtonMesh
     void removeNode(NodeId n);
 
     /**
+     * Re-admit a removed member after a crash/restart cycle: rebuild
+     * its routing table under its durable GUID, announce it to nodes
+     * that need to know, and reload the pointer cache persisted in its
+     * "ptr/" storage namespace (via storageHook).  Stale entries —
+     * pointers to storers that died while this node was down — are
+     * filtered at locate time and purged by the next repair sweep,
+     * exactly like ordinary soft-state decay.
+     * @return pointers reloaded from storage.
+     */
+    std::size_t restoreNode(NodeId n);
+
+    /**
+     * Durable pointer write-through hook (DESIGN.md section 14): maps
+     * a member to its running storage backend, or null for the
+     * historical RAM-only behavior (also return null while the node
+     * is crashed).  Set by the Universe before any publish traffic.
+     */
+    std::function<StorageBackend *(NodeId)> storageHook;
+
+    /**
      * Soft-state repair sweep: every alive storer republishes its
      * objects, restoring pointers lost to failed nodes, and every
      * node replaces dead table entries (Section 4.3.3
@@ -215,6 +238,15 @@ class PlaxtonMesh
 
     /** Deposit pointers along the path to one salted root. */
     unsigned publishOne(const Guid &salted, const Guid &g, NodeId storer);
+
+    /** Storage key of one deposited pointer. */
+    static std::string pointerKey(const Guid &g, NodeId storer);
+
+    /** Write-through of a pointer deposit on member @p n. */
+    void persistPointer(NodeId n, const Guid &g, NodeId storer);
+
+    /** Write-through of a pointer removal on member @p n. */
+    void unpersistPointer(NodeId n, const Guid &g, NodeId storer);
 
     Network &net_;
     PlaxtonConfig cfg_;

@@ -28,11 +28,17 @@ ChurnInjector::scheduleTransition(NodeId n)
         if (!running_)
             return;
         if (net_.isUp(n)) {
-            net_.setDown(n);
+            if (lifecycle)
+                lifecycle->shutdown(n);
+            else
+                net_.setDown(n);
             if (onCrash)
                 onCrash(n);
         } else {
-            net_.setUp(n);
+            if (lifecycle)
+                lifecycle->restart(n);
+            else
+                net_.setUp(n);
             if (onRecover)
                 onRecover(n);
         }
@@ -44,7 +50,23 @@ std::vector<NodeId>
 ChurnInjector::massFailure(const std::vector<NodeId> &nodes,
                            double fraction)
 {
-    auto downed = massFailure(net_, nodes, fraction, rng_);
+    std::vector<NodeId> downed;
+    if (lifecycle) {
+        // Same sampling as the static helper, but each crash routes
+        // through the lifecycle so storage teardown stays symmetric.
+        OS_CHECK(fraction >= 0.0 && fraction <= 1.0,
+                 "massFailure: fraction ", fraction, " outside [0,1]");
+        std::size_t k = static_cast<std::size_t>(
+            fraction * static_cast<double>(nodes.size()) + 0.5);
+        auto picks = rng_.sampleIndices(nodes.size(), k);
+        downed.reserve(k);
+        for (auto i : picks) {
+            lifecycle->shutdown(nodes[i]);
+            downed.push_back(nodes[i]);
+        }
+    } else {
+        downed = massFailure(net_, nodes, fraction, rng_);
+    }
     if (onCrash) {
         for (NodeId n : downed)
             onCrash(n);
@@ -59,7 +81,10 @@ ChurnInjector::massRecover(const std::vector<NodeId> &nodes)
     for (NodeId n : nodes) {
         if (net_.isUp(n))
             continue;
-        net_.setUp(n);
+        if (lifecycle)
+            lifecycle->restart(n);
+        else
+            net_.setUp(n);
         recovered.push_back(n);
         if (onRecover)
             onRecover(n);

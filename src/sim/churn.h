@@ -31,6 +31,29 @@ struct ChurnConfig
 };
 
 /**
+ * Node crash/restart lifecycle (DESIGN.md section 14).
+ *
+ * Implemented by the system owner (core::Universe) so failure
+ * injectors tear a node down and bring it back through ONE symmetric
+ * path — network link state, durable storage teardown (disk-fault
+ * application, backend destruction) and recovery replay all happen
+ * together, never leaving a stale storage handle behind a node the
+ * network already considers dead.  shutdown() must leave the node
+ * down (Network::setDown or equivalent); restart() must bring it up.
+ */
+class NodeLifecycle
+{
+  public:
+    virtual ~NodeLifecycle() = default;
+
+    /** Tear @p n down: network down + storage crash. */
+    virtual void shutdown(NodeId n) = 0;
+
+    /** Bring @p n back: storage recovery + network up. */
+    virtual void restart(NodeId n) = 0;
+};
+
+/**
  * Continuous churn process over a set of nodes.
  *
  * Each managed node alternates up/down with exponential holding
@@ -63,6 +86,15 @@ class ChurnInjector
 
     /** Invoked (if set) when a node recovers. */
     std::function<void(NodeId)> onRecover;
+
+    /**
+     * When set, every transition (scheduled churn and the mass
+     * helpers) routes through this lifecycle instead of raw
+     * Network::setDown/setUp, so storage teardown and recovery stay
+     * symmetric with link state.  onCrash/onRecover still fire after
+     * the lifecycle call, exactly as before.
+     */
+    NodeLifecycle *lifecycle = nullptr;
 
     /** Crash a uniformly random @p fraction of @p nodes immediately. */
     static std::vector<NodeId>

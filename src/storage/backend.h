@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Pluggable per-node storage backend (DESIGN.md section 14).
+ *
+ * The paper's core promise is *persistence*: "data ... may be cached
+ * anywhere, anytime" yet survives server failure via deep archival
+ * (Sections 1, 4.5).  Every durable state owner in the tree — archival
+ * fragment stores, the primary tier's committed update log, Plaxton
+ * location pointers — writes through a StorageBackend so a node crash
+ * is a *restart*, not amnesia.  Two implementations:
+ *
+ *  - MemoryBackend: the historical in-RAM map; crash == total loss
+ *    (the pre-storage-tier behavior, kept as the default so existing
+ *    scenarios replay bit-for-bit);
+ *  - LogStore: an append-only log of CRC32-framed records over a
+ *    simulated disk image with an in-memory index rebuilt by replay,
+ *    fsync-point tracking and crash-consistent recovery (torn tails
+ *    truncated, checksum-corrupt records rejected loudly).
+ *
+ * The narrow put/get/scan/sync/stats surface follows the multicomputer
+ * object store's stable-storage split (PAPERS.md, cs/0004010): the
+ * object layers above never see framing, only keyed byte values.
+ */
+
+#ifndef OCEANSTORE_STORAGE_BACKEND_H
+#define OCEANSTORE_STORAGE_BACKEND_H
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+
+#include "util/bytes.h"
+
+namespace oceanstore {
+
+/** Outcome of a mutating storage operation. */
+enum class StorageStatus
+{
+    Ok,
+    NoSpace,  //!< Disk full: the write was rejected, reads still serve.
+    IoError,  //!< Backend cannot accept writes (e.g. crashed handle).
+};
+
+/** Lifetime operation counters for one backend instance. */
+struct StorageStats
+{
+    std::uint64_t puts = 0;
+    std::uint64_t gets = 0;
+    std::uint64_t erases = 0;
+    std::uint64_t syncs = 0;
+    std::uint64_t bytesWritten = 0;
+    std::uint64_t bytesRead = 0;
+    std::uint64_t enospcErrors = 0; //!< Appends rejected by disk-full.
+    std::uint64_t crcErrors = 0;    //!< Reads failing frame checksum.
+    /** Modeled IO latency accrued (slow-IO fault plan), sim seconds. */
+    double modeledLatency = 0.0;
+};
+
+/**
+ * The stable-storage interface.  Keys are flat strings namespaced by
+ * convention ("frag/<guid>/<idx>", "ulog/<seq>", "ptr/<guid>/<node>");
+ * values are opaque byte blobs.  Implementations are synchronous and
+ * deterministic — any modeled latency is *accounted* (stats, fault
+ * injector) rather than scheduled, so callers on the sim's event loop
+ * decide what to charge where.
+ */
+class StorageBackend
+{
+  public:
+    virtual ~StorageBackend() = default;
+
+    /** Store @p value under @p key (overwrites). */
+    virtual StorageStatus put(const std::string &key,
+                              const Bytes &value) = 0;
+
+    /** Fetch the current value of @p key (nullopt when absent or the
+     *  stored frame fails its checksum — counted, never served). */
+    virtual std::optional<Bytes> get(const std::string &key) = 0;
+
+    /** Remove @p key.  @return true when it existed. */
+    virtual bool erase(const std::string &key) = 0;
+
+    /**
+     * Visit every live key with the given prefix in lexicographic
+     * order (deterministic: recovery and tests depend on the order).
+     * Values failing their checksum are skipped and counted.
+     */
+    virtual void
+    scan(const std::string &prefix,
+         const std::function<void(const std::string &, const Bytes &)>
+             &fn) = 0;
+
+    /** Make everything written so far crash-durable (fsync point). */
+    virtual void sync() = 0;
+
+    /** Lifetime counters. */
+    virtual const StorageStats &stats() const = 0;
+
+    /** Number of live keys. */
+    virtual std::size_t keyCount() const = 0;
+};
+
+} // namespace oceanstore
+
+#endif // OCEANSTORE_STORAGE_BACKEND_H

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * The simulated persistent medium (DESIGN.md section 14).
+ *
+ * A DiskImage is the byte array that *survives* a node crash: the
+ * LogStore built over it is part of the "process" (its index dies
+ * with the node), while the image itself belongs to the NodeStorage
+ * handle and persists across the crash/restart lifecycle.  The fsync
+ * point divides the image into a durable prefix and a volatile tail:
+ * on crash the DiskFaultInjector may tear the tail anywhere at or
+ * after the sync point — mid-record included — and flip bits in what
+ * survives, so recovery is adversarial, never clean.
+ */
+
+#ifndef OCEANSTORE_STORAGE_DISK_H
+#define OCEANSTORE_STORAGE_DISK_H
+
+#include <cstdint>
+
+#include "util/bytes.h"
+
+namespace oceanstore {
+
+/** One node's persistent disk image. */
+struct DiskImage
+{
+    /** The bytes "on disk", in append order. */
+    Bytes bytes;
+
+    /**
+     * Fsync point: everything below this offset is crash-durable.
+     * Bytes at or above it are the volatile tail a crash may tear.
+     */
+    std::uint64_t synced = 0;
+
+    /** Capacity in bytes; 0 = unbounded.  Appends that would grow the
+     *  image past this fail with StorageStatus::NoSpace. */
+    std::uint64_t capacity = 0;
+
+    /** Current size. */
+    std::uint64_t size() const { return bytes.size(); }
+
+    /** Unsynced (crash-vulnerable) suffix length. */
+    std::uint64_t
+    unsyncedBytes() const
+    {
+        return bytes.size() - synced;
+    }
+
+    /** True when appending @p n more bytes would exceed capacity. */
+    bool
+    wouldOverflow(std::uint64_t n) const
+    {
+        return capacity != 0 && bytes.size() + n > capacity;
+    }
+};
+
+} // namespace oceanstore
+
+#endif // OCEANSTORE_STORAGE_DISK_H

@@ -1,0 +1,89 @@
+#include "storage/fault.h"
+
+#include "obs/metrics.h"
+
+namespace oceanstore {
+
+namespace {
+
+/** Interned metric ids, registered once on first use. */
+struct DiskFaultMetricIds
+{
+    MetricsRegistry *reg;
+    MetricsRegistry::Id crashes, tornBytes, bitFlips;
+
+    DiskFaultMetricIds()
+        : reg(&MetricsRegistry::global()),
+          crashes(reg->counter("storage.crashes")),
+          tornBytes(reg->counter("storage.fault_torn_bytes")),
+          bitFlips(reg->counter("storage.fault_bitflips"))
+    {
+    }
+};
+
+DiskFaultMetricIds &
+diskFaultMetrics()
+{
+    static DiskFaultMetricIds ids;
+    return ids;
+}
+
+} // namespace
+
+DiskFaultInjector::DiskFaultInjector(DiskFaultPlan plan)
+    : plan_(plan), rng_(plan.seed)
+{
+}
+
+DiskFaultInjector::CrashReport
+DiskFaultInjector::crash(DiskImage &disk)
+{
+    CrashReport rep;
+    crashes_++;
+    DiskFaultMetricIds &dm = diskFaultMetrics();
+    dm.reg->inc(dm.crashes);
+
+    std::uint64_t tail = disk.unsyncedBytes();
+    if (tail > 0 && plan_.tornWriteOnCrash > 0 &&
+        rng_.chance(plan_.tornWriteOnCrash)) {
+        // Cut anywhere in [synced, size]: tearing respects no record
+        // boundary — that is exactly what recovery must survive.
+        std::uint64_t keep = rng_.below(tail + 1);
+        rep.tornBytes = tail - keep;
+        disk.bytes.resize(disk.synced + keep);
+    }
+    if (plan_.bitFlipOnCrash > 0) {
+        for (std::uint64_t i = disk.synced; i < disk.size(); i++) {
+            if (!rng_.chance(plan_.bitFlipOnCrash))
+                continue;
+            disk.bytes[i] ^=
+                static_cast<std::uint8_t>(1u << rng_.below(8));
+            rep.bitFlips++;
+        }
+    }
+    tornBytes_ += rep.tornBytes;
+    bitFlips_ += rep.bitFlips;
+    dm.reg->inc(dm.tornBytes, rep.tornBytes);
+    dm.reg->inc(dm.bitFlips, rep.bitFlips);
+    return rep;
+}
+
+std::uint64_t
+DiskFaultInjector::decay(DiskImage &disk)
+{
+    if (plan_.decayBitFlip <= 0)
+        return 0;
+    std::uint64_t flips = 0;
+    for (auto &b : disk.bytes) {
+        if (!rng_.chance(plan_.decayBitFlip))
+            continue;
+        b ^= static_cast<std::uint8_t>(1u << rng_.below(8));
+        flips++;
+    }
+    bitFlips_ += flips;
+    DiskFaultMetricIds &dm = diskFaultMetrics();
+    dm.reg->inc(dm.bitFlips, flips);
+    return flips;
+}
+
+} // namespace oceanstore

@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Append-only log store with crash-consistent recovery (DESIGN.md
+ * section 14).
+ *
+ * Every mutation is one CRC32-framed record appended to the node's
+ * DiskImage:
+ *
+ *     [u32 crc] [u8 type] [u32 keyLen] [u32 valLen] [key] [value]
+ *
+ * with the checksum covering everything after itself.  The in-memory
+ * index (key -> latest record) is *derived* state, rebuilt by replay:
+ * constructing a LogStore over an existing image IS recovery.  The
+ * replay discipline, per the stable-storage exemplar (PAPERS.md,
+ * cs/0004010) and the EOS in-memory->KV evolution:
+ *
+ *  - a structurally incomplete tail frame (header cut short, or
+ *    declared lengths running past the image) is a *torn write*: the
+ *    tail is physically truncated and the loss counted — losing
+ *    un-fsynced suffix bytes is the crash contract, not an error;
+ *  - a structurally sane frame whose checksum fails is *corruption*:
+ *    rejected loudly (logged + `recovery.crc_rejects`), then replay
+ *    continues at the declared frame end.  If the corruption hit a
+ *    length field the resynchronization point is wrong and the
+ *    remainder degenerates into further rejects or a torn-tail
+ *    truncation — deterministically, never silently;
+ *  - recovery is idempotent: replaying the same image twice yields
+ *    byte-identical indexes (the 16-seed sweep in tests/test_storage
+ *    holds this across adversarial crash plans).
+ *
+ * Reads re-verify the record checksum on every get()/scan() hit, so
+ * post-recovery media rot (DiskFaultInjector::decay) is detected at
+ * serve time: the value is withheld, `storage.crc_errors` counts it,
+ * and the caller sees a miss it must repair through its own
+ * redundancy (for fragments: the Merkle-audited archival repair).
+ */
+
+#ifndef OCEANSTORE_STORAGE_LOG_STORE_H
+#define OCEANSTORE_STORAGE_LOG_STORE_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "storage/backend.h"
+#include "storage/disk.h"
+#include "storage/fault.h"
+
+namespace oceanstore {
+
+/** CRC32 (IEEE, reflected) over a byte range — the record checksum. */
+std::uint32_t crc32(const std::uint8_t *data, std::size_t n);
+
+/** What one recovery replay observed and did. */
+struct RecoveryReport
+{
+    std::uint64_t recordsReplayed = 0; //!< Frames accepted and applied.
+    std::uint64_t bytesReplayed = 0;   //!< Image bytes scanned.
+    std::uint64_t tornBytesTruncated = 0; //!< Tail bytes cut away.
+    std::uint64_t crcRejects = 0;      //!< Sane frames, bad checksum.
+    std::uint64_t liveKeys = 0;        //!< Index size after replay.
+    double modeledLatency = 0.0;       //!< Slow-IO cost of the replay.
+};
+
+/** Tunables for one LogStore instance. */
+struct LogStoreConfig
+{
+    /** Fsync after every put/erase (crash loses nothing but the op in
+     *  flight).  When false the owner batches via sync(). */
+    bool syncEachPut = true;
+};
+
+/**
+ * The append-only backend.  Constructing over a non-empty image
+ * replays it (recovery); the report is kept for the owner to assert
+ * against and to feed the `recovery.*` metrics and the profiler's
+ * "storage.recover" phase.
+ */
+class LogStore final : public StorageBackend
+{
+  public:
+    /**
+     * @param disk    the persistent image (owned by NodeStorage; must
+     *                outlive this store)
+     * @param faults  optional fault injector for slow-IO accounting
+     *                (crash faults are applied by NodeStorage, not
+     *                here); may be nullptr
+     */
+    LogStore(DiskImage &disk, DiskFaultInjector *faults,
+             LogStoreConfig cfg = {});
+
+    StorageStatus put(const std::string &key,
+                      const Bytes &value) override;
+    std::optional<Bytes> get(const std::string &key) override;
+    bool erase(const std::string &key) override;
+    void scan(const std::string &prefix,
+              const std::function<void(const std::string &,
+                                       const Bytes &)> &fn) override;
+    void sync() override;
+    const StorageStats &stats() const override { return stats_; }
+    std::size_t keyCount() const override { return index_.size(); }
+
+    /** The replay report from construction-time recovery. */
+    const RecoveryReport &recovery() const { return recovery_; }
+
+    /** Log bytes on disk (live + superseded + tombstones). */
+    std::uint64_t logBytes() const { return disk_.size(); }
+
+  private:
+    /** Index entry: where the latest record for a key lives. */
+    struct Slot
+    {
+        std::uint64_t recordOffset = 0;
+        std::uint32_t recordLen = 0; //!< Full frame length.
+        std::uint32_t valueLen = 0;
+    };
+
+    /** Frame a record into @p out.  @return frame length. */
+    static std::uint32_t frameRecord(Bytes &out, std::uint8_t type,
+                                     const std::string &key,
+                                     const Bytes &value);
+
+    /** Append a framed record; handles ENOSPC and latency. */
+    StorageStatus appendRecord(std::uint8_t type, const std::string &key,
+                               const Bytes &value);
+
+    /** Re-read and checksum-verify the record of @p slot; on success
+     *  the value bytes are copied into @p value_out. */
+    bool readVerified(const std::string &key, const Slot &slot,
+                      Bytes *value_out);
+
+    /** Construction-time replay. */
+    void recover();
+
+    DiskImage &disk_;
+    DiskFaultInjector *faults_;
+    LogStoreConfig cfg_;
+    std::map<std::string, Slot> index_;
+    StorageStats stats_;
+    RecoveryReport recovery_;
+};
+
+} // namespace oceanstore
+
+#endif // OCEANSTORE_STORAGE_LOG_STORE_H

@@ -1,0 +1,65 @@
+#include "storage/memory_backend.h"
+
+#include "storage/counters.h"
+
+namespace oceanstore {
+
+StorageStatus
+MemoryBackend::put(const std::string &key, const Bytes &value)
+{
+    StorageMetricIds &sm = storageMetrics();
+    stats_.puts++;
+    sm.reg->inc(sm.puts);
+    stats_.bytesWritten += value.size();
+    sm.reg->inc(sm.bytesWritten, value.size());
+    map_[key] = value;
+    return StorageStatus::Ok;
+}
+
+std::optional<Bytes>
+MemoryBackend::get(const std::string &key)
+{
+    StorageMetricIds &sm = storageMetrics();
+    stats_.gets++;
+    sm.reg->inc(sm.gets);
+    auto it = map_.find(key);
+    if (it == map_.end())
+        return std::nullopt;
+    stats_.bytesRead += it->second.size();
+    sm.reg->inc(sm.bytesRead, it->second.size());
+    return it->second;
+}
+
+bool
+MemoryBackend::erase(const std::string &key)
+{
+    if (map_.erase(key) == 0)
+        return false;
+    StorageMetricIds &sm = storageMetrics();
+    stats_.erases++;
+    sm.reg->inc(sm.erases);
+    return true;
+}
+
+void
+MemoryBackend::scan(const std::string &prefix,
+                    const std::function<void(const std::string &,
+                                             const Bytes &)> &fn)
+{
+    for (auto it = map_.lower_bound(prefix); it != map_.end(); ++it) {
+        if (it->first.compare(0, prefix.size(), prefix) != 0)
+            break;
+        fn(it->first, it->second);
+    }
+}
+
+void
+MemoryBackend::sync()
+{
+    // RAM has no fsync point; counted for interface symmetry.
+    StorageMetricIds &sm = storageMetrics();
+    stats_.syncs++;
+    sm.reg->inc(sm.syncs);
+}
+
+} // namespace oceanstore

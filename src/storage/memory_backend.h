@@ -1,0 +1,43 @@
+/**
+ * @file
+ * The in-memory storage backend: the historical pre-durability
+ * behavior, preserved behind the StorageBackend interface.  A crash
+ * loses everything (NodeStorage simply discards the map) — which is
+ * exactly what every scenario written before the storage tier
+ * assumed, so it stays the default Universe configuration.
+ */
+
+#ifndef OCEANSTORE_STORAGE_MEMORY_BACKEND_H
+#define OCEANSTORE_STORAGE_MEMORY_BACKEND_H
+
+#include <map>
+#include <string>
+
+#include "storage/backend.h"
+
+namespace oceanstore {
+
+class MemoryBackend final : public StorageBackend
+{
+  public:
+    MemoryBackend() = default;
+
+    StorageStatus put(const std::string &key,
+                      const Bytes &value) override;
+    std::optional<Bytes> get(const std::string &key) override;
+    bool erase(const std::string &key) override;
+    void scan(const std::string &prefix,
+              const std::function<void(const std::string &,
+                                       const Bytes &)> &fn) override;
+    void sync() override;
+    const StorageStats &stats() const override { return stats_; }
+    std::size_t keyCount() const override { return map_.size(); }
+
+  private:
+    std::map<std::string, Bytes> map_;
+    StorageStats stats_;
+};
+
+} // namespace oceanstore
+
+#endif // OCEANSTORE_STORAGE_MEMORY_BACKEND_H

@@ -1,0 +1,63 @@
+#include "storage/node_storage.h"
+
+#include "storage/memory_backend.h"
+#include "util/check.h"
+
+namespace oceanstore {
+
+NodeStorage::NodeStorage(StorageSetup setup)
+    : setup_(setup), faults_(setup.faults)
+{
+    disk_.capacity = setup_.faults.capacityBytes;
+    build();
+}
+
+StorageBackend &
+NodeStorage::backend()
+{
+    OS_CHECK(backend_ != nullptr,
+             "storage access on a crashed node: the caller skipped "
+             "the restart lifecycle");
+    return *backend_;
+}
+
+DiskFaultInjector::CrashReport
+NodeStorage::crash()
+{
+    DiskFaultInjector::CrashReport report;
+    if (setup_.kind == StorageKind::Log) {
+        report = faults_.crash(disk_);
+    } else {
+        // Memory kind: the "disk" is the map itself; a crash loses it
+        // all, which destroying the backend below accomplishes.
+        disk_.bytes.clear();
+        disk_.synced = 0;
+    }
+    backend_.reset();
+    lastRecovery_ = RecoveryReport{};
+    return report;
+}
+
+void
+NodeStorage::restart()
+{
+    OS_CHECK(backend_ == nullptr,
+             "restart of a storage handle that never crashed");
+    build();
+}
+
+void
+NodeStorage::build()
+{
+    if (setup_.kind == StorageKind::Log) {
+        auto store = std::make_unique<LogStore>(
+            disk_, &faults_, LogStoreConfig{setup_.syncEachPut});
+        lastRecovery_ = store->recovery();
+        backend_ = std::move(store);
+    } else {
+        lastRecovery_ = RecoveryReport{};
+        backend_ = std::make_unique<MemoryBackend>();
+    }
+}
+
+} // namespace oceanstore

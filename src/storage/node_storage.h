@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Per-node durable storage handle (DESIGN.md section 14).
+ *
+ * A NodeStorage is what `core::Universe` creates for every durable
+ * state owner (archival server, pbft replica, mesh node).  It owns
+ * the pieces with *different* lifetimes:
+ *
+ *  - the DiskImage and DiskFaultInjector live as long as the node
+ *    identity does — they survive crashes;
+ *  - the StorageBackend is process state: crash() destroys it (after
+ *    letting the injector tear/corrupt the image) and restart()
+ *    rebuilds it, which for the log backend *is* recovery replay.
+ *
+ * The Memory kind keeps the historical semantics: a crash loses
+ * everything, restart comes back empty.  It is the default so every
+ * pre-storage scenario behaves exactly as before.
+ */
+
+#ifndef OCEANSTORE_STORAGE_NODE_STORAGE_H
+#define OCEANSTORE_STORAGE_NODE_STORAGE_H
+
+#include <memory>
+
+#include "storage/backend.h"
+#include "storage/disk.h"
+#include "storage/fault.h"
+#include "storage/log_store.h"
+
+namespace oceanstore {
+
+/** Which backend a node's durable state lives in. */
+enum class StorageKind : std::uint8_t
+{
+    Memory, //!< RAM map; crash == amnesia (pre-storage behavior).
+    Log,    //!< Append-only log over a DiskImage; crash-recoverable.
+};
+
+/** Universe-level storage configuration, one per node via seed mix. */
+struct StorageSetup
+{
+    StorageKind kind = StorageKind::Memory;
+
+    /** Fsync after every put (see LogStoreConfig). */
+    bool syncEachPut = true;
+
+    /** Disk faults; `faults.seed` is mixed with the node id so every
+     *  node tears/corrupts independently but deterministically. */
+    DiskFaultPlan faults;
+};
+
+/**
+ * One node's storage: image + injector (durable across crashes) and
+ * the currently running backend (destroyed on crash).
+ */
+class NodeStorage
+{
+  public:
+    explicit NodeStorage(StorageSetup setup);
+
+    /** The running backend.  Fatal to call while crashed. */
+    StorageBackend &backend();
+
+    /** True between construction/restart() and crash(). */
+    bool running() const { return backend_ != nullptr; }
+
+    /**
+     * Node death: the injector applies the plan's crash faults to the
+     * image (torn tail, bit flips), then the backend — index included
+     * — is destroyed.  Memory-kind storage simply loses everything.
+     */
+    DiskFaultInjector::CrashReport crash();
+
+    /**
+     * Node rebirth: rebuild the backend.  For the log kind this
+     * replays the (possibly torn/corrupted) image — construction IS
+     * recovery — and the report is available via lastRecovery().
+     */
+    void restart();
+
+    /** Replay report of the most recent restart (log kind; empty for
+     *  memory kind). */
+    const RecoveryReport &lastRecovery() const { return lastRecovery_; }
+
+    DiskFaultInjector &faults() { return faults_; }
+    DiskImage &disk() { return disk_; }
+    StorageKind kind() const { return setup_.kind; }
+
+  private:
+    void build();
+
+    StorageSetup setup_;
+    DiskImage disk_;
+    DiskFaultInjector faults_;
+    std::unique_ptr<StorageBackend> backend_;
+    RecoveryReport lastRecovery_;
+};
+
+} // namespace oceanstore
+
+#endif // OCEANSTORE_STORAGE_NODE_STORAGE_H

@@ -87,6 +87,8 @@ WorkloadDriver::~WorkloadDriver()
         universe_.sim().cancel(id);
     for (Session &s : sessions_)
         universe_.sim().cancel(s.timer);
+    universe_.sim().cancel(crashTimer_);
+    universe_.sim().cancel(recoverTimer_);
 }
 
 const ObjectHandle &
@@ -151,6 +153,23 @@ WorkloadDriver::run()
 {
     OS_CHECK(!ran_, "WorkloadDriver::run is single-shot");
     ran_ = true;
+
+    // Optional cold-restart stage: crash and recovery land at fixed
+    // sim times, so they interleave with the session schedule the
+    // same way on every run of the same plan.
+    if (plan_.crashAt >= 0.0) {
+        crashTimer_ = universe_.sim().scheduleAt(
+            plan_.crashAt,
+            [this]() { universe_.crashServer(plan_.crashServerIndex); });
+        if (plan_.recoverAt >= 0.0) {
+            OS_CHECK(plan_.recoverAt > plan_.crashAt,
+                     "WorkloadPlan: recoverAt must follow crashAt");
+            recoverTimer_ = universe_.sim().scheduleAt(
+                plan_.recoverAt, [this]() {
+                    universe_.restartServer(plan_.crashServerIndex);
+                });
+        }
+    }
 
     for (unsigned r = 0; r < regionServers_.size(); r++) {
         if (regionServers_[r].empty())

@@ -58,6 +58,19 @@ struct WorkloadPlan
 
     FlashCrowd flash;             //!< Optional popularity step.
 
+    /**
+     * Optional mid-run cold restart (DESIGN.md section 14): at sim
+     * time crashAt the driver crashes secondary server
+     * crashServerIndex through the Universe lifecycle (disk faults
+     * applied, RAM state lost), and at recoverAt restarts it from its
+     * durable log.  Negative times disable the stage.  The schedule
+     * is part of the plan, so the trace hash stays a pure function of
+     * (plan, seed) with the restart included.
+     */
+    double crashAt = -1.0;
+    double recoverAt = -1.0;
+    std::size_t crashServerIndex = 0;
+
     std::uint64_t seed = 0x30ad1u;
 };
 
@@ -156,6 +169,8 @@ class WorkloadDriver
     /** region id -> server indices in that region (empty = skipped). */
     std::vector<std::vector<std::size_t>> regionServers_;
     std::vector<EventId> arrivalTimers_;
+    EventId crashTimer_ = invalidEventId;
+    EventId recoverTimer_ = invalidEventId;
     std::unique_ptr<ArchivalClient> archClient_;
 
     WorkloadStats stats_;

@@ -1,0 +1,533 @@
+/**
+ * @file
+ * Durable storage engine suite (DESIGN.md section 14).
+ *
+ * Unit level: the append-only LogStore's crash contract — torn tails
+ * truncated, checksum-corrupt records rejected loudly, replay
+ * idempotent, ENOSPC refusing writes while reads keep serving, and a
+ * 16-seed determinism sweep over adversarial crash plans.
+ *
+ * System level: a core::Universe with StorageKind::Log recovers a
+ * crashed secondary server's archival fragments and mesh pointers
+ * from its log, a crashed primary replica's object state from its
+ * "ulog/" commit log, and the churn injector's mass helpers route
+ * node transitions through the storage lifecycle symmetrically.
+ */
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/universe.h"
+#include "sim/churn.h"
+#include "storage/disk.h"
+#include "storage/fault.h"
+#include "storage/log_store.h"
+#include "storage/memory_backend.h"
+#include "storage/node_storage.h"
+#include "workload/driver.h"
+
+namespace oceanstore {
+namespace {
+
+/** Frame length of one log record (mirrors the LogStore layout). */
+std::size_t
+frameLen(const std::string &key, std::size_t value_len)
+{
+    return 13 + key.size() + value_len;
+}
+
+Bytes
+patternValue(std::size_t n, std::uint8_t base)
+{
+    Bytes v(n);
+    for (std::size_t i = 0; i < n; i++)
+        v[i] = static_cast<std::uint8_t>(base + i);
+    return v;
+}
+
+/** Everything a scan sees, for whole-index comparisons. */
+std::map<std::string, Bytes>
+snapshot(StorageBackend &b)
+{
+    std::map<std::string, Bytes> out;
+    b.scan("", [&](const std::string &k, const Bytes &v) { out[k] = v; });
+    return out;
+}
+
+// --- LogStore unit level ----------------------------------------------
+
+TEST(LogStore, RoundTripOverwriteEraseScan)
+{
+    DiskImage disk;
+    LogStore store(disk, nullptr);
+
+    EXPECT_EQ(store.put("a", patternValue(8, 1)), StorageStatus::Ok);
+    EXPECT_EQ(store.put("b", patternValue(8, 2)), StorageStatus::Ok);
+    EXPECT_EQ(store.put("a", patternValue(8, 3)), StorageStatus::Ok);
+    EXPECT_EQ(store.keyCount(), 2u);
+
+    auto got = store.get("a");
+    ASSERT_TRUE(got.has_value());
+    EXPECT_EQ(*got, patternValue(8, 3)); // latest record wins
+
+    EXPECT_TRUE(store.erase("b"));
+    EXPECT_FALSE(store.erase("b")); // already gone
+    EXPECT_FALSE(store.get("b").has_value());
+    EXPECT_EQ(store.keyCount(), 1u);
+
+    // The log keeps every superseded record and the tombstone.
+    EXPECT_EQ(store.logBytes(),
+              2 * frameLen("a", 8) + frameLen("b", 8) + frameLen("b", 0));
+
+    auto snap = snapshot(store);
+    EXPECT_EQ(snap.size(), 1u);
+    EXPECT_EQ(snap["a"], patternValue(8, 3));
+}
+
+TEST(LogStore, EmptyLogRecoversToEmpty)
+{
+    DiskImage disk;
+    LogStore store(disk, nullptr);
+    EXPECT_EQ(store.recovery().recordsReplayed, 0u);
+    EXPECT_EQ(store.recovery().tornBytesTruncated, 0u);
+    EXPECT_EQ(store.recovery().crcRejects, 0u);
+    EXPECT_EQ(store.keyCount(), 0u);
+    EXPECT_FALSE(store.get("anything").has_value());
+}
+
+TEST(LogStore, SingleTornRecordTruncated)
+{
+    DiskImage disk;
+    {
+        LogStore store(disk, nullptr);
+        store.put("k1", patternValue(16, 1));
+        store.put("k2", patternValue(16, 2));
+    }
+    // Cut the last record in half: a torn write, not corruption.
+    std::uint64_t cut = frameLen("k2", 16) / 2;
+    disk.bytes.resize(disk.bytes.size() - cut);
+    if (disk.synced > disk.size())
+        disk.synced = disk.size();
+
+    LogStore recovered(disk, nullptr);
+    EXPECT_EQ(recovered.recovery().recordsReplayed, 1u);
+    EXPECT_EQ(recovered.recovery().tornBytesTruncated,
+              frameLen("k2", 16) - cut);
+    EXPECT_EQ(recovered.recovery().crcRejects, 0u);
+    EXPECT_TRUE(recovered.get("k1").has_value());
+    EXPECT_FALSE(recovered.get("k2").has_value());
+    // The tail was physically truncated, so the log appends cleanly.
+    EXPECT_EQ(recovered.put("k3", patternValue(4, 3)),
+              StorageStatus::Ok);
+    EXPECT_TRUE(recovered.get("k3").has_value());
+}
+
+TEST(LogStore, CorruptCrcMidLogRejectedLoudly)
+{
+    DiskImage disk;
+    {
+        LogStore store(disk, nullptr);
+        store.put("aa", patternValue(16, 1));
+        store.put("bb", patternValue(16, 2));
+        store.put("cc", patternValue(16, 3));
+    }
+    // Flip one value byte inside the MIDDLE record: a structurally
+    // sane frame with a bad checksum.
+    std::uint64_t off = frameLen("aa", 16) + 13 + 2; // bb's value[0]
+    disk.bytes[off] ^= 0xff;
+
+    LogStore recovered(disk, nullptr);
+    EXPECT_EQ(recovered.recovery().crcRejects, 1u);
+    EXPECT_EQ(recovered.recovery().recordsReplayed, 2u);
+    EXPECT_EQ(recovered.recovery().tornBytesTruncated, 0u);
+    EXPECT_TRUE(recovered.get("aa").has_value());
+    EXPECT_FALSE(recovered.get("bb").has_value()); // rejected, not served
+    EXPECT_TRUE(recovered.get("cc").has_value());  // replay resynced
+}
+
+TEST(LogStore, ReplayIsIdempotent)
+{
+    DiskImage disk;
+    {
+        LogStore store(disk, nullptr);
+        for (int i = 0; i < 20; i++)
+            store.put("key" + std::to_string(i % 7),
+                      patternValue(24, static_cast<std::uint8_t>(i)));
+        store.erase("key3");
+    }
+    // Damage the image both ways, then recover twice.
+    disk.bytes[frameLen("key0", 24) + 20] ^= 0x10; // corrupt record 2
+    disk.bytes.resize(disk.bytes.size() - 5);      // tear the tail
+    if (disk.synced > disk.size())
+        disk.synced = disk.size();
+    Bytes imageAfterFirst;
+    RecoveryReport first;
+    std::map<std::string, Bytes> firstSnap;
+    {
+        LogStore r1(disk, nullptr);
+        first = r1.recovery();
+        firstSnap = snapshot(r1);
+        imageAfterFirst = disk.bytes;
+    }
+    LogStore r2(disk, nullptr);
+    EXPECT_EQ(r2.recovery().recordsReplayed, first.recordsReplayed);
+    EXPECT_EQ(r2.recovery().crcRejects, first.crcRejects);
+    // The first replay already truncated the torn tail; the second
+    // finds a clean log.
+    EXPECT_EQ(r2.recovery().tornBytesTruncated, 0u);
+    EXPECT_EQ(disk.bytes, imageAfterFirst);
+    EXPECT_EQ(snapshot(r2), firstSnap);
+}
+
+TEST(LogStore, EnospcRefusesWritesKeepsServingReads)
+{
+    DiskImage disk;
+    disk.capacity = 64;
+    LogStore store(disk, nullptr);
+
+    ASSERT_EQ(store.put("k", patternValue(20, 1)),
+              StorageStatus::Ok); // 35-byte frame fits
+    EXPECT_EQ(store.put("l", patternValue(20, 2)),
+              StorageStatus::NoSpace); // would need 70 > 64
+    EXPECT_EQ(store.stats().enospcErrors, 1u);
+
+    // Reads keep serving; the store did not wedge.
+    auto got = store.get("k");
+    ASSERT_TRUE(got.has_value());
+    EXPECT_EQ(*got, patternValue(20, 1));
+    EXPECT_FALSE(store.get("l").has_value());
+    // A smaller record still fits in the remaining capacity.
+    EXPECT_EQ(store.put("m", patternValue(4, 3)), StorageStatus::Ok);
+}
+
+TEST(LogStore, ServeTimeCrcVerificationWithholdsRotted)
+{
+    DiskImage disk;
+    LogStore store(disk, nullptr);
+    store.put("frag", patternValue(32, 1));
+    store.put("ok", patternValue(8, 2));
+
+    // Media rot after recovery: flip a bit in frag's value in place.
+    disk.bytes[13 + 4 + 5] ^= 0x01;
+
+    EXPECT_FALSE(store.get("frag").has_value());
+    EXPECT_GE(store.stats().crcErrors, 1u);
+    // scan() skips the rotted record but visits the healthy one.
+    auto snap = snapshot(store);
+    EXPECT_EQ(snap.count("frag"), 0u);
+    EXPECT_EQ(snap.count("ok"), 1u);
+}
+
+TEST(LogStore, RecoveryDeterminismSweep16Seeds)
+{
+    std::uint64_t tornSeeds = 0;
+    for (std::uint64_t seed = 1; seed <= 16; seed++) {
+        // Build an image with a synced prefix and an unsynced tail.
+        DiskImage image;
+        {
+            LogStoreConfig cfg;
+            cfg.syncEachPut = false;
+            LogStore store(image, nullptr, cfg);
+            for (int i = 0; i < 6; i++)
+                store.put("s" + std::to_string(i),
+                          patternValue(32, static_cast<std::uint8_t>(i)));
+            store.sync();
+            for (int i = 0; i < 6; i++)
+                store.put("u" + std::to_string(i),
+                          patternValue(32, static_cast<std::uint8_t>(i)));
+        }
+
+        DiskFaultPlan plan;
+        plan.tornWriteOnCrash = 0.9;
+        plan.bitFlipOnCrash = 0.05;
+        plan.seed = seed;
+
+        // Same plan + same image => identical damage and recovery.
+        DiskImage a = image, b = image;
+        DiskFaultInjector ia(plan), ib(plan);
+        auto ra = ia.crash(a);
+        auto rb = ib.crash(b);
+        EXPECT_EQ(ra.tornBytes, rb.tornBytes) << "seed " << seed;
+        EXPECT_EQ(ra.bitFlips, rb.bitFlips) << "seed " << seed;
+        ASSERT_EQ(a.bytes, b.bytes) << "seed " << seed;
+        tornSeeds += ra.tornBytes > 0 ? 1 : 0;
+
+        LogStore sa(a, nullptr), sb(b, nullptr);
+        EXPECT_EQ(sa.recovery().recordsReplayed,
+                  sb.recovery().recordsReplayed)
+            << "seed " << seed;
+        EXPECT_EQ(sa.recovery().tornBytesTruncated,
+                  sb.recovery().tornBytesTruncated)
+            << "seed " << seed;
+        EXPECT_EQ(sa.recovery().crcRejects, sb.recovery().crcRejects)
+            << "seed " << seed;
+        EXPECT_EQ(snapshot(sa), snapshot(sb)) << "seed " << seed;
+
+        // The synced prefix is sacred: every synced key survives
+        // whatever the crash did to the tail.
+        for (int i = 0; i < 6; i++) {
+            EXPECT_TRUE(sa.get("s" + std::to_string(i)).has_value())
+                << "seed " << seed << " lost synced key s" << i;
+        }
+    }
+    // The plan must actually bite on most seeds, or the sweep proves
+    // nothing.
+    EXPECT_GE(tornSeeds, 8u);
+}
+
+// --- MemoryBackend and NodeStorage ------------------------------------
+
+TEST(MemoryBackend, RoundTripAndStats)
+{
+    MemoryBackend mem;
+    EXPECT_EQ(mem.put("x", patternValue(4, 1)), StorageStatus::Ok);
+    EXPECT_TRUE(mem.get("x").has_value());
+    EXPECT_EQ(mem.stats().puts, 1u);
+    EXPECT_EQ(mem.stats().gets, 1u);
+    EXPECT_TRUE(mem.erase("x"));
+    EXPECT_EQ(mem.keyCount(), 0u);
+}
+
+TEST(NodeStorage, MemoryKindCrashIsAmnesia)
+{
+    StorageSetup setup; // Memory is the default
+    NodeStorage ns(setup);
+    ns.backend().put("x", patternValue(4, 1));
+    EXPECT_EQ(ns.backend().keyCount(), 1u);
+    ns.crash();
+    EXPECT_FALSE(ns.running());
+    ns.restart();
+    EXPECT_TRUE(ns.running());
+    EXPECT_EQ(ns.backend().keyCount(), 0u); // everything gone
+}
+
+TEST(NodeStorage, LogKindSurvivesCleanCrash)
+{
+    StorageSetup setup;
+    setup.kind = StorageKind::Log;
+    NodeStorage ns(setup);
+    ns.backend().put("x", patternValue(4, 1));
+    ns.backend().put("y", patternValue(4, 2));
+    ns.crash();
+    EXPECT_FALSE(ns.running());
+    ns.restart();
+    ASSERT_TRUE(ns.running());
+    EXPECT_EQ(ns.lastRecovery().recordsReplayed, 2u);
+    auto got = ns.backend().get("x");
+    ASSERT_TRUE(got.has_value());
+    EXPECT_EQ(*got, patternValue(4, 1));
+}
+
+TEST(NodeStorage, LogKindTornCrashKeepsSyncedPrefix)
+{
+    std::uint64_t tornTotal = 0;
+    for (std::uint64_t seed = 1; seed <= 8; seed++) {
+        StorageSetup setup;
+        setup.kind = StorageKind::Log;
+        setup.syncEachPut = false;
+        setup.faults.tornWriteOnCrash = 1.0;
+        setup.faults.seed = seed;
+        NodeStorage ns(setup);
+        ns.backend().put("durable", patternValue(16, 1));
+        ns.backend().sync();
+        ns.backend().put("volatile", patternValue(16, 2));
+        auto report = ns.crash();
+        tornTotal += report.tornBytes;
+        ns.restart();
+        ASSERT_TRUE(ns.backend().get("durable").has_value())
+            << "seed " << seed;
+    }
+    EXPECT_GT(tornTotal, 0u); // at least one seed cut mid-record
+}
+
+// --- Universe integration ---------------------------------------------
+
+UniverseConfig
+durableConfig()
+{
+    UniverseConfig cfg;
+    cfg.numServers = 24;
+    cfg.archiveOnCommit = false; // explicit archival in tests
+    cfg.archiveDataFragments = 4;
+    cfg.archiveTotalFragments = 8;
+    cfg.initialHosts = 3;
+    cfg.storage.kind = StorageKind::Log;
+    return cfg;
+}
+
+TEST(StorageUniverse, PrimaryUlogReplayRestoresObjectState)
+{
+    Universe uni(durableConfig());
+    KeyPair owner = uni.makeUser();
+    ObjectHandle h = uni.createObject(owner, "ulog-doc");
+    std::uint64_t ts = 0;
+    for (int i = 0; i < 3; i++) {
+        WriteResult wr = uni.writeSync(h.makeAppendUpdate(
+            patternValue(32, static_cast<std::uint8_t>(i)),
+            static_cast<VersionNum>(i), {++ts, 1}));
+        ASSERT_TRUE(wr.committed);
+    }
+    auto before = uni.readVersion(h.guid(), 3);
+    ASSERT_TRUE(before.has_value());
+
+    uni.crashPrimary(0);
+    // The replica's RAM object state died with it.
+    EXPECT_FALSE(uni.readVersion(h.guid(), 3).has_value());
+    EXPECT_FALSE(uni.primaryStorage(0).running());
+
+    uni.restartPrimary(0);
+    ASSERT_TRUE(uni.primaryStorage(0).running());
+    auto after = uni.readVersion(h.guid(), 3);
+    ASSERT_TRUE(after.has_value());
+    EXPECT_EQ(after->logicalContent(), before->logicalContent());
+    EXPECT_EQ(after->version(), before->version());
+    // And the tier still commits new updates after the restart.
+    WriteResult wr = uni.writeSync(
+        h.makeAppendUpdate(patternValue(8, 9), 3, {++ts, 1}));
+    EXPECT_TRUE(wr.committed);
+}
+
+TEST(StorageUniverse, ServerRestartRestoresFragmentsAndLocation)
+{
+    Universe uni(durableConfig());
+    KeyPair owner = uni.makeUser();
+    ObjectHandle h = uni.createObject(owner, "frag-doc");
+    std::uint64_t ts = 0;
+    ASSERT_TRUE(
+        uni.writeSync(
+               h.makeAppendUpdate(patternValue(64, 5), 0, {++ts, 1}))
+            .committed);
+    Guid archive = uni.archiveObject(h.guid());
+    ASSERT_TRUE(archive.valid());
+    uni.advance(30.0); // let dispersal land
+
+    // Find a server that persisted fragments.
+    std::size_t victim = uni.numServers();
+    for (std::size_t i = 0; i < uni.numServers(); i++) {
+        if (uni.storageOf(i).backend().keyCount() > 0) {
+            victim = i;
+            break;
+        }
+    }
+    ASSERT_LT(victim, uni.numServers());
+    std::size_t keysBefore = uni.storageOf(victim).backend().keyCount();
+    std::size_t fragsBefore =
+        uni.archival().server(victim).fragmentCount();
+
+    uni.crashServer(victim);
+    EXPECT_FALSE(uni.storageOf(victim).running());
+    EXPECT_FALSE(uni.net().isUp(
+        uni.secondaryTier().replica(victim).nodeId()));
+
+    uni.restartServer(victim);
+    ASSERT_TRUE(uni.storageOf(victim).running());
+    EXPECT_EQ(uni.storageOf(victim).backend().keyCount(), keysBefore);
+    EXPECT_EQ(uni.archival().server(victim).fragmentCount(),
+              fragsBefore);
+
+    // The archive still reconstructs and reads still locate.
+    ReconstructResult rr = uni.restoreSync(archive);
+    EXPECT_TRUE(rr.success);
+    ReadResult read = uni.readSync(victim, h.guid());
+    EXPECT_TRUE(read.found);
+}
+
+TEST(StorageUniverse, ReadFallsThroughBloomToMeshWhileHolderDown)
+{
+    UniverseConfig cfg = durableConfig();
+    cfg.initialHosts = 3;
+    Universe uni(cfg);
+    KeyPair owner = uni.makeUser();
+    ObjectHandle h = uni.createObject(owner, "ha-doc");
+    std::uint64_t ts = 0;
+    ASSERT_TRUE(
+        uni.writeSync(
+               h.makeAppendUpdate(patternValue(16, 7), 0, {++ts, 1}))
+            .committed);
+    uni.advance(10.0);
+
+    // Crash one host; a read must never be served by a downed node.
+    auto hosts = uni.hosts(h.guid());
+    ASSERT_EQ(hosts.size(), 3u);
+    uni.crashServer(hosts[0]);
+    for (std::size_t from = 0; from < uni.numServers(); from += 5) {
+        ReadResult r = uni.readSync(from, h.guid());
+        if (r.found) {
+            EXPECT_NE(r.servedBy, hosts[0]);
+        }
+    }
+    uni.restartServer(hosts[0]);
+}
+
+TEST(StorageUniverse, DiskFullDegradesGracefully)
+{
+    UniverseConfig cfg = durableConfig();
+    cfg.storage.faults.capacityBytes = 2048; // tiny disks
+    Universe uni(cfg);
+    KeyPair owner = uni.makeUser();
+    ObjectHandle h = uni.createObject(owner, "full-doc");
+    std::uint64_t ts = 0;
+    for (int i = 0; i < 4; i++) {
+        ASSERT_TRUE(uni.writeSync(h.makeAppendUpdate(
+                                      patternValue(256, 1),
+                                      static_cast<VersionNum>(i),
+                                      {++ts, 1}))
+                        .committed);
+        uni.archiveObject(h.guid());
+        uni.advance(20.0);
+    }
+    std::uint64_t enospc = 0;
+    for (std::size_t i = 0; i < uni.numServers(); i++)
+        enospc += uni.storageOf(i).backend().stats().enospcErrors;
+    for (unsigned r = 0; r < 4; r++)
+        enospc += uni.primaryStorage(r).backend().stats().enospcErrors;
+    EXPECT_GT(enospc, 0u); // the capacity limit actually bit
+
+    // Degraded, not dead: reads still serve from RAM replicas.
+    ReadResult read = uni.readSync(0, h.guid());
+    EXPECT_TRUE(read.found);
+    EXPECT_EQ(read.version, 4u);
+}
+
+TEST(ChurnLifecycle, MassTransitionsRouteThroughStorage)
+{
+    Universe uni(durableConfig());
+    ChurnInjector churn(uni.sim(), uni.net(), {});
+    churn.lifecycle = &uni;
+
+    std::vector<NodeId> nodes;
+    for (std::size_t i = 0; i < uni.numServers(); i++)
+        nodes.push_back(uni.secondaryTier().replica(i).nodeId());
+
+    unsigned crashes = 0, recoveries = 0;
+    churn.onCrash = [&](NodeId) { crashes++; };
+    churn.onRecover = [&](NodeId) { recoveries++; };
+
+    auto downed = churn.massFailure(nodes, 0.25);
+    EXPECT_EQ(downed.size(), crashes);
+    for (NodeId n : downed) {
+        EXPECT_FALSE(uni.net().isUp(n));
+        // Symmetry: the node's storage handle died with its links.
+        for (std::size_t i = 0; i < uni.numServers(); i++) {
+            if (uni.secondaryTier().replica(i).nodeId() == n) {
+                EXPECT_FALSE(uni.storageOf(i).running());
+            }
+        }
+    }
+
+    auto recovered = churn.massRecover(nodes);
+    EXPECT_EQ(recovered.size(), downed.size());
+    EXPECT_EQ(recoveries, recovered.size());
+    for (std::size_t i = 0; i < uni.numServers(); i++) {
+        EXPECT_TRUE(uni.storageOf(i).running());
+        EXPECT_TRUE(
+            uni.net().isUp(uni.secondaryTier().replica(i).nodeId()));
+    }
+}
+
+} // namespace
+} // namespace oceanstore

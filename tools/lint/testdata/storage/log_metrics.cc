@@ -1,0 +1,9 @@
+/* Fixture: storage metric literals must round-trip through the
+ * manifest like every other module's. */
+
+void
+registerStorage(Registry *reg)
+{
+    reg->counter("storage.flushes");
+    reg->counter("storage.rogue"); // EXPECT-LINT: metrics-manifest
+}
