@@ -18,6 +18,7 @@
 
 #include "consistency/secondary.h"
 #include "runner.h"
+#include "runtime/sim_runtime.h"
 #include "sim/fault.h"
 
 using namespace oceanstore;
@@ -49,7 +50,8 @@ propagate(std::size_t replicas, bool tree_push, bool invalidate,
     cfg.treePush = tree_push;
     cfg.invalidateAtLeaves = invalidate;
     cfg.antiEntropyPeriod = 0.5;
-    SecondaryTier tier(net, pos, cfg);
+    SimRuntime rt(sim, net);
+    SecondaryTier tier(rt, pos, cfg);
     if (anti_entropy)
         tier.startAntiEntropy();
 
@@ -163,7 +165,8 @@ pushMany(bench::BenchContext &ctx, std::size_t replicas,
     SecondaryConfig cfg;
     cfg.treePush = tree_push;
     cfg.antiEntropyPeriod = 0.5;
-    SecondaryTier tier(net, pos, cfg);
+    SimRuntime rt(sim, net);
+    SecondaryTier tier(rt, pos, cfg);
     tier.startAntiEntropy();
 
     Guid obj = Guid::hashOf("bench-object");

@@ -22,6 +22,7 @@
 #include "archive/archival.h"
 #include "erasure/reed_solomon.h"
 #include "runner.h"
+#include "runtime/sim_runtime.h"
 #include "util/stats.h"
 
 using namespace oceanstore;
@@ -65,7 +66,8 @@ measure(double overfactor, double drop_rate, int trials,
         acfg.requestOverfactor = overfactor;
         acfg.retryTimeout = 4.0;
         acfg.failTimeout = 30.0;
-        ArchivalSystem sys(net, pos, domains, acfg);
+        SimRuntime rt(sim, net);
+        ArchivalSystem sys(rt, pos, domains, acfg);
         auto client = sys.makeClient(0.5, 0.5);
 
         ReedSolomonCode codec(16, 32);

@@ -19,6 +19,7 @@
 
 #include "plaxton/mesh.h"
 #include "runner.h"
+#include "runtime/sim_runtime.h"
 #include "sim/topology.h"
 #include "util/stats.h"
 
@@ -44,7 +45,7 @@ struct World
                                           topo.positions[i].second));
         PlaxtonConfig cfg;
         cfg.numSalts = salts;
-        mesh = std::make_unique<PlaxtonMesh>(net, members, rng, cfg);
+        mesh = std::make_unique<PlaxtonMesh>(rt, members, rng, cfg);
     }
 
     static NetworkConfig
@@ -58,6 +59,7 @@ struct World
     Rng rng;
     Simulator sim;
     Network net;
+    SimRuntime rt{sim, net};
     std::vector<Sink> sinks;
     std::vector<NodeId> members;
     std::unique_ptr<PlaxtonMesh> mesh;

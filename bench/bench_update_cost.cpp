@@ -25,6 +25,7 @@
 #include "obs/profiler.h"
 #include "obs/trace.h"
 #include "runner.h"
+#include "runtime/sim_runtime.h"
 
 using namespace oceanstore;
 
@@ -53,7 +54,8 @@ measureUpdateBytes(unsigned m, std::size_t update_size)
     // must not re-broadcast while the body is still in flight.
     cfg.clientRetry.firstDelay = 120.0;
     cfg.clientRetry.maxDelay = 120.0;
-    PbftCluster cluster(net, pos, registry, cfg);
+    SimRuntime rt(sim, net);
+    PbftCluster cluster(rt, pos, registry, cfg);
     cluster.executor = [](unsigned, const Bytes &, std::uint64_t) {
         return Bytes{1};
     };
@@ -111,7 +113,8 @@ commitLoop(bench::BenchContext &ctx, bool traced)
     cfg.m = m;
     cfg.clientRetry.firstDelay = 120.0;
     cfg.clientRetry.maxDelay = 120.0;
-    PbftCluster cluster(net, pos, registry, cfg);
+    SimRuntime rt(sim, net);
+    PbftCluster cluster(rt, pos, registry, cfg);
     cluster.executor = [](unsigned, const Bytes &, std::uint64_t) {
         return Bytes{1};
     };

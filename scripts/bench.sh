@@ -35,6 +35,7 @@ BENCHES=(
     bench_fragment_requests
     bench_plaxton_locality
     bench_prefetch
+    bench_runtime
     bench_storage
     bench_update_cost
     bench_update_latency

@@ -23,7 +23,7 @@ Timestamp
 Session::makeTimestamp()
 {
     Timestamp ts;
-    ts.time = static_cast<std::uint64_t>(universe_.sim().now() * 1e6) *
+    ts.time = static_cast<std::uint64_t>(universe_.rt().now() * 1e6) *
                   1024 +
               (tsCounter_++ % 1024);
     ts.clientId = clientId_;

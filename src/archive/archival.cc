@@ -159,7 +159,7 @@ ArchivalServer::handleMessage(const Message &msg)
         if (it == store_.end())
             return;
         FragmentBody reply{it->second, body.ticket};
-        sys_.net().send(nodeId_, msg.src,
+        sys_.rt().send(nodeId_, msg.src,
                         makeMessage("arch.fragment", reply,
                                     it->second.wireSize() + 8));
     }
@@ -181,10 +181,10 @@ ArchivalClient::~ArchivalClient()
     // oslint-allow(unordered-iteration): cancel only nulls slots, any order
     for (auto &[ticket, pr] : pending_) {
         if (pr.failTimer != invalidEventId)
-            sys_.net_.sim().cancel(pr.failTimer);
+            sys_.rt_.cancel(pr.failTimer);
     }
     if (nodeId_ != invalidNode)
-        sys_.net_.removeNode(nodeId_);
+        sys_.rt_.removeNode(nodeId_);
 }
 
 void
@@ -228,7 +228,7 @@ ArchivalClient::maybeFinish(std::uint64_t ticket)
     pr.done = true;
     if (pr.retry)
         pr.retry->succeed();
-    sys_.net().sim().cancel(pr.failTimer);
+    sys_.rt().cancel(pr.failTimer);
     pr.failTimer = invalidEventId;
     {
         ArchMetricIds &am = archMetrics();
@@ -237,7 +237,7 @@ ArchivalClient::maybeFinish(std::uint64_t ticket)
     ReconstructResult res;
     res.success = true;
     res.data = std::move(*data);
-    res.latency = sys_.net().sim().now() - pr.startTime;
+    res.latency = sys_.rt().now() - pr.startTime;
     res.fragmentsRequested = pr.requested;
     res.fragmentsReceived = static_cast<unsigned>(pr.received.size());
     if (pr.callback)
@@ -249,17 +249,17 @@ ArchivalClient::maybeFinish(std::uint64_t ticket)
 // ---------------------------------------------------------------------
 
 ArchivalSystem::ArchivalSystem(
-    Network &net,
+    Runtime &rt,
     const std::vector<std::pair<double, double>> &positions,
     const std::vector<unsigned> &domains, ArchiveConfig cfg)
-    : net_(net), cfg_(cfg), auditRng_(cfg.audit.seed)
+    : rt_(rt), cfg_(cfg), auditRng_(cfg.audit.seed)
 {
     if (positions.size() != domains.size())
         fatal("ArchivalSystem: positions/domains size mismatch");
     servers_.reserve(positions.size());
     for (std::size_t i = 0; i < positions.size(); i++) {
         auto srv = std::make_unique<ArchivalServer>(*this, i);
-        srv->nodeId_ = net_.addNode(srv.get(), positions[i].first,
+        srv->nodeId_ = rt_.addNode(srv.get(), positions[i].first,
                                     positions[i].second);
         srv->domain_ = domains[i];
         servers_.push_back(std::move(srv));
@@ -285,7 +285,7 @@ std::unique_ptr<ArchivalClient>
 ArchivalSystem::makeClient(double x, double y)
 {
     auto client = std::make_unique<ArchivalClient>(*this);
-    client->nodeId_ = net_.addNode(client.get(), x, y);
+    client->nodeId_ = rt_.addNode(client.get(), x, y);
     return client;
 }
 
@@ -297,7 +297,7 @@ ArchivalSystem::chooseTargets(unsigned count, std::size_t exclude) const
     // one domain takes out at most ceil(count / #domains) fragments.
     std::map<unsigned, std::vector<std::size_t>> by_domain;
     for (std::size_t i = 0; i < servers_.size(); i++) {
-        if (i == exclude || !net_.isUp(servers_[i]->nodeId()))
+        if (i == exclude || !rt_.isUp(servers_[i]->nodeId()))
             continue;
         by_domain[servers_[i]->domain_].push_back(i);
     }
@@ -343,7 +343,7 @@ ArchivalSystem::disperse(const ErasureCodec &codec, const Bytes &data,
     // Root span of the dispersal: every fragment store message
     // becomes a child, so traces attribute archival traffic to the
     // operation that caused it.
-    ScopedSpan span("archive", "archive.disperse", net_.sim().now(),
+    ScopedSpan span("archive", "archive.disperse", rt_.now(),
                     servers_[source]->nodeId());
     FragmentSet set = fragmentObject(codec, data);
     auto targets = chooseTargets(codec.totalFragments(), source);
@@ -362,7 +362,7 @@ ArchivalSystem::disperse(const ErasureCodec &codec, const Bytes &data,
     for (std::size_t i = 0; i < set.fragments.size(); i++) {
         placement.holders[i] = targets[i];
         StoreBody body{set.fragments[i]};
-        net_.send(src_node, servers_[targets[i]]->nodeId(),
+        rt_.send(src_node, servers_[targets[i]]->nodeId(),
                   makeMessage("arch.store", body,
                               set.fragments[i].wireSize()));
     }
@@ -394,7 +394,7 @@ ArchivalSystem::reconstruct(
     pr.archive = archive;
     pr.codec = placement.codec;
     pr.originalSize = placement.originalSize;
-    pr.startTime = net_.sim().now();
+    pr.startTime = rt_.now();
     pr.haveIndex.assign(placement.codec->totalFragments(), false);
     pr.callback = std::move(done);
 
@@ -405,10 +405,10 @@ ArchivalSystem::reconstruct(
         order[i] = i;
     std::sort(order.begin(), order.end(),
               [&](std::uint32_t a, std::uint32_t b) {
-                  double la = net_.latency(
+                  double la = rt_.latency(
                       client.nodeId(),
                       servers_[placement.holders[a]]->nodeId());
-                  double lb = net_.latency(
+                  double lb = rt_.latency(
                       client.nodeId(),
                       servers_[placement.holders[b]]->nodeId());
                   if (la != lb)
@@ -424,7 +424,7 @@ ArchivalSystem::reconstruct(
             ArchMetricIds &am = archMetrics();
             am.reg->inc(am.fragmentRequests);
         }
-        net_.send(client.nodeId(), servers_[holder]->nodeId(),
+        rt_.send(client.nodeId(), servers_[holder]->nodeId(),
                   makeMessage("arch.request", body,
                               Guid::numBytes + 12));
     };
@@ -453,7 +453,7 @@ ArchivalSystem::reconstruct(
                1);
     RetryPolicy policy{cfg_.retryTimeout, 1.0, cfg_.retryTimeout,
                        escalations + 1, 0.0};
-    pr.retry = std::make_unique<RpcCall>(net_.sim(), policy,
+    pr.retry = std::make_unique<RpcCall>(rt_, policy,
                                          archive.hash64() ^ ticket);
     pr.retry->arm([this, &client, archive, ticket,
                    request_one](unsigned) {
@@ -479,7 +479,7 @@ ArchivalSystem::reconstruct(
 
     // Failure: give up after the hard timeout.  The handle is kept in
     // the pending entry so an early finish cancels the timer.
-    pr.failTimer = net_.sim().schedule(cfg_.failTimeout, [this, &client,
+    pr.failTimer = rt_.schedule(cfg_.failTimeout, [this, &client,
                                                           ticket]() {
         auto it = client.pending_.find(ticket);
         if (it == client.pending_.end() || it->second.done)
@@ -488,7 +488,7 @@ ArchivalSystem::reconstruct(
         if (it->second.retry)
             it->second.retry->succeed();
         ReconstructResult res;
-        res.latency = net_.sim().now() - it->second.startTime;
+        res.latency = rt_.now() - it->second.startTime;
         res.fragmentsRequested = it->second.requested;
         res.fragmentsReceived =
             static_cast<unsigned>(it->second.received.size());
@@ -507,7 +507,7 @@ ArchivalSystem::survivingFragments(const Guid &archive) const
     const Placement &p = it->second;
     for (std::size_t i = 0; i < p.holders.size(); i++) {
         const auto &srv = servers_[p.holders[i]];
-        if (net_.isUp(srv->nodeId()) &&
+        if (rt_.isUp(srv->nodeId()) &&
             srv->holds(archive, static_cast<std::uint32_t>(i))) {
             alive++;
         }
@@ -534,7 +534,7 @@ ArchivalSystem::repairSweep()
         std::vector<Fragment> have;
         for (std::size_t i = 0; i < placement.holders.size(); i++) {
             const auto &srv = servers_[placement.holders[i]];
-            if (!net_.isUp(srv->nodeId()))
+            if (!rt_.isUp(srv->nodeId()))
                 continue;
             auto fit = srv->store_.find(
                 {archive, static_cast<std::uint32_t>(i)});
@@ -551,7 +551,7 @@ ArchivalSystem::repairSweep()
         FragmentSet set = fragmentObject(*placement.codec, *data);
         for (std::size_t i = 0; i < placement.holders.size(); i++) {
             const auto &srv = servers_[placement.holders[i]];
-            bool lost = !net_.isUp(srv->nodeId()) ||
+            bool lost = !rt_.isUp(srv->nodeId()) ||
                         !srv->holds(archive,
                                     static_cast<std::uint32_t>(i));
             if (!lost)
@@ -662,7 +662,7 @@ ArchivalSystem::repairFragment(const Guid &archive, Placement &placement,
     std::vector<Fragment> have;
     for (std::size_t i = 0; i < placement.holders.size(); i++) {
         const auto &srv = servers_[placement.holders[i]];
-        if (!net_.isUp(srv->nodeId()))
+        if (!rt_.isUp(srv->nodeId()))
             continue;
         auto fit = srv->store_.find(
             {archive, static_cast<std::uint32_t>(i)});
@@ -676,7 +676,7 @@ ArchivalSystem::repairFragment(const Guid &archive, Placement &placement,
 
     FragmentSet set = fragmentObject(*placement.codec, *data);
     std::size_t holder = placement.holders[index];
-    if (!net_.isUp(servers_[holder]->nodeId())) {
+    if (!rt_.isUp(servers_[holder]->nodeId())) {
         holder = chooseTargets(1, placement.holders[index])[0];
         placement.holders[index] = holder;
     }
@@ -694,7 +694,7 @@ ArchivalSystem::auditSweep()
 
     // Budget window rollover (aligned to windowStart_, so an idle
     // stretch cannot bank more than one window's budget).
-    double now = net_.sim().now();
+    double now = rt_.now();
     if (cfg_.audit.budgetWindow > 0 &&
         now >= windowStart_ + cfg_.audit.budgetWindow) {
         double gone = std::floor((now - windowStart_) /
@@ -735,7 +735,7 @@ ArchivalSystem::auditSweep()
         auto index = static_cast<std::uint32_t>(flat);
 
         const auto &srv = servers_[placement.holders[flat]];
-        bool healthy = net_.isUp(srv->nodeId());
+        bool healthy = rt_.isUp(srv->nodeId());
         if (healthy) {
             auto fit = srv->store_.find({archive, index});
             healthy = fit != srv->store_.end() && fit->second.verify();
@@ -757,7 +757,7 @@ ArchivalSystem::auditSweep()
 void
 ArchivalSystem::armAuditTimer()
 {
-    auditTimer_ = net_.sim().schedule(cfg_.audit.sweepPeriod, [this]() {
+    auditTimer_ = rt_.schedule(cfg_.audit.sweepPeriod, [this]() {
         auditSweep();
         armAuditTimer();
     });
@@ -768,7 +768,7 @@ ArchivalSystem::startAudit()
 {
     if (auditTimer_ != invalidEventId)
         return;
-    windowStart_ = net_.sim().now();
+    windowStart_ = rt_.now();
     windowUsed_ = 0;
     armAuditTimer();
 }
@@ -776,7 +776,7 @@ ArchivalSystem::startAudit()
 void
 ArchivalSystem::stopAudit()
 {
-    net_.sim().cancel(auditTimer_);
+    rt_.cancel(auditTimer_);
     auditTimer_ = invalidEventId;
 }
 

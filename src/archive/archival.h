@@ -34,9 +34,8 @@
 #include <vector>
 
 #include "erasure/fragment.h"
-#include "sim/network.h"
-#include "sim/rpc.h"
-#include "sim/simulator.h"
+#include "runtime/rpc.h"
+#include "runtime/runtime.h"
 #include "storage/node_storage.h"
 #include "util/random.h"
 
@@ -218,12 +217,12 @@ class ArchivalSystem
 {
   public:
     /**
-     * @param net       network to register servers on
+     * @param rt        runtime to register servers on
      * @param positions one (x, y) per server
      * @param domains   administrative domain of each server
      * @param cfg       tunables
      */
-    ArchivalSystem(Network &net,
+    ArchivalSystem(Runtime &rt,
                    const std::vector<std::pair<double, double>> &positions,
                    const std::vector<unsigned> &domains,
                    ArchiveConfig cfg = {});
@@ -338,7 +337,7 @@ class ArchivalSystem
     bool forget(const Guid &archive);
 
     /** The network. */
-    Network &net() { return net_; }
+    Runtime &rt() { return rt_; }
 
     /** Configuration. */
     const ArchiveConfig &config() const { return cfg_; }
@@ -367,7 +366,7 @@ class ArchivalSystem
     /** (Re)arm the periodic audit timer. */
     void armAuditTimer();
 
-    Network &net_;
+    Runtime &rt_;
     ArchiveConfig cfg_;
     std::vector<std::unique_ptr<ArchivalServer>> servers_;
     std::map<unsigned, double> domainReliability_;

@@ -146,7 +146,7 @@ PbftClient::submit(const Bytes &payload,
     // agreement round it triggers and the dissemination push all
     // become (transitive) children of this span.
     ScopedSpan span("pbft", "client.submit",
-                    cluster_.net().sim().now(), nodeId_);
+                    cluster_.rt().now(), nodeId_);
     {
         PbftMetricIds &pm = pbftMetrics();
         pm.reg->inc(pm.submits);
@@ -156,13 +156,13 @@ PbftClient::submit(const Bytes &payload,
     ByteWriter w;
     w.putU64(clientId_);
     w.putU64(pending_.size() + 1);
-    w.putU64(cluster_.net().sim().eventsExecuted());
+    w.putU64(cluster_.rt().uniqueStamp());
     w.putBlob(payload);
     Guid req_id = Guid::hashOf(w.buffer());
 
     PendingRequest pr;
     pr.payload = payload;
-    pr.submitTime = cluster_.net().sim().now();
+    pr.submitTime = cluster_.rt().now();
     pr.done = std::move(done);
     pending_[req_id] = std::move(pr);
 
@@ -172,7 +172,7 @@ PbftClient::submit(const Bytes &payload,
     // Under ideal circumstances updates flow directly from the client
     // to the primary tier (Section 4.4.4): the full body goes to the
     // current leader (rank 0 from the client's point of view).
-    cluster_.net().send(nodeId_, cluster_.replica(0).nodeId(), m);
+    cluster_.rt().send(nodeId_, cluster_.replica(0).nodeId(), m);
 
     // Retry: while no quorum arrives, periodically broadcast to all
     // replicas — this triggers forwarding (and eventually view
@@ -181,7 +181,7 @@ PbftClient::submit(const Bytes &payload,
     // backoff re-broadcasts until maybeComplete calls succeed().
     PendingRequest &slot = pending_[req_id];
     slot.retry = std::make_unique<RpcCall>(
-        cluster_.net().sim(), cluster_.config().clientRetry,
+        cluster_.rt(), cluster_.config().clientRetry,
         req_id.hash64() ^ clientId_);
     slot.retry->arm([this, req_id](unsigned) {
         auto it = pending_.find(req_id);
@@ -197,7 +197,7 @@ PbftClient::submit(const Bytes &payload,
         Message rm = makeMessage(
             "pbft.request", rb,
             it->second.payload.size() + Guid::numBytes + 8);
-        cluster_.net().multicast(
+        cluster_.rt().multicast(
             nodeId_, cluster_.replicaNodeIds(invalidNode),
             std::move(rm));
     }, [this, req_id]() {
@@ -217,7 +217,7 @@ PbftClient::submit(const Bytes &payload,
         out.requestId = req_id;
         out.completed = false;
         out.latency =
-            cluster_.net().sim().now() - it->second.submitTime;
+            cluster_.rt().now() - it->second.submitTime;
         // The callback may re-enter submit() and rehash pending_;
         // take what we need off the entry first.
         auto done = std::move(it->second.done);
@@ -250,7 +250,7 @@ PbftClient::maybeComplete(const Guid &request_id, PendingRequest &pr,
     out.requestId = request_id;
     out.sequence = seq;
     out.result = result;
-    out.latency = cluster_.net().sim().now() - pr.submitTime;
+    out.latency = cluster_.rt().now() - pr.submitTime;
     out.certificate.sequence = seq;
     out.certificate.result = result;
     for (const auto &[rank, vote] : pr.votes) {
@@ -340,7 +340,7 @@ PbftReplica::assignAndPrePrepare(const Bytes &payload, const Guid &req_id,
 {
     // Span for the leader's ordering step; the pre-prepare multicast
     // becomes its child.
-    ScopedSpan span("pbft", "pbft.assign", cluster_.net().sim().now(),
+    ScopedSpan span("pbft", "pbft.assign", cluster_.rt().now(),
                     nodeId_);
     std::uint64_t seq = nextSeq_++;
     assigned_[req_id] = seq;
@@ -355,7 +355,7 @@ PbftReplica::assignAndPrePrepare(const Bytes &payload, const Guid &req_id,
     PrePrepareBody body{view_, seq, slot.digest, payload, req_id, client};
     Message m = makeMessage("pbft.preprepare", body,
                             payload.size() + pbftControlBytes);
-    cluster_.net().multicast(nodeId_, cluster_.replicaNodeIds(nodeId_),
+    cluster_.rt().multicast(nodeId_, cluster_.replicaNodeIds(nodeId_),
                              std::move(m));
     // The leader's own prepare is implicit in the pre-prepare.
     slot.prepares.insert(rank_);
@@ -380,7 +380,7 @@ PbftReplica::onRequest(const Message &msg)
         Message rm = makeMessage("pbft.reply", rb,
                                  rb.result.size() + signatureWireSize +
                                      pbftReplyExtraBytes);
-        cluster_.net().send(nodeId_, body.client, rm);
+        cluster_.rt().send(nodeId_, body.client, rm);
         return;
     }
 
@@ -409,7 +409,7 @@ PbftReplica::onRequest(const Message &msg)
                     PbftMetricIds &pm = pbftMetrics();
                     pm.reg->inc(pm.preprepareRetransmits);
                 }
-                cluster_.net().multicast(
+                cluster_.rt().multicast(
                     nodeId_, cluster_.replicaNodeIds(nodeId_),
                     std::move(m));
             }
@@ -421,7 +421,7 @@ PbftReplica::onRequest(const Message &msg)
         // Forward to the leader we believe in and arm a view-change
         // timer in case that leader is dead.
         Message fwd = msg;
-        cluster_.net().send(
+        cluster_.rt().send(
             nodeId_,
             cluster_.replica(view_ % cluster_.size()).nodeId(), fwd);
         startViewChangeTimer(body.requestId);
@@ -439,7 +439,7 @@ PbftReplica::startViewChangeTimer(const Guid &req_id)
     // any view can finish its work, and the group thrashes forever.
     double delay = cluster_.config().viewChangeTimeout *
                    static_cast<double>(1u << std::min(view_, 4u));
-    timers_[req_id] = cluster_.net().sim().schedule(
+    timers_[req_id] = cluster_.rt().schedule(
         delay, [this, req_id, armed_view]() {
             timers_.erase(req_id);
             if (fault_ == ReplicaFault::Crash)
@@ -455,7 +455,7 @@ PbftReplica::startViewChangeTimer(const Guid &req_id)
             Message m = makeMessage("pbft.viewchange", vc,
                                     pbftControlBytes);
             onViewChange(m); // deliver own vote directly
-            cluster_.net().multicast(
+            cluster_.rt().multicast(
                 nodeId_, cluster_.replicaNodeIds(nodeId_),
                 std::move(m));
         });
@@ -483,7 +483,7 @@ PbftReplica::onPrePrepare(const Message &msg)
     // Cancel any view-change timer for this request.
     auto tit = timers_.find(body.requestId);
     if (tit != timers_.end()) {
-        cluster_.net().sim().cancel(tit->second);
+        cluster_.rt().cancel(tit->second);
         timers_.erase(tit);
     }
 
@@ -502,7 +502,7 @@ PbftReplica::onPrePrepare(const Message &msg)
     bool had_committed = slot.sentCommit;
     VoteBody vote{view_, body.seq, maybeCorrupt(body.digest), rank_};
     Message m = makeMessage("pbft.prepare", vote, pbftControlBytes);
-    cluster_.net().multicast(nodeId_, cluster_.replicaNodeIds(nodeId_),
+    cluster_.rt().multicast(nodeId_, cluster_.replicaNodeIds(nodeId_),
                              std::move(m));
     slot.prepares.insert(rank_);
     // The leader's prepare is implicit in its pre-prepare (PBFT):
@@ -518,7 +518,7 @@ PbftReplica::onPrePrepare(const Message &msg)
             PbftMetricIds &pm = pbftMetrics();
             pm.reg->inc(pm.commitRetransmits);
         }
-        cluster_.net().multicast(nodeId_,
+        cluster_.rt().multicast(nodeId_,
                                  cluster_.replicaNodeIds(nodeId_),
                                  std::move(cm));
     }
@@ -556,10 +556,10 @@ PbftReplica::tryCommit(std::uint64_t seq)
     // Span for the prepared->commit transition; the commit multicast
     // becomes its child.
     ScopedSpan span("pbft", "pbft.trycommit",
-                    cluster_.net().sim().now(), nodeId_);
+                    cluster_.rt().now(), nodeId_);
     VoteBody vote{view_, seq, maybeCorrupt(slot.digest), rank_};
     Message m = makeMessage("pbft.commit", vote, pbftControlBytes);
-    cluster_.net().multicast(nodeId_, cluster_.replicaNodeIds(nodeId_),
+    cluster_.rt().multicast(nodeId_, cluster_.replicaNodeIds(nodeId_),
                              std::move(m));
     slot.commits.insert(rank_);
     executeReady();
@@ -588,7 +588,7 @@ PbftReplica::executeReady()
     // Span for the execution sweep; client replies sent from the
     // loop below become its children.
     ScopedSpan span("pbft", "pbft.execute",
-                    cluster_.net().sim().now(), nodeId_);
+                    cluster_.rt().now(), nodeId_);
     // Execute committed slots strictly in sequence order.
     for (;;) {
         auto it = slots_.find(lastExecuted_ + 1);
@@ -652,7 +652,7 @@ PbftReplica::executeReady()
                 "pbft.reply", rb,
                 result.size() + signatureWireSize +
                     pbftReplyExtraBytes);
-            cluster_.net().send(nodeId_, slot.client, rm);
+            cluster_.rt().send(nodeId_, slot.client, rm);
         }
     }
 }
@@ -695,7 +695,7 @@ PbftReplica::onViewChange(const Message &msg)
             NewViewBody nv{view_};
             Message m = makeMessage("pbft.newview", nv,
                                     pbftControlBytes);
-            cluster_.net().send(
+            cluster_.rt().send(
                 nodeId_, cluster_.replica(body.rank).nodeId(), m);
         }
         return;
@@ -716,7 +716,7 @@ PbftReplica::onViewChange(const Message &msg)
         ViewChangeBody vc{body.newView, rank_};
         Message m = makeMessage("pbft.viewchange", vc,
                                 pbftControlBytes);
-        cluster_.net().multicast(
+        cluster_.rt().multicast(
             nodeId_, cluster_.replicaNodeIds(nodeId_), std::move(m));
     }
     if (votes.size() < 2 * cluster_.faultTolerance() + 1)
@@ -752,13 +752,13 @@ PbftReplica::onViewChange(const Message &msg)
     // the old view would fire as no-ops yet block re-arming, leaving
     // no path to the next view change once they are spent.
     for (auto &[req_id, ev] : timers_)
-        cluster_.net().sim().cancel(ev);
+        cluster_.rt().cancel(ev);
     timers_.clear();
 
     if (isLeader()) {
         NewViewBody nv{view_};
         Message m = makeMessage("pbft.newview", nv, pbftControlBytes);
-        cluster_.net().multicast(
+        cluster_.rt().multicast(
             nodeId_, cluster_.replicaNodeIds(nodeId_), std::move(m));
         // Re-propose everything we know about that never finished.
         for (const auto &[req_id, pc] : known_) {
@@ -790,7 +790,7 @@ PbftReplica::onNewView(const Message &msg)
             assigned_.erase(req_id);
     }
     for (auto &[req_id, ev] : timers_)
-        cluster_.net().sim().cancel(ev);
+        cluster_.rt().cancel(ev);
     timers_.clear();
 }
 
@@ -799,10 +799,10 @@ PbftReplica::onNewView(const Message &msg)
 // ---------------------------------------------------------------------
 
 PbftCluster::PbftCluster(
-    Network &net,
+    Runtime &rt,
     const std::vector<std::pair<double, double>> &positions,
     KeyRegistry &registry, PbftConfig cfg)
-    : net_(net), cfg_(cfg), registry_(registry)
+    : rt_(rt), cfg_(cfg), registry_(registry)
 {
     unsigned n = 3 * cfg.m + 1;
     if (positions.size() != n)
@@ -813,7 +813,7 @@ PbftCluster::PbftCluster(
     for (unsigned r = 0; r < n; r++) {
         auto rep = std::make_unique<PbftReplica>(*this, r);
         rep->nodeId_ =
-            net_.addNode(rep.get(), positions[r].first,
+            rt_.addNode(rep.get(), positions[r].first,
                          positions[r].second);
         replicas_.push_back(std::move(rep));
         keys_.push_back(registry_.generate());
@@ -824,7 +824,7 @@ std::unique_ptr<PbftClient>
 PbftCluster::makeClient(double x, double y, std::uint64_t client_id)
 {
     auto client = std::make_unique<PbftClient>(*this, client_id);
-    client->nodeId_ = net_.addNode(client.get(), x, y);
+    client->nodeId_ = rt_.addNode(client.get(), x, y);
     return client;
 }
 
@@ -841,7 +841,7 @@ PbftCluster::publicKeys() const
 void
 PbftCluster::broadcast(NodeId from, const Message &msg)
 {
-    net_.multicast(from, replicaNodeIds(from), msg);
+    rt_.multicast(from, replicaNodeIds(from), msg);
 }
 
 std::vector<NodeId>

@@ -13,7 +13,7 @@
  * the paper's cost model  b = c1*n^2 + (u + c2)*n + c3  (Figure 6),
  * with c1 ~ 100-byte agreement messages, the update body u carried
  * once to the leader and once per backup in pre-prepare, and signed
- * replies.  The benchmark measures b from the Network's counters.
+ * replies.  The benchmark measures b from the runtime's counters.
  */
 
 #ifndef OCEANSTORE_CONSISTENCY_BYZANTINE_H
@@ -27,8 +27,8 @@
 #include <vector>
 
 #include "crypto/keys.h"
-#include "sim/network.h"
-#include "sim/rpc.h"
+#include "runtime/rpc.h"
+#include "runtime/runtime.h"
 #include "storage/backend.h"
 #include "util/check.h"
 #include "util/retry.h"
@@ -111,7 +111,7 @@ class PbftCluster;
 
 /**
  * A client endpoint: submits requests and collects m+1 matching
- * replies.  Register on the same Network as the cluster.
+ * replies.  Register on the same Runtime as the cluster.
  */
 class PbftClient : public SimNode
 {
@@ -277,12 +277,12 @@ class PbftCluster
 {
   public:
     /**
-     * @param net        network to register replicas on
+     * @param rt         runtime to register replicas on
      * @param positions  one (x, y) per replica; size must be 3m+1
      * @param registry   signature oracle shared with clients
      * @param cfg        protocol tunables
      */
-    PbftCluster(Network &net,
+    PbftCluster(Runtime &rt,
                 const std::vector<std::pair<double, double>> &positions,
                 KeyRegistry &registry, PbftConfig cfg = {});
 
@@ -330,7 +330,7 @@ class PbftCluster
     std::function<StorageBackend *(unsigned)> storageHook;
 
     /** The network (for latency-free helpers and counters). */
-    Network &net() { return net_; }
+    Runtime &rt() { return rt_; }
 
     /** Protocol configuration. */
     const PbftConfig &config() const { return cfg_; }
@@ -352,10 +352,10 @@ class PbftCluster
     void broadcast(NodeId from, const Message &msg);
 
     /** Node ids of every replica except @p except (pass invalidNode
-     *  to get all of them) — fan-out list for Network::multicast(). */
+     *  to get all of them) — fan-out list for Runtime::multicast(). */
     std::vector<NodeId> replicaNodeIds(NodeId except) const;
 
-    Network &net_;
+    Runtime &rt_;
     PbftConfig cfg_;
     KeyRegistry &registry_;
     std::vector<std::unique_ptr<PbftReplica>> replicas_;

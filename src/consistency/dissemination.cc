@@ -7,10 +7,10 @@
 
 namespace oceanstore {
 
-DisseminationTree::DisseminationTree(Network &net, NodeId root,
+DisseminationTree::DisseminationTree(Runtime &rt, NodeId root,
                                      const std::vector<NodeId> &members,
                                      unsigned fanout)
-    : net_(net), root_(root), members_(members)
+    : rt_(rt), root_(root), members_(members)
 {
     OS_CHECK(fanout > 0, "DisseminationTree: zero fanout");
     all_.push_back(root);
@@ -22,8 +22,8 @@ DisseminationTree::DisseminationTree(Network &net, NodeId root,
     // already-joined node with spare fanout.
     std::vector<NodeId> order = members_;
     std::sort(order.begin(), order.end(), [&](NodeId a, NodeId b) {
-        double la = net_.latency(root, a);
-        double lb = net_.latency(root, b);
+        double la = rt_.latency(root, a);
+        double lb = rt_.latency(root, b);
         if (la != lb)
             return la < lb;
         return a < b;
@@ -36,7 +36,7 @@ DisseminationTree::DisseminationTree(Network &net, NodeId root,
         for (NodeId cand : joined) {
             if (children_[slot(cand)].size() >= fanout)
                 continue;
-            double l = net_.latency(cand, n);
+            double l = rt_.latency(cand, n);
             if (best == invalidNode || l < best_lat) {
                 best = cand;
                 best_lat = l;
@@ -107,7 +107,7 @@ DisseminationTree::maxLatency() const
         double lat = 0.0;
         NodeId cur = n;
         while (parent_[slot(cur)] != invalidNode) {
-            lat += net_.latency(parent_[slot(cur)], cur);
+            lat += rt_.latency(parent_[slot(cur)], cur);
             cur = parent_[slot(cur)];
         }
         worst = std::max(worst, lat);

@@ -19,7 +19,7 @@
 
 #include <vector>
 
-#include "sim/network.h"
+#include "runtime/runtime.h"
 
 namespace oceanstore {
 
@@ -28,12 +28,12 @@ class DisseminationTree
 {
   public:
     /**
-     * @param net     latency source
+     * @param rt      runtime (clock, transport, latency source)
      * @param root    injection point (a primary-tier contact node)
      * @param members secondary replicas to organize
      * @param fanout  maximum children per node
      */
-    DisseminationTree(Network &net, NodeId root,
+    DisseminationTree(Runtime &rt, NodeId root,
                       const std::vector<NodeId> &members,
                       unsigned fanout = 4);
 
@@ -77,7 +77,7 @@ class DisseminationTree
   private:
     std::size_t slot(NodeId n) const;
 
-    Network &net_;
+    Runtime &rt_;
     NodeId root_;
     std::vector<NodeId> members_;
     /** Index maps for root + members. */

@@ -204,14 +204,14 @@ SecondaryReplica::storeTentative(const Update &u, bool gossip)
         return;
     // Rumor mongering: forward a fresh rumor to a few random peers.
     // The fan-out sends become children of this span.
-    ScopedSpan span("sec", "sec.rumor", tier_.net().sim().now(),
+    ScopedSpan span("sec", "sec.rumor", tier_.rt().now(),
                     nodeId_);
     TentativeBody body{u};
     for (unsigned i = 0; i < tier_.config().rumorFanout; i++) {
         std::size_t peer = rng_.below(tier_.size());
         if (peer == index_)
             continue;
-        tier_.net().send(nodeId_, tier_.replica(peer).nodeId(),
+        tier_.rt().send(nodeId_, tier_.replica(peer).nodeId(),
                          makeMessage("sec.tentative", body,
                                      u.wireSize()));
     }
@@ -291,7 +291,7 @@ SecondaryReplica::onPush(const Message &msg)
     if (tier_.config().reliablePush && msg.src != invalidNode) {
         AckBody ack{uid, body.version};
         sm.reg->inc(sm.acks);
-        tier_.net().send(nodeId_, msg.src,
+        tier_.rt().send(nodeId_, msg.src,
                          makeMessage("sec.ack", ack,
                                      Guid::numBytes + 8));
     }
@@ -319,12 +319,12 @@ SecondaryReplica::onPush(const Message &msg)
     if (!inval_children.empty()) {
         InvalBody inv{body.update.objectGuid, body.version,
                       body.update.id()};
-        tier_.net().multicast(nodeId_, inval_children,
+        tier_.rt().multicast(nodeId_, inval_children,
                               makeMessage("sec.inval", inv,
                                           2 * Guid::numBytes + 8));
     }
     if (!push_children.empty()) {
-        tier_.net().multicast(nodeId_, push_children,
+        tier_.rt().multicast(nodeId_, push_children,
                               makeMessage("sec.push", body,
                                           body.update.wireSize() + 8));
         if (tier_.config().reliablePush) {
@@ -334,7 +334,7 @@ SecondaryReplica::onPush(const Message &msg)
             for (NodeId child : push_children) {
                 auto key = std::make_pair(child, uid);
                 auto call = std::make_unique<RpcCall>(
-                    tier_.net().sim(), tier_.config().pushRetry,
+                    tier_.rt(), tier_.config().pushRetry,
                     tier_.config().seed ^ child ^ uid.hash64());
                 call->arm(
                     [this, child, body](unsigned) {
@@ -343,7 +343,7 @@ SecondaryReplica::onPush(const Message &msg)
                             SecMetricIds &m = secMetrics();
                             m.reg->inc(m.pushRetransmits);
                         }
-                        tier_.net().send(
+                        tier_.rt().send(
                             nodeId_, child,
                             makeMessage("sec.push", body,
                                         body.update.wireSize() + 8));
@@ -391,13 +391,13 @@ SecondaryReplica::fetchFromParent(const Guid &obj)
     // Entry-point span: the fetch request up the tree becomes its
     // child.
     ScopedSpan span("sec", "sec.fetch_parent",
-                    tier_.net().sim().now(), nodeId_);
+                    tier_.rt().now(), nodeId_);
     {
         SecMetricIds &sm = secMetrics();
         sm.reg->inc(sm.fetches);
     }
     FetchBody body{obj, committedVersion(obj)};
-    tier_.net().send(nodeId_, parent,
+    tier_.rt().send(nodeId_, parent,
                      makeMessage("sec.fetch", body,
                                  Guid::numBytes + 8));
 }
@@ -418,7 +418,7 @@ SecondaryReplica::onFetch(const Message &msg)
     }
     if (reply.committed.empty())
         return;
-    tier_.net().send(nodeId_, msg.src,
+    tier_.rt().send(nodeId_, msg.src,
                      makeMessage("sec.updates", reply,
                                  updatesWireSize(reply)));
 }
@@ -428,7 +428,7 @@ SecondaryReplica::scheduleAntiEntropy()
 {
     double period = tier_.config().antiEntropyPeriod *
                     rng_.uniform(0.8, 1.2);
-    antiEntropyTimer_ = tier_.net().sim().schedule(period, [this]() {
+    antiEntropyTimer_ = tier_.rt().schedule(period, [this]() {
         if (!tier_.antiEntropyOn_)
             return;
         runAntiEntropy();
@@ -444,7 +444,7 @@ SecondaryReplica::runAntiEntropy()
     // Root span of an anti-entropy round: the digest exchange and any
     // repair traffic it triggers become (transitive) children.
     ScopedSpan span("sec", "sec.antientropy",
-                    tier_.net().sim().now(), nodeId_);
+                    tier_.rt().now(), nodeId_);
     {
         SecMetricIds &sm = secMetrics();
         sm.reg->inc(sm.antiEntropyRounds);
@@ -462,7 +462,7 @@ SecondaryReplica::runAntiEntropy()
     for (const auto &[g, obj] : objects_)
         d.committed[g] = obj.version();
 
-    tier_.net().send(nodeId_, tier_.replica(peer).nodeId(),
+    tier_.rt().send(nodeId_, tier_.replica(peer).nodeId(),
                      makeMessage("sec.digest", d, digestWireSize(d)));
 }
 
@@ -482,7 +482,7 @@ SecondaryReplica::onDigest(const Message &msg)
             pull.fromVersions[g] = committedVersion(g);
     }
     if (!pull.wantTentative.empty() || !pull.fromVersions.empty()) {
-        tier_.net().send(
+        tier_.rt().send(
             nodeId_, d.from,
             makeMessage("sec.pull", pull,
                         pull.wantTentative.size() * Guid::numBytes +
@@ -509,7 +509,7 @@ SecondaryReplica::onDigest(const Message &msg)
             }
         }
         if (!out.tentative.empty() || !out.committed.empty()) {
-            tier_.net().send(nodeId_, d.from,
+            tier_.rt().send(nodeId_, d.from,
                              makeMessage("sec.updates", out,
                                          updatesWireSize(out)));
         }
@@ -536,7 +536,7 @@ SecondaryReplica::onPull(const Message &msg)
         }
     }
     if (!out.tentative.empty() || !out.committed.empty()) {
-        tier_.net().send(nodeId_, msg.src,
+        tier_.rt().send(nodeId_, msg.src,
                          makeMessage("sec.updates", out,
                                      updatesWireSize(out)));
     }
@@ -565,17 +565,17 @@ SecondaryReplica::onUpdates(const Message &msg)
 // ---------------------------------------------------------------------
 
 SecondaryTier::SecondaryTier(
-    Network &net,
+    Runtime &rt,
     const std::vector<std::pair<double, double>> &positions,
     SecondaryConfig cfg)
-    : net_(net), cfg_(cfg), rng_(cfg.seed)
+    : rt_(rt), cfg_(cfg), rng_(cfg.seed)
 {
     if (positions.empty())
         fatal("SecondaryTier: need at least one replica");
     replicas_.reserve(positions.size());
     for (std::size_t i = 0; i < positions.size(); i++) {
         auto rep = std::make_unique<SecondaryReplica>(*this, i);
-        rep->nodeId_ = net_.addNode(rep.get(), positions[i].first,
+        rep->nodeId_ = rt_.addNode(rep.get(), positions[i].first,
                                     positions[i].second);
         byNode_[rep->nodeId_] = i;
         replicas_.push_back(std::move(rep));
@@ -585,7 +585,7 @@ SecondaryTier::SecondaryTier(
     for (std::size_t i = 1; i < replicas_.size(); i++)
         members.push_back(replicas_[i]->nodeId());
     tree_ = std::make_unique<DisseminationTree>(
-        net_, replicas_[0]->nodeId(), members, cfg_.treeFanout);
+        rt_, replicas_[0]->nodeId(), members, cfg_.treeFanout);
 }
 
 void
@@ -593,11 +593,11 @@ SecondaryTier::rebuildTree()
 {
     std::vector<NodeId> members;
     for (std::size_t i = 1; i < replicas_.size(); i++) {
-        if (net_.isUp(replicas_[i]->nodeId()))
+        if (rt_.isUp(replicas_[i]->nodeId()))
             members.push_back(replicas_[i]->nodeId());
     }
     tree_ = std::make_unique<DisseminationTree>(
-        net_, replicas_[0]->nodeId(), members, cfg_.treeFanout);
+        rt_, replicas_[0]->nodeId(), members, cfg_.treeFanout);
 }
 
 void

@@ -24,9 +24,8 @@
 
 #include "consistency/data_object.h"
 #include "consistency/dissemination.h"
-#include "sim/network.h"
-#include "sim/rpc.h"
-#include "sim/simulator.h"
+#include "runtime/rpc.h"
+#include "runtime/runtime.h"
 #include "util/check.h"
 #include "util/random.h"
 #include "util/retry.h"
@@ -147,11 +146,11 @@ class SecondaryTier
 {
   public:
     /**
-     * @param net       network to register replicas on
+     * @param rt        runtime to register replicas on
      * @param positions one (x, y) per replica; replica 0 is the tree
      *                  root (the primary tier's contact point)
      */
-    SecondaryTier(Network &net,
+    SecondaryTier(Runtime &rt,
                   const std::vector<std::pair<double, double>> &positions,
                   SecondaryConfig cfg = {});
 
@@ -210,7 +209,7 @@ class SecondaryTier
     void rebuildTree();
 
     /** The network. */
-    Network &net() { return net_; }
+    Runtime &rt() { return rt_; }
 
     /** Configuration. */
     const SecondaryConfig &config() const { return cfg_; }
@@ -218,7 +217,7 @@ class SecondaryTier
   private:
     friend class SecondaryReplica;
 
-    Network &net_;
+    Runtime &rt_;
     SecondaryConfig cfg_;
     Rng rng_;
     bool antiEntropyOn_ = false;

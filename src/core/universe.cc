@@ -5,6 +5,7 @@
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "runtime/sim_runtime.h"
 #include "sim/topology.h"
 #include "util/check.h"
 #include "util/logging.h"
@@ -41,9 +42,29 @@ coreMetrics()
 } // namespace
 
 Universe::Universe(UniverseConfig cfg)
-    : cfg_(cfg), rng_(cfg.seed), net_(sim_, cfg.network),
-      registry_(cfg.seed ^ 0x5a5a5a5au),
+    : cfg_(cfg), rng_(cfg.seed), registry_(cfg.seed ^ 0x5a5a5a5au),
       semantic_(4), prefetcher_(2, 2), replicaMgr_(cfg.replicaPolicy)
+{
+    // 0. Runtime backend (DESIGN.md section 15).  Sim mode wraps an
+    //    owned simulator/network pair in the zero-cost adapter, so
+    //    everything below is byte-identical to the pre-Runtime tree;
+    //    threaded mode swaps in the worker-pool backend wholesale.
+    if (cfg_.runtime == RuntimeKind::Sim) {
+        sim_ = std::make_unique<Simulator>();
+        net_ = std::make_unique<Network>(*sim_, cfg_.network);
+        rt_ = std::make_unique<SimRuntime>(*sim_, *net_, cfg_.seed);
+    } else {
+        rt_ = std::make_unique<ThreadedRuntime>(cfg_.threaded);
+    }
+
+    // Assemble on the strand: in threaded mode this keeps worker and
+    // timer callbacks from interleaving with construction; in sim
+    // mode execute() is a plain call.
+    rt_->execute([&]() { assemble(); });
+}
+
+void
+Universe::assemble()
 {
     // 1. Overlay topology for the secondary tier and Bloom locator.
     topo_ = makeGeometricTopology(cfg_.numServers, cfg_.overlayDegree,
@@ -51,14 +72,14 @@ Universe::Universe(UniverseConfig cfg)
 
     // 2. Secondary tier replicas at the topology's positions (replica
     //    i <-> overlay node i <-> NodeId i).
-    tier_ = std::make_unique<SecondaryTier>(net_, topo_.positions,
+    tier_ = std::make_unique<SecondaryTier>(*rt_, topo_.positions,
                                             cfg_.secondary);
 
     // 3. Global location mesh over the secondary servers.
     std::vector<NodeId> members;
     for (std::size_t i = 0; i < cfg_.numServers; i++)
         members.push_back(tier_->replica(i).nodeId());
-    mesh_ = std::make_unique<PlaxtonMesh>(net_, members, rng_,
+    mesh_ = std::make_unique<PlaxtonMesh>(*rt_, members, rng_,
                                           cfg_.plaxton);
 
     // 4. Probabilistic locator over the same overlay.
@@ -73,7 +94,7 @@ Universe::Universe(UniverseConfig cfg)
         tier_pos.emplace_back(0.5 + 0.04 * std::cos(angle),
                               0.5 + 0.04 * std::sin(angle));
     }
-    pbft_ = std::make_unique<PbftCluster>(net_, tier_pos, registry_,
+    pbft_ = std::make_unique<PbftCluster>(*rt_, tier_pos, registry_,
                                           cfg_.pbft);
     primaryObjects_.resize(n);
     client_ = pbft_->makeClient(0.5, 0.5, 1);
@@ -90,7 +111,7 @@ Universe::Universe(UniverseConfig cfg)
             side - 1, static_cast<unsigned>(y * side));
         domains.push_back((dx * side + dy) % cfg_.archiveDomains);
     }
-    archive_ = std::make_unique<ArchivalSystem>(net_, topo_.positions,
+    archive_ = std::make_unique<ArchivalSystem>(*rt_, topo_.positions,
                                                 domains, cfg_.archive);
     archiveClient_ = archive_->makeClient(0.5, 0.5);
     archiveCodec_ = std::make_unique<ReedSolomonCode>(
@@ -139,7 +160,14 @@ Universe::Universe(UniverseConfig cfg)
     wireCommitPath();
 }
 
-Universe::~Universe() = default;
+Universe::~Universe()
+{
+    // Threaded mode: stop the worker pool and timer wheel before any
+    // protocol tier (a registered endpoint) is torn down, so no
+    // runtime thread can call into a half-destroyed node.
+    if (cfg_.runtime == RuntimeKind::Threaded)
+        static_cast<ThreadedRuntime &>(*rt_).shutdown();
+}
 
 void
 Universe::wireCommitPath()
@@ -212,14 +240,27 @@ Universe::executeUpdate(unsigned rank, const Bytes &payload,
 KeyPair
 Universe::makeUser()
 {
-    return registry_.generate();
+    // Every public entry point below joins the runtime strand, so in
+    // threaded mode any number of client threads may call the
+    // Universe API concurrently; in sim mode execute() is a plain
+    // call and nothing changes.
+    KeyPair kp;
+    rt_->execute([&]() { kp = registry_.generate(); });
+    return kp;
 }
 
 ObjectHandle
 Universe::createObject(const KeyPair &owner, const std::string &name)
 {
     ObjectHandle handle(owner, name);
+    rt_->execute([&]() { createObjectLocked(handle, owner); });
+    return handle;
+}
 
+void
+Universe::createObjectLocked(const ObjectHandle &handle,
+                             const KeyPair &owner)
+{
     // Owner-signed ACL: the owner may write (Section 4.2).
     Acl acl;
     acl.grant(owner.publicKey,
@@ -236,26 +277,27 @@ Universe::createObject(const KeyPair &owner, const std::string &name)
     auto picks = rng_.sampleIndices(cfg_.numServers, want);
     for (std::size_t idx : picks)
         addHost(handle.guid(), idx);
-
-    return handle;
 }
 
 void
 Universe::grantWrite(const ObjectHandle &handle, const KeyPair &owner,
                      const Bytes &writer_key)
 {
+    rt_->execute([&]() {
     const Acl *current = guard_.aclFor(handle.guid());
     Acl acl = current ? *current : Acl();
     acl.grant(writer_key, static_cast<std::uint8_t>(Privilege::Write));
     AclCertificate cert = AclCertificate::issue(handle.guid(), acl,
                                                 owner);
     guard_.install(cert, acl, registry_);
+    });
 }
 
 void
 Universe::syncGroupAcl(const ObjectHandle &handle, const KeyPair &owner,
                        const WorkingGroup &group)
 {
+    rt_->execute([&]() {
     // Materialize from a clean base (owner only) so expelled members
     // do not linger from earlier materializations.
     Acl base;
@@ -267,12 +309,14 @@ Universe::syncGroupAcl(const ObjectHandle &handle, const KeyPair &owner,
     AclCertificate cert = AclCertificate::issue(handle.guid(), acl,
                                                 owner);
     guard_.install(cert, acl, registry_);
+    });
 }
 
 unsigned
 Universe::collocateClusters(double min_weight)
 {
     unsigned created = 0;
+    rt_->execute([&]() {
     for (const auto &cluster : semantic_.clusters(min_weight)) {
         // Pick the server already hosting the most cluster members.
         std::map<std::size_t, unsigned> host_counts;
@@ -302,44 +346,52 @@ Universe::collocateClusters(double min_weight)
             }
         }
     }
+    });
     return created;
 }
 
 std::vector<std::size_t>
 Universe::hosts(const Guid &obj) const
 {
-    auto it = hosts_.find(obj);
-    if (it == hosts_.end())
-        return {};
-    return std::vector<std::size_t>(it->second.begin(),
-                                    it->second.end());
+    std::vector<std::size_t> out;
+    rt_->execute([&]() {
+        auto it = hosts_.find(obj);
+        if (it != hosts_.end())
+            out.assign(it->second.begin(), it->second.end());
+    });
+    return out;
 }
 
 void
 Universe::addHost(const Guid &obj, std::size_t idx)
 {
-    if (!hosts_[obj].insert(idx).second)
-        return;
-    bloom_->addObject(static_cast<NodeId>(idx), obj);
-    mesh_->publish(obj, tier_->replica(idx).nodeId());
+    rt_->execute([&]() {
+        if (!hosts_[obj].insert(idx).second)
+            return;
+        bloom_->addObject(static_cast<NodeId>(idx), obj);
+        mesh_->publish(obj, tier_->replica(idx).nodeId());
+    });
 }
 
 void
 Universe::removeHost(const Guid &obj, std::size_t idx)
 {
-    auto hit = hosts_.find(obj);
-    if (hit == hosts_.end() || !hit->second.erase(idx))
-        return;
-    bloom_->removeObject(static_cast<NodeId>(idx), obj);
-    mesh_->unpublish(obj, tier_->replica(idx).nodeId());
+    rt_->execute([&]() {
+        auto hit = hosts_.find(obj);
+        if (hit == hosts_.end() || !hit->second.erase(idx))
+            return;
+        bloom_->removeObject(static_cast<NodeId>(idx), obj);
+        mesh_->unpublish(obj, tier_->replica(idx).nodeId());
+    });
 }
 
 void
 Universe::write(const Update &u, std::function<void(WriteResult)> done)
 {
+    rt_->execute([&]() {
     // Root span for the whole update path: serialization, the PBFT
     // rounds and the dissemination push all nest under it.
-    ScopedSpan span("core", "core.write", sim_.now());
+    ScopedSpan span("core", "core.write", rt_->now());
     {
         CoreMetricIds &cm = coreMetrics();
         cm.reg->inc(cm.writes);
@@ -357,6 +409,7 @@ Universe::write(const Update &u, std::function<void(WriteResult)> done)
         if (done)
             done(wr);
     });
+    });
 }
 
 WriteResult
@@ -368,7 +421,7 @@ Universe::writeSync(const Update &u)
         result = wr;
         fired = true;
     });
-    runUntil([&]() { return fired; }, sim_.now() + 600.0);
+    runUntil([&]() { return fired; }, rt_->now() + 600.0);
     return result;
 }
 
@@ -376,8 +429,9 @@ void
 Universe::read(std::size_t from_server, const Guid &obj,
                std::function<void(ReadResult)> done)
 {
+    rt_->execute([&]() {
     ReadResult res;
-    ScopedSpan span("core", "core.read", sim_.now());
+    ScopedSpan span("core", "core.read", rt_->now());
     CoreMetricIds &cm = coreMetrics();
     cm.reg->inc(cm.reads);
 
@@ -391,16 +445,16 @@ Universe::read(std::size_t from_server, const Guid &obj,
     std::size_t holder = invalidNode;
     double latency = 0.0;
     if (bq.found &&
-        net_.isUp(tier_->replica(bq.location).nodeId())) {
+        rt_->isUp(tier_->replica(bq.location).nodeId())) {
         res.viaBloom = true;
         holder = bq.location;
         for (std::size_t i = 1; i < bq.path.size(); i++) {
-            latency += net_.latency(
+            latency += rt_->latency(
                 tier_->replica(bq.path[i - 1]).nodeId(),
                 tier_->replica(bq.path[i]).nodeId());
         }
         // Response routes directly back to the requester.
-        latency += net_.latency(tier_->replica(holder).nodeId(),
+        latency += rt_->latency(tier_->replica(holder).nodeId(),
                                 tier_->replica(from_server).nodeId());
     } else {
         // Tier 2: the global mesh (Section 4.3.3).  Also the fallback
@@ -418,7 +472,7 @@ Universe::read(std::size_t from_server, const Guid &obj,
                 }
             }
             latency = lr.latency +
-                      net_.latency(lr.location,
+                      rt_->latency(lr.location,
                                    tier_->replica(from_server).nodeId());
         }
     }
@@ -448,7 +502,7 @@ Universe::read(std::size_t from_server, const Guid &obj,
             }
             latency +=
                 lr.latency +
-                net_.latency(lr.location,
+                rt_->latency(lr.location,
                              tier_->replica(from_server).nodeId());
             break;
         }
@@ -468,10 +522,11 @@ Universe::read(std::size_t from_server, const Guid &obj,
     }
     res.latency = latency;
 
-    sim_.schedule(latency, [res = std::move(res),
+    rt_->schedule(latency, [res = std::move(res),
                             done = std::move(done)]() {
         if (done)
             done(res);
+    });
     });
 }
 
@@ -484,12 +539,20 @@ Universe::readSync(std::size_t from_server, const Guid &obj)
         result = std::move(rr);
         fired = true;
     });
-    runUntil([&]() { return fired; }, sim_.now() + 600.0);
+    runUntil([&]() { return fired; }, rt_->now() + 600.0);
     return result;
 }
 
 Guid
 Universe::archiveObject(const Guid &obj)
+{
+    Guid out;
+    rt_->execute([&]() { out = archiveObjectLocked(obj); });
+    return out;
+}
+
+Guid
+Universe::archiveObjectLocked(const Guid &obj)
 {
     auto it = primaryObjects_[0].find(obj);
     if (it == primaryObjects_[0].end())
@@ -501,9 +564,9 @@ Universe::archiveObject(const Guid &obj)
     std::size_t source = 0;
     double best = 1e9;
     for (std::size_t i = 0; i < archive_->size(); i++) {
-        double d = std::hypot(net_.xOf(archive_->server(i).nodeId()) -
+        double d = std::hypot(rt_->xOf(archive_->server(i).nodeId()) -
                                   0.5,
-                              net_.yOf(archive_->server(i).nodeId()) -
+                              rt_->yOf(archive_->server(i).nodeId()) -
                                   0.5);
         if (d < best) {
             best = d;
@@ -600,13 +663,15 @@ Universe::restoreSync(const Guid &archive_guid)
                               result = r;
                               fired = true;
                           });
-    runUntil([&]() { return fired; }, sim_.now() + 600.0);
+    runUntil([&]() { return fired; }, rt_->now() + 600.0);
     return result;
 }
 
 std::vector<ReplicaAction>
 Universe::runReplicaManagementEpoch()
 {
+    std::vector<ReplicaAction> actions;
+    rt_->execute([&]() {
     std::vector<ReplicaLoad> loads;
     for (const auto &[obj, host_set] : hosts_) {
         for (std::size_t idx : host_set) {
@@ -644,9 +709,9 @@ Universe::runReplicaManagementEpoch()
             order.push_back(i);
         std::sort(order.begin(), order.end(),
                   [&](std::size_t a, std::size_t b) {
-                      return net_.latency(anchor,
+                      return rt_->latency(anchor,
                                           tier_->replica(a).nodeId()) <
-                             net_.latency(anchor,
+                             rt_->latency(anchor,
                                           tier_->replica(b).nodeId());
                   });
         std::vector<NodeId> cands;
@@ -657,7 +722,7 @@ Universe::runReplicaManagementEpoch()
         candidates[l.host] = std::move(cands);
     }
 
-    auto actions = replicaMgr_.decide(loads, candidates);
+    actions = replicaMgr_.decide(loads, candidates);
 
     // Confidence estimation (Section 4.7.2): when past replica
     // creations have been hurting, suppress new ones (with periodic
@@ -686,6 +751,7 @@ Universe::runReplicaManagementEpoch()
     }
     accessLoad_.clear();
     readerLoad_.clear();
+    });
     return actions;
 }
 
@@ -722,8 +788,8 @@ Universe::crashServer(std::size_t idx)
         }
     }
     NodeId tnode = tier_->replica(idx).nodeId();
-    net_.setDown(tnode);
-    net_.setDown(archive_->server(idx).nodeId());
+    rt_->setDown(tnode);
+    rt_->setDown(archive_->server(idx).nodeId());
     // RAM state is amnesia: the archival fragment map empties (only
     // the disk survives) and the mesh forgets the node wholesale.
     archive_->server(idx).clearForCrash();
@@ -741,8 +807,8 @@ Universe::restartServer(std::size_t idx)
     if (!serverStorage_[idx]->running())
         serverStorage_[idx]->restart();
     NodeId tnode = tier_->replica(idx).nodeId();
-    net_.setUp(tnode);
-    net_.setUp(archive_->server(idx).nodeId());
+    rt_->setUp(tnode);
+    rt_->setUp(archive_->server(idx).nodeId());
     std::size_t frags = archive_->server(idx).restoreFromStorage();
     std::size_t ptrs = mesh_->restoreNode(tnode);
     // Pointers TO this node's floating replicas were purged from the
@@ -768,7 +834,7 @@ Universe::crashPrimary(unsigned rank)
              rank, " of ", primaryStorage_.size());
     if (primaryStorage_[rank]->running())
         primaryStorage_[rank]->crash();
-    net_.setDown(pbft_->replica(rank).nodeId());
+    rt_->setDown(pbft_->replica(rank).nodeId());
     // The replica's application state is RAM: it must be rebuilt from
     // the durable update log on restart.
     primaryObjects_[rank].clear();
@@ -781,7 +847,7 @@ Universe::restartPrimary(unsigned rank)
              rank, " of ", primaryStorage_.size());
     if (!primaryStorage_[rank]->running())
         primaryStorage_[rank]->restart();
-    net_.setUp(pbft_->replica(rank).nodeId());
+    rt_->setUp(pbft_->replica(rank).nodeId());
     std::uint64_t replayed = pbft_->replica(rank).restoreFromLog();
     logInfo("universe: primary rank ", rank, " restarted, replayed ",
             replayed, " committed updates");
@@ -800,7 +866,7 @@ Universe::shutdown(NodeId n)
         crashPrimary(pit->second);
         return;
     }
-    net_.setDown(n); // not a storage-owning node: link state only
+    rt_->setDown(n); // not a storage-owning node: link state only
 }
 
 void
@@ -816,19 +882,13 @@ Universe::restart(NodeId n)
         restartPrimary(pit->second);
         return;
     }
-    net_.setUp(n);
+    rt_->setUp(n);
 }
 
 bool
 Universe::runUntil(const std::function<bool()> &pred, double max_time)
 {
-    while (!pred()) {
-        if (sim_.now() > max_time)
-            return pred();
-        if (!sim_.step())
-            return pred();
-    }
-    return true;
+    return rt_->runUntil(pred, max_time);
 }
 
 } // namespace oceanstore

@@ -46,11 +46,21 @@
 #include "introspect/prefetch.h"
 #include "introspect/replica_mgmt.h"
 #include "plaxton/mesh.h"
+#include "runtime/runtime.h"
+#include "runtime/threaded_runtime.h"
 #include "sim/churn.h"
 #include "storage/node_storage.h"
+#include "util/check.h"
 #include "util/retry.h"
 
 namespace oceanstore {
+
+/** Which Runtime backend drives the universe. */
+enum class RuntimeKind
+{
+    Sim,      //!< Deterministic discrete-event simulation (default).
+    Threaded, //!< Real threads + wall clock (OCEANSTORE_THREADED).
+};
 
 /** Universe-wide configuration. */
 struct UniverseConfig
@@ -71,6 +81,15 @@ struct UniverseConfig
      */
     RetryPolicy locationRetry{1.0, 2.0, 8.0, 3, 0.0};
     std::uint64_t seed = 0x0cea5042u;
+
+    /**
+     * Runtime backend (DESIGN.md section 15).  Sim keeps the historic
+     * byte-exact behavior; Threaded serves the same API from a real
+     * worker pool + timer wheel and requires OCEANSTORE_THREADED.
+     */
+    RuntimeKind runtime = RuntimeKind::Sim;
+    /** Tunables for the threaded backend (ignored in Sim mode). */
+    ThreadedConfig threaded;
 
     NetworkConfig network;
     BloomLocationConfig bloom;
@@ -121,8 +140,25 @@ class Universe : public NodeLifecycle
 
     // --- infrastructure access ----------------------------------------
 
-    Simulator &sim() { return sim_; }
-    Network &net() { return net_; }
+    /** The runtime backend every tier is wired through. */
+    Runtime &rt() { return *rt_; }
+
+    /** Sim-mode only: the underlying discrete-event simulator. */
+    Simulator &
+    sim()
+    {
+        OS_CHECK(sim_ != nullptr, "Universe::sim(): threaded mode");
+        return *sim_;
+    }
+
+    /** Sim-mode only: the underlying simulated network. */
+    Network &
+    net()
+    {
+        OS_CHECK(net_ != nullptr, "Universe::net(): threaded mode");
+        return *net_;
+    }
+
     KeyRegistry &registry() { return registry_; }
     PbftCluster &primaryTier() { return *pbft_; }
     SecondaryTier &secondaryTier() { return *tier_; }
@@ -322,10 +358,18 @@ class Universe : public NodeLifecycle
      */
     bool runUntil(const std::function<bool()> &pred, double max_time);
 
-    /** Advance simulated time by @p seconds, processing events. */
-    void advance(double seconds) { sim_.runUntil(sim_.now() + seconds); }
+    /** Advance runtime time by @p seconds, processing events. */
+    void advance(double seconds) { rt_->advance(seconds); }
 
   private:
+    /** Build every tier against rt_ (runs on the runtime strand). */
+    void assemble();
+
+    /** Strand-side halves of the wrapped public entry points. */
+    void createObjectLocked(const ObjectHandle &handle,
+                            const KeyPair &owner);
+    Guid archiveObjectLocked(const Guid &obj);
+
     /** Wire the executor / onCommit hooks into the PBFT cluster. */
     void wireCommitPath();
 
@@ -335,8 +379,11 @@ class Universe : public NodeLifecycle
 
     UniverseConfig cfg_;
     Rng rng_;
-    Simulator sim_;
-    Network net_;
+    /** Sim mode owns a simulator + network wrapped by a SimRuntime;
+     *  threaded mode owns only a ThreadedRuntime (sim_/net_ null). */
+    std::unique_ptr<Simulator> sim_;
+    std::unique_ptr<Network> net_;
+    std::unique_ptr<Runtime> rt_;
     KeyRegistry registry_;
 
     Topology topo_;

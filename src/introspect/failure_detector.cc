@@ -15,16 +15,16 @@ constexpr std::size_t heartbeatWireBytes = 8;
 
 } // namespace
 
-FailureDetector::FailureDetector(Simulator &sim, Network &net, double x,
+FailureDetector::FailureDetector(Runtime &rt, double x,
                                  double y, FailureDetectorConfig cfg)
-    : sim_(sim), net_(net), cfg_(cfg), rng_(cfg.seed)
+    : rt_(rt), cfg_(cfg), rng_(cfg.seed)
 {
     OS_CHECK(cfg.heartbeatPeriod > 0 && cfg.sweepPeriod > 0,
              "FailureDetector: non-positive period");
     OS_CHECK(cfg.suspectTimeout > cfg.heartbeatPeriod,
              "FailureDetector: suspectTimeout ", cfg.suspectTimeout,
              " must exceed heartbeatPeriod ", cfg.heartbeatPeriod);
-    self_ = net_.addNode(this, x, y);
+    self_ = rt_.addNode(this, x, y);
 }
 
 void
@@ -34,7 +34,7 @@ FailureDetector::monitor(const std::vector<NodeId> &nodes)
         if (lastSeen_.count(n))
             continue;
         // Grace: a fresh node is as good as just-heard-from.
-        lastSeen_[n] = sim_.now();
+        lastSeen_[n] = rt_.now();
         if (running_) {
             scheduleHeartbeat(
                 n, rng_.uniform(0.0, cfg_.heartbeatPeriod));
@@ -49,7 +49,7 @@ FailureDetector::start()
         return;
     running_ = true;
     for (auto &[n, seen] : lastSeen_) {
-        seen = sim_.now();
+        seen = rt_.now();
         // Stagger phases so heartbeats don't arrive in lockstep.
         scheduleHeartbeat(n, rng_.uniform(0.0, cfg_.heartbeatPeriod));
     }
@@ -59,12 +59,12 @@ FailureDetector::start()
 void
 FailureDetector::scheduleHeartbeat(NodeId n, double delay)
 {
-    heartbeatTimers_[n] = sim_.schedule(delay, [this, n]() {
+    heartbeatTimers_[n] = rt_.schedule(delay, [this, n]() {
         if (!running_)
             return;
         // The heartbeat originates at the monitored node; a crashed
         // sender transmits nothing, drops and partitions apply.
-        net_.send(n, self_,
+        rt_.send(n, self_,
                   makeMessage("fd.heartbeat", HeartbeatBody{n},
                               heartbeatWireBytes));
         scheduleHeartbeat(n, cfg_.heartbeatPeriod);
@@ -77,7 +77,7 @@ FailureDetector::scheduleSweep()
     if (sweepArmed_)
         return;
     sweepArmed_ = true;
-    sweepTimer_ = sim_.schedule(cfg_.sweepPeriod, [this]() {
+    sweepTimer_ = rt_.schedule(cfg_.sweepPeriod, [this]() {
         sweepArmed_ = false;
         if (!running_)
             return;
@@ -95,7 +95,7 @@ FailureDetector::handleMessage(const Message &msg)
     auto it = lastSeen_.find(body.node);
     if (it == lastSeen_.end())
         return; // not monitored
-    it->second = sim_.now();
+    it->second = rt_.now();
 
     if (suspects_.erase(body.node)) {
         restoreEvents_++;
@@ -110,7 +110,7 @@ FailureDetector::sweep()
 {
     bool changed = false;
     for (const auto &[n, seen] : lastSeen_) {
-        if (sim_.now() - seen < cfg_.suspectTimeout)
+        if (rt_.now() - seen < cfg_.suspectTimeout)
             continue;
         if (!suspects_.insert(n).second)
             continue;
@@ -136,7 +136,7 @@ FailureDetector::emitEvent(const char *type, NodeId n)
     Event e;
     e.type = type;
     e.fields["node"] = static_cast<double>(n);
-    e.fields["time"] = sim_.now();
+    e.fields["time"] = rt_.now();
     observer_->onEvent(e);
     observer_->db().record(std::string(type) + ".count", 1.0,
                            ObservationDb::Merge::Sum);

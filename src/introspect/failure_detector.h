@@ -24,8 +24,7 @@
 #include <vector>
 
 #include "introspect/observation.h"
-#include "sim/network.h"
-#include "sim/simulator.h"
+#include "runtime/runtime.h"
 #include "util/random.h"
 
 namespace oceanstore {
@@ -54,7 +53,7 @@ struct FailureDetectorConfig
 class FailureDetector : public SimNode
 {
   public:
-    FailureDetector(Simulator &sim, Network &net, double x, double y,
+    FailureDetector(Runtime &rt, double x, double y,
                     FailureDetectorConfig cfg = {});
 
     /** Add @p nodes to the monitored set (before or after start()). */
@@ -71,10 +70,10 @@ class FailureDetector : public SimNode
         running_ = false;
         for (const auto &[n, ev] : heartbeatTimers_) {
             (void)n;
-            sim_.cancel(ev);
+            rt_.cancel(ev);
         }
         heartbeatTimers_.clear();
-        sim_.cancel(sweepTimer_);
+        rt_.cancel(sweepTimer_);
         sweepTimer_ = invalidEventId;
         sweepArmed_ = false;
     }
@@ -115,8 +114,7 @@ class FailureDetector : public SimNode
     void sweep();
     void emitEvent(const char *type, NodeId n);
 
-    Simulator &sim_;
-    Network &net_;
+    Runtime &rt_;
     FailureDetectorConfig cfg_;
     Rng rng_;
     NodeId self_ = invalidNode;

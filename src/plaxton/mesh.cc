@@ -38,9 +38,9 @@ plaxtonMetrics()
 
 } // namespace
 
-PlaxtonMesh::PlaxtonMesh(Network &net, const std::vector<NodeId> &members,
+PlaxtonMesh::PlaxtonMesh(Runtime &rt, const std::vector<NodeId> &members,
                          Rng &rng, PlaxtonConfig cfg)
-    : net_(net), cfg_(cfg), members_(members)
+    : rt_(rt), cfg_(cfg), members_(members)
 {
     states_.resize(members_.size());
     for (std::size_t i = 0; i < members_.size(); i++) {
@@ -75,7 +75,7 @@ PlaxtonMesh::alive(NodeId n) const
     auto it = index_.find(n);
     if (it == index_.end())
         return false;
-    return states_[it->second].alive && net_.isUp(n);
+    return states_[it->second].alive && rt_.isUp(n);
 }
 
 void
@@ -107,8 +107,8 @@ PlaxtonMesh::buildTable(std::size_t idx)
         for (auto &entry : level) {
             auto &c = entry.candidates;
             std::sort(c.begin(), c.end(), [&](NodeId a, NodeId b) {
-                double la = net_.latency(self, a);
-                double lb = net_.latency(self, b);
+                double la = rt_.latency(self, a);
+                double lb = rt_.latency(self, b);
                 if (la != lb)
                     return la < lb;
                 return a < b;
@@ -165,7 +165,7 @@ PlaxtonMesh::route(NodeId from, const Guid &target) const
             if (d != eff.digit(l))
                 eff = eff.withDigit(l, d); // surrogate substitution
             if (cand != cur_node) {
-                res.latency += net_.latency(cur_node, cand);
+                res.latency += rt_.latency(cur_node, cand);
                 res.path.push_back(cand);
                 cur = indexOf(cand);
             }
@@ -280,7 +280,7 @@ PlaxtonMesh::locateWithSalt(NodeId from, const Guid &g,
     double lat = 0.0;
     for (std::size_t i = 0; i < r.path.size(); i++) {
         if (i > 0)
-            lat += net_.latency(r.path[i - 1], r.path[i]);
+            lat += rt_.latency(r.path[i - 1], r.path[i]);
         const NodeState &st = states_[indexOf(r.path[i])];
         auto it = st.pointers.find(g);
         if (it == st.pointers.end())
@@ -291,7 +291,7 @@ PlaxtonMesh::locateWithSalt(NodeId from, const Guid &g,
         for (NodeId storer : it->second) {
             if (!alive(storer))
                 continue;
-            double dl = net_.latency(r.path[i], storer);
+            double dl = rt_.latency(r.path[i], storer);
             if (best == invalidNode || dl < best_lat) {
                 best = storer;
                 best_lat = dl;
@@ -371,8 +371,8 @@ PlaxtonMesh::announce(std::size_t idx)
                 continue;
             c.push_back(self);
             std::sort(c.begin(), c.end(), [&](NodeId a, NodeId b) {
-                double la = net_.latency(other_node, a);
-                double lb = net_.latency(other_node, b);
+                double la = rt_.latency(other_node, a);
+                double lb = rt_.latency(other_node, b);
                 if (la != lb)
                     return la < lb;
                 return a < b;
@@ -439,7 +439,7 @@ PlaxtonMesh::repair()
 {
     // 1. Purge dead candidates and refill routing tables.
     for (std::size_t i = 0; i < states_.size(); i++) {
-        if (!states_[i].alive || !net_.isUp(members_[i]))
+        if (!states_[i].alive || !rt_.isUp(members_[i]))
             continue;
         buildTable(i);
         counters_.bump("repair.tables");
@@ -491,7 +491,7 @@ PlaxtonMesh::beaconSweep()
         if (!states_[i].alive)
             continue; // already evicted
         NodeId n = members_[i];
-        bool answered = net_.isUp(n);
+        bool answered = rt_.isUp(n);
         bool suspect = suspects_.count(n) > 0;
         if (answered && suspect) {
             // Second chance paid off: full state retained.

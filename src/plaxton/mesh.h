@@ -33,7 +33,7 @@
 #include <vector>
 
 #include "crypto/guid.h"
-#include "sim/network.h"
+#include "runtime/runtime.h"
 #include "sim/topology.h"
 #include "storage/backend.h"
 #include "util/random.h"
@@ -73,7 +73,7 @@ struct LocateResult
 
 /**
  * The distributed mesh, simulated with per-node routing tables over a
- * Network that supplies inter-node latencies.
+ * Runtime that supplies inter-node latencies.
  *
  * Node insertion and removal use the library's recursive need-to-know
  * algorithms; the acknowledged-multicast discovery step of the real
@@ -90,7 +90,7 @@ class PlaxtonMesh
      * with @p net (their NodeIds are used for latency queries).
      * Node GUIDs are assigned pseudo-randomly from @p rng.
      */
-    PlaxtonMesh(Network &net, const std::vector<NodeId> &members,
+    PlaxtonMesh(Runtime &rt, const std::vector<NodeId> &members,
                 Rng &rng, PlaxtonConfig cfg = {});
 
     /** The mesh-assigned GUID of member @p n. */
@@ -248,7 +248,7 @@ class PlaxtonMesh
     /** Write-through of a pointer removal on member @p n. */
     void unpersistPointer(NodeId n, const Guid &g, NodeId storer);
 
-    Network &net_;
+    Runtime &rt_;
     PlaxtonConfig cfg_;
     std::vector<NodeId> members_;
     std::unordered_map<NodeId, std::size_t> index_;

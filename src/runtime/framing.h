@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Socket-ready wire framing for the threaded runtime's transport.
+ *
+ * A frame is what one Message looks like on a byte stream: a
+ * fixed-layout header carrying the addressing fields (type tag, source
+ * node, destination GUID, nonce) plus the declared payload length,
+ * protected by a CRC32 so a torn or corrupted stream is detected
+ * before any field is trusted.  The in-process loopback transport
+ * encodes a frame at send time and decodes + verifies it at delivery
+ * time — the exact encode/decode pair a TCP transport would run —
+ * while the typed std::any body rides out of band (it is the payload
+ * the declared length describes; a socket transport would serialize
+ * it with the module's existing ByteWriter wire formats).
+ *
+ * Layout (big-endian, ByteWriter conventions):
+ *
+ *   u32  magic   'OSFR'
+ *   u16  version (currently 1)
+ *   u16  type length          -+
+ *   raw  type bytes            | variable part
+ *   u32  source node id        |
+ *   u64  nonce                 |
+ *   raw  20-byte dest GUID    -+
+ *   u32  payload length (Message::wireSize)
+ *   u32  CRC32 over everything above
+ */
+
+#ifndef OCEANSTORE_RUNTIME_FRAMING_H
+#define OCEANSTORE_RUNTIME_FRAMING_H
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "sim/message.h"
+#include "util/bytes.h"
+
+namespace oceanstore {
+
+/** Frame magic number ("OSFR"). */
+constexpr std::uint32_t frameMagic = 0x4f534652u;
+
+/** Current frame format version. */
+constexpr std::uint16_t frameVersion = 1;
+
+/** The addressing fields recovered from a decoded frame header. */
+struct FrameHeader
+{
+    std::string type;        //!< Protocol message kind.
+    NodeId src = invalidNode; //!< Sending node.
+    std::uint64_t nonce = 0; //!< The paper's "random number" label.
+    Guid destGuid;           //!< GUID-level destination.
+    std::uint32_t payloadLen = 0; //!< Declared payload bytes.
+};
+
+/** Encode @p msg's header fields into a checksummed frame header. */
+Bytes encodeFrame(const Message &msg);
+
+/**
+ * Decode and verify a frame header.  Returns std::nullopt when the
+ * buffer is truncated, the magic or version is wrong, or the CRC
+ * does not match — the caller treats that as a corrupt stream.
+ */
+std::optional<FrameHeader> decodeFrame(const Bytes &frame);
+
+} // namespace oceanstore
+
+#endif // OCEANSTORE_RUNTIME_FRAMING_H

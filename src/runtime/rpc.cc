@@ -1,4 +1,4 @@
-#include "sim/rpc.h"
+#include "runtime/rpc.h"
 
 #include "obs/metrics.h"
 #include "util/check.h"
@@ -32,16 +32,16 @@ rpcMetrics()
 
 } // namespace
 
-RpcCall::RpcCall(Simulator &sim, const RetryPolicy &policy,
+RpcCall::RpcCall(Runtime &rt, const RetryPolicy &policy,
                  std::uint64_t seed)
-    : sim_(sim), policy_(policy), schedule_(policy, seed)
+    : rt_(rt), policy_(policy), schedule_(policy, seed)
 {
 }
 
 RpcCall::~RpcCall()
 {
     if (pending_ != invalidEventId)
-        sim_.cancel(pending_);
+        rt_.cancel(pending_);
 }
 
 void
@@ -76,7 +76,7 @@ RpcCall::succeed()
         rm.reg->inc(rm.successes);
     }
     if (pending_ != invalidEventId) {
-        sim_.cancel(pending_);
+        rt_.cancel(pending_);
         pending_ = invalidEventId;
     }
     attempt_ = nullptr;
@@ -88,8 +88,8 @@ RpcCall::scheduleNext()
 {
     auto d = schedule_.nextDelay();
     OS_CHECK(d.has_value(), "RpcCall: delay budget over-consumed");
-    // Captures only `this`: fits the simulator's inline EventFn.
-    pending_ = sim_.schedule(*d, [this]() { onTimer(); });
+    // Captures only `this`: fits the runtime's inline EventFn.
+    pending_ = rt_.schedule(*d, [this]() { onTimer(); });
 }
 
 void

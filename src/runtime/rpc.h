@@ -1,6 +1,6 @@
 /**
  * @file
- * Bounded, retryable request helper over the simulator clock.
+ * Bounded, retryable request helper over the Runtime clock.
  *
  * The one reusable shape for "send, wait, resend with backoff, give
  * up" that the protocol layers adopt instead of hand-rolled
@@ -18,17 +18,17 @@
  * last and may destroy it.
  */
 
-#ifndef OCEANSTORE_SIM_RPC_H
-#define OCEANSTORE_SIM_RPC_H
+#ifndef OCEANSTORE_RUNTIME_RPC_H
+#define OCEANSTORE_RUNTIME_RPC_H
 
 #include <functional>
 
-#include "sim/simulator.h"
+#include "runtime/runtime.h"
 #include "util/retry.h"
 
 namespace oceanstore {
 
-/** One retryable logical request driven by simulator timers. */
+/** One retryable logical request driven by Runtime timers. */
 class RpcCall
 {
   public:
@@ -37,7 +37,7 @@ class RpcCall
     /** Invoked once when every attempt timed out unanswered. */
     using ExhaustedFn = std::function<void()>;
 
-    RpcCall(Simulator &sim, const RetryPolicy &policy,
+    RpcCall(Runtime &rt, const RetryPolicy &policy,
             std::uint64_t seed);
     ~RpcCall();
 
@@ -73,7 +73,7 @@ class RpcCall
     void scheduleNext();
     void onTimer();
 
-    Simulator &sim_;
+    Runtime &rt_;
     RetryPolicy policy_;
     RetrySchedule schedule_;
     AttemptFn attempt_;
@@ -87,4 +87,4 @@ class RpcCall
 
 } // namespace oceanstore
 
-#endif // OCEANSTORE_SIM_RPC_H
+#endif // OCEANSTORE_RUNTIME_RPC_H

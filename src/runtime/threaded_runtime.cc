@@ -1,0 +1,662 @@
+#include "runtime/threaded_runtime.h"
+
+#include "util/logging.h"
+
+#ifdef OCEANSTORE_THREADED
+
+#include <algorithm>
+#include <cmath>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "runtime/framing.h"
+#include "util/check.h"
+
+namespace oceanstore {
+
+namespace {
+
+/** Interned metric ids for the threaded backend (thread-safe: the
+ *  registry locks internally and ids are interned once). */
+struct RtMetricIds
+{
+    MetricsRegistry *reg;
+    MetricsRegistry::Id tasks, timersSet, timersFired, timersCancelled,
+        sends, bytes, drops, arrivalDrops, delivered, frameBytes,
+        frameErrors;
+
+    RtMetricIds()
+        : reg(&MetricsRegistry::global()),
+          tasks(reg->counter("runtime.tasks")),
+          timersSet(reg->counter("runtime.timers_set")),
+          timersFired(reg->counter("runtime.timers_fired")),
+          timersCancelled(reg->counter("runtime.timers_cancelled")),
+          sends(reg->counter("runtime.sends")),
+          bytes(reg->counter("runtime.bytes")),
+          drops(reg->counter("runtime.drops")),
+          arrivalDrops(reg->counter("runtime.arrival_drops")),
+          delivered(reg->counter("runtime.delivered")),
+          frameBytes(reg->counter("runtime.frame_bytes")),
+          frameErrors(reg->counter("runtime.frame_errors"))
+    {
+    }
+};
+
+RtMetricIds &
+rtMetrics()
+{
+    static RtMetricIds ids;
+    return ids;
+}
+
+std::uint64_t
+linkKey(NodeId from, NodeId to)
+{
+    return (static_cast<std::uint64_t>(from) << 32) | to;
+}
+
+} // namespace
+
+ThreadedRuntime::ThreadedRuntime(ThreadedConfig cfg)
+    : cfg_(cfg),
+      start_(std::chrono::steady_clock::now()),
+      rng_(cfg.seed),
+      wheel_(wheelSlots)
+{
+    OS_CHECK(cfg_.workers >= 1, "ThreadedRuntime: needs >= 1 worker");
+    OS_CHECK(cfg_.tick > 0.0, "ThreadedRuntime: tick must be > 0");
+    rtMetrics(); // intern ids before threads exist
+    timerThread_ = std::thread([this] { timerLoop(); });
+    workers_.reserve(cfg_.workers);
+    for (unsigned i = 0; i < cfg_.workers; i++)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadedRuntime::~ThreadedRuntime() { shutdown(); }
+
+void
+ThreadedRuntime::shutdown()
+{
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        if (stop_)
+            return;
+        stop_ = true;
+    }
+    timerCv_.notify_all();
+    workCv_.notify_all();
+    if (timerThread_.joinable())
+        timerThread_.join();
+    for (auto &w : workers_)
+        if (w.joinable())
+            w.join();
+}
+
+double
+ThreadedRuntime::nowImpl() const
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - start_)
+        .count();
+}
+
+SimTime ThreadedRuntime::now() const { return nowImpl(); }
+
+std::uint64_t
+ThreadedRuntime::tickOf(double when) const
+{
+    double t = std::ceil(when / cfg_.tick);
+    return t <= 0.0 ? 0 : static_cast<std::uint64_t>(t);
+}
+
+EventId
+ThreadedRuntime::scheduleLocked(double when, EventFn fn)
+{
+    EventId id = nextId_++;
+    Timer t;
+    t.when = when;
+    t.fn = std::move(fn);
+    if (const Tracer *tr = Tracer::active())
+        t.ctx = tr->current();
+    std::size_t slot = tickOf(when) % wheelSlots;
+    wheel_[slot].emplace(id, std::move(t));
+    slotOf_.emplace(id, slot);
+    return id;
+}
+
+EventId
+ThreadedRuntime::schedule(SimTime delay, EventFn fn)
+{
+    double when = nowImpl() + std::max(delay, 0.0);
+    EventId id;
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        id = scheduleLocked(when, std::move(fn));
+    }
+    rtMetrics().reg->inc(rtMetrics().timersSet);
+    timerCv_.notify_one();
+    return id;
+}
+
+EventId
+ThreadedRuntime::scheduleAt(SimTime when, EventFn fn)
+{
+    return schedule(when - nowImpl(), std::move(fn));
+}
+
+void
+ThreadedRuntime::cancel(EventId id)
+{
+    if (id == invalidEventId)
+        return;
+    bool erased = false;
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        auto it = slotOf_.find(id);
+        if (it != slotOf_.end()) {
+            wheel_[it->second].erase(id);
+            slotOf_.erase(it);
+            erased = true;
+        }
+    }
+    if (erased)
+        rtMetrics().reg->inc(rtMetrics().timersCancelled);
+}
+
+void
+ThreadedRuntime::post(EventFn fn)
+{
+    Task t;
+    t.fn = std::move(fn);
+    if (const Tracer *tr = Tracer::active())
+        t.ctx = tr->current();
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        tasks_.push_back(std::move(t));
+    }
+    workCv_.notify_one();
+}
+
+NodeId
+ThreadedRuntime::addNode(SimNode *node, double x, double y)
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    nodes_.push_back(node);
+    pos_.emplace_back(x, y);
+    up_.push_back(true);
+    return static_cast<NodeId>(nodes_.size() - 1);
+}
+
+void
+ThreadedRuntime::removeNode(NodeId id)
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    OS_CHECK(id < nodes_.size(), "ThreadedRuntime: unknown node");
+    nodes_[id] = nullptr;
+}
+
+std::size_t
+ThreadedRuntime::nodeCount() const
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    return nodes_.size();
+}
+
+double
+ThreadedRuntime::latencyLocked(NodeId a, NodeId b) const
+{
+    if (a == b)
+        return 0.0;
+    double dx = pos_[a].first - pos_[b].first;
+    double dy = pos_[a].second - pos_[b].second;
+    return cfg_.baseLatency +
+           cfg_.latencyPerUnit * std::sqrt(dx * dx + dy * dy);
+}
+
+double
+ThreadedRuntime::latency(NodeId a, NodeId b) const
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    return latencyLocked(a, b);
+}
+
+double
+ThreadedRuntime::distance(NodeId a, NodeId b) const
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    double dx = pos_[a].first - pos_[b].first;
+    double dy = pos_[a].second - pos_[b].second;
+    return std::sqrt(dx * dx + dy * dy);
+}
+
+double
+ThreadedRuntime::xOf(NodeId n) const
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    return pos_[n].first;
+}
+
+double
+ThreadedRuntime::yOf(NodeId n) const
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    return pos_[n].second;
+}
+
+void
+ThreadedRuntime::setDown(NodeId n)
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    up_[n] = false;
+}
+
+void
+ThreadedRuntime::setUp(NodeId n)
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    up_[n] = true;
+}
+
+bool
+ThreadedRuntime::isUp(NodeId n) const
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    return up_[n];
+}
+
+std::uint64_t
+ThreadedRuntime::totalBytes() const
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    return totalBytes_;
+}
+
+std::uint64_t
+ThreadedRuntime::totalMessages() const
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    return totalMessages_;
+}
+
+std::size_t
+ThreadedRuntime::inFlight() const
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    return inFlight_;
+}
+
+std::uint64_t
+ThreadedRuntime::mixSeed(std::uint64_t salt) const
+{
+    return mixSeed64(cfg_.seed, salt);
+}
+
+std::uint64_t
+ThreadedRuntime::uniqueStamp() const
+{
+    return stamp_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void
+ThreadedRuntime::enqueueDelivery(
+    NodeId from, NodeId to, const std::shared_ptr<const Message> &msg,
+    const std::shared_ptr<const Bytes> &frame)
+{
+    std::uint64_t key = linkKey(from, to);
+    bool armed = false;
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        double lat = latencyLocked(from, to);
+        if (cfg_.jitter > 0)
+            lat *= rng_.uniform(1.0 - cfg_.jitter, 1.0 + cfg_.jitter);
+        if (cfg_.bandwidth > 0)
+            lat += static_cast<double>(msg->totalBytes()) /
+                   cfg_.bandwidth;
+        Pending p;
+        p.msg = msg;
+        p.frame = frame;
+        p.due = nowImpl() + lat;
+        p.to = to;
+        Link &l = links_[key];
+        l.q.push_back(std::move(p));
+        inFlight_++;
+        // The drain timer is re-armed from drainLink for each
+        // subsequent queue head; only an idle link arms here.
+        if (!l.armed) {
+            l.armed = true;
+            armLinkLocked(key, l.q.front().due);
+            armed = true;
+        }
+    }
+    if (armed)
+        timerCv_.notify_one();
+}
+
+void
+ThreadedRuntime::armLinkLocked(std::uint64_t key, double due)
+{
+    scheduleLocked(due, [this, key] { drainLink(key); });
+}
+
+void
+ThreadedRuntime::drainLink(std::uint64_t key)
+{
+    // Runs on the strand (all timers do).  Delivers every due head
+    // in FIFO order, then either disarms or re-arms for the next
+    // head's deadline.
+    for (;;) {
+        Pending p;
+        {
+            std::lock_guard<std::mutex> lk(mu_);
+            Link &l = links_[key];
+            if (l.q.empty()) {
+                l.armed = false;
+                return;
+            }
+            if (l.q.front().due > nowImpl() + 1e-9) {
+                armLinkLocked(key, l.q.front().due);
+                return;
+            }
+            p = std::move(l.q.front());
+            l.q.pop_front();
+            inFlight_--;
+        }
+        deliverPending(p);
+    }
+}
+
+void
+ThreadedRuntime::deliverPending(const Pending &p)
+{
+    RtMetricIds &rm = rtMetrics();
+    // Decode + verify the frame exactly as a socket receiver would
+    // before trusting any field of the out-of-band payload.
+    auto head = decodeFrame(*p.frame);
+    if (!head || head->type != p.msg->type ||
+        head->src != p.msg->src || head->nonce != p.msg->nonce) {
+        rm.reg->inc(rm.frameErrors);
+        return;
+    }
+    SimNode *dest = nullptr;
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        if (p.to < nodes_.size() && up_[p.to])
+            dest = nodes_[p.to];
+    }
+    if (dest == nullptr) {
+        rm.reg->inc(rm.arrivalDrops);
+        return;
+    }
+    rm.reg->inc(rm.delivered);
+    Tracer *tr = Tracer::active();
+    bool traced = tr && p.msg->trace.valid();
+    if (traced)
+        tr->setCurrent(p.msg->trace);
+    dest->handleMessage(*p.msg);
+    if (traced)
+        tr->clearCurrent();
+}
+
+void
+ThreadedRuntime::send(NodeId from, NodeId to, Message msg)
+{
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        if (from >= nodes_.size() || to >= nodes_.size())
+            fatal("ThreadedRuntime::send: unknown node");
+    }
+    msg.src = from;
+    std::size_t bytes = msg.totalBytes();
+    RtMetricIds &rm = rtMetrics();
+    bool sender_up;
+    bool dropped = false;
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        totalBytes_ += bytes;
+        totalMessages_++;
+        byType_.bump(msg.type, bytes);
+        sender_up = up_[from];
+        if (sender_up && cfg_.dropRate > 0 &&
+            rng_.chance(cfg_.dropRate))
+            dropped = true;
+    }
+    rm.reg->inc(rm.sends);
+    rm.reg->inc(rm.bytes, bytes);
+    if (!sender_up || dropped) {
+        rm.reg->inc(rm.drops);
+        return;
+    }
+    auto frame = std::make_shared<const Bytes>(encodeFrame(msg));
+    rm.reg->inc(rm.frameBytes, frame->size());
+    auto shared = std::make_shared<const Message>(std::move(msg));
+    enqueueDelivery(from, to, shared, frame);
+}
+
+void
+ThreadedRuntime::multicast(NodeId from, const std::vector<NodeId> &tos,
+                           Message msg)
+{
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        if (from >= nodes_.size())
+            fatal("ThreadedRuntime::multicast: unknown node");
+        for (NodeId to : tos)
+            if (to >= nodes_.size())
+                fatal("ThreadedRuntime::multicast: unknown node");
+    }
+    if (tos.empty())
+        return;
+    msg.src = from;
+    std::size_t bytes = msg.totalBytes();
+    RtMetricIds &rm = rtMetrics();
+    bool sender_up;
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        totalBytes_ += bytes * tos.size();
+        totalMessages_ += tos.size();
+        byType_.bump(msg.type, bytes * tos.size());
+        sender_up = up_[from];
+    }
+    rm.reg->inc(rm.sends, tos.size());
+    rm.reg->inc(rm.bytes, bytes * tos.size());
+    if (!sender_up) {
+        rm.reg->inc(rm.drops, tos.size());
+        return;
+    }
+    // One payload, one frame, shared by every destination — the
+    // loopback analogue of the sim network's pooled flights.
+    auto frame = std::make_shared<const Bytes>(encodeFrame(msg));
+    rm.reg->inc(rm.frameBytes, frame->size() * tos.size());
+    auto shared = std::make_shared<const Message>(std::move(msg));
+    for (NodeId to : tos)
+        enqueueDelivery(from, to, shared, frame);
+}
+
+bool
+ThreadedRuntime::runUntil(const std::function<bool()> &pred,
+                          SimTime deadline)
+{
+    for (;;) {
+        bool ok = false;
+        execute([&] { ok = pred(); });
+        if (ok)
+            return true;
+        if (nowImpl() > deadline)
+            return false;
+        std::this_thread::sleep_for(
+            std::chrono::duration<double>(cfg_.tick));
+    }
+}
+
+void
+ThreadedRuntime::advance(SimTime seconds)
+{
+    if (seconds > 0)
+        std::this_thread::sleep_for(
+            std::chrono::duration<double>(seconds));
+}
+
+void
+ThreadedRuntime::runOnStrand(const std::function<void()> &fn)
+{
+    std::thread::id self = std::this_thread::get_id();
+    if (strandOwner_.load(std::memory_order_acquire) == self) {
+        fn(); // reentrant: already on the strand
+        return;
+    }
+    std::lock_guard<std::mutex> lk(strandMu_);
+    strandOwner_.store(self, std::memory_order_release);
+    fn();
+    strandOwner_.store(std::thread::id{}, std::memory_order_release);
+}
+
+void
+ThreadedRuntime::execute(const std::function<void()> &fn)
+{
+    runOnStrand(fn);
+}
+
+void
+ThreadedRuntime::timerLoop()
+{
+    std::unique_lock<std::mutex> lk(mu_);
+    while (!stop_) {
+        double t = nowImpl();
+        std::uint64_t cur = tickOf(t);
+        // Visit every slot whose tick came due since the last pass,
+        // *including* the current tick's slot again (a zero-delay
+        // timer lands in it while lastTick_ == cur); a long sleep
+        // visits each slot at most once.
+        std::uint64_t span = std::min<std::uint64_t>(
+            cur - lastTick_ + 1, wheelSlots);
+        std::vector<std::pair<std::pair<double, EventId>, Task>>
+            due;
+        for (std::uint64_t i = 0; i < span; i++) {
+            std::size_t slot =
+                (lastTick_ + i) % wheelSlots;
+            auto &bucket = wheel_[slot];
+            for (auto it = bucket.begin(); it != bucket.end();) {
+                if (tickOf(it->second.when) <= cur) {
+                    Task t;
+                    t.fn = std::move(it->second.fn);
+                    t.ctx = it->second.ctx;
+                    due.emplace_back(
+                        std::make_pair(it->second.when, it->first),
+                        std::move(t));
+                    slotOf_.erase(it->first);
+                    it = bucket.erase(it);
+                } else {
+                    ++it;
+                }
+            }
+        }
+        lastTick_ = cur;
+        if (!due.empty()) {
+            // Deterministic tie-break within a batch: fire in
+            // (deadline, schedule-order) order like the sim's queue.
+            std::sort(due.begin(), due.end(),
+                      [](const auto &a, const auto &b) {
+                          return a.first < b.first;
+                      });
+            for (auto &d : due)
+                tasks_.push_back(std::move(d.second));
+            rtMetrics().reg->inc(rtMetrics().timersFired, due.size());
+            workCv_.notify_all();
+        }
+        timerCv_.wait_for(
+            lk, std::chrono::duration<double>(cfg_.tick),
+            [this] { return stop_; });
+    }
+}
+
+void
+ThreadedRuntime::runTask(Task &task)
+{
+    // Restore the causal context captured when the work was queued,
+    // exactly as the simulator does around every event callback.
+    Tracer *tr = Tracer::active();
+    bool traced = tr && task.ctx.valid();
+    if (traced)
+        tr->setCurrent(task.ctx);
+    task.fn();
+    if (traced)
+        tr->clearCurrent();
+}
+
+void
+ThreadedRuntime::workerLoop()
+{
+    for (;;) {
+        Task task;
+        {
+            std::unique_lock<std::mutex> lk(mu_);
+            workCv_.wait(lk, [this] {
+                return stop_ || !tasks_.empty();
+            });
+            if (tasks_.empty()) {
+                if (stop_)
+                    return; // drained: graceful exit
+                continue;
+            }
+            task = std::move(tasks_.front());
+            tasks_.pop_front();
+        }
+        rtMetrics().reg->inc(rtMetrics().tasks);
+        runOnStrand([this, &task] { runTask(task); });
+    }
+}
+
+} // namespace oceanstore
+
+#else // !OCEANSTORE_THREADED — stubs so the symbol set is stable.
+
+namespace oceanstore {
+
+ThreadedRuntime::ThreadedRuntime(ThreadedConfig cfg) : cfg_(cfg)
+{
+    fatal("ThreadedRuntime requires an OCEANSTORE_THREADED build "
+          "(cmake -DOCEANSTORE_THREADED=ON)");
+}
+
+ThreadedRuntime::~ThreadedRuntime() = default;
+
+void ThreadedRuntime::shutdown() {}
+
+SimTime ThreadedRuntime::now() const { return 0.0; }
+EventId ThreadedRuntime::schedule(SimTime, EventFn) { return 0; }
+EventId ThreadedRuntime::scheduleAt(SimTime, EventFn) { return 0; }
+void ThreadedRuntime::cancel(EventId) {}
+void ThreadedRuntime::post(EventFn) {}
+NodeId ThreadedRuntime::addNode(SimNode *, double, double) { return 0; }
+void ThreadedRuntime::removeNode(NodeId) {}
+std::size_t ThreadedRuntime::nodeCount() const { return 0; }
+void ThreadedRuntime::send(NodeId, NodeId, Message) {}
+void ThreadedRuntime::multicast(NodeId, const std::vector<NodeId> &,
+                                Message)
+{
+}
+double ThreadedRuntime::latency(NodeId, NodeId) const { return 0.0; }
+double ThreadedRuntime::distance(NodeId, NodeId) const { return 0.0; }
+double ThreadedRuntime::xOf(NodeId) const { return 0.0; }
+double ThreadedRuntime::yOf(NodeId) const { return 0.0; }
+void ThreadedRuntime::setDown(NodeId) {}
+void ThreadedRuntime::setUp(NodeId) {}
+bool ThreadedRuntime::isUp(NodeId) const { return false; }
+std::uint64_t ThreadedRuntime::totalBytes() const { return 0; }
+std::uint64_t ThreadedRuntime::totalMessages() const { return 0; }
+std::size_t ThreadedRuntime::inFlight() const { return 0; }
+std::uint64_t ThreadedRuntime::mixSeed(std::uint64_t) const
+{
+    return 0;
+}
+std::uint64_t ThreadedRuntime::uniqueStamp() const { return 0; }
+bool ThreadedRuntime::runUntil(const std::function<bool()> &, SimTime)
+{
+    return false;
+}
+void ThreadedRuntime::advance(SimTime) {}
+void ThreadedRuntime::execute(const std::function<void()> &) {}
+
+} // namespace oceanstore
+
+#endif // OCEANSTORE_THREADED

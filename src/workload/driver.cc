@@ -84,11 +84,11 @@ WorkloadDriver::WorkloadDriver(Universe &universe, WorkloadPlan plan)
 WorkloadDriver::~WorkloadDriver()
 {
     for (EventId id : arrivalTimers_)
-        universe_.sim().cancel(id);
+        universe_.rt().cancel(id);
     for (Session &s : sessions_)
-        universe_.sim().cancel(s.timer);
-    universe_.sim().cancel(crashTimer_);
-    universe_.sim().cancel(recoverTimer_);
+        universe_.rt().cancel(s.timer);
+    universe_.rt().cancel(crashTimer_);
+    universe_.rt().cancel(recoverTimer_);
 }
 
 const ObjectHandle &
@@ -158,13 +158,13 @@ WorkloadDriver::run()
     // sim times, so they interleave with the session schedule the
     // same way on every run of the same plan.
     if (plan_.crashAt >= 0.0) {
-        crashTimer_ = universe_.sim().scheduleAt(
+        crashTimer_ = universe_.rt().scheduleAt(
             plan_.crashAt,
             [this]() { universe_.crashServer(plan_.crashServerIndex); });
         if (plan_.recoverAt >= 0.0) {
             OS_CHECK(plan_.recoverAt > plan_.crashAt,
                      "WorkloadPlan: recoverAt must follow crashAt");
-            recoverTimer_ = universe_.sim().scheduleAt(
+            recoverTimer_ = universe_.rt().scheduleAt(
                 plan_.recoverAt, [this]() {
                     universe_.restartServer(plan_.crashServerIndex);
                 });
@@ -196,11 +196,11 @@ WorkloadDriver::run()
             stats_.reads + stats_.writes + stats_.restores;
         OS_CHECK(ops != last_ops,
                  "WorkloadDriver: run deadlocked at t=",
-                 universe_.sim().now(), " (chains=", chainsLive_,
+                 universe_.rt().now(), " (chains=", chainsLive_,
                  " sessions=", sessionsLive_,
                  " outstanding=", outstanding_, ")");
         last_ops = ops;
-        deadline = universe_.sim().now() + grace;
+        deadline = universe_.rt().now() + grace;
     }
     return stats_;
 }
@@ -212,7 +212,7 @@ WorkloadDriver::armArrival(unsigned region, double when)
         chainsLive_--;
         return;
     }
-    arrivalTimers_[region] = universe_.sim().scheduleAt(
+    arrivalTimers_[region] = universe_.rt().scheduleAt(
         when, [this, region, when]() {
             startSession(region);
             armArrival(region,
@@ -240,7 +240,7 @@ WorkloadDriver::startSession(unsigned region)
 void
 WorkloadDriver::scheduleNextOp(std::size_t sid)
 {
-    sessions_[sid].timer = universe_.sim().schedule(
+    sessions_[sid].timer = universe_.rt().schedule(
         rng_.exponential(plan_.thinkTime),
         [this, sid]() { nextOp(sid); });
 }
@@ -256,7 +256,7 @@ WorkloadDriver::nextOp(std::size_t sid)
     s.opsLeft--;
 
     std::size_t obj = plan_.flash.sample(zipf_, rng_,
-                                         universe_.sim().now());
+                                         universe_.rt().now());
     if (rng_.chance(plan_.readFraction)) {
         if (plan_.restoreFraction > 0.0 &&
             rng_.chance(plan_.restoreFraction) &&

@@ -7,6 +7,7 @@
 
 #include "archive/archival.h"
 #include "erasure/reed_solomon.h"
+#include "runtime/sim_runtime.h"
 #include "sim/churn.h"
 #include "util/stats.h"
 
@@ -27,7 +28,7 @@ struct ArchiveFixture
             pos.emplace_back(rng.uniform(), rng.uniform());
             domains.push_back(static_cast<unsigned>(i % 4));
         }
-        sys = std::make_unique<ArchivalSystem>(net, pos, domains, cfg);
+        sys = std::make_unique<ArchivalSystem>(rt, pos, domains, cfg);
         client = sys->makeClient(0.5, 0.5);
     }
 
@@ -62,6 +63,7 @@ struct ArchiveFixture
 
     Simulator sim;
     Network net;
+    SimRuntime rt{sim, net};
     ReedSolomonCode codec;
     std::unique_ptr<ArchivalSystem> sys;
     std::unique_ptr<ArchivalClient> client;

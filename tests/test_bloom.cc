@@ -6,6 +6,7 @@
 
 #include "bloom/location_service.h"
 #include "plaxton/mesh.h"
+#include "runtime/sim_runtime.h"
 #include "sim/network.h"
 
 namespace oceanstore {
@@ -248,7 +249,8 @@ TEST(BloomLocation, LossyLinksDegradeToMeshRoutingNotHardFailure)
                                       topo.positions[i].first,
                                       topo.positions[i].second));
     }
-    PlaxtonMesh mesh(net, members, rng);
+    SimRuntime rt(sim, net);
+    PlaxtonMesh mesh(rt, members, rng);
     mesh.publish(g, members[3]);
     auto lr = mesh.locate(members[0], g);
     ASSERT_TRUE(lr.found);

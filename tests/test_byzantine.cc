@@ -9,6 +9,7 @@
 
 #include "consistency/byzantine.h"
 #include "consistency/cost_model.h"
+#include "runtime/sim_runtime.h"
 
 namespace oceanstore {
 namespace {
@@ -27,7 +28,7 @@ struct PbftFixture
         }
         PbftConfig cfg;
         cfg.m = m;
-        cluster = std::make_unique<PbftCluster>(net, pos, registry, cfg);
+        cluster = std::make_unique<PbftCluster>(rt, pos, registry, cfg);
         cluster->executor = [this](unsigned, const Bytes &payload,
                                    std::uint64_t seq) {
             ByteWriter w;
@@ -60,6 +61,7 @@ struct PbftFixture
 
     Simulator sim;
     Network net;
+    SimRuntime rt{sim, net};
     KeyRegistry registry;
     std::unique_ptr<PbftCluster> cluster;
     std::unique_ptr<PbftClient> client;
@@ -234,7 +236,8 @@ TEST(Pbft, RejectsWrongPositionCount)
     PbftConfig cfg;
     cfg.m = 1;
     std::vector<std::pair<double, double>> pos(3, {0.5, 0.5}); // not 4
-    EXPECT_THROW(PbftCluster(net, pos, reg, cfg), std::runtime_error);
+    SimRuntime rt(sim, net);
+    EXPECT_THROW(PbftCluster(rt, pos, reg, cfg), std::runtime_error);
 }
 
 

@@ -41,14 +41,15 @@
 #include "archive/archival.h"
 #include "consistency/byzantine.h"
 #include "consistency/secondary.h"
+#include "core/universe.h"
 #include "erasure/reed_solomon.h"
 #include "introspect/failure_detector.h"
 #include "introspect/observation.h"
 #include "obs/export.h"
-#include "core/universe.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "plaxton/mesh.h"
+#include "runtime/sim_runtime.h"
 #include "sim/churn.h"
 #include "sim/fault.h"
 #include "sim/topology.h"
@@ -177,7 +178,8 @@ runPbftChaos(std::uint64_t seed)
     }
     PbftConfig pcfg;
     pcfg.m = m;
-    PbftCluster cluster(net, pos, registry, pcfg);
+    SimRuntime rt(sim, net);
+    PbftCluster cluster(rt, pos, registry, pcfg);
     cluster.executor = [](unsigned, const Bytes &payload, std::uint64_t) {
         return payload;
     };
@@ -298,7 +300,8 @@ runMeshChaos(std::uint64_t seed)
         members.push_back(net.addNode(&sinks[i], topo.positions[i].first,
                                       topo.positions[i].second));
     }
-    PlaxtonMesh mesh(net, members, rng);
+    SimRuntime rt(sim, net);
+    PlaxtonMesh mesh(rt, members, rng);
 
     // Publish each object on three storers so a 10% storm rarely
     // wipes out every replica of any one object.
@@ -328,7 +331,7 @@ runMeshChaos(std::uint64_t seed)
     obs.addAnalyzer([&](ObservationDb &) { mesh.repair(); });
     FailureDetectorConfig fcfg;
     fcfg.seed = mixSeed(0xde7ec7u, seed);
-    FailureDetector fd(sim, net, 0.5, 0.5, fcfg);
+    FailureDetector fd(rt, 0.5, 0.5, fcfg);
     fd.monitor(members);
     fd.setObserver(&obs);
     fd.onSuspect = [&](NodeId node) {
@@ -439,7 +442,8 @@ runArchiveChaos(std::uint64_t seed)
     }
     ArchiveConfig acfg;
     acfg.repairThreshold = 15; // repair as soon as one fragment dies
-    ArchivalSystem sys(net, pos, domains, acfg);
+    SimRuntime rt(sim, net);
+    ArchivalSystem sys(rt, pos, domains, acfg);
     auto client = sys.makeClient(0.5, 0.5);
 
     constexpr unsigned kArchives = 2;
@@ -472,7 +476,7 @@ runArchiveChaos(std::uint64_t seed)
         [&](ObservationDb &) { res.repairs += sys.repairSweep(); });
     FailureDetectorConfig fcfg;
     fcfg.seed = mixSeed(0xde7ec7u, seed);
-    FailureDetector fd(sim, net, 0.5, 0.5, fcfg);
+    FailureDetector fd(rt, 0.5, 0.5, fcfg);
     fd.monitor(ids);
     fd.setObserver(&obs);
     fd.start();
@@ -574,7 +578,8 @@ runSecondaryChaos(std::uint64_t seed)
         pos.emplace_back(rng.uniform(), rng.uniform());
     SecondaryConfig scfg;
     scfg.seed = mixSeed(0x5ec0d417u, seed);
-    SecondaryTier tier(net, pos, scfg);
+    SimRuntime rt(sim, net);
+    SecondaryTier tier(rt, pos, scfg);
     Guid obj = Guid::hashOf("chaos-shared-object");
 
     FaultPlan plan;
@@ -652,7 +657,8 @@ TEST(Chaos, DisabledFaultPlanLeavesTracesUntouched)
         Rng rng(0x7ea);
         for (std::size_t i = 0; i < 8; i++)
             pos.emplace_back(rng.uniform(), rng.uniform());
-        SecondaryTier tier(net, pos, {});
+        SimRuntime rt(sim, net);
+        SecondaryTier tier(rt, pos, {});
         Guid obj = Guid::hashOf("noop-plan-object");
         std::unique_ptr<FaultInjector> inj;
         if (with_injector) {

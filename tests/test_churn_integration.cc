@@ -9,6 +9,7 @@
 #include "consistency/secondary.h"
 #include "erasure/reed_solomon.h"
 #include "plaxton/mesh.h"
+#include "runtime/sim_runtime.h"
 #include "sim/churn.h"
 #include "sim/topology.h"
 
@@ -126,7 +127,8 @@ TEST(Churn, MeshStaysUsableUnderChurnWithPeriodicRepair)
         members.push_back(net.addNode(&sinks[i],
                                       topo.positions[i].first,
                                       topo.positions[i].second));
-    PlaxtonMesh mesh(net, members, rng);
+    SimRuntime rt(sim, net);
+    PlaxtonMesh mesh(rt, members, rng);
 
     // Publish 20 objects from storers that never churn (0..19).
     std::vector<Guid> objs;
@@ -175,7 +177,8 @@ TEST(Churn, ArchiveRepairKeepsDataAliveAcrossWaves)
     }
     ArchiveConfig acfg;
     acfg.repairThreshold = 16; // repair on any fragment loss
-    ArchivalSystem sys(net, pos, domains, acfg);
+    SimRuntime rt(sim, net);
+    ArchivalSystem sys(rt, pos, domains, acfg);
     auto client = sys.makeClient(0.5, 0.5);
 
     ReedSolomonCode codec(8, 16);
@@ -224,7 +227,8 @@ TEST(Churn, DisseminationTreeRebuildRoutesAroundDeadInterior)
         pos.emplace_back(rng.uniform(), rng.uniform());
     SecondaryConfig scfg;
     scfg.treeFanout = 2; // deep tree: interior failures matter
-    SecondaryTier tier(net, pos, scfg);
+    SimRuntime rt(sim, net);
+    SecondaryTier tier(rt, pos, scfg);
 
     Guid obj = Guid::hashOf("o");
     auto mk = [&](VersionNum v) {

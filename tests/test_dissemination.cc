@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "consistency/dissemination.h"
+#include "runtime/sim_runtime.h"
 #include "util/random.h"
 
 namespace oceanstore {
@@ -24,12 +25,13 @@ struct TreeFixture
         for (std::size_t i = 0; i < n; i++)
             members.push_back(net.addNode(&sinks[i + 1], rng.uniform(),
                                           rng.uniform()));
-        tree = std::make_unique<DisseminationTree>(net, root, members,
+        tree = std::make_unique<DisseminationTree>(rt, root, members,
                                                    fanout);
     }
 
     Simulator sim;
     Network net;
+    SimRuntime rt{sim, net};
     std::vector<Sink> sinks;
     NodeId root{};
     std::vector<NodeId> members;

@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include "plaxton/mesh.h"
+#include "runtime/sim_runtime.h"
 #include "sim/topology.h"
 
 namespace oceanstore {
@@ -23,7 +24,7 @@ struct MeshFixture : public ::testing::Test
                                           topo.positions[i].first,
                                           topo.positions[i].second));
         }
-        mesh = std::make_unique<PlaxtonMesh>(net, members, rng);
+        mesh = std::make_unique<PlaxtonMesh>(rt, members, rng);
     }
 
     static NetworkConfig
@@ -42,6 +43,7 @@ struct MeshFixture : public ::testing::Test
     static constexpr std::size_t kNodes = 64;
     Simulator sim;
     Network net;
+    SimRuntime rt{sim, net};
     std::vector<Sink> nodes;
     std::vector<NodeId> members;
     std::unique_ptr<PlaxtonMesh> mesh;

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "consistency/secondary.h"
+#include "runtime/sim_runtime.h"
 
 namespace oceanstore {
 namespace {
@@ -29,7 +30,7 @@ struct TierFixture
         std::vector<std::pair<double, double>> pos;
         for (std::size_t i = 0; i < replicas; i++)
             pos.emplace_back(rng.uniform(), rng.uniform());
-        tier = std::make_unique<SecondaryTier>(net, pos, cfg);
+        tier = std::make_unique<SecondaryTier>(rt, pos, cfg);
         obj = Guid::hashOf("shared-object");
     }
 
@@ -43,6 +44,7 @@ struct TierFixture
 
     Simulator sim;
     Network net;
+    SimRuntime rt{sim, net};
     std::unique_ptr<SecondaryTier> tier;
     Guid obj;
 };

@@ -1,0 +1,22 @@
+/* Fixture: the wall-clock carve-out for the threaded runtime.
+ * Files under runtime/threaded* ARE the wall-clock backend, so clock
+ * tokens (steady_clock & co.) must stay clean here — but seeded
+ * randomness is still banned like everywhere else. */
+
+struct ThreadedBackend
+{
+    double
+    now() const
+    {
+        auto t = std::chrono::steady_clock::now(); // exempt: wall clock
+        (void)t;
+        return 0.0;
+    }
+
+    void
+    seedDraw()
+    {
+        std::mt19937 gen(7); // EXPECT-LINT: randomness
+        (void)gen;
+    }
+};

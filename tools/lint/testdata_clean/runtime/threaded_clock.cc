@@ -1,0 +1,13 @@
+/* Negative fixture: wall-clock reads inside the threaded runtime
+ * backend are the one sanctioned use and must stay finding-free. */
+
+struct ThreadedClock
+{
+    double
+    elapsed() const
+    {
+        auto t0 = std::chrono::steady_clock::now();
+        auto t1 = std::chrono::steady_clock::now();
+        return std::chrono::duration<double>(t1 - t0).count();
+    }
+};
