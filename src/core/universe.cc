@@ -582,74 +582,97 @@ Universe::archiveObjectLocked(const Guid &obj)
 Guid
 Universe::latestArchive(const Guid &obj) const
 {
-    auto it = archives_.find(obj);
-    if (it == archives_.end() || it->second.empty())
-        return Guid();
-    return it->second.rbegin()->second;
+    Guid out;
+    rt_->execute([&]() {
+        auto it = archives_.find(obj);
+        if (it != archives_.end() && !it->second.empty())
+            out = it->second.rbegin()->second;
+    });
+    return out;
 }
 
 std::vector<std::pair<VersionNum, Guid>>
 Universe::archivedVersions(const Guid &obj) const
 {
     std::vector<std::pair<VersionNum, Guid>> out;
-    auto it = archives_.find(obj);
-    if (it == archives_.end())
-        return out;
-    out.assign(it->second.begin(), it->second.end());
+    rt_->execute([&]() {
+        auto it = archives_.find(obj);
+        if (it != archives_.end())
+            out.assign(it->second.begin(), it->second.end());
+    });
     return out;
 }
 
 Guid
 Universe::resolveVersionedName(const VersionedName &name) const
 {
-    if (!name.version.has_value())
-        return latestArchive(name.guid);
-    auto it = archives_.find(name.guid);
-    if (it == archives_.end())
-        return Guid();
-    auto vit = it->second.find(*name.version);
-    return vit == it->second.end() ? Guid() : vit->second;
+    Guid out;
+    rt_->execute([&]() {
+        auto it = archives_.find(name.guid);
+        if (it == archives_.end())
+            return;
+        if (!name.version.has_value()) {
+            if (!it->second.empty())
+                out = it->second.rbegin()->second;
+            return;
+        }
+        auto vit = it->second.find(*name.version);
+        if (vit != it->second.end())
+            out = vit->second;
+    });
+    return out;
 }
 
 std::optional<DataObject>
 Universe::readVersion(const Guid &obj, VersionNum v) const
 {
-    auto it = primaryObjects_[0].find(obj);
-    if (it == primaryObjects_[0].end() || v > it->second.version())
-        return std::nullopt;
-    return it->second.materializeVersion(v);
+    std::optional<DataObject> out;
+    rt_->execute([&]() {
+        auto it = primaryObjects_[0].find(obj);
+        if (it == primaryObjects_[0].end() ||
+            v > it->second.version())
+            return;
+        out = it->second.materializeVersion(v);
+    });
+    return out;
 }
 
 std::vector<VersionRecord>
 Universe::historyOf(const Guid &obj) const
 {
-    auto it = primaryObjects_[0].find(obj);
-    if (it == primaryObjects_[0].end())
-        return {};
-    return modificationHistory(it->second);
+    std::vector<VersionRecord> out;
+    rt_->execute([&]() {
+        auto it = primaryObjects_[0].find(obj);
+        if (it != primaryObjects_[0].end())
+            out = modificationHistory(it->second);
+    });
+    return out;
 }
 
 unsigned
 Universe::applyRetention(const Guid &obj, const RetentionPolicy &policy)
 {
-    auto it = archives_.find(obj);
-    if (it == archives_.end())
-        return 0;
-    std::vector<VersionNum> versions;
-    for (const auto &[v, g] : it->second)
-        versions.push_back(v);
-    auto keep = selectRetainedVersions(versions, policy);
-
     unsigned retired = 0;
-    for (auto vit = it->second.begin(); vit != it->second.end();) {
-        if (keep.count(vit->first)) {
-            ++vit;
-            continue;
+    rt_->execute([&]() {
+        auto it = archives_.find(obj);
+        if (it == archives_.end())
+            return;
+        std::vector<VersionNum> versions;
+        for (const auto &[v, g] : it->second)
+            versions.push_back(v);
+        auto keep = selectRetainedVersions(versions, policy);
+
+        for (auto vit = it->second.begin();
+             vit != it->second.end();) {
+            if (keep.count(vit->first)) {
+                ++vit;
+                continue;
+            }
+            archive_->forget(vit->second);
+            vit = it->second.erase(vit);
+            retired++;
         }
-        archive_->forget(vit->second);
-        vit = it->second.erase(vit);
-        retired++;
-    }
+    });
     return retired;
 }
 
@@ -658,11 +681,16 @@ Universe::restoreSync(const Guid &archive_guid)
 {
     ReconstructResult result;
     bool fired = false;
-    archive_->reconstruct(*archiveClient_, archive_guid,
-                          [&](const ReconstructResult &r) {
-                              result = r;
-                              fired = true;
-                          });
+    // Kick off the reconstruction on the strand; the completion also
+    // runs there, and runUntil evaluates the predicate on the strand,
+    // so `fired`/`result` are never touched concurrently.
+    rt_->execute([&]() {
+        archive_->reconstruct(*archiveClient_, archive_guid,
+                              [&](const ReconstructResult &r) {
+                                  result = r;
+                                  fired = true;
+                              });
+    });
     runUntil([&]() { return fired; }, rt_->now() + 600.0);
     return result;
 }
@@ -776,6 +804,12 @@ Universe::crashServer(std::size_t idx)
 {
     OS_CHECK(idx < serverStorage_.size(), "crashServer: server ", idx,
              " of ", serverStorage_.size());
+    rt_->execute([&]() { crashServerLocked(idx); });
+}
+
+void
+Universe::crashServerLocked(std::size_t idx)
+{
     // Storage dies first so no teardown step below can write through
     // to a disk that should already have stopped (the hooks return
     // nullptr once the backend is gone).
@@ -801,6 +835,12 @@ Universe::restartServer(std::size_t idx)
 {
     OS_CHECK(idx < serverStorage_.size(), "restartServer: server ",
              idx, " of ", serverStorage_.size());
+    rt_->execute([&]() { restartServerLocked(idx); });
+}
+
+void
+Universe::restartServerLocked(std::size_t idx)
+{
     // Recovery replay happens here: constructing the backend over the
     // surviving disk image truncates any torn tail and rejects
     // corrupt records before anything is served.
@@ -832,6 +872,12 @@ Universe::crashPrimary(unsigned rank)
 {
     OS_CHECK(rank < primaryStorage_.size(), "crashPrimary: rank ",
              rank, " of ", primaryStorage_.size());
+    rt_->execute([&]() { crashPrimaryLocked(rank); });
+}
+
+void
+Universe::crashPrimaryLocked(unsigned rank)
+{
     if (primaryStorage_[rank]->running())
         primaryStorage_[rank]->crash();
     rt_->setDown(pbft_->replica(rank).nodeId());
@@ -845,6 +891,12 @@ Universe::restartPrimary(unsigned rank)
 {
     OS_CHECK(rank < primaryStorage_.size(), "restartPrimary: rank ",
              rank, " of ", primaryStorage_.size());
+    rt_->execute([&]() { restartPrimaryLocked(rank); });
+}
+
+void
+Universe::restartPrimaryLocked(unsigned rank)
+{
     if (!primaryStorage_[rank]->running())
         primaryStorage_[rank]->restart();
     rt_->setUp(pbft_->replica(rank).nodeId());
@@ -856,33 +908,37 @@ Universe::restartPrimary(unsigned rank)
 void
 Universe::shutdown(NodeId n)
 {
-    auto sit = serverIndexByNode_.find(n);
-    if (sit != serverIndexByNode_.end()) {
-        crashServer(sit->second);
-        return;
-    }
-    auto pit = primaryRankByNode_.find(n);
-    if (pit != primaryRankByNode_.end()) {
-        crashPrimary(pit->second);
-        return;
-    }
-    rt_->setDown(n); // not a storage-owning node: link state only
+    rt_->execute([&]() {
+        auto sit = serverIndexByNode_.find(n);
+        if (sit != serverIndexByNode_.end()) {
+            crashServerLocked(sit->second);
+            return;
+        }
+        auto pit = primaryRankByNode_.find(n);
+        if (pit != primaryRankByNode_.end()) {
+            crashPrimaryLocked(pit->second);
+            return;
+        }
+        rt_->setDown(n); // not a storage-owning node: link state only
+    });
 }
 
 void
 Universe::restart(NodeId n)
 {
-    auto sit = serverIndexByNode_.find(n);
-    if (sit != serverIndexByNode_.end()) {
-        restartServer(sit->second);
-        return;
-    }
-    auto pit = primaryRankByNode_.find(n);
-    if (pit != primaryRankByNode_.end()) {
-        restartPrimary(pit->second);
-        return;
-    }
-    rt_->setUp(n);
+    rt_->execute([&]() {
+        auto sit = serverIndexByNode_.find(n);
+        if (sit != serverIndexByNode_.end()) {
+            restartServerLocked(sit->second);
+            return;
+        }
+        auto pit = primaryRankByNode_.find(n);
+        if (pit != primaryRankByNode_.end()) {
+            restartPrimaryLocked(pit->second);
+            return;
+        }
+        rt_->setUp(n);
+    });
 }
 
 bool

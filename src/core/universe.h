@@ -369,6 +369,10 @@ class Universe : public NodeLifecycle
     void createObjectLocked(const ObjectHandle &handle,
                             const KeyPair &owner);
     Guid archiveObjectLocked(const Guid &obj);
+    void crashServerLocked(std::size_t idx);
+    void restartServerLocked(std::size_t idx);
+    void crashPrimaryLocked(unsigned rank);
+    void restartPrimaryLocked(unsigned rank);
 
     /** Wire the executor / onCommit hooks into the PBFT cluster. */
     void wireCommitPath();

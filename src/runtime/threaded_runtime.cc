@@ -116,9 +116,11 @@ ThreadedRuntime::scheduleLocked(double when, EventFn fn)
     Timer t;
     t.when = when;
     t.fn = std::move(fn);
+    t.alive = std::make_shared<std::atomic<bool>>(true);
     if (const Tracer *tr = Tracer::active())
         t.ctx = tr->current();
     std::size_t slot = tickOf(when) % wheelSlots;
+    aliveOf_.emplace(id, t.alive);
     wheel_[slot].emplace(id, std::move(t));
     slotOf_.emplace(id, slot);
     return id;
@@ -152,11 +154,19 @@ ThreadedRuntime::cancel(EventId id)
     bool erased = false;
     {
         std::lock_guard<std::mutex> lk(mu_);
+        // The tombstone outlives the wheel entry: a due timer that
+        // timerLoop already moved into tasks_ is still cancellable
+        // until runTask checks the flag on the strand.
+        auto ait = aliveOf_.find(id);
+        if (ait != aliveOf_.end()) {
+            ait->second->store(false, std::memory_order_release);
+            aliveOf_.erase(ait);
+            erased = true;
+        }
         auto it = slotOf_.find(id);
         if (it != slotOf_.end()) {
             wheel_[it->second].erase(id);
             slotOf_.erase(it);
-            erased = true;
         }
     }
     if (erased)
@@ -476,6 +486,16 @@ bool
 ThreadedRuntime::runUntil(const std::function<bool()> &pred,
                           SimTime deadline)
 {
+    // Polling from a strand callback can never succeed: the
+    // reentrant execute keeps the strand held, so the completion
+    // task that would satisfy pred cannot run — the call would spin
+    // until the deadline.  Fail fast instead: sync wrappers
+    // (readSync/writeSync/restoreSync) must only be called from
+    // client threads, never from runtime callbacks.
+    OS_CHECK(strandOwner_.load(std::memory_order_acquire) !=
+                 std::this_thread::get_id(),
+             "ThreadedRuntime::runUntil called from a runtime "
+             "callback; sync wrappers must not run on the strand");
     for (;;) {
         bool ok = false;
         execute([&] { ok = pred(); });
@@ -506,8 +526,19 @@ ThreadedRuntime::runOnStrand(const std::function<void()> &fn)
     }
     std::lock_guard<std::mutex> lk(strandMu_);
     strandOwner_.store(self, std::memory_order_release);
+    // Clear ownership on unwind too: a stale owner id would let this
+    // thread's next execute() take the reentrant path without holding
+    // strandMu_, racing whoever legitimately owns the strand.
+    struct OwnerReset
+    {
+        std::atomic<std::thread::id> &owner;
+        ~OwnerReset()
+        {
+            owner.store(std::thread::id{},
+                        std::memory_order_release);
+        }
+    } reset{strandOwner_};
     fn();
-    strandOwner_.store(std::thread::id{}, std::memory_order_release);
 }
 
 void
@@ -540,6 +571,8 @@ ThreadedRuntime::timerLoop()
                     Task t;
                     t.fn = std::move(it->second.fn);
                     t.ctx = it->second.ctx;
+                    t.alive = std::move(it->second.alive);
+                    t.timerId = it->first;
                     due.emplace_back(
                         std::make_pair(it->second.when, it->first),
                         std::move(t));
@@ -572,6 +605,14 @@ ThreadedRuntime::timerLoop()
 void
 ThreadedRuntime::runTask(Task &task)
 {
+    // Timer work checks its tombstone here, on the strand and
+    // immediately before invoking: a cancel() issued any time up to
+    // this point (including from another strand callback after the
+    // timer left the wheel) suppresses the body, matching the
+    // sim's cancel-prevents-fire contract that RpcCall and the
+    // failure detectors rely on.
+    if (task.alive && !task.alive->load(std::memory_order_acquire))
+        return;
     // Restore the causal context captured when the work was queued,
     // exactly as the simulator does around every event callback.
     Tracer *tr = Tracer::active();
@@ -587,7 +628,6 @@ void
 ThreadedRuntime::workerLoop()
 {
     for (;;) {
-        Task task;
         {
             std::unique_lock<std::mutex> lk(mu_);
             workCv_.wait(lk, [this] {
@@ -598,11 +638,29 @@ ThreadedRuntime::workerLoop()
                     return; // drained: graceful exit
                 continue;
             }
-            task = std::move(tasks_.front());
-            tasks_.pop_front();
         }
-        rtMetrics().reg->inc(rtMetrics().tasks);
-        runOnStrand([this, &task] { runTask(task); });
+        // Take the strand BEFORE popping: if workers popped first
+        // and then raced for the strand, two queued tasks could run
+        // out of queue order, breaking the FIFO guarantees (posted
+        // work, same-batch timer order) the conformance suite pins.
+        runOnStrand([this] {
+            Task task;
+            {
+                std::lock_guard<std::mutex> lk(mu_);
+                if (tasks_.empty())
+                    return; // another worker drained it first
+                task = std::move(tasks_.front());
+                tasks_.pop_front();
+            }
+            rtMetrics().reg->inc(rtMetrics().tasks);
+            runTask(task);
+            if (task.timerId != invalidEventId) {
+                // The callback ran (or was tombstone-skipped); from
+                // here on cancel(timerId) is a no-op by design.
+                std::lock_guard<std::mutex> lk(mu_);
+                aliveOf_.erase(task.timerId);
+            }
+        });
     }
 }
 

@@ -162,11 +162,15 @@ class ThreadedRuntime final : public Runtime
         bool armed = false;
     };
 
-    /** A queued unit of strand work (+ its causal context). */
+    /** A queued unit of strand work (+ its causal context).  Work
+     *  that originated as a timer carries the timer's tombstone so
+     *  cancel() stays effective until the callback actually runs. */
     struct Task
     {
         EventFn fn;
         TraceContext ctx;
+        std::shared_ptr<std::atomic<bool>> alive;
+        EventId timerId = invalidEventId;
     };
 
     /** A wheel timer waiting to fire. */
@@ -175,6 +179,7 @@ class ThreadedRuntime final : public Runtime
         double when = 0.0;
         EventFn fn;
         TraceContext ctx;
+        std::shared_ptr<std::atomic<bool>> alive;
     };
 
     static constexpr std::size_t wheelSlots = 512;
@@ -224,6 +229,10 @@ class ThreadedRuntime final : public Runtime
 
     std::vector<std::map<EventId, Timer>> wheel_;
     std::map<EventId, std::size_t> slotOf_;
+    /** Tombstones for every scheduled-but-not-yet-run timer,
+     *  including those already moved off the wheel into tasks_;
+     *  cancel() clears the flag here and runTask skips the body. */
+    std::map<EventId, std::shared_ptr<std::atomic<bool>>> aliveOf_;
     std::uint64_t lastTick_ = 0;
     EventId nextId_ = 1;
 

@@ -239,6 +239,29 @@ TEST_P(RuntimeConformance, CancelledTimerNeverFires)
     EXPECT_FALSE(cancelled_fired);
 }
 
+TEST_P(RuntimeConformance, CancelFromCoDueCallbackPreventsFiring)
+{
+    // Two timers due at the same instant: the first cancels the
+    // second after both may already have left the timer wheel for
+    // the task queue (threaded backend).  RpcCall destructors and
+    // the failure detectors rely on cancel-prevents-fire in exactly
+    // this window — a fired-but-not-run victim must stay dead.
+    bool cancelled_fired = false;
+    bool marker_fired = false;
+    EventId victim = invalidEventId;
+    rt().execute([&]() {
+        // Canceller scheduled first so it wins the same-deadline
+        // tie-break and runs before its co-due victim.
+        rt().schedule(0.02, [&]() { rt().cancel(victim); });
+        victim = rt().schedule(
+            0.02, [&cancelled_fired]() { cancelled_fired = true; });
+        rt().schedule(0.2,
+                      [&marker_fired]() { marker_fired = true; });
+    });
+    ASSERT_TRUE(drive([&]() { return marker_fired; }));
+    EXPECT_FALSE(cancelled_fired);
+}
+
 TEST_P(RuntimeConformance, PostRunsAfterAlreadyQueuedWork)
 {
     std::vector<int> order;
