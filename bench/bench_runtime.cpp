@@ -11,6 +11,13 @@
  *   threaded_serve  ThreadedRuntime, genuinely concurrent client
  *                   threads against the live strand (only registered
  *                   in an OCEANSTORE_THREADED build)
+ *   threaded_serve_traced
+ *                   threaded_serve with a Tracer + FlightRecorder
+ *                   attached for the whole run — measures the
+ *                   observability tax on the serve path (DESIGN.md
+ *                   section 16 budgets it at < 5% on write p50;
+ *                   detached tracing costs one null check and is
+ *                   what plain threaded_serve already pays)
  *
  * All latencies are *wall-clock* milliseconds on both backends, so
  * the two cases are directly comparable: the sim number is the cost
@@ -29,7 +36,11 @@
 #include <thread>
 #endif
 
+#include <memory>
+
 #include "core/universe.h"
+#include "obs/flight_recorder.h"
+#include "obs/trace.h"
 #include "runner.h"
 
 using namespace oceanstore;
@@ -96,16 +107,32 @@ struct ServeResult
     Accumulator readWall;
     unsigned committed = 0;
     unsigned verified = 0;
-    double measuredWall = 0.0; //!< wall seconds for the serve phase
+    double measuredWall = 0.0;  //!< wall seconds for the serve phase
+    std::size_t spans = 0;      //!< spans recorded when traced
 };
 
 /** Boot a Universe on @p kind and serve @p clients x @p writes.  The
  *  threaded case runs one real thread per client; sim runs them
- *  sequentially (virtual time, same protocol work). */
+ *  sequentially (virtual time, same protocol work).  With @p traced
+ *  the whole run executes under an attached Tracer + FlightRecorder,
+ *  exactly like `oscluster --trace`. */
 ServeResult
 runServe(RuntimeKind kind, unsigned clients, unsigned writes,
-         std::uint64_t seed, bench::BenchContext *ctx = nullptr)
+         std::uint64_t seed, bench::BenchContext *ctx = nullptr,
+         bool traced = false)
 {
+    // Declared before the Universe so the scopes (and their hooks)
+    // outlive every runtime thread that might record a span.
+    Tracer tracer;
+    FlightRecorder recorder;
+    std::unique_ptr<TraceScope> traceScope;
+    std::unique_ptr<FlightScope> flightScope;
+    if (traced) {
+        traceScope = std::make_unique<TraceScope>(tracer);
+        flightScope = std::make_unique<FlightScope>(recorder, tracer,
+                                                    "bench_runtime");
+    }
+
     UniverseConfig cfg;
     cfg.numServers = 16;
     cfg.archiveOnCommit = false;
@@ -146,6 +173,7 @@ runServe(RuntimeKind kind, unsigned clients, unsigned writes,
 
     ServeResult res;
     res.measuredWall = wall;
+    res.spans = tracer.buffer().size();
     for (const ClientRun &r : runs) {
         res.committed += r.committed;
         res.verified += r.verified;
@@ -172,6 +200,8 @@ emitMetrics(bench::BenchContext &ctx, const ServeResult &res)
                res.committed > 0
                    ? static_cast<double>(res.verified) / res.committed
                    : 0.0);
+    ctx.metric("trace_spans", "count",
+               static_cast<double>(res.spans));
 }
 
 void
@@ -208,8 +238,21 @@ reportMain()
         ServeResult thr =
             runServe(RuntimeKind::Threaded, clients, writes, 0x5eedu);
         printRow("threaded", thr);
+        ServeResult trc =
+            runServe(RuntimeKind::Threaded, clients, writes, 0x5eedu,
+                     nullptr, /*traced=*/true);
+        printRow("traced", trc);
+        std::printf("\ntraced run recorded %zu spans; attached "
+                    "overhead on write p50: %+.1f%%\n",
+                    trc.spans,
+                    thr.writeWall.percentile(50) > 0.0
+                        ? 100.0 * (trc.writeWall.percentile(50) /
+                                       thr.writeWall.percentile(50) -
+                                   1.0)
+                        : 0.0);
         bool ok = sim.verified == clients * writes &&
-                  thr.verified == clients * writes;
+                  thr.verified == clients * writes &&
+                  trc.verified == clients * writes;
         return ok ? 0 : 1;
     }
     std::printf("  threaded   (not built: configure with "
@@ -241,6 +284,15 @@ main(int argc, char **argv)
                  ServeResult res =
                      runServe(RuntimeKind::Threaded, clients, writes,
                               ctx.seed(0x5eedu), &ctx);
+                 emitMetrics(ctx, res);
+             }});
+        cases.push_back(
+            {"threaded_serve_traced", [](BenchContext &ctx) {
+                 unsigned clients = ctx.smoke() ? 2 : 4;
+                 unsigned writes = ctx.smoke() ? 2 : 6;
+                 ServeResult res = runServe(
+                     RuntimeKind::Threaded, clients, writes,
+                     ctx.seed(0x5eedu), &ctx, /*traced=*/true);
                  emitMetrics(ctx, res);
              }});
     }

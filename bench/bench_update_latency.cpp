@@ -176,7 +176,7 @@ reportMain()
     for (const auto &row : profiler.stats())
         std::printf("    %-14s %10llu %13.1f ms\n", row.name.c_str(),
                     (unsigned long long)row.events,
-                    row.simDelay * 1e3);
+                    row.delay * 1e3);
 
     return under_second ? 0 : 1;
 }

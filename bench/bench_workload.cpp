@@ -93,7 +93,7 @@ runProfiled(bench::BenchContext &ctx, Universe &universe,
     // applied to a mixed workload instead of one update).
     for (const auto &row : profiler.stats()) {
         ctx.metric("phase_" + row.name + "_ms", "ms",
-                   row.simDelay * 1e3);
+                   row.delay * 1e3);
     }
     return stats;
 }

@@ -17,11 +17,20 @@
  * sequentially on the deterministic sim backend and exits 0, so the
  * smoke test degrades gracefully on every configuration.
  *
- * Usage: oscluster [clients] [writes-per-client]   (defaults 4, 6)
+ * Usage: oscluster [--stats] [--trace] [clients] [writes-per-client]
+ *        (defaults 4 clients, 6 writes)
+ *
+ * --stats: live dashboard — a PeriodicStatsExporter prints one
+ *          runtime-health JSON line per half second while clients
+ *          run, plus a full statusReport() at the end.
+ * --trace: attach a Tracer and a FlightRecorder for the whole run;
+ *          an OS_CHECK failure dumps the last spans + metrics to
+ *          OCEANSTORE_CHAOS_DUMP_DIR for tracecat.
  */
 
 #include <cstdio>
 #include <cstdlib>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -31,6 +40,9 @@
 #endif
 
 #include "core/universe.h"
+#include "obs/flight_recorder.h"
+#include "obs/trace.h"
+#include "runtime/stats.h"
 
 using namespace oceanstore;
 
@@ -94,12 +106,21 @@ runClient(Universe &universe, const ObjectHandle &doc, unsigned id,
 int
 main(int argc, char **argv)
 {
-    unsigned clients = argc > 1
-                           ? static_cast<unsigned>(std::atoi(argv[1]))
-                           : 4;
-    unsigned writes = argc > 2
-                          ? static_cast<unsigned>(std::atoi(argv[2]))
-                          : 6;
+    bool statsMode = false;
+    bool traceMode = false;
+    std::vector<unsigned> positional;
+    for (int i = 1; i < argc; i++) {
+        std::string arg = argv[i];
+        if (arg == "--stats")
+            statsMode = true;
+        else if (arg == "--trace")
+            traceMode = true;
+        else
+            positional.push_back(
+                static_cast<unsigned>(std::atoi(argv[i])));
+    }
+    unsigned clients = positional.size() > 0 ? positional[0] : 4;
+    unsigned writes = positional.size() > 1 ? positional[1] : 6;
     if (clients < 1)
         clients = 1;
 
@@ -115,7 +136,30 @@ main(int argc, char **argv)
                 threaded ? "threaded" : "sim (fallback)", clients,
                 writes);
 
+    // Observability attaches *before* the universe boots so setup
+    // spans and timers are captured too.  Both are optional: with
+    // neither flag the serve path pays one null check per hook.
+    Tracer tracer;
+    FlightRecorder recorder;
+    std::unique_ptr<TraceScope> traceScope;
+    std::unique_ptr<FlightScope> flightScope;
+    if (traceMode) {
+        traceScope = std::make_unique<TraceScope>(tracer);
+        flightScope = std::make_unique<FlightScope>(recorder, tracer,
+                                                    "oscluster");
+    }
+
     Universe universe(cfg);
+
+    PeriodicStatsExporter exporter(
+        universe.rt(), 0.5,
+        [](const RuntimeStats &s, const MetricsSnapshot &) {
+            std::ostringstream line;
+            writeRuntimeStatsJson(s, line);
+            std::printf("[stats] %s\n", line.str().c_str());
+        });
+    if (statsMode)
+        exporter.start();
 
     // Each client owns one object; handles are minted up front so
     // the measured phase is pure serve traffic.
@@ -149,6 +193,15 @@ main(int argc, char **argv)
         for (unsigned c = 0; c < clients; c++)
             stats[c] = runClient(universe, docs[c], c, writes);
     }
+
+    exporter.stop();
+    if (statsMode)
+        std::printf("[status] %s\n", universe.statusReport().c_str());
+    if (traceMode)
+        std::printf("[trace] %zu spans recorded, flight ring holds "
+                    "%zu of last %zu\n",
+                    tracer.buffer().size(), recorder.snapshot().size(),
+                    recorder.capacity());
 
     unsigned committed = 0, verified = 0, failures = 0;
     for (unsigned c = 0; c < clients; c++) {

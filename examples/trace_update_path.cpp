@@ -83,7 +83,7 @@ main(int argc, char **argv)
     std::printf("%-12s %10s %14s\n", "phase", "events", "sim delay");
     for (const auto &row : profiler.stats())
         std::printf("%-12s %10llu %12.1f ms\n", row.name.c_str(),
-                    (unsigned long long)row.events, row.simDelay * 1e3);
+                    (unsigned long long)row.events, row.delay * 1e3);
     std::printf("\n");
 
     bool ok = dumpSpansJsonl(tracer, jsonl_path) &&

@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include <cmath>
+#include <sstream>
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "runtime/sim_runtime.h"
+#include "runtime/stats.h"
 #include "sim/topology.h"
 #include "util/check.h"
 #include "util/logging.h"
@@ -945,6 +947,32 @@ bool
 Universe::runUntil(const std::function<bool()> &pred, double max_time)
 {
     return rt_->runUntil(pred, max_time);
+}
+
+std::string
+Universe::statusReport()
+{
+    RuntimeStats stats;
+    std::size_t nodes = 0;
+    std::size_t objects = 0;
+    // Snapshot on the strand so depths and counts are consistent
+    // even while workers are serving clients.
+    rt_->execute([&]() {
+        stats = rt_->stats();
+        nodes = rt_->nodeCount();
+        objects = hosts_.size();
+    });
+    publishRuntimeStats(stats);
+    std::ostringstream out;
+    out << "{\"backend\": \""
+        << (rt_->deterministic() ? "sim" : "threaded")
+        << "\", \"servers\": " << cfg_.numServers
+        << ", \"primaries\": " << (3 * cfg_.pbftFaults + 1)
+        << ", \"nodes\": " << nodes << ", \"objects\": " << objects
+        << ", \"runtime\": ";
+    writeRuntimeStatsJson(stats, out);
+    out << "}";
+    return out.str();
 }
 
 } // namespace oceanstore

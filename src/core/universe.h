@@ -350,6 +350,18 @@ class Universe : public NodeLifecycle
      */
     unsigned collocateClusters(double min_weight);
 
+    // --- observability -----------------------------------------------------
+
+    /**
+     * One-line JSON health report (DESIGN.md section 16): backend
+     * kind, tier shape, and the runtime's live RuntimeStats.  The
+     * snapshot is taken on the strand, so it is consistent even while
+     * worker threads serve clients; the `runtime.*` gauges are
+     * published as a side effect.  Deterministic byte layout on the
+     * sim backend (fixed key order, %.12g doubles).
+     */
+    std::string statusReport();
+
     // --- simulation driving -------------------------------------------------
 
     /**

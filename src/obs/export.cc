@@ -70,7 +70,14 @@ jsonEscape(const std::string &s)
 void
 writeSpansJsonl(const Tracer &tracer, std::ostream &out)
 {
-    for (const SpanRecord &r : tracer.buffer().records()) {
+    writeSpansJsonl(tracer, tracer.buffer().snapshot(), out);
+}
+
+void
+writeSpansJsonl(const Tracer &tracer,
+                const std::vector<SpanRecord> &spans, std::ostream &out)
+{
+    for (const SpanRecord &r : spans) {
         out << "{\"trace\": " << r.traceId << ", \"span\": " << r.spanId
             << ", \"parent\": " << r.parent << ", \"component\": \""
             << jsonEscape(tracer.internedString(r.component))
@@ -95,7 +102,7 @@ writeChromeTrace(const Tracer &tracer, std::ostream &out)
 {
     out << "[";
     bool first = true;
-    for (const SpanRecord &r : tracer.buffer().records()) {
+    for (const SpanRecord &r : tracer.buffer().snapshot()) {
         // Complete ("X") events: sim-seconds -> microseconds; one pid
         // per trace so chrome://tracing groups causally related spans,
         // one tid per node.

@@ -25,6 +25,7 @@
 
 #include <iosfwd>
 #include <string>
+#include <vector>
 
 #include "obs/trace.h"
 
@@ -32,6 +33,15 @@ namespace oceanstore {
 
 /** Write every span as one JSON object per line (JSONL). */
 void writeSpansJsonl(const Tracer &tracer, std::ostream &out);
+
+/**
+ * Write an explicit span list (e.g. a flight-recorder snapshot) as
+ * JSONL, resolving interned strings through @p tracer.  Same line
+ * format as writeSpansJsonl(tracer, out).
+ */
+void writeSpansJsonl(const Tracer &tracer,
+                     const std::vector<SpanRecord> &spans,
+                     std::ostream &out);
 
 /** Write the Chrome trace_event format (a JSON array of complete
  *  "X" events). */

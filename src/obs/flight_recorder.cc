@@ -1,0 +1,143 @@
+#include "obs/flight_recorder.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+
+#include "obs/export.h"
+#include "obs/metrics.h"
+
+namespace oceanstore {
+
+std::atomic<FlightRecorder *> FlightRecorder::active_{nullptr};
+
+FlightRecorder::FlightRecorder(std::size_t capacity)
+    : capacity_(capacity), slots_(new Slot[capacity])
+{
+    OS_CHECK(capacity > 0, "FlightRecorder: zero capacity");
+}
+
+void
+FlightRecorder::record(const SpanRecord &rec)
+{
+    recorded_.fetch_add(1, std::memory_order_relaxed);
+    static const MetricsRegistry::Id flight_recorded =
+        MetricsRegistry::global().counter("obs.flight_recorded");
+    MetricsRegistry::global().inc(flight_recorded);
+
+    std::uint64_t seq = head_.fetch_add(1, std::memory_order_relaxed);
+    Slot &slot = slots_[seq % capacity_];
+    std::uint32_t prev =
+        slot.state.exchange(kWriting, std::memory_order_acquire);
+    if (prev == kWriting) {
+        // A slower writer still owns this slot (we lapped the whole
+        // ring mid-copy).  Losing one span beats blocking the hot
+        // path; the original owner will publish its record.
+        lost_.fetch_add(1, std::memory_order_relaxed);
+        return;
+    }
+    slot.rec = rec;
+    slot.state.store(kFull, std::memory_order_release);
+}
+
+std::vector<SpanRecord>
+FlightRecorder::snapshot() const
+{
+    std::vector<SpanRecord> out;
+    out.reserve(capacity_);
+    for (std::size_t i = 0; i < capacity_; i++) {
+        const Slot &slot = slots_[i];
+        if (slot.state.load(std::memory_order_acquire) == kFull)
+            out.push_back(slot.rec);
+    }
+    std::sort(out.begin(), out.end(),
+              [](const SpanRecord &a, const SpanRecord &b) {
+                  return a.spanId < b.spanId;
+              });
+    return out;
+}
+
+bool
+FlightRecorder::dump(const std::string &dir, const std::string &label,
+                     const Tracer &tracer) const
+{
+    std::error_code ec;
+    std::filesystem::create_directories(dir, ec);
+    std::string base = dir + "/" + label + ".flight";
+
+    std::vector<SpanRecord> spans = snapshot();
+    bool ok = true;
+    {
+        std::ofstream out(base + ".trace.jsonl");
+        if (!out)
+            return false;
+        out << "{\"meta\": \"flight\", \"clock\": \"wall\""
+            << ", \"spans\": " << spans.size()
+            << ", \"recorded\": " << recorded()
+            << ", \"lost\": " << lost_.load(std::memory_order_relaxed)
+            << ", \"capacity\": " << capacity_ << "}\n";
+        writeSpansJsonl(tracer, spans, out);
+        ok = static_cast<bool>(out) && ok;
+    }
+    {
+        std::ofstream out(base + ".metrics.json");
+        if (!out)
+            return false;
+        MetricsRegistry::global().snapshot().writeJson(out);
+        ok = static_cast<bool>(out) && ok;
+    }
+    static const MetricsRegistry::Id flight_dumps =
+        MetricsRegistry::global().counter("obs.flight_dumps");
+    MetricsRegistry::global().inc(flight_dumps);
+    return ok;
+}
+
+void
+FlightRecorder::clear()
+{
+    for (std::size_t i = 0; i < capacity_; i++)
+        slots_[i].state.store(kEmpty, std::memory_order_relaxed);
+    head_.store(0, std::memory_order_relaxed);
+    recorded_.store(0, std::memory_order_relaxed);
+    lost_.store(0, std::memory_order_relaxed);
+}
+
+FlightScope::FlightScope(FlightRecorder &recorder, Tracer &tracer,
+                         std::string label)
+    : recorder_(recorder), tracer_(tracer), label_(std::move(label)),
+      prevActive_(
+          FlightRecorder::active_.load(std::memory_order_acquire)),
+      prevHook_(checkFailureHook()), prevHookArg_(checkFailureHookArg())
+{
+    const char *env = std::getenv("OCEANSTORE_CHAOS_DUMP_DIR");
+    dir_ = env && *env ? env : ".";
+    FlightRecorder::active_.store(&recorder_,
+                                  std::memory_order_release);
+    setCheckFailureHook(&FlightScope::onCheckFailure, this);
+}
+
+FlightScope::~FlightScope()
+{
+    setCheckFailureHook(prevHook_, prevHookArg_);
+    FlightRecorder::active_.store(prevActive_,
+                                  std::memory_order_release);
+}
+
+void
+FlightScope::onCheckFailure(void *arg)
+{
+    FlightScope *self = static_cast<FlightScope *>(arg);
+    bool ok = self->recorder_.dump(self->dir_, self->label_,
+                                   self->tracer_);
+    std::fprintf(stderr,
+                 "flight recorder: %s %s/%s.flight.* (%llu spans "
+                 "recorded)\n",
+                 ok ? "dumped" : "FAILED to dump", self->dir_.c_str(),
+                 self->label_.c_str(),
+                 static_cast<unsigned long long>(
+                     self->recorder_.recorded()));
+}
+
+} // namespace oceanstore

@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Flight recorder (observability layer).
+ *
+ * A fixed-size lock-free ring of the most recent spans plus a
+ * metrics snapshot, for the threaded deployment mode: when an
+ * OS_CHECK fails in a live cluster there is no deterministic seed to
+ * re-run under tracing (the chaos suite's trick), so the *recent
+ * past* has to already be in memory.  A FlightScope keeps the ring
+ * fed from the active Tracer and arms a check-failure hook that
+ * dumps the ring + a MetricsRegistry snapshot to
+ * OCEANSTORE_CHAOS_DUMP_DIR (or the working directory) just before
+ * the process aborts — the deployment-mode extension of the chaos
+ * suite's failing-seed dumps.
+ *
+ * The ring is wait-free for writers: a slot index from one atomic
+ * fetch-add, a state CAS to claim the slot, a record copy, a release
+ * store.  A writer lapped mid-copy loses its record (counted in
+ * obs.flight_recorded vs the ring contents) rather than blocking.
+ * snapshot() is exact when writers are quiescent — which is the case
+ * in tests and in the failure hook's single surviving thread — and
+ * best-effort otherwise.
+ */
+
+#ifndef OCEANSTORE_OBS_FLIGHT_RECORDER_H
+#define OCEANSTORE_OBS_FLIGHT_RECORDER_H
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "obs/trace.h"
+#include "util/check.h"
+
+namespace oceanstore {
+
+/** The span ring.  Capacity is fixed at construction; the newest
+ *  spans overwrite the oldest. */
+class FlightRecorder
+{
+  public:
+    explicit FlightRecorder(std::size_t capacity = 4096);
+
+    FlightRecorder(const FlightRecorder &) = delete;
+    FlightRecorder &operator=(const FlightRecorder &) = delete;
+
+    /** The process-wide recorder the Tracer feeds, or nullptr when
+     *  none is armed (the common, zero-cost case). */
+    static FlightRecorder *
+    active()
+    {
+        return active_.load(std::memory_order_acquire);
+    }
+
+    /** Record a span (lock-free; called by Tracer::newSpan on every
+     *  span while armed). */
+    void record(const SpanRecord &rec);
+
+    /** Copy of the ring contents, oldest span first (sorted by span
+     *  id).  Exact when writers are quiescent. */
+    std::vector<SpanRecord> snapshot() const;
+
+    /** Total spans offered to the ring (including overwritten and
+     *  lost ones). */
+    std::uint64_t
+    recorded() const
+    {
+        return recorded_.load(std::memory_order_relaxed);
+    }
+
+    std::size_t capacity() const { return capacity_; }
+
+    /**
+     * Dump the ring (JSONL, preceded by one `{"meta": ...}` line
+     * announcing the wall clock) and a MetricsRegistry::global()
+     * snapshot to `<dir>/<label>.flight.trace.jsonl` and
+     * `<dir>/<label>.flight.metrics.json`.  Interned strings resolve
+     * through @p tracer.  @return false on I/O failure.
+     */
+    bool dump(const std::string &dir, const std::string &label,
+              const Tracer &tracer) const;
+
+    /** Drop all recorded spans (quiescent-only). */
+    void clear();
+
+  private:
+    friend class FlightScope;
+
+    enum : std::uint32_t
+    {
+        kEmpty = 0,
+        kWriting = 1,
+        kFull = 2,
+    };
+
+    struct Slot
+    {
+        std::atomic<std::uint32_t> state{kEmpty};
+        SpanRecord rec;
+    };
+
+    static std::atomic<FlightRecorder *> active_;
+
+    const std::size_t capacity_;
+    std::unique_ptr<Slot[]> slots_;
+    std::atomic<std::uint64_t> head_{0};
+    std::atomic<std::uint64_t> recorded_{0};
+    std::atomic<std::uint64_t> lost_{0};
+};
+
+/**
+ * RAII arming of the flight recorder: installs @p recorder as the
+ * process-wide active instance (fed by every traced span) and hooks
+ * check failures to dump it — spans via @p tracer's intern table,
+ * metrics from the global registry — into OCEANSTORE_CHAOS_DUMP_DIR
+ * (falling back to the working directory) under @p label.  Restores
+ * the previous recorder and hook on destruction.
+ */
+class FlightScope
+{
+  public:
+    FlightScope(FlightRecorder &recorder, Tracer &tracer,
+                std::string label);
+    ~FlightScope();
+
+    FlightScope(const FlightScope &) = delete;
+    FlightScope &operator=(const FlightScope &) = delete;
+
+    /** The directory the failure hook will dump into (resolved from
+     *  the environment at construction). */
+    const std::string &dumpDir() const { return dir_; }
+
+  private:
+    static void onCheckFailure(void *arg);
+
+    FlightRecorder &recorder_;
+    Tracer &tracer_;
+    std::string label_;
+    std::string dir_;
+    FlightRecorder *prevActive_;
+    CheckFailureHook prevHook_;
+    void *prevHookArg_;
+};
+
+} // namespace oceanstore
+
+#endif // OCEANSTORE_OBS_FLIGHT_RECORDER_H

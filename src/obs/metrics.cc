@@ -41,16 +41,22 @@ MetricsRegistry::registerMetricLocked(const std::string &name,
     Id id = 0;
     switch (kind) {
     case Kind::Counter:
-        id = static_cast<Id>(counters_.size());
-        counters_.push_back(0);
+        OS_CHECK(counterCount_ < kMaxCounters,
+                 "metrics: counter capacity exhausted registering '",
+                 name, "'");
+        id = static_cast<Id>(counterCount_++);
         break;
     case Kind::Gauge:
-        id = static_cast<Id>(gauges_.size());
-        gauges_.push_back(0.0);
+        OS_CHECK(gaugeCount_ < kMaxGauges,
+                 "metrics: gauge capacity exhausted registering '",
+                 name, "'");
+        id = static_cast<Id>(gaugeCount_++);
         break;
     case Kind::Histogram:
-        id = static_cast<Id>(histograms_.size());
-        histograms_.emplace_back();
+        OS_CHECK(histogramCount_ < kMaxHistograms,
+                 "metrics: histogram capacity exhausted registering '",
+                 name, "'");
+        id = static_cast<Id>(histogramCount_++);
         break;
     }
     auto ins = names_.emplace(name, std::make_pair(kind, id));
@@ -98,7 +104,9 @@ MetricsRegistry::histogram(const std::string &name, double lo, double hi,
         h.lo = lo;
         h.hi = hi;
         h.binWidth = (hi - lo) / static_cast<double>(bins);
-        h.bins.assign(bins + 2, 0); // [underflow, buckets..., overflow]
+        h.binCount = bins + 2; // [underflow, buckets..., overflow]
+        h.bins = std::make_unique<std::atomic<std::uint64_t>[]>(
+            h.binCount);
     }
     return id;
 }
@@ -106,21 +114,22 @@ MetricsRegistry::histogram(const std::string &name, double lo, double hi,
 void
 MetricsRegistry::observe(Id id, double value)
 {
-    MutexLock lock(mu_);
+    // Lock-free: the histogram's shape (lo/hi/binWidth/bins) is
+    // immutable once its registration returned the id to the caller.
     HistogramData &h = histograms_[id];
     std::size_t bin;
     if (value < h.lo) {
         bin = 0;
     } else if (value >= h.hi) {
-        bin = h.bins.size() - 1;
+        bin = h.binCount - 1;
     } else {
         bin = 1 + static_cast<std::size_t>((value - h.lo) / h.binWidth);
-        if (bin > h.bins.size() - 2)
-            bin = h.bins.size() - 2;
+        if (bin > h.binCount - 2)
+            bin = h.binCount - 2;
     }
-    h.bins[bin]++;
-    h.total++;
-    h.sum += value;
+    h.bins[bin].fetch_add(1, std::memory_order_relaxed);
+    h.total.fetch_add(1, std::memory_order_relaxed);
+    h.sum.fetch_add(value, std::memory_order_relaxed);
 }
 
 std::uint64_t
@@ -130,7 +139,8 @@ MetricsRegistry::counterValue(const std::string &name) const
     auto it = names_.find(name);
     if (it == names_.end() || it->second.first != Kind::Counter)
         return 0;
-    return counters_[it->second.second];
+    return counters_[it->second.second].load(
+        std::memory_order_relaxed);
 }
 
 double
@@ -140,7 +150,7 @@ MetricsRegistry::gaugeValue(const std::string &name) const
     auto it = names_.find(name);
     if (it == names_.end() || it->second.first != Kind::Gauge)
         return 0.0;
-    return gauges_[it->second.second];
+    return gauges_[it->second.second].load(std::memory_order_relaxed);
 }
 
 MetricsSnapshot
@@ -148,18 +158,22 @@ MetricsRegistry::snapshot() const
 {
     MetricsSnapshot snap;
     MutexLock lock(mu_);
-    for (std::size_t i = 0; i < counters_.size(); i++)
-        snap.counters[*counterNames_[i]] = counters_[i];
-    for (std::size_t i = 0; i < gauges_.size(); i++)
-        snap.gauges[*gaugeNames_[i]] = gauges_[i];
-    for (std::size_t i = 0; i < histograms_.size(); i++) {
+    for (std::size_t i = 0; i < counterCount_; i++)
+        snap.counters[*counterNames_[i]] =
+            counters_[i].load(std::memory_order_relaxed);
+    for (std::size_t i = 0; i < gaugeCount_; i++)
+        snap.gauges[*gaugeNames_[i]] =
+            gauges_[i].load(std::memory_order_relaxed);
+    for (std::size_t i = 0; i < histogramCount_; i++) {
         const HistogramData &h = histograms_[i];
         MetricsSnapshot::Hist out;
         out.lo = h.lo;
         out.hi = h.hi;
-        out.bins = h.bins;
-        out.total = h.total;
-        out.sum = h.sum;
+        out.bins.resize(h.binCount);
+        for (std::size_t b = 0; b < h.binCount; b++)
+            out.bins[b] = h.bins[b].load(std::memory_order_relaxed);
+        out.total = h.total.load(std::memory_order_relaxed);
+        out.sum = h.sum.load(std::memory_order_relaxed);
         snap.histograms[*histogramNames_[i]] = std::move(out);
     }
     return snap;
@@ -169,15 +183,16 @@ void
 MetricsRegistry::resetValues()
 {
     MutexLock lock(mu_);
-    for (auto &c : counters_)
-        c = 0;
-    for (auto &g : gauges_)
-        g = 0.0;
-    for (auto &h : histograms_) {
-        for (auto &b : h.bins)
-            b = 0;
-        h.total = 0;
-        h.sum = 0.0;
+    for (std::size_t i = 0; i < counterCount_; i++)
+        counters_[i].store(0, std::memory_order_relaxed);
+    for (std::size_t i = 0; i < gaugeCount_; i++)
+        gauges_[i].store(0.0, std::memory_order_relaxed);
+    for (std::size_t i = 0; i < histogramCount_; i++) {
+        HistogramData &h = histograms_[i];
+        for (std::size_t b = 0; b < h.binCount; b++)
+            h.bins[b].store(0, std::memory_order_relaxed);
+        h.total.store(0, std::memory_order_relaxed);
+        h.sum.store(0.0, std::memory_order_relaxed);
     }
 }
 

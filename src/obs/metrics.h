@@ -4,11 +4,12 @@
  *
  * Named counters, gauges and histograms with interned ids: a
  * subsystem registers each metric once (string lookup, O(log n)) and
- * thereafter increments through a dense integer id — a single vector
- * add on the hot path, cheap enough to stay always-on in the
- * simulator event loop.  Names follow the `component.event` scheme
- * (DESIGN.md section 11): `sim.events_fired`, `net.drops`,
- * `pbft.view_changes`, `plaxton.lookup_hops`, ...
+ * thereafter increments through a dense integer id — a single
+ * relaxed atomic add on the hot path, cheap enough to stay always-on
+ * in the simulator event loop and race-free under ThreadedRuntime
+ * workers.  Names follow the `component.event` scheme (DESIGN.md
+ * section 11): `sim.events_fired`, `net.drops`, `pbft.view_changes`,
+ * `plaxton.lookup_hops`, ...
  *
  * Snapshots are value copies keyed by name (sorted, so the JSON
  * rendering is deterministic); deltaFrom() subtracts a "before"
@@ -20,20 +21,25 @@
  * `net.sends` mean the same thing.  Tests that need isolation take
  * a snapshot before and diff after.
  *
- * Thread contract (Runtime-seam prep, DESIGN.md section 12): every
- * member is guarded by mu_ and every method takes the lock.  In the
- * single-threaded sim build util::Mutex is a no-op, so the hot-path
- * inc() still compiles to a single vector add; the clang
- * -Wthread-safety build proves the discipline holds before the
- * real-process runtime turns the lock on (OCEANSTORE_THREADED).
+ * Thread contract (DESIGN.md section 12): values live in
+ * fixed-capacity arrays of atomics, so the hot-path inc()/set()/
+ * observe() are lock-free relaxed operations — no mutex, no
+ * reallocation, valid from any thread.  Registration and the name
+ * maps stay behind mu_; handing an id from the registering thread to
+ * an updating thread is the caller's synchronization point.
+ * Snapshots use relaxed loads: each value is exact, cross-metric
+ * tearing is possible mid-run and absent when quiescent.
  */
 
 #ifndef OCEANSTORE_OBS_METRICS_H
 #define OCEANSTORE_OBS_METRICS_H
 
+#include <array>
+#include <atomic>
 #include <cstdint>
 #include <iosfwd>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -81,11 +87,18 @@ struct MetricsSnapshot
  * The registry.  Counter, gauge and histogram ids are separate dense
  * id spaces; re-registering a name returns the existing id (and
  * aborts if the name is already claimed by a different metric kind).
+ * Each id space has a fixed capacity (kMaxCounters/kMaxGauges/
+ * kMaxHistograms) so the value arrays never reallocate under
+ * concurrent updates; registration past capacity aborts.
  */
 class MetricsRegistry
 {
   public:
     using Id = std::uint32_t;
+
+    static constexpr std::size_t kMaxCounters = 1024;
+    static constexpr std::size_t kMaxGauges = 512;
+    static constexpr std::size_t kMaxHistograms = 128;
 
     MetricsRegistry() = default;
     MetricsRegistry(const MetricsRegistry &) = delete;
@@ -107,29 +120,26 @@ class MetricsRegistry
     Id histogram(const std::string &name, double lo, double hi,
                  std::size_t bins) OS_EXCLUDES(mu_);
 
-    /** O(1) hot-path updates (the Mutex is a no-op in the sim build). */
+    /** Lock-free hot-path updates (relaxed atomics; any thread). */
     void
-    inc(Id id, std::uint64_t delta = 1) OS_EXCLUDES(mu_)
+    inc(Id id, std::uint64_t delta = 1)
     {
-        MutexLock lock(mu_);
-        counters_[id] += delta;
+        counters_[id].fetch_add(delta, std::memory_order_relaxed);
     }
 
     void
-    set(Id id, double value) OS_EXCLUDES(mu_)
+    set(Id id, double value)
     {
-        MutexLock lock(mu_);
-        gauges_[id] = value;
+        gauges_[id].store(value, std::memory_order_relaxed);
     }
 
     void
-    add(Id id, double delta) OS_EXCLUDES(mu_)
+    add(Id id, double delta)
     {
-        MutexLock lock(mu_);
-        gauges_[id] += delta;
+        gauges_[id].fetch_add(delta, std::memory_order_relaxed);
     }
 
-    void observe(Id id, double value) OS_EXCLUDES(mu_);
+    void observe(Id id, double value);
 
     /** Read-back by name; zero-value when not registered. */
     std::uint64_t counterValue(const std::string &name) const
@@ -148,25 +158,37 @@ class MetricsRegistry
 
     struct HistogramData
     {
-        double lo = 0.0;
-        double hi = 0.0;
-        double binWidth = 0.0;
-        std::vector<std::uint64_t> bins; //!< [under, b0..bN-1, over]
-        std::uint64_t total = 0;
-        double sum = 0.0;
+        double lo = 0.0;       //!< Immutable after registration.
+        double hi = 0.0;       //!< Immutable after registration.
+        double binWidth = 0.0; //!< Immutable after registration.
+        /** [under, b0..bN-1, over]; length fixed at registration. */
+        std::unique_ptr<std::atomic<std::uint64_t>[]> bins;
+        std::size_t binCount = 0; //!< == bins length (N + 2).
+        std::atomic<std::uint64_t> total{0};
+        std::atomic<double> sum{0.0};
     };
 
     Id registerMetricLocked(const std::string &name, Kind kind)
         OS_REQUIRES(mu_);
 
-    /** Guards every member; no-op until OCEANSTORE_THREADED. */
+    /** Guards registration and the name maps; values are atomics and
+     *  need no lock.  No-op until OCEANSTORE_THREADED. */
     mutable Mutex mu_;
 
     std::map<std::string, std::pair<Kind, Id>> names_
         OS_GUARDED_BY(mu_);
-    std::vector<std::uint64_t> counters_ OS_GUARDED_BY(mu_);
-    std::vector<double> gauges_ OS_GUARDED_BY(mu_);
-    std::vector<HistogramData> histograms_ OS_GUARDED_BY(mu_);
+
+    /** Fixed-capacity value arrays: ids index them directly and they
+     *  never reallocate, so lock-free updates stay valid while other
+     *  threads register new metrics. */
+    std::array<std::atomic<std::uint64_t>, kMaxCounters> counters_{};
+    std::array<std::atomic<double>, kMaxGauges> gauges_{};
+    std::array<HistogramData, kMaxHistograms> histograms_;
+
+    std::size_t counterCount_ OS_GUARDED_BY(mu_) = 0;
+    std::size_t gaugeCount_ OS_GUARDED_BY(mu_) = 0;
+    std::size_t histogramCount_ OS_GUARDED_BY(mu_) = 0;
+
     /** name of each id, per kind, for snapshotting. */
     std::vector<const std::string *> counterNames_ OS_GUARDED_BY(mu_);
     std::vector<const std::string *> gaugeNames_ OS_GUARDED_BY(mu_);

@@ -2,41 +2,70 @@
 
 #include <algorithm>
 
+#include "util/check.h"
+
 namespace oceanstore {
 
-PhaseProfiler *PhaseProfiler::active_ = nullptr;
+std::atomic<PhaseProfiler *> PhaseProfiler::active_{nullptr};
+
+namespace {
+
+/** Each thread's ambient phase label (shared across profiler
+ *  instances; exactly one is active at a time). */
+thread_local PhaseProfiler::Label tlCurrentLabel = 0;
+
+} // namespace
 
 PhaseProfiler::PhaseProfiler()
 {
     // Label 0: events scheduled with no ambient attribution.
+    MutexLock lock(mu_);
     labelNames_.push_back("(unlabeled)");
     labelTable_.emplace(labelNames_.back(), 0);
-    buckets_.emplace_back();
+}
+
+PhaseProfiler::Label
+PhaseProfiler::currentLabel() const
+{
+    return tlCurrentLabel;
+}
+
+void
+PhaseProfiler::setCurrent(Label label)
+{
+    tlCurrentLabel = label;
 }
 
 PhaseProfiler::Label
 PhaseProfiler::intern(const std::string &name)
 {
+    MutexLock lock(mu_);
     auto it = labelTable_.find(name);
     if (it != labelTable_.end())
         return it->second;
+    OS_CHECK(labelNames_.size() < kMaxLabels,
+             "profiler: label capacity exhausted interning '", name,
+             "'");
     Label label = static_cast<Label>(labelNames_.size());
     labelNames_.push_back(name);
     labelTable_.emplace(name, label);
-    buckets_.emplace_back();
     return label;
 }
 
 PhaseProfiler::Label
 PhaseProfiler::labelForMessageType(const std::string &type)
 {
-    auto it = typeCache_.find(type);
-    if (it != typeCache_.end())
-        return it->second;
+    {
+        MutexLock lock(mu_);
+        auto it = typeCache_.find(type);
+        if (it != typeCache_.end())
+            return it->second;
+    }
     std::size_t dot = type.find('.');
     Label label = intern(dot == std::string::npos
                              ? type
                              : type.substr(0, dot));
+    MutexLock lock(mu_);
     typeCache_.emplace(type, label);
     return label;
 }
@@ -45,13 +74,16 @@ std::vector<PhaseProfiler::PhaseStats>
 PhaseProfiler::stats() const
 {
     std::vector<PhaseStats> out;
-    for (std::size_t i = 0; i < buckets_.size(); i++) {
-        if (buckets_[i].events == 0)
+    MutexLock lock(mu_);
+    for (std::size_t i = 0; i < labelNames_.size(); i++) {
+        std::uint64_t events =
+            buckets_[i].events.load(std::memory_order_relaxed);
+        if (events == 0)
             continue;
         PhaseStats row;
         row.name = labelNames_[i];
-        row.events = buckets_[i].events;
-        row.simDelay = buckets_[i].simDelay;
+        row.events = events;
+        row.delay = buckets_[i].delay.load(std::memory_order_relaxed);
         out.push_back(std::move(row));
     }
     std::sort(out.begin(), out.end(),
@@ -65,19 +97,21 @@ std::uint64_t
 PhaseProfiler::totalEvents() const
 {
     std::uint64_t total = 0;
-    for (const Bucket &b : buckets_)
-        total += b.events;
+    MutexLock lock(mu_);
+    for (std::size_t i = 0; i < labelNames_.size(); i++)
+        total += buckets_[i].events.load(std::memory_order_relaxed);
     return total;
 }
 
 void
 PhaseProfiler::clear()
 {
-    for (Bucket &b : buckets_) {
-        b.events = 0;
-        b.simDelay = 0.0;
+    MutexLock lock(mu_);
+    for (std::size_t i = 0; i < labelNames_.size(); i++) {
+        buckets_[i].events.store(0, std::memory_order_relaxed);
+        buckets_[i].delay.store(0.0, std::memory_order_relaxed);
     }
-    current_ = 0;
+    tlCurrentLabel = 0;
 }
 
 } // namespace oceanstore

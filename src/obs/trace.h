@@ -10,25 +10,37 @@
  * and every scheduled event, so each protocol action can be linked to
  * the action that caused it, across the network and across timers.
  *
- * Span records are appended to a per-run pooled TraceBuffer owned by
- * a Tracer.  Tracing is *ambient*: protocol code never threads a
- * tracer through its call graph.  A TraceScope installs a Tracer as
- * the process-wide active instance; when none is installed, every
- * hook in the hot paths costs exactly one null-pointer check
- * (mirroring the fault-injector contract from DESIGN.md section 10).
+ * Span records are appended to a TraceBuffer owned by a Tracer.
+ * Tracing is *ambient*: protocol code never threads a tracer through
+ * its call graph.  A TraceScope installs a Tracer as the process-wide
+ * active instance; when none is installed, every hook in the hot
+ * paths costs exactly one null-pointer check (mirroring the
+ * fault-injector contract from DESIGN.md section 10).
+ *
+ * Thread contract: the buffer is sharded into per-thread arenas, so
+ * concurrent appends from ThreadedRuntime workers never contend on a
+ * shared lock; span ids come from one atomic counter, giving a total
+ * allocation order that snapshot() uses as its deterministic merge
+ * key.  The ambient context is thread-local — each worker carries its
+ * own causal position, installed around each strand callback.
  *
  * Determinism: tracing only *observes*.  It consumes no randomness,
  * schedules no events and never branches protocol behaviour, so a
- * traced run replays bit-for-bit against an untraced one, and two
- * traced runs of the same seed produce byte-identical span dumps
- * (asserted by the determinism sweep).
+ * traced run replays bit-for-bit against an untraced one.  On the
+ * single-threaded sim backend span ids are allocated sequentially,
+ * so snapshot() is exactly append order and two traced runs of the
+ * same seed produce byte-identical span dumps (asserted by the
+ * determinism sweep).
  */
 
 #ifndef OCEANSTORE_OBS_TRACE_H
 #define OCEANSTORE_OBS_TRACE_H
 
+#include <atomic>
 #include <cstdint>
+#include <deque>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -70,12 +82,14 @@ enum class SpanStatus : std::uint8_t
 /**
  * One recorded span.  Component and name are interned string ids
  * (resolve via Tracer::internedString) so the hot path never copies
- * strings; times are simulated seconds.
+ * strings; times are Runtime clock seconds (simulated on the sim
+ * backend, wall-clock since start on the threaded backend).
  */
 struct SpanRecord
 {
     std::uint64_t traceId = 0;
-    std::uint32_t spanId = 0;  //!< 1-based; == index in the buffer + 1.
+    std::uint32_t spanId = 0;  //!< 1-based global allocation sequence;
+                               //!< the deterministic merge order.
     std::uint32_t parent = 0;  //!< Parent span id, 0 for a trace root.
     std::uint32_t component = 0; //!< Interned component label.
     std::uint32_t name = 0;      //!< Interned span name (message type).
@@ -84,85 +98,89 @@ struct SpanRecord
                                  //!< for multicast spans.
     std::uint32_t hop = 0;       //!< Causal hops from the trace root.
     std::uint32_t bytes = 0;     //!< Wire bytes (send spans).
-    double start = 0.0;          //!< Sim-time the action began.
-    double end = 0.0;            //!< Sim-time it completed/delivers.
+    double start = 0.0;          //!< Clock reading the action began.
+    double end = 0.0;            //!< Clock reading it completes/delivers.
     SpanKind kind = SpanKind::Local;
     SpanStatus status = SpanStatus::Ok;
 };
 
 /**
- * Per-run pooled span storage.  clear() drops records but keeps the
- * allocation, so repeated scenario runs (chaos seeds, bench repeats)
- * reuse one buffer.
+ * Per-run span storage, sharded into per-thread arenas.
  *
- * Thread contract (Runtime-seam prep): the record vector is guarded
- * by mu_ — a no-op lock in the sim build, statically checked by the
- * clang -Wthread-safety configuration.  References handed out by
- * at() stay single-writer by the Tracer's own contract (exactly one
- * active Tracer, mutated only from the simulation thread).
+ * Each appending thread gets its own arena (created lazily, cached
+ * thread-locally), so appends from concurrent ThreadedRuntime workers
+ * take only the arena's own lock — which a single writer never
+ * contends on.  Span ids are drawn from one atomic counter shared by
+ * all arenas; because each arena's appends are serialized, ids are
+ * strictly ascending *within* an arena, and snapshot() merges the
+ * arenas back into the global allocation order by sorting on span id.
+ *
+ * clear() drops records but keeps the arenas (threads hold cached
+ * pointers to them), so repeated scenario runs (chaos seeds, bench
+ * repeats) reuse the allocation.
  */
 class TraceBuffer
 {
   public:
-    /** Append and return the new record's 1-based span id. */
-    std::uint32_t
-    append(const SpanRecord &rec) OS_EXCLUDES(mu_)
-    {
-        MutexLock lock(mu_);
-        records_.push_back(rec);
-        return static_cast<std::uint32_t>(records_.size());
-    }
+    TraceBuffer();
 
-    /** Mutable access by span id (1-based), e.g. to extend a
-     *  multicast span's end time as fan-out legs are scheduled. */
-    SpanRecord &
-    at(std::uint32_t span_id) OS_EXCLUDES(mu_)
-    {
-        MutexLock lock(mu_);
-        return records_[span_id - 1];
-    }
+    TraceBuffer(const TraceBuffer &) = delete;
+    TraceBuffer &operator=(const TraceBuffer &) = delete;
 
-    const std::vector<SpanRecord> &
-    records() const OS_EXCLUDES(mu_)
-    {
-        MutexLock lock(mu_);
-        return records_;
-    }
+    /** Stamp @p rec with the next span id (1-based, globally
+     *  ordered), append it to the calling thread's arena, and return
+     *  the id. */
+    std::uint32_t append(SpanRecord &rec) OS_EXCLUDES(arenasMu_);
 
-    std::size_t
-    size() const OS_EXCLUDES(mu_)
-    {
-        MutexLock lock(mu_);
-        return records_.size();
-    }
+    /** Extend a span's end time (monotone max), e.g. as multicast
+     *  fan-out legs are scheduled. */
+    void setEnd(std::uint32_t span_id, double end)
+        OS_EXCLUDES(arenasMu_);
 
-    bool
-    empty() const OS_EXCLUDES(mu_)
-    {
-        MutexLock lock(mu_);
-        return records_.empty();
-    }
+    /**
+     * Deterministic merged copy of every arena, sorted by span id —
+     * i.e. global allocation order, which on the single-threaded sim
+     * backend is exactly append order.
+     */
+    std::vector<SpanRecord> snapshot() const OS_EXCLUDES(arenasMu_);
 
-    /** Drop all records, retaining capacity. */
-    void
-    clear() OS_EXCLUDES(mu_)
-    {
-        MutexLock lock(mu_);
-        records_.clear();
-    }
+    /** Total records across all arenas. */
+    std::size_t size() const OS_EXCLUDES(arenasMu_);
 
-    void
-    reserve(std::size_t n) OS_EXCLUDES(mu_)
-    {
-        MutexLock lock(mu_);
-        records_.reserve(n);
-    }
+    bool empty() const { return size() == 0; }
+
+    /** Drop all records and reset the span-id sequence, retaining
+     *  arena allocations.  Quiescent-only (no concurrent appends). */
+    void clear() OS_EXCLUDES(arenasMu_);
+
+    /** Reserve capacity in the calling thread's arena. */
+    void reserve(std::size_t n) OS_EXCLUDES(arenasMu_);
 
   private:
-    /** Guards records_; no-op until OCEANSTORE_THREADED. */
-    mutable Mutex mu_;
+    struct Arena
+    {
+        /** Guards records; no-op until OCEANSTORE_THREADED. */
+        mutable Mutex mu;
+        std::vector<SpanRecord> records OS_GUARDED_BY(mu);
+    };
 
-    std::vector<SpanRecord> records_ OS_GUARDED_BY(mu_);
+    /** The calling thread's arena, created on first use.  The result
+     *  is cached thread-locally keyed by bufferId_, so the hot path
+     *  takes no buffer-wide lock. */
+    Arena &arenaForThisThread() const OS_EXCLUDES(arenasMu_);
+
+    /** Process-unique id of this buffer instance (never reused), the
+     *  thread-local arena-cache key. */
+    const std::uint64_t bufferId_;
+
+    /** Next span id to hand out; 1-based. */
+    std::atomic<std::uint32_t> nextSpanId_{1};
+
+    /** Guards the arena list; no-op until OCEANSTORE_THREADED. */
+    mutable Mutex arenasMu_;
+
+    mutable std::vector<std::unique_ptr<Arena>> arenas_
+        OS_GUARDED_BY(arenasMu_);
 };
 
 /**
@@ -170,7 +188,11 @@ class TraceBuffer
  * tracks the ambient causal context, and owns the TraceBuffer.
  *
  * Exactly one Tracer may be active at a time (see TraceScope); the
- * simulator and network consult Tracer::active() on their hot paths.
+ * simulator, network and threaded runtime consult Tracer::active()
+ * on their hot paths.  The ambient context is *per thread* (each
+ * ThreadedRuntime worker carries its own causal position); on the
+ * single-threaded sim backend that is indistinguishable from the
+ * old process-wide context.
  */
 class Tracer
 {
@@ -182,22 +204,30 @@ class Tracer
 
     /** The process-wide active tracer, or nullptr when tracing is
      *  detached (the common, zero-cost case). */
-    static Tracer *active() { return active_; }
+    static Tracer *
+    active()
+    {
+        return active_.load(std::memory_order_acquire);
+    }
 
-    /** Ambient causal context (the span "we are inside of"). */
-    const TraceContext &current() const { return current_; }
+    /** Ambient causal context of the calling thread (the span "we
+     *  are inside of"). */
+    const TraceContext &current() const;
 
-    /** Install / clear the ambient context.  Used by the simulator
-     *  when firing an event and by the network when delivering. */
-    void setCurrent(const TraceContext &ctx) { current_ = ctx; }
-    void clearCurrent() { current_ = TraceContext{}; }
+    /** Install / clear the calling thread's ambient context.  Used
+     *  by the simulator when firing an event, by the network when
+     *  delivering, and by ThreadedRuntime around strand callbacks. */
+    void setCurrent(const TraceContext &ctx);
+    void clearCurrent();
 
     /** Intern a string, returning a stable dense id (deterministic:
      *  first-use order). */
-    std::uint32_t intern(const std::string &s);
+    std::uint32_t intern(const std::string &s) OS_EXCLUDES(internMu_);
 
-    /** Resolve an interned id back to its string. */
-    const std::string &internedString(std::uint32_t id) const;
+    /** Resolve an interned id back to its string.  The reference is
+     *  stable for the life of the tracer (deque storage). */
+    const std::string &internedString(std::uint32_t id) const
+        OS_EXCLUDES(internMu_);
 
     /**
      * Open a local span (handler body, API entry, timer action) as a
@@ -220,8 +250,8 @@ class Tracer
      *
      * @param name    message type, e.g. "pbft.prepare"
      * @param peer    destination node; fan-out size for multicast
-     * @param start   send sim-time
-     * @param end     scheduled delivery sim-time (== start if dropped)
+     * @param start   send time
+     * @param end     scheduled delivery time (== start if dropped)
      * @return the context to stamp into the message, carrying this
      *         span as the causal parent of everything the receiver
      *         does.
@@ -236,40 +266,47 @@ class Tracer
     void
     setSpanEnd(std::uint32_t span_id, double end)
     {
-        SpanRecord &r = buffer_.at(span_id);
-        if (end > r.end)
-            r.end = end;
+        buffer_.setEnd(span_id, end);
     }
 
     /** The span storage. */
     const TraceBuffer &buffer() const { return buffer_; }
 
-    /** Interned strings in id order (id i -> strings()[i]). */
-    const std::vector<std::string> &strings() const { return strings_; }
+    /** Copy of the interned strings in id order
+     *  (id i -> strings()[i]). */
+    std::vector<std::string> strings() const OS_EXCLUDES(internMu_);
 
-    /** Drop all spans and reset ids; interned strings survive so
-     *  repeated runs keep identical id assignments only if they
-     *  intern in the same order — which clear() guarantees by
-     *  resetting the table too. */
+    /** Drop all spans and reset ids; the intern table resets too, so
+     *  repeated runs re-intern in the same order and keep identical
+     *  id assignments.  Also resets the calling thread's ambient
+     *  context.  Quiescent-only. */
     void clear();
 
   private:
     friend class TraceScope;
 
-    static Tracer *active_;
+    static std::atomic<Tracer *> active_;
 
-    std::uint32_t newSpan(const std::string &component,
-                          const std::string &name, std::uint32_t node,
-                          std::uint32_t peer, std::uint32_t bytes,
-                          double start, double end, SpanKind kind,
-                          SpanStatus status);
+    /** Create + append a span as a child of the calling thread's
+     *  ambient context, returning the full record (spanId stamped). */
+    SpanRecord newSpan(const std::string &component,
+                       const std::string &name, std::uint32_t node,
+                       std::uint32_t peer, std::uint32_t bytes,
+                       double start, double end, SpanKind kind,
+                       SpanStatus status);
 
     TraceBuffer buffer_;
-    TraceContext current_;
-    std::vector<TraceContext> scopeStack_;
-    std::map<std::string, std::uint32_t> internTable_;
-    std::vector<std::string> strings_;
-    std::uint64_t nextTraceId_ = 1;
+
+    /** Guards the intern table; no-op until OCEANSTORE_THREADED. */
+    mutable Mutex internMu_;
+
+    std::map<std::string, std::uint32_t> internTable_
+        OS_GUARDED_BY(internMu_);
+    /** Deque: references stay stable across interning, so
+     *  internedString() can hand them out past the lock. */
+    std::deque<std::string> strings_ OS_GUARDED_BY(internMu_);
+
+    std::atomic<std::uint64_t> nextTraceId_{1};
 };
 
 /**
@@ -281,12 +318,12 @@ class TraceScope
 {
   public:
     explicit TraceScope(Tracer &tracer)
-        : prev_(Tracer::active_)
+        : prev_(Tracer::active_.exchange(&tracer,
+                                         std::memory_order_acq_rel))
     {
-        Tracer::active_ = &tracer;
     }
 
-    ~TraceScope() { Tracer::active_ = prev_; }
+    ~TraceScope() { Tracer::active_.store(prev_, std::memory_order_release); }
 
     TraceScope(const TraceScope &) = delete;
     TraceScope &operator=(const TraceScope &) = delete;
@@ -312,7 +349,7 @@ class ScopedSpan
             span_ = tracer_->beginLocalSpan(component, name, now, node);
     }
 
-    /** Close the span at sim-time @p now (idempotent). */
+    /** Close the span at time @p now (idempotent). */
     void
     end(double now)
     {

@@ -54,6 +54,40 @@ mixSeed64(std::uint64_t base, std::uint64_t salt)
     return z ^ (z >> 31);
 }
 
+/**
+ * Health snapshot of a Runtime backend (DESIGN.md section 16): how
+ * deep its queues are and how busy its machinery is *right now*.
+ * Fields with no analogue on a backend stay zero (the sim has no
+ * worker pool or per-link queues; its event queue is the timer
+ * surface).  Published as `runtime.*` gauges by
+ * publishRuntimeStats() (runtime/stats.h) and rendered into
+ * Universe::statusReport().
+ */
+struct RuntimeStats
+{
+    /** Clock seconds since the runtime started (sim time / wall). */
+    double uptime = 0.0;
+    /** Tasks queued for the strand, not yet started. */
+    std::size_t strandQueueDepth = 0;
+    /** Timers scheduled and not yet fired or cancelled. */
+    std::size_t timersPending = 0;
+    /** Timer-wheel slots currently holding >= 1 timer (threaded). */
+    std::size_t wheelSlotsOccupied = 0;
+    /** Links with >= 1 queued delivery (threaded). */
+    std::size_t linksActive = 0;
+    /** Messages accepted but not yet delivered or dropped. */
+    std::size_t linkQueuedMessages = 0;
+    /** Payload+header bytes across all link queues (threaded). */
+    std::uint64_t linkQueuedBytes = 0;
+    /** Worker threads serving the task queue (0 on sim). */
+    std::size_t workers = 0;
+    /** Callbacks (tasks/events) executed since start. */
+    std::uint64_t tasksExecuted = 0;
+    /** Fraction of worker capacity spent running callbacks, [0, 1]
+     *  (0 on sim, whose event loop is the caller's thread). */
+    double workerUtilization = 0.0;
+};
+
 /** Narrow clock/timer/transport interface both backends implement. */
 class Runtime
 {
@@ -153,6 +187,14 @@ class Runtime
      * runtime replay identically.
      */
     virtual std::uint64_t mixSeed(std::uint64_t salt) const = 0;
+
+    // --- introspection --------------------------------------------
+    /**
+     * Live health snapshot: queue depths, timer occupancy, worker
+     * utilization.  Cheap (one lock, no allocation beyond the
+     * struct) and callable from any thread, including the strand.
+     */
+    virtual RuntimeStats stats() const = 0;
 
     // --- mode & driving -------------------------------------------
     /** True when time is simulated and replay is bit-exact. */

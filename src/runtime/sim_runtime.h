@@ -119,6 +119,22 @@ class SimRuntime final : public Runtime
         return mixSeed64(seed_, salt);
     }
 
+    // --- introspection --------------------------------------------
+    /** Trivially derived from the wrapped pair: the event queue is
+     *  the timer surface, delivery flights are the "link queue", and
+     *  pool/wheel/utilization fields stay zero (no threads). */
+    RuntimeStats
+    stats() const override
+    {
+        RuntimeStats s;
+        s.uptime = sim_.now();
+        s.strandQueueDepth = 0; // events run inline on the caller
+        s.timersPending = sim_.pending();
+        s.linkQueuedMessages = net_.inFlight();
+        s.tasksExecuted = sim_.eventsExecuted();
+        return s;
+    }
+
     // --- mode & driving -------------------------------------------
     bool deterministic() const override { return true; }
 

@@ -8,6 +8,7 @@
 #include <cmath>
 
 #include "obs/metrics.h"
+#include "obs/profiler.h"
 #include "obs/trace.h"
 #include "runtime/framing.h"
 #include "util/check.h"
@@ -23,7 +24,7 @@ struct RtMetricIds
     MetricsRegistry *reg;
     MetricsRegistry::Id tasks, timersSet, timersFired, timersCancelled,
         sends, bytes, drops, arrivalDrops, delivered, frameBytes,
-        frameErrors;
+        frameErrors, taskDelay;
 
     RtMetricIds()
         : reg(&MetricsRegistry::global()),
@@ -37,7 +38,11 @@ struct RtMetricIds
           arrivalDrops(reg->counter("runtime.arrival_drops")),
           delivered(reg->counter("runtime.delivered")),
           frameBytes(reg->counter("runtime.frame_bytes")),
-          frameErrors(reg->counter("runtime.frame_errors"))
+          frameErrors(reg->counter("runtime.frame_errors")),
+          // Enqueue->run latency; the sim backend feeds the same
+          // histogram with schedule->fire delays, so one dashboard
+          // reads both.
+          taskDelay(reg->histogram("runtime.task_delay", 0.0, 2.5, 50))
     {
     }
 };
@@ -110,15 +115,26 @@ ThreadedRuntime::tickOf(double when) const
 }
 
 EventId
-ThreadedRuntime::scheduleLocked(double when, EventFn fn)
+ThreadedRuntime::scheduleLocked(double when, EventFn fn, bool profile)
 {
     EventId id = nextId_++;
     Timer t;
     t.when = when;
     t.fn = std::move(fn);
     t.alive = std::make_shared<std::atomic<bool>>(true);
-    if (const Tracer *tr = Tracer::active())
-        t.ctx = tr->current();
+    t.scheduledAt = nowImpl();
+    t.profile = profile;
+    // Capture the ambient observability context so the timer fires
+    // inside the trace/phase of the code scheduling it, exactly as
+    // the simulator captures it into event slots.  Runtime-internal
+    // timers (link drains) skip the capture: they are plumbing, not
+    // protocol work, and must not inherit or attribute a phase.
+    if (profile) {
+        if (const Tracer *tr = Tracer::active())
+            t.ctx = tr->current();
+        if (const PhaseProfiler *pp = PhaseProfiler::active())
+            t.label = pp->currentLabel();
+    }
     std::size_t slot = tickOf(when) % wheelSlots;
     aliveOf_.emplace(id, t.alive);
     wheel_[slot].emplace(id, std::move(t));
@@ -178,8 +194,11 @@ ThreadedRuntime::post(EventFn fn)
 {
     Task t;
     t.fn = std::move(fn);
+    t.scheduledAt = t.enqueuedAt = nowImpl();
     if (const Tracer *tr = Tracer::active())
         t.ctx = tr->current();
+    if (const PhaseProfiler *pp = PhaseProfiler::active())
+        t.label = pp->currentLabel();
     {
         std::lock_guard<std::mutex> lk(mu_);
         tasks_.push_back(std::move(t));
@@ -307,29 +326,70 @@ ThreadedRuntime::uniqueStamp() const
     return stamp_.fetch_add(1, std::memory_order_relaxed);
 }
 
+RuntimeStats
+ThreadedRuntime::stats() const
+{
+    RuntimeStats s;
+    s.uptime = nowImpl();
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        s.strandQueueDepth = tasks_.size();
+        s.timersPending = slotOf_.size();
+        for (const auto &bucket : wheel_)
+            if (!bucket.empty())
+                s.wheelSlotsOccupied++;
+        for (const auto &kv : links_)
+            if (!kv.second.q.empty())
+                s.linksActive++;
+        s.linkQueuedMessages = inFlight_;
+        s.linkQueuedBytes = linkQueuedBytes_;
+    }
+    s.workers = cfg_.workers;
+    s.tasksExecuted = tasksRun_.load(std::memory_order_relaxed);
+    double busy =
+        static_cast<double>(
+            busyNanos_.load(std::memory_order_relaxed)) *
+        1e-9;
+    double capacity = s.uptime * static_cast<double>(cfg_.workers);
+    if (capacity > 0.0)
+        s.workerUtilization = std::min(1.0, busy / capacity);
+    return s;
+}
+
+double
+ThreadedRuntime::drawDueLocked(NodeId from, NodeId to,
+                               std::size_t bytes)
+{
+    // The jitter draw happens here, before any tracing decision, so
+    // the rng_ stream is identical whether or not a tracer is
+    // attached — mirroring the sim network's draw-then-trace order.
+    double lat = latencyLocked(from, to);
+    if (cfg_.jitter > 0)
+        lat *= rng_.uniform(1.0 - cfg_.jitter, 1.0 + cfg_.jitter);
+    if (cfg_.bandwidth > 0)
+        lat += static_cast<double>(bytes) / cfg_.bandwidth;
+    return nowImpl() + lat;
+}
+
 void
 ThreadedRuntime::enqueueDelivery(
     NodeId from, NodeId to, const std::shared_ptr<const Message> &msg,
-    const std::shared_ptr<const Bytes> &frame)
+    const std::shared_ptr<const Bytes> &frame, double due)
 {
     std::uint64_t key = linkKey(from, to);
     bool armed = false;
     {
         std::lock_guard<std::mutex> lk(mu_);
-        double lat = latencyLocked(from, to);
-        if (cfg_.jitter > 0)
-            lat *= rng_.uniform(1.0 - cfg_.jitter, 1.0 + cfg_.jitter);
-        if (cfg_.bandwidth > 0)
-            lat += static_cast<double>(msg->totalBytes()) /
-                   cfg_.bandwidth;
         Pending p;
         p.msg = msg;
         p.frame = frame;
-        p.due = nowImpl() + lat;
+        p.due = due;
+        p.sentAt = nowImpl();
         p.to = to;
         Link &l = links_[key];
         l.q.push_back(std::move(p));
         inFlight_++;
+        linkQueuedBytes_ += msg->totalBytes();
         // The drain timer is re-armed from drainLink for each
         // subsequent queue head; only an idle link arms here.
         if (!l.armed) {
@@ -345,7 +405,11 @@ ThreadedRuntime::enqueueDelivery(
 void
 ThreadedRuntime::armLinkLocked(std::uint64_t key, double due)
 {
-    scheduleLocked(due, [this, key] { drainLink(key); });
+    // profile=false: the drain timer is transport plumbing; phase
+    // attribution happens once per delivery in deliverPending, the
+    // way the sim attributes each delivery event exactly once.
+    scheduleLocked(due, [this, key] { drainLink(key); },
+                   /*profile=*/false);
 }
 
 void
@@ -370,6 +434,7 @@ ThreadedRuntime::drainLink(std::uint64_t key)
             p = std::move(l.q.front());
             l.q.pop_front();
             inFlight_--;
+            linkQueuedBytes_ -= p.msg->totalBytes();
         }
         deliverPending(p);
     }
@@ -379,6 +444,16 @@ void
 ThreadedRuntime::deliverPending(const Pending &p)
 {
     RtMetricIds &rm = rtMetrics();
+    // One phase attribution per delivery, keyed by message type and
+    // charged the send->handle wall latency — the threaded analogue
+    // of the sim network's per-delivery ScopedPhase.
+    PhaseProfiler *pp = PhaseProfiler::active();
+    PhaseProfiler::Label label = 0;
+    if (pp) {
+        label = pp->labelForMessageType(p.msg->type);
+        pp->onEventFired(label, nowImpl() - p.sentAt);
+    }
+    ScopedPhase phase(pp, label);
     // Decode + verify the frame exactly as a socket receiver would
     // before trusting any field of the out-of-band payload.
     auto head = decodeFrame(*p.frame);
@@ -432,14 +507,30 @@ ThreadedRuntime::send(NodeId from, NodeId to, Message msg)
     }
     rm.reg->inc(rm.sends);
     rm.reg->inc(rm.bytes, bytes);
+    Tracer *tr = Tracer::active();
     if (!sender_up || dropped) {
         rm.reg->inc(rm.drops);
+        if (tr) {
+            double t = nowImpl();
+            tr->messageSpan(msg.type, from, to, bytes, t, t,
+                            SpanKind::Send, SpanStatus::Dropped);
+        }
         return;
     }
+    double due;
+    double sendT = nowImpl();
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        due = drawDueLocked(from, to, bytes);
+    }
+    if (tr)
+        msg.trace = tr->messageSpan(msg.type, from, to, bytes, sendT,
+                                    due, SpanKind::Send,
+                                    SpanStatus::Ok);
     auto frame = std::make_shared<const Bytes>(encodeFrame(msg));
     rm.reg->inc(rm.frameBytes, frame->size());
     auto shared = std::make_shared<const Message>(std::move(msg));
-    enqueueDelivery(from, to, shared, frame);
+    enqueueDelivery(from, to, shared, frame, due);
 }
 
 void
@@ -469,17 +560,44 @@ ThreadedRuntime::multicast(NodeId from, const std::vector<NodeId> &tos,
     }
     rm.reg->inc(rm.sends, tos.size());
     rm.reg->inc(rm.bytes, bytes * tos.size());
+    Tracer *tr = Tracer::active();
     if (!sender_up) {
         rm.reg->inc(rm.drops, tos.size());
+        if (tr) {
+            double t = nowImpl();
+            tr->messageSpan(msg.type, from,
+                            static_cast<std::uint32_t>(tos.size()),
+                            bytes, t, t, SpanKind::Multicast,
+                            SpanStatus::Dropped);
+        }
         return;
+    }
+    // One span for the whole fan-out (peer = destination count),
+    // extended to the latest leg's delivery time as legs enqueue —
+    // the same shape the sim network records.
+    std::uint32_t fanoutSpan = 0;
+    double sendT = nowImpl();
+    if (tr) {
+        msg.trace = tr->messageSpan(
+            msg.type, from, static_cast<std::uint32_t>(tos.size()),
+            bytes, sendT, sendT, SpanKind::Multicast, SpanStatus::Ok);
+        fanoutSpan = msg.trace.spanId;
     }
     // One payload, one frame, shared by every destination — the
     // loopback analogue of the sim network's pooled flights.
     auto frame = std::make_shared<const Bytes>(encodeFrame(msg));
     rm.reg->inc(rm.frameBytes, frame->size() * tos.size());
     auto shared = std::make_shared<const Message>(std::move(msg));
-    for (NodeId to : tos)
-        enqueueDelivery(from, to, shared, frame);
+    for (NodeId to : tos) {
+        double due;
+        {
+            std::lock_guard<std::mutex> lk(mu_);
+            due = drawDueLocked(from, to, bytes);
+        }
+        if (tr)
+            tr->setSpanEnd(fanoutSpan, due);
+        enqueueDelivery(from, to, shared, frame, due);
+    }
 }
 
 bool
@@ -568,14 +686,18 @@ ThreadedRuntime::timerLoop()
             auto &bucket = wheel_[slot];
             for (auto it = bucket.begin(); it != bucket.end();) {
                 if (tickOf(it->second.when) <= cur) {
-                    Task t;
-                    t.fn = std::move(it->second.fn);
-                    t.ctx = it->second.ctx;
-                    t.alive = std::move(it->second.alive);
-                    t.timerId = it->first;
+                    Task task;
+                    task.fn = std::move(it->second.fn);
+                    task.ctx = it->second.ctx;
+                    task.alive = std::move(it->second.alive);
+                    task.timerId = it->first;
+                    task.scheduledAt = it->second.scheduledAt;
+                    task.enqueuedAt = t;
+                    task.label = it->second.label;
+                    task.profile = it->second.profile;
                     due.emplace_back(
                         std::make_pair(it->second.when, it->first),
-                        std::move(t));
+                        std::move(task));
                     slotOf_.erase(it->first);
                     it = bucket.erase(it);
                 } else {
@@ -614,12 +736,21 @@ ThreadedRuntime::runTask(Task &task)
     if (task.alive && !task.alive->load(std::memory_order_acquire))
         return;
     // Restore the causal context captured when the work was queued,
-    // exactly as the simulator does around every event callback.
+    // exactly as the simulator does around every event callback, and
+    // attribute the schedule->run delay to the captured phase
+    // (cancelled timers, skipped above, are never attributed).
     Tracer *tr = Tracer::active();
     bool traced = tr && task.ctx.valid();
     if (traced)
         tr->setCurrent(task.ctx);
+    PhaseProfiler *pp = task.profile ? PhaseProfiler::active() : nullptr;
+    if (pp) {
+        pp->onEventFired(task.label, nowImpl() - task.scheduledAt);
+        pp->setCurrent(task.label);
+    }
     task.fn();
+    if (pp)
+        pp->setCurrent(0);
     if (traced)
         tr->clearCurrent();
 }
@@ -652,8 +783,20 @@ ThreadedRuntime::workerLoop()
                 task = std::move(tasks_.front());
                 tasks_.pop_front();
             }
-            rtMetrics().reg->inc(rtMetrics().tasks);
+            RtMetricIds &rm = rtMetrics();
+            rm.reg->inc(rm.tasks);
+            rm.reg->observe(rm.taskDelay,
+                            nowImpl() - task.enqueuedAt);
+            auto t0 = std::chrono::steady_clock::now();
             runTask(task);
+            busyNanos_.fetch_add(
+                static_cast<std::uint64_t>(
+                    std::chrono::duration_cast<
+                        std::chrono::nanoseconds>(
+                        std::chrono::steady_clock::now() - t0)
+                        .count()),
+                std::memory_order_relaxed);
+            tasksRun_.fetch_add(1, std::memory_order_relaxed);
             if (task.timerId != invalidEventId) {
                 // The callback ran (or was tombstone-skipped); from
                 // here on cancel(timerId) is a no-op by design.
@@ -708,6 +851,7 @@ std::uint64_t ThreadedRuntime::mixSeed(std::uint64_t) const
     return 0;
 }
 std::uint64_t ThreadedRuntime::uniqueStamp() const { return 0; }
+RuntimeStats ThreadedRuntime::stats() const { return RuntimeStats{}; }
 bool ThreadedRuntime::runUntil(const std::function<bool()> &, SimTime)
 {
     return false;

@@ -137,6 +137,8 @@ class ThreadedRuntime final : public Runtime
 
     std::uint64_t mixSeed(std::uint64_t salt) const override;
 
+    RuntimeStats stats() const override;
+
     bool deterministic() const override { return false; }
     bool runUntil(const std::function<bool()> &pred,
                   SimTime deadline) override;
@@ -151,6 +153,7 @@ class ThreadedRuntime final : public Runtime
         std::shared_ptr<const Message> msg;
         std::shared_ptr<const Bytes> frame;
         double due = 0.0;
+        double sentAt = 0.0; //!< Send time, for phase attribution.
         NodeId to = invalidNode;
     };
 
@@ -171,6 +174,15 @@ class ThreadedRuntime final : public Runtime
         TraceContext ctx;
         std::shared_ptr<std::atomic<bool>> alive;
         EventId timerId = invalidEventId;
+        /** When the originating schedule()/post() ran (wall). */
+        double scheduledAt = 0.0;
+        /** When the task entered tasks_ (runtime.task_delay base). */
+        double enqueuedAt = 0.0;
+        /** Ambient phase label captured at scheduling. */
+        std::uint16_t label = 0;
+        /** False for runtime-internal work (link drains), which the
+         *  profiler must not attribute to a protocol phase. */
+        bool profile = true;
     };
 
     /** A wheel timer waiting to fire. */
@@ -180,19 +192,29 @@ class ThreadedRuntime final : public Runtime
         EventFn fn;
         TraceContext ctx;
         std::shared_ptr<std::atomic<bool>> alive;
+        double scheduledAt = 0.0;
+        std::uint16_t label = 0;
+        bool profile = true;
     };
 
     static constexpr std::size_t wheelSlots = 512;
 
     double nowImpl() const;
     std::uint64_t tickOf(double when) const;
-    /** "Locked" members require mu_ held by the caller. */
-    EventId scheduleLocked(double when, EventFn fn);
+    /** "Locked" members require mu_ held by the caller.
+     *  profile=false marks runtime-internal timers (link drains):
+     *  no trace/phase capture, no profiler attribution. */
+    EventId scheduleLocked(double when, EventFn fn,
+                           bool profile = true);
     void armLinkLocked(std::uint64_t key, double due);
     double latencyLocked(NodeId a, NodeId b) const;
+    /** Draw the jittered delivery deadline for one leg (consumes
+     *  rng_ exactly once per jittered link, traced or not). */
+    double drawDueLocked(NodeId from, NodeId to, std::size_t bytes);
     void enqueueDelivery(NodeId from, NodeId to,
                          const std::shared_ptr<const Message> &msg,
-                         const std::shared_ptr<const Bytes> &frame);
+                         const std::shared_ptr<const Bytes> &frame,
+                         double due);
     void drainLink(std::uint64_t key);
     void deliverPending(const Pending &p);
     void runOnStrand(const std::function<void()> &fn);
@@ -222,7 +244,14 @@ class ThreadedRuntime final : public Runtime
     std::uint64_t totalBytes_ = 0;
     std::uint64_t totalMessages_ = 0;
     std::size_t inFlight_ = 0;
+    /** Bytes sitting in link queues right now (guarded by mu_). */
+    std::uint64_t linkQueuedBytes_ = 0;
     Counters byType_;
+
+    /** Strand callbacks completed since start. */
+    std::atomic<std::uint64_t> tasksRun_{0};
+    /** Wall nanoseconds workers spent inside callbacks. */
+    std::atomic<std::uint64_t> busyNanos_{0};
 
     std::deque<Task> tasks_;
     std::map<std::uint64_t, Link> links_;

@@ -15,13 +15,17 @@ namespace {
 struct SimMetricIds
 {
     MetricsRegistry *reg;
-    MetricsRegistry::Id scheduled, fired, cancelled;
+    MetricsRegistry::Id scheduled, fired, cancelled, taskDelay;
 
     SimMetricIds()
         : reg(&MetricsRegistry::global()),
           scheduled(reg->counter("sim.events_scheduled")),
           fired(reg->counter("sim.events_fired")),
-          cancelled(reg->counter("sim.events_cancelled"))
+          cancelled(reg->counter("sim.events_cancelled")),
+          // Schedule->fire latency, the sim half of the runtime
+          // health surface (the threaded backend feeds the same
+          // histogram with wall-clock queue delays).
+          taskDelay(reg->histogram("runtime.task_delay", 0.0, 2.5, 50))
     {
     }
 };
@@ -193,6 +197,7 @@ Simulator::step()
 
     SimMetricIds &m = simMetrics();
     m.reg->inc(m.fired);
+    m.reg->observe(m.taskDelay, firedAt - scheduledAt);
     // Restore the scheduling code's observability context around the
     // callback, so everything it does (sends, new timers) stays
     // causally linked and phase-attributed.

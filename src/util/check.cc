@@ -1,9 +1,39 @@
 #include "util/check.h"
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 
 namespace oceanstore {
+
+namespace {
+
+std::atomic<CheckFailureHook> gHook{nullptr};
+std::atomic<void *> gHookArg{nullptr};
+
+} // namespace
+
+void
+setCheckFailureHook(CheckFailureHook hook, void *arg)
+{
+    // Arg first: a concurrent failure that wins the hook exchange
+    // must never pair the new hook with the old arg.
+    gHookArg.store(arg, std::memory_order_release);
+    gHook.store(hook, std::memory_order_release);
+}
+
+CheckFailureHook
+checkFailureHook()
+{
+    return gHook.load(std::memory_order_acquire);
+}
+
+void *
+checkFailureHookArg()
+{
+    return gHookArg.load(std::memory_order_acquire);
+}
+
 namespace check_detail {
 
 void
@@ -18,6 +48,14 @@ checkFailed(const char *file, int line, const char *macro,
                      file, line, expr, msg.c_str());
     }
     std::fflush(stderr);
+    // Consume the hook before running it: a second failure (another
+    // thread, or checked code inside the hook itself) sees nullptr
+    // and aborts directly instead of recursing.
+    if (CheckFailureHook hook =
+            gHook.exchange(nullptr, std::memory_order_acq_rel)) {
+        hook(gHookArg.load(std::memory_order_acquire));
+        std::fflush(stderr);
+    }
     std::abort();
 }
 

@@ -23,9 +23,31 @@
 #include <string>
 
 namespace oceanstore {
+
+/**
+ * Last-gasp diagnostics hook: called (at most once, with the
+ * registered argument) after a failed check prints its diagnostic
+ * and before the process aborts.  The flight recorder uses this to
+ * dump recent spans + a metrics snapshot from a crashing threaded
+ * deployment.  The hook is consumed on first failure — a check
+ * failing *inside* the hook falls straight through to abort, so the
+ * hook may safely call checked code.
+ */
+using CheckFailureHook = void (*)(void *arg);
+
+/** Install @p hook (nullptr to clear); returns nothing.  The
+ *  previous hook/arg pair can be read back via
+ *  checkFailureHook()/checkFailureHookArg() for RAII restore. */
+void setCheckFailureHook(CheckFailureHook hook, void *arg);
+
+/** The currently installed hook / argument (for save-restore). */
+CheckFailureHook checkFailureHook();
+void *checkFailureHookArg();
+
 namespace check_detail {
 
-/** Print the diagnostic and abort.  Never returns. */
+/** Print the diagnostic, run the failure hook (once), and abort.
+ *  Never returns. */
 [[noreturn]] void checkFailed(const char *file, int line,
                               const char *macro, const char *expr,
                               const std::string &msg);

@@ -11,18 +11,27 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <cstdlib>
+#include <fstream>
+#include <iterator>
 #include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#ifdef OCEANSTORE_THREADED
+#include <thread>
+#endif
+
 #include "core/universe.h"
 #include "obs/export.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "obs/profiler.h"
 #include "obs/trace.h"
 #include "sim/network.h"
 #include "sim/simulator.h"
+#include "util/check.h"
 
 namespace oceanstore {
 namespace {
@@ -155,8 +164,11 @@ TEST(Trace, LocalSpanNestingAndAmbientContext)
     std::uint32_t child = t.beginLocalSpan("core", "sub", 1.5);
     EXPECT_EQ(t.current().spanId, child);
 
-    const SpanRecord &rr = t.buffer().records()[root - 1];
-    const SpanRecord &cr = t.buffer().records()[child - 1];
+    // Single-threaded appends draw sequential span ids, so id - 1
+    // indexes the snapshot (which is sorted by span id).
+    auto spans = t.buffer().snapshot();
+    const SpanRecord &rr = spans[root - 1];
+    const SpanRecord &cr = spans[child - 1];
     EXPECT_EQ(rr.parent, 0u);
     EXPECT_EQ(rr.hop, 0u);
     EXPECT_EQ(rr.node, 5u);
@@ -168,12 +180,13 @@ TEST(Trace, LocalSpanNestingAndAmbientContext)
     EXPECT_EQ(t.current().spanId, root); // ambient restored
     t.endLocalSpan(root, 3.0);
     EXPECT_FALSE(t.current().valid());
-    EXPECT_DOUBLE_EQ(t.buffer().records()[child - 1].end, 2.0);
-    EXPECT_DOUBLE_EQ(t.buffer().records()[root - 1].end, 3.0);
+    auto ended = t.buffer().snapshot();
+    EXPECT_DOUBLE_EQ(ended[child - 1].end, 2.0);
+    EXPECT_DOUBLE_EQ(ended[root - 1].end, 3.0);
 
     // A fresh root after the stack unwinds starts a new trace.
     std::uint32_t second = t.beginLocalSpan("core", "op2", 4.0);
-    EXPECT_NE(t.buffer().records()[second - 1].traceId, rr.traceId);
+    EXPECT_NE(t.buffer().snapshot()[second - 1].traceId, rr.traceId);
     t.endLocalSpan(second, 4.0);
 }
 
@@ -187,7 +200,7 @@ TEST(Trace, MessageSpanParentsWithoutEnteringScope)
     // The returned context names the new span as causal parent...
     EXPECT_EQ(ctx.traceId, t.current().traceId);
     EXPECT_EQ(ctx.hop, 1u);
-    const SpanRecord &mr = t.buffer().records()[ctx.spanId - 1];
+    SpanRecord mr = t.buffer().snapshot()[ctx.spanId - 1];
     EXPECT_EQ(mr.parent, root);
     EXPECT_EQ(mr.kind, SpanKind::Send);
     EXPECT_EQ(mr.peer, 1u);
@@ -197,9 +210,9 @@ TEST(Trace, MessageSpanParentsWithoutEnteringScope)
 
     // setSpanEnd only ever extends.
     t.setSpanEnd(ctx.spanId, 0.5);
-    EXPECT_DOUBLE_EQ(t.buffer().records()[ctx.spanId - 1].end, 1.2);
+    EXPECT_DOUBLE_EQ(t.buffer().snapshot()[ctx.spanId - 1].end, 1.2);
     t.setSpanEnd(ctx.spanId, 2.0);
-    EXPECT_DOUBLE_EQ(t.buffer().records()[ctx.spanId - 1].end, 2.0);
+    EXPECT_DOUBLE_EQ(t.buffer().snapshot()[ctx.spanId - 1].end, 2.0);
 
     t.endLocalSpan(root, 2.0);
 }
@@ -289,9 +302,10 @@ struct PingWorld
 };
 
 const SpanRecord *
-findSpan(const Tracer &t, const std::string &name)
+findSpan(const Tracer &t, const std::vector<SpanRecord> &spans,
+         const std::string &name)
 {
-    for (const SpanRecord &r : t.buffer().records())
+    for (const SpanRecord &r : spans)
         if (t.internedString(r.name) == name)
             return &r;
     return nullptr;
@@ -306,9 +320,10 @@ TEST(Trace, ContextPropagatesAcrossNetworkAndTimers)
         world.run();
     }
 
-    const SpanRecord *ping = findSpan(tracer, "test.ping");
-    const SpanRecord *pong = findSpan(tracer, "test.pong");
-    const SpanRecord *late = findSpan(tracer, "test.late");
+    auto spans = tracer.buffer().snapshot();
+    const SpanRecord *ping = findSpan(tracer, spans, "test.ping");
+    const SpanRecord *pong = findSpan(tracer, spans, "test.pong");
+    const SpanRecord *late = findSpan(tracer, spans, "test.late");
     ASSERT_NE(ping, nullptr);
     ASSERT_NE(pong, nullptr);
     ASSERT_NE(late, nullptr);
@@ -421,12 +436,167 @@ TEST(Profiler, AttributesEventsAndSortsStats)
 }
 
 // ---------------------------------------------------------------------
+// FlightRecorder
+// ---------------------------------------------------------------------
+
+TEST(FlightRecorder, RingKeepsRecentSpansAndCountsLapped)
+{
+    Tracer tracer;
+    FlightRecorder rec(8);
+    {
+        TraceScope ts(tracer);
+        FlightScope fs(rec, tracer, "unit");
+        EXPECT_EQ(FlightRecorder::active(), &rec);
+        for (int i = 0; i < 20; i++) {
+            std::uint32_t s = tracer.beginLocalSpan(
+                "test", "op" + std::to_string(i), i * 1.0);
+            tracer.endLocalSpan(s, i * 1.0);
+        }
+    }
+    EXPECT_EQ(FlightRecorder::active(), nullptr);
+    EXPECT_EQ(rec.recorded(), 20u);
+    auto spans = rec.snapshot();
+    ASSERT_EQ(spans.size(), 8u);
+    // The ring holds the *last* capacity spans, sorted by span id.
+    for (std::size_t i = 1; i < spans.size(); i++)
+        EXPECT_LT(spans[i - 1].spanId, spans[i].spanId);
+    EXPECT_EQ(spans.back().spanId, 20u);
+    rec.clear();
+    EXPECT_TRUE(rec.snapshot().empty());
+    EXPECT_EQ(rec.recorded(), 0u);
+}
+
+TEST(FlightRecorder, DumpWritesTraceAndMetricsFiles)
+{
+    Tracer tracer;
+    FlightRecorder rec(16);
+    {
+        TraceScope ts(tracer);
+        FlightScope fs(rec, tracer, "unit");
+        std::uint32_t s = tracer.beginLocalSpan("test", "op", 1.0);
+        tracer.endLocalSpan(s, 2.0);
+    }
+    std::string dir = ::testing::TempDir() + "flight_dump_test";
+    ASSERT_TRUE(rec.dump(dir, "unit", tracer));
+
+    std::ifstream trace(dir + "/unit.flight.trace.jsonl");
+    ASSERT_TRUE(trace.good());
+    std::string meta, span;
+    std::getline(trace, meta);
+    std::getline(trace, span);
+    EXPECT_NE(meta.find("\"meta\": \"flight\""), std::string::npos);
+    EXPECT_NE(meta.find("\"clock\": \"wall\""), std::string::npos);
+    EXPECT_NE(span.find("\"name\": \"op\""), std::string::npos);
+
+    std::ifstream metrics(dir + "/unit.flight.metrics.json");
+    ASSERT_TRUE(metrics.good());
+    std::string all((std::istreambuf_iterator<char>(metrics)),
+                    std::istreambuf_iterator<char>());
+    EXPECT_NE(all.find("\"counters\""), std::string::npos);
+}
+
+using FlightRecorderDeathTest = ::testing::Test;
+
+TEST(FlightRecorderDeathTest, CheckFailureDumpsBlackBox)
+{
+    // The death statement runs in a forked child: the FlightScope
+    // installed there wires the check-failure hook, the OS_CHECK
+    // aborts the child, and the dump the hook wrote survives on disk
+    // for the parent to inspect — exactly the crashed-deployment
+    // post-mortem flow.
+    std::string dir = ::testing::TempDir() + "flight_check_test";
+    ::setenv("OCEANSTORE_CHAOS_DUMP_DIR", dir.c_str(), 1);
+    EXPECT_DEATH(
+        {
+            Tracer tracer;
+            TraceScope ts(tracer);
+            FlightRecorder rec(64);
+            FlightScope fs(rec, tracer, "blackbox");
+            std::uint32_t s =
+                tracer.beginLocalSpan("test", "doomed", 1.0);
+            tracer.endLocalSpan(s, 1.5);
+            OS_CHECK(false, "flight-dump self-test failure");
+        },
+        "flight-dump self-test failure");
+    ::unsetenv("OCEANSTORE_CHAOS_DUMP_DIR");
+
+    std::ifstream in(dir + "/blackbox.flight.trace.jsonl");
+    ASSERT_TRUE(in.good())
+        << "check-failure hook did not write the flight dump";
+    std::string meta;
+    std::getline(in, meta);
+    EXPECT_NE(meta.find("\"meta\": \"flight\""), std::string::npos);
+    std::string rest((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+    EXPECT_NE(rest.find("\"name\": \"doomed\""), std::string::npos);
+}
+
+#ifdef OCEANSTORE_THREADED
+
+// ---------------------------------------------------------------------
+// Thread-safety of the obs hot paths (meaningful under TSan)
+// ---------------------------------------------------------------------
+
+TEST(ObsConcurrency, SpansMetricsAndFlightRingFromManyThreads)
+{
+    Tracer tracer;
+    FlightRecorder rec(256);
+    MetricsRegistry reg;
+    auto counter = reg.counter("t.conc.count");
+    auto gauge = reg.gauge("t.conc.level");
+    auto hist = reg.histogram("t.conc.lat", 0.0, 1.0, 10);
+
+    constexpr int kThreads = 4;
+    constexpr int kSpansPerThread = 500;
+    {
+        TraceScope ts(tracer);
+        FlightScope fs(rec, tracer, "conc");
+        std::vector<std::thread> pool;
+        for (int t = 0; t < kThreads; t++) {
+            pool.emplace_back([&, t] {
+                for (int i = 0; i < kSpansPerThread; i++) {
+                    std::uint32_t s = tracer.beginLocalSpan(
+                        "test", "thread" + std::to_string(t),
+                        i * 0.001);
+                    tracer.setSpanEnd(s, i * 0.001 + 0.0005);
+                    tracer.endLocalSpan(s, i * 0.001 + 0.001);
+                    reg.inc(counter);
+                    reg.set(gauge, static_cast<double>(i));
+                    reg.observe(hist, (i % 10) * 0.1);
+                }
+            });
+        }
+        for (auto &th : pool)
+            th.join();
+    }
+
+    // Every span made it into exactly one arena, and the merged
+    // snapshot carries each allocated id exactly once, in order.
+    auto spans = tracer.buffer().snapshot();
+    ASSERT_EQ(spans.size(),
+              static_cast<std::size_t>(kThreads * kSpansPerThread));
+    for (std::size_t i = 0; i < spans.size(); i++)
+        EXPECT_EQ(spans[i].spanId, static_cast<std::uint32_t>(i + 1));
+    EXPECT_EQ(reg.counterValue("t.conc.count"),
+              static_cast<std::uint64_t>(kThreads * kSpansPerThread));
+    EXPECT_EQ(rec.recorded(),
+              static_cast<std::uint64_t>(kThreads * kSpansPerThread));
+    EXPECT_EQ(reg.snapshot().histograms.at("t.conc.lat").total,
+              static_cast<std::uint64_t>(kThreads * kSpansPerThread));
+}
+
+#endif // OCEANSTORE_THREADED
+
+// ---------------------------------------------------------------------
 // End-to-end: the causal chain of one committed update
 // ---------------------------------------------------------------------
 
-/** Names along the root-to-span ancestor path, root first. */
+/** Names along the root-to-span ancestor path, root first.  @p spans
+ *  must be a snapshot of the leaf's buffer (sorted by span id; ids
+ *  are sequential in a single-threaded run, so id - 1 indexes it). */
 std::vector<std::string>
-ancestorNames(const Tracer &t, const SpanRecord &leaf)
+ancestorNames(const Tracer &t, const std::vector<SpanRecord> &spans,
+              const SpanRecord &leaf)
 {
     std::vector<std::string> names;
     const SpanRecord *cur = &leaf;
@@ -434,7 +604,7 @@ ancestorNames(const Tracer &t, const SpanRecord &leaf)
         names.insert(names.begin(), t.internedString(cur->name));
         if (cur->parent == 0)
             break;
-        cur = &t.buffer().records()[cur->parent - 1];
+        cur = &spans[cur->parent - 1];
     }
     return names;
 }
@@ -483,10 +653,11 @@ TEST(Trace, ReconstructsCommittedUpdateCausalChain)
         "pbft.commit",   "sec.push",     "sec.ack",
     };
     bool found = false;
-    for (const SpanRecord &r : tracer.buffer().records()) {
+    auto spans = tracer.buffer().snapshot();
+    for (const SpanRecord &r : spans) {
         if (tracer.internedString(r.name) != chain.back())
             continue;
-        if (isSubsequence(chain, ancestorNames(tracer, r))) {
+        if (isSubsequence(chain, ancestorNames(tracer, spans, r))) {
             found = true;
             break;
         }

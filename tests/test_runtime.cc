@@ -18,11 +18,21 @@
 #include <gtest/gtest.h>
 
 #include <memory>
+#include <sstream>
 #include <string>
 #include <vector>
 
+#ifdef OCEANSTORE_THREADED
+#include <atomic>
+#include <chrono>
+#include <thread>
+#endif
+
+#include "obs/flight_recorder.h"
+#include "obs/trace.h"
 #include "runtime/framing.h"
 #include "runtime/sim_runtime.h"
+#include "runtime/stats.h"
 #include "runtime/threaded_runtime.h"
 
 namespace oceanstore {
@@ -326,11 +336,209 @@ TEST_P(RuntimeConformance, UniqueStampIsMonotone)
     EXPECT_GE(rt().uniqueStamp(), s0);
 }
 
+TEST_P(RuntimeConformance, TraceContextPropagatesThroughBackend)
+{
+    // The observability contract (DESIGN.md section 16): a timer, a
+    // posted task and a delivered message all run inside the trace
+    // context of the code that scheduled/sent them, on BOTH backends.
+    Tracer tracer;
+    TraceContext timerCtx, postCtx, deliveredCtx;
+    bool timerDone = false, postDone = false;
+    {
+        TraceScope scope(tracer);
+        rt().execute([&]() {
+            std::uint32_t root =
+                tracer.beginLocalSpan("test", "root", rt().now());
+            rt().send(a_, b_, makeMessage("t.msg", 1, 32));
+            rt().schedule(0.01, [&]() {
+                timerCtx = tracer.current();
+                timerDone = true;
+            });
+            rt().post([&]() {
+                postCtx = tracer.current();
+                postDone = true;
+            });
+            tracer.endLocalSpan(root, rt().now());
+        });
+        ASSERT_TRUE(drive([&]() {
+            return nb_.received.size() == 1 && timerDone && postDone;
+        }));
+        rt().execute([&]() { deliveredCtx = nb_.received[0].trace; });
+    }
+
+    auto spans = tracer.buffer().snapshot();
+    const SpanRecord *rootSpan = nullptr;
+    const SpanRecord *msgSpan = nullptr;
+    for (const SpanRecord &r : spans) {
+        if (tracer.internedString(r.name) == "root")
+            rootSpan = &r;
+        if (tracer.internedString(r.name) == "t.msg")
+            msgSpan = &r;
+    }
+    ASSERT_NE(rootSpan, nullptr);
+    ASSERT_NE(msgSpan, nullptr);
+    // The send span parents under the root scope, and the delivered
+    // message carried exactly that span as its causal context.
+    EXPECT_EQ(msgSpan->parent, rootSpan->spanId);
+    EXPECT_EQ(msgSpan->kind, SpanKind::Send);
+    EXPECT_GE(msgSpan->end, msgSpan->start);
+    EXPECT_EQ(deliveredCtx.traceId, msgSpan->traceId);
+    EXPECT_EQ(deliveredCtx.spanId, msgSpan->spanId);
+    // Timer and post callbacks ran inside the root's context.
+    EXPECT_EQ(timerCtx.traceId, rootSpan->traceId);
+    EXPECT_EQ(timerCtx.spanId, rootSpan->spanId);
+    EXPECT_EQ(postCtx.traceId, rootSpan->traceId);
+    EXPECT_EQ(postCtx.spanId, rootSpan->spanId);
+}
+
+TEST_P(RuntimeConformance, StatsExposeLiveBackendHealth)
+{
+    bool fired = false;
+    rt().execute([&]() {
+        rt().schedule(5.0, []() {}); // stays pending past the test
+        rt().send(a_, b_, makeMessage("t", 1, 32));
+        RuntimeStats mid = rt().stats();
+        EXPECT_GE(mid.timersPending, 1u);
+        EXPECT_GE(mid.linkQueuedMessages, 1u);
+        if (!rt().deterministic()) {
+            // Threaded-only surfaces: wheel occupancy, per-link
+            // queues, the worker pool.
+            EXPECT_GE(mid.wheelSlotsOccupied, 1u);
+            EXPECT_GE(mid.linksActive, 1u);
+            EXPECT_GT(mid.linkQueuedBytes, 0u);
+            EXPECT_EQ(mid.workers, 4u);
+        }
+        rt().schedule(0.0, [&]() { fired = true; });
+    });
+    ASSERT_TRUE(
+        drive([&]() { return fired && nb_.received.size() == 1; }));
+
+    RuntimeStats after = rt().stats();
+    EXPECT_EQ(after.linkQueuedMessages, 0u);
+    EXPECT_EQ(after.linkQueuedBytes, 0u);
+    EXPECT_GE(after.tasksExecuted, 1u);
+    EXPECT_GE(after.uptime, 0.0);
+    EXPECT_GE(after.timersPending, 1u); // the 5 s timer
+
+    // The published/rendered forms agree with the struct.
+    publishRuntimeStats(after);
+    EXPECT_DOUBLE_EQ(MetricsRegistry::global().gaugeValue(
+                         "runtime.timers_pending"),
+                     static_cast<double>(after.timersPending));
+    std::ostringstream out;
+    writeRuntimeStatsJson(after, out);
+    EXPECT_EQ(out.str().front(), '{');
+    EXPECT_NE(out.str().find("\"timers_pending\": "),
+              std::string::npos);
+    EXPECT_NE(out.str().find("\"worker_utilization\": "),
+              std::string::npos);
+}
+
 INSTANTIATE_TEST_SUITE_P(Backends, RuntimeConformance,
                          ::testing::Values("sim", "threaded"),
                          [](const auto &info) {
                              return std::string(info.param);
                          });
+
+// ---------------------------------------------------------------------
+// Periodic export and the traced concurrent-client smoke
+// ---------------------------------------------------------------------
+
+TEST(RuntimeStatsExport, PeriodicExporterTicksAndStops)
+{
+    SimBackend be;
+    int ticks = 0;
+    PeriodicStatsExporter exporter(
+        be.rt(), 0.5,
+        [&](const RuntimeStats &s, const MetricsSnapshot &snap) {
+            ticks++;
+            EXPECT_GE(s.uptime, 0.0);
+            // The sink sees gauges already published for this tick.
+            EXPECT_TRUE(snap.gauges.count("runtime.timers_pending"));
+        });
+    exporter.start();
+    be.rt().advance(2.6);
+    EXPECT_GE(ticks, 4);
+    exporter.stop();
+    int after = ticks;
+    be.rt().advance(2.0);
+    EXPECT_EQ(ticks, after); // stopped: the timer chain is dead
+}
+
+#ifdef OCEANSTORE_THREADED
+
+TEST(ThreadedTraced, ConcurrentClientsWithTracingAndLiveStats)
+{
+    // The tentpole acceptance scenario: >= 4 concurrent client
+    // threads drive a traced threaded runtime while another thread
+    // polls live stats — TSan-clean, every span accounted for.
+    constexpr int kClients = 4;
+    constexpr int kSendsPerClient = 50;
+
+    Tracer tracer;
+    FlightRecorder recorder(1024);
+    std::vector<Sink> sinks(kClients);
+    ThreadedConfig cfg;
+    cfg.workers = 4;
+    cfg.seed = 0x5eedu;
+    ThreadedRuntime rt(cfg);
+    std::vector<NodeId> ids;
+    for (int i = 0; i < kClients; i++)
+        ids.push_back(rt.addNode(&sinks[i], 0.2 * i, 0.5));
+
+    {
+        TraceScope ts(tracer);
+        FlightScope fs(recorder, tracer, "traced_smoke");
+        std::atomic<int> done{0};
+        std::vector<std::thread> clients;
+        for (int c = 0; c < kClients; c++) {
+            clients.emplace_back([&, c]() {
+                for (int i = 0; i < kSendsPerClient; i++) {
+                    rt.execute([&]() {
+                        rt.send(ids[c], ids[(c + 1) % kClients],
+                                makeMessage("smoke.msg", i, 64));
+                    });
+                }
+                done.fetch_add(1);
+            });
+        }
+        // Live introspection concurrent with the serve path.
+        while (done.load() < kClients) {
+            publishRuntimeStats(rt.stats());
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(1));
+        }
+        for (auto &t : clients)
+            t.join();
+        EXPECT_TRUE(rt.runUntil(
+            [&]() {
+                std::size_t total = 0;
+                for (const Sink &s : sinks)
+                    total += s.received.size();
+                return total == static_cast<std::size_t>(
+                                    kClients * kSendsPerClient);
+            },
+            rt.now() + 20.0));
+    }
+    rt.shutdown();
+
+    // Arena merge: every allocated span id present exactly once, in
+    // order, and the flight ring saw every one of them.
+    auto spans = tracer.buffer().snapshot();
+    EXPECT_GE(spans.size(), static_cast<std::size_t>(
+                                kClients * kSendsPerClient));
+    for (std::size_t i = 0; i < spans.size(); i++)
+        EXPECT_EQ(spans[i].spanId, static_cast<std::uint32_t>(i + 1));
+    EXPECT_EQ(recorder.recorded(), spans.size());
+
+    RuntimeStats fin = rt.stats();
+    EXPECT_EQ(fin.linkQueuedMessages, 0u);
+    EXPECT_EQ(fin.linkQueuedBytes, 0u);
+    EXPECT_GE(fin.tasksExecuted, 1u);
+    EXPECT_GT(fin.workerUtilization, 0.0);
+}
+
+#endif // OCEANSTORE_THREADED
 
 // ---------------------------------------------------------------------
 // Framing: the socket-ready wire format used by the threaded

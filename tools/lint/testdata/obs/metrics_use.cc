@@ -7,4 +7,5 @@ registerAll(Registry *reg)
     reg->counter("fixture.good");
     reg->counter("fixture.rogue"); // EXPECT-LINT: metrics-manifest
     reg->histogram("fixture.hops");
+    reg->gauge("fixture.depth");
 }
